@@ -1,0 +1,36 @@
+//! Ablation timings for the design choices called out in DESIGN.md:
+//! LUT lookups vs. per-gate direct solves vs. the no-loading baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanoleak_cells::CellLibrary;
+use nanoleak_core::{estimate, EstimatorMode};
+use nanoleak_device::Technology;
+use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_netlist::Pattern;
+use rand::SeedableRng;
+
+fn bench_modes(c: &mut Criterion) {
+    let tech = Technology::d25();
+    let lib = CellLibrary::shared(&tech, 300.0);
+    let circuit =
+        normalize(&random_circuit(&RandomCircuitSpec::new("abl", 12, 6, 300, 8, 42))).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let pattern = Pattern::random(&circuit, &mut rng);
+
+    let mut group = c.benchmark_group("estimator_modes_300gates");
+    group.bench_function("no_loading", |b| {
+        b.iter(|| estimate(&circuit, &lib, &pattern, EstimatorMode::NoLoading).unwrap())
+    });
+    group.bench_function("lut", |b| {
+        b.iter(|| estimate(&circuit, &lib, &pattern, EstimatorMode::Lut).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("direct_solve", |b| {
+        b.iter(|| estimate(&circuit, &lib, &pattern, EstimatorMode::DirectSolve).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

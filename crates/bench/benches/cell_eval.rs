@@ -1,0 +1,39 @@
+//! Cell-level DC solve throughput: the kernel under both the
+//! characterization sweeps and the reference simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanoleak_cells::{eval_isolated, eval_loaded, CellType, InputVector};
+use nanoleak_device::Technology;
+
+fn bench_cells(c: &mut Criterion) {
+    let tech = Technology::d25();
+    let mut group = c.benchmark_group("cell_eval");
+    group.bench_function("inv_isolated", |b| {
+        b.iter(|| {
+            eval_isolated(&tech, 300.0, CellType::Inv, InputVector::parse("0").unwrap()).unwrap()
+        })
+    });
+    group.bench_function("inv_loaded_fixture", |b| {
+        b.iter(|| {
+            eval_loaded(&tech, 300.0, CellType::Inv, InputVector::parse("0").unwrap(), &[2e-6], 1e-6)
+                .unwrap()
+        })
+    });
+    group.bench_function("nand4_loaded_fixture", |b| {
+        b.iter(|| {
+            eval_loaded(
+                &tech,
+                300.0,
+                CellType::Nand4,
+                InputVector::parse("0110").unwrap(),
+                &[1e-6, 0.0, 2e-6, 0.0],
+                1e-6,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

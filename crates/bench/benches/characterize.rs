@@ -1,0 +1,40 @@
+//! Characterization cost: what it takes to build the f(I_L, O_L)
+//! tables the estimator consumes (a one-off per technology).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanoleak_cells::{characterize::characterize_vector, CellType, CharacterizeOptions, InputVector};
+use nanoleak_device::Technology;
+
+fn bench_characterize(c: &mut Criterion) {
+    let tech = Technology::d25();
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    group.bench_function("inv_vector_8pt", |b| {
+        b.iter(|| {
+            characterize_vector(
+                &tech,
+                300.0,
+                CellType::Inv,
+                InputVector::parse("0").unwrap(),
+                &CharacterizeOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("nand2_vector_8pt", |b| {
+        b.iter(|| {
+            characterize_vector(
+                &tech,
+                300.0,
+                CellType::Nand2,
+                InputVector::parse("01").unwrap(),
+                &CharacterizeOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

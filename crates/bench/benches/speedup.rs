@@ -1,0 +1,38 @@
+//! The paper's headline runtime claim: the Fig. 13 estimator is
+//! ~1000x faster than full (SPICE-class) circuit simulation.
+//!
+//! Benchmarks one-pattern leakage analysis of the s838-sized benchmark
+//! with the LUT estimator vs. the full nonlinear reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanoleak_cells::CellLibrary;
+use nanoleak_core::{estimate, reference_leakage, EstimatorMode, ReferenceOptions};
+use nanoleak_device::Technology;
+use nanoleak_netlist::generate::iscas_like;
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_netlist::Pattern;
+use rand::SeedableRng;
+
+fn bench_speedup(c: &mut Criterion) {
+    let tech = Technology::d25();
+    let lib = CellLibrary::shared(&tech, 300.0);
+    let circuit = normalize(&iscas_like("s838").unwrap()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let pattern = Pattern::random(&circuit, &mut rng);
+
+    let mut group = c.benchmark_group("s838_per_vector");
+    group.bench_function("estimator_lut", |b| {
+        b.iter(|| estimate(&circuit, &lib, &pattern, EstimatorMode::Lut).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("reference_full_solve", |b| {
+        b.iter(|| {
+            reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates every figure of the paper in one run.
+//!
+//! Pass `--quick` for a reduced-size pass (fewer sweep points, fewer
+//! Monte-Carlo samples, fewer vectors) suitable for smoke testing.
+use nanoleak_bench::figures::*;
+
+fn main() {
+    let quick = nanoleak_bench::arg_flag("--quick");
+    let points = if quick { 5 } else { 13 };
+    let samples = if quick { 400 } else { 10_000 };
+
+    fig04::run(&fig04::Options { points: if quick { 5 } else { 9 } });
+    fig05::run(&fig05::Options { points, ..Default::default() });
+    fig06::run(&fig06::Options { points: if quick { 4 } else { 7 }, ..Default::default() });
+    fig07::run(&fig07::Options { points, ..Default::default() });
+    fig08::run(&fig08::Options { points, ..Default::default() });
+    fig09::run(&fig09::Options { points: if quick { 4 } else { 7 }, ..Default::default() });
+    fig10::run(&fig10::Options { samples, ..Default::default() });
+    fig11::run(&fig11::Options { samples, ..Default::default() });
+    fig12::run(&fig12::Options {
+        vectors: if quick { 10 } else { 100 },
+        reference_vectors: if quick { 2 } else { 10 },
+        ..Default::default()
+    });
+    println!("\nall figures regenerated; CSVs in ./results/");
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 4 (device leakage-component sweeps).
+use nanoleak_bench::figures::fig04;
+
+fn main() {
+    let mut opts = fig04::Options::default();
+    if let Some(p) = nanoleak_bench::arg_value("--points") {
+        opts.points = p.parse().expect("--points takes an integer");
+    }
+    fig04::run(&opts);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 5 (inverter input/output loading effect).
+use nanoleak_bench::figures::fig05;
+
+fn main() {
+    let mut opts = fig05::Options::default();
+    if let Some(p) = nanoleak_bench::arg_value("--points") {
+        opts.points = p.parse().expect("--points takes an integer");
+    }
+    fig05::run(&opts);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 6 (LD_ALL surface over both loadings).
+use nanoleak_bench::figures::fig06;
+
+fn main() {
+    let mut opts = fig06::Options::default();
+    if let Some(p) = nanoleak_bench::arg_value("--points") {
+        opts.points = p.parse().expect("--points takes an integer");
+    }
+    fig06::run(&opts);
+}

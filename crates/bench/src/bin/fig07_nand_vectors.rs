@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 7 (NAND2 loading effect per input vector).
+use nanoleak_bench::figures::fig07;
+
+fn main() {
+    let mut opts = fig07::Options::default();
+    if let Some(p) = nanoleak_bench::arg_value("--points") {
+        opts.points = p.parse().expect("--points takes an integer");
+    }
+    fig07::run(&opts);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 8 (loading effect for D25-S / D25-G / D25-JN).
+use nanoleak_bench::figures::fig08;
+
+fn main() {
+    let mut opts = fig08::Options::default();
+    if let Some(p) = nanoleak_bench::arg_value("--points") {
+        opts.points = p.parse().expect("--points takes an integer");
+    }
+    fig08::run(&opts);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 9 (temperature dependence of LD_ALL).
+use nanoleak_bench::figures::fig09;
+
+fn main() {
+    let mut opts = fig09::Options::default();
+    if let Some(p) = nanoleak_bench::arg_value("--points") {
+        opts.points = p.parse().expect("--points takes an integer");
+    }
+    fig09::run(&opts);
+}

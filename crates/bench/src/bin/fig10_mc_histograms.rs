@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 10 (Monte-Carlo leakage distributions).
+use nanoleak_bench::figures::fig10;
+
+fn main() {
+    let mut opts = fig10::Options::default();
+    if let Some(s) = nanoleak_bench::arg_value("--samples") {
+        opts.samples = s.parse().expect("--samples takes an integer");
+    }
+    fig10::run(&opts);
+}

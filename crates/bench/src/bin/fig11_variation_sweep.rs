@@ -1,0 +1,10 @@
+//! Regenerates paper Fig. 11 (loading vs inter-die Vt sigma).
+use nanoleak_bench::figures::fig11;
+
+fn main() {
+    let mut opts = fig11::Options::default();
+    if let Some(s) = nanoleak_bench::arg_value("--samples") {
+        opts.samples = s.parse().expect("--samples takes an integer");
+    }
+    fig11::run(&opts);
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Fig. 12 (circuit-level validation and loading
+//! statistics on the benchmark suite).
+use nanoleak_bench::figures::fig12;
+
+fn main() {
+    let mut opts = fig12::Options::default();
+    if let Some(v) = nanoleak_bench::arg_value("--vectors") {
+        opts.vectors = v.parse().expect("--vectors takes an integer");
+    }
+    if let Some(v) = nanoleak_bench::arg_value("--reference-vectors") {
+        opts.reference_vectors = v.parse().expect("--reference-vectors takes an integer");
+    }
+    if nanoleak_bench::arg_flag("--skip-reference") {
+        opts.skip_reference = true;
+    }
+    fig12::run(&opts);
+}

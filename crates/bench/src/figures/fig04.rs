@@ -1,0 +1,152 @@
+//! Fig. 4 — variation of the leakage components of a single device
+//! with (a) halo doping, (b) oxide thickness, and (c) temperature.
+
+use nanoleak_device::{Bias, DeviceDesign, Technology, Transistor};
+
+use crate::{fmt, linspace, na, print_table, write_csv};
+
+/// Options for the Fig. 4 sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Points per sweep.
+    pub points: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { points: 9 }
+    }
+}
+
+fn off_components(design: &DeviceDesign, vdd: f64, temp: f64) -> (f64, f64, f64) {
+    let t = Transistor::from_design(design);
+    let (_, bd) = t.leakage(Bias::new(0.0, vdd, 0.0, 0.0), temp);
+    (bd.sub, bd.gate, bd.btbt)
+}
+
+/// Oxide-thickness variant with the long-channel threshold re-centered
+/// through the flavor shift. The paper's MEDICI devices are re-designed
+/// at each Tox (doping retuned for the target Vth), so its Fig. 4b
+/// isolates the short-channel physics: thicker oxide means a longer
+/// natural length, more DIBL/roll-off, and a worse swing — subthreshold
+/// leakage *rises* even as gate tunneling collapses.
+fn design_with_tox_iso_vth(base: &DeviceDesign, tox: f64) -> DeviceDesign {
+    let nominal = base.derive();
+    let d = base.with_geometry(base.geometry.with_tox(tox));
+    let p = d.derive();
+    let shift = (nominal.gamma - p.gamma) * nominal.phi_s.sqrt();
+    let mut flavor = d.flavor;
+    flavor.vth_shift += shift;
+    d.with_flavor(flavor)
+}
+
+/// Regenerates the three panels.
+pub fn run(opts: &Options) {
+    let tech = Technology::d25();
+    let vdd = tech.vdd;
+
+    // (a) Halo doping sweep on the 25 nm NMOS.
+    let mut rows = Vec::new();
+    for halo in linspace(0.6e25, 2.4e25, opts.points) {
+        let design = tech.nmos.with_doping(tech.nmos.doping.with_halo(halo));
+        let (sub, gate, btbt) = off_components(&design, vdd, 300.0);
+        rows.push(vec![
+            fmt(halo / 1e25, 2),
+            fmt(na(sub), 2),
+            fmt(na(gate), 2),
+            fmt(na(btbt), 4),
+        ]);
+    }
+    let headers = ["halo[1e19cm^-3]", "Isub[nA]", "Igate[nA]", "Ibtbt[nA]"];
+    print_table("Fig 4a: leakage components vs halo doping (NMOS, 25nm)", &headers, &rows);
+    write_csv("fig04a_halo.csv", &headers, &rows);
+
+    // (b) Oxide thickness sweep (Vth re-centered per point; see
+    // `design_with_tox_iso_vth`).
+    let mut rows = Vec::new();
+    for tox in linspace(0.8e-9, 1.6e-9, opts.points) {
+        let design = design_with_tox_iso_vth(&tech.nmos, tox);
+        let (sub, gate, btbt) = off_components(&design, vdd, 300.0);
+        rows.push(vec![
+            fmt(tox * 1e9, 2),
+            fmt(na(sub), 2),
+            fmt(na(gate), 2),
+            fmt(na(btbt), 4),
+        ]);
+    }
+    let headers = ["tox[nm]", "Isub[nA]", "Igate[nA]", "Ibtbt[nA]"];
+    print_table("Fig 4b: leakage components vs oxide thickness (NMOS, 25nm)", &headers, &rows);
+    write_csv("fig04b_tox.csv", &headers, &rows);
+
+    // (c) Temperature sweep on the 50 nm device (the paper's Fig. 4c
+    // device: gate/junction dominated at room temperature).
+    let d50 = Technology::d50();
+    let mut rows = Vec::new();
+    for temp in linspace(250.0, 400.0, opts.points) {
+        let (sub, gate, btbt) = off_components(&d50.nmos, d50.vdd, temp);
+        rows.push(vec![
+            fmt(temp, 0),
+            fmt(na(sub), 3),
+            fmt(na(gate), 3),
+            fmt(na(btbt), 3),
+        ]);
+    }
+    let headers = ["T[K]", "Isub[nA]", "Igate[nA]", "Ibtbt[nA]"];
+    print_table("Fig 4c: leakage components vs temperature (NMOS, 50nm)", &headers, &rows);
+    write_csv("fig04c_temperature.csv", &headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_trades_subthreshold_for_btbt() {
+        let tech = Technology::d25();
+        let lo = tech.nmos.with_doping(tech.nmos.doping.with_halo(0.6e25));
+        let hi = tech.nmos.with_doping(tech.nmos.doping.with_halo(2.4e25));
+        let (sub_lo, gate_lo, btbt_lo) = off_components(&lo, 0.9, 300.0);
+        let (sub_hi, gate_hi, btbt_hi) = off_components(&hi, 0.9, 300.0);
+        assert!(sub_hi < sub_lo, "halo up, sub down");
+        assert!(btbt_hi > 10.0 * btbt_lo, "halo up, btbt up steeply");
+        let gate_rel = (gate_hi - gate_lo).abs() / gate_lo;
+        assert!(gate_rel < 0.25, "gate nearly insensitive to halo ({gate_rel})");
+    }
+
+    #[test]
+    fn tox_trades_gate_for_subthreshold() {
+        let tech = Technology::d25();
+        let thin = design_with_tox_iso_vth(&tech.nmos, 0.8e-9);
+        let thick = design_with_tox_iso_vth(&tech.nmos, 1.6e-9);
+        let (sub_thin, gate_thin, btbt_thin) = off_components(&thin, 0.9, 300.0);
+        let (sub_thick, gate_thick, btbt_thick) = off_components(&thick, 0.9, 300.0);
+        assert!(gate_thick < 0.05 * gate_thin, "tox up, gate collapses");
+        assert!(sub_thick > sub_thin, "tox up, SCE up, sub up");
+        let btbt_rel = (btbt_thick - btbt_thin).abs() / btbt_thin;
+        assert!(btbt_rel < 0.2, "btbt nearly insensitive to tox ({btbt_rel})");
+    }
+
+    #[test]
+    fn iso_vth_recentring_keeps_long_channel_threshold() {
+        let tech = Technology::d25();
+        let base = tech.nmos.derive();
+        let thick = design_with_tox_iso_vth(&tech.nmos, 1.6e-9).derive();
+        // Long-channel part (vth0 + rolloff) must match; only SCE
+        // (roll-off, DIBL, swing) differs.
+        let long_base = base.vth0 + 0.25 * (base.eta / 0.72); // rolloff = 0.25*sce
+        let long_thick = thick.vth0 + 0.25 * (thick.eta / 0.72);
+        assert!((long_base - long_thick).abs() < 5e-3, "{long_base} vs {long_thick}");
+        assert!(thick.eta > base.eta);
+    }
+
+    #[test]
+    fn fig4c_crossover_exists() {
+        // At 300 K the 50 nm device is gate/junction dominated; by
+        // 400 K subthreshold has taken over (paper Section 3).
+        let d50 = Technology::d50();
+        let (sub_rt, gate_rt, btbt_rt) = off_components(&d50.nmos, d50.vdd, 300.0);
+        assert!(sub_rt < gate_rt + btbt_rt, "room temperature: tunneling dominates");
+        let (sub_hot, gate_hot, btbt_hot) = off_components(&d50.nmos, d50.vdd, 400.0);
+        assert!(sub_hot > gate_hot + btbt_hot, "hot: subthreshold dominates");
+    }
+}

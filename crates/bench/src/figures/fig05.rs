@@ -1,0 +1,129 @@
+//! Fig. 5 — input and output loading effect on the inverter's leakage
+//! components, for input '0' (output '1') and input '1' (output '0').
+
+use nanoleak_cells::{eval_loaded, CellType, InputVector};
+use nanoleak_device::Technology;
+
+use crate::{fmt, linspace, pct, print_table, write_csv};
+
+/// Options for the Fig. 5 sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Points per loading sweep.
+    pub points: usize,
+    /// Largest loading current \[A\] (paper sweeps to 3 uA).
+    pub max_loading: f64,
+    /// Temperature \[K\].
+    pub temp: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { points: 13, max_loading: 3.0e-6, temp: 300.0 }
+    }
+}
+
+/// One LD sweep: loading on either the input or output of an inverter.
+fn sweep(tech: &Technology, opts: &Options, input: bool, on_input: bool) -> Vec<Vec<String>> {
+    let v = InputVector::from_bools(&[input]);
+    let nominal = eval_loaded(tech, opts.temp, CellType::Inv, v, &[0.0], 0.0)
+        .expect("nominal solve")
+        .breakdown;
+    let mut rows = Vec::new();
+    for il in linspace(0.0, opts.max_loading, opts.points) {
+        let (il_in, il_out) = if on_input { ([il], 0.0) } else { ([0.0], il) };
+        let b = eval_loaded(tech, opts.temp, CellType::Inv, v, &il_in, il_out)
+            .expect("loaded solve")
+            .breakdown;
+        let ld = b.relative_to(&nominal, 1e-18);
+        let ld_total = (b.total() - nominal.total()) / nominal.total();
+        rows.push(vec![
+            fmt(il / 1e-9, 0),
+            fmt(pct(ld.sub), 3),
+            fmt(pct(ld.gate), 3),
+            fmt(pct(ld.btbt), 3),
+            fmt(pct(ld_total), 3),
+        ]);
+    }
+    rows
+}
+
+/// Regenerates the four panels.
+pub fn run(opts: &Options) {
+    let tech = Technology::d25();
+    let headers = ["I_L[nA]", "LD(sub)%", "LD(gate)%", "LD(btbt)%", "LD(total)%"];
+    let panels = [
+        ("Fig 5a: input loading, input '0' / output '1'", "fig05a_in_input0.csv", false, true),
+        ("Fig 5b: output loading, input '0' / output '1'", "fig05b_out_input0.csv", false, false),
+        ("Fig 5c: input loading, input '1' / output '0'", "fig05c_in_input1.csv", true, true),
+        ("Fig 5d: output loading, input '1' / output '0'", "fig05d_out_input1.csv", true, false),
+    ];
+    for (title, csv, input, on_input) in panels {
+        let rows = sweep(&tech, opts, input, on_input);
+        print_table(title, &headers, &rows);
+        write_csv(csv, &headers, &rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::eval_loaded;
+
+    fn ld_at(input: bool, on_input: bool, il: f64) -> (f64, f64, f64, f64) {
+        let tech = Technology::d25();
+        let v = InputVector::from_bools(&[input]);
+        let nominal =
+            eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0).unwrap().breakdown;
+        let (il_in, il_out) = if on_input { ([il], 0.0) } else { ([0.0], il) };
+        let b = eval_loaded(&tech, 300.0, CellType::Inv, v, &il_in, il_out).unwrap().breakdown;
+        let ld = b.relative_to(&nominal, 1e-18);
+        ((b.total() - nominal.total()) / nominal.total(), ld.sub, ld.gate, ld.btbt)
+    }
+
+    #[test]
+    fn fig5a_shape_input0() {
+        // Input '0': subthreshold strongly positive (paper ~+12%),
+        // gate slightly negative, total positive.
+        let (total, sub, gate, _) = ld_at(false, true, 3.0e-6);
+        assert!(sub > 0.04 && sub < 0.30, "LD_IN(sub) = {}", sub);
+        assert!(gate < 0.0 && gate > -0.10, "LD_IN(gate) = {}", gate);
+        assert!(total > 0.01, "LD_IN(total) = {}", total);
+    }
+
+    #[test]
+    fn fig5c_weaker_than_fig5a() {
+        // Input loading effect is weaker with input '1' (stiffer PMOS
+        // holding the node + PMOS's worse swing).
+        let (t0, s0, _, _) = ld_at(false, true, 3.0e-6);
+        let (t1, s1, _, _) = ld_at(true, true, 3.0e-6);
+        assert!(s1 > 0.0, "still positive");
+        assert!(s1 < 0.75 * s0, "sub: input1 {} vs input0 {}", s1, s0);
+        assert!(t1 < t0, "total: input1 {} vs input0 {}", t1, t0);
+    }
+
+    #[test]
+    fn fig5b_output_loading_all_negative() {
+        let (total, sub, gate, btbt) = ld_at(false, false, 3.0e-6);
+        assert!(sub < 0.0 && gate < 0.0 && btbt < 0.0, "{sub} {gate} {btbt}");
+        assert!(total < 0.0 && total > -0.08, "LD_OUT(total) = {total}");
+        // BTBT is the strongest-affected component (paper Fig. 5b).
+        assert!(btbt < sub, "btbt {btbt} vs sub {sub}");
+    }
+
+    #[test]
+    fn fig5d_stronger_than_fig5b() {
+        // Output loading effect is stronger with output '0' (PMOS DIBL
+        // and PMOS junction dominate).
+        let (t0, ..) = ld_at(false, false, 3.0e-6);
+        let (t1, ..) = ld_at(true, false, 3.0e-6);
+        assert!(t1 < t0, "output0 {} must dip below output1 {}", t1, t0);
+    }
+
+    #[test]
+    fn ld_grows_with_loading_current() {
+        let (_, s1, ..) = ld_at(false, true, 1.0e-6);
+        let (_, s3, ..) = ld_at(false, true, 3.0e-6);
+        assert!(s3 > s1, "{s3} > {s1}");
+    }
+}

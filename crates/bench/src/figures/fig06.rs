@@ -1,0 +1,96 @@
+//! Fig. 6 — overall loading effect `LD_ALL(I_L-IN, I_L-OUT)` surface of
+//! an inverter, for both input states.
+
+use nanoleak_cells::{eval_loaded, CellType, InputVector};
+use nanoleak_device::Technology;
+
+use crate::{fmt, linspace, pct, print_table, write_csv};
+
+/// Options for the Fig. 6 surfaces.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Grid points per axis.
+    pub points: usize,
+    /// Largest loading current per axis \[A\].
+    pub max_loading: f64,
+    /// Temperature \[K\].
+    pub temp: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { points: 7, max_loading: 3.0e-6, temp: 300.0 }
+    }
+}
+
+fn surface(tech: &Technology, opts: &Options, input: bool) -> Vec<Vec<String>> {
+    let v = InputVector::from_bools(&[input]);
+    let nominal = eval_loaded(tech, opts.temp, CellType::Inv, v, &[0.0], 0.0)
+        .expect("nominal solve")
+        .breakdown
+        .total();
+    let grid = linspace(0.0, opts.max_loading, opts.points);
+    let mut rows = Vec::new();
+    for &il_in in &grid {
+        for &il_out in &grid {
+            let total = eval_loaded(tech, opts.temp, CellType::Inv, v, &[il_in], il_out)
+                .expect("loaded solve")
+                .breakdown
+                .total();
+            rows.push(vec![
+                fmt(il_in / 1e-9, 0),
+                fmt(il_out / 1e-9, 0),
+                fmt(pct((total - nominal) / nominal), 3),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Regenerates both surfaces.
+pub fn run(opts: &Options) {
+    let tech = Technology::d25();
+    let headers = ["I_L-IN[nA]", "I_L-OUT[nA]", "LD_ALL%"];
+    let rows = surface(&tech, opts, false);
+    print_table("Fig 6a: LD_ALL surface, input '0' / output '1'", &headers, &rows);
+    write_csv("fig06a_surface_input0.csv", &headers, &rows);
+    let rows = surface(&tech, opts, true);
+    print_table("Fig 6b: LD_ALL surface, input '1' / output '0'", &headers, &rows);
+    write_csv("fig06b_surface_input1.csv", &headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_have_expected_signs() {
+        let tech = Technology::d25();
+        let v = InputVector::parse("0").unwrap();
+        let nom = eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0).unwrap().breakdown;
+        // Pure input loading: positive LD_ALL; pure output loading:
+        // negative; both: input effect wins for input '0' (paper's
+        // Fig. 6a tops out positive).
+        let lin = eval_loaded(&tech, 300.0, CellType::Inv, v, &[3e-6], 0.0).unwrap().breakdown;
+        let lout = eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 3e-6).unwrap().breakdown;
+        let both = eval_loaded(&tech, 300.0, CellType::Inv, v, &[3e-6], 3e-6).unwrap().breakdown;
+        assert!(lin.total() > nom.total());
+        assert!(lout.total() < nom.total());
+        assert!(both.total() > nom.total(), "input effect dominates at input '0'");
+    }
+
+    #[test]
+    fn input0_surface_higher_than_input1() {
+        // Paper Section 4: LD_ALL is normally higher with input '0'.
+        let tech = Technology::d25();
+        let max_ld = |input: bool| {
+            let v = InputVector::from_bools(&[input]);
+            let nom =
+                eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0).unwrap().breakdown.total();
+            let loaded =
+                eval_loaded(&tech, 300.0, CellType::Inv, v, &[3e-6], 0.0).unwrap().breakdown.total();
+            (loaded - nom) / nom
+        };
+        assert!(max_ld(false) > max_ld(true));
+    }
+}

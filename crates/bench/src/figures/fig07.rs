@@ -1,0 +1,129 @@
+//! Fig. 7 — loading effect (per input pin and output) on the total
+//! leakage of a 2-input NAND gate under all four input vectors.
+
+use nanoleak_cells::{eval_loaded, CellType, InputVector};
+use nanoleak_device::Technology;
+
+use crate::{fmt, linspace, pct, print_table, write_csv};
+
+/// Options for the Fig. 7 sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Points per sweep.
+    pub points: usize,
+    /// Largest loading current \[A\].
+    pub max_loading: f64,
+    /// Temperature \[K\].
+    pub temp: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { points: 13, max_loading: 3.0e-6, temp: 300.0 }
+    }
+}
+
+/// Total-leakage LD for loading applied to one port of the NAND.
+fn ld_total(
+    tech: &Technology,
+    opts: &Options,
+    v: InputVector,
+    port: Port,
+    il: f64,
+) -> f64 {
+    let nominal = eval_loaded(tech, opts.temp, CellType::Nand2, v, &[0.0, 0.0], 0.0)
+        .expect("nominal")
+        .breakdown
+        .total();
+    let (il_in, il_out) = match port {
+        Port::Input(0) => ([il, 0.0], 0.0),
+        Port::Input(_) => ([0.0, il], 0.0),
+        Port::Output => ([0.0, 0.0], il),
+    };
+    let total = eval_loaded(tech, opts.temp, CellType::Nand2, v, &il_in, il_out)
+        .expect("loaded")
+        .breakdown
+        .total();
+    (total - nominal) / nominal
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Port {
+    Input(usize),
+    Output,
+}
+
+/// Regenerates the four panels (one per vector).
+pub fn run(opts: &Options) {
+    let tech = Technology::d25();
+    let headers = ["I_L[nA]", "LD(in1)%", "LD(in2)%", "LD(out)%"];
+    for (panel, vs) in ["a", "b", "c", "d"].iter().zip(["00", "01", "10", "11"]) {
+        let v = InputVector::parse(vs).unwrap();
+        let out_level = CellType::Nand2.eval_logic(&v.to_bools());
+        let mut rows = Vec::new();
+        for il in linspace(0.0, opts.max_loading, opts.points) {
+            rows.push(vec![
+                fmt(il / 1e-9, 0),
+                fmt(pct(ld_total(&tech, opts, v, Port::Input(0), il)), 3),
+                fmt(pct(ld_total(&tech, opts, v, Port::Input(1), il)), 3),
+                fmt(pct(ld_total(&tech, opts, v, Port::Output, il)), 3),
+            ]);
+        }
+        let title = format!(
+            "Fig 7{panel}: NAND2 loading effect, input \"{vs}\" / output '{}'",
+            u8::from(out_level)
+        );
+        print_table(&title, &headers, &rows);
+        write_csv(&format!("fig07{panel}_nand_{vs}.csv"), &headers, &rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn input_loading_stronger_with_a_zero_input() {
+        // Paper: input loading is higher if at least one input is '0'.
+        let tech = Technology::d25();
+        let ld01 =
+            ld_total(&tech, &opts(), InputVector::parse("01").unwrap(), Port::Input(0), 3e-6);
+        let ld11 =
+            ld_total(&tech, &opts(), InputVector::parse("11").unwrap(), Port::Input(0), 3e-6);
+        assert!(ld01 > ld11, "01: {ld01} vs 11: {ld11}");
+    }
+
+    #[test]
+    fn stacking_damps_the_00_vector() {
+        // With '00' the stack suppresses subthreshold, so input loading
+        // has less effect than on '01'/'10' (paper Fig. 7a vs 7b/7c).
+        let tech = Technology::d25();
+        let v00 = InputVector::parse("00").unwrap();
+        let v10 = InputVector::parse("10").unwrap();
+        let ld00 = ld_total(&tech, &opts(), v00, Port::Input(0), 3e-6);
+        let ld10 = ld_total(&tech, &opts(), v10, Port::Input(1), 3e-6);
+        assert!(ld00 < ld10, "00: {ld00} vs 10(pin2): {ld10}");
+    }
+
+    #[test]
+    fn output_loading_reduces_total_when_output_low() {
+        // Vector 11 -> output '0': output loading is strongest negative.
+        let tech = Technology::d25();
+        let ld = ld_total(&tech, &opts(), InputVector::parse("11").unwrap(), Port::Output, 3e-6);
+        assert!(ld < -0.002, "LD_OUT(total) = {ld}");
+    }
+
+    #[test]
+    fn vector_dependence_can_flip_sign() {
+        // Depending on the vector, loading may increase or decrease the
+        // total leakage (paper Section 4 conclusion).
+        let tech = Technology::d25();
+        let pos = ld_total(&tech, &opts(), InputVector::parse("01").unwrap(), Port::Input(0), 3e-6);
+        let neg = ld_total(&tech, &opts(), InputVector::parse("11").unwrap(), Port::Output, 3e-6);
+        assert!(pos > 0.0 && neg < 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 8 — loading effect for devices with different dominant leakage
+//! mechanisms: `D25-S` (subthreshold), `D25-G` (gate), `D25-JN`
+//! (junction BTBT).
+
+use nanoleak_cells::{eval_loaded, CellType, InputVector};
+use nanoleak_device::Technology;
+
+use crate::{fmt, linspace, pct, print_table, write_csv};
+
+/// Options for the Fig. 8 sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Points per sweep.
+    pub points: usize,
+    /// Largest loading current \[A\].
+    pub max_loading: f64,
+    /// Temperature \[K\].
+    pub temp: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { points: 13, max_loading: 3.0e-6, temp: 300.0 }
+    }
+}
+
+/// LD on total leakage for a flavor, given loading placement.
+fn ld_total(tech: &Technology, opts: &Options, input: bool, on_input: bool, il: f64) -> f64 {
+    let v = InputVector::from_bools(&[input]);
+    let nominal = eval_loaded(tech, opts.temp, CellType::Inv, v, &[0.0], 0.0)
+        .expect("nominal")
+        .breakdown
+        .total();
+    let (il_in, il_out) = if on_input { ([il], 0.0) } else { ([0.0], il) };
+    let total = eval_loaded(tech, opts.temp, CellType::Inv, v, &il_in, il_out)
+        .expect("loaded")
+        .breakdown
+        .total();
+    (total - nominal) / nominal
+}
+
+/// Regenerates the four panels.
+pub fn run(opts: &Options) {
+    let flavors = Technology::d25_flavors();
+    let headers = ["I_L[nA]", "D25-S%", "D25-G%", "D25-JN%"];
+    let panels = [
+        ("Fig 8a: input loading effect, input '0'", "fig08a_in_input0.csv", false, true),
+        ("Fig 8b: output loading effect, input '0'", "fig08b_out_input0.csv", false, false),
+        ("Fig 8c: input loading effect, input '1'", "fig08c_in_input1.csv", true, true),
+        ("Fig 8d: output loading effect, input '1'", "fig08d_out_input1.csv", true, false),
+    ];
+    for (title, csv, input, on_input) in panels {
+        let mut rows = Vec::new();
+        for il in linspace(0.0, opts.max_loading, opts.points) {
+            let mut row = vec![fmt(il / 1e-9, 0)];
+            for tech in &flavors {
+                row.push(fmt(pct(ld_total(tech, opts, input, on_input, il)), 3));
+            }
+            rows.push(row);
+        }
+        print_table(title, &headers, &rows);
+        write_csv(csv, &headers, &rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn input_loading_strongest_for_sub_dominated_device() {
+        // Paper Fig. 8a: D25-S shows the most input-loading effect.
+        let [s, g, jn] = Technology::d25_flavors();
+        let ld_s = ld_total(&s, &opts(), false, true, 3e-6);
+        let ld_g = ld_total(&g, &opts(), false, true, 3e-6);
+        let ld_jn = ld_total(&jn, &opts(), false, true, 3e-6);
+        assert!(ld_s > ld_g, "S {ld_s} vs G {ld_g}");
+        assert!(ld_s > ld_jn, "S {ld_s} vs JN {ld_jn}");
+    }
+
+    #[test]
+    fn output_loading_strongest_for_junction_dominated_device() {
+        // Paper Fig. 8b/8d: D25-JN reacts most to output loading.
+        let [s, g, jn] = Technology::d25_flavors();
+        let mag = |t: &Technology| ld_total(t, &opts(), true, false, 3e-6).abs();
+        assert!(mag(&jn) > mag(&s), "JN {} vs S {}", mag(&jn), mag(&s));
+        assert!(mag(&jn) > mag(&g), "JN {} vs G {}", mag(&jn), mag(&g));
+    }
+
+    #[test]
+    fn gate_dominated_device_least_affected_overall() {
+        // Paper Section 5.1: "loading has least impact on the gate
+        // leakage dominated device".
+        let [s, g, jn] = Technology::d25_flavors();
+        let footprint = |t: &Technology| {
+            ld_total(t, &opts(), false, true, 3e-6).abs()
+                + ld_total(t, &opts(), false, false, 3e-6).abs()
+        };
+        assert!(footprint(&g) < footprint(&s));
+        assert!(footprint(&g) < footprint(&jn));
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 9 — impact of temperature on the overall loading effect
+//! (`LD_ALL`) of an inverter with input '0'.
+
+use nanoleak_cells::{eval_isolated, eval_loaded, CellType, InputVector};
+use nanoleak_device::Technology;
+
+use crate::{fmt, linspace, pct, print_table, write_csv};
+
+/// Options for the Fig. 9 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Temperature points.
+    pub points: usize,
+    /// Input loading current \[A\].
+    pub il_in: f64,
+    /// Output loading current \[A\].
+    pub il_out: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { points: 7, il_in: 1.5e-6, il_out: 1.5e-6 }
+    }
+}
+
+/// `LD_ALL` per component at one temperature.
+///
+/// The baseline here is the gate in true isolation (ideal rail
+/// inputs), per the paper's `L_NOM` definition. At high temperature
+/// the *driver's* swelling subthreshold/junction currents lift the
+/// input node by themselves (paper Section 5.2: "the contribution of
+/// the subthreshold current and the junction current of the PMOS of
+/// the inverter D to node IN increases"), so the measured loading
+/// effect on the subthreshold component grows steeply with T.
+fn ld_at(tech: &Technology, temp: f64, opts: &Options) -> (f64, f64, f64, f64) {
+    let v = InputVector::parse("0").unwrap();
+    let nom = eval_isolated(tech, temp, CellType::Inv, v).expect("nominal").breakdown;
+    let load = eval_loaded(tech, temp, CellType::Inv, v, &[opts.il_in], opts.il_out)
+        .expect("loaded")
+        .breakdown;
+    let rel = load.relative_to(&nom, 1e-18);
+    let total = (load.total() - nom.total()) / nom.total();
+    (rel.sub, rel.gate, rel.btbt, total)
+}
+
+/// Regenerates the temperature sweep (0–150 C as in the paper).
+pub fn run(opts: &Options) {
+    let tech = Technology::d25();
+    let headers = ["T[C]", "LD(sub)%", "LD(gate)%", "LD(btbt)%", "LD(total)%"];
+    let mut rows = Vec::new();
+    for t_c in linspace(0.0, 150.0, opts.points) {
+        let (sub, gate, btbt, total) = ld_at(&tech, t_c + 273.15, opts);
+        rows.push(vec![
+            fmt(t_c, 0),
+            fmt(pct(sub), 3),
+            fmt(pct(gate), 3),
+            fmt(pct(btbt), 3),
+            fmt(pct(total), 3),
+        ]);
+    }
+    print_table("Fig 9: LD_ALL vs temperature (inverter, input '0')", &headers, &rows);
+    write_csv("fig09_temperature.csv", &headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subthreshold_loading_effect_grows_with_temperature() {
+        // Paper Fig. 9: LD_ALL(sub) rises steeply with temperature.
+        let tech = Technology::d25();
+        let opts = Options::default();
+        let (sub_cold, ..) = ld_at(&tech, 280.0, &opts);
+        let (sub_hot, ..) = ld_at(&tech, 400.0, &opts);
+        assert!(sub_hot > 1.5 * sub_cold, "cold {sub_cold} vs hot {sub_hot}");
+    }
+
+    #[test]
+    fn gate_and_btbt_effects_move_negative_with_temperature() {
+        // The hotter node shifts push gate/junction leakage further
+        // down (paper Fig. 9's negative-going curves).
+        let tech = Technology::d25();
+        let opts = Options::default();
+        let (_, gate_cold, btbt_cold, _) = ld_at(&tech, 280.0, &opts);
+        let (_, gate_hot, btbt_hot, _) = ld_at(&tech, 400.0, &opts);
+        assert!(gate_hot < gate_cold, "gate: {gate_cold} -> {gate_hot}");
+        assert!(btbt_hot < btbt_cold, "btbt: {btbt_cold} -> {btbt_hot}");
+    }
+
+    #[test]
+    fn total_effect_less_dramatic_than_subthreshold() {
+        // Components move in opposite directions, so the total is
+        // damped (paper Section 5.2 conclusion).
+        let tech = Technology::d25();
+        let opts = Options::default();
+        let (sub, _, _, total) = ld_at(&tech, 400.0, &opts);
+        assert!(total < sub, "total {total} vs sub {sub}");
+        assert!(total > 0.0);
+    }
+}

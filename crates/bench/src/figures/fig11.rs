@@ -1,0 +1,89 @@
+//! Fig. 11 — effect of loading on the mean (left) and standard
+//! deviation (right) of total inverter leakage versus the inter-die
+//! threshold-voltage sigma.
+
+use nanoleak_device::Technology;
+use nanoleak_variation::{run_inverter_mc, McConfig, VariationSigmas};
+
+use crate::{fmt, pct, print_table, write_csv};
+
+/// Options for the Fig. 11 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Samples per sigma point.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { samples: 10_000, seed: 2005 }
+    }
+}
+
+/// Regenerates both panels: the paper fixes sigma_Vt,intra = 30 mV for
+/// the mean plot and 90 mV for the std plot.
+pub fn run(opts: &Options) {
+    let tech = Technology::d25();
+    let sweep = [30e-3, 40e-3, 50e-3];
+
+    let mut rows = Vec::new();
+    for &vt_inter in &sweep {
+        let mean_cfg = McConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+            sigmas: VariationSigmas::paper_nominal()
+                .with_vt_inter(vt_inter)
+                .with_vt_intra(30e-3),
+            ..Default::default()
+        };
+        let std_cfg = McConfig {
+            sigmas: VariationSigmas::paper_nominal()
+                .with_vt_inter(vt_inter)
+                .with_vt_intra(90e-3),
+            ..mean_cfg
+        };
+        let mean_result = run_inverter_mc(&tech, &mean_cfg).expect("mc mean");
+        let std_result = run_inverter_mc(&tech, &std_cfg).expect("mc std");
+        rows.push(vec![
+            fmt(vt_inter * 1e3, 0),
+            fmt(pct(mean_result.mean_shift()), 2),
+            fmt(pct(std_result.std_shift()), 2),
+        ]);
+    }
+    let headers = ["sigmaVt_inter[mV]", "mean-shift%", "std-shift%"];
+    print_table(
+        "Fig 11: loading effect on mean (intra 30mV) and std (intra 90mV) of total leakage",
+        &headers,
+        &rows,
+    );
+    write_csv("fig11_variation_sweep.csv", &headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_shift_grows_with_inter_die_sigma() {
+        // Paper Fig. 11 (right): more inter-die Vt spread means the
+        // loading effect amplifies the distribution width more.
+        let tech = Technology::d25();
+        let run_at = |vt_inter: f64| {
+            let cfg = McConfig {
+                samples: 300,
+                seed: 7,
+                sigmas: VariationSigmas::paper_nominal()
+                    .with_vt_inter(vt_inter)
+                    .with_vt_intra(90e-3),
+                ..Default::default()
+            };
+            run_inverter_mc(&tech, &cfg).unwrap().std_shift()
+        };
+        let lo = run_at(30e-3);
+        let hi = run_at(50e-3);
+        assert!(hi > 0.0, "hi = {hi}");
+        assert!(hi > lo * 0.8, "lo {lo} vs hi {hi} (allowing MC noise)");
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper figure; each exposes `Options` and `run`.
+//!
+//! The corresponding binaries (`fig04_device`, …) are thin wrappers so
+//! `all_figures` can drive every experiment from one process.
+
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;

@@ -1,0 +1,289 @@
+//! Loading-response characterization of standard cells.
+//!
+//! For every (cell, input vector) this produces what the paper's fast
+//! algorithm (Fig. 13) consumes: the nominal leakage components, the
+//! signed gate-pin currents (the cell's own contribution to its nets'
+//! loading), and per-pin/per-output lookup tables of the leakage
+//! *change* as a function of loading-current magnitude. Multi-input
+//! loading is combined additively per the paper's eq. (5).
+
+use nanoleak_device::{LeakageBreakdown, Technology};
+use nanoleak_solver::SolverError;
+use serde::{Deserialize, Serialize};
+
+use crate::cell_type::CellType;
+use crate::eval::eval_loaded;
+use crate::lut::BreakdownLut;
+use crate::vector::InputVector;
+
+/// Options for the characterization sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizeOptions {
+    /// Largest loading-current magnitude sampled \[A\]. The paper's
+    /// single-gate sweeps reach 3 uA; high-fanout nets in the paper's
+    /// benchmark circuits carry more, so the default grid extends to
+    /// 7 uA before the tables extrapolate.
+    pub max_loading: f64,
+    /// Number of samples per axis (including zero).
+    pub points: usize,
+    /// Cell types to characterize.
+    pub cells: Vec<CellType>,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> Self {
+        Self { max_loading: 7.0e-6, points: 11, cells: CellType::ALL.to_vec() }
+    }
+}
+
+impl CharacterizeOptions {
+    /// A coarse, fast option set for tests (4 points, given cells).
+    pub fn coarse(cells: &[CellType]) -> Self {
+        Self { max_loading: 3.5e-6, points: 4, cells: cells.to_vec() }
+    }
+
+    /// The loading-magnitude grid.
+    pub fn grid(&self) -> Vec<f64> {
+        let n = self.points.max(2);
+        (0..n).map(|i| self.max_loading * i as f64 / (n - 1) as f64).collect()
+    }
+}
+
+/// Characterized loading response of one (cell, vector) state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorChar {
+    /// Cell type.
+    pub cell: CellType,
+    /// Input vector.
+    pub vector: InputVector,
+    /// Output logic level.
+    pub output_level: bool,
+    /// Nominal leakage components (driver-held pins, zero loading) —
+    /// the paper's `L_NOM`.
+    pub nominal: LeakageBreakdown,
+    /// Signed current each input pin draws from its net at nominal \[A\]
+    /// (positive = pulls a logic-1 net down; negative = lifts a
+    /// logic-0 net). Summed by the estimator into net loading currents.
+    pub pin_currents: Vec<f64>,
+    /// Per-input-pin delta tables vs. input-loading magnitude.
+    pub input_resp: Vec<BreakdownLut>,
+    /// Delta table vs. output-loading magnitude.
+    pub output_resp: BreakdownLut,
+}
+
+impl VectorChar {
+    /// Loading-aware leakage estimate: nominal plus the additive
+    /// per-pin input deltas and the output delta (paper eq. 5),
+    /// clamped to non-negative components.
+    ///
+    /// # Panics
+    /// Panics if `il_in.len()` differs from the pin count.
+    pub fn leakage(&self, il_in: &[f64], il_out: f64) -> LeakageBreakdown {
+        assert_eq!(il_in.len(), self.input_resp.len(), "{}: loading arity", self.cell);
+        let mut b = self.nominal;
+        for (lut, &il) in self.input_resp.iter().zip(il_in) {
+            b += lut.eval(il.abs());
+        }
+        b += self.output_resp.eval(il_out.abs());
+        LeakageBreakdown { sub: b.sub.max(0.0), gate: b.gate.max(0.0), btbt: b.btbt.max(0.0) }
+    }
+
+    /// The paper's overall loading effect `LD_ALL` (eq. 4) as a
+    /// fraction: `(L(il_in, il_out) - L_NOM) / L_NOM` on total leakage.
+    pub fn ld_all(&self, il_in: &[f64], il_out: f64) -> f64 {
+        let nom = self.nominal.total();
+        (self.leakage(il_in, il_out).total() - nom) / nom
+    }
+
+    /// Sum of pin-current magnitudes \[A\] — the loading this cell
+    /// presents to the nets driving it.
+    pub fn total_pin_magnitude(&self) -> f64 {
+        self.pin_currents.iter().map(|c| c.abs()).sum()
+    }
+}
+
+/// Characterizes one (cell, vector) state.
+///
+/// # Errors
+/// Propagates solver failures; malformed sweeps surface as
+/// [`SolverError::BadProblem`].
+pub fn characterize_vector(
+    tech: &Technology,
+    temp: f64,
+    cell: CellType,
+    vector: InputVector,
+    opts: &CharacterizeOptions,
+) -> Result<VectorChar, SolverError> {
+    let grid = opts.grid();
+    let zeros = vec![0.0; cell.num_inputs()];
+    let nominal_sol = eval_loaded(tech, temp, cell, vector, &zeros, 0.0)?;
+    let nominal = nominal_sol.breakdown;
+
+    let mut input_resp = Vec::with_capacity(cell.num_inputs());
+    for pin in 0..cell.num_inputs() {
+        let mut deltas = Vec::with_capacity(grid.len());
+        for &x in &grid {
+            if x == 0.0 {
+                deltas.push(LeakageBreakdown::ZERO);
+                continue;
+            }
+            let mut il = zeros.clone();
+            il[pin] = x;
+            let sol = eval_loaded(tech, temp, cell, vector, &il, 0.0)?;
+            deltas.push(sol.breakdown - nominal);
+        }
+        input_resp.push(
+            BreakdownLut::from_samples(&grid, &deltas)
+                .ok_or_else(|| SolverError::BadProblem("degenerate input sweep".into()))?,
+        );
+    }
+
+    let mut out_deltas = Vec::with_capacity(grid.len());
+    for &x in &grid {
+        if x == 0.0 {
+            out_deltas.push(LeakageBreakdown::ZERO);
+            continue;
+        }
+        let sol = eval_loaded(tech, temp, cell, vector, &zeros, x)?;
+        out_deltas.push(sol.breakdown - nominal);
+    }
+    let output_resp = BreakdownLut::from_samples(&grid, &out_deltas)
+        .ok_or_else(|| SolverError::BadProblem("degenerate output sweep".into()))?;
+
+    Ok(VectorChar {
+        cell,
+        vector,
+        output_level: nominal_sol.output_level,
+        nominal,
+        pin_currents: nominal_sol.input_pin_currents,
+        input_resp,
+        output_resp,
+    })
+}
+
+/// Characterized responses for every vector of one cell type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellChar {
+    /// The cell type.
+    pub cell: CellType,
+    /// One entry per input vector, indexed by [`InputVector::index`].
+    vectors: Vec<VectorChar>,
+}
+
+impl CellChar {
+    /// Characterizes all `2^k` vectors of `cell`.
+    ///
+    /// # Errors
+    /// Propagates solver failures.
+    pub fn characterize(
+        tech: &Technology,
+        temp: f64,
+        cell: CellType,
+        opts: &CharacterizeOptions,
+    ) -> Result<Self, SolverError> {
+        let mut vectors = Vec::with_capacity(cell.num_vectors());
+        for v in InputVector::all(cell.num_inputs()) {
+            vectors.push(characterize_vector(tech, temp, cell, v, opts)?);
+        }
+        Ok(Self { cell, vectors })
+    }
+
+    /// The characterization for an input vector.
+    ///
+    /// # Panics
+    /// Panics if the vector arity does not match the cell.
+    pub fn vector(&self, v: InputVector) -> &VectorChar {
+        assert_eq!(v.len(), self.cell.num_inputs(), "{}: vector arity", self.cell);
+        &self.vectors[v.index()]
+    }
+
+    /// All characterized vectors, in index order.
+    pub fn vectors(&self) -> &[VectorChar] {
+        &self.vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_device::consts::NA;
+
+    fn opts() -> CharacterizeOptions {
+        CharacterizeOptions::coarse(&[CellType::Inv])
+    }
+
+    #[test]
+    fn inverter_characterization_matches_direct_eval() {
+        let tech = Technology::d25();
+        let v = InputVector::parse("0").unwrap();
+        let ch = characterize_vector(&tech, 300.0, CellType::Inv, v, &opts()).unwrap();
+        // At a grid knot the LUT must reproduce the direct solve
+        // exactly (input axis).
+        let il = 3.5e-6 / 3.0; // second knot of the 4-point grid
+        let direct = eval_loaded(&tech, 300.0, CellType::Inv, v, &[il], 0.0).unwrap();
+        let lut = ch.leakage(&[il], 0.0);
+        let rel = (lut.total() - direct.breakdown.total()).abs() / direct.breakdown.total();
+        assert!(rel < 1e-9, "knot mismatch {rel}");
+        // Between knots, interpolation stays within a fraction of a
+        // percent of the direct solve.
+        let il = 0.8e-6;
+        let direct = eval_loaded(&tech, 300.0, CellType::Inv, v, &[il], 0.0).unwrap();
+        let lut = ch.leakage(&[il], 0.0);
+        let rel = (lut.total() - direct.breakdown.total()).abs() / direct.breakdown.total();
+        assert!(rel < 5e-3, "interp error {rel}");
+    }
+
+    #[test]
+    fn ld_all_zero_at_zero_loading() {
+        let tech = Technology::d25();
+        let v = InputVector::parse("0").unwrap();
+        let ch = characterize_vector(&tech, 300.0, CellType::Inv, v, &opts()).unwrap();
+        assert!(ch.ld_all(&[0.0], 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_loading_effect_positive_for_low_input() {
+        let tech = Technology::d25();
+        let v = InputVector::parse("0").unwrap();
+        let ch = characterize_vector(&tech, 300.0, CellType::Inv, v, &opts()).unwrap();
+        let ld = ch.ld_all(&[3000.0 * NA], 0.0);
+        assert!(ld > 0.01 && ld < 0.25, "LD_ALL = {}%", ld * 100.0);
+    }
+
+    #[test]
+    fn output_loading_effect_negative() {
+        let tech = Technology::d25();
+        let v = InputVector::parse("0").unwrap();
+        let ch = characterize_vector(&tech, 300.0, CellType::Inv, v, &opts()).unwrap();
+        let ld = ch.ld_all(&[0.0], 3000.0 * NA);
+        assert!(ld < 0.0 && ld > -0.10, "LD_ALL = {}%", ld * 100.0);
+    }
+
+    #[test]
+    fn cell_char_indexes_all_vectors() {
+        let tech = Technology::d25();
+        let copts = CharacterizeOptions::coarse(&[CellType::Nand2]);
+        let ch = CellChar::characterize(&tech, 300.0, CellType::Nand2, &copts).unwrap();
+        assert_eq!(ch.vectors().len(), 4);
+        for v in InputVector::all(2) {
+            assert_eq!(ch.vector(v).vector, v);
+            assert_eq!(ch.vector(v).output_level, CellType::Nand2.eval_logic(&v.to_bools()));
+        }
+    }
+
+    #[test]
+    fn nand_additive_combination_close_to_joint_solve() {
+        // Ablation for eq. (5): loading both NAND2 pins at once; the
+        // additive model must stay within ~1% of the joint direct
+        // solve on total leakage.
+        let tech = Technology::d25();
+        let v = InputVector::parse("01").unwrap();
+        let copts = CharacterizeOptions::coarse(&[CellType::Nand2]);
+        let ch = characterize_vector(&tech, 300.0, CellType::Nand2, v, &copts).unwrap();
+        let il = [2000.0 * NA, 2000.0 * NA];
+        let joint = eval_loaded(&tech, 300.0, CellType::Nand2, v, &il, 1000.0 * NA).unwrap();
+        let additive = ch.leakage(&il, 1000.0 * NA);
+        let rel = (additive.total() - joint.breakdown.total()).abs() / joint.breakdown.total();
+        assert!(rel < 0.01, "additive vs joint = {}%", rel * 100.0);
+    }
+}

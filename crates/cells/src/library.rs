@@ -1,0 +1,152 @@
+//! The characterized cell library and its process-wide cache.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nanoleak_device::Technology;
+use nanoleak_solver::SolverError;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cell_type::CellType;
+use crate::characterize::{CellChar, CharacterizeOptions, VectorChar};
+use crate::vector::InputVector;
+
+/// A fully characterized standard-cell library for one technology and
+/// temperature — the `f(I_L, O_L)` data the paper's Fig. 13 algorithm
+/// takes as input.
+///
+/// Libraries are serde-serializable so a harness can cache them on disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// The technology the library was characterized for.
+    pub tech: Technology,
+    /// Characterization temperature \[K\].
+    pub temp: f64,
+    /// Options used for the sweeps.
+    pub options: CharacterizeOptions,
+    cells: BTreeMap<CellType, CellChar>,
+}
+
+impl CellLibrary {
+    /// Characterizes every cell in `opts.cells`.
+    ///
+    /// # Errors
+    /// Propagates solver failures from the underlying sweeps.
+    pub fn characterize(
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<Self, SolverError> {
+        let mut cells = BTreeMap::new();
+        for &cell in &opts.cells {
+            cells.insert(cell, CellChar::characterize(tech, temp, cell, opts)?);
+        }
+        Ok(Self { tech: tech.clone(), temp, options: opts.clone(), cells })
+    }
+
+    /// The characterization of one cell type, if present.
+    pub fn cell(&self, cell: CellType) -> Option<&CellChar> {
+        self.cells.get(&cell)
+    }
+
+    /// The characterization of one (cell, vector) state, if present.
+    pub fn vector_char(&self, cell: CellType, vector: InputVector) -> Option<&VectorChar> {
+        self.cells.get(&cell).map(|c| c.vector(vector))
+    }
+
+    /// Iterates the characterized cell types.
+    pub fn cell_types(&self) -> impl Iterator<Item = CellType> + '_ {
+        self.cells.keys().copied()
+    }
+
+    /// Number of characterized cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// A process-wide shared library for `tech` at `temp` with default
+    /// options, characterized on first use. Characterization takes a
+    /// few seconds for the full family; sharing avoids re-running it in
+    /// every test or benchmark.
+    pub fn shared(tech: &Technology, temp: f64) -> Arc<CellLibrary> {
+        Self::shared_with_options(tech, temp, &CharacterizeOptions::default())
+    }
+
+    /// Like [`CellLibrary::shared`], but keyed on explicit options.
+    ///
+    /// # Panics
+    /// Panics if the characterization fails to converge (the default
+    /// technologies are guaranteed to).
+    pub fn shared_with_options(
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Arc<CellLibrary> {
+        static CACHE: Mutex<Vec<(String, Arc<CellLibrary>)>> = Mutex::new(Vec::new());
+        let cell_sig: String = opts.cells.iter().map(|c| c.name()).collect::<Vec<_>>().join(",");
+        let key = format!(
+            "{}@{}mK/{}pts/{:e}/{}",
+            tech.name,
+            (temp * 1000.0).round() as u64,
+            opts.points,
+            opts.max_loading,
+            cell_sig
+        );
+        let mut cache = CACHE.lock();
+        if let Some((_, lib)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(lib);
+        }
+        let lib = Arc::new(
+            Self::characterize(tech, temp, opts)
+                .expect("shared-library characterization must converge"),
+        );
+        cache.push((key, Arc::clone(&lib)));
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts() -> CharacterizeOptions {
+        CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2])
+    }
+
+    #[test]
+    fn characterizes_requested_cells_only() {
+        let tech = Technology::d25();
+        let lib = CellLibrary::characterize(&tech, 300.0, &small_opts()).unwrap();
+        assert_eq!(lib.cell_count(), 2);
+        assert!(lib.cell(CellType::Inv).is_some());
+        assert!(lib.cell(CellType::Nor2).is_none());
+        assert!(lib.vector_char(CellType::Nand2, InputVector::parse("10").unwrap()).is_some());
+        assert!(lib.vector_char(CellType::Nor3, InputVector::parse("000").unwrap()).is_none());
+    }
+
+    #[test]
+    fn library_equality_after_clone() {
+        let tech = Technology::d25();
+        let lib = CellLibrary::characterize(
+            &tech,
+            300.0,
+            &CharacterizeOptions::coarse(&[CellType::Inv]),
+        )
+        .unwrap();
+        let copy = lib.clone();
+        assert_eq!(copy, lib);
+    }
+
+    #[test]
+    fn shared_cache_returns_same_instance() {
+        let tech = Technology::d25();
+        let opts = CharacterizeOptions::coarse(&[CellType::Inv]);
+        let a = CellLibrary::shared_with_options(&tech, 300.0, &opts);
+        let b = CellLibrary::shared_with_options(&tech, 300.0, &opts);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different temperature is a different cache entry.
+        let c = CellLibrary::shared_with_options(&tech, 310.0, &opts);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

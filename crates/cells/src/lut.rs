@@ -1,0 +1,157 @@
+//! Small interpolation tables for the characterized loading responses.
+
+use nanoleak_device::LeakageBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional piecewise-linear table `y(x)` with linear
+/// extrapolation beyond the sampled range.
+///
+/// ```
+/// use nanoleak_cells::Lut1;
+/// let lut = Lut1::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 15.0]).unwrap();
+/// assert_eq!(lut.eval(0.5), 5.0);
+/// assert_eq!(lut.eval(3.0), 20.0); // extrapolated from the last segment
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lut1 {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Lut1 {
+    /// Creates a table from strictly increasing abscissae.
+    ///
+    /// Returns `None` if fewer than two points are given, lengths
+    /// differ, or `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Option<Self> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return None;
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(Self { xs, ys })
+    }
+
+    /// Interpolated (or extrapolated) value at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        // Segment selection: clamp to the end segments for
+        // extrapolation.
+        let seg = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => return self.ys[i],
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let (x0, x1) = (self.xs[seg], self.xs[seg + 1]);
+        let (y0, y1) = (self.ys[seg], self.ys[seg + 1]);
+        y0 + (x - x0) * (y1 - y0) / (x1 - x0)
+    }
+
+    /// The sampled abscissae.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The sampled ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Largest sampled abscissa.
+    pub fn x_max(&self) -> f64 {
+        *self.xs.last().expect("lut has at least two points")
+    }
+}
+
+/// Per-component delta tables: loading magnitude \[A\] to leakage
+/// *change* \[A\] for each mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownLut {
+    /// Subthreshold delta.
+    pub sub: Lut1,
+    /// Gate-tunneling delta.
+    pub gate: Lut1,
+    /// Junction BTBT delta.
+    pub btbt: Lut1,
+}
+
+impl BreakdownLut {
+    /// Builds the three tables from a common abscissa grid and sampled
+    /// breakdown deltas. Returns `None` on malformed inputs.
+    pub fn from_samples(xs: &[f64], deltas: &[LeakageBreakdown]) -> Option<Self> {
+        if xs.len() != deltas.len() {
+            return None;
+        }
+        Some(Self {
+            sub: Lut1::new(xs.to_vec(), deltas.iter().map(|d| d.sub).collect())?,
+            gate: Lut1::new(xs.to_vec(), deltas.iter().map(|d| d.gate).collect())?,
+            btbt: Lut1::new(xs.to_vec(), deltas.iter().map(|d| d.btbt).collect())?,
+        })
+    }
+
+    /// Interpolated delta breakdown at loading magnitude `x` \[A\].
+    pub fn eval(&self, x: f64) -> LeakageBreakdown {
+        LeakageBreakdown { sub: self.sub.eval(x), gate: self.gate.eval(x), btbt: self.btbt.eval(x) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert!(Lut1::new(vec![0.0], vec![1.0]).is_none());
+        assert!(Lut1::new(vec![0.0, 1.0], vec![1.0]).is_none());
+        assert!(Lut1::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_none());
+        assert!(Lut1::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_none());
+        assert!(Lut1::new(vec![0.0, f64::NAN], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn exact_knots_are_returned() {
+        let lut = Lut1::new(vec![0.0, 1.0, 4.0], vec![1.0, 3.0, 9.0]).unwrap();
+        assert_eq!(lut.eval(0.0), 1.0);
+        assert_eq!(lut.eval(1.0), 3.0);
+        assert_eq!(lut.eval(4.0), 9.0);
+    }
+
+    #[test]
+    fn interpolation_is_linear_within_segments() {
+        let lut = Lut1::new(vec![0.0, 2.0], vec![0.0, 10.0]).unwrap();
+        assert!((lut.eval(0.6) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_uses_end_segments() {
+        let lut = Lut1::new(vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 4.0]).unwrap();
+        assert!((lut.eval(0.0) - 0.0).abs() < 1e-12); // slope 1 below
+        assert!((lut.eval(4.0) - 6.0).abs() < 1e-12); // slope 2 above
+    }
+
+    #[test]
+    fn breakdown_lut_round_trips_samples() {
+        let xs = [0.0, 1e-6, 2e-6];
+        let deltas = [
+            LeakageBreakdown::ZERO,
+            LeakageBreakdown { sub: 1e-9, gate: -2e-10, btbt: 0.0 },
+            LeakageBreakdown { sub: 2e-9, gate: -3e-10, btbt: -1e-11 },
+        ];
+        let b = BreakdownLut::from_samples(&xs, &deltas).unwrap();
+        let mid = b.eval(0.5e-6);
+        assert!((mid.sub - 0.5e-9).abs() < 1e-18);
+        assert!((mid.gate + 1e-10).abs() < 1e-18);
+        let at = b.eval(2e-6);
+        assert!((at.btbt + 1e-11).abs() < 1e-20);
+    }
+
+    #[test]
+    fn breakdown_lut_rejects_mismatched_lengths() {
+        assert!(BreakdownLut::from_samples(&[0.0], &[]).is_none());
+    }
+}

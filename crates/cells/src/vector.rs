@@ -1,0 +1,173 @@
+//! Compact input vectors for cells (up to 8 pins).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An assignment of logic levels to a cell's input pins.
+///
+/// Bit `i` corresponds to input pin `i`; the display form prints pin 0
+/// first, matching the paper's `"01"` / `"10"` NAND-vector notation
+/// where the first character is Input-1.
+///
+/// ```
+/// use nanoleak_cells::InputVector;
+/// let v = InputVector::from_bits(0b10, 2); // pin0 = 0, pin1 = 1
+/// assert_eq!(v.to_string(), "01");
+/// assert!(!v.bit(0));
+/// assert!(v.bit(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InputVector {
+    bits: u8,
+    len: u8,
+}
+
+impl InputVector {
+    /// Creates a vector from a bit pattern (`bit i` = pin `i`) and a pin
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `len > 8` or if `bits` has bits set beyond `len`.
+    pub fn from_bits(bits: u8, len: usize) -> Self {
+        assert!(len <= 8, "at most 8 pins supported");
+        assert!(len == 8 || bits < (1u8 << len), "bits beyond pin count");
+        Self { bits, len: len as u8 }
+    }
+
+    /// Creates a vector from booleans (index = pin).
+    pub fn from_bools(levels: &[bool]) -> Self {
+        assert!(levels.len() <= 8, "at most 8 pins supported");
+        let mut bits = 0u8;
+        for (i, &b) in levels.iter().enumerate() {
+            if b {
+                bits |= 1 << i;
+            }
+        }
+        Self { bits, len: levels.len() as u8 }
+    }
+
+    /// Parses the display form (`"01"` = pin0 low, pin1 high).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() > 8 || s.is_empty() {
+            return None;
+        }
+        let mut bits = 0u8;
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => bits |= 1 << i,
+                _ => return None,
+            }
+        }
+        Some(Self { bits, len: s.len() as u8 })
+    }
+
+    /// Logic level of pin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len as usize, "pin {i} out of range");
+        self.bits & (1 << i) != 0
+    }
+
+    /// Number of pins.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Dense index (`bits` as usize) for table lookups.
+    pub fn index(&self) -> usize {
+        self.bits as usize
+    }
+
+    /// Iterates the pin levels, pin 0 first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len as usize).map(move |i| self.bit(i))
+    }
+
+    /// Pin levels as a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// All `2^len` vectors for a pin count, in index order.
+    pub fn all(len: usize) -> impl Iterator<Item = InputVector> {
+        assert!(len <= 8, "at most 8 pins supported");
+        (0..(1usize << len)).map(move |bits| InputVector::from_bits(bits as u8, len))
+    }
+
+    /// Returns a copy with pin `i` flipped.
+    #[must_use]
+    pub fn flipped(&self, i: usize) -> Self {
+        assert!(i < self.len as usize, "pin {i} out of range");
+        Self { bits: self.bits ^ (1 << i), len: self.len }
+    }
+
+    /// Number of pins at logic 1.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+}
+
+impl fmt::Display for InputVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len as usize {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_layout_and_display() {
+        let v = InputVector::from_bools(&[true, false, false]);
+        assert_eq!(v.to_string(), "100");
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert_eq!(v.index(), 1);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["0", "1", "01", "10", "1101"] {
+            assert_eq!(InputVector::parse(s).unwrap().to_string(), s);
+        }
+        assert_eq!(InputVector::parse("2"), None);
+        assert_eq!(InputVector::parse(""), None);
+    }
+
+    #[test]
+    fn all_enumerates_every_vector() {
+        let all: Vec<_> = InputVector::all(2).collect();
+        assert_eq!(all.len(), 4);
+        let strings: Vec<String> = all.iter().map(|v| v.to_string()).collect();
+        assert_eq!(strings, vec!["00", "10", "01", "11"]);
+    }
+
+    #[test]
+    fn flip_and_count() {
+        let v = InputVector::parse("01").unwrap();
+        assert_eq!(v.flipped(0).to_string(), "11");
+        assert_eq!(v.count_ones(), 1);
+        assert_eq!(v.flipped(1).count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        InputVector::parse("01").unwrap().bit(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond pin count")]
+    fn stray_bits_rejected() {
+        InputVector::from_bits(0b100, 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Estimation error types.
+
+use std::error::Error;
+use std::fmt;
+
+use nanoleak_cells::CellType;
+use nanoleak_solver::SolverError;
+
+/// Errors from circuit-level leakage estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// The cell library lacks a characterization for a used cell type.
+    MissingCell(CellType),
+    /// A transistor-level solve failed (direct-solve mode or the
+    /// reference simulator).
+    Solver(SolverError),
+    /// Pattern arity did not match the circuit.
+    BadPattern(String),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::MissingCell(cell) => {
+                write!(f, "cell library has no characterization for '{cell}'")
+            }
+            EstimateError::Solver(e) => write!(f, "transistor-level solve failed: {e}"),
+            EstimateError::BadPattern(msg) => write!(f, "bad pattern: {msg}"),
+        }
+    }
+}
+
+impl Error for EstimateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EstimateError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for EstimateError {
+    fn from(e: SolverError) -> Self {
+        EstimateError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EstimateError::MissingCell(CellType::Nor3);
+        assert!(e.to_string().contains("nor3"));
+        let e: EstimateError = SolverError::BadProblem("x".into()).into();
+        assert!(e.to_string().contains("solve failed"));
+    }
+
+    #[test]
+    fn source_chains_solver_errors() {
+        let e: EstimateError = SolverError::BadProblem("y".into()).into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&EstimateError::MissingCell(CellType::Inv)).is_none());
+    }
+}

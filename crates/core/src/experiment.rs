@@ -1,0 +1,148 @@
+//! The paper's circuit-level experiment (Fig. 12): run a benchmark
+//! circuit over random vectors, with and without loading, against the
+//! reference simulator.
+
+use nanoleak_cells::CellLibrary;
+use nanoleak_device::Technology;
+use nanoleak_netlist::{Circuit, Pattern};
+use rand::SeedableRng;
+
+use crate::error::EstimateError;
+use crate::estimator::{estimate_batch, EstimatorMode};
+use crate::reference::{reference_batch, ReferenceOptions};
+use crate::report::{accuracy, Accuracy, CircuitLeakage, LoadingImpact};
+
+/// Configuration of a Fig. 12-style run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of random vectors (the paper uses 100).
+    pub vectors: usize,
+    /// RNG seed for the vectors.
+    pub seed: u64,
+    /// Whether to also run the (much slower) reference simulator.
+    pub with_reference: bool,
+    /// Reference solver options.
+    pub reference: ReferenceOptions,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            vectors: 100,
+            seed: 2005,
+            with_reference: true,
+            reference: ReferenceOptions::default(),
+        }
+    }
+}
+
+/// Results of one circuit's experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Circuit name.
+    pub name: String,
+    /// Gate count.
+    pub gates: usize,
+    /// Mean estimated total leakage with loading \[A\].
+    pub est_loaded_mean: f64,
+    /// Mean estimated total leakage without loading \[A\].
+    pub est_unloaded_mean: f64,
+    /// Mean reference ("SPICE") total leakage \[A\], when run.
+    pub reference_mean: Option<f64>,
+    /// Estimator-vs-reference accuracy averaged over vectors.
+    pub accuracy_mean: Option<Accuracy>,
+    /// Fig. 12b/12c loading-impact statistics (loaded vs unloaded
+    /// estimates).
+    pub impact: LoadingImpact,
+}
+
+/// Runs the experiment for one circuit.
+///
+/// # Errors
+/// Propagates estimation/reference failures.
+pub fn run_experiment(
+    circuit: &Circuit,
+    tech: &Technology,
+    library: &CellLibrary,
+    config: &ExperimentConfig,
+) -> Result<ExperimentResult, EstimateError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let patterns = Pattern::random_batch(circuit, &mut rng, config.vectors);
+
+    let loaded = estimate_batch(circuit, library, &patterns, EstimatorMode::Lut)?;
+    let unloaded = estimate_batch(circuit, library, &patterns, EstimatorMode::NoLoading)?;
+
+    let pairs: Vec<(CircuitLeakage, CircuitLeakage)> =
+        loaded.iter().cloned().zip(unloaded.iter().cloned()).collect();
+    let impact = LoadingImpact::from_pairs(&pairs);
+
+    let mean = |xs: &[CircuitLeakage]| {
+        xs.iter().map(|r| r.total.total()).sum::<f64>() / xs.len() as f64
+    };
+
+    let (reference_mean, accuracy_mean) = if config.with_reference {
+        let refs = reference_batch(circuit, tech, library.temp, &patterns, &config.reference)?;
+        let acc: Vec<Accuracy> =
+            loaded.iter().zip(&refs).map(|(e, r)| accuracy(e, &r.leakage)).collect();
+        let n = acc.len() as f64;
+        let mean_acc = Accuracy {
+            total_rel_err: acc.iter().map(|a| a.total_rel_err).sum::<f64>() / n,
+            mean_gate_rel_err: acc.iter().map(|a| a.mean_gate_rel_err).sum::<f64>() / n,
+            max_gate_rel_err: acc.iter().map(|a| a.max_gate_rel_err).fold(0.0, f64::max),
+        };
+        let ref_mean = refs.iter().map(|r| r.leakage.total.total()).sum::<f64>() / n;
+        (Some(ref_mean), Some(mean_acc))
+    } else {
+        (None, None)
+    };
+
+    Ok(ExperimentResult {
+        name: circuit.name().to_string(),
+        gates: circuit.gate_count(),
+        est_loaded_mean: mean(&loaded),
+        est_unloaded_mean: mean(&unloaded),
+        reference_mean,
+        accuracy_mean,
+        impact,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::{CellType, CharacterizeOptions};
+    use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+    use nanoleak_netlist::normalize::normalize;
+
+    #[test]
+    fn small_random_circuit_end_to_end() {
+        let tech = Technology::d25();
+        let lib = CellLibrary::shared_with_options(
+            &tech,
+            300.0,
+            &CharacterizeOptions::coarse(&CellType::ALL),
+        );
+        let raw = random_circuit(&RandomCircuitSpec::new("exp", 6, 3, 40, 2, 77));
+        let circuit = normalize(&raw).unwrap();
+        let config = ExperimentConfig { vectors: 4, with_reference: true, ..Default::default() };
+        let result = run_experiment(&circuit, &tech, &lib, &config).unwrap();
+
+        // The estimator must land close to the reference.
+        let acc = result.accuracy_mean.unwrap();
+        assert!(
+            acc.total_rel_err.abs() < 0.03,
+            "total error vs reference = {}%",
+            acc.total_rel_err * 100.0
+        );
+        // Loading moves subthreshold up and gate/BTBT down on average
+        // (paper Fig. 12b signs).
+        assert!(result.impact.avg.sub > 0.0, "{:?}", result.impact);
+        assert!(result.impact.avg.gate <= 0.005, "{:?}", result.impact);
+        // The net total change is positive and modest (paper: ~5%).
+        assert!(
+            result.impact.avg_total > 0.0 && result.impact.avg_total < 0.15,
+            "avg total change = {}%",
+            result.impact.avg_total * 100.0
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! # nanoleak-core
+//!
+//! The primary contribution of the *nanoleak* reproduction of
+//! Mukhopadhyay, Bhunia & Roy, DATE 2005: fast, loading-effect-aware
+//! estimation of total leakage in nano-scale CMOS logic circuits from
+//! their gate-level description.
+//!
+//! * [`estimator`] — the paper's Fig. 13 algorithm: one topological
+//!   pass computing per-net loading currents from characterized
+//!   gate-pin tunneling currents, then per-gate leakage as
+//!   `f(I_L-IN, I_L-OUT)` lookups. Modes: `NoLoading` (traditional
+//!   baseline), `Lut` (the paper's method), `DirectSolve` (ablation).
+//! * [`mod@reference`] — the full-circuit nonlinear solver standing in for
+//!   SPICE: no truncation, loading propagates everywhere; this is the
+//!   accuracy yardstick of Fig. 12a and the denominator of the paper's
+//!   ~1000x speedup claim.
+//! * [`loading`] — per-net loading-current bookkeeping.
+//! * [`report`] / [`experiment`] — leakage reports, loading-impact
+//!   statistics (Figs. 12b/12c) and the batch experiment driver.
+//!
+//! ## Example
+//!
+//! ```
+//! use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+//! use nanoleak_core::{estimate, EstimatorMode};
+//! use nanoleak_device::Technology;
+//! use nanoleak_netlist::{CircuitBuilder, Pattern};
+//!
+//! let tech = Technology::d25();
+//! let lib = CellLibrary::shared_with_options(
+//!     &tech, 300.0, &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]));
+//!
+//! let mut b = CircuitBuilder::new("demo");
+//! let a = b.add_input("a");
+//! let x = b.add_gate(CellType::Inv, &[a], "x");
+//! let y = b.add_gate(CellType::Nand2, &[a, x], "y");
+//! b.mark_output(y);
+//! let circuit = b.build()?;
+//!
+//! let with = estimate(&circuit, &lib, &Pattern::zeros(&circuit), EstimatorMode::Lut)?;
+//! let without = estimate(&circuit, &lib, &Pattern::zeros(&circuit), EstimatorMode::NoLoading)?;
+//! println!("loading changes leakage by {:.2}%",
+//!          100.0 * with.total_relative_change(&without));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod error;
+pub mod estimator;
+pub mod experiment;
+pub mod loading;
+pub mod reference;
+pub mod report;
+
+pub use error::EstimateError;
+pub use estimator::{estimate, estimate_batch, EstimatorMode};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use loading::LoadingState;
+pub use reference::{reference_batch, reference_leakage, ReferenceOptions, ReferenceResult};
+pub use report::{accuracy, Accuracy, CircuitLeakage, LoadingImpact};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+    use nanoleak_device::Technology;
+    use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+    use nanoleak_netlist::normalize::normalize;
+    use nanoleak_netlist::Pattern;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// On random circuits and patterns, the LUT estimator stays
+        /// within a few percent of the untruncated reference, and the
+        /// no-loading baseline is finite and positive.
+        #[test]
+        fn estimator_tracks_reference(seed in any::<u64>()) {
+            let tech = Technology::d25();
+            let lib = CellLibrary::shared_with_options(
+                &tech, 300.0, &CharacterizeOptions::coarse(&CellType::ALL));
+            let raw = random_circuit(&RandomCircuitSpec::new("prop", 5, 2, 25, 1, seed));
+            let circuit = normalize(&raw).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+            let p = Pattern::random(&circuit, &mut rng);
+
+            let est = estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap();
+            let rf = reference_leakage(&circuit, &tech, 300.0, &p, &ReferenceOptions::default())
+                .unwrap();
+            let acc = accuracy(&est, &rf.leakage);
+            prop_assert!(
+                acc.total_rel_err.abs() < 0.05,
+                "total err {}%", acc.total_rel_err * 100.0
+            );
+            prop_assert!(est.total.total() > 0.0);
+        }
+    }
+}

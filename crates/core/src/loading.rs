@@ -1,0 +1,168 @@
+//! Per-net loading currents from characterized pin currents.
+//!
+//! The loading current of a net is the sum of the gate-tunneling pin
+//! currents of the cells attached to it (paper Section 4). All pins on
+//! a net see the same logic level, so their signed pin currents agree
+//! in sign and the magnitudes add.
+
+use nanoleak_cells::{CellLibrary, InputVector};
+use nanoleak_netlist::{Circuit, GateId};
+
+use crate::error::EstimateError;
+
+/// Per-gate input vectors plus per-net summed pin currents for one
+/// pattern — the intermediate state of the Fig. 13 algorithm.
+#[derive(Debug, Clone)]
+pub struct LoadingState {
+    /// Input vector seen by each gate, indexed by `GateId.0`.
+    pub gate_vectors: Vec<InputVector>,
+    /// Signed pin current of each (gate, pin), indexed like the gate's
+    /// inputs \[A\].
+    pub pin_currents: Vec<Vec<f64>>,
+    /// Sum of pin currents per net \[A\] (signed; all contributors
+    /// share a sign).
+    pub net_current: Vec<f64>,
+}
+
+impl LoadingState {
+    /// Builds the loading state for `circuit` under the given net
+    /// logic values.
+    ///
+    /// # Errors
+    /// [`EstimateError::MissingCell`] if the library lacks a used cell.
+    pub fn build(
+        circuit: &Circuit,
+        library: &CellLibrary,
+        values: &[bool],
+    ) -> Result<Self, EstimateError> {
+        let n_gates = circuit.gate_count();
+        let mut gate_vectors = Vec::with_capacity(n_gates);
+        let mut pin_currents = Vec::with_capacity(n_gates);
+        let mut net_current = vec![0.0; circuit.net_count()];
+
+        for gid in 0..n_gates {
+            let gate = circuit.gate(GateId(gid));
+            let bools: Vec<bool> = gate.inputs.iter().map(|n| values[n.0]).collect();
+            let vector = InputVector::from_bools(&bools);
+            let vc = library
+                .vector_char(gate.cell, vector)
+                .ok_or(EstimateError::MissingCell(gate.cell))?;
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                net_current[net.0] += vc.pin_currents[pin];
+            }
+            pin_currents.push(vc.pin_currents.clone());
+            gate_vectors.push(vector);
+        }
+        Ok(Self { gate_vectors, pin_currents, net_current })
+    }
+
+    /// Input-loading magnitude seen by `gate` on input `pin`: the
+    /// summed pin currents of the *other* gates on that net (the gate's
+    /// own pin is the measurement fixture's own load and is excluded,
+    /// per the paper's definition).
+    pub fn input_loading(&self, circuit: &Circuit, gate: GateId, pin: usize) -> f64 {
+        let net = circuit.gate(gate).inputs[pin];
+        // Ideal sources hold primary-input nets; no loading shift there.
+        match circuit.net_driver(net) {
+            nanoleak_netlist::Driver::Input | nanoleak_netlist::Driver::StateInput => 0.0,
+            nanoleak_netlist::Driver::Gate(_) => {
+                (self.net_current[net.0] - self.pin_currents[gate.0][pin]).abs()
+            }
+        }
+    }
+
+    /// Output-loading magnitude seen by `gate`: the summed pin currents
+    /// of every gate its output net drives.
+    pub fn output_loading(&self, circuit: &Circuit, gate: GateId) -> f64 {
+        let net = circuit.gate(gate).output;
+        self.net_current[net.0].abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::{CellType, CharacterizeOptions};
+    use nanoleak_device::Technology;
+    use nanoleak_netlist::logic::simulate;
+    use nanoleak_netlist::CircuitBuilder;
+
+    fn library() -> std::sync::Arc<CellLibrary> {
+        CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]),
+        )
+    }
+
+    /// A driver inverter fanning out to `n` inverters.
+    fn fanout_circuit(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("fanout");
+        let a = b.add_input("a");
+        let mid = b.add_gate(CellType::Inv, &[a], "mid");
+        for i in 0..n {
+            let y = b.add_gate(CellType::Inv, &[mid], &format!("y{i}"));
+            b.mark_output(y);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn net_current_sums_fanout_pins() {
+        let circuit = fanout_circuit(6);
+        let lib = library();
+        let values = simulate(&circuit, &[false], &[]);
+        let state = LoadingState::build(&circuit, &lib, &values).unwrap();
+        let mid = circuit.find_net("mid").unwrap();
+        // mid is at logic 1: all six fanout inverters draw current.
+        let single = state.pin_currents[1][0];
+        assert!(single > 0.0);
+        assert!((state.net_current[mid.0] - 6.0 * single).abs() < 1e-15);
+    }
+
+    #[test]
+    fn own_pin_excluded_from_input_loading() {
+        let circuit = fanout_circuit(6);
+        let lib = library();
+        let values = simulate(&circuit, &[false], &[]);
+        let state = LoadingState::build(&circuit, &lib, &values).unwrap();
+        // Gate 1 (first fanout inverter): its input loading is the
+        // other five pins.
+        let il = state.input_loading(&circuit, GateId(1), 0);
+        let single = state.pin_currents[1][0].abs();
+        assert!((il - 5.0 * single).abs() < 1e-15);
+    }
+
+    #[test]
+    fn output_loading_counts_all_pins() {
+        let circuit = fanout_circuit(6);
+        let lib = library();
+        let values = simulate(&circuit, &[false], &[]);
+        let state = LoadingState::build(&circuit, &lib, &values).unwrap();
+        let ol = state.output_loading(&circuit, GateId(0));
+        let single = state.pin_currents[1][0].abs();
+        assert!((ol - 6.0 * single).abs() < 1e-15);
+    }
+
+    #[test]
+    fn primary_input_nets_have_zero_input_loading() {
+        let circuit = fanout_circuit(2);
+        let lib = library();
+        let values = simulate(&circuit, &[false], &[]);
+        let state = LoadingState::build(&circuit, &lib, &values).unwrap();
+        assert_eq!(state.input_loading(&circuit, GateId(0), 0), 0.0);
+    }
+
+    #[test]
+    fn missing_cell_reported() {
+        let mut b = CircuitBuilder::new("nor");
+        let a = b.add_input("a");
+        let x = b.add_gate(CellType::Nor2, &[a, a], "x");
+        b.mark_output(x);
+        let circuit = b.build().unwrap();
+        let lib = library(); // has only INV and NAND2
+        let values = simulate(&circuit, &[false], &[]);
+        let err = LoadingState::build(&circuit, &lib, &values).unwrap_err();
+        assert!(matches!(err, EstimateError::MissingCell(CellType::Nor2)));
+    }
+}

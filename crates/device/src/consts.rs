@@ -1,0 +1,117 @@
+//! Physical constants and silicon material parameters.
+//!
+//! Everything in this crate is expressed in SI units (amperes, volts,
+//! meters, kelvins). The constants here are the only place where raw
+//! physical magnitudes enter the models.
+
+/// Elementary charge \[C\].
+pub const Q: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant \[J/K\].
+pub const KB: f64 = 1.380_649e-23;
+
+/// Vacuum permittivity \[F/m\].
+pub const EPS0: f64 = 8.854_187_812_8e-12;
+
+/// Relative permittivity of silicon.
+pub const EPS_R_SI: f64 = 11.7;
+
+/// Relative permittivity of SiO2.
+pub const EPS_R_OX: f64 = 3.9;
+
+/// Permittivity of silicon \[F/m\].
+pub const EPS_SI: f64 = EPS_R_SI * EPS0;
+
+/// Permittivity of SiO2 \[F/m\].
+pub const EPS_OX: f64 = EPS_R_OX * EPS0;
+
+/// Silicon band gap at 0 K \[eV\] (Varshni parameterization).
+pub const EG_0K_EV: f64 = 1.17;
+
+/// Varshni alpha for silicon \[eV/K\].
+pub const VARSHNI_ALPHA: f64 = 4.73e-4;
+
+/// Varshni beta for silicon \[K\].
+pub const VARSHNI_BETA: f64 = 636.0;
+
+/// Reference (room) temperature used for parameter extraction \[K\].
+pub const T_REF: f64 = 300.0;
+
+/// One nanoampere \[A\]; handy for reporting.
+pub const NA: f64 = 1e-9;
+
+/// One nanometer \[m\]; handy for geometry literals.
+pub const NM: f64 = 1e-9;
+
+/// Thermal voltage `kT/q` at temperature `t` \[V\].
+///
+/// # Examples
+/// ```
+/// let vt = nanoleak_device::consts::thermal_voltage(300.0);
+/// assert!((vt - 0.02585).abs() < 1e-4);
+/// ```
+#[inline]
+pub fn thermal_voltage(t: f64) -> f64 {
+    KB * t / Q
+}
+
+/// Silicon band gap at temperature `t` \[eV\] (Varshni equation).
+///
+/// Narrows from 1.12 eV at 300 K to ~1.10 eV at 400 K, which is what makes
+/// junction BTBT increase mildly with temperature (paper Fig. 4c).
+///
+/// # Examples
+/// ```
+/// let eg300 = nanoleak_device::consts::band_gap_ev(300.0);
+/// assert!((eg300 - 1.12).abs() < 0.01);
+/// ```
+#[inline]
+pub fn band_gap_ev(t: f64) -> f64 {
+    EG_0K_EV - VARSHNI_ALPHA * t * t / (t + VARSHNI_BETA)
+}
+
+/// Intrinsic carrier concentration of silicon \[m^-3\].
+///
+/// Uses the common power-law/exponential fit; ~1.0e16 m^-3 (1e10 cm^-3)
+/// near room temperature.
+#[inline]
+pub fn intrinsic_concentration(t: f64) -> f64 {
+    // 5.29e19 cm^-3 * (T/300)^2.54 * exp(-6726/T), converted to m^-3.
+    5.29e19 * 1e6 * (t / 300.0).powf(2.54) * (-6726.0 / t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_room_temperature() {
+        assert!((thermal_voltage(300.0) - 0.025852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        assert!((thermal_voltage(600.0) / thermal_voltage(300.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_gap_narrows_with_temperature() {
+        let e300 = band_gap_ev(300.0);
+        let e400 = band_gap_ev(400.0);
+        assert!(e300 > e400, "band gap must narrow as T rises");
+        assert!((e300 - 1.124).abs() < 5e-3);
+        assert!((e400 - 1.097).abs() < 5e-3);
+    }
+
+    #[test]
+    fn intrinsic_concentration_room_temperature_order() {
+        let ni = intrinsic_concentration(300.0);
+        // ~1e10 cm^-3 == 1e16 m^-3, allow a factor ~2.
+        assert!(ni > 4e15 && ni < 3e16, "ni(300K) = {ni:e}");
+    }
+
+    #[test]
+    fn intrinsic_concentration_increases_with_temperature() {
+        assert!(intrinsic_concentration(400.0) > 100.0 * intrinsic_concentration(300.0));
+    }
+}

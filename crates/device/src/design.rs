@@ -1,0 +1,353 @@
+//! Device design: the inputs a process/device engineer controls.
+//!
+//! A [`DeviceDesign`] bundles geometry, doping and a leakage "flavor"
+//! (calibration multipliers), and [`DeviceDesign::derive`] turns it into
+//! the electrical [`MosParams`] used by the current models. Keeping the
+//! derivation explicit is what lets process variation (ΔL, ΔTox, ΔVth)
+//! flow through to *all* dependent electrical parameters, exactly as in
+//! the paper's Monte-Carlo study (Section 5.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::consts::{
+    intrinsic_concentration, thermal_voltage, EPS_OX, EPS_SI, Q, T_REF,
+};
+use crate::doping::Doping;
+use crate::geometry::Geometry;
+use crate::params::MosParams;
+use crate::MosKind;
+
+/// Calibration multipliers that re-balance the three leakage components
+/// without changing the underlying physics. Used to realize the paper's
+/// `D25-S` / `D25-G` / `D25-JN` devices (Section 5.1), which have equal
+/// total leakage but a different dominant mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlavorScales {
+    /// Multiplier on the gate direct-tunneling transmission coefficient.
+    pub gate_mult: f64,
+    /// Multiplier on the junction BTBT coefficient.
+    pub btbt_mult: f64,
+    /// Additive shift on the threshold voltage \[V\] (moves subthreshold
+    /// leakage exponentially).
+    pub vth_shift: f64,
+}
+
+impl FlavorScales {
+    /// Neutral flavor: physics as derived, no re-balancing.
+    pub const NEUTRAL: Self = Self { gate_mult: 1.0, btbt_mult: 1.0, vth_shift: 0.0 };
+}
+
+impl Default for FlavorScales {
+    fn default() -> Self {
+        Self::NEUTRAL
+    }
+}
+
+/// Per-polarity technology constants: the fixed, kind-dependent numbers
+/// of the compact models (mobilities, tunneling barriers, calibration
+/// anchors). These encode the NMOS/PMOS asymmetries the paper's analysis
+/// rests on:
+///
+/// * PMOS has the worse short-channel effect — larger DIBL prefactor and
+///   larger interface/depletion capacitance (worse subthreshold swing),
+///   so PMOS subthreshold leakage is *less* sensitive to `Vgs` and
+///   *more* sensitive to `Vds` than NMOS (paper Section 4).
+/// * NMOS gate tunneling (electrons, 3.1 eV barrier) is roughly an order
+///   of magnitude stronger than PMOS (holes, 4.5 eV barrier).
+/// * PMOS junction BTBT is a few times larger than NMOS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindConstants {
+    /// Flat-band + workfunction lump entering the long-channel Vth \[V\].
+    pub vth_fb: f64,
+    /// Interface-state capacitance adding to the depletion capacitance
+    /// in the subthreshold swing factor \[F/m^2\].
+    pub cit: f64,
+    /// DIBL prefactor; `eta = eta0 * exp(-L / (2 lambda))`.
+    pub eta0: f64,
+    /// Vth roll-off prefactor \[V\]; same exponential length dependence.
+    pub dvth_rolloff0: f64,
+    /// Threshold temperature coefficient \[V/K\].
+    pub kappa_t: f64,
+    /// Low-field mobility at `T_REF` \[m^2/Vs\].
+    pub mu0: f64,
+    /// Mobility temperature exponent; `mu(T) = mu0 (T/300)^(-mu_exp)`.
+    pub mu_exp: f64,
+    /// Mobility degradation / series-resistance factor \[1/V\]; sets the
+    /// ON-state conductance that determines how stiffly a driver holds a
+    /// node against loading currents.
+    pub theta: f64,
+    /// Gate direct-tunneling transmission prefactor \[A/V^2\].
+    pub a_gate: f64,
+    /// Gate direct-tunneling exponent slope \[1/m\].
+    pub b_gate: f64,
+    /// Tunneling barrier height \[eV\] (3.1 electrons / 4.5 holes).
+    pub phi_b_ev: f64,
+    /// Fraction of gate-area tunneling attributed to the bulk (Igb).
+    pub igb_frac: f64,
+    /// Junction BTBT prefactor (Kane model, folded junction area/depth).
+    pub c_btbt: f64,
+    /// Junction BTBT exponent slope \[V/m per eV^1.5\].
+    pub b_btbt: f64,
+    /// Junction thermal saturation current per width \[A/m\]; provides
+    /// the forward-bias clamp and a negligible reverse floor.
+    pub i_s_w: f64,
+}
+
+impl KindConstants {
+    /// NMOS technology constants for the paper's super-halo bulk process.
+    pub fn nmos() -> Self {
+        Self {
+            vth_fb: -0.213,
+            cit: 4.5e-3,
+            eta0: 0.72,
+            dvth_rolloff0: 0.25,
+            kappa_t: 0.9e-3,
+            mu0: 0.030,
+            mu_exp: 1.5,
+            theta: 5.0,
+            a_gate: 1.8e-5,
+            b_gate: 2.6e10,
+            phi_b_ev: 3.1,
+            igb_frac: 0.02,
+            c_btbt: 0.29,
+            b_btbt: 5.0e9,
+            i_s_w: 1.0e-6,
+        }
+    }
+
+    /// PMOS technology constants (see the type docs for the asymmetries).
+    pub fn pmos() -> Self {
+        Self {
+            vth_fb: -0.168,
+            cit: 9.7e-3,
+            eta0: 1.10,
+            dvth_rolloff0: 0.25,
+            kappa_t: 0.8e-3,
+            mu0: 0.012,
+            mu_exp: 1.2,
+            theta: 1.5,
+            a_gate: 5.1e-7,
+            b_gate: 3.2e10,
+            phi_b_ev: 4.5,
+            igb_frac: 0.02,
+            c_btbt: 0.58,
+            b_btbt: 5.0e9,
+            i_s_w: 1.0e-6,
+        }
+    }
+
+    /// The constants for a given polarity.
+    pub fn for_kind(kind: MosKind) -> Self {
+        match kind {
+            MosKind::Nmos => Self::nmos(),
+            MosKind::Pmos => Self::pmos(),
+        }
+    }
+}
+
+/// A complete device design: polarity, geometry, doping, technology
+/// constants and flavor multipliers.
+///
+/// ```
+/// use nanoleak_device::{DeviceDesign, MosKind};
+/// let n = DeviceDesign::nano25(MosKind::Nmos);
+/// let p = n.derive();
+/// assert!(p.vth0 > 0.1 && p.vth0 < 0.35);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDesign {
+    /// N- or P-channel.
+    pub kind: MosKind,
+    /// Physical geometry.
+    pub geometry: Geometry,
+    /// Doping profile.
+    pub doping: Doping,
+    /// Per-polarity technology constants.
+    pub constants: KindConstants,
+    /// Leakage-balance calibration multipliers.
+    pub flavor: FlavorScales,
+}
+
+impl DeviceDesign {
+    /// The 25 nm device of the paper's loading study (Sections 4–5), with
+    /// the PMOS drawn at twice the NMOS width as in the standard-cell
+    /// library.
+    pub fn nano25(kind: MosKind) -> Self {
+        let geometry = match kind {
+            MosKind::Nmos => Geometry::nano25(),
+            MosKind::Pmos => Geometry::nano25().with_width(400e-9),
+        };
+        Self {
+            kind,
+            geometry,
+            doping: Doping::super_halo_25nm(),
+            constants: KindConstants::for_kind(kind),
+            flavor: FlavorScales::NEUTRAL,
+        }
+    }
+
+    /// The 50 nm device of Section 2.1 (used for the Fig. 4 component
+    /// sweeps); longer channel, slightly thicker oxide, strong halo.
+    pub fn nano50(kind: MosKind) -> Self {
+        let geometry = match kind {
+            MosKind::Nmos => Geometry::nano50(),
+            MosKind::Pmos => Geometry::nano50().with_width(400e-9),
+        };
+        Self {
+            kind,
+            geometry,
+            doping: Doping::new(1.4e25, 3.0e24, 1.0e26),
+            constants: KindConstants::for_kind(kind),
+            flavor: FlavorScales::NEUTRAL,
+        }
+    }
+
+    /// Returns a copy with different flavor multipliers.
+    #[must_use]
+    pub fn with_flavor(mut self, flavor: FlavorScales) -> Self {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Returns a copy with a different geometry.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Returns a copy with a different doping profile.
+    #[must_use]
+    pub fn with_doping(mut self, doping: Doping) -> Self {
+        self.doping = doping;
+        self
+    }
+
+    /// Derives the electrical parameters from the design.
+    ///
+    /// The derivation chain (all at `T_REF`):
+    /// * `Cox = eps_ox / Tox`
+    /// * surface potential `phi_s = min(2 phi_F, 1.05)` from the
+    ///   effective channel doping,
+    /// * depletion width `x_dep` and capacitance `C_dm`, giving the
+    ///   swing factor `m = 1 + (C_dm + C_it)/Cox`,
+    /// * short-channel natural length
+    ///   `lambda = sqrt(eps_si/eps_ox * Tox * x_dep)`, giving DIBL
+    ///   `eta = eta0 exp(-L/2lambda)` and the Vth roll-off — this is how
+    ///   thicker oxide *increases* subthreshold leakage (Fig. 4b) and a
+    ///   stronger halo *decreases* it (Fig. 4a),
+    /// * body factor `gamma = sqrt(2 q eps_si N_eff)/Cox` and
+    ///   `Vth0 = vth_fb + gamma sqrt(phi_s) - roll-off + vth_shift`,
+    /// * junction built-in potential and BTBT field prefactor from the
+    ///   halo doping.
+    pub fn derive(&self) -> MosParams {
+        let g = &self.geometry;
+        let c = &self.constants;
+        let cox = EPS_OX / g.tox;
+        let vt = thermal_voltage(T_REF);
+        let ni = intrinsic_concentration(T_REF);
+
+        let n_eff = self.doping.n_channel_eff();
+        let phi_f = vt * (n_eff / ni).ln();
+        let phi_s = (2.0 * phi_f).min(1.05);
+
+        let x_dep = (2.0 * EPS_SI * phi_s / (Q * n_eff)).sqrt();
+        let cdm = EPS_SI / x_dep;
+        let m = 1.0 + (cdm + c.cit) / cox;
+
+        let lambda = (EPS_SI / EPS_OX * g.tox * x_dep).sqrt();
+        let sce = (-g.l / (2.0 * lambda)).exp();
+        let eta = c.eta0 * sce;
+        let rolloff = c.dvth_rolloff0 * sce;
+
+        let gamma = (2.0 * Q * EPS_SI * n_eff).sqrt() / cox;
+        let vth0 = c.vth_fb + gamma * phi_s.sqrt() - rolloff + self.flavor.vth_shift;
+
+        let psi_bi = (vt * (self.doping.n_halo * self.doping.n_sd / (ni * ni)).ln()).min(1.05);
+
+        MosParams {
+            kind: self.kind,
+            w: g.w,
+            l: g.l,
+            lov: g.lov,
+            tox: g.tox,
+            cox,
+            vth0,
+            m,
+            gamma,
+            phi_s,
+            eta,
+            kappa_t: c.kappa_t,
+            mu0: c.mu0,
+            mu_exp: c.mu_exp,
+            theta: c.theta,
+            a_gate: c.a_gate * self.flavor.gate_mult,
+            b_gate: c.b_gate,
+            phi_b_ev: c.phi_b_ev,
+            igb_frac: c.igb_frac,
+            c_btbt: c.c_btbt * self.flavor.btbt_mult,
+            b_btbt: c.b_btbt,
+            psi_bi,
+            n_halo: self.doping.n_halo,
+            i_s_w: c.i_s_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::NM;
+
+    #[test]
+    fn derived_params_in_expected_ranges() {
+        let p = DeviceDesign::nano25(MosKind::Nmos).derive();
+        assert!(p.vth0 > 0.15 && p.vth0 < 0.30, "vth0 = {}", p.vth0);
+        assert!(p.m > 1.2 && p.m < 1.5, "m = {}", p.m);
+        assert!(p.eta > 0.05 && p.eta < 0.20, "eta = {}", p.eta);
+        assert!(p.gamma > 0.2 && p.gamma < 0.7, "gamma = {}", p.gamma);
+        assert!(p.psi_bi > 0.8 && p.psi_bi <= 1.05, "psi_bi = {}", p.psi_bi);
+    }
+
+    #[test]
+    fn pmos_has_worse_short_channel_behavior() {
+        let n = DeviceDesign::nano25(MosKind::Nmos).derive();
+        let p = DeviceDesign::nano25(MosKind::Pmos).derive();
+        assert!(p.eta > n.eta, "PMOS DIBL must exceed NMOS (paper Section 4)");
+        assert!(p.m > n.m, "PMOS swing factor must exceed NMOS (paper Section 4)");
+    }
+
+    #[test]
+    fn stronger_halo_raises_vth_and_reduces_dibl() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        let strong =
+            base.with_doping(Doping::super_halo_25nm().with_halo(2.4e25));
+        let (pb, ps) = (base.derive(), strong.derive());
+        assert!(ps.vth0 > pb.vth0, "halo up => vth up");
+        assert!(ps.eta < pb.eta, "halo up => DIBL down");
+    }
+
+    #[test]
+    fn thicker_oxide_increases_dibl() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        let thick = base.with_geometry(Geometry::nano25().with_tox(1.4 * NM));
+        assert!(thick.derive().eta > base.derive().eta, "tox up => SCE up (Fig. 4b)");
+    }
+
+    #[test]
+    fn longer_channel_reduces_dibl() {
+        let d25 = DeviceDesign::nano25(MosKind::Nmos).derive();
+        let d50 = DeviceDesign::nano50(MosKind::Nmos).derive();
+        assert!(d50.eta < 0.3 * d25.eta, "50 nm device must have far less DIBL");
+    }
+
+    #[test]
+    fn flavor_scales_apply() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        let flav = base.with_flavor(FlavorScales { gate_mult: 2.0, btbt_mult: 3.0, vth_shift: 0.05 });
+        let (pb, pf) = (base.derive(), flav.derive());
+        assert!((pf.a_gate / pb.a_gate - 2.0).abs() < 1e-12);
+        assert!((pf.c_btbt / pb.c_btbt - 3.0).abs() < 1e-12);
+        assert!((pf.vth0 - pb.vth0 - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Transistor geometry description.
+
+use serde::{Deserialize, Serialize};
+
+use crate::consts::NM;
+
+/// Physical geometry of a MOSFET.
+///
+/// All lengths are in meters. Construct with [`Geometry::new`] and adjust
+/// with the builder-style `with_*` methods:
+///
+/// ```
+/// use nanoleak_device::Geometry;
+/// let g = Geometry::nano25().with_width(400e-9);
+/// assert_eq!(g.w, 400e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Gate (channel) length \[m\].
+    pub l: f64,
+    /// Channel width \[m\].
+    pub w: f64,
+    /// Gate oxide (equivalent) thickness \[m\].
+    pub tox: f64,
+    /// Source/drain junction depth \[m\]; enters the short-channel
+    /// natural length.
+    pub xj: f64,
+    /// Gate-to-S/D overlap length \[m\]; sets the edge-tunneling area.
+    pub lov: f64,
+}
+
+impl Geometry {
+    /// Creates a geometry from gate length, width and oxide thickness,
+    /// with junction depth and overlap scaled from the gate length
+    /// (`xj = l`, `lov = 0.16 l`), which is representative of the
+    /// super-halo devices in the paper's 25–50 nm range.
+    ///
+    /// # Panics
+    /// Panics if any dimension is not strictly positive.
+    pub fn new(l: f64, w: f64, tox: f64) -> Self {
+        assert!(l > 0.0 && w > 0.0 && tox > 0.0, "dimensions must be positive");
+        Self { l, w, tox, xj: l, lov: 0.16 * l }
+    }
+
+    /// The paper's 25 nm experimental device: L = 25 nm, W = 200 nm,
+    /// Tox = 1.0 nm.
+    pub fn nano25() -> Self {
+        Self::new(25.0 * NM, 200.0 * NM, 1.0 * NM)
+    }
+
+    /// The paper's 50 nm device (Section 2.1): L = 50 nm, W = 200 nm,
+    /// Tox = 1.2 nm.
+    pub fn nano50() -> Self {
+        Self::new(50.0 * NM, 200.0 * NM, 1.2 * NM)
+    }
+
+    /// Returns a copy with a different channel width.
+    #[must_use]
+    pub fn with_width(mut self, w: f64) -> Self {
+        assert!(w > 0.0, "width must be positive");
+        self.w = w;
+        self
+    }
+
+    /// Returns a copy with a different gate length.
+    #[must_use]
+    pub fn with_length(mut self, l: f64) -> Self {
+        assert!(l > 0.0, "length must be positive");
+        self.l = l;
+        self
+    }
+
+    /// Returns a copy with a different oxide thickness.
+    #[must_use]
+    pub fn with_tox(mut self, tox: f64) -> Self {
+        assert!(tox > 0.0, "oxide thickness must be positive");
+        self.tox = tox;
+        self
+    }
+
+    /// Returns a copy with a different overlap length.
+    #[must_use]
+    pub fn with_overlap(mut self, lov: f64) -> Self {
+        assert!(lov > 0.0, "overlap must be positive");
+        self.lov = lov;
+        self
+    }
+
+    /// Gate area `W * L` \[m^2\] — the gate-to-channel tunneling area.
+    #[inline]
+    pub fn gate_area(&self) -> f64 {
+        self.w * self.l
+    }
+
+    /// Overlap area `W * Lov` \[m^2\] per edge — the edge-tunneling area.
+    #[inline]
+    pub fn overlap_area(&self) -> f64 {
+        self.w * self.lov
+    }
+
+    /// Aspect ratio `W / L`.
+    #[inline]
+    pub fn aspect(&self) -> f64 {
+        self.w / self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nano25_dimensions() {
+        let g = Geometry::nano25();
+        assert_eq!(g.l, 25.0 * NM);
+        assert_eq!(g.w, 200.0 * NM);
+        assert_eq!(g.tox, 1.0 * NM);
+        assert!((g.aspect() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn areas_are_consistent() {
+        let g = Geometry::nano25();
+        assert!((g.gate_area() / (25e-9 * 200e-9) - 1.0).abs() < 1e-12);
+        assert!(g.overlap_area() < g.gate_area());
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let g = Geometry::nano25().with_length(30.0 * NM).with_tox(1.4 * NM).with_overlap(5.0 * NM);
+        assert_eq!(g.l, 30.0 * NM);
+        assert_eq!(g.tox, 1.4 * NM);
+        assert_eq!(g.lov, 5.0 * NM);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_length_rejected() {
+        let _ = Geometry::new(0.0, 1e-7, 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Electrical device parameters consumed by the current models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::consts::{thermal_voltage, T_REF};
+use crate::MosKind;
+
+/// Electrical parameters of one MOSFET, as derived from a
+/// [`crate::DeviceDesign`] by [`crate::DeviceDesign::derive`].
+///
+/// All models in this crate treat these parameters as describing an
+/// *n-like* core device; p-channel behavior is obtained by the polarity
+/// transform in [`crate::Transistor`]. Voltages below are therefore
+/// n-like (positive `vth0`, positive `vds` in normal operation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Device polarity (used by [`crate::Transistor`] for the transform).
+    pub kind: MosKind,
+    /// Channel width \[m\].
+    pub w: f64,
+    /// Channel length \[m\].
+    pub l: f64,
+    /// Gate-S/D overlap length \[m\].
+    pub lov: f64,
+    /// Oxide thickness \[m\].
+    pub tox: f64,
+    /// Oxide capacitance per area \[F/m^2\].
+    pub cox: f64,
+    /// Zero-bias threshold voltage at `T_REF` \[V\] (roll-off included).
+    pub vth0: f64,
+    /// Subthreshold swing factor `m = 1 + (Cdm + Cit)/Cox`.
+    pub m: f64,
+    /// Body-effect factor \[V^0.5\].
+    pub gamma: f64,
+    /// Surface potential `2 phi_F` \[V\].
+    pub phi_s: f64,
+    /// DIBL coefficient \[V/V\].
+    pub eta: f64,
+    /// Vth temperature coefficient \[V/K\].
+    pub kappa_t: f64,
+    /// Low-field mobility at `T_REF` \[m^2/Vs\].
+    pub mu0: f64,
+    /// Mobility temperature exponent.
+    pub mu_exp: f64,
+    /// Mobility degradation (incl. S/D series resistance) \[1/V\].
+    pub theta: f64,
+    /// Gate tunneling prefactor \[A/V^2\].
+    pub a_gate: f64,
+    /// Gate tunneling exponent slope \[1/m\].
+    pub b_gate: f64,
+    /// Tunneling barrier \[eV\].
+    pub phi_b_ev: f64,
+    /// Gate-to-bulk share of area tunneling.
+    pub igb_frac: f64,
+    /// BTBT prefactor.
+    pub c_btbt: f64,
+    /// BTBT exponent slope \[V/m per eV^1.5\].
+    pub b_btbt: f64,
+    /// Junction built-in potential \[V\].
+    pub psi_bi: f64,
+    /// Halo doping at the junction \[m^-3\] (sets the junction field).
+    pub n_halo: f64,
+    /// Junction thermal saturation current per width \[A/m\].
+    pub i_s_w: f64,
+}
+
+impl MosParams {
+    /// Effective threshold voltage at the given n-like bias and
+    /// temperature \[V\]:
+    ///
+    /// `Vth = Vth0 + gamma (sqrt(phi_s + Vsb) - sqrt(phi_s)) - eta Vds - kappa_t (T - 300)`
+    ///
+    /// `Vsb` is clamped at mild forward body bias and the square-root
+    /// argument kept positive so the expression stays smooth for the
+    /// Newton solver.
+    #[inline]
+    pub fn vth_eff(&self, vds: f64, vsb: f64, t: f64) -> f64 {
+        let vsb_c = vsb.max(-0.2);
+        let root = (self.phi_s + vsb_c).max(0.02).sqrt();
+        self.vth0 + self.gamma * (root - self.phi_s.sqrt()) - self.eta * vds
+            - self.kappa_t * (t - T_REF)
+    }
+
+    /// Temperature-scaled mobility \[m^2/Vs\].
+    #[inline]
+    pub fn mobility(&self, t: f64) -> f64 {
+        self.mu0 * (t / T_REF).powf(-self.mu_exp)
+    }
+
+    /// Smooth overdrive voltage `u = 2 m vt ln(1 + exp((vgs-vth)/(2 m vt)))`,
+    /// which tends to `vgs - vth` in strong inversion and to an
+    /// exponential in weak inversion. Shared by the drain-current and
+    /// gate-tunneling (inversion-factor) models.
+    #[inline]
+    pub fn smooth_overdrive(&self, vgs: f64, vth: f64, t: f64) -> f64 {
+        let mvt2 = 2.0 * self.m * thermal_voltage(t);
+        mvt2 * ln_1p_exp((vgs - vth) / mvt2)
+    }
+}
+
+/// Overflow-safe `ln(1 + exp(x))` (softplus).
+#[inline]
+pub fn ln_1p_exp(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Smooth logistic `1 / (1 + exp(-x))`, overflow-safe.
+#[inline]
+pub fn logistic(x: f64) -> f64 {
+    if x > 30.0 {
+        1.0
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceDesign, MosKind};
+
+    fn nparams() -> MosParams {
+        DeviceDesign::nano25(MosKind::Nmos).derive()
+    }
+
+    #[test]
+    fn vth_drops_with_drain_bias_dibl() {
+        let p = nparams();
+        let v0 = p.vth_eff(0.0, 0.0, 300.0);
+        let v9 = p.vth_eff(0.9, 0.0, 300.0);
+        assert!(v9 < v0);
+        assert!((v0 - v9 - p.eta * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vth_rises_with_body_reverse_bias() {
+        let p = nparams();
+        assert!(p.vth_eff(0.0, 0.3, 300.0) > p.vth_eff(0.0, 0.0, 300.0));
+    }
+
+    #[test]
+    fn vth_drops_with_temperature() {
+        let p = nparams();
+        assert!(p.vth_eff(0.0, 0.0, 400.0) < p.vth_eff(0.0, 0.0, 300.0));
+    }
+
+    #[test]
+    fn mobility_degrades_with_temperature() {
+        let p = nparams();
+        assert!(p.mobility(400.0) < p.mobility(300.0));
+        assert!((p.mobility(300.0) - p.mu0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ln_1p_exp_limits() {
+        assert!((ln_1p_exp(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((ln_1p_exp(50.0) - 50.0).abs() < 1e-12);
+        assert!(ln_1p_exp(-50.0) > 0.0);
+        assert!(ln_1p_exp(-50.0) < 1e-20);
+    }
+
+    #[test]
+    fn logistic_limits() {
+        assert!((logistic(0.0) - 0.5).abs() < 1e-12);
+        assert!(logistic(40.0) == 1.0);
+        assert!(logistic(-40.0) < 1e-15);
+    }
+
+    #[test]
+    fn smooth_overdrive_asymptotes() {
+        let p = nparams();
+        // Strong inversion: u ~ vgs - vth.
+        let u = p.smooth_overdrive(0.9, 0.2, 300.0);
+        assert!((u - 0.7).abs() < 0.01);
+        // Weak inversion: u small and positive.
+        let uw = p.smooth_overdrive(0.0, 0.2, 300.0);
+        assert!(uw > 0.0 && uw < 0.02);
+    }
+}

@@ -1,0 +1,105 @@
+//! Process-parameter perturbations for variation studies.
+//!
+//! The paper's Section 5.3 applies random variation to channel length,
+//! oxide thickness, threshold voltage and supply voltage. A
+//! [`Perturbation`] carries the per-device deltas; applying it to a
+//! [`DeviceDesign`] re-derives *all* dependent electrical parameters
+//! (DIBL, swing, tunneling, junction field), which is exactly why
+//! subthreshold leakage reacts so much more violently to variation than
+//! the other components.
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::DeviceDesign;
+
+/// Additive deltas on the process parameters of a single device.
+/// The supply-voltage delta is carried alongside for convenience but is
+/// applied at circuit level, not to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Perturbation {
+    /// Channel-length delta \[m\].
+    pub dl: f64,
+    /// Oxide-thickness delta \[m\].
+    pub dtox: f64,
+    /// Threshold-voltage delta \[V\] (random dopant fluctuation).
+    pub dvth: f64,
+    /// Supply-voltage delta \[V\] (applied by the circuit evaluator).
+    pub dvdd: f64,
+}
+
+impl Perturbation {
+    /// The zero perturbation.
+    pub const NONE: Self = Self { dl: 0.0, dtox: 0.0, dvth: 0.0, dvdd: 0.0 };
+
+    /// Applies the geometry/threshold deltas to a design, returning the
+    /// perturbed design. Lengths are clamped to stay physical (at least
+    /// 40% of nominal), mirroring the truncation SPICE Monte-Carlo decks
+    /// apply to Gaussian samples.
+    #[must_use]
+    pub fn apply(&self, design: &DeviceDesign) -> DeviceDesign {
+        let mut d = *design;
+        d.geometry.l = (d.geometry.l + self.dl).max(0.4 * design.geometry.l);
+        d.geometry.tox = (d.geometry.tox + self.dtox).max(0.4 * design.geometry.tox);
+        d.flavor.vth_shift += self.dvth;
+        d
+    }
+
+    /// Component-wise sum of two perturbations (inter-die + intra-die).
+    #[must_use]
+    pub fn combined(&self, other: &Self) -> Self {
+        Self {
+            dl: self.dl + other.dl,
+            dtox: self.dtox + other.dtox,
+            dvth: self.dvth + other.dvth,
+            dvdd: self.dvdd + other.dvdd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::NM;
+    use crate::{DeviceDesign, MosKind};
+
+    #[test]
+    fn shorter_channel_leaks_exponentially_more() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        let short = Perturbation { dl: -2.0 * NM, ..Default::default() }.apply(&base);
+        let (pb, ps) = (base.derive(), short.derive());
+        assert!(ps.eta > pb.eta, "shorter channel, more DIBL");
+        assert!(ps.vth0 < pb.vth0, "shorter channel, more roll-off");
+    }
+
+    #[test]
+    fn vth_delta_is_additive() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        let shifted = Perturbation { dvth: 0.03, ..Default::default() }.apply(&base);
+        assert!((shifted.derive().vth0 - base.derive().vth0 - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_prevent_nonphysical_geometry() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        let crazy = Perturbation { dl: -100.0 * NM, dtox: -100.0 * NM, ..Default::default() };
+        let d = crazy.apply(&base);
+        assert!(d.geometry.l > 0.0 && d.geometry.tox > 0.0);
+    }
+
+    #[test]
+    fn combination_adds_componentwise() {
+        let a = Perturbation { dl: 1e-9, dtox: 2e-11, dvth: 0.01, dvdd: -0.02 };
+        let b = Perturbation { dl: -5e-10, dtox: 1e-11, dvth: 0.02, dvdd: 0.01 };
+        let c = a.combined(&b);
+        assert!((c.dl - 5e-10).abs() < 1e-24);
+        assert!((c.dtox - 3e-11).abs() < 1e-24);
+        assert!((c.dvth - 0.03).abs() < 1e-15);
+        assert!((c.dvdd + 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let base = DeviceDesign::nano25(MosKind::Nmos);
+        assert_eq!(Perturbation::NONE.apply(&base), base);
+    }
+}

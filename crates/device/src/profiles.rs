@@ -1,0 +1,169 @@
+//! Named technology profiles: matched NMOS/PMOS design pairs plus the
+//! supply voltage, as used throughout the paper's experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::{DeviceDesign, FlavorScales};
+use crate::MosKind;
+
+/// A matched NMOS/PMOS pair with its nominal supply — everything the
+/// cell library needs to instantiate gates.
+///
+/// ```
+/// use nanoleak_device::Technology;
+/// let t = Technology::d25();
+/// assert_eq!(t.vdd, 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Profile name (e.g. `"D25"`, `"D25-G"`).
+    pub name: String,
+    /// N-channel device design (unit width).
+    pub nmos: DeviceDesign,
+    /// P-channel device design (unit width, drawn 2x the NMOS).
+    pub pmos: DeviceDesign,
+    /// Nominal supply voltage \[V\].
+    pub vdd: f64,
+}
+
+impl Technology {
+    /// The 25 nm device used for the loading-effect studies
+    /// (Sections 4–6). Subthreshold-dominated at room temperature;
+    /// identical to `D25-S` of Fig. 8.
+    pub fn d25() -> Self {
+        Self {
+            name: "D25".to_string(),
+            nmos: DeviceDesign::nano25(MosKind::Nmos),
+            pmos: DeviceDesign::nano25(MosKind::Pmos),
+            vdd: 0.9,
+        }
+    }
+
+    /// The 50 nm device of Section 2.1 (Fig. 4): longer channel, so
+    /// subthreshold is suppressed and gate/junction tunneling dominate
+    /// at room temperature.
+    pub fn d50() -> Self {
+        Self {
+            name: "D50".to_string(),
+            nmos: DeviceDesign::nano50(MosKind::Nmos),
+            pmos: DeviceDesign::nano50(MosKind::Pmos),
+            vdd: 1.0,
+        }
+    }
+
+    /// `D25-S` of Fig. 8: subthreshold-dominated (alias of [`Self::d25`]
+    /// with the flavor name).
+    pub fn d25_s() -> Self {
+        let mut t = Self::d25();
+        t.name = "D25-S".to_string();
+        t
+    }
+
+    /// `D25-G` of Fig. 8: gate-tunneling-dominated, total leakage kept
+    /// close to `D25-S` by trading subthreshold (higher Vth) for oxide
+    /// transmission.
+    pub fn d25_g() -> Self {
+        let flavor = FlavorScales { gate_mult: 1.7, btbt_mult: 1.0, vth_shift: 0.055 };
+        Self {
+            name: "D25-G".to_string(),
+            nmos: DeviceDesign::nano25(MosKind::Nmos).with_flavor(flavor),
+            pmos: DeviceDesign::nano25(MosKind::Pmos).with_flavor(flavor),
+            vdd: 0.9,
+        }
+    }
+
+    /// `D25-JN` of Fig. 8: junction-BTBT-dominated (stronger halo
+    /// field via the BTBT multiplier; subthreshold and gate trimmed).
+    pub fn d25_jn() -> Self {
+        let flavor = FlavorScales { gate_mult: 0.35, btbt_mult: 80.0, vth_shift: 0.055 };
+        Self {
+            name: "D25-JN".to_string(),
+            nmos: DeviceDesign::nano25(MosKind::Nmos).with_flavor(flavor),
+            pmos: DeviceDesign::nano25(MosKind::Pmos).with_flavor(flavor),
+            vdd: 0.9,
+        }
+    }
+
+    /// The three dominance-balanced 25 nm flavors of Fig. 8, in the
+    /// paper's order (S, G, JN).
+    pub fn d25_flavors() -> [Self; 3] {
+        [Self::d25_s(), Self::d25_g(), Self::d25_jn()]
+    }
+
+    /// Design for the given polarity.
+    pub fn design(&self, kind: MosKind) -> &DeviceDesign {
+        match kind {
+            MosKind::Nmos => &self.nmos,
+            MosKind::Pmos => &self.pmos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::Bias;
+    use crate::transistor::Transistor;
+    use crate::LeakageBreakdown;
+
+    /// Leakage of an unloaded inverter built from the pair, averaged
+    /// over both input states — used to check the flavor balancing.
+    fn inverter_avg_leakage(t: &Technology) -> LeakageBreakdown {
+        let n = Transistor::from_design(&t.nmos);
+        let p = Transistor::from_design(&t.pmos);
+        let vdd = t.vdd;
+        // Input 0 / output 1.
+        let (_, bn0) = n.leakage(Bias::new(0.0, vdd, 0.0, 0.0), 300.0);
+        let (_, bp0) = p.leakage(Bias::new(0.0, vdd, vdd, vdd), 300.0);
+        // Input 1 / output 0.
+        let (_, bn1) = n.leakage(Bias::new(vdd, 0.0, 0.0, 0.0), 300.0);
+        let (_, bp1) = p.leakage(Bias::new(vdd, 0.0, vdd, vdd), 300.0);
+        (bn0 + bp0 + bn1 + bp1).scaled(0.5)
+    }
+
+    #[test]
+    fn d25_is_subthreshold_dominated() {
+        let b = inverter_avg_leakage(&Technology::d25());
+        assert!(b.sub > b.gate && b.sub > b.btbt, "{b:?}");
+    }
+
+    #[test]
+    fn d25_g_is_gate_dominated() {
+        let b = inverter_avg_leakage(&Technology::d25_g());
+        assert!(b.gate > b.sub && b.gate > b.btbt, "{b:?}");
+    }
+
+    #[test]
+    fn d25_jn_is_junction_dominated() {
+        let b = inverter_avg_leakage(&Technology::d25_jn());
+        assert!(b.btbt > b.sub && b.btbt > b.gate, "{b:?}");
+    }
+
+    #[test]
+    fn flavors_have_comparable_totals() {
+        // Paper Section 5.1: "total leakage is same in the three
+        // devices" — we require agreement within +/-35%.
+        let totals: Vec<f64> =
+            Technology::d25_flavors().iter().map(|t| inverter_avg_leakage(t).total()).collect();
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        for (t, total) in Technology::d25_flavors().iter().zip(&totals) {
+            let rel = (total - mean).abs() / mean;
+            assert!(rel < 0.35, "{}: total {} nA vs mean {} nA", t.name, total / 1e-9, mean / 1e-9);
+        }
+    }
+
+    #[test]
+    fn d50_subthreshold_suppressed_at_room_temperature() {
+        // Section 3: at 300 K the 50 nm device is gate/junction
+        // dominated; subthreshold must not dominate.
+        let b = inverter_avg_leakage(&Technology::d50());
+        assert!(b.sub < b.gate + b.btbt, "{b:?}");
+    }
+
+    #[test]
+    fn design_accessor_matches_kind() {
+        let t = Technology::d25();
+        assert_eq!(t.design(MosKind::Nmos).kind, MosKind::Nmos);
+        assert_eq!(t.design(MosKind::Pmos).kind, MosKind::Pmos);
+    }
+}

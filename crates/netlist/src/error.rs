@@ -1,0 +1,68 @@
+//! Netlist error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from circuit construction, parsing, or normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A net has two drivers (gate outputs / inputs colliding).
+    MultipleDrivers {
+        /// The offending net's name.
+        net: String,
+    },
+    /// A net is used but never driven.
+    UndrivenNet {
+        /// The offending net's name.
+        net: String,
+    },
+    /// Combinational feedback loop detected.
+    CombinationalCycle {
+        /// A net on the cycle.
+        net: String,
+    },
+    /// A gate references a signal that does not exist.
+    UnknownSignal {
+        /// The referenced name.
+        name: String,
+    },
+    /// `.bench` syntax error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A gate has an unsupported shape (e.g. zero inputs).
+    BadGate(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::MultipleDrivers { net } => write!(f, "net '{net}' has multiple drivers"),
+            CircuitError::UndrivenNet { net } => write!(f, "net '{net}' is never driven"),
+            CircuitError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net '{net}'")
+            }
+            CircuitError::UnknownSignal { name } => write!(f, "unknown signal '{name}'"),
+            CircuitError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CircuitError::BadGate(msg) => write!(f, "bad gate: {msg}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        assert!(CircuitError::MultipleDrivers { net: "n42".into() }.to_string().contains("n42"));
+        assert!(CircuitError::Parse { line: 7, message: "bad token".into() }
+            .to_string()
+            .contains("line 7"));
+    }
+}

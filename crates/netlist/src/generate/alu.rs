@@ -1,0 +1,164 @@
+//! Gate-level ALU generator (the paper's `alu88`).
+
+use crate::raw::{RawCircuit, RawOp, SigId};
+
+/// Builds an `n`-bit four-function ALU (`alu88` is `n = 8`):
+///
+/// * `op = 00` — `a + b` (ripple-carry, with `cin`)
+/// * `op = 01` — `a AND b`
+/// * `op = 10` — `a OR b`
+/// * `op = 11` — `a XOR b`
+///
+/// Inputs: `a0..`, `b0..` (LSB first), `op0`, `op1`, `cin`; outputs
+/// `y0..y{n-1}` and `cout`. Function selection uses AND-OR mux trees,
+/// giving the mixed adder/mux topology typical of datapath slices.
+///
+/// # Panics
+/// Panics if `n < 1`.
+pub fn alu(n: usize) -> RawCircuit {
+    assert!(n >= 1, "alu needs at least one bit");
+    let mut c = RawCircuit::new(&format!("alu{n}{n}"));
+    let a: Vec<SigId> = (0..n).map(|i| c.add_input(&format!("a{i}"))).collect();
+    let b: Vec<SigId> = (0..n).map(|i| c.add_input(&format!("b{i}"))).collect();
+    let op0 = c.add_input("op0");
+    let op1 = c.add_input("op1");
+    let cin = c.add_input("cin");
+
+    let mut t = 0usize;
+    let mut fresh = |c: &mut RawCircuit, tag: &str| {
+        t += 1;
+        c.fresh_signal(&format!("{tag}_{t}"))
+    };
+
+    // Select lines: s_add = !op1 & !op0, s_and = !op1 & op0,
+    // s_or = op1 & !op0, s_xor = op1 & op0.
+    let nop0 = fresh(&mut c, "nop0");
+    c.add_gate(RawOp::Not, &[op0], nop0);
+    let nop1 = fresh(&mut c, "nop1");
+    c.add_gate(RawOp::Not, &[op1], nop1);
+    let s_add = fresh(&mut c, "sadd");
+    c.add_gate(RawOp::And, &[nop1, nop0], s_add);
+    let s_and = fresh(&mut c, "sand");
+    c.add_gate(RawOp::And, &[nop1, op0], s_and);
+    let s_or = fresh(&mut c, "sor");
+    c.add_gate(RawOp::And, &[op1, nop0], s_or);
+    let s_xor = fresh(&mut c, "sxor");
+    c.add_gate(RawOp::And, &[op1, op0], s_xor);
+
+    let mut carry = cin;
+    for i in 0..n {
+        // Logic functions.
+        let and_i = fresh(&mut c, "and");
+        c.add_gate(RawOp::And, &[a[i], b[i]], and_i);
+        let or_i = fresh(&mut c, "or");
+        c.add_gate(RawOp::Or, &[a[i], b[i]], or_i);
+        let xor_i = fresh(&mut c, "xor");
+        c.add_gate(RawOp::Xor, &[a[i], b[i]], xor_i);
+
+        // Full adder on (a, b, carry).
+        let sum_i = fresh(&mut c, "sum");
+        c.add_gate(RawOp::Xor, &[xor_i, carry], sum_i);
+        let n1 = fresh(&mut c, "cn1");
+        c.add_gate(RawOp::Nand, &[a[i], b[i]], n1);
+        let n2 = fresh(&mut c, "cn2");
+        c.add_gate(RawOp::Nand, &[carry, xor_i], n2);
+        let cout_i = fresh(&mut c, "cout");
+        c.add_gate(RawOp::Nand, &[n1, n2], cout_i);
+        carry = cout_i;
+
+        // 4-way AND-OR mux.
+        let m_add = fresh(&mut c, "madd");
+        c.add_gate(RawOp::And, &[s_add, sum_i], m_add);
+        let m_and = fresh(&mut c, "mand");
+        c.add_gate(RawOp::And, &[s_and, and_i], m_and);
+        let m_or = fresh(&mut c, "mor");
+        c.add_gate(RawOp::And, &[s_or, or_i], m_or);
+        let m_xor = fresh(&mut c, "mxor");
+        c.add_gate(RawOp::And, &[s_xor, xor_i], m_xor);
+        let y = c.fresh_signal(&format!("y{i}"));
+        c.add_gate(RawOp::Or, &[m_add, m_and, m_or, m_xor], y);
+        c.add_output(&format!("y{i}"));
+    }
+    // Carry out (meaningful for ADD; harmless otherwise).
+    {
+        let name = c.signal_name(carry).to_string();
+        let _ = name;
+        let out = c.fresh_signal("cout_buf");
+        c.add_gate(RawOp::Buff, &[carry], out);
+        // Export as "cout".
+        let exported = c.fresh_signal("cout");
+        c.add_gate(RawOp::Buff, &[out], exported);
+        c.add_output("cout");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::simulate;
+    use crate::normalize::normalize;
+
+    fn run_alu(n: usize, a: u64, b: u64, op: u8, cin: bool) -> (u64, bool) {
+        let raw = alu(n);
+        let circuit = normalize(&raw).unwrap();
+        let mut pi = Vec::new();
+        for i in 0..n {
+            pi.push((a >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            pi.push((b >> i) & 1 == 1);
+        }
+        pi.push(op & 1 == 1); // op0
+        pi.push(op & 2 == 2); // op1
+        pi.push(cin);
+        let values = simulate(&circuit, &pi, &[]);
+        let mut y = 0u64;
+        for i in 0..n {
+            let net = circuit.find_net(&format!("y{i}")).unwrap();
+            if values[net.0] {
+                y |= 1 << i;
+            }
+        }
+        let cout = values[circuit.find_net("cout").unwrap().0];
+        (y, cout)
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let (y, cout) = run_alu(8, 200, 100, 0b00, false);
+        assert_eq!(y, (200 + 100) & 0xff);
+        assert!(cout, "200+100 overflows 8 bits");
+        let (y, cout) = run_alu(8, 1, 2, 0b00, true);
+        assert_eq!(y, 4);
+        assert!(!cout);
+    }
+
+    #[test]
+    fn logic_functions() {
+        let (a, b) = (0b1100_1010u64, 0b1010_0110u64);
+        assert_eq!(run_alu(8, a, b, 0b01, false).0, a & b);
+        assert_eq!(run_alu(8, a, b, 0b10, false).0, a | b);
+        assert_eq!(run_alu(8, a, b, 0b11, false).0, a ^ b);
+    }
+
+    #[test]
+    fn four_bit_adder_exhaustive() {
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let (y, cout) = run_alu(4, a, b, 0b00, false);
+                assert_eq!(y, (a + b) & 0xf, "{a}+{b}");
+                assert_eq!(cout, a + b > 15, "{a}+{b} carry");
+            }
+        }
+    }
+
+    #[test]
+    fn alu88_size() {
+        let raw = alu(8);
+        let c = normalize(&raw).unwrap();
+        assert!(c.gate_count() > 200, "normalized gate count = {}", c.gate_count());
+        assert_eq!(raw.inputs.len(), 2 * 8 + 3);
+        assert_eq!(raw.outputs.len(), 9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Gate-level array multiplier generator (the paper's `mult88`).
+
+use crate::raw::{RawCircuit, RawOp, SigId};
+
+/// Builds an `n x n` unsigned array multiplier (`mult88` is `n = 8`):
+/// AND-gate partial products reduced by a ripple array of half/full
+/// adders — the classic structure, so the leakage study sees realistic
+/// arithmetic-datapath topology (wide XOR usage, long carry chains).
+///
+/// Inputs are `a0..a{n-1}` and `b0..b{n-1}` (LSB first); outputs are
+/// `p0..p{2n-1}`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn multiplier(n: usize) -> RawCircuit {
+    assert!(n >= 2, "multiplier needs at least 2 bits");
+    let mut c = RawCircuit::new(&format!("mult{n}{n}"));
+    let a: Vec<SigId> = (0..n).map(|i| c.add_input(&format!("a{i}"))).collect();
+    let b: Vec<SigId> = (0..n).map(|i| c.add_input(&format!("b{i}"))).collect();
+
+    // Partial products pp[i][j] = a[i] AND b[j].
+    let mut pp = vec![vec![SigId(0); n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let out = c.fresh_signal(&format!("pp_{i}_{j}"));
+            c.add_gate(RawOp::And, &[a[i], b[j]], out);
+            pp[i][j] = out;
+        }
+    }
+
+    let mut helper = AdderHelper { c: &mut c, tmp: 0 };
+
+    // Row-by-row carry-propagate reduction: row[j] holds the current
+    // partial sum bit for output column (row_index + j).
+    let mut row: Vec<SigId> = (0..n).map(|j| pp[0][j]).collect();
+    let mut products: Vec<SigId> = Vec::with_capacity(2 * n);
+    products.push(row[0]);
+
+    for i in 1..n {
+        let mut carry: Option<SigId> = None;
+        let mut next_row: Vec<SigId> = Vec::with_capacity(n);
+        for j in 0..n {
+            // Add pp[i][j] + row[j+1] (shifted previous sum, which may
+            // include last iteration's carry bit) + carry.
+            let prev = if j + 1 < row.len() { Some(row[j + 1]) } else { None };
+            let (sum, cout) = match (prev, carry) {
+                (Some(p), Some(cin)) => {
+                    let (s, co) = helper.full_adder(pp[i][j], p, cin, i, j);
+                    (s, Some(co))
+                }
+                (Some(p), None) => {
+                    let (s, co) = helper.half_adder(pp[i][j], p, i, j);
+                    (s, Some(co))
+                }
+                (None, Some(cin)) => {
+                    let (s, co) = helper.half_adder(pp[i][j], cin, i, j);
+                    (s, Some(co))
+                }
+                (None, None) => (pp[i][j], None),
+            };
+            next_row.push(sum);
+            carry = cout;
+        }
+        if let Some(co) = carry {
+            next_row.push(co);
+        }
+        products.push(next_row[0]);
+        row = next_row;
+    }
+    // Remaining high bits.
+    for &s in row.iter().skip(1) {
+        products.push(s);
+    }
+
+    for (k, &p) in products.iter().enumerate() {
+        let name = c.signal_name(p).to_string();
+        // Re-export under the canonical product name via a buffer when
+        // the signal is a raw partial product; otherwise just mark it.
+        let _ = name;
+        let pname = format!("p{k}");
+        let out = c.fresh_signal(&pname);
+        c.add_gate(RawOp::Buff, &[p], out);
+        c.add_output(&pname);
+    }
+    c
+}
+
+struct AdderHelper<'a> {
+    c: &'a mut RawCircuit,
+    tmp: usize,
+}
+
+impl AdderHelper<'_> {
+    fn fresh(&mut self, tag: &str, i: usize, j: usize) -> SigId {
+        self.tmp += 1;
+        self.c.fresh_signal(&format!("{tag}_{i}_{j}_{}", self.tmp))
+    }
+
+    /// Half adder: `s = a XOR b`, `co = a AND b`.
+    fn half_adder(&mut self, a: SigId, b: SigId, i: usize, j: usize) -> (SigId, SigId) {
+        let s = self.fresh("has", i, j);
+        self.c.add_gate(RawOp::Xor, &[a, b], s);
+        let co = self.fresh("hac", i, j);
+        self.c.add_gate(RawOp::And, &[a, b], co);
+        (s, co)
+    }
+
+    /// Full adder: `s = a XOR b XOR cin`,
+    /// `co = NAND(NAND(a,b), NAND(cin, a XOR b))` (the 2-level NAND
+    /// majority form).
+    fn full_adder(&mut self, a: SigId, b: SigId, cin: SigId, i: usize, j: usize) -> (SigId, SigId) {
+        let xab = self.fresh("fax", i, j);
+        self.c.add_gate(RawOp::Xor, &[a, b], xab);
+        let s = self.fresh("fas", i, j);
+        self.c.add_gate(RawOp::Xor, &[xab, cin], s);
+        let n1 = self.fresh("fan1", i, j);
+        self.c.add_gate(RawOp::Nand, &[a, b], n1);
+        let n2 = self.fresh("fan2", i, j);
+        self.c.add_gate(RawOp::Nand, &[cin, xab], n2);
+        let co = self.fresh("faco", i, j);
+        self.c.add_gate(RawOp::Nand, &[n1, n2], co);
+        (s, co)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::simulate;
+    use crate::normalize::normalize;
+
+    /// Multiplies via the gate-level circuit.
+    fn hw_multiply(n: usize, x: u64, y: u64) -> u64 {
+        let raw = multiplier(n);
+        let circuit = normalize(&raw).unwrap();
+        let mut pi = Vec::new();
+        for i in 0..n {
+            pi.push((x >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            pi.push((y >> i) & 1 == 1);
+        }
+        let values = simulate(&circuit, &pi, &[]);
+        let mut out = 0u64;
+        for k in 0..2 * n {
+            let net = circuit.find_net(&format!("p{k}")).expect("product bit");
+            if values[net.0] {
+                out |= 1 << k;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn four_bit_multiplier_exhaustive() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(hw_multiply(4, x, y), x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_bit_multiplier_spot_checks() {
+        for (x, y) in [(0u64, 0u64), (255, 255), (3, 7), (128, 2), (200, 133), (99, 251)] {
+            assert_eq!(hw_multiply(8, x, y), x * y, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn mult88_size_is_substantial() {
+        let raw = multiplier(8);
+        assert_eq!(raw.inputs.len(), 16);
+        assert_eq!(raw.outputs.len(), 16);
+        let c = normalize(&raw).unwrap();
+        assert!(c.gate_count() > 500, "normalized gate count = {}", c.gate_count());
+    }
+}

@@ -1,0 +1,230 @@
+//! Seeded random logic-network generator.
+//!
+//! Produces DAG-structured random logic with a realistic operator mix
+//! and fanin/fanout statistics. Used both directly (property tests,
+//! scaling studies) and as the engine behind the ISCAS89-sized
+//! synthetic benchmarks.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::raw::{RawCircuit, RawOp, SigId};
+
+/// Parameters of the random network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomCircuitSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count (drawn from late gate outputs).
+    pub outputs: usize,
+    /// Raw gate count.
+    pub gates: usize,
+    /// DFF count.
+    pub dffs: usize,
+    /// RNG seed — same seed, same circuit.
+    pub seed: u64,
+    /// Relative weights of (op, fanin) choices.
+    pub op_mix: Vec<(RawOp, usize, f64)>,
+    /// Locality window: inputs of a new gate are drawn from the most
+    /// recent `window` signals with high probability, giving the deep,
+    /// narrow structure of real control logic.
+    pub window: usize,
+    /// Probability that a gate input connects to a "hub" signal (a DFF
+    /// state bit). Real ISCAS89 circuits have heavy-tailed fanout —
+    /// state and control nets drive tens of gates — and those
+    /// high-fanout nets are exactly where loading currents concentrate.
+    pub hub_prob: f64,
+}
+
+impl RandomCircuitSpec {
+    /// A default mix resembling synthesized control logic: NAND/NOR
+    /// heavy, some wide gates, occasional XOR.
+    pub fn new(name: &str, inputs: usize, outputs: usize, gates: usize, dffs: usize, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            gates,
+            dffs,
+            seed,
+            op_mix: vec![
+                (RawOp::Nand, 2, 0.24),
+                (RawOp::Nand, 3, 0.08),
+                (RawOp::Nand, 4, 0.04),
+                (RawOp::Nor, 2, 0.16),
+                (RawOp::Nor, 3, 0.06),
+                (RawOp::And, 2, 0.10),
+                (RawOp::Or, 2, 0.08),
+                (RawOp::Not, 1, 0.18),
+                (RawOp::Buff, 1, 0.02),
+                (RawOp::Xor, 2, 0.04),
+            ],
+            window: 48,
+            hub_prob: 0.08,
+        }
+    }
+}
+
+/// Generates the random raw circuit described by `spec`.
+///
+/// # Panics
+/// Panics if `spec` has zero inputs or zero gates.
+pub fn random_circuit(spec: &RandomCircuitSpec) -> RawCircuit {
+    assert!(spec.inputs > 0, "need at least one input");
+    assert!(spec.gates > 0, "need at least one gate");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    let mut c = RawCircuit::new(&spec.name);
+
+    let mut pool: Vec<SigId> = Vec::new();
+    for i in 0..spec.inputs {
+        pool.push(c.add_input(&format!("pi{i}")));
+    }
+    // DFF Q signals are available as sources from the start (their D
+    // pins are chosen at the end, which is legal: DFFs cut cycles).
+    let mut q_sigs = Vec::with_capacity(spec.dffs);
+    for i in 0..spec.dffs {
+        let q = c.fresh_signal(&format!("ff{i}_q"));
+        q_sigs.push(q);
+        pool.push(q);
+    }
+
+    let total_weight: f64 = spec.op_mix.iter().map(|(_, _, w)| w).sum();
+    for g in 0..spec.gates {
+        // Pick an operator.
+        let mut pick = rng.gen::<f64>() * total_weight;
+        let mut chosen = spec.op_mix[0];
+        for &entry in &spec.op_mix {
+            if pick < entry.2 {
+                chosen = entry;
+                break;
+            }
+            pick -= entry.2;
+        }
+        let (op, fanin, _) = chosen;
+        let fanin = fanin.min(pool.len());
+        // Draw distinct inputs, biased toward recent signals.
+        let mut ins: Vec<SigId> = Vec::with_capacity(fanin);
+        let mut guard = 0;
+        while ins.len() < fanin && guard < 200 {
+            guard += 1;
+            let hub = !q_sigs.is_empty() && rng.gen::<f64>() < spec.hub_prob;
+            let local = rng.gen::<f64>() < 0.75 && pool.len() > spec.window;
+            let idx = if hub {
+                spec.inputs + rng.gen_range(0..q_sigs.len())
+            } else if local {
+                pool.len() - 1 - rng.gen_range(0..spec.window)
+            } else {
+                rng.gen_range(0..pool.len())
+            };
+            let sig = pool[idx];
+            if !ins.contains(&sig) {
+                ins.push(sig);
+            }
+        }
+        while ins.len() < fanin.max(1) {
+            // Degenerate tiny pools: repeat-free fill from the front.
+            let extra = pool[ins.len() % pool.len()];
+            if ins.contains(&extra) {
+                break;
+            }
+            ins.push(extra);
+        }
+        let out = c.fresh_signal(&format!("g{g}"));
+        c.add_gate(op, &ins, out);
+        pool.push(out);
+    }
+
+    // DFF D pins from random gate outputs (late-biased).
+    let gate_outputs: Vec<SigId> = c.gates.iter().map(|g| g.output).collect();
+    for (i, &q) in q_sigs.iter().enumerate() {
+        let d = *gate_outputs
+            .get(rng.gen_range(gate_outputs.len() / 2..gate_outputs.len()))
+            .unwrap_or(&gate_outputs[i % gate_outputs.len()]);
+        c.add_dff(d, q);
+    }
+
+    // Primary outputs from distinct late gate outputs.
+    let mut candidates: Vec<SigId> =
+        gate_outputs.iter().rev().take(spec.outputs * 3 + 8).copied().collect();
+    candidates.shuffle(&mut rng);
+    for (i, sig) in candidates.into_iter().take(spec.outputs).enumerate() {
+        let name = c.signal_name(sig).to_string();
+        let _ = i;
+        c.add_output(&name);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::stats::CircuitStats;
+
+    fn spec() -> RandomCircuitSpec {
+        RandomCircuitSpec::new("rnd", 8, 4, 120, 6, 1234)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_circuit(&spec());
+        let b = random_circuit(&spec());
+        assert_eq!(a, b);
+        let mut other = spec();
+        other.seed = 99;
+        assert_ne!(a, random_circuit(&other));
+    }
+
+    #[test]
+    fn validates_and_normalizes() {
+        let raw = random_circuit(&spec());
+        raw.validate().unwrap();
+        let c = normalize(&raw).unwrap();
+        assert!(c.gate_count() >= 120, "normalization only adds gates");
+        let s = CircuitStats::compute(&c);
+        assert_eq!(s.dffs, 6);
+        assert!(s.max_depth > 3, "locality window should create depth");
+    }
+
+    #[test]
+    fn requested_io_counts_respected() {
+        let raw = random_circuit(&spec());
+        assert_eq!(raw.inputs.len(), 8);
+        assert_eq!(raw.outputs.len(), 4);
+        assert_eq!(raw.dffs.len(), 6);
+        assert_eq!(raw.gate_count(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_rejected() {
+        let mut s = spec();
+        s.inputs = 0;
+        random_circuit(&s);
+    }
+
+    #[test]
+    fn hub_probability_creates_heavy_fanout_tail() {
+        // With hubs on, DFF state nets accumulate much higher fanout
+        // than the median net (the ISCAS89 control-net signature).
+        let mut s = RandomCircuitSpec::new("hub", 8, 4, 400, 8, 99);
+        s.hub_prob = 0.10;
+        let raw = random_circuit(&s);
+        let c = normalize(&raw).unwrap();
+        let stats = CircuitStats::compute(&c);
+        let mut no_hub = s.clone();
+        no_hub.hub_prob = 0.0;
+        let raw0 = random_circuit(&no_hub);
+        let c0 = normalize(&raw0).unwrap();
+        let stats0 = CircuitStats::compute(&c0);
+        assert!(
+            stats.max_fanout > stats0.max_fanout,
+            "hubs {} vs none {}",
+            stats.max_fanout,
+            stats0.max_fanout
+        );
+        assert!(stats.max_fanout >= 10, "hub max fanout = {}", stats.max_fanout);
+    }
+}

@@ -1,0 +1,142 @@
+//! Logic-value propagation over normalized circuits.
+//!
+//! The paper's Fig. 13 algorithm first propagates logic values from the
+//! primary inputs for the applied pattern; every later step (loading
+//! currents, leakage lookups) is keyed on the resulting per-gate input
+//! vectors.
+
+use nanoleak_cells::InputVector;
+use rand::Rng;
+
+use crate::circuit::{Circuit, GateId};
+
+/// Evaluates all net values for primary-input pattern `pi` and DFF
+/// stored states `states`.
+///
+/// Returns one boolean per net (indexable by `NetId.0`). DFF state
+/// pseudo-inputs are set to the *complement* of the stored value so the
+/// slave inverter reproduces the state on Q.
+///
+/// # Panics
+/// Panics if `pi` or `states` have the wrong length.
+pub fn simulate(circuit: &Circuit, pi: &[bool], states: &[bool]) -> Vec<bool> {
+    assert_eq!(pi.len(), circuit.inputs().len(), "primary input count");
+    assert_eq!(states.len(), circuit.state_inputs().len(), "DFF state count");
+    let mut values = vec![false; circuit.net_count()];
+    for (net, &v) in circuit.inputs().iter().zip(pi) {
+        values[net.0] = v;
+    }
+    for (net, &state) in circuit.state_inputs().iter().zip(states) {
+        values[net.0] = !state;
+    }
+    for &gid in circuit.topo_order() {
+        let gate = circuit.gate(gid);
+        let ins: Vec<bool> = gate.inputs.iter().map(|n| values[n.0]).collect();
+        values[gate.output.0] = gate.cell.eval_logic(&ins);
+    }
+    values
+}
+
+/// The input vector a gate sees under the given net values.
+pub fn gate_vector(circuit: &Circuit, gate: GateId, values: &[bool]) -> InputVector {
+    let g = circuit.gate(gate);
+    let bools: Vec<bool> = g.inputs.iter().map(|n| values[n.0]).collect();
+    InputVector::from_bools(&bools)
+}
+
+/// A primary-input pattern plus DFF states — one "vector" of the
+/// paper's 100-random-vector experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Primary input values.
+    pub pi: Vec<bool>,
+    /// DFF stored states.
+    pub states: Vec<bool>,
+}
+
+impl Pattern {
+    /// Draws a uniformly random pattern for `circuit`.
+    pub fn random<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Self {
+        Self {
+            pi: (0..circuit.inputs().len()).map(|_| rng.gen()).collect(),
+            states: (0..circuit.state_inputs().len()).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Draws `n` random patterns.
+    pub fn random_batch<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R, n: usize) -> Vec<Self> {
+        (0..n).map(|_| Self::random(circuit, rng)).collect()
+    }
+
+    /// All-zero pattern.
+    pub fn zeros(circuit: &Circuit) -> Self {
+        Self {
+            pi: vec![false; circuit.inputs().len()],
+            states: vec![false; circuit.state_inputs().len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use nanoleak_cells::CellType;
+    use rand::SeedableRng;
+
+    fn nand_inv() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let n = b.add_gate(CellType::Nand2, &[a, c], "n");
+        let y = b.add_gate(CellType::Inv, &[n], "y");
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nand_inv_is_and() {
+        let c = nand_inv();
+        let y = c.find_net("y").unwrap();
+        for (a, b, expect) in [
+            (false, false, false),
+            (false, true, false),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let values = simulate(&c, &[a, b], &[]);
+            assert_eq!(values[y.0], expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn gate_vector_reflects_net_values() {
+        let c = nand_inv();
+        let values = simulate(&c, &[true, false], &[]);
+        let v = gate_vector(&c, c.topo_order()[0], &values);
+        assert_eq!(v.to_string(), "10");
+    }
+
+    #[test]
+    fn patterns_are_deterministic_per_seed() {
+        let c = nand_inv();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(Pattern::random_batch(&c, &mut r1, 5), Pattern::random_batch(&c, &mut r2, 5));
+    }
+
+    #[test]
+    fn zeros_pattern_has_correct_arity() {
+        let c = nand_inv();
+        let p = Pattern::zeros(&c);
+        assert_eq!(p.pi.len(), 2);
+        assert!(p.states.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "primary input count")]
+    fn wrong_pi_arity_panics() {
+        let c = nand_inv();
+        simulate(&c, &[true], &[]);
+    }
+}

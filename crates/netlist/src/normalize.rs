@@ -1,0 +1,392 @@
+//! Technology normalization: raw boolean networks to library cells.
+//!
+//! Every raw operator is rewritten onto the characterized INV/NAND/NOR
+//! family:
+//!
+//! * `NAND`/`NOR` up to 4 inputs map directly; wider gates are
+//!   decomposed into balanced trees;
+//! * `AND`/`OR` become `NAND`/`NOR` plus an inverter;
+//! * `XOR`/`XNOR` become the standard 4-NAND2 network (folded pairwise
+//!   for wider parity gates);
+//! * `BUFF` becomes two cascaded inverters (its physical realization);
+//! * `DFF(d) -> q` becomes its leakage-equivalent expansion: a
+//!   master-stage inverter loading the D net, plus a slave-stage
+//!   inverter driving Q from a *state input* net carrying the stored
+//!   value's complement. Both the fast estimator and the reference
+//!   simulator then see the flip-flop through ordinary cells.
+
+use nanoleak_cells::CellType;
+
+use crate::circuit::{Circuit, CircuitBuilder, NetId};
+use crate::error::CircuitError;
+use crate::raw::{RawCircuit, RawOp};
+
+/// Rewrites a raw circuit onto the standard-cell family.
+///
+/// # Errors
+/// Propagates [`RawCircuit::validate`] failures and
+/// [`CircuitBuilder::build`] failures (cycles, undriven nets).
+pub fn normalize(raw: &RawCircuit) -> Result<Circuit, CircuitError> {
+    raw.validate()?;
+    let mut b = CircuitBuilder::new(&raw.name);
+    let mut emitter = Emitter { b: &mut b, tmp: 0 };
+    let mut map: Vec<Option<NetId>> = vec![None; raw.signal_count()];
+
+    // Primary inputs.
+    for &sig in &raw.inputs {
+        map[sig.0] = Some(emitter.b.add_input(raw.signal_name(sig)));
+    }
+    // DFF Q nets: slave inverter from the state pseudo-input.
+    for &(_, q) in &raw.dffs {
+        let qname = raw.signal_name(q);
+        let state = emitter.b.add_state_input(&format!("{qname}__state"));
+        let qnet = emitter.b.add_gate(CellType::Inv, &[state], qname);
+        map[q.0] = Some(qnet);
+    }
+
+    // Topological order over raw gates.
+    let order = raw_topo_order(raw)?;
+
+    for gi in order {
+        let gate = &raw.gates[gi];
+        let ins: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|s| {
+                map[s.0].ok_or_else(|| CircuitError::UnknownSignal {
+                    name: raw.signal_name(*s).to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let out_name = raw.signal_name(gate.output).to_string();
+        let out = emitter.emit(gate.op, &ins, &out_name);
+        map[gate.output.0] = Some(out);
+    }
+
+    // DFF master stages (D nets now all exist) and D-pin bookkeeping.
+    for &(d, q) in &raw.dffs {
+        let dnet = map[d.0].ok_or_else(|| CircuitError::UnknownSignal {
+            name: raw.signal_name(d).to_string(),
+        })?;
+        let qname = raw.signal_name(q);
+        let _master = emitter.b.add_gate(CellType::Inv, &[dnet], &format!("{qname}__master"));
+        emitter.b.mark_dff_d(dnet);
+    }
+
+    // Primary outputs.
+    for &o in &raw.outputs {
+        let net = map[o.0].ok_or_else(|| CircuitError::UnknownSignal {
+            name: raw.signal_name(o).to_string(),
+        })?;
+        emitter.b.mark_output(net);
+    }
+
+    b.build()
+}
+
+/// Kahn topological sort of raw gates by signal dependencies.
+fn raw_topo_order(raw: &RawCircuit) -> Result<Vec<usize>, CircuitError> {
+    let n = raw.gates.len();
+    let mut producer: Vec<Option<usize>> = vec![None; raw.signal_count()];
+    for (gi, g) in raw.gates.iter().enumerate() {
+        producer[g.output.0] = Some(gi);
+    }
+    let mut indegree = vec![0usize; n];
+    let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (gi, g) in raw.gates.iter().enumerate() {
+        for &i in &g.inputs {
+            if let Some(src) = producer[i.0] {
+                indegree[gi] += 1;
+                users[src].push(gi);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&g| indegree[g] == 0).collect();
+    let mut head = 0;
+    let mut order = Vec::with_capacity(n);
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        order.push(g);
+        for &u in &users[g] {
+            indegree[u] -= 1;
+            if indegree[u] == 0 {
+                queue.push(u);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n).find(|&g| indegree[g] > 0).expect("cycle exists");
+        return Err(CircuitError::CombinationalCycle {
+            net: raw.signal_name(raw.gates[stuck].output).to_string(),
+        });
+    }
+    Ok(order)
+}
+
+/// Emits normalized gates for raw operators.
+struct Emitter<'a> {
+    b: &'a mut CircuitBuilder,
+    tmp: usize,
+}
+
+impl Emitter<'_> {
+    fn fresh(&mut self, hint: &str) -> String {
+        self.tmp += 1;
+        format!("{hint}__n{}", self.tmp)
+    }
+
+    fn emit(&mut self, op: RawOp, ins: &[NetId], out_name: &str) -> NetId {
+        match op {
+            RawOp::Not => self.b.add_gate(CellType::Inv, ins, out_name),
+            RawOp::Buff => {
+                let mid = self.fresh(out_name);
+                let m = self.b.add_gate(CellType::Inv, ins, &mid);
+                self.b.add_gate(CellType::Inv, &[m], out_name)
+            }
+            RawOp::Nand => self.nand(ins, out_name),
+            RawOp::Nor => self.nor(ins, out_name),
+            RawOp::And => {
+                let mid = self.fresh(out_name);
+                let n = self.nand(ins, &mid);
+                self.b.add_gate(CellType::Inv, &[n], out_name)
+            }
+            RawOp::Or => {
+                let mid = self.fresh(out_name);
+                let n = self.nor(ins, &mid);
+                self.b.add_gate(CellType::Inv, &[n], out_name)
+            }
+            RawOp::Xor => self.xor(ins, out_name),
+            RawOp::Xnor => {
+                let mid = self.fresh(out_name);
+                let x = self.xor(ins, &mid);
+                self.b.add_gate(CellType::Inv, &[x], out_name)
+            }
+        }
+    }
+
+    /// NAND of any fanin; wide gates become an AND-tree plus inverter.
+    fn nand(&mut self, ins: &[NetId], out_name: &str) -> NetId {
+        match ins.len() {
+            0 => unreachable!("validated: no zero-input gates"),
+            1 => self.b.add_gate(CellType::Inv, ins, out_name),
+            2..=4 => {
+                let cell = CellType::nand(ins.len()).expect("2..=4 checked");
+                self.b.add_gate(cell, ins, out_name)
+            }
+            _ => {
+                let a = self.and_tree(ins, out_name);
+                self.b.add_gate(CellType::Inv, &[a], out_name)
+            }
+        }
+    }
+
+    /// NOR of any fanin; wide gates become an OR-tree plus inverter.
+    fn nor(&mut self, ins: &[NetId], out_name: &str) -> NetId {
+        match ins.len() {
+            0 => unreachable!("validated: no zero-input gates"),
+            1 => self.b.add_gate(CellType::Inv, ins, out_name),
+            2..=4 => {
+                let cell = CellType::nor(ins.len()).expect("2..=4 checked");
+                self.b.add_gate(cell, ins, out_name)
+            }
+            _ => {
+                let o = self.or_tree(ins, out_name);
+                self.b.add_gate(CellType::Inv, &[o], out_name)
+            }
+        }
+    }
+
+    /// AND of any fanin as a tree of NAND+INV.
+    fn and_tree(&mut self, ins: &[NetId], hint: &str) -> NetId {
+        if ins.len() == 1 {
+            return ins[0];
+        }
+        if ins.len() <= 4 {
+            let name = self.fresh(hint);
+            let n = self.nand(ins, &name);
+            let inv_name = self.fresh(hint);
+            return self.b.add_gate(CellType::Inv, &[n], &inv_name);
+        }
+        let reduced: Vec<NetId> =
+            ins.chunks(4).map(|chunk| self.and_tree(chunk, hint)).collect();
+        self.and_tree(&reduced, hint)
+    }
+
+    /// OR of any fanin as a tree of NOR+INV.
+    fn or_tree(&mut self, ins: &[NetId], hint: &str) -> NetId {
+        if ins.len() == 1 {
+            return ins[0];
+        }
+        if ins.len() <= 4 {
+            let name = self.fresh(hint);
+            let n = self.nor(ins, &name);
+            let inv_name = self.fresh(hint);
+            return self.b.add_gate(CellType::Inv, &[n], &inv_name);
+        }
+        let reduced: Vec<NetId> =
+            ins.chunks(4).map(|chunk| self.or_tree(chunk, hint)).collect();
+        self.or_tree(&reduced, hint)
+    }
+
+    /// Parity as cascaded 4-NAND2 XOR stages.
+    fn xor(&mut self, ins: &[NetId], out_name: &str) -> NetId {
+        assert!(!ins.is_empty());
+        if ins.len() == 1 {
+            // XOR of one signal is the signal; keep a buffer so the
+            // named net exists and is driven.
+            let mid = self.fresh(out_name);
+            let m = self.b.add_gate(CellType::Inv, &[ins[0]], &mid);
+            return self.b.add_gate(CellType::Inv, &[m], out_name);
+        }
+        let mut acc = ins[0];
+        for (i, &next) in ins[1..].iter().enumerate() {
+            let last = i + 2 == ins.len();
+            let name = if last { out_name.to_string() } else { self.fresh(out_name) };
+            acc = self.xor2(acc, next, &name);
+        }
+        acc
+    }
+
+    /// The standard 4-gate NAND2 XOR.
+    fn xor2(&mut self, a: NetId, c: NetId, out_name: &str) -> NetId {
+        let n1 = self.fresh(out_name);
+        let nab = self.b.add_gate(CellType::Nand2, &[a, c], &n1);
+        let n2 = self.fresh(out_name);
+        let l = self.b.add_gate(CellType::Nand2, &[a, nab], &n2);
+        let n3 = self.fresh(out_name);
+        let r = self.b.add_gate(CellType::Nand2, &[c, nab], &n3);
+        self.b.add_gate(CellType::Nand2, &[l, r], out_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+    use crate::logic::simulate;
+    use crate::raw::SigId;
+
+    fn check_equivalence(raw: &RawCircuit, cases: usize, seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let circuit = normalize(raw).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..cases {
+            let pi: Vec<bool> = (0..raw.inputs.len()).map(|_| rng.gen()).collect();
+            let st: Vec<bool> = (0..raw.dffs.len()).map(|_| rng.gen()).collect();
+            // Raw evaluation.
+            let raw_vals = eval_raw(raw, &pi, &st);
+            // Normalized evaluation.
+            let values = simulate(&circuit, &pi, &st);
+            for (k, &o) in raw.outputs.iter().enumerate() {
+                let net = circuit.find_net(raw.signal_name(o)).unwrap_or_else(|| {
+                    panic!("output net {} missing", raw.signal_name(o))
+                });
+                assert_eq!(
+                    values[net.0], raw_vals[o.0],
+                    "output {k} mismatch for pi={pi:?} st={st:?}"
+                );
+            }
+        }
+    }
+
+    /// Straightforward raw-level evaluator used as the oracle.
+    fn eval_raw(raw: &RawCircuit, pi: &[bool], st: &[bool]) -> Vec<bool> {
+        let mut vals = vec![false; raw.signal_count()];
+        for (k, &i) in raw.inputs.iter().enumerate() {
+            vals[i.0] = pi[k];
+        }
+        for (k, &(_, q)) in raw.dffs.iter().enumerate() {
+            vals[q.0] = st[k];
+        }
+        let order = super::raw_topo_order(raw).unwrap();
+        for gi in order {
+            let g = &raw.gates[gi];
+            let ins: Vec<bool> = g.inputs.iter().map(|s| vals[s.0]).collect();
+            vals[g.output.0] = g.op.eval(&ins);
+        }
+        vals
+    }
+
+    #[test]
+    fn all_operators_preserve_function() {
+        let text = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y1)
+OUTPUT(y2)
+OUTPUT(y3)
+OUTPUT(y4)
+OUTPUT(y5)
+OUTPUT(y6)
+y1 = AND(a, b, c, d, e)
+y2 = OR(a, b, c, d, e)
+y3 = XOR(a, b, c)
+y4 = XNOR(a, b)
+y5 = NAND(a, b, c, d, e)
+y6 = BUFF(a)
+";
+        let raw = parse_bench("ops", text).unwrap();
+        check_equivalence(&raw, 32, 7);
+    }
+
+    #[test]
+    fn wide_gates_decompose_into_trees() {
+        let mut raw = RawCircuit::new("wide");
+        let ins: Vec<SigId> = (0..9).map(|i| raw.add_input(&format!("i{i}"))).collect();
+        let y = raw.signal("y");
+        raw.add_gate(RawOp::And, &ins, y);
+        raw.add_output("y");
+        let c = normalize(&raw).unwrap();
+        // Tree of NAND4/NAND cells plus inverters.
+        assert!(c.gate_count() >= 4);
+        check_equivalence(&raw, 64, 11);
+    }
+
+    #[test]
+    fn dff_expansion_structure() {
+        let raw = parse_bench(
+            "seq",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(n)\nn = NAND(a, q)\ny = NOT(q)\n",
+        )
+        .unwrap();
+        let c = normalize(&raw).unwrap();
+        assert_eq!(c.dff_count(), 1);
+        // Q is driven by the slave inverter; D net feeds the master.
+        let q = c.find_net("q").unwrap();
+        assert!(matches!(c.net_driver(q), crate::circuit::Driver::Gate(_)));
+        let d = c.dff_d_nets()[0];
+        assert_eq!(c.net_name(d), "n");
+        // The D net is loaded by the master inverter in addition to any
+        // logic fanout.
+        assert!(!c.net_loads(d).is_empty());
+        // Q = stored state.
+        let values = simulate(&c, &[false], &[true]);
+        assert!(values[q.0]);
+        let values = simulate(&c, &[false], &[false]);
+        assert!(!values[q.0]);
+    }
+
+    #[test]
+    fn sequential_loop_through_dff_is_fine() {
+        // q feeds back into the gate producing its own d: legal because
+        // the DFF cuts the loop.
+        let raw = parse_bench("loop", "INPUT(a)\nOUTPUT(q)\nq = DFF(n)\nn = NAND(a, q)\n").unwrap();
+        assert!(normalize(&raw).is_ok());
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let mut raw = RawCircuit::new("cyc");
+        let a = raw.add_input("a");
+        let x = raw.signal("x");
+        let y = raw.signal("y");
+        raw.add_gate(RawOp::Nand, &[a, y], x);
+        raw.add_gate(RawOp::Not, &[x], y);
+        raw.add_output("y");
+        assert!(matches!(normalize(&raw), Err(CircuitError::CombinationalCycle { .. })));
+    }
+}

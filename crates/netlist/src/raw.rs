@@ -1,0 +1,300 @@
+//! Raw (pre-normalization) circuits: arbitrary-fanin boolean operators
+//! and DFFs, as read from `.bench` files or produced by generators.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+
+/// Index of a raw signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SigId(pub usize);
+
+/// Boolean operators supported by the `.bench` dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RawOp {
+    /// Multi-input AND.
+    And,
+    /// Multi-input OR.
+    Or,
+    /// Multi-input NAND.
+    Nand,
+    /// Multi-input NOR.
+    Nor,
+    /// Inverter (exactly one input).
+    Not,
+    /// Buffer (exactly one input).
+    Buff,
+    /// Multi-input XOR (parity).
+    Xor,
+    /// Multi-input XNOR.
+    Xnor,
+}
+
+impl RawOp {
+    /// The `.bench` keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RawOp::And => "AND",
+            RawOp::Or => "OR",
+            RawOp::Nand => "NAND",
+            RawOp::Nor => "NOR",
+            RawOp::Not => "NOT",
+            RawOp::Buff => "BUFF",
+            RawOp::Xor => "XOR",
+            RawOp::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive; `BUF` accepted).
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(RawOp::And),
+            "OR" => Some(RawOp::Or),
+            "NAND" => Some(RawOp::Nand),
+            "NOR" => Some(RawOp::Nor),
+            "NOT" | "INV" => Some(RawOp::Not),
+            "BUFF" | "BUF" => Some(RawOp::Buff),
+            "XOR" => Some(RawOp::Xor),
+            "XNOR" => Some(RawOp::Xnor),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the operator.
+    ///
+    /// # Panics
+    /// Panics on an empty input slice.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "operator needs at least one input");
+        match self {
+            RawOp::And => inputs.iter().all(|&b| b),
+            RawOp::Or => inputs.iter().any(|&b| b),
+            RawOp::Nand => !inputs.iter().all(|&b| b),
+            RawOp::Nor => !inputs.iter().any(|&b| b),
+            RawOp::Not => !inputs[0],
+            RawOp::Buff => inputs[0],
+            RawOp::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            RawOp::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+        }
+    }
+}
+
+/// A raw gate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawGate {
+    /// Operator.
+    pub op: RawOp,
+    /// Input signals.
+    pub inputs: Vec<SigId>,
+    /// Output signal.
+    pub output: SigId,
+}
+
+/// A raw circuit: named signals, primary IO, gates and DFFs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RawCircuit {
+    /// Circuit name.
+    pub name: String,
+    signals: Vec<String>,
+    /// Primary inputs.
+    pub inputs: Vec<SigId>,
+    /// Primary outputs.
+    pub outputs: Vec<SigId>,
+    /// Gates in file/creation order (no topological guarantee).
+    pub gates: Vec<RawGate>,
+    /// DFFs as `(d, q)` pairs.
+    pub dffs: Vec<(SigId, SigId)>,
+}
+
+impl RawCircuit {
+    /// Creates an empty raw circuit.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Adds (or finds) a signal by name.
+    pub fn signal(&mut self, name: &str) -> SigId {
+        if let Some(i) = self.signals.iter().position(|s| s == name) {
+            return SigId(i);
+        }
+        self.signals.push(name.to_string());
+        SigId(self.signals.len() - 1)
+    }
+
+    /// Adds a signal that must be fresh (generators use this to avoid
+    /// the linear-scan lookup of [`RawCircuit::signal`]).
+    pub fn fresh_signal(&mut self, name: &str) -> SigId {
+        self.signals.push(name.to_string());
+        SigId(self.signals.len() - 1)
+    }
+
+    /// The signal's name.
+    pub fn signal_name(&self, id: SigId) -> &str {
+        &self.signals[id.0]
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Declares a primary input.
+    pub fn add_input(&mut self, name: &str) -> SigId {
+        let id = self.signal(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a primary output.
+    pub fn add_output(&mut self, name: &str) -> SigId {
+        let id = self.signal(name);
+        self.outputs.push(id);
+        id
+    }
+
+    /// Adds a gate computing `op(inputs)` into the named output signal.
+    pub fn add_gate(&mut self, op: RawOp, inputs: &[SigId], output: SigId) {
+        self.gates.push(RawGate { op, inputs: inputs.to_vec(), output });
+    }
+
+    /// Adds a DFF `q = DFF(d)`.
+    pub fn add_dff(&mut self, d: SigId, q: SigId) {
+        self.dffs.push((d, q));
+    }
+
+    /// Basic structural validation: single driver per signal, all gate
+    /// inputs exist, fanins non-empty, NOT/BUFF unary.
+    ///
+    /// # Errors
+    /// The first violation found, as a [`CircuitError`].
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let mut driven = vec![false; self.signals.len()];
+        let mut drive = |id: SigId, name: &str| -> Result<(), CircuitError> {
+            if driven[id.0] {
+                return Err(CircuitError::MultipleDrivers { net: name.to_string() });
+            }
+            driven[id.0] = true;
+            Ok(())
+        };
+        for &i in &self.inputs {
+            drive(i, self.signal_name(i))?;
+        }
+        for &(_, q) in &self.dffs {
+            drive(q, self.signal_name(q))?;
+        }
+        for g in &self.gates {
+            drive(g.output, self.signal_name(g.output))?;
+            if g.inputs.is_empty() {
+                return Err(CircuitError::BadGate(format!(
+                    "{} gate '{}' has no inputs",
+                    g.op.keyword(),
+                    self.signal_name(g.output)
+                )));
+            }
+            if matches!(g.op, RawOp::Not | RawOp::Buff) && g.inputs.len() != 1 {
+                return Err(CircuitError::BadGate(format!(
+                    "{} gate '{}' must be unary",
+                    g.op.keyword(),
+                    self.signal_name(g.output)
+                )));
+            }
+        }
+        for (i, d) in driven.iter().enumerate() {
+            if !d {
+                return Err(CircuitError::UndrivenNet { net: self.signals[i].clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total gate count (excluding DFFs).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval_matrix() {
+        assert!(RawOp::And.eval(&[true, true]));
+        assert!(!RawOp::And.eval(&[true, false]));
+        assert!(RawOp::Or.eval(&[false, true]));
+        assert!(RawOp::Nand.eval(&[true, false]));
+        assert!(!RawOp::Nor.eval(&[false, true]));
+        assert!(RawOp::Xor.eval(&[true, false, false]));
+        assert!(!RawOp::Xor.eval(&[true, true]));
+        assert!(RawOp::Xnor.eval(&[true, true]));
+        assert!(RawOp::Not.eval(&[false]));
+        assert!(RawOp::Buff.eval(&[true]));
+    }
+
+    #[test]
+    fn keywords_round_trip() {
+        for op in [
+            RawOp::And,
+            RawOp::Or,
+            RawOp::Nand,
+            RawOp::Nor,
+            RawOp::Not,
+            RawOp::Buff,
+            RawOp::Xor,
+            RawOp::Xnor,
+        ] {
+            assert_eq!(RawOp::from_keyword(op.keyword()), Some(op));
+        }
+        assert_eq!(RawOp::from_keyword("buf"), Some(RawOp::Buff));
+        assert_eq!(RawOp::from_keyword("MAJ"), None);
+    }
+
+    #[test]
+    fn signals_deduplicate_by_name() {
+        let mut c = RawCircuit::new("t");
+        let a = c.signal("a");
+        let a2 = c.signal("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.signal_count(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let mut c = RawCircuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.signal("y");
+        c.add_gate(RawOp::Nand, &[a, b], y);
+        c.add_output("y");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_driver() {
+        let mut c = RawCircuit::new("t");
+        let a = c.add_input("a");
+        let y = c.signal("y");
+        c.add_gate(RawOp::Not, &[a], y);
+        c.add_gate(RawOp::Buff, &[a], y);
+        assert!(matches!(c.validate(), Err(CircuitError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_undriven() {
+        let mut c = RawCircuit::new("t");
+        let ghost = c.signal("ghost");
+        let y = c.signal("y");
+        c.add_gate(RawOp::Not, &[ghost], y);
+        assert!(matches!(c.validate(), Err(CircuitError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_binary_not() {
+        let mut c = RawCircuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.signal("y");
+        c.add_gate(RawOp::Not, &[a, b], y);
+        assert!(matches!(c.validate(), Err(CircuitError::BadGate(_))));
+    }
+}

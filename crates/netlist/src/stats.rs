@@ -1,0 +1,130 @@
+//! Structural statistics of normalized circuits.
+
+use std::fmt;
+
+use nanoleak_cells::CellType;
+
+use crate::circuit::{Circuit, Driver};
+
+/// Summary statistics of a circuit's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Library-cell count.
+    pub gates: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// DFF count (post expansion).
+    pub dffs: usize,
+    /// Gate counts per cell type.
+    pub by_cell: Vec<(CellType, usize)>,
+    /// Longest combinational path in gate levels.
+    pub max_depth: usize,
+    /// Largest net fanout (pin count).
+    pub max_fanout: usize,
+    /// Mean net fanout over driven-and-used nets.
+    pub avg_fanout: f64,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn compute(circuit: &Circuit) -> Self {
+        let mut depth = vec![0usize; circuit.net_count()];
+        let mut max_depth = 0;
+        for &gid in circuit.topo_order() {
+            let gate = circuit.gate(gid);
+            let d = gate.inputs.iter().map(|n| depth[n.0]).max().unwrap_or(0) + 1;
+            depth[gate.output.0] = d;
+            max_depth = max_depth.max(d);
+        }
+        let fanouts: Vec<usize> = (0..circuit.net_count())
+            .map(|i| circuit.net_loads(crate::circuit::NetId(i)).len())
+            .collect();
+        let used: Vec<usize> = fanouts.iter().copied().filter(|&f| f > 0).collect();
+        let avg_fanout = if used.is_empty() {
+            0.0
+        } else {
+            used.iter().sum::<usize>() as f64 / used.len() as f64
+        };
+        Self {
+            name: circuit.name().to_string(),
+            gates: circuit.gate_count(),
+            nets: circuit.net_count(),
+            inputs: circuit.inputs().len(),
+            outputs: circuit.outputs().len(),
+            dffs: circuit.dff_count(),
+            by_cell: circuit.cell_histogram(),
+            max_depth,
+            max_fanout: fanouts.into_iter().max().unwrap_or(0),
+            avg_fanout,
+        }
+    }
+
+    /// Count of drivers of each kind (inputs / state inputs / gates);
+    /// useful for sanity checks.
+    pub fn driver_counts(circuit: &Circuit) -> (usize, usize, usize) {
+        let mut pi = 0;
+        let mut st = 0;
+        let mut gate = 0;
+        for i in 0..circuit.net_count() {
+            match circuit.net_driver(crate::circuit::NetId(i)) {
+                Driver::Input => pi += 1,
+                Driver::StateInput => st += 1,
+                Driver::Gate(_) => gate += 1,
+            }
+        }
+        (pi, st, gate)
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates, {} nets, {} PI, {} PO, {} DFF, depth {}, fanout avg {:.2} max {}",
+            self.name,
+            self.gates,
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.max_depth,
+            self.avg_fanout,
+            self.max_fanout
+        )?;
+        for (cell, count) in &self.by_cell {
+            writeln!(f, "  {cell:>6}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    #[test]
+    fn stats_of_small_chain() {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.add_input("a");
+        let x = b.add_gate(CellType::Inv, &[a], "x");
+        let y = b.add_gate(CellType::Nand2, &[a, x], "y");
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let s = CircuitStats::compute(&c);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 2, "net a feeds both gates");
+        let (pi, st, gate) = CircuitStats::driver_counts(&c);
+        assert_eq!((pi, st, gate), (1, 0, 2));
+        let shown = s.to_string();
+        assert!(shown.contains("2 gates"));
+    }
+}

@@ -1,0 +1,324 @@
+//! DC operating-point solve: the "virtual SPICE" entry point.
+//!
+//! Finds the node voltages at which every floating node satisfies KCL
+//! (device currents balance the external injections), then reports the
+//! per-device leakage breakdowns at the solution. For leakage analysis
+//! this *is* the SPICE run: there are no time constants, only the
+//! nonlinear DC equilibrium.
+
+use nanoleak_device::{Bias, LeakageBreakdown, TerminalCurrents};
+
+use crate::error::SolverError;
+use crate::netlist::{MosNetlist, NodeId};
+use crate::newton::{self, NewtonOptions, NewtonStats};
+
+/// A converged operating point with its leakage accounting.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    /// Voltage of every node (fixed and solved), by node index \[V\].
+    pub voltages: Vec<f64>,
+    /// KCL-ready terminal currents per device.
+    pub device_currents: Vec<TerminalCurrents>,
+    /// Leakage mechanism breakdown per device.
+    pub device_breakdowns: Vec<LeakageBreakdown>,
+    /// Newton convergence statistics.
+    pub stats: NewtonStats,
+}
+
+impl DcSolution {
+    /// Voltage of `node` \[V\].
+    pub fn node_voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.0]
+    }
+
+    /// Sum of the per-device breakdowns — the cell/circuit leakage in
+    /// the paper's accounting (`I_total = I_sub + I_gate + I_btbt`).
+    pub fn total_breakdown(&self) -> LeakageBreakdown {
+        self.device_breakdowns.iter().fold(LeakageBreakdown::ZERO, |acc, b| acc + *b)
+    }
+
+    /// Net current flowing from `node` into device terminals \[A\] —
+    /// e.g. the VDD rail current when called on the supply node.
+    pub fn node_device_current(&self, netlist: &MosNetlist, node: NodeId) -> f64 {
+        let mut total = 0.0;
+        for (dev, tc) in netlist.devices().iter().zip(&self.device_currents) {
+            if dev.d == node {
+                total += tc.d;
+            }
+            if dev.g == node {
+                total += tc.g;
+            }
+            if dev.s == node {
+                total += tc.s;
+            }
+            if dev.b == node {
+                total += tc.b;
+            }
+        }
+        total
+    }
+
+    /// Worst KCL residual over floating nodes \[A\] — a solution
+    /// quality check independent of the Newton report.
+    pub fn kcl_residual(&self, netlist: &MosNetlist) -> f64 {
+        netlist
+            .unknown_nodes()
+            .into_iter()
+            .map(|n| (self.node_device_current(netlist, n) - netlist.injection(n)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Evaluates all device currents/breakdowns at the given full voltage
+/// vector.
+fn evaluate_devices(
+    netlist: &MosNetlist,
+    voltages: &[f64],
+    temp: f64,
+) -> (Vec<TerminalCurrents>, Vec<LeakageBreakdown>) {
+    let mut currents = Vec::with_capacity(netlist.device_count());
+    let mut breakdowns = Vec::with_capacity(netlist.device_count());
+    for dev in netlist.devices() {
+        let bias = Bias::new(
+            voltages[dev.g.0],
+            voltages[dev.d.0],
+            voltages[dev.s.0],
+            voltages[dev.b.0],
+        );
+        let (tc, bd) = dev.transistor.leakage(bias, temp);
+        currents.push(tc);
+        breakdowns.push(bd);
+    }
+    (currents, breakdowns)
+}
+
+/// Solves the DC operating point of `netlist` at temperature `temp`.
+///
+/// `guess` optionally seeds every node voltage (length must equal
+/// [`MosNetlist::node_count`]); fixed nodes are overridden by their
+/// pinned values. Without a guess, unknowns start at half the highest
+/// rail.
+///
+/// # Errors
+/// Propagates [`SolverError`] from the Newton kernel; also rejects a
+/// guess of the wrong length.
+pub fn solve_dc(
+    netlist: &MosNetlist,
+    temp: f64,
+    guess: Option<&[f64]>,
+    opts: &NewtonOptions,
+) -> Result<DcSolution, SolverError> {
+    let n_nodes = netlist.node_count();
+    if let Some(g) = guess {
+        if g.len() != n_nodes {
+            return Err(SolverError::BadProblem(format!(
+                "guess has {} entries for {} nodes",
+                g.len(),
+                n_nodes
+            )));
+        }
+    }
+    let unknowns = netlist.unknown_nodes();
+
+    // Assemble the full voltage vector template.
+    let vdd_est = (0..n_nodes)
+        .filter_map(|i| netlist.fixed_voltage(NodeId(i)))
+        .fold(0.0_f64, f64::max);
+    let mut voltages: Vec<f64> = (0..n_nodes)
+        .map(|i| {
+            let node = NodeId(i);
+            netlist.fixed_voltage(node).unwrap_or_else(|| {
+                guess.map(|g| g[i]).unwrap_or(0.5 * vdd_est)
+            })
+        })
+        .collect();
+
+    if unknowns.is_empty() {
+        let (device_currents, device_breakdowns) = evaluate_devices(netlist, &voltages, temp);
+        return Ok(DcSolution {
+            voltages,
+            device_currents,
+            device_breakdowns,
+            stats: NewtonStats { iterations: 0, residual: 0.0 },
+        });
+    }
+
+    // node index -> unknown slot (or None for pinned nodes).
+    let mut unknown_slot: Vec<Option<usize>> = vec![None; n_nodes];
+    for (k, node) in unknowns.iter().enumerate() {
+        unknown_slot[node.0] = Some(k);
+    }
+
+    let mut x: Vec<f64> = unknowns.iter().map(|n| voltages[n.0]).collect();
+    {
+        let template = voltages.clone();
+        let residual = |x: &[f64], f: &mut [f64]| {
+            let mut v = template.clone();
+            for (k, node) in unknowns.iter().enumerate() {
+                v[node.0] = x[k];
+            }
+            f.iter_mut().for_each(|fi| *fi = 0.0);
+            for dev in netlist.devices() {
+                let bias = Bias::new(v[dev.g.0], v[dev.d.0], v[dev.s.0], v[dev.b.0]);
+                let tc = dev.transistor.terminal_currents(bias, temp);
+                for (node, i) in [(dev.d, tc.d), (dev.g, tc.g), (dev.s, tc.s), (dev.b, tc.b)] {
+                    if let Some(k) = unknown_slot[node.0] {
+                        f[k] += i;
+                    }
+                }
+            }
+            for (k, node) in unknowns.iter().enumerate() {
+                f[k] -= netlist.injection(*node);
+            }
+        };
+        newton::solve(residual, &mut x, opts)?;
+    }
+    for (k, node) in unknowns.iter().enumerate() {
+        voltages[node.0] = x[k];
+    }
+    let (device_currents, device_breakdowns) = evaluate_devices(netlist, &voltages, temp);
+
+    // Re-derive the final residual for the stats (cheap, n is tiny).
+    let mut worst = 0.0_f64;
+    for node in &unknowns {
+        let mut sum = -netlist.injection(*node);
+        for (dev, tc) in netlist.devices().iter().zip(&device_currents) {
+            if dev.d == *node {
+                sum += tc.d;
+            }
+            if dev.g == *node {
+                sum += tc.g;
+            }
+            if dev.s == *node {
+                sum += tc.s;
+            }
+            if dev.b == *node {
+                sum += tc.b;
+            }
+        }
+        worst = worst.max(sum.abs());
+    }
+
+    Ok(DcSolution {
+        voltages,
+        device_currents,
+        device_breakdowns,
+        stats: NewtonStats { iterations: 0, residual: worst },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_device::consts::NA;
+    use nanoleak_device::{DeviceDesign, MosKind, Technology, Transistor};
+
+    /// Builds a plain inverter with pinned input; returns (netlist, out).
+    fn inverter(vin: f64) -> (MosNetlist, NodeId) {
+        let tech = Technology::d25();
+        let mut nl = MosNetlist::new();
+        let vdd = nl.add_fixed_node("vdd", tech.vdd);
+        let gnd = nl.add_fixed_node("gnd", 0.0);
+        let input = nl.add_fixed_node("in", vin);
+        let out = nl.add_node("out");
+        nl.add_mos(Transistor::from_design(&tech.nmos), out, input, gnd, gnd);
+        nl.add_mos(Transistor::from_design(&tech.pmos), out, input, vdd, vdd);
+        (nl, out)
+    }
+
+    #[test]
+    fn inverter_output_high_for_input_low() {
+        let (nl, out) = inverter(0.0);
+        let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        let v = sol.node_voltage(out);
+        // Output pulled to VDD minus a leakage-induced droop of at most
+        // a few mV.
+        assert!(v > 0.88 && v <= 0.9005, "Vout = {v}");
+        assert!(sol.kcl_residual(&nl) < 1e-14);
+    }
+
+    #[test]
+    fn inverter_output_low_for_input_high() {
+        let (nl, out) = inverter(0.9);
+        let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        let v = sol.node_voltage(out);
+        assert!(v < 0.02 && v >= -0.0005, "Vout = {v}");
+    }
+
+    #[test]
+    fn injection_shifts_output_node() {
+        // Pull current out of a logic-1 output: voltage must droop
+        // by roughly I/g_on of the PMOS (a few mV at uA scale).
+        let (mut nl, out) = inverter(0.0);
+        let base = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap().node_voltage(out);
+        nl.set_injection(out, -3e-6);
+        let loaded = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap().node_voltage(out);
+        let droop = base - loaded;
+        assert!(droop > 0.5e-3 && droop < 20e-3, "droop = {} mV", droop * 1e3);
+    }
+
+    #[test]
+    fn breakdown_magnitudes_match_paper_scale() {
+        let (nl, _) = inverter(0.0);
+        let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        let b = sol.total_breakdown();
+        assert!(b.sub > 100.0 * NA && b.sub < 900.0 * NA, "sub = {} nA", b.sub / NA);
+        assert!(b.gate > 10.0 * NA && b.gate < 500.0 * NA, "gate = {} nA", b.gate / NA);
+        assert!(b.btbt > 0.5 * NA && b.btbt < 50.0 * NA, "btbt = {} nA", b.btbt / NA);
+    }
+
+    #[test]
+    fn vdd_rail_current_is_negative_of_gnd_current_plus_pins() {
+        // Conservation: all device terminal currents over all nodes sum
+        // to zero, so rail + pinned-input + output currents cancel.
+        let (nl, _) = inverter(0.0);
+        let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        let total: f64 = (0..nl.node_count())
+            .map(|i| sol.node_device_current(&nl, NodeId(i)))
+            .sum();
+        assert!(total.abs() < 1e-15, "global conservation violated: {total:e}");
+    }
+
+    #[test]
+    fn fully_pinned_netlist_needs_no_newton() {
+        let tech = Technology::d25();
+        let mut nl = MosNetlist::new();
+        let vdd = nl.add_fixed_node("vdd", tech.vdd);
+        let gnd = nl.add_fixed_node("gnd", 0.0);
+        nl.add_mos(Transistor::from_design(&tech.nmos), vdd, gnd, gnd, gnd);
+        let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        assert_eq!(sol.stats.iterations, 0);
+        assert!(sol.total_breakdown().total() > 0.0);
+    }
+
+    #[test]
+    fn wrong_guess_length_rejected() {
+        let (nl, _) = inverter(0.0);
+        let err = solve_dc(&nl, 300.0, Some(&[0.0]), &NewtonOptions::default());
+        assert!(matches!(err, Err(SolverError::BadProblem(_))));
+    }
+
+    #[test]
+    fn nand2_stack_node_settles_low() {
+        // Two series NMOS (both OFF, inputs 00): the stack node rises to
+        // tens of mV — the classic stacking effect (paper Section 4).
+        let tech = Technology::d25();
+        let mut nl = MosNetlist::new();
+        let vdd = nl.add_fixed_node("vdd", tech.vdd);
+        let gnd = nl.add_fixed_node("gnd", 0.0);
+        let a = nl.add_fixed_node("a", 0.0);
+        let bpin = nl.add_fixed_node("b", 0.0);
+        let out = nl.add_node("out");
+        let mid = nl.add_node("mid");
+        let n = Transistor::from_design(&tech.nmos).scaled_width(2.0);
+        let p = Transistor::from_design(&tech.pmos);
+        nl.add_mos(n.clone(), out, a, mid, gnd);
+        nl.add_mos(n, mid, bpin, gnd, gnd);
+        nl.add_mos(p.clone(), out, a, vdd, vdd);
+        nl.add_mos(p, out, bpin, vdd, vdd);
+        let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        let vmid = sol.node_voltage(mid);
+        assert!(vmid > 0.01 && vmid < 0.30, "stack node = {} V", vmid);
+        assert!(sol.node_voltage(out) > 0.85);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The offline dependency set has no linear-algebra crate, and the
+//! systems solved here are tiny (a handful of circuit nodes per standard
+//! cell), so a straightforward dense LU is both sufficient and fast.
+
+use crate::error::SolverError;
+
+/// Solves `A x = b` in place for a dense row-major `n x n` matrix.
+///
+/// `a` is overwritten with its LU factors and `b` with the solution.
+///
+/// # Errors
+/// Returns [`SolverError::SingularMatrix`] when no usable pivot exists,
+/// and [`SolverError::BadProblem`] on dimension mismatch.
+///
+/// # Examples
+/// ```
+/// let mut a = vec![2.0, 1.0, 1.0, 3.0];
+/// let mut b = vec![3.0, 5.0];
+/// nanoleak_solver::linear::lu_solve(&mut a, &mut b).unwrap();
+/// assert!((b[0] - 0.8).abs() < 1e-12);
+/// assert!((b[1] - 1.4).abs() < 1e-12);
+/// ```
+pub fn lu_solve(a: &mut [f64], b: &mut [f64]) -> Result<(), SolverError> {
+    let n = b.len();
+    if a.len() != n * n {
+        return Err(SolverError::BadProblem(format!(
+            "matrix is {} elements, expected {}",
+            a.len(),
+            n * n
+        )));
+    }
+    // Forward elimination with partial pivoting.
+    for col in 0..n {
+        // Pivot search.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                piv = row;
+            }
+        }
+        if best == 0.0 || !best.is_finite() {
+            return Err(SolverError::SingularMatrix { pivot: col });
+        }
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            b.swap(col, piv);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            a[row * n + col] = 0.0;
+            for k in (col + 1)..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * b[k];
+        }
+        b[row] = acc / a[row * n + row];
+    }
+    Ok(())
+}
+
+/// Infinity norm of a vector.
+#[inline]
+pub fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_returns_rhs() {
+        let mut a = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut b = vec![4.0, -2.0, 7.0];
+        lu_solve(&mut a, &mut b).unwrap();
+        assert_eq!(b, vec![4.0, -2.0, 7.0]);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        lu_solve(&mut a, &mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(lu_solve(&mut a, &mut b), Err(SolverError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut a = vec![1.0; 5];
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(lu_solve(&mut a, &mut b), Err(SolverError::BadProblem(_))));
+    }
+
+    #[test]
+    fn solves_badly_scaled_conductance_system() {
+        // Conductances spanning 9 decades, like a gate leakage network:
+        // [1e-3, -1e-3; -1e-3, 1e-3 + 1e-12] x = [1e-9, 0].
+        let g1 = 1e-3;
+        let g2 = 1e-12;
+        let mut a = vec![g1, -g1, -g1, g1 + g2];
+        let mut b = vec![1e-9, 0.0];
+        lu_solve(&mut a, &mut b).unwrap();
+        // x2 = 1e-9/g2 = 1000 V, x1 = x2 + 1e-9/g1. Forming g1 + g2 and
+        // cancelling g1 during elimination loses ~9 digits, so ~1e-6
+        // relative accuracy is the honest expectation here.
+        assert!((b[1] - 1000.0).abs() / 1000.0 < 1e-5);
+        assert!(((b[0] - b[1]) / 1e-6 - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn random_matrices_round_trip() {
+        // Deterministic pseudo-random fill; validate A*x == b.
+        let n = 8;
+        let mut seed = 0x12345678_u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..20 {
+            let a: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a[i * n + j] * x_true[j];
+                }
+            }
+            let mut a_work = a.clone();
+            lu_solve(&mut a_work, &mut b).unwrap();
+            for i in 0..n {
+                assert!((b[i] - x_true[i]).abs() < 1e-8, "component {i} off");
+            }
+        }
+    }
+
+    #[test]
+    fn inf_norm_basics() {
+        assert_eq!(inf_norm(&[]), 0.0);
+        assert_eq!(inf_norm(&[-3.0, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Damped Newton–Raphson for small nonlinear KCL systems.
+//!
+//! The residual is the vector of node-current imbalances; the Jacobian
+//! is formed by forward differences (the networks have at most a dozen
+//! unknowns, so the `n+1` evaluations per iteration are cheap). Two
+//! SPICE-style safeguards make the exponential device models tractable:
+//! per-component step limiting (voltages move at most `max_step` per
+//! iteration) and a backtracking line search on the residual norm.
+
+use crate::error::SolverError;
+use crate::linear::{inf_norm, lu_solve};
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Residual infinity-norm tolerance \[A\].
+    pub tol_residual: f64,
+    /// Step infinity-norm below which the iteration is declared
+    /// stationary (and accepted if the residual is loose-tolerable).
+    pub tol_step: f64,
+    /// Per-component voltage step limit \[V\].
+    pub max_step: f64,
+    /// Forward-difference step for the Jacobian \[V\].
+    pub jacobian_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 120,
+            tol_residual: 1e-15,
+            tol_step: 1e-13,
+            max_step: 0.12,
+            jacobian_step: 2e-7,
+        }
+    }
+}
+
+/// Convergence statistics of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonStats {
+    /// Newton iterations performed.
+    pub iterations: usize,
+    /// Final residual infinity-norm \[A\].
+    pub residual: f64,
+}
+
+/// Solves `residual(x) = 0`, updating `x` in place.
+///
+/// `residual(x, f)` must write the residual for state `x` into `f`.
+///
+/// # Errors
+/// [`SolverError::NoConvergence`] if the tolerance is not met within
+/// `max_iter` iterations, [`SolverError::SingularMatrix`] if the
+/// Jacobian degenerates, [`SolverError::BadProblem`] for a zero-length
+/// state.
+///
+/// # Examples
+/// ```
+/// // Solve x^2 = 4, y = x (two coupled equations).
+/// let mut x = vec![1.0, 0.0];
+/// let stats = nanoleak_solver::newton::solve(
+///     |x, f| {
+///         f[0] = x[0] * x[0] - 4.0;
+///         f[1] = x[1] - x[0];
+///     },
+///     &mut x,
+///     &nanoleak_solver::NewtonOptions { max_step: 10.0, ..Default::default() },
+/// )?;
+/// assert!((x[0] - 2.0).abs() < 1e-9);
+/// assert!(stats.iterations > 0);
+/// # Ok::<(), nanoleak_solver::SolverError>(())
+/// ```
+pub fn solve<F>(residual: F, x: &mut [f64], opts: &NewtonOptions) -> Result<NewtonStats, SolverError>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = x.len();
+    if n == 0 {
+        return Err(SolverError::BadProblem("zero unknowns".to_string()));
+    }
+    let mut f = vec![0.0; n];
+    let mut f_trial = vec![0.0; n];
+    let mut jac = vec![0.0; n * n];
+    let mut dx = vec![0.0; n];
+    let mut x_pert = vec![0.0; n];
+    let mut x_trial = vec![0.0; n];
+
+    residual(x, &mut f);
+    let mut fnorm = inf_norm(&f);
+
+    for iter in 0..opts.max_iter {
+        if fnorm <= opts.tol_residual {
+            return Ok(NewtonStats { iterations: iter, residual: fnorm });
+        }
+        // Forward-difference Jacobian.
+        x_pert.copy_from_slice(x);
+        for j in 0..n {
+            let h = opts.jacobian_step * (1.0 + x[j].abs());
+            x_pert[j] = x[j] + h;
+            residual(&x_pert, &mut f_trial);
+            for i in 0..n {
+                jac[i * n + j] = (f_trial[i] - f[i]) / h;
+            }
+            x_pert[j] = x[j];
+        }
+        // Newton direction: J dx = -f.
+        dx.copy_from_slice(&f);
+        for v in dx.iter_mut() {
+            *v = -*v;
+        }
+        lu_solve(&mut jac, &mut dx)?;
+        // Per-component voltage limiting.
+        let dmax = inf_norm(&dx);
+        if dmax > opts.max_step {
+            let scale = opts.max_step / dmax;
+            for v in dx.iter_mut() {
+                *v *= scale;
+            }
+        }
+        // Backtracking line search: accept the first step that reduces
+        // the residual norm; fall back to the smallest step otherwise
+        // (keeps progress on the stiff exponentials).
+        let mut alpha = 1.0;
+        let mut accepted = false;
+        for _ in 0..8 {
+            for i in 0..n {
+                x_trial[i] = x[i] + alpha * dx[i];
+            }
+            residual(&x_trial, &mut f_trial);
+            let trial_norm = inf_norm(&f_trial);
+            if trial_norm < fnorm {
+                x.copy_from_slice(&x_trial);
+                f.copy_from_slice(&f_trial);
+                fnorm = trial_norm;
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if !accepted {
+            // Take the tiny step anyway; if it is truly stationary and
+            // the residual is still large, report failure below.
+            for i in 0..n {
+                x[i] += alpha * dx[i];
+            }
+            residual(x, &mut f);
+            fnorm = inf_norm(&f);
+            if inf_norm(&dx) * alpha < opts.tol_step {
+                break;
+            }
+        }
+        if inf_norm(&dx).min(dmax) < opts.tol_step && fnorm <= opts.tol_residual.max(1e-12) {
+            return Ok(NewtonStats { iterations: iter + 1, residual: fnorm });
+        }
+    }
+    if fnorm <= opts.tol_residual.max(1e-12) {
+        // Accept a slightly loose stall: 1e-12 A is far below the nA
+        // leakage scale of interest.
+        return Ok(NewtonStats { iterations: opts.max_iter, residual: fnorm });
+    }
+    Err(SolverError::NoConvergence { iterations: opts.max_iter, residual: fnorm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_system_in_one_iteration_family() {
+        // f(x) = A x - b with A = [[2, 1], [1, 3]].
+        let mut x = vec![0.0, 0.0];
+        let stats = solve(
+            |x, f| {
+                f[0] = 2.0 * x[0] + x[1] - 3.0;
+                f[1] = x[0] + 3.0 * x[1] - 5.0;
+            },
+            &mut x,
+            &NewtonOptions { max_step: 100.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-9, "{x:?} after {stats:?}");
+        assert!((x[1] - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stiff_exponential_diode_divider() {
+        // Node between a 1k resistor to 1 V and a diode to ground:
+        // (v - 1)/1000 + 1e-14 (exp(v/0.02585) - 1) = 0.
+        let vt = 0.02585;
+        let mut x = vec![0.5];
+        solve(
+            |x, f| {
+                f[0] = (x[0] - 1.0) / 1000.0 + 1e-14 * ((x[0] / vt).min(40.0).exp() - 1.0);
+            },
+            &mut x,
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        let v = x[0];
+        // Diode drop ~0.55-0.65 V at ~0.4 mA.
+        assert!(v > 0.5 && v < 0.7, "v = {v}");
+        let res = (v - 1.0) / 1000.0 + 1e-14 * ((v / vt).exp() - 1.0);
+        assert!(res.abs() < 1e-12, "residual = {res:e}");
+    }
+
+    #[test]
+    fn nanoamp_scale_system_meets_tight_tolerance() {
+        // Current balance at nA scale: g1 (v - 0.9) + g2 v = 3 nA.
+        let g1 = 1e-6;
+        let g2 = 5e-7;
+        let mut x = vec![0.0];
+        let stats = solve(
+            |x, f| {
+                f[0] = g1 * (x[0] - 0.9) + g2 * x[0] - 3e-9;
+            },
+            &mut x,
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!(stats.residual <= 1e-15);
+        let expect = (g1 * 0.9 + 3e-9) / (g1 + g2);
+        assert!((x[0] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_convergence_is_reported() {
+        // f(x) = 1 (no root).
+        let mut x = vec![0.0];
+        let err = solve(|_, f| f[0] = 1.0, &mut x, &NewtonOptions::default());
+        assert!(matches!(err, Err(SolverError::SingularMatrix { .. }) | Err(SolverError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn zero_unknowns_rejected() {
+        let mut x: Vec<f64> = vec![];
+        assert!(matches!(
+            solve(|_, _| {}, &mut x, &NewtonOptions::default()),
+            Err(SolverError::BadProblem(_))
+        ));
+    }
+
+    #[test]
+    fn step_limiting_tames_wild_starts() {
+        // Start far away on a cubic; unlimited Newton would overshoot
+        // through the inflection.
+        let mut x = vec![50.0];
+        solve(
+            |x, f| f[0] = x[0] * x[0] * x[0] - 8.0,
+            &mut x,
+            &NewtonOptions { max_step: 5.0, max_iter: 400, ..Default::default() },
+        )
+        .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,239 @@
+//! Robust scalar root finding (bracket expansion + Brent's method).
+//!
+//! The circuit-level reference simulator relaxes one net voltage at a
+//! time: each net's KCL is a scalar equation whose residual is
+//! monotone-ish but very stiff (exponential device currents). Brent's
+//! method gives guaranteed convergence once a sign change is bracketed.
+
+use crate::error::SolverError;
+
+/// Options for [`brent`] and [`solve_bracketed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarOptions {
+    /// Absolute x tolerance \[V\].
+    pub tol_x: f64,
+    /// Absolute residual tolerance \[A\].
+    pub tol_f: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+}
+
+impl Default for ScalarOptions {
+    fn default() -> Self {
+        Self { tol_x: 1e-12, tol_f: 1e-16, max_iter: 200 }
+    }
+}
+
+/// Finds a root of `f` in `[a, b]`, which must bracket a sign change.
+///
+/// # Errors
+/// [`SolverError::BracketFailure`] if `f(a)` and `f(b)` have the same
+/// sign; [`SolverError::NoConvergence`] if tolerances are not met.
+pub fn brent<F>(mut f: F, a: f64, b: f64, opts: &ScalarOptions) -> Result<f64, SolverError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut xa, mut xb) = (a, b);
+    let (mut fa, mut fb) = (f(xa), f(xb));
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(SolverError::BracketFailure { lo: a, hi: b });
+    }
+    let (mut xc, mut fc) = (xa, fa);
+    let mut d = xb - xa;
+    let mut e = d;
+    for _ in 0..opts.max_iter {
+        if fb.signum() == fc.signum() {
+            xc = xa;
+            fc = fa;
+            d = xb - xa;
+            e = d;
+        }
+        if fc.abs() < fb.abs() {
+            xa = xb;
+            xb = xc;
+            xc = xa;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * xb.abs() + 0.5 * opts.tol_x;
+        let xm = 0.5 * (xc - xb);
+        if xm.abs() <= tol1 || fb.abs() <= opts.tol_f {
+            return Ok(xb);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if xa == xc {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (xb - xa) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        xa = xb;
+        fa = fb;
+        xb += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(xb);
+    }
+    Err(SolverError::NoConvergence { iterations: opts.max_iter, residual: fb.abs() })
+}
+
+/// Finds a root of `f` near `x0`, expanding a bracket geometrically
+/// within `[lo, hi]` first, then polishing with Brent.
+///
+/// Designed for net-voltage relaxation: `x0` is the current estimate,
+/// `[lo, hi]` the physical rail window (slightly widened).
+///
+/// # Errors
+/// [`SolverError::BracketFailure`] when no sign change exists in
+/// `[lo, hi]`.
+pub fn solve_bracketed<F>(
+    mut f: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    opts: &ScalarOptions,
+) -> Result<f64, SolverError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo < hi) {
+        return Err(SolverError::BadProblem(format!("empty interval [{lo}, {hi}]")));
+    }
+    let x0 = x0.clamp(lo, hi);
+    let f0 = f(x0);
+    if f0 == 0.0 {
+        return Ok(x0);
+    }
+    // Expand around x0 until the sign changes.
+    let mut step = 1e-4 * (hi - lo);
+    let (mut a, mut b) = (x0, x0);
+    let (mut fa, mut fb) = (f0, f0);
+    for _ in 0..64 {
+        let mut progressed = false;
+        if a > lo {
+            a = (a - step).max(lo);
+            fa = f(a);
+            progressed = true;
+            if fa.signum() != f0.signum() || fa == 0.0 {
+                return brent(f, a, if fb.signum() != fa.signum() { b } else { x0 }, opts);
+            }
+        }
+        if b < hi {
+            b = (b + step).min(hi);
+            fb = f(b);
+            progressed = true;
+            if fb.signum() != f0.signum() || fb == 0.0 {
+                return brent(f, if fa.signum() != fb.signum() { a } else { x0 }, b, opts);
+            }
+        }
+        if !progressed {
+            break;
+        }
+        step *= 2.0;
+    }
+    Err(SolverError::BracketFailure { lo, hi })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_finds_simple_root() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, &ScalarOptions::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_rejects_unbracketed() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, &ScalarOptions::default()),
+            Err(SolverError::BracketFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_handles_stiff_exponential() {
+        // Diode-vs-resistor node equation (same as the Newton test).
+        let vt = 0.02585;
+        let r = brent(
+            |v| (v - 1.0) / 1000.0 + 1e-14 * ((v / vt).min(40.0).exp() - 1.0),
+            0.0,
+            1.0,
+            &ScalarOptions::default(),
+        )
+        .unwrap();
+        assert!(r > 0.5 && r < 0.7, "v = {r}");
+    }
+
+    #[test]
+    fn bracketed_expansion_from_interior_guess() {
+        let r = solve_bracketed(|x| x - 0.33, 0.9, 0.0, 1.0, &ScalarOptions::default()).unwrap();
+        assert!((r - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bracketed_root_at_guess() {
+        let r = solve_bracketed(|x| x - 0.5, 0.5, 0.0, 1.0, &ScalarOptions::default()).unwrap();
+        assert_eq!(r, 0.5);
+    }
+
+    #[test]
+    fn bracketed_fails_without_root() {
+        assert!(matches!(
+            solve_bracketed(|_| 1.0, 0.5, 0.0, 1.0, &ScalarOptions::default()),
+            Err(SolverError::BracketFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn bracketed_rejects_empty_interval() {
+        assert!(matches!(
+            solve_bracketed(|x| x, 0.0, 1.0, 0.0, &ScalarOptions::default()),
+            Err(SolverError::BadProblem(_))
+        ));
+    }
+
+    #[test]
+    fn near_rail_roots_found() {
+        // Root microscopically above the lower rail, as loading-effect
+        // node voltages are.
+        let r = solve_bracketed(
+            |x| 1e-3 * (x - 0.0032) ,
+            0.0,
+            0.0,
+            1.0,
+            &ScalarOptions::default(),
+        )
+        .unwrap();
+        assert!((r - 0.0032).abs() < 1e-9);
+    }
+}

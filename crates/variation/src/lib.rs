@@ -1,0 +1,73 @@
+//! # nanoleak-variation
+//!
+//! Monte-Carlo process-variation engine for the *nanoleak*
+//! reproduction of the DATE 2005 loading-effect paper (Section 5.3,
+//! Figs. 10–11).
+//!
+//! Random variation of channel length, oxide thickness, threshold
+//! voltage and supply voltage is applied to every transistor
+//! (inter-die + intra-die split), and the paired loaded/unloaded
+//! inverter fixtures are solved at transistor level. Because geometry
+//! deltas re-derive *all* electrical parameters
+//! ([`nanoleak_device::DeviceDesign::derive`]), subthreshold leakage
+//! reacts far more violently than the other components — which is why
+//! loading, acting chiefly on subthreshold leakage, widens the total
+//! leakage distribution (the paper's >40% std increase at
+//! sigma_Vt = 50 mV).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use nanoleak_device::Technology;
+//! use nanoleak_variation::{run_inverter_mc, McConfig};
+//!
+//! let tech = Technology::d25();
+//! let result = run_inverter_mc(&tech, &McConfig { samples: 1000, ..Default::default() })?;
+//! println!("loading shifts the leakage mean by {:.1}% and the spread by {:.1}%",
+//!          100.0 * result.mean_shift(), 100.0 * result.std_shift());
+//! # Ok::<(), nanoleak_solver::SolverError>(())
+//! ```
+
+pub mod mc;
+pub mod sigmas;
+pub mod stats;
+
+pub use mc::{run_inverter_mc, McConfig, McResult, McSample, Series};
+pub use sigmas::{gaussian, VariationSigmas};
+pub use stats::{Histogram, Stats};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sampled perturbations stay within ~6 sigma and never produce
+        /// non-physical derived devices.
+        #[test]
+        fn perturbations_stay_physical(seed in any::<u64>()) {
+            use nanoleak_device::{DeviceDesign, MosKind};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let s = VariationSigmas::paper_nominal();
+            let base = DeviceDesign::nano25(MosKind::Nmos);
+            for _ in 0..16 {
+                let p = s.sample_inter(&mut rng).combined(&s.sample_intra(&mut rng));
+                let d = p.apply(&base);
+                let params = d.derive();
+                prop_assert!(params.vth0.is_finite());
+                prop_assert!(params.eta > 0.0 && params.eta < 1.0);
+                prop_assert!(d.geometry.l > 0.0 && d.geometry.tox > 0.0);
+            }
+        }
+
+        /// Histogram bookkeeping never loses samples.
+        #[test]
+        fn histogram_conserves_mass(xs in proptest::collection::vec(-10.0f64..10.0, 1..200)) {
+            let h = Histogram::of(&xs, -5.0, 5.0, 16);
+            prop_assert_eq!(h.counts.iter().sum::<usize>() + h.outliers, xs.len());
+        }
+    }
+}

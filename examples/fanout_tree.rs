@@ -1,0 +1,82 @@
+//! The paper's Fig. 1 scenario: a driver D1 feeding gate G alongside
+//! fanin siblings, with G fanning out to several loads — the canonical
+//! loading-effect topology. Compares the fast estimator against the
+//! full reference solve, gate by gate.
+//!
+//! ```sh
+//! cargo run --release --example fanout_tree
+//! ```
+
+use nanoleak::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::d25();
+    let lib = CellLibrary::shared_with_options(
+        &tech,
+        300.0,
+        &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]),
+    );
+
+    // Fig. 1: D1 drives node IN; G and three siblings (Gin) read IN;
+    // G's output node N0 feeds four loads (Gout), one of which feeds
+    // further gates (Hout).
+    let mut b = CircuitBuilder::new("fig1");
+    let src = b.add_input("src");
+    let node_in = b.add_gate(CellType::Inv, &[src], "IN"); // D1
+    let n0 = b.add_gate(CellType::Inv, &[node_in], "N0"); // G
+    for i in 0..3 {
+        let s = b.add_gate(CellType::Inv, &[node_in], &format!("gin{i}"));
+        b.mark_output(s);
+    }
+    let mut last = n0;
+    for i in 0..4 {
+        let g = b.add_gate(CellType::Inv, &[n0], &format!("gout{i}"));
+        last = g;
+    }
+    for i in 0..3 {
+        let h = b.add_gate(CellType::Inv, &[last], &format!("hout{i}"));
+        b.mark_output(h);
+    }
+    let circuit = b.build()?;
+    println!("{}", CircuitStats::compute(&circuit));
+
+    let pattern = Pattern { pi: vec![true], states: vec![] }; // IN = '0', N0 = '1'
+    let est = estimate(&circuit, &lib, &pattern, EstimatorMode::Lut)?;
+    let base = estimate(&circuit, &lib, &pattern, EstimatorMode::NoLoading)?;
+    let reference = reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default())?;
+
+    println!("\nper-gate leakage [nA]  (G is the gate driving N0)");
+    println!("{:>8} {:>12} {:>12} {:>12} {:>9}", "gate", "no-loading", "estimated", "reference", "LD_ALL%");
+    for (gid, gate) in circuit.gates().iter().enumerate() {
+        let name = circuit.net_name(gate.output);
+        let nl = base.per_gate[gid].total() * 1e9;
+        let es = est.per_gate[gid].total() * 1e9;
+        let rf = reference.leakage.per_gate[gid].total() * 1e9;
+        println!(
+            "{name:>8} {nl:12.2} {es:12.2} {rf:12.2} {:+9.2}",
+            (es - nl) / nl * 100.0
+        );
+    }
+
+    let acc = accuracy(&est, &reference.leakage);
+    println!(
+        "\ntotals: baseline {:.1} nA, estimator {:.1} nA, reference {:.1} nA",
+        base.total.total() * 1e9,
+        est.total.total() * 1e9,
+        reference.leakage.total.total() * 1e9
+    );
+    println!(
+        "estimator vs reference: total {:+.2}%, worst gate {:.2}%",
+        acc.total_rel_err * 100.0,
+        acc.max_gate_rel_err * 100.0
+    );
+    println!(
+        "node IN sits at {:.2} mV (lifted off ground by fanin tunneling)",
+        reference.net_voltages[circuit.find_net("IN").unwrap().0] * 1e3
+    );
+    println!(
+        "node N0 sits at {:.2} mV below VDD (sagged by fanout tunneling)",
+        (tech.vdd - reference.net_voltages[circuit.find_net("N0").unwrap().0]) * 1e3
+    );
+    Ok(())
+}

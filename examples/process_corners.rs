@@ -1,0 +1,68 @@
+//! Process variation and the loading effect (paper Section 5.3):
+//! Monte-Carlo leakage spread of the canonical loaded inverter, and
+//! how loading inflates both the mean and the tail of the
+//! distribution.
+//!
+//! ```sh
+//! cargo run --release --example process_corners
+//! ```
+
+use nanoleak::prelude::*;
+use nanoleak::variation::{Histogram, Series};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::d25();
+    let samples = 2000;
+
+    let config = McConfig { samples, ..Default::default() };
+    println!(
+        "running {} Monte-Carlo samples (sigma_L = {:.1} nm, sigma_Tox = {:.2} A, \
+         sigma_Vt = {:.0} mV inter / {:.0} mV intra, sigma_VDD = {:.1} mV) ...",
+        samples,
+        config.sigmas.l * 1e9,
+        config.sigmas.tox * 1e10,
+        config.sigmas.vt_inter * 1e3,
+        config.sigmas.vt_intra * 1e3,
+        config.sigmas.vdd * 1e3,
+    );
+    let result = run_inverter_mc(&tech, &config)?;
+
+    println!("\n{:>14} {:>12} {:>12} {:>12} {:>12}", "component", "mean-no[nA]", "mean-ld[nA]", "std-no[nA]", "std-ld[nA]");
+    for (series, label) in [
+        (Series::Sub, "subthreshold"),
+        (Series::Gate, "gate"),
+        (Series::Btbt, "btbt"),
+        (Series::Total, "total"),
+    ] {
+        let u = result.stats(series, false);
+        let l = result.stats(series, true);
+        println!(
+            "{label:>14} {:12.2} {:12.2} {:12.2} {:12.2}",
+            u.mean * 1e9,
+            l.mean * 1e9,
+            u.std * 1e9,
+            l.std * 1e9
+        );
+    }
+    println!(
+        "\nloading shifts the total-leakage mean by {:+.2}% and the spread by {:+.2}%",
+        result.mean_shift() * 100.0,
+        result.std_shift() * 100.0
+    );
+
+    // A coarse ASCII rendition of the Fig. 10 total-leakage histogram.
+    let totals_no = result.series(Series::Total, false);
+    let totals_ld = result.series(Series::Total, true);
+    let hi = totals_no.iter().chain(&totals_ld).copied().fold(0.0_f64, f64::max) * 1.02;
+    let h_no = Histogram::of(&totals_no, 0.0, hi, 24);
+    let h_ld = Histogram::of(&totals_ld, 0.0, hi, 24);
+    let peak = h_no.counts.iter().chain(&h_ld.counts).copied().max().unwrap_or(1).max(1);
+    println!("\ntotal leakage distribution ('.' = no loading, '#' = with loading):");
+    for (i, c) in h_no.centers().iter().enumerate() {
+        let dots = h_no.counts[i] * 40 / peak;
+        let hashes = h_ld.counts[i] * 40 / peak;
+        println!("{:8.1} nA |{}", c * 1e9, ".".repeat(dots));
+        println!("{:>12}|{}", "", "#".repeat(hashes));
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: the three leakage mechanisms of one device, the leakage
+//! of a gate, and the loading effect — in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nanoleak::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's 25 nm super-halo technology (VDD = 0.9 V).
+    let tech = Technology::d25();
+
+    // --- Device level -----------------------------------------------------
+    // An OFF NMOS with its drain at VDD leaks through all three
+    // mechanisms (paper Fig. 2).
+    let nmos = Transistor::from_design(&tech.nmos);
+    let (_, parts) = nmos.leakage(Bias::new(0.0, tech.vdd, 0.0, 0.0), 300.0);
+    println!("OFF NMOS @ 300 K:");
+    println!("  subthreshold : {:8.2} nA", parts.sub * 1e9);
+    println!("  gate tunnel  : {:8.2} nA", parts.gate * 1e9);
+    println!("  junction BTBT: {:8.2} nA", parts.btbt * 1e9);
+
+    // --- Cell level --------------------------------------------------------
+    // Inverter leakage depends on the input state (eq. 6 of the paper).
+    for input in ["0", "1"] {
+        let v = InputVector::parse(input).unwrap();
+        let sol = eval_isolated(&tech, 300.0, CellType::Inv, v)?;
+        println!(
+            "INV(input={input}): total {:7.2} nA  (sub {:6.1}, gate {:6.1}, btbt {:5.2})",
+            sol.breakdown.total() * 1e9,
+            sol.breakdown.sub * 1e9,
+            sol.breakdown.gate * 1e9,
+            sol.breakdown.btbt * 1e9,
+        );
+    }
+
+    // --- The loading effect ------------------------------------------------
+    // 2 uA of fanin gate-tunneling current lifts a logic-0 input node a
+    // few mV above ground; the inverter's subthreshold leakage rises.
+    let v = InputVector::parse("0").unwrap();
+    let nominal = eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0)?;
+    let loaded = eval_loaded(&tech, 300.0, CellType::Inv, v, &[2e-6], 0.0)?;
+    let ld = (loaded.breakdown.total() - nominal.breakdown.total())
+        / nominal.breakdown.total();
+    println!(
+        "input loading of 2 uA: V(in) {:.2} mV -> {:.2} mV, LD_ALL = {:+.2}%",
+        nominal.input_voltages[0] * 1e3,
+        loaded.input_voltages[0] * 1e3,
+        ld * 100.0
+    );
+
+    // --- Circuit level -----------------------------------------------------
+    // A 3-gate circuit estimated with the paper's Fig. 13 algorithm.
+    let lib = CellLibrary::shared_with_options(
+        &tech,
+        300.0,
+        &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]),
+    );
+    let mut b = CircuitBuilder::new("demo");
+    let a = b.add_input("a");
+    let x = b.add_gate(CellType::Inv, &[a], "x");
+    let y = b.add_gate(CellType::Nand2, &[a, x], "y");
+    let z = b.add_gate(CellType::Inv, &[y], "z");
+    b.mark_output(z);
+    let circuit = b.build()?;
+
+    let with = estimate(&circuit, &lib, &Pattern::zeros(&circuit), EstimatorMode::Lut)?;
+    let without = estimate(&circuit, &lib, &Pattern::zeros(&circuit), EstimatorMode::NoLoading)?;
+    println!(
+        "3-gate circuit: {:.2} nA without loading, {:.2} nA with ({:+.2}%)",
+        without.total.total() * 1e9,
+        with.total.total() * 1e9,
+        with.total_relative_change(&without) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Input-vector control under the loading effect (paper Section 6):
+//! "The input pattern for which we obtain the minimum total leakage
+//! changes due to the loading effect. This has significant impact on
+//! the input vector control based leakage control techniques."
+//!
+//! Exhaustively ranks all input vectors of small combinational blocks
+//! with and without loading, and reports blocks whose optimal standby
+//! vector flips once loading is accounted for.
+//!
+//! ```sh
+//! cargo run --release --example vector_control
+//! ```
+
+use nanoleak::prelude::*;
+use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+
+fn search(circuit: &Circuit, lib: &CellLibrary, mode: EstimatorMode) -> (usize, Vec<f64>) {
+    let n = circuit.inputs().len();
+    let mut totals = Vec::with_capacity(1 << n);
+    for bits in 0..(1usize << n) {
+        let pattern =
+            Pattern { pi: (0..n).map(|i| bits >> i & 1 == 1).collect(), states: vec![] };
+        totals.push(
+            estimate(circuit, lib, &pattern, mode).expect("estimation converges").total.total(),
+        );
+    }
+    let best = totals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    (best, totals)
+}
+
+fn main() {
+    let tech = Technology::d25();
+    println!("characterizing cell library ...");
+    let lib = CellLibrary::shared_with_options(
+        &tech,
+        300.0,
+        &CharacterizeOptions::coarse(&CellType::ALL),
+    );
+
+    let mut flips = 0;
+    let mut scanned = 0;
+    let mut closest: (f64, u64) = (f64::INFINITY, 0);
+    for seed in 0..60u64 {
+        let raw = random_circuit(&RandomCircuitSpec::new(
+            &format!("blk{seed}"),
+            4,
+            2,
+            14,
+            0,
+            seed,
+        ));
+        let circuit = match normalize(&raw) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        scanned += 1;
+        let (best_no, totals_no) = search(&circuit, &lib, EstimatorMode::NoLoading);
+        let (best_ld, totals_ld) = search(&circuit, &lib, EstimatorMode::Lut);
+        if best_no != best_ld {
+            flips += 1;
+            let penalty =
+                (totals_ld[best_no] - totals_ld[best_ld]) / totals_ld[best_ld] * 100.0;
+            println!(
+                "block seed {seed:2}: optimum flips {best_no:04b} -> {best_ld:04b} \
+                 (no-loading: {:.2} nA, loading-aware: {:.2} nA; picking the naive vector \
+                 costs +{penalty:.2}%)",
+                totals_no[best_no] * 1e9,
+                totals_ld[best_ld] * 1e9,
+            );
+        } else {
+            // Track how close the top-2 ranking is — the flip margin.
+            let mut sorted = totals_no.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let margin = (sorted[1] - sorted[0]) / sorted[0];
+            if margin < closest.0 {
+                closest = (margin, seed);
+            }
+        }
+    }
+    println!(
+        "\n{flips} of {scanned} random 4-input blocks change their optimal standby vector \
+         once loading is modeled"
+    );
+    if flips == 0 {
+        println!(
+            "(closest call: block seed {} with a top-2 margin of {:.3}%)",
+            closest.1,
+            closest.0 * 100.0
+        );
+    } else {
+        println!(
+            "=> vector-based leakage control must account for the loading effect \
+             (paper Section 6)"
+        );
+    }
+}

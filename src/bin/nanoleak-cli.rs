@@ -1,0 +1,133 @@
+//! `nanoleak-cli` — estimate the leakage of an ISCAS89 `.bench` file
+//! (or a built-in benchmark) with and without the loading effect.
+//!
+//! ```text
+//! nanoleak-cli <circuit.bench | s838 | s1196 | ... | alu88 | mult88>
+//!              [--vectors N] [--seed S] [--reference] [--temp K]
+//! ```
+
+use std::process::ExitCode;
+
+use nanoleak::prelude::*;
+use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
+use rand::SeedableRng;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nanoleak-cli <circuit.bench | s838 | s1196 | s1423 | s5378 | s9234 | s13207 | \
+         alu88 | mult88> [--vectors N] [--seed S] [--reference] [--temp K]"
+    );
+    ExitCode::FAILURE
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        return usage();
+    };
+    let vectors: usize =
+        arg_value(&args, "--vectors").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2005);
+    let temp: f64 = arg_value(&args, "--temp").and_then(|v| v.parse().ok()).unwrap_or(300.0);
+    let with_reference = args.iter().any(|a| a == "--reference");
+
+    // Resolve the circuit: a .bench path or a built-in generator name.
+    let raw = if target.ends_with(".bench") {
+        let text = match std::fs::read_to_string(&target) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read '{target}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let name = target.trim_end_matches(".bench").to_string();
+        match parse_bench(&name, &text) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("error: {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match target.as_str() {
+            "alu88" => alu(8),
+            "mult88" => multiplier(8),
+            other => match iscas_like(other) {
+                Some(raw) => raw,
+                None => return usage(),
+            },
+        }
+    };
+
+    let circuit = match normalize(&raw) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: normalization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", CircuitStats::compute(&circuit));
+
+    let tech = Technology::d25();
+    println!("characterizing cell library for {} at {temp} K ...", tech.name);
+    let lib = CellLibrary::shared(&tech, temp);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let patterns = Pattern::random_batch(&circuit, &mut rng, vectors);
+
+    let loaded = match estimate_batch(&circuit, &lib, &patterns, EstimatorMode::Lut) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: estimation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let unloaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::NoLoading)
+        .expect("baseline estimation cannot fail after loaded pass");
+
+    let mean =
+        |rs: &[CircuitLeakage]| rs.iter().map(|r| r.total.total()).sum::<f64>() / rs.len() as f64;
+    let pairs: Vec<_> = loaded.iter().cloned().zip(unloaded.iter().cloned()).collect();
+    let impact = LoadingImpact::from_pairs(&pairs);
+
+    println!("\nleakage over {vectors} random vectors (mean):");
+    println!("  without loading : {:10.3} uA", mean(&unloaded) * 1e6);
+    println!("  with loading    : {:10.3} uA", mean(&loaded) * 1e6);
+    println!("  leakage power   : {:10.3} uW (with loading)", mean(&loaded) * tech.vdd * 1e6);
+    println!("\nloading impact (avg over vectors):");
+    println!("  subthreshold    : {:+7.2} %", impact.avg.sub * 100.0);
+    println!("  gate tunneling  : {:+7.2} %", impact.avg.gate * 100.0);
+    println!("  junction BTBT   : {:+7.2} %", impact.avg.btbt * 100.0);
+    println!("  total           : {:+7.2} %", impact.avg_total * 100.0);
+    println!("loading impact (max over vectors): {:+7.2} %", impact.max_total * 100.0);
+
+    if with_reference {
+        let n = patterns.len().min(5);
+        println!("\nrunning full reference solve on {n} vectors (slow) ...");
+        match nanoleak_core::reference_batch(
+            &circuit,
+            &tech,
+            temp,
+            &patterns[..n],
+            &ReferenceOptions::default(),
+        ) {
+            Ok(refs) => {
+                let accs: Vec<_> =
+                    loaded[..n].iter().zip(&refs).map(|(e, r)| accuracy(e, &r.leakage)).collect();
+                let mean_err =
+                    accs.iter().map(|a| a.total_rel_err.abs()).sum::<f64>() / accs.len() as f64;
+                println!(
+                    "  reference mean  : {:10.3} uA",
+                    refs.iter().map(|r| r.leakage.total.total()).sum::<f64>() / n as f64 * 1e6
+                );
+                println!("  estimator error : {:7.2} % (mean |total|)", mean_err * 100.0);
+            }
+            Err(e) => eprintln!("  reference failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

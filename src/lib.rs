@@ -1,0 +1,84 @@
+//! # nanoleak
+//!
+//! Loading-effect-aware leakage estimation for nano-scale bulk-CMOS
+//! logic circuits — a from-scratch Rust reproduction of
+//!
+//! > S. Mukhopadhyay, S. Bhunia, K. Roy, *"Modeling and Analysis of
+//! > Loading Effect in Leakage of Nano-Scaled Bulk-CMOS Logic
+//! > Circuits"*, DATE 2005.
+//!
+//! In sub-100 nm bulk CMOS the three leakage mechanisms — subthreshold
+//! conduction, gate direct tunneling, and junction band-to-band
+//! tunneling (BTBT) — interact *between* gates: the tunneling current a
+//! gate's fanin/fanout neighbors draw from (or inject into) a net
+//! shifts that net's voltage a few millivolts off the rail, which moves
+//! every attached gate's leakage by up to ~10%. This crate family
+//! models that **loading effect** end to end and implements the paper's
+//! fast one-pass estimation algorithm, validated against a full
+//! nonlinear circuit solve.
+//!
+//! This facade re-exports the six sub-crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`device`] | `nanoleak-device` | compact transistor leakage models |
+//! | [`solver`] | `nanoleak-solver` | DC Newton/LU/Brent kernels ("virtual SPICE") |
+//! | [`cells`] | `nanoleak-cells` | standard cells + loading characterization |
+//! | [`netlist`] | `nanoleak-netlist` | gate-level circuits, `.bench`, generators |
+//! | [`core`] | `nanoleak-core` | the Fig. 13 estimator + reference simulator |
+//! | [`variation`] | `nanoleak-variation` | Monte-Carlo process variation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nanoleak::prelude::*;
+//!
+//! // 1. Pick the paper's 25 nm technology and characterize the cells.
+//! let tech = Technology::d25();
+//! let lib = CellLibrary::shared_with_options(
+//!     &tech, 300.0, &CharacterizeOptions::coarse(&[CellType::Inv]));
+//!
+//! // 2. Build a fanout web: one driver, four loads on its output net.
+//! let mut b = CircuitBuilder::new("web");
+//! let a = b.add_input("a");
+//! let mid = b.add_gate(CellType::Inv, &[a], "mid");
+//! for i in 0..4 {
+//!     let y = b.add_gate(CellType::Inv, &[mid], &format!("y{i}"));
+//!     b.mark_output(y);
+//! }
+//! let circuit = b.build()?;
+//!
+//! // 3. Estimate leakage with and without the loading effect.
+//! let pattern = Pattern::zeros(&circuit);
+//! let loaded = estimate(&circuit, &lib, &pattern, EstimatorMode::Lut)?;
+//! let baseline = estimate(&circuit, &lib, &pattern, EstimatorMode::NoLoading)?;
+//! assert!(loaded.total.total() != baseline.total.total());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use nanoleak_cells as cells;
+pub use nanoleak_core as core;
+pub use nanoleak_device as device;
+pub use nanoleak_netlist as netlist;
+pub use nanoleak_solver as solver;
+pub use nanoleak_variation as variation;
+
+/// The most commonly used items, one `use` away.
+pub mod prelude {
+    pub use nanoleak_cells::{
+        eval_isolated, eval_loaded, CellLibrary, CellType, CharacterizeOptions, InputVector,
+    };
+    pub use nanoleak_core::{
+        accuracy, estimate, estimate_batch, reference_leakage, CircuitLeakage, EstimateError,
+        EstimatorMode, LoadingImpact, ReferenceOptions,
+    };
+    pub use nanoleak_device::{
+        Bias, DeviceDesign, LeakageBreakdown, MosKind, Perturbation, Technology, Transistor,
+    };
+    pub use nanoleak_netlist::{
+        bench_format::parse_bench, generate, normalize::normalize, Circuit, CircuitBuilder,
+        CircuitStats, Pattern,
+    };
+    pub use nanoleak_solver::{solve_dc, MosNetlist, NewtonOptions, SolverError};
+    pub use nanoleak_variation::{run_inverter_mc, McConfig, VariationSigmas};
+}
