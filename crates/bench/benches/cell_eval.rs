@@ -15,8 +15,15 @@ fn bench_cells(c: &mut Criterion) {
     });
     group.bench_function("inv_loaded_fixture", |b| {
         b.iter(|| {
-            eval_loaded(&tech, 300.0, CellType::Inv, InputVector::parse("0").unwrap(), &[2e-6], 1e-6)
-                .unwrap()
+            eval_loaded(
+                &tech,
+                300.0,
+                CellType::Inv,
+                InputVector::parse("0").unwrap(),
+                &[2e-6],
+                1e-6,
+            )
+            .unwrap()
         })
     });
     group.bench_function("nand4_loaded_fixture", |b| {

@@ -2,7 +2,9 @@
 //! tables the estimator consumes (a one-off per technology).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nanoleak_cells::{characterize::characterize_vector, CellType, CharacterizeOptions, InputVector};
+use nanoleak_cells::{
+    characterize::characterize_vector, CellType, CharacterizeOptions, InputVector,
+};
 use nanoleak_device::Technology;
 
 fn bench_characterize(c: &mut Criterion) {

@@ -1,0 +1,34 @@
+//! Sweep-engine throughput: patterns/sec vs. thread count on the
+//! s1196-sized benchmark, plus the single-pattern baseline the engine
+//! multiplies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_device::Technology;
+use nanoleak_engine::{sweep, SweepConfig};
+use nanoleak_netlist::generate::iscas_like;
+use nanoleak_netlist::normalize::normalize;
+
+fn bench_sweep(c: &mut Criterion) {
+    let tech = Technology::d25();
+    let lib = CellLibrary::shared_with_options(
+        &tech,
+        300.0,
+        &CharacterizeOptions::coarse(&CellType::ALL),
+    );
+    let circuit = normalize(&iscas_like("s1196").unwrap()).unwrap();
+    let vectors = 64;
+
+    let mut group = c.benchmark_group("sweep_s1196_64_vectors");
+    group.sample_size(10);
+    for threads in [1, 2, 4, 8] {
+        let config = SweepConfig { vectors, threads, ..Default::default() };
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| sweep(&circuit, &lib, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -50,12 +50,7 @@ pub fn run(opts: &Options) {
     for halo in linspace(0.6e25, 2.4e25, opts.points) {
         let design = tech.nmos.with_doping(tech.nmos.doping.with_halo(halo));
         let (sub, gate, btbt) = off_components(&design, vdd, 300.0);
-        rows.push(vec![
-            fmt(halo / 1e25, 2),
-            fmt(na(sub), 2),
-            fmt(na(gate), 2),
-            fmt(na(btbt), 4),
-        ]);
+        rows.push(vec![fmt(halo / 1e25, 2), fmt(na(sub), 2), fmt(na(gate), 2), fmt(na(btbt), 4)]);
     }
     let headers = ["halo[1e19cm^-3]", "Isub[nA]", "Igate[nA]", "Ibtbt[nA]"];
     print_table("Fig 4a: leakage components vs halo doping (NMOS, 25nm)", &headers, &rows);
@@ -67,12 +62,7 @@ pub fn run(opts: &Options) {
     for tox in linspace(0.8e-9, 1.6e-9, opts.points) {
         let design = design_with_tox_iso_vth(&tech.nmos, tox);
         let (sub, gate, btbt) = off_components(&design, vdd, 300.0);
-        rows.push(vec![
-            fmt(tox * 1e9, 2),
-            fmt(na(sub), 2),
-            fmt(na(gate), 2),
-            fmt(na(btbt), 4),
-        ]);
+        rows.push(vec![fmt(tox * 1e9, 2), fmt(na(sub), 2), fmt(na(gate), 2), fmt(na(btbt), 4)]);
     }
     let headers = ["tox[nm]", "Isub[nA]", "Igate[nA]", "Ibtbt[nA]"];
     print_table("Fig 4b: leakage components vs oxide thickness (NMOS, 25nm)", &headers, &rows);
@@ -84,12 +74,7 @@ pub fn run(opts: &Options) {
     let mut rows = Vec::new();
     for temp in linspace(250.0, 400.0, opts.points) {
         let (sub, gate, btbt) = off_components(&d50.nmos, d50.vdd, temp);
-        rows.push(vec![
-            fmt(temp, 0),
-            fmt(na(sub), 3),
-            fmt(na(gate), 3),
-            fmt(na(btbt), 3),
-        ]);
+        rows.push(vec![fmt(temp, 0), fmt(na(sub), 3), fmt(na(gate), 3), fmt(na(btbt), 3)]);
     }
     let headers = ["T[K]", "Isub[nA]", "Igate[nA]", "Ibtbt[nA]"];
     print_table("Fig 4c: leakage components vs temperature (NMOS, 50nm)", &headers, &rows);

@@ -73,8 +73,7 @@ mod tests {
     fn ld_at(input: bool, on_input: bool, il: f64) -> (f64, f64, f64, f64) {
         let tech = Technology::d25();
         let v = InputVector::from_bools(&[input]);
-        let nominal =
-            eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0).unwrap().breakdown;
+        let nominal = eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0).unwrap().breakdown;
         let (il_in, il_out) = if on_input { ([il], 0.0) } else { ([0.0], il) };
         let b = eval_loaded(&tech, 300.0, CellType::Inv, v, &il_in, il_out).unwrap().breakdown;
         let ld = b.relative_to(&nominal, 1e-18);

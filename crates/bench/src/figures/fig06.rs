@@ -87,8 +87,10 @@ mod tests {
             let v = InputVector::from_bools(&[input]);
             let nom =
                 eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0).unwrap().breakdown.total();
-            let loaded =
-                eval_loaded(&tech, 300.0, CellType::Inv, v, &[3e-6], 0.0).unwrap().breakdown.total();
+            let loaded = eval_loaded(&tech, 300.0, CellType::Inv, v, &[3e-6], 0.0)
+                .unwrap()
+                .breakdown
+                .total();
             (loaded - nom) / nom
         };
         assert!(max_ld(false) > max_ld(true));

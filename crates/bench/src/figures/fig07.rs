@@ -24,13 +24,7 @@ impl Default for Options {
 }
 
 /// Total-leakage LD for loading applied to one port of the NAND.
-fn ld_total(
-    tech: &Technology,
-    opts: &Options,
-    v: InputVector,
-    port: Port,
-    il: f64,
-) -> f64 {
+fn ld_total(tech: &Technology, opts: &Options, v: InputVector, port: Port, il: f64) -> f64 {
     let nominal = eval_loaded(tech, opts.temp, CellType::Nand2, v, &[0.0, 0.0], 0.0)
         .expect("nominal")
         .breakdown

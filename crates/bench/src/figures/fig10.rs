@@ -38,12 +38,7 @@ pub fn run(opts: &Options) {
     for (series, label) in panels {
         let unloaded = result.series(series, false);
         let loaded = result.series(series, true);
-        let hi = unloaded
-            .iter()
-            .chain(loaded.iter())
-            .copied()
-            .fold(0.0_f64, f64::max)
-            * 1.02;
+        let hi = unloaded.iter().chain(loaded.iter()).copied().fold(0.0_f64, f64::max) * 1.02;
         let h_un = Histogram::of(&unloaded, 0.0, hi, opts.bins);
         let h_lo = Histogram::of(&loaded, 0.0, hi, opts.bins);
         let rows: Vec<Vec<String>> = h_un

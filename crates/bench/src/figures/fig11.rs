@@ -33,15 +33,11 @@ pub fn run(opts: &Options) {
         let mean_cfg = McConfig {
             samples: opts.samples,
             seed: opts.seed,
-            sigmas: VariationSigmas::paper_nominal()
-                .with_vt_inter(vt_inter)
-                .with_vt_intra(30e-3),
+            sigmas: VariationSigmas::paper_nominal().with_vt_inter(vt_inter).with_vt_intra(30e-3),
             ..Default::default()
         };
         let std_cfg = McConfig {
-            sigmas: VariationSigmas::paper_nominal()
-                .with_vt_inter(vt_inter)
-                .with_vt_intra(90e-3),
+            sigmas: VariationSigmas::paper_nominal().with_vt_inter(vt_inter).with_vt_intra(90e-3),
             ..mean_cfg
         };
         let mean_result = run_inverter_mc(&tech, &mean_cfg).expect("mc mean");

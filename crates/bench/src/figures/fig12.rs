@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use nanoleak_cells::CellLibrary;
 use nanoleak_core::{
-    estimate_batch, reference_batch, accuracy, Accuracy, EstimatorMode, ReferenceOptions,
+    accuracy, estimate_batch, reference_batch, Accuracy, EstimatorMode, ReferenceOptions,
 };
 use nanoleak_device::Technology;
 use nanoleak_netlist::generate::paper_suite;
@@ -54,8 +54,8 @@ pub fn run(opts: &Options) {
         let patterns = Pattern::random_batch(circuit, &mut rng, opts.vectors);
 
         let t0 = Instant::now();
-        let loaded = estimate_batch(circuit, &lib, &patterns, EstimatorMode::Lut)
-            .expect("estimation");
+        let loaded =
+            estimate_batch(circuit, &lib, &patterns, EstimatorMode::Lut).expect("estimation");
         let est_time = t0.elapsed();
         let unloaded = estimate_batch(circuit, &lib, &patterns, EstimatorMode::NoLoading)
             .expect("baseline estimation");
@@ -63,12 +63,8 @@ pub fn run(opts: &Options) {
         let pairs: Vec<_> = loaded.iter().cloned().zip(unloaded.iter().cloned()).collect();
         let impact = nanoleak_core::LoadingImpact::from_pairs(&pairs);
 
-        let est_mean_uw = loaded
-            .iter()
-            .map(|r| r.power(tech.vdd))
-            .sum::<f64>()
-            / loaded.len() as f64
-            * 1e6;
+        let est_mean_uw =
+            loaded.iter().map(|r| r.power(tech.vdd)).sum::<f64>() / loaded.len() as f64 * 1e6;
 
         let (ref_mean_uw, acc, ref_time) = if opts.skip_reference {
             (None, None, None)
@@ -84,13 +80,9 @@ pub fn run(opts: &Options) {
             )
             .expect("reference");
             let ref_time = t0.elapsed();
-            let accs: Vec<Accuracy> = loaded[..n_ref]
-                .iter()
-                .zip(&refs)
-                .map(|(e, r)| accuracy(e, &r.leakage))
-                .collect();
-            let mean_err =
-                accs.iter().map(|a| a.total_rel_err).sum::<f64>() / accs.len() as f64;
+            let accs: Vec<Accuracy> =
+                loaded[..n_ref].iter().zip(&refs).map(|(e, r)| accuracy(e, &r.leakage)).collect();
+            let mean_err = accs.iter().map(|a| a.total_rel_err).sum::<f64>() / accs.len() as f64;
             let ref_mean = refs.iter().map(|r| r.leakage.power(tech.vdd)).sum::<f64>()
                 / refs.len() as f64
                 * 1e6;
@@ -130,8 +122,7 @@ pub fn run(opts: &Options) {
         ]);
     }
 
-    let headers_a =
-        ["circuit", "gates", "reference[uW]", "estimated[uW]", "err%", "speedup(x)"];
+    let headers_a = ["circuit", "gates", "reference[uW]", "estimated[uW]", "err%", "speedup(x)"];
     print_table("Fig 12a: estimated vs reference leakage", &headers_a, &rows_a);
     write_csv("fig12a_validation.csv", &headers_a, &rows_a);
 
@@ -164,8 +155,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let patterns = Pattern::random_batch(&circuit, &mut rng, 6);
         let loaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::Lut).unwrap();
-        let unloaded =
-            estimate_batch(&circuit, &lib, &patterns, EstimatorMode::NoLoading).unwrap();
+        let unloaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::NoLoading).unwrap();
         let pairs: Vec<_> = loaded.into_iter().zip(unloaded).collect();
         let impact = nanoleak_core::LoadingImpact::from_pairs(&pairs);
         assert!(impact.avg.sub > 0.0, "{:?}", impact.avg);

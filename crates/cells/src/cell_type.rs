@@ -116,9 +116,7 @@ impl CellType {
         assert_eq!(inputs.len(), self.num_inputs(), "{self}: wrong input count");
         match self {
             CellType::Inv => !inputs[0],
-            CellType::Nand2 | CellType::Nand3 | CellType::Nand4 => {
-                !inputs.iter().all(|&b| b)
-            }
+            CellType::Nand2 | CellType::Nand3 | CellType::Nand4 => !inputs.iter().all(|&b| b),
             CellType::Nor2 | CellType::Nor3 | CellType::Nor4 => !inputs.iter().any(|&b| b),
             CellType::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
             CellType::Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),

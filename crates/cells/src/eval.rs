@@ -113,9 +113,7 @@ pub fn eval_loaded(
         )));
     }
     if il_in.iter().any(|&x| x < 0.0) || il_out < 0.0 {
-        return Err(SolverError::BadProblem(
-            "loading magnitudes must be non-negative".to_string(),
-        ));
+        return Err(SolverError::BadProblem("loading magnitudes must be non-negative".to_string()));
     }
 
     let vdd_v = tech.vdd;
@@ -127,8 +125,7 @@ pub fn eval_loaded(
     // complement so the pin carries the requested level.
     let mut ins = Vec::with_capacity(cell.num_inputs());
     for (i, level) in vector.iter().enumerate() {
-        let drv_in =
-            nl.add_fixed_node(&format!("drv_in{i}"), if level { 0.0 } else { vdd_v });
+        let drv_in = nl.add_fixed_node(&format!("drv_in{i}"), if level { 0.0 } else { vdd_v });
         let pin = nl.add_node(&format!("in{i}"));
         add_cell(&mut nl, tech, CellType::Inv, &[drv_in], pin, vdd, gnd, &format!("drv{i}"));
         nl.set_injection(pin, loading_injection(il_in[i], level));
@@ -190,8 +187,8 @@ mod tests {
 
     #[test]
     fn isolated_inverter_components_in_range() {
-        let s = eval_isolated(&tech(), 300.0, CellType::Inv, InputVector::parse("0").unwrap())
-            .unwrap();
+        let s =
+            eval_isolated(&tech(), 300.0, CellType::Inv, InputVector::parse("0").unwrap()).unwrap();
         assert!(s.output_level);
         assert!(s.breakdown.sub > 100.0 * NA && s.breakdown.sub < 900.0 * NA);
         assert!(s.breakdown.gate > 10.0 * NA && s.breakdown.gate < 500.0 * NA);
@@ -259,12 +256,26 @@ mod tests {
     fn pin_current_signs_follow_levels() {
         // Net at '1': DUT pin draws (positive); net at '0': pin injects
         // (negative).
-        let hi = eval_loaded(&tech(), 300.0, CellType::Inv, InputVector::parse("1").unwrap(), &[0.0], 0.0)
-            .unwrap();
+        let hi = eval_loaded(
+            &tech(),
+            300.0,
+            CellType::Inv,
+            InputVector::parse("1").unwrap(),
+            &[0.0],
+            0.0,
+        )
+        .unwrap();
         assert!(hi.input_pin_currents[0] > 10.0 * NA, "{} nA", hi.input_pin_currents[0] / NA);
-        let lo = eval_loaded(&tech(), 300.0, CellType::Inv, InputVector::parse("0").unwrap(), &[0.0], 0.0)
-            .unwrap();
-        assert!(lo.input_pin_currents[0] < -1.0 * NA, "{} nA", lo.input_pin_currents[0] / NA);
+        let lo = eval_loaded(
+            &tech(),
+            300.0,
+            CellType::Inv,
+            InputVector::parse("0").unwrap(),
+            &[0.0],
+            0.0,
+        )
+        .unwrap();
+        assert!(lo.input_pin_currents[0] < -NA, "{} nA", lo.input_pin_currents[0] / NA);
     }
 
     #[test]
@@ -289,16 +300,10 @@ mod tests {
         // For the subthreshold-dominated D25, '00' is the minimum
         // leakage vector (paper Section 4, citing ref [8]).
         let totals: Vec<f64> = InputVector::all(2)
-            .map(|v| {
-                eval_isolated(&tech(), 300.0, CellType::Nand2, v).unwrap().breakdown.total()
-            })
+            .map(|v| eval_isolated(&tech(), 300.0, CellType::Nand2, v).unwrap().breakdown.total())
             .collect();
-        let min_idx = totals
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let min_idx =
+            totals.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(min_idx, InputVector::parse("00").unwrap().index(), "totals = {totals:?}");
     }
 
@@ -311,12 +316,8 @@ mod tests {
         let totals: Vec<f64> = InputVector::all(2)
             .map(|v| eval_isolated(&tech, 300.0, CellType::Nand2, v).unwrap().breakdown.total())
             .collect();
-        let min_idx = totals
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let min_idx =
+            totals.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_ne!(min_idx, InputVector::parse("00").unwrap().index(), "totals = {totals:?}");
     }
 

@@ -128,12 +128,9 @@ mod tests {
     #[test]
     fn library_equality_after_clone() {
         let tech = Technology::d25();
-        let lib = CellLibrary::characterize(
-            &tech,
-            300.0,
-            &CharacterizeOptions::coarse(&[CellType::Inv]),
-        )
-        .unwrap();
+        let lib =
+            CellLibrary::characterize(&tech, 300.0, &CharacterizeOptions::coarse(&[CellType::Inv]))
+                .unwrap();
         let copy = lib.clone();
         assert_eq!(copy, lib);
     }

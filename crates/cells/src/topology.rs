@@ -35,6 +35,7 @@ pub struct CellPins {
 ///
 /// # Panics
 /// Panics if `inputs.len() != cell.num_inputs()`.
+#[allow(clippy::too_many_arguments)] // mirrors the netlist fixture: rails + pins + naming
 pub fn add_cell(
     nl: &mut MosNetlist,
     tech: &Technology,
@@ -69,12 +70,12 @@ pub fn add_cell(
                     internals.push((node, 0.05));
                     node
                 };
-                nl.add_mos(n_stack.clone(), upper, pin, lower, gnd);
+                nl.add_mos(n_stack, upper, pin, lower, gnd);
                 upper = lower;
             }
             // Parallel PMOS pull-up.
             for &pin in inputs {
-                nl.add_mos(p_unit.clone(), output, pin, vdd, vdd);
+                nl.add_mos(p_unit, output, pin, vdd, vdd);
             }
         }
         CellType::Nor2 | CellType::Nor3 | CellType::Nor4 => {
@@ -91,12 +92,12 @@ pub fn add_cell(
                     internals.push((node, vdd_v - 0.05));
                     node
                 };
-                nl.add_mos(p_stack.clone(), lower, pin, upper, vdd);
+                nl.add_mos(p_stack, lower, pin, upper, vdd);
                 lower = upper;
             }
             // Parallel NMOS pull-down.
             for &pin in inputs {
-                nl.add_mos(n_unit.clone(), output, pin, gnd, gnd);
+                nl.add_mos(n_unit, output, pin, gnd, gnd);
             }
         }
         CellType::Aoi21 => {
@@ -105,7 +106,7 @@ pub fn add_cell(
             let n_stack = n_unit.scaled_width(2.0);
             let x = nl.add_node(&format!("{prefix}.x1"));
             internals.push((x, 0.05));
-            nl.add_mos(n_stack.clone(), output, inputs[0], x, gnd);
+            nl.add_mos(n_stack, output, inputs[0], x, gnd);
             nl.add_mos(n_stack, x, inputs[1], gnd, gnd);
             nl.add_mos(n_unit, output, inputs[2], gnd, gnd);
             // PUN: (A parallel B) in series with C; the series path has
@@ -113,8 +114,8 @@ pub fn add_cell(
             let p_stack = p_unit.scaled_width(2.0);
             let y = nl.add_node(&format!("{prefix}.y1"));
             internals.push((y, tech.vdd - 0.05));
-            nl.add_mos(p_stack.clone(), y, inputs[0], vdd, vdd);
-            nl.add_mos(p_stack.clone(), y, inputs[1], vdd, vdd);
+            nl.add_mos(p_stack, y, inputs[0], vdd, vdd);
+            nl.add_mos(p_stack, y, inputs[1], vdd, vdd);
             nl.add_mos(p_stack, output, inputs[2], y, vdd);
         }
         CellType::Oai21 => {
@@ -123,14 +124,14 @@ pub fn add_cell(
             let n_stack = n_unit.scaled_width(2.0);
             let x = nl.add_node(&format!("{prefix}.x1"));
             internals.push((x, 0.05));
-            nl.add_mos(n_stack.clone(), output, inputs[2], x, gnd);
-            nl.add_mos(n_stack.clone(), x, inputs[0], gnd, gnd);
+            nl.add_mos(n_stack, output, inputs[2], x, gnd);
+            nl.add_mos(n_stack, x, inputs[0], gnd, gnd);
             nl.add_mos(n_stack, x, inputs[1], gnd, gnd);
             // PUN: series A-B pair (2x) in parallel with single C (1x).
             let p_stack = p_unit.scaled_width(2.0);
             let y = nl.add_node(&format!("{prefix}.y1"));
             internals.push((y, tech.vdd - 0.05));
-            nl.add_mos(p_stack.clone(), output, inputs[0], y, vdd);
+            nl.add_mos(p_stack, output, inputs[0], y, vdd);
             nl.add_mos(p_stack, y, inputs[1], vdd, vdd);
             nl.add_mos(p_unit, output, inputs[2], vdd, vdd);
         }

@@ -109,25 +109,20 @@ fn estimate_gate(
 ) -> Result<nanoleak_device::LeakageBreakdown, EstimateError> {
     let gate = circuit.gate(gid);
     let vector = state.gate_vectors[gid.0];
-    let vc = library
-        .vector_char(gate.cell, vector)
-        .ok_or(EstimateError::MissingCell(gate.cell))?;
+    let vc = library.vector_char(gate.cell, vector).ok_or(EstimateError::MissingCell(gate.cell))?;
     Ok(match mode {
         EstimatorMode::NoLoading => vc.nominal,
         EstimatorMode::Lut => {
-            let il_in: Vec<f64> = (0..gate.inputs.len())
-                .map(|pin| state.input_loading(circuit, gid, pin))
-                .collect();
+            let il_in: Vec<f64> =
+                (0..gate.inputs.len()).map(|pin| state.input_loading(circuit, gid, pin)).collect();
             let il_out = state.output_loading(circuit, gid);
             vc.leakage(&il_in, il_out)
         }
         EstimatorMode::DirectSolve => {
-            let il_in: Vec<f64> = (0..gate.inputs.len())
-                .map(|pin| state.input_loading(circuit, gid, pin))
-                .collect();
+            let il_in: Vec<f64> =
+                (0..gate.inputs.len()).map(|pin| state.input_loading(circuit, gid, pin)).collect();
             let il_out = state.output_loading(circuit, gid);
-            eval_loaded(&library.tech, library.temp, gate.cell, vector, &il_in, il_out)?
-                .breakdown
+            eval_loaded(&library.tech, library.temp, gate.cell, vector, &il_in, il_out)?.breakdown
         }
     })
 }
@@ -148,22 +143,20 @@ pub fn estimate_batch(
     }
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
     let chunk = patterns.len().div_ceil(workers);
-    let results: Vec<Result<Vec<CircuitLeakage>, EstimateError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = patterns
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| {
-                        slice
-                            .iter()
-                            .map(|p| estimate(circuit, library, p, mode))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
+    let results: Vec<Result<Vec<CircuitLeakage>, EstimateError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = patterns
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|p| estimate(circuit, library, p, mode))
+                        .collect::<Result<Vec<_>, _>>()
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("estimator thread panicked")).collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("estimator thread panicked")).collect()
+    });
     let mut out = Vec::with_capacity(patterns.len());
     for r in results {
         out.extend(r?);
@@ -219,8 +212,7 @@ mod tests {
         let p = Pattern { pi: vec![true], states: vec![] };
         let lut = estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap();
         let direct = estimate(&circuit, &lib, &p, EstimatorMode::DirectSolve).unwrap();
-        let rel =
-            (lut.total.total() - direct.total.total()).abs() / direct.total.total();
+        let rel = (lut.total.total() - direct.total.total()).abs() / direct.total.total();
         assert!(rel < 0.01, "LUT vs direct = {}%", rel * 100.0);
     }
 

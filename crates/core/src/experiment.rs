@@ -76,9 +76,8 @@ pub fn run_experiment(
         loaded.iter().cloned().zip(unloaded.iter().cloned()).collect();
     let impact = LoadingImpact::from_pairs(&pairs);
 
-    let mean = |xs: &[CircuitLeakage]| {
-        xs.iter().map(|r| r.total.total()).sum::<f64>() / xs.len() as f64
-    };
+    let mean =
+        |xs: &[CircuitLeakage]| xs.iter().map(|r| r.total.total()).sum::<f64>() / xs.len() as f64;
 
     let (reference_mean, accuracy_mean) = if config.with_reference {
         let refs = reference_batch(circuit, tech, library.temp, &patterns, &config.reference)?;

@@ -22,9 +22,9 @@ use std::collections::HashMap;
 
 use nanoleak_cells::{add_cell, CellType};
 use nanoleak_device::{Bias, LeakageBreakdown, Technology, Transistor};
-use nanoleak_solver::{newton, MosNetlist, NewtonOptions, SolverError};
 use nanoleak_netlist::logic::simulate;
 use nanoleak_netlist::{Circuit, GateId, Pattern};
+use nanoleak_solver::{newton, MosNetlist, NewtonOptions, SolverError};
 
 use crate::error::EstimateError;
 use crate::report::CircuitLeakage;
@@ -119,7 +119,7 @@ impl CellModel {
             .devices()
             .iter()
             .map(|d| ModelDevice {
-                t: d.transistor.clone(),
+                t: d.transistor,
                 d: classify(d.d),
                 g: classify(d.g),
                 s: classify(d.s),
@@ -175,7 +175,14 @@ impl CellModel {
     }
 
     /// Current flowing from the output node into the cell \[A\].
-    fn output_current(&self, vdd: f64, temp: f64, vin: &[f64], vout: f64, internals: &[f64]) -> f64 {
+    fn output_current(
+        &self,
+        vdd: f64,
+        temp: f64,
+        vin: &[f64],
+        vout: f64,
+        internals: &[f64],
+    ) -> f64 {
         let mut total = 0.0;
         for dev in &self.devices {
             let bias = Bias::new(
@@ -221,7 +228,14 @@ impl CellModel {
     }
 
     /// Leakage breakdown of the whole cell.
-    fn breakdown(&self, vdd: f64, temp: f64, vin: &[f64], vout: f64, internals: &[f64]) -> LeakageBreakdown {
+    fn breakdown(
+        &self,
+        vdd: f64,
+        temp: f64,
+        vin: &[f64],
+        vout: f64,
+        internals: &[f64],
+    ) -> LeakageBreakdown {
         let mut total = LeakageBreakdown::ZERO;
         for dev in &self.devices {
             let bias = Bias::new(
@@ -266,11 +280,8 @@ pub fn reference_leakage(
     // suggested points.
     let mut net_v: Vec<f64> =
         (0..circuit.net_count()).map(|i| if values[i] { vdd } else { 0.0 }).collect();
-    let mut internals: Vec<Vec<f64>> = circuit
-        .gates()
-        .iter()
-        .map(|g| models[&g.cell].internals_init.clone())
-        .collect();
+    let mut internals: Vec<Vec<f64>> =
+        circuit.gates().iter().map(|g| models[&g.cell].internals_init.clone()).collect();
 
     let gate_vin = |circuit: &Circuit, gid: GateId, net_v: &[f64]| -> Vec<f64> {
         circuit.gate(gid).inputs.iter().map(|n| net_v[n.0]).collect()
@@ -301,8 +312,17 @@ pub fn reference_leakage(
             let mut scratch = internals[gid.0].clone();
             for _ in 0..opts.net_iters {
                 let r = eval_net_residual(
-                    circuit, &models, driver_model, gid, &vin_driver, v, &mut scratch,
-                    &loads_ctx, &internals, vdd, temp,
+                    circuit,
+                    &models,
+                    driver_model,
+                    gid,
+                    &vin_driver,
+                    v,
+                    &mut scratch,
+                    &loads_ctx,
+                    &internals,
+                    vdd,
+                    temp,
                 )?;
                 if r.abs() < 1e-14 {
                     break;
@@ -310,11 +330,20 @@ pub fn reference_leakage(
                 let dh = 2e-5;
                 let mut scratch2 = scratch.clone();
                 let r2 = eval_net_residual(
-                    circuit, &models, driver_model, gid, &vin_driver, v + dh, &mut scratch2,
-                    &loads_ctx, &internals, vdd, temp,
+                    circuit,
+                    &models,
+                    driver_model,
+                    gid,
+                    &vin_driver,
+                    v + dh,
+                    &mut scratch2,
+                    &loads_ctx,
+                    &internals,
+                    vdd,
+                    temp,
                 )?;
                 let g = (r2 - r) / dh;
-                if !(g.abs() > 1e-18) {
+                if g.abs().partial_cmp(&1e-18) != Some(std::cmp::Ordering::Greater) {
                     break;
                 }
                 let step = (-r / g).clamp(-0.05, 0.05);
@@ -342,8 +371,7 @@ pub fn reference_leakage(
         let gate = circuit.gate(gid);
         let vin = gate_vin(circuit, gid, &net_v);
         let model = &models[&gate.cell];
-        per_gate[gid.0] =
-            model.breakdown(vdd, temp, &vin, net_v[gate.output.0], &internals[gid.0]);
+        per_gate[gid.0] = model.breakdown(vdd, temp, &vin, net_v[gate.output.0], &internals[gid.0]);
     }
 
     Ok(ReferenceResult {
@@ -397,22 +425,20 @@ pub fn reference_batch(
     }
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
     let chunk = patterns.len().div_ceil(workers);
-    let results: Vec<Result<Vec<ReferenceResult>, EstimateError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = patterns
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| {
-                        slice
-                            .iter()
-                            .map(|p| reference_leakage(circuit, tech, temp, p, opts))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
+    let results: Vec<Result<Vec<ReferenceResult>, EstimateError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = patterns
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|p| reference_leakage(circuit, tech, temp, p, opts))
+                        .collect::<Result<Vec<_>, _>>()
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("reference thread panicked")).collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reference thread panicked")).collect()
+    });
     let mut out = Vec::with_capacity(patterns.len());
     for r in results {
         out.extend(r?);
@@ -452,9 +478,13 @@ mod tests {
         let c = b.build().unwrap();
         let p = Pattern { pi: vec![false], states: vec![] };
         let r = reference_leakage(&c, &tech(), 300.0, &p, &ReferenceOptions::default()).unwrap();
-        let iso =
-            nanoleak_cells::eval_isolated(&tech(), 300.0, CellType::Inv, InputVector::parse("0").unwrap())
-                .unwrap();
+        let iso = nanoleak_cells::eval_isolated(
+            &tech(),
+            300.0,
+            CellType::Inv,
+            InputVector::parse("0").unwrap(),
+        )
+        .unwrap();
         let rel = (r.leakage.total.total() - iso.breakdown.total()).abs() / iso.breakdown.total();
         assert!(rel < 0.01, "reference vs isolated = {}%", rel * 100.0);
     }
@@ -486,10 +516,9 @@ mod tests {
             300.0,
             &CharacterizeOptions::coarse(&[CellType::Inv]),
         );
-        let pin = lib
-            .vector_char(CellType::Inv, InputVector::parse("1").unwrap())
-            .unwrap()
-            .pin_currents[0];
+        let pin =
+            lib.vector_char(CellType::Inv, InputVector::parse("1").unwrap()).unwrap().pin_currents
+                [0];
         let fixture = eval_loaded(
             &tech(),
             300.0,

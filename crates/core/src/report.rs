@@ -165,10 +165,8 @@ mod tests {
         let unloaded = CircuitLeakage::from_gates(vec![bd(100.0, 50.0, 10.0)]);
         let loaded_a = CircuitLeakage::from_gates(vec![bd(110.0, 49.0, 9.5)]);
         let loaded_b = CircuitLeakage::from_gates(vec![bd(104.0, 50.0, 10.0)]);
-        let impact = LoadingImpact::from_pairs(&[
-            (loaded_a, unloaded.clone()),
-            (loaded_b, unloaded),
-        ]);
+        let impact =
+            LoadingImpact::from_pairs(&[(loaded_a, unloaded.clone()), (loaded_b, unloaded)]);
         assert!((impact.avg.sub - 0.07).abs() < 1e-12);
         assert!((impact.max.sub - 0.10).abs() < 1e-12);
         assert!(impact.max.gate < 0.0, "gate change is negative");

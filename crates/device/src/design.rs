@@ -9,9 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::consts::{
-    intrinsic_concentration, thermal_voltage, EPS_OX, EPS_SI, Q, T_REF,
-};
+use crate::consts::{intrinsic_concentration, thermal_voltage, EPS_OX, EPS_SI, Q, T_REF};
 use crate::doping::Doping;
 use crate::geometry::Geometry;
 use crate::params::MosParams;
@@ -320,8 +318,7 @@ mod tests {
     #[test]
     fn stronger_halo_raises_vth_and_reduces_dibl() {
         let base = DeviceDesign::nano25(MosKind::Nmos);
-        let strong =
-            base.with_doping(Doping::super_halo_25nm().with_halo(2.4e25));
+        let strong = base.with_doping(Doping::super_halo_25nm().with_halo(2.4e25));
         let (pb, ps) = (base.derive(), strong.derive());
         assert!(ps.vth0 > pb.vth0, "halo up => vth up");
         assert!(ps.eta < pb.eta, "halo up => DIBL down");
@@ -344,7 +341,8 @@ mod tests {
     #[test]
     fn flavor_scales_apply() {
         let base = DeviceDesign::nano25(MosKind::Nmos);
-        let flav = base.with_flavor(FlavorScales { gate_mult: 2.0, btbt_mult: 3.0, vth_shift: 0.05 });
+        let flav =
+            base.with_flavor(FlavorScales { gate_mult: 2.0, btbt_mult: 3.0, vth_shift: 0.05 });
         let (pb, pf) = (base.derive(), flav.derive());
         assert!((pf.a_gate / pb.a_gate - 2.0).abs() < 1e-12);
         assert!((pf.c_btbt / pb.c_btbt - 3.0).abs() < 1e-12);

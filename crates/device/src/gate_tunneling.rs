@@ -21,8 +21,8 @@
 //! which is exponential in `Tox` (Fig. 4b), super-linear in `V`, and
 //! essentially temperature-independent (Fig. 4c).
 
-use crate::params::{logistic, MosParams};
 use crate::consts::thermal_voltage;
+use crate::params::{logistic, MosParams};
 
 /// Signed gate tunneling components of the n-like core model \[A\].
 /// Each value is the current flowing **from the gate into** the named

@@ -77,7 +77,8 @@ impl MosParams {
     pub fn vth_eff(&self, vds: f64, vsb: f64, t: f64) -> f64 {
         let vsb_c = vsb.max(-0.2);
         let root = (self.phi_s + vsb_c).max(0.02).sqrt();
-        self.vth0 + self.gamma * (root - self.phi_s.sqrt()) - self.eta * vds
+        self.vth0 + self.gamma * (root - self.phi_s.sqrt())
+            - self.eta * vds
             - self.kappa_t * (t - T_REF)
     }
 

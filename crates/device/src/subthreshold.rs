@@ -21,8 +21,8 @@
 //! * Strong inversion, small `vds`: conductance
 //!   `g ≈ mu_eff Cox (W/L) u / m` — a realistic kΩ-scale ON resistance.
 
-use crate::params::MosParams;
 use crate::consts::thermal_voltage;
+use crate::params::MosParams;
 
 /// Drain-to-source channel current of the n-like core model \[A\].
 ///

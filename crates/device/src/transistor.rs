@@ -181,7 +181,7 @@ mod tests {
         // Edge tunneling pushes current INTO the gate node of an OFF
         // NMOS with a high drain — the loading-effect source current.
         let tc = nmos().terminal_currents(Bias::new(0.0, 0.9, 0.0, 0.0), 300.0);
-        assert!(tc.g < -1.0 * NA, "gate current = {} nA", tc.g / NA);
+        assert!(tc.g < -NA, "gate current = {} nA", tc.g / NA);
     }
 
     #[test]

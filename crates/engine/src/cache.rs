@@ -1,0 +1,287 @@
+//! Persistent characterization cache.
+//!
+//! Characterizing the full cell family at default resolution costs
+//! seconds of solver time per (technology, temperature, options)
+//! triple, and every CLI or bench invocation used to pay it again.
+//! [`LibraryCache`] serializes the characterized [`CellLibrary`] to
+//! disk so later runs (including across processes) skip the solve.
+//!
+//! ## File format (`*.nlc`)
+//!
+//! | bytes | content |
+//! |---|---|
+//! | 4 | magic `NLKC` |
+//! | 4 | format version, u32 LE ([`CACHE_FORMAT_VERSION`]) |
+//! | 8 | request key, u64 LE — FNV-1a over the serialized (tech, temp, options) |
+//! | 8 | payload length, u64 LE |
+//! | 8 | payload checksum, u64 LE (FNV-1a) |
+//! | n | payload: the `CellLibrary` in vendored-serde binary encoding |
+//!
+//! Any mismatch — magic, version, key, length, checksum, decode
+//! failure, or a decoded library whose (tech, temp, options) differ
+//! from the request (a key collision) — is treated as a stale entry:
+//! the library is re-characterized and the file overwritten. Changing
+//! the characterization options changes the key and therefore the
+//! file name, so old entries can never shadow new requests.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use nanoleak_cells::{CellLibrary, CharacterizeOptions};
+use nanoleak_device::Technology;
+
+use crate::EngineError;
+
+/// Bump when the header layout or the serialized library shape
+/// changes; old files then re-characterize instead of mis-decoding.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"NLKC";
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// How a [`LibraryCache::load_or_characterize`] request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A valid cache file was loaded; no solver work ran.
+    Hit,
+    /// No cache file existed; the library was characterized and stored.
+    Miss,
+    /// A cache file existed but was stale or corrupt; the library was
+    /// re-characterized and the file replaced.
+    Invalidated,
+}
+
+/// An on-disk cache of characterized cell libraries.
+#[derive(Debug, Clone)]
+pub struct LibraryCache {
+    dir: PathBuf,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl LibraryCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The default location: `$NANOLEAK_CACHE_DIR` if set, else
+    /// `.nanoleak-cache` under the current directory.
+    pub fn default_location() -> Self {
+        let dir = std::env::var_os("NANOLEAK_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(".nanoleak-cache"));
+        Self::new(dir)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The request key: FNV-1a over the serialized (tech, temp,
+    /// options) triple. Every field of the technology (device designs
+    /// included) participates, so e.g. an oxide-thickness tweak yields
+    /// a different key.
+    pub fn request_key(tech: &Technology, temp: f64, opts: &CharacterizeOptions) -> u64 {
+        let request = (tech.clone(), temp, opts.clone());
+        fnv1a(&serde::to_bytes(&request))
+    }
+
+    /// The file path backing one request.
+    pub fn path_for(&self, tech: &Technology, temp: f64, opts: &CharacterizeOptions) -> PathBuf {
+        let key = Self::request_key(tech, temp, opts);
+        let name = tech.name.to_lowercase().replace(|c: char| !c.is_alphanumeric(), "-");
+        self.dir.join(format!("{name}-v{CACHE_FORMAT_VERSION}-{key:016x}.nlc"))
+    }
+
+    /// Loads the cached library for a request, or characterizes and
+    /// stores it.
+    ///
+    /// Returns the library plus how it was obtained; a hit performs no
+    /// solver work. Write failures after a successful characterization
+    /// surface as [`EngineError::Cache`] (the characterization is not
+    /// silently discarded as that would hide a misconfigured cache
+    /// directory on every run).
+    ///
+    /// # Errors
+    /// * [`EngineError::Solver`] if characterization fails on a miss;
+    /// * [`EngineError::Cache`] if the fresh entry cannot be written.
+    pub fn load_or_characterize(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, CacheOutcome), EngineError> {
+        let path = self.path_for(tech, temp, opts);
+        let existed = path.exists();
+        if existed {
+            if let Some(lib) = self.try_load(&path, tech, temp, opts) {
+                return Ok((Arc::new(lib), CacheOutcome::Hit));
+            }
+        }
+        let lib = CellLibrary::characterize(tech, temp, opts)?;
+        self.store(&lib)?;
+        let outcome = if existed { CacheOutcome::Invalidated } else { CacheOutcome::Miss };
+        Ok((Arc::new(lib), outcome))
+    }
+
+    /// Writes `lib` into the cache, creating the directory on demand.
+    ///
+    /// # Errors
+    /// [`EngineError::Cache`] on any I/O failure.
+    pub fn store(&self, lib: &CellLibrary) -> Result<PathBuf, EngineError> {
+        let path = self.path_for(&lib.tech, lib.temp, &lib.options);
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| EngineError::Cache(format!("create {}: {e}", self.dir.display())))?;
+        let key = Self::request_key(&lib.tech, lib.temp, &lib.options);
+        let payload = serde::to_bytes(lib);
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        // Write-then-rename so a crashed writer never leaves a torn
+        // file behind for the next reader.
+        let tmp = path.with_extension("nlc.tmp");
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| EngineError::Cache(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| EngineError::Cache(format!("rename to {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Attempts to load and fully validate one cache file; any
+    /// problem returns `None` (the caller re-characterizes).
+    fn try_load(
+        &self,
+        path: &Path,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Option<CellLibrary> {
+        let bytes = std::fs::read(path).ok()?;
+        if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+        if version != CACHE_FORMAT_VERSION {
+            return None;
+        }
+        let key = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        if key != Self::request_key(tech, temp, opts) {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[16..24].try_into().ok()?) as usize;
+        let checksum = u64::from_le_bytes(bytes[24..32].try_into().ok()?);
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() != len || fnv1a(payload) != checksum {
+            return None;
+        }
+        let lib: CellLibrary = serde::from_bytes(payload).ok()?;
+        // Key collisions are astronomically unlikely but cheap to rule
+        // out: the decoded request must match the asked-for request.
+        if lib.tech != *tech || lib.temp != temp || lib.options != *opts {
+            return None;
+        }
+        Some(lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::CellType;
+
+    fn opts() -> CharacterizeOptions {
+        CharacterizeOptions::coarse(&[CellType::Inv])
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nanoleak-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_separate_requests() {
+        let tech = Technology::d25();
+        let base = LibraryCache::request_key(&tech, 300.0, &opts());
+        assert_ne!(base, LibraryCache::request_key(&tech, 310.0, &opts()));
+        let wider = CharacterizeOptions { max_loading: 9e-6, ..opts() };
+        assert_ne!(base, LibraryCache::request_key(&tech, 300.0, &wider));
+        let mut other_tech = tech.clone();
+        other_tech.vdd += 0.05;
+        assert_ne!(base, LibraryCache::request_key(&other_tech, 300.0, &opts()));
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips_bit_identically() {
+        let tech = Technology::d25();
+        let cache = LibraryCache::new(temp_dir("roundtrip"));
+        let (first, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(*first, *second, "loaded library equals characterized library");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_payload_invalidates() {
+        let tech = Technology::d25();
+        let cache = LibraryCache::new(temp_dir("corrupt"));
+        let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // Flip one payload byte behind the header.
+        let path = cache.path_for(&tech, 300.0, &opts());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (lib, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Invalidated);
+        assert!(lib.cell(CellType::Inv).is_some(), "recovered by re-characterizing");
+        // And the replacement file is valid again.
+        let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_header_invalidates() {
+        let tech = Technology::d25();
+        let cache = LibraryCache::new(temp_dir("truncated"));
+        cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        let path = cache.path_for(&tech, 300.0, &opts());
+        std::fs::write(&path, b"NLKC").unwrap();
+        let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Invalidated);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn option_change_is_a_fresh_miss_not_a_stale_hit() {
+        let tech = Technology::d25();
+        let cache = LibraryCache::new(temp_dir("options"));
+        let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let denser = CharacterizeOptions { points: 5, ..opts() };
+        let (lib, outcome) = cache.load_or_characterize(&tech, 300.0, &denser).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "different options, different entry");
+        assert_eq!(lib.options.points, 5);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,442 @@
+//! Minimum/maximum-leakage input-vector (MLV) search.
+//!
+//! Fig. 7 of the paper shows NAND leakage spanning ~4x across input
+//! vectors; at circuit scale the spread makes the *standby vector* a
+//! real power knob. This module searches the input space for the
+//! extreme vector with three pluggable strategies:
+//!
+//! * [`MlvStrategy::Exhaustive`] — enumerate all `2^bits` assignments
+//!   (primary inputs + DFF state bits); exact, for small circuits;
+//! * [`MlvStrategy::Random`] — uniform sampling, sharing the sweep's
+//!   seed-derived pattern streams;
+//! * [`MlvStrategy::HillClimb`] — greedy single-bit-flip descent with
+//!   parallel restarts; near-exact in practice at a tiny fraction of
+//!   the exhaustive cost.
+//!
+//! All strategies are deterministic for a given seed regardless of the
+//! thread count: candidates are scored in a fixed order and ties
+//! resolve to the earliest candidate.
+
+use std::time::Instant;
+
+use nanoleak_cells::CellLibrary;
+use nanoleak_core::{estimate, CircuitLeakage, EstimatorMode};
+use nanoleak_netlist::{Circuit, Pattern};
+
+use crate::exec::{par_map, resolve_threads};
+use crate::sweep::pattern_for_index;
+use crate::EngineError;
+
+/// Largest input-bit count [`MlvStrategy::Exhaustive`] will enumerate
+/// (`2^22` ≈ 4.2M estimator calls).
+pub const MAX_EXHAUSTIVE_BITS: usize = 22;
+
+/// Search direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MlvGoal {
+    /// Find the minimum-leakage vector (standby-power optimization).
+    #[default]
+    Min,
+    /// Find the maximum-leakage vector (worst-case bound).
+    Max,
+}
+
+impl MlvGoal {
+    /// `true` if `candidate` strictly beats `incumbent` for this goal.
+    fn improves(self, candidate: f64, incumbent: f64) -> bool {
+        match self {
+            MlvGoal::Min => candidate < incumbent,
+            MlvGoal::Max => candidate > incumbent,
+        }
+    }
+}
+
+/// How the input space is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlvStrategy {
+    /// Enumerate every assignment (up to [`MAX_EXHAUSTIVE_BITS`] bits).
+    Exhaustive,
+    /// Score `samples` seed-derived random patterns.
+    Random {
+        /// Number of random patterns.
+        samples: usize,
+    },
+    /// Greedy bit-flip hill climbing from `restarts` random starts,
+    /// each limited to `max_steps` accepted moves.
+    HillClimb {
+        /// Independent random starts (parallelized).
+        restarts: usize,
+        /// Accepted-move limit per restart.
+        max_steps: usize,
+    },
+}
+
+impl Default for MlvStrategy {
+    fn default() -> Self {
+        MlvStrategy::HillClimb { restarts: 8, max_steps: 64 }
+    }
+}
+
+impl MlvStrategy {
+    /// Short name for logs and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MlvStrategy::Exhaustive => "exhaustive",
+            MlvStrategy::Random { .. } => "random",
+            MlvStrategy::HillClimb { .. } => "hill-climb",
+        }
+    }
+}
+
+/// Configuration of one MLV search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlvConfig {
+    /// Search direction.
+    pub goal: MlvGoal,
+    /// Exploration strategy.
+    pub strategy: MlvStrategy,
+    /// Base RNG seed (random starts / random sampling).
+    pub seed: u64,
+    /// Worker threads (`0` = all cores, capped at 16).
+    pub threads: usize,
+    /// Estimator mode used to score candidates.
+    pub mode: EstimatorMode,
+}
+
+impl Default for MlvConfig {
+    fn default() -> Self {
+        Self {
+            goal: MlvGoal::Min,
+            strategy: MlvStrategy::Exhaustive,
+            seed: 2005,
+            threads: 0,
+            mode: EstimatorMode::Lut,
+        }
+    }
+}
+
+/// Search cost and progress counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlvTelemetry {
+    /// Strategy that produced the result.
+    pub strategy: &'static str,
+    /// Estimator invocations.
+    pub evaluations: u64,
+    /// Accepted hill-climb moves (0 for other strategies).
+    pub improving_moves: u64,
+    /// Restarts executed (1 for other strategies).
+    pub restarts: usize,
+    /// Wall-clock duration.
+    pub elapsed: std::time::Duration,
+}
+
+/// Result of [`mlv_search`]: the best vector found, its full leakage
+/// report, and the search telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlvResult {
+    /// The best input pattern found.
+    pub pattern: Pattern,
+    /// Its full per-gate leakage report.
+    pub leakage: CircuitLeakage,
+    /// Total leakage of `pattern` \[A\] (the search objective).
+    pub objective: f64,
+    /// Search cost counters.
+    pub telemetry: MlvTelemetry,
+}
+
+/// One scored candidate flowing through a search.
+#[derive(Debug, Clone)]
+struct Candidate {
+    pattern: Pattern,
+    objective: f64,
+}
+
+/// Builds the pattern encoded by the low `bits` of `index`: primary
+/// inputs first (bit 0 = first input), then DFF state bits.
+fn pattern_from_bits(circuit: &Circuit, index: u64) -> Pattern {
+    let n_pi = circuit.inputs().len();
+    let n_state = circuit.state_inputs().len();
+    Pattern {
+        pi: (0..n_pi).map(|j| index >> j & 1 == 1).collect(),
+        states: (0..n_state).map(|j| index >> (n_pi + j) & 1 == 1).collect(),
+    }
+}
+
+fn score(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    pattern: &Pattern,
+    mode: EstimatorMode,
+) -> Result<f64, EngineError> {
+    Ok(estimate(circuit, library, pattern, mode)?.total.total())
+}
+
+/// Folds candidates in iteration order; ties keep the earliest, so
+/// the winner is deterministic for any thread count.
+fn pick_best(goal: MlvGoal, candidates: impl IntoIterator<Item = Candidate>) -> Option<Candidate> {
+    let mut best: Option<Candidate> = None;
+    for c in candidates {
+        match &best {
+            Some(b) if !goal.improves(c.objective, b.objective) => {}
+            _ => best = Some(c),
+        }
+    }
+    best
+}
+
+/// Scores `n` candidate patterns in parallel and picks the winner.
+fn scored_scan(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &MlvConfig,
+    threads: usize,
+    n: usize,
+    pattern_at: impl Fn(usize) -> Pattern + Sync,
+) -> Result<Option<Candidate>, EngineError> {
+    let scored = par_map(n, threads, |i| -> Result<Candidate, EngineError> {
+        let pattern = pattern_at(i);
+        let objective = score(circuit, library, &pattern, config.mode)?;
+        Ok(Candidate { pattern, objective })
+    });
+    let candidates = scored.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(pick_best(config.goal, candidates))
+}
+
+/// Searches for the extreme-leakage input vector of `circuit`.
+///
+/// # Errors
+/// * [`EngineError::SearchSpaceTooLarge`] for exhaustive search over
+///   more than [`MAX_EXHAUSTIVE_BITS`] input bits;
+/// * [`EngineError::Estimate`] if any candidate fails to estimate.
+pub fn mlv_search(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &MlvConfig,
+) -> Result<MlvResult, EngineError> {
+    let start = Instant::now();
+    let threads = resolve_threads(config.threads);
+    let bits = circuit.inputs().len() + circuit.state_inputs().len();
+
+    let (best, evaluations, improving_moves, restarts) = match config.strategy {
+        MlvStrategy::Exhaustive => {
+            if bits > MAX_EXHAUSTIVE_BITS {
+                return Err(EngineError::SearchSpaceTooLarge { bits, limit: MAX_EXHAUSTIVE_BITS });
+            }
+            let n = 1usize << bits;
+            let best = scored_scan(circuit, library, config, threads, n, |i| {
+                pattern_from_bits(circuit, i as u64)
+            })?;
+            (best, n as u64, 0, 1)
+        }
+        MlvStrategy::Random { samples } => {
+            assert!(samples > 0, "random MLV search needs at least one sample");
+            let best = scored_scan(circuit, library, config, threads, samples, |i| {
+                pattern_for_index(circuit, config.seed, i)
+            })?;
+            (best, samples as u64, 0, 1)
+        }
+        MlvStrategy::HillClimb { restarts, max_steps } => {
+            assert!(restarts > 0, "hill climb needs at least one restart");
+            type ClimbOutcome = Result<(Candidate, u64, u64), EngineError>;
+            let climbs: Vec<ClimbOutcome> =
+                par_map(restarts, threads, |r| climb(circuit, library, config, r, max_steps));
+            let mut merged = Vec::with_capacity(restarts);
+            let (mut evals, mut moves) = (0u64, 0u64);
+            for c in climbs {
+                let (cand, e, m) = c?;
+                evals += e;
+                moves += m;
+                merged.push(cand);
+            }
+            (pick_best(config.goal, merged), evals, moves, restarts)
+        }
+    };
+
+    let best = best.expect("every strategy evaluates at least one candidate");
+    let leakage = estimate(circuit, library, &best.pattern, config.mode)?;
+    Ok(MlvResult {
+        pattern: best.pattern,
+        objective: best.objective,
+        leakage,
+        telemetry: MlvTelemetry {
+            strategy: config.strategy.name(),
+            evaluations,
+            improving_moves,
+            restarts,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// One hill-climb restart: greedy steepest-ascent/descent over
+/// single-bit flips, scanning bits in a fixed order for determinism.
+fn climb(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &MlvConfig,
+    restart: usize,
+    max_steps: usize,
+) -> Result<(Candidate, u64, u64), EngineError> {
+    // Restart streams reuse the sweep's per-index derivation, offset
+    // so hill-climb starts differ from sweep/random sample patterns.
+    let mut current = pattern_for_index(circuit, config.seed ^ 0x4d4c56, restart);
+    let mut objective = score(circuit, library, &current, config.mode)?;
+    let mut evaluations = 1u64;
+    let mut moves = 0u64;
+    let bits = current.pi.len() + current.states.len();
+
+    for _ in 0..max_steps {
+        let mut best_flip: Option<(usize, f64)> = None;
+        for bit in 0..bits {
+            let candidate = flipped(&current, bit);
+            let cand_obj = score(circuit, library, &candidate, config.mode)?;
+            evaluations += 1;
+            let beats_current = config.goal.improves(cand_obj, objective);
+            let beats_best = match best_flip {
+                Some((_, b)) => config.goal.improves(cand_obj, b),
+                None => true,
+            };
+            if beats_current && beats_best {
+                best_flip = Some((bit, cand_obj));
+            }
+        }
+        match best_flip {
+            Some((bit, obj)) => {
+                current = flipped(&current, bit);
+                objective = obj;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    Ok((Candidate { pattern: current, objective }, evaluations, moves))
+}
+
+/// Returns `pattern` with one bit (primary inputs first, then DFF
+/// states) flipped.
+fn flipped(pattern: &Pattern, bit: usize) -> Pattern {
+    let mut p = pattern.clone();
+    if bit < p.pi.len() {
+        p.pi[bit] = !p.pi[bit];
+    } else {
+        let s = bit - p.pi.len();
+        p.states[s] = !p.states[s];
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+    use nanoleak_device::Technology;
+    use nanoleak_netlist::CircuitBuilder;
+    use std::sync::Arc;
+
+    fn library() -> Arc<CellLibrary> {
+        CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]),
+        )
+    }
+
+    fn chain_circuit(inputs: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("mlv-test");
+        let pis: Vec<_> = (0..inputs).map(|i| b.add_input(&format!("i{i}"))).collect();
+        let mut prev = b.add_gate(CellType::Nand2, &[pis[0], pis[1]], "n0");
+        for (k, &pi) in pis.iter().enumerate().skip(2) {
+            prev = b.add_gate(CellType::Nand2, &[prev, pi], &format!("n{}", k - 1));
+        }
+        let y = b.add_gate(CellType::Inv, &[prev], "y");
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_brute_force_scan() {
+        let circuit = chain_circuit(4);
+        let lib = library();
+        let result = mlv_search(&circuit, &lib, &MlvConfig::default()).unwrap();
+        // Independent brute force in plain code.
+        let mut best = f64::INFINITY;
+        for idx in 0..(1u64 << 4) {
+            let p = pattern_from_bits(&circuit, idx);
+            let t = estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap().total.total();
+            if t < best {
+                best = t;
+            }
+        }
+        assert_eq!(result.objective, best);
+        assert_eq!(result.telemetry.evaluations, 16);
+        assert_eq!(result.leakage.total.total(), result.objective);
+    }
+
+    #[test]
+    fn max_goal_finds_the_other_extreme() {
+        let circuit = chain_circuit(3);
+        let lib = library();
+        let min =
+            mlv_search(&circuit, &lib, &MlvConfig { goal: MlvGoal::Min, ..Default::default() })
+                .unwrap();
+        let max =
+            mlv_search(&circuit, &lib, &MlvConfig { goal: MlvGoal::Max, ..Default::default() })
+                .unwrap();
+        assert!(max.objective > min.objective);
+    }
+
+    #[test]
+    fn search_space_guard_rejects_wide_circuits() {
+        // One inverter per input: the guard fires on the bit count
+        // before any estimator work happens.
+        let wide = MAX_EXHAUSTIVE_BITS + 1;
+        let mut b = CircuitBuilder::new("wide");
+        for i in 0..wide {
+            let a = b.add_input(&format!("i{i}"));
+            let y = b.add_gate(CellType::Inv, &[a], &format!("y{i}"));
+            b.mark_output(y);
+        }
+        let circuit = b.build().unwrap();
+        let lib = library();
+        let err = mlv_search(&circuit, &lib, &MlvConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::SearchSpaceTooLarge { bits: wide, limit: MAX_EXHAUSTIVE_BITS }
+        );
+    }
+
+    #[test]
+    fn hill_climb_is_deterministic_across_thread_counts() {
+        let circuit = chain_circuit(6);
+        let lib = library();
+        let strategy = MlvStrategy::HillClimb { restarts: 6, max_steps: 32 };
+        let base = MlvConfig { strategy, threads: 1, ..Default::default() };
+        let one = mlv_search(&circuit, &lib, &base).unwrap();
+        for threads in [2, 5, 8] {
+            let multi = mlv_search(&circuit, &lib, &MlvConfig { threads, ..base }).unwrap();
+            assert_eq!(one.pattern, multi.pattern, "threads = {threads}");
+            assert_eq!(one.objective, multi.objective);
+            assert_eq!(one.telemetry.evaluations, multi.telemetry.evaluations);
+        }
+    }
+
+    #[test]
+    fn random_strategy_improves_with_more_samples() {
+        let circuit = chain_circuit(6);
+        let lib = library();
+        let few = mlv_search(
+            &circuit,
+            &lib,
+            &MlvConfig { strategy: MlvStrategy::Random { samples: 2 }, ..Default::default() },
+        )
+        .unwrap();
+        let many = mlv_search(
+            &circuit,
+            &lib,
+            &MlvConfig { strategy: MlvStrategy::Random { samples: 48 }, ..Default::default() },
+        )
+        .unwrap();
+        assert!(many.objective <= few.objective, "more samples never hurt");
+        assert_eq!(many.telemetry.evaluations, 48);
+    }
+}

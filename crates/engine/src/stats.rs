@@ -1,0 +1,136 @@
+//! Summary statistics over per-pattern scalar series.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one scalar series (e.g. total leakage over a sweep's
+/// input-pattern space): moments, extremes, and percentiles.
+///
+/// Built by a sequential pass over the series in pattern-index order,
+/// so the result is bit-identical for any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (linear-interpolated).
+    pub p50: f64,
+    /// 90th percentile (linear-interpolated).
+    pub p90: f64,
+    /// 99th percentile (linear-interpolated).
+    pub p99: f64,
+}
+
+impl ScalarStats {
+    /// Computes the summary of a series.
+    ///
+    /// # Panics
+    /// Panics on an empty series or non-finite samples.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "stats of an empty series");
+        assert!(xs.iter().all(|x| x.is_finite()), "non-finite sample in series");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
+        }
+    }
+
+    /// Coefficient of variation (`std / mean`); 0 for a zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted series.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_series() {
+        let s = ScalarStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs: Vec<f64> = (0..101).map(f64::from).collect();
+        let s = ScalarStats::of(&xs);
+        assert!((s.p50 - 50.0).abs() < 1e-12);
+        assert!((s.p90 - 90.0).abs() < 1e-12);
+        assert!((s.p99 - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let a = ScalarStats::of(&[3.0, 1.0, 2.0]);
+        let b = ScalarStats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.p50, b.p50);
+        assert_eq!(a.min, b.min);
+        // Note: mean/std are summed in input order by design; the
+        // engine always presents series in pattern-index order.
+    }
+
+    #[test]
+    fn singleton_series() {
+        let s = ScalarStats::of(&[7.5]);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        assert_eq!(ScalarStats::of(&[0.0, 0.0]).cv(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn empty_series_panics() {
+        ScalarStats::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        ScalarStats::of(&[1.0, f64::NAN]);
+    }
+}

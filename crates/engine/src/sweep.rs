@@ -1,0 +1,244 @@
+//! The parallel pattern-sweep executor.
+//!
+//! Fans one circuit across N random input patterns (the paper's
+//! "100 random vectors" methodology at scale): every pattern is
+//! estimated independently on a worker thread, per-pattern results are
+//! materialized in pattern-index order, and all statistics are reduced
+//! sequentially over that order — so a sweep's output is bit-identical
+//! for any thread count.
+
+use std::time::Instant;
+
+use nanoleak_cells::CellLibrary;
+use nanoleak_core::{estimate, EstimateError, EstimatorMode};
+use nanoleak_device::LeakageBreakdown;
+use nanoleak_netlist::{Circuit, Pattern};
+use rand::SeedableRng;
+
+use crate::exec::{mix, par_map, resolve_threads};
+use crate::stats::ScalarStats;
+
+/// Configuration of one pattern sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Number of random input patterns.
+    pub vectors: usize,
+    /// Base RNG seed; pattern `i` is drawn from stream `mix(seed, i)`,
+    /// so the pattern set is independent of the thread count.
+    pub seed: u64,
+    /// Worker threads (`0` = all cores, capped at 16).
+    pub threads: usize,
+    /// Estimator mode for every pattern.
+    pub mode: EstimatorMode,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { vectors: 100, seed: 2005, threads: 0, mode: EstimatorMode::Lut }
+    }
+}
+
+/// The pattern the sweep evaluates at `index` (public so callers can
+/// reproduce any sweep sample exactly).
+pub fn pattern_for_index(circuit: &Circuit, seed: u64, index: usize) -> Pattern {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, index as u64));
+    Pattern::random(circuit, &mut rng)
+}
+
+/// An extreme point of the swept input space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtremeVector {
+    /// Sweep index of the pattern (reproducible via
+    /// [`pattern_for_index`]).
+    pub index: usize,
+    /// The pattern itself.
+    pub pattern: Pattern,
+    /// Its circuit-total leakage breakdown.
+    pub leakage: LeakageBreakdown,
+}
+
+/// Deterministic sweep output: per-component statistics over the
+/// pattern space plus the extreme vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Number of patterns evaluated.
+    pub vectors: usize,
+    /// Statistics of total leakage \[A\].
+    pub total: ScalarStats,
+    /// Statistics of the subthreshold component \[A\].
+    pub sub: ScalarStats,
+    /// Statistics of the gate-tunneling component \[A\].
+    pub gate: ScalarStats,
+    /// Statistics of the junction BTBT component \[A\].
+    pub btbt: ScalarStats,
+    /// The lowest-leakage pattern seen (first index on ties).
+    pub min: ExtremeVector,
+    /// The highest-leakage pattern seen (first index on ties).
+    pub max: ExtremeVector,
+}
+
+/// Wall-clock measurements of one sweep run (not deterministic; kept
+/// separate from [`SweepStats`] so determinism can be asserted on the
+/// stats alone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepTelemetry {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock duration of the sweep.
+    pub elapsed: std::time::Duration,
+    /// Throughput in patterns per second.
+    pub patterns_per_sec: f64,
+}
+
+/// Result of [`sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Deterministic statistics.
+    pub stats: SweepStats,
+    /// Wall-clock telemetry.
+    pub telemetry: SweepTelemetry,
+}
+
+/// Sweeps `config.vectors` random patterns over `circuit` in parallel.
+///
+/// # Errors
+/// The first per-pattern [`EstimateError`], if any (e.g. a cell
+/// missing from `library`).
+///
+/// # Panics
+/// Panics if `config.vectors` is zero.
+pub fn sweep(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &SweepConfig,
+) -> Result<SweepReport, EstimateError> {
+    assert!(config.vectors > 0, "sweep needs at least one vector");
+    // Clamp exactly like par_map will, so the telemetry reports the
+    // worker count actually used, not just the resolved request.
+    let threads = resolve_threads(config.threads).min(config.vectors);
+    let start = Instant::now();
+
+    let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> =
+        par_map(config.vectors, threads, |i| {
+            let pattern = pattern_for_index(circuit, config.seed, i);
+            estimate(circuit, library, &pattern, config.mode).map(|r| r.total)
+        });
+    let mut totals = Vec::with_capacity(config.vectors);
+    for r in per_pattern {
+        totals.push(r?);
+    }
+
+    let elapsed = start.elapsed();
+    let series = |f: fn(&LeakageBreakdown) -> f64| -> Vec<f64> { totals.iter().map(f).collect() };
+    let total_series = series(LeakageBreakdown::total);
+
+    let extreme = |best_is_less: bool| -> ExtremeVector {
+        let mut best = 0usize;
+        for (i, &t) in total_series.iter().enumerate().skip(1) {
+            if (best_is_less && t < total_series[best]) || (!best_is_less && t > total_series[best])
+            {
+                best = i;
+            }
+        }
+        ExtremeVector {
+            index: best,
+            pattern: pattern_for_index(circuit, config.seed, best),
+            leakage: totals[best],
+        }
+    };
+
+    Ok(SweepReport {
+        stats: SweepStats {
+            vectors: config.vectors,
+            total: ScalarStats::of(&total_series),
+            sub: ScalarStats::of(&series(|b| b.sub)),
+            gate: ScalarStats::of(&series(|b| b.gate)),
+            btbt: ScalarStats::of(&series(|b| b.btbt)),
+            min: extreme(true),
+            max: extreme(false),
+        },
+        telemetry: SweepTelemetry {
+            threads,
+            elapsed,
+            patterns_per_sec: config.vectors as f64 / elapsed.as_secs_f64().max(1e-9),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::{CellType, CharacterizeOptions};
+    use nanoleak_device::Technology;
+    use nanoleak_netlist::CircuitBuilder;
+    use std::sync::Arc;
+
+    fn library() -> Arc<CellLibrary> {
+        CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]),
+        )
+    }
+
+    fn small_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("sweep-test");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let d = b.add_input("c");
+        let n1 = b.add_gate(CellType::Nand2, &[a, c], "n1");
+        let n2 = b.add_gate(CellType::Nand2, &[n1, d], "n2");
+        let y = b.add_gate(CellType::Inv, &[n2], "y");
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_are_identical_for_any_thread_count() {
+        let circuit = small_circuit();
+        let lib = library();
+        let base = SweepConfig { vectors: 40, seed: 7, threads: 1, ..Default::default() };
+        let one = sweep(&circuit, &lib, &base).unwrap();
+        for threads in [2, 3, 8] {
+            let cfg = SweepConfig { threads, ..base };
+            let multi = sweep(&circuit, &lib, &cfg).unwrap();
+            assert_eq!(one.stats, multi.stats, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn seed_controls_the_pattern_set() {
+        let circuit = small_circuit();
+        let lib = library();
+        let a = sweep(&circuit, &lib, &SweepConfig { vectors: 16, seed: 1, ..Default::default() })
+            .unwrap();
+        let b = sweep(&circuit, &lib, &SweepConfig { vectors: 16, seed: 2, ..Default::default() })
+            .unwrap();
+        assert_ne!(a.stats.total, b.stats.total, "different seeds sample differently");
+    }
+
+    #[test]
+    fn extremes_bound_the_distribution() {
+        let circuit = small_circuit();
+        let lib = library();
+        let r = sweep(&circuit, &lib, &SweepConfig { vectors: 32, ..Default::default() }).unwrap();
+        let s = &r.stats;
+        assert_eq!(s.min.leakage.total(), s.total.min);
+        assert_eq!(s.max.leakage.total(), s.total.max);
+        assert!(s.total.min <= s.total.p50 && s.total.p50 <= s.total.max);
+        // The extreme patterns reproduce through pattern_for_index.
+        assert_eq!(s.min.pattern, pattern_for_index(&circuit, 2005, s.min.index));
+    }
+
+    #[test]
+    fn missing_cell_surfaces_as_error() {
+        let circuit = small_circuit();
+        let lib = CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&[CellType::Inv]),
+        );
+        let err = sweep(&circuit, &lib, &SweepConfig::default()).unwrap_err();
+        assert!(matches!(err, EstimateError::MissingCell(CellType::Nand2)));
+    }
+}

@@ -121,7 +121,8 @@ pub fn write_bench(c: &RawCircuit) -> String {
     }
     for g in &c.gates {
         let args: Vec<&str> = g.inputs.iter().map(|&s| c.signal_name(s)).collect();
-        let _ = writeln!(out, "{} = {}({})", c.signal_name(g.output), g.op.keyword(), args.join(", "));
+        let _ =
+            writeln!(out, "{} = {}({})", c.signal_name(g.output), g.op.keyword(), args.join(", "));
     }
     out
 }

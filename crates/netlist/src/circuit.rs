@@ -255,9 +255,7 @@ impl CircuitBuilder {
         for (i, d) in self.drivers.iter().enumerate() {
             match d {
                 Some(d) => drivers.push(*d),
-                None => {
-                    return Err(CircuitError::UndrivenNet { net: self.net_names[i].clone() })
-                }
+                None => return Err(CircuitError::UndrivenNet { net: self.net_names[i].clone() }),
             }
         }
 
@@ -273,8 +271,7 @@ impl CircuitBuilder {
                 }
             }
         }
-        let mut queue: Vec<usize> =
-            (0..n_gates).filter(|&g| indegree[g] == 0).collect();
+        let mut queue: Vec<usize> = (0..n_gates).filter(|&g| indegree[g] == 0).collect();
         let mut topo = Vec::with_capacity(n_gates);
         let mut head = 0;
         while head < queue.len() {

@@ -42,6 +42,9 @@ mod tests {
     fn paper_suite_has_eight_circuits_in_order() {
         let suite = paper_suite_raw();
         let names: Vec<&str> = suite.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(names, vec!["s838", "s1196", "s1423", "s5378", "s9234", "s13207", "alu88", "mult88"]);
+        assert_eq!(
+            names,
+            vec!["s838", "s1196", "s1423", "s5378", "s9234", "s13207", "alu88", "mult88"]
+        );
     }
 }

@@ -36,27 +36,27 @@ pub fn multiplier(n: usize) -> RawCircuit {
     let mut products: Vec<SigId> = Vec::with_capacity(2 * n);
     products.push(row[0]);
 
-    for i in 1..n {
+    for (i, pp_row) in pp.iter().enumerate().take(n).skip(1) {
         let mut carry: Option<SigId> = None;
         let mut next_row: Vec<SigId> = Vec::with_capacity(n);
         for j in 0..n {
-            // Add pp[i][j] + row[j+1] (shifted previous sum, which may
+            // Add pp_row[j] + row[j+1] (shifted previous sum, which may
             // include last iteration's carry bit) + carry.
             let prev = if j + 1 < row.len() { Some(row[j + 1]) } else { None };
             let (sum, cout) = match (prev, carry) {
                 (Some(p), Some(cin)) => {
-                    let (s, co) = helper.full_adder(pp[i][j], p, cin, i, j);
+                    let (s, co) = helper.full_adder(pp_row[j], p, cin, i, j);
                     (s, Some(co))
                 }
                 (Some(p), None) => {
-                    let (s, co) = helper.half_adder(pp[i][j], p, i, j);
+                    let (s, co) = helper.half_adder(pp_row[j], p, i, j);
                     (s, Some(co))
                 }
                 (None, Some(cin)) => {
-                    let (s, co) = helper.half_adder(pp[i][j], cin, i, j);
+                    let (s, co) = helper.half_adder(pp_row[j], cin, i, j);
                     (s, Some(co))
                 }
-                (None, None) => (pp[i][j], None),
+                (None, None) => (pp_row[j], None),
             };
             next_row.push(sum);
             carry = cout;

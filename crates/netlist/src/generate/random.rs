@@ -41,7 +41,14 @@ pub struct RandomCircuitSpec {
 impl RandomCircuitSpec {
     /// A default mix resembling synthesized control logic: NAND/NOR
     /// heavy, some wide gates, occasional XOR.
-    pub fn new(name: &str, inputs: usize, outputs: usize, gates: usize, dffs: usize, seed: u64) -> Self {
+    pub fn new(
+        name: &str,
+        inputs: usize,
+        outputs: usize,
+        gates: usize,
+        dffs: usize,
+        seed: u64,
+    ) -> Self {
         Self {
             name: name.to_string(),
             inputs,

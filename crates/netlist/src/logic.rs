@@ -98,12 +98,9 @@ mod tests {
     fn nand_inv_is_and() {
         let c = nand_inv();
         let y = c.find_net("y").unwrap();
-        for (a, b, expect) in [
-            (false, false, false),
-            (false, true, false),
-            (true, false, false),
-            (true, true, true),
-        ] {
+        for (a, b, expect) in
+            [(false, false, false), (false, true, false), (true, false, false), (true, true, true)]
+        {
             let values = simulate(&c, &[a, b], &[]);
             assert_eq!(values[y.0], expect, "a={a} b={b}");
         }

@@ -65,9 +65,8 @@ pub fn normalize(raw: &RawCircuit) -> Result<Circuit, CircuitError> {
 
     // DFF master stages (D nets now all exist) and D-pin bookkeeping.
     for &(d, q) in &raw.dffs {
-        let dnet = map[d.0].ok_or_else(|| CircuitError::UnknownSignal {
-            name: raw.signal_name(d).to_string(),
-        })?;
+        let dnet = map[d.0]
+            .ok_or_else(|| CircuitError::UnknownSignal { name: raw.signal_name(d).to_string() })?;
         let qname = raw.signal_name(q);
         let _master = emitter.b.add_gate(CellType::Inv, &[dnet], &format!("{qname}__master"));
         emitter.b.mark_dff_d(dnet);
@@ -75,9 +74,8 @@ pub fn normalize(raw: &RawCircuit) -> Result<Circuit, CircuitError> {
 
     // Primary outputs.
     for &o in &raw.outputs {
-        let net = map[o.0].ok_or_else(|| CircuitError::UnknownSignal {
-            name: raw.signal_name(o).to_string(),
-        })?;
+        let net = map[o.0]
+            .ok_or_else(|| CircuitError::UnknownSignal { name: raw.signal_name(o).to_string() })?;
         emitter.b.mark_output(net);
     }
 
@@ -208,8 +206,7 @@ impl Emitter<'_> {
             let inv_name = self.fresh(hint);
             return self.b.add_gate(CellType::Inv, &[n], &inv_name);
         }
-        let reduced: Vec<NetId> =
-            ins.chunks(4).map(|chunk| self.and_tree(chunk, hint)).collect();
+        let reduced: Vec<NetId> = ins.chunks(4).map(|chunk| self.and_tree(chunk, hint)).collect();
         self.and_tree(&reduced, hint)
     }
 
@@ -224,8 +221,7 @@ impl Emitter<'_> {
             let inv_name = self.fresh(hint);
             return self.b.add_gate(CellType::Inv, &[n], &inv_name);
         }
-        let reduced: Vec<NetId> =
-            ins.chunks(4).map(|chunk| self.or_tree(chunk, hint)).collect();
+        let reduced: Vec<NetId> = ins.chunks(4).map(|chunk| self.or_tree(chunk, hint)).collect();
         self.or_tree(&reduced, hint)
     }
 
@@ -279,9 +275,9 @@ mod tests {
             // Normalized evaluation.
             let values = simulate(&circuit, &pi, &st);
             for (k, &o) in raw.outputs.iter().enumerate() {
-                let net = circuit.find_net(raw.signal_name(o)).unwrap_or_else(|| {
-                    panic!("output net {} missing", raw.signal_name(o))
-                });
+                let net = circuit
+                    .find_net(raw.signal_name(o))
+                    .unwrap_or_else(|| panic!("output net {} missing", raw.signal_name(o)));
                 assert_eq!(
                     values[net.0], raw_vals[o.0],
                     "output {k} mismatch for pi={pi:?} st={st:?}"
@@ -348,11 +344,9 @@ y6 = BUFF(a)
 
     #[test]
     fn dff_expansion_structure() {
-        let raw = parse_bench(
-            "seq",
-            "INPUT(a)\nOUTPUT(y)\nq = DFF(n)\nn = NAND(a, q)\ny = NOT(q)\n",
-        )
-        .unwrap();
+        let raw =
+            parse_bench("seq", "INPUT(a)\nOUTPUT(y)\nq = DFF(n)\nn = NAND(a, q)\ny = NOT(q)\n")
+                .unwrap();
         let c = normalize(&raw).unwrap();
         assert_eq!(c.dff_count(), 1);
         // Q is driven by the slave inverter; D net feeds the master.

@@ -79,12 +79,8 @@ fn evaluate_devices(
     let mut currents = Vec::with_capacity(netlist.device_count());
     let mut breakdowns = Vec::with_capacity(netlist.device_count());
     for dev in netlist.devices() {
-        let bias = Bias::new(
-            voltages[dev.g.0],
-            voltages[dev.d.0],
-            voltages[dev.s.0],
-            voltages[dev.b.0],
-        );
+        let bias =
+            Bias::new(voltages[dev.g.0], voltages[dev.d.0], voltages[dev.s.0], voltages[dev.b.0]);
         let (tc, bd) = dev.transistor.leakage(bias, temp);
         currents.push(tc);
         breakdowns.push(bd);
@@ -121,15 +117,14 @@ pub fn solve_dc(
     let unknowns = netlist.unknown_nodes();
 
     // Assemble the full voltage vector template.
-    let vdd_est = (0..n_nodes)
-        .filter_map(|i| netlist.fixed_voltage(NodeId(i)))
-        .fold(0.0_f64, f64::max);
+    let vdd_est =
+        (0..n_nodes).filter_map(|i| netlist.fixed_voltage(NodeId(i))).fold(0.0_f64, f64::max);
     let mut voltages: Vec<f64> = (0..n_nodes)
         .map(|i| {
             let node = NodeId(i);
-            netlist.fixed_voltage(node).unwrap_or_else(|| {
-                guess.map(|g| g[i]).unwrap_or(0.5 * vdd_est)
-            })
+            netlist
+                .fixed_voltage(node)
+                .unwrap_or_else(|| guess.map(|g| g[i]).unwrap_or(0.5 * vdd_est))
         })
         .collect();
 
@@ -211,7 +206,7 @@ pub fn solve_dc(
 mod tests {
     use super::*;
     use nanoleak_device::consts::NA;
-    use nanoleak_device::{DeviceDesign, MosKind, Technology, Transistor};
+    use nanoleak_device::{Technology, Transistor};
 
     /// Builds a plain inverter with pinned input; returns (netlist, out).
     fn inverter(vin: f64) -> (MosNetlist, NodeId) {
@@ -242,7 +237,7 @@ mod tests {
         let (nl, out) = inverter(0.9);
         let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
         let v = sol.node_voltage(out);
-        assert!(v < 0.02 && v >= -0.0005, "Vout = {v}");
+        assert!((-0.0005..0.02).contains(&v), "Vout = {v}");
     }
 
     #[test]
@@ -252,7 +247,8 @@ mod tests {
         let (mut nl, out) = inverter(0.0);
         let base = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap().node_voltage(out);
         nl.set_injection(out, -3e-6);
-        let loaded = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap().node_voltage(out);
+        let loaded =
+            solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap().node_voltage(out);
         let droop = base - loaded;
         assert!(droop > 0.5e-3 && droop < 20e-3, "droop = {} mV", droop * 1e3);
     }
@@ -273,9 +269,8 @@ mod tests {
         // to zero, so rail + pinned-input + output currents cancel.
         let (nl, _) = inverter(0.0);
         let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
-        let total: f64 = (0..nl.node_count())
-            .map(|i| sol.node_device_current(&nl, NodeId(i)))
-            .sum();
+        let total: f64 =
+            (0..nl.node_count()).map(|i| sol.node_device_current(&nl, NodeId(i))).sum();
         assert!(total.abs() < 1e-15, "global conservation violated: {total:e}");
     }
 
@@ -312,9 +307,9 @@ mod tests {
         let mid = nl.add_node("mid");
         let n = Transistor::from_design(&tech.nmos).scaled_width(2.0);
         let p = Transistor::from_design(&tech.pmos);
-        nl.add_mos(n.clone(), out, a, mid, gnd);
+        nl.add_mos(n, out, a, mid, gnd);
         nl.add_mos(n, mid, bpin, gnd, gnd);
-        nl.add_mos(p.clone(), out, a, vdd, vdd);
+        nl.add_mos(p, out, a, vdd, vdd);
         nl.add_mos(p, out, bpin, vdd, vdd);
         let sol = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
         let vmid = sol.node_voltage(mid);

@@ -103,7 +103,14 @@ impl MosNetlist {
     }
 
     /// Adds a MOSFET; returns its device index.
-    pub fn add_mos(&mut self, transistor: Transistor, d: NodeId, g: NodeId, s: NodeId, b: NodeId) -> usize {
+    pub fn add_mos(
+        &mut self,
+        transistor: Transistor,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+    ) -> usize {
         let max = [d, g, s, b].into_iter().map(|n| n.0).max().unwrap_or(0);
         assert!(max < self.names.len(), "device references node {max} which does not exist");
         self.devices.push(Device { transistor, d, g, s, b });

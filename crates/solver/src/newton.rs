@@ -73,7 +73,11 @@ pub struct NewtonStats {
 /// assert!(stats.iterations > 0);
 /// # Ok::<(), nanoleak_solver::SolverError>(())
 /// ```
-pub fn solve<F>(residual: F, x: &mut [f64], opts: &NewtonOptions) -> Result<NewtonStats, SolverError>
+pub fn solve<F>(
+    residual: F,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+) -> Result<NewtonStats, SolverError>
 where
     F: Fn(&[f64], &mut [f64]),
 {
@@ -230,7 +234,10 @@ mod tests {
         // f(x) = 1 (no root).
         let mut x = vec![0.0];
         let err = solve(|_, f| f[0] = 1.0, &mut x, &NewtonOptions::default());
-        assert!(matches!(err, Err(SolverError::SingularMatrix { .. }) | Err(SolverError::NoConvergence { .. })));
+        assert!(matches!(
+            err,
+            Err(SolverError::SingularMatrix { .. }) | Err(SolverError::NoConvergence { .. })
+        ));
     }
 
     #[test]

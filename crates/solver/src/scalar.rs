@@ -124,7 +124,7 @@ pub fn solve_bracketed<F>(
 where
     F: FnMut(f64) -> f64,
 {
-    if !(lo < hi) {
+    if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
         return Err(SolverError::BadProblem(format!("empty interval [{lo}, {hi}]")));
     }
     let x0 = x0.clamp(lo, hi);
@@ -226,14 +226,8 @@ mod tests {
     fn near_rail_roots_found() {
         // Root microscopically above the lower rail, as loading-effect
         // node voltages are.
-        let r = solve_bracketed(
-            |x| 1e-3 * (x - 0.0032) ,
-            0.0,
-            0.0,
-            1.0,
-            &ScalarOptions::default(),
-        )
-        .unwrap();
+        let r = solve_bracketed(|x| 1e-3 * (x - 0.0032), 0.0, 0.0, 1.0, &ScalarOptions::default())
+            .unwrap();
         assert!((r - 0.0032).abs() < 1e-9);
     }
 }

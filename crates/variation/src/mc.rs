@@ -135,18 +135,15 @@ pub fn run_inverter_mc(tech: &Technology, config: &McConfig) -> Result<McResult,
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
     let indices: Vec<usize> = (0..config.samples).collect();
     let chunk = indices.len().div_ceil(workers.max(1));
-    let results: Vec<Result<Vec<McSample>, SolverError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<McSample>, SolverError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = indices
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
-                    slice.iter().map(|&i| run_sample(tech, config, i)).collect()
-                })
+                scope.spawn(move || slice.iter().map(|&i| run_sample(tech, config, i)).collect())
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("mc thread panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     let mut samples = Vec::with_capacity(config.samples);
     for r in results {
         samples.extend(r?);
@@ -198,8 +195,8 @@ fn run_sample(tech: &Technology, config: &McConfig, index: usize) -> Result<McSa
     nl.add_mos(d_n, node_in, drv_in, gnd_n, gnd_n);
     nl.add_mos(d_p, node_in, drv_in, vdd_n, vdd_n);
     let g_first = nl.device_count();
-    nl.add_mos(g_n.clone(), node_out, node_in, gnd_n, gnd_n);
-    nl.add_mos(g_p.clone(), node_out, node_in, vdd_n, vdd_n);
+    nl.add_mos(g_n, node_out, node_in, gnd_n, gnd_n);
+    nl.add_mos(g_p, node_out, node_in, vdd_n, vdd_n);
     let mut load_outs = Vec::new();
     for (k, (n, p)) in loads.into_iter().enumerate() {
         let pin = if k < config.input_loads { node_in } else { node_out };

@@ -90,12 +90,8 @@ impl Histogram {
 
     /// The most-occupied bin's center (mode estimate).
     pub fn mode_center(&self) -> f64 {
-        let (i, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .expect("at least one bin");
+        let (i, _) =
+            self.counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("at least one bin");
         self.centers()[i]
     }
 }

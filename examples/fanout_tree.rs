@@ -43,19 +43,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pattern = Pattern { pi: vec![true], states: vec![] }; // IN = '0', N0 = '1'
     let est = estimate(&circuit, &lib, &pattern, EstimatorMode::Lut)?;
     let base = estimate(&circuit, &lib, &pattern, EstimatorMode::NoLoading)?;
-    let reference = reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default())?;
+    let reference =
+        reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default())?;
 
     println!("\nper-gate leakage [nA]  (G is the gate driving N0)");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>9}", "gate", "no-loading", "estimated", "reference", "LD_ALL%");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>9}",
+        "gate", "no-loading", "estimated", "reference", "LD_ALL%"
+    );
     for (gid, gate) in circuit.gates().iter().enumerate() {
         let name = circuit.net_name(gate.output);
         let nl = base.per_gate[gid].total() * 1e9;
         let es = est.per_gate[gid].total() * 1e9;
         let rf = reference.leakage.per_gate[gid].total() * 1e9;
-        println!(
-            "{name:>8} {nl:12.2} {es:12.2} {rf:12.2} {:+9.2}",
-            (es - nl) / nl * 100.0
-        );
+        println!("{name:>8} {nl:12.2} {es:12.2} {rf:12.2} {:+9.2}", (es - nl) / nl * 100.0);
     }
 
     let acc = accuracy(&est, &reference.leakage);

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let result = run_inverter_mc(&tech, &config)?;
 
-    println!("\n{:>14} {:>12} {:>12} {:>12} {:>12}", "component", "mean-no[nA]", "mean-ld[nA]", "std-no[nA]", "std-ld[nA]");
+    println!(
+        "\n{:>14} {:>12} {:>12} {:>12} {:>12}",
+        "component", "mean-no[nA]", "mean-ld[nA]", "std-no[nA]", "std-ld[nA]"
+    );
     for (series, label) in [
         (Series::Sub, "subthreshold"),
         (Series::Gate, "gate"),

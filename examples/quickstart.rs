@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v = InputVector::parse("0").unwrap();
     let nominal = eval_loaded(&tech, 300.0, CellType::Inv, v, &[0.0], 0.0)?;
     let loaded = eval_loaded(&tech, 300.0, CellType::Inv, v, &[2e-6], 0.0)?;
-    let ld = (loaded.breakdown.total() - nominal.breakdown.total())
-        / nominal.breakdown.total();
+    let ld = (loaded.breakdown.total() - nominal.breakdown.total()) / nominal.breakdown.total();
     println!(
         "input loading of 2 uA: V(in) {:.2} mV -> {:.2} mV, LD_ALL = {:+.2}%",
         nominal.input_voltages[0] * 1e3,

@@ -18,8 +18,7 @@ fn search(circuit: &Circuit, lib: &CellLibrary, mode: EstimatorMode) -> (usize, 
     let n = circuit.inputs().len();
     let mut totals = Vec::with_capacity(1 << n);
     for bits in 0..(1usize << n) {
-        let pattern =
-            Pattern { pi: (0..n).map(|i| bits >> i & 1 == 1).collect(), states: vec![] };
+        let pattern = Pattern { pi: (0..n).map(|i| bits >> i & 1 == 1).collect(), states: vec![] };
         totals.push(
             estimate(circuit, lib, &pattern, mode).expect("estimation converges").total.total(),
         );
@@ -46,14 +45,7 @@ fn main() {
     let mut scanned = 0;
     let mut closest: (f64, u64) = (f64::INFINITY, 0);
     for seed in 0..60u64 {
-        let raw = random_circuit(&RandomCircuitSpec::new(
-            &format!("blk{seed}"),
-            4,
-            2,
-            14,
-            0,
-            seed,
-        ));
+        let raw = random_circuit(&RandomCircuitSpec::new(&format!("blk{seed}"), 4, 2, 14, 0, seed));
         let circuit = match normalize(&raw) {
             Ok(c) => c,
             Err(_) => continue,
@@ -63,8 +55,7 @@ fn main() {
         let (best_ld, totals_ld) = search(&circuit, &lib, EstimatorMode::Lut);
         if best_no != best_ld {
             flips += 1;
-            let penalty =
-                (totals_ld[best_no] - totals_ld[best_ld]) / totals_ld[best_ld] * 100.0;
+            let penalty = (totals_ld[best_no] - totals_ld[best_ld]) / totals_ld[best_ld] * 100.0;
             println!(
                 "block seed {seed:2}: optimum flips {best_no:04b} -> {best_ld:04b} \
                  (no-loading: {:.2} nA, loading-aware: {:.2} nA; picking the naive vector \

@@ -1,91 +1,297 @@
-//! `nanoleak-cli` — estimate the leakage of an ISCAS89 `.bench` file
-//! (or a built-in benchmark) with and without the loading effect.
+//! `nanoleak-cli` — leakage analysis of ISCAS89 `.bench` files (or
+//! built-in benchmarks) with the loading-aware estimator.
 //!
 //! ```text
-//! nanoleak-cli <circuit.bench | s838 | s1196 | ... | alu88 | mult88>
-//!              [--vectors N] [--seed S] [--reference] [--temp K]
+//! nanoleak-cli estimate <target> [--vectors N] [--seed S] [--temp K] [--reference]
+//!                                [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli sweep    <target> [--vectors N] [--seed S] [--temp K] [--threads N]
+//!                                [--mode lut|noloading|direct] [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli mlv      <target> [--goal min|max] [--strategy exhaustive|random|hillclimb]
+//!                                [--samples N] [--restarts N] [--max-steps N]
+//!                                [--seed S] [--temp K] [--threads N]
+//!                                [--no-cache] [--cache-dir DIR]
 //! ```
+//!
+//! `<target>` is a `.bench` path or a built-in name (`s838`, `s1196`,
+//! ..., `alu88`, `mult88`). Invoking with a target as the first
+//! argument (no subcommand) behaves like `estimate`, preserving the
+//! original CLI. Unknown `--flags` are rejected with an error instead
+//! of being silently ignored.
+//!
+//! The characterized cell library is cached on disk between runs
+//! (`.nanoleak-cache/` or `$NANOLEAK_CACHE_DIR`); pass `--no-cache`
+//! to force re-characterization.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 use nanoleak::prelude::*;
+use nanoleak_engine::{
+    mlv_search, sweep, CacheOutcome, LibraryCache, MlvConfig, MlvGoal, MlvStrategy, ScalarStats,
+    SweepConfig,
+};
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
 use rand::SeedableRng;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: nanoleak-cli <circuit.bench | s838 | s1196 | s1423 | s5378 | s9234 | s13207 | \
-         alu88 | mult88> [--vectors N] [--seed S] [--reference] [--temp K]"
-    );
+const USAGE: &str = "\
+usage: nanoleak-cli <command> <circuit.bench | s838 | s1196 | s1423 | s5378 | s9234 | s13207 | alu88 | mult88> [options]
+
+commands:
+  estimate   mean leakage and loading impact over random vectors (default)
+  sweep      parallel per-vector statistics over the input space
+  mlv        minimum/maximum-leakage input-vector search
+
+common options:
+  --vectors N     random vectors (estimate/sweep; default 100)
+  --seed S        RNG seed (default 2005)
+  --temp K        temperature in kelvin (default 300)
+  --threads N     worker threads for sweep/mlv (default: all cores)
+  --no-cache      re-characterize instead of using the on-disk cache
+  --cache-dir D   cache directory (default .nanoleak-cache or $NANOLEAK_CACHE_DIR)
+
+estimate options:
+  --reference     also run the full transistor-level reference solve
+
+mlv options:
+  --goal min|max                       search direction (default min)
+  --strategy exhaustive|random|hillclimb   (default hillclimb)
+  --samples N     random-strategy samples (default 1024)
+  --restarts N    hill-climb restarts (default 8)
+  --max-steps N   hill-climb accepted-move limit (default 64)";
+
+/// Strict argument list: every flag must be consumed by the active
+/// subcommand or parsing fails.
+struct Args {
+    items: Vec<String>,
+    used: Vec<bool>,
+}
+
+impl Args {
+    fn new(items: Vec<String>) -> Self {
+        let used = vec![false; items.len()];
+        Self { items, used }
+    }
+
+    /// Consumes a boolean `--flag`; `true` if present.
+    fn take_flag(&mut self, name: &str) -> bool {
+        let mut found = false;
+        for i in 0..self.items.len() {
+            if !self.used[i] && self.items[i] == name {
+                self.used[i] = true;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Consumes `--name value`; errors if the value is missing.
+    fn take_value(&mut self, name: &str) -> Result<Option<String>, String> {
+        for i in 0..self.items.len() {
+            if !self.used[i] && self.items[i] == name {
+                self.used[i] = true;
+                let Some(value) = self.items.get(i + 1) else {
+                    return Err(format!("{name} expects a value"));
+                };
+                if self.used[i + 1] || value.starts_with("--") {
+                    return Err(format!("{name} expects a value, got '{value}'"));
+                }
+                self.used[i + 1] = true;
+                return Ok(Some(value.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Consumes `--name value` parsed as `T`, with a default.
+    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String> {
+        match self.take_value(name)? {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("{name}: cannot parse '{raw}'")),
+        }
+    }
+
+    /// Consumes the leading positional argument. Only the *first*
+    /// item qualifies: a later non-flag token is some flag's value,
+    /// and binding it as a positional would mis-parse
+    /// `sweep --vectors 10 s1196` (the target must come first).
+    fn take_positional(&mut self) -> Option<String> {
+        if !self.items.is_empty() && !self.used[0] && !self.items[0].starts_with("--") {
+            self.used[0] = true;
+            return Some(self.items[0].clone());
+        }
+        None
+    }
+
+    /// Fails if anything was left unconsumed (unknown flags or stray
+    /// positionals).
+    fn finish(self) -> Result<(), String> {
+        let leftover: Vec<&str> = self
+            .items
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, &used)| !used)
+            .map(|(item, _)| item.as_str())
+            .collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unknown argument(s): {}", leftover.join(" ")))
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
-fn arg_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    // Subcommand dispatch with backwards compatibility: a first
+    // argument that is not a known command is an `estimate` target.
+    let command = match raw[0].as_str() {
+        "estimate" | "sweep" | "mlv" => raw.remove(0),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => "estimate".to_string(),
+    };
+
+    let mut args = Args::new(raw);
+    let Some(target) = args.take_positional() else {
+        return fail("missing circuit target (the target must come before options)");
+    };
+
+    let result = match command.as_str() {
+        "estimate" => cmd_estimate(&target, args),
+        "sweep" => cmd_sweep(&target, args),
+        "mlv" => cmd_mlv(&target, args),
+        _ => unreachable!("dispatch covers all commands"),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(target) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
-        return usage();
-    };
-    let vectors: usize =
-        arg_value(&args, "--vectors").and_then(|v| v.parse().ok()).unwrap_or(100);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2005);
-    let temp: f64 = arg_value(&args, "--temp").and_then(|v| v.parse().ok()).unwrap_or(300.0);
-    let with_reference = args.iter().any(|a| a == "--reference");
-
-    // Resolve the circuit: a .bench path or a built-in generator name.
+/// Resolves a `.bench` path or built-in generator name to a circuit.
+fn load_circuit(target: &str) -> Result<Circuit, String> {
     let raw = if target.ends_with(".bench") {
-        let text = match std::fs::read_to_string(&target) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read '{target}': {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let text =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read '{target}': {e}"))?;
         let name = target.trim_end_matches(".bench").to_string();
-        match parse_bench(&name, &text) {
-            Ok(raw) => raw,
-            Err(e) => {
-                eprintln!("error: {target}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        parse_bench(&name, &text).map_err(|e| format!("{target}: {e}"))?
     } else {
-        match target.as_str() {
+        match target {
             "alu88" => alu(8),
             "mult88" => multiplier(8),
-            other => match iscas_like(other) {
-                Some(raw) => raw,
-                None => return usage(),
-            },
+            other => iscas_like(other).ok_or_else(|| format!("unknown circuit '{other}'"))?,
         }
     };
+    normalize(&raw).map_err(|e| format!("normalization failed: {e}"))
+}
 
-    let circuit = match normalize(&raw) {
-        Ok(c) => c,
+/// Cache-related options shared by all subcommands.
+struct CacheOpts {
+    enabled: bool,
+    dir: Option<String>,
+}
+
+impl CacheOpts {
+    fn take(args: &mut Args) -> Result<Self, String> {
+        let enabled = !args.take_flag("--no-cache");
+        let dir = args.take_value("--cache-dir")?;
+        Ok(Self { enabled, dir })
+    }
+}
+
+/// Obtains the characterized library, through the persistent cache
+/// unless disabled.
+fn load_library(tech: &Technology, temp: f64, cache: &CacheOpts) -> Arc<CellLibrary> {
+    let opts = CharacterizeOptions::default();
+    if !cache.enabled {
+        println!("characterizing cell library for {} at {temp} K (cache disabled) ...", tech.name);
+        return CellLibrary::shared_with_options(tech, temp, &opts);
+    }
+    let store = match &cache.dir {
+        Some(dir) => LibraryCache::new(dir),
+        None => LibraryCache::default_location(),
+    };
+    let t0 = Instant::now();
+    match store.load_or_characterize(tech, temp, &opts) {
+        Ok((lib, outcome)) => {
+            let elapsed = t0.elapsed();
+            match outcome {
+                CacheOutcome::Hit => println!(
+                    "[cache] hit: loaded {} @ {temp} K from {} in {:.1} ms",
+                    tech.name,
+                    store.dir().display(),
+                    elapsed.as_secs_f64() * 1e3
+                ),
+                CacheOutcome::Miss => println!(
+                    "[cache] miss: characterized {} @ {temp} K in {:.2} s (stored in {})",
+                    tech.name,
+                    elapsed.as_secs_f64(),
+                    store.dir().display()
+                ),
+                CacheOutcome::Invalidated => println!(
+                    "[cache] stale entry replaced: re-characterized {} @ {temp} K in {:.2} s",
+                    tech.name,
+                    elapsed.as_secs_f64()
+                ),
+            }
+            lib
+        }
         Err(e) => {
-            eprintln!("error: normalization failed: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("warning: {e}; continuing without the disk cache");
+            CellLibrary::shared_with_options(tech, temp, &opts)
         }
-    };
-    println!("{}", CircuitStats::compute(&circuit));
+    }
+}
 
+fn parse_mode(raw: Option<String>) -> Result<EstimatorMode, String> {
+    match raw.as_deref() {
+        None | Some("lut") => Ok(EstimatorMode::Lut),
+        Some("noloading") => Ok(EstimatorMode::NoLoading),
+        Some("direct") => Ok(EstimatorMode::DirectSolve),
+        Some(other) => Err(format!("--mode: expected lut|noloading|direct, got '{other}'")),
+    }
+}
+
+fn fmt_pattern(p: &nanoleak_netlist::Pattern) -> String {
+    let bits = |bs: &[bool]| bs.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
+    if p.states.is_empty() {
+        bits(&p.pi)
+    } else {
+        format!("{}|{}", bits(&p.pi), bits(&p.states))
+    }
+}
+
+fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
+    let vectors: usize = args.take_parsed("--vectors", 100)?;
+    let seed: u64 = args.take_parsed("--seed", 2005)?;
+    let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let with_reference = args.take_flag("--reference");
+    let cache = CacheOpts::take(&mut args)?;
+    args.finish()?;
+
+    let circuit = load_circuit(target)?;
+    println!("{}", CircuitStats::compute(&circuit));
     let tech = Technology::d25();
-    println!("characterizing cell library for {} at {temp} K ...", tech.name);
-    let lib = CellLibrary::shared(&tech, temp);
+    let lib = load_library(&tech, temp, &cache);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let patterns = Pattern::random_batch(&circuit, &mut rng, vectors);
 
-    let loaded = match estimate_batch(&circuit, &lib, &patterns, EstimatorMode::Lut) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: estimation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let loaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::Lut)
+        .map_err(|e| format!("estimation failed: {e}"))?;
     let unloaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::NoLoading)
         .expect("baseline estimation cannot fail after loaded pass");
 
@@ -129,5 +335,206 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("  reference failed: {e}"),
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
+    let config = SweepConfig {
+        vectors: args.take_parsed("--vectors", 100)?,
+        seed: args.take_parsed("--seed", 2005)?,
+        threads: args.take_parsed("--threads", 0)?,
+        mode: parse_mode(args.take_value("--mode")?)?,
+    };
+    let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let cache = CacheOpts::take(&mut args)?;
+    args.finish()?;
+    if config.vectors == 0 {
+        return Err("--vectors must be at least 1".to_string());
+    }
+
+    let circuit = load_circuit(target)?;
+    println!("{}", CircuitStats::compute(&circuit));
+    let tech = Technology::d25();
+    let lib = load_library(&tech, temp, &cache);
+
+    let report = sweep(&circuit, &lib, &config).map_err(|e| format!("sweep failed: {e}"))?;
+    let s = &report.stats;
+    let t = &report.telemetry;
+
+    let ua = 1e6;
+    let row = |name: &str, st: &ScalarStats| {
+        println!(
+            "  {name:<6} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            st.mean * ua,
+            st.std * ua,
+            st.min * ua,
+            st.p50 * ua,
+            st.p90 * ua,
+            st.p99 * ua,
+            st.max * ua,
+        );
+    };
+    println!("\nper-vector leakage statistics over {} vectors [uA]:", s.vectors);
+    println!(
+        "  {:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "", "mean", "std", "min", "p50", "p90", "p99", "max"
+    );
+    row("total", &s.total);
+    row("sub", &s.sub);
+    row("gate", &s.gate);
+    row("btbt", &s.btbt);
+    println!(
+        "\n  min vector : #{:<6} {} ({:.4} uA)",
+        s.min.index,
+        fmt_pattern(&s.min.pattern),
+        s.min.leakage.total() * ua
+    );
+    println!(
+        "  max vector : #{:<6} {} ({:.4} uA)",
+        s.max.index,
+        fmt_pattern(&s.max.pattern),
+        s.max.leakage.total() * ua
+    );
+    println!(
+        "\n  {} vectors on {} thread(s) in {:.3} s — {:.0} patterns/sec",
+        s.vectors,
+        t.threads,
+        t.elapsed.as_secs_f64(),
+        t.patterns_per_sec
+    );
+    Ok(())
+}
+
+fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
+    let goal = match args.take_value("--goal")?.as_deref() {
+        None | Some("min") => MlvGoal::Min,
+        Some("max") => MlvGoal::Max,
+        Some(other) => return Err(format!("--goal: expected min|max, got '{other}'")),
+    };
+    let samples: usize = args.take_parsed("--samples", 1024)?;
+    let restarts: usize = args.take_parsed("--restarts", 8)?;
+    let max_steps: usize = args.take_parsed("--max-steps", 64)?;
+    if samples == 0 {
+        return Err("--samples must be at least 1".to_string());
+    }
+    if restarts == 0 {
+        return Err("--restarts must be at least 1".to_string());
+    }
+    let strategy = match args.take_value("--strategy")?.as_deref() {
+        None | Some("hillclimb") => MlvStrategy::HillClimb { restarts, max_steps },
+        Some("exhaustive") => MlvStrategy::Exhaustive,
+        Some("random") => MlvStrategy::Random { samples },
+        Some(other) => {
+            return Err(format!("--strategy: expected exhaustive|random|hillclimb, got '{other}'"))
+        }
+    };
+    let config = MlvConfig {
+        goal,
+        strategy,
+        seed: args.take_parsed("--seed", 2005)?,
+        threads: args.take_parsed("--threads", 0)?,
+        mode: EstimatorMode::Lut,
+    };
+    let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let cache = CacheOpts::take(&mut args)?;
+    args.finish()?;
+
+    let circuit = load_circuit(target)?;
+    println!("{}", CircuitStats::compute(&circuit));
+    let tech = Technology::d25();
+    let lib = load_library(&tech, temp, &cache);
+
+    let result =
+        mlv_search(&circuit, &lib, &config).map_err(|e| format!("MLV search failed: {e}"))?;
+    let which = match goal {
+        MlvGoal::Min => "minimum",
+        MlvGoal::Max => "maximum",
+    };
+    let tel = &result.telemetry;
+    println!("\n{which}-leakage vector ({} strategy):", tel.strategy);
+    println!("  vector   : {}", fmt_pattern(&result.pattern));
+    println!("  leakage  : {:.4} uA total", result.objective * 1e6);
+    println!(
+        "  breakdown: sub {:.4} / gate {:.4} / btbt {:.4} uA",
+        result.leakage.total.sub * 1e6,
+        result.leakage.total.gate * 1e6,
+        result.leakage.total.btbt * 1e6
+    );
+    println!("  power    : {:.4} uW at {:.2} V", result.objective * tech.vdd * 1e6, tech.vdd);
+    println!(
+        "\n  {} evaluations, {} improving moves, {} restart(s) in {:.3} s",
+        tel.evaluations,
+        tel.improving_moves,
+        tel.restarts,
+        tel.elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let mut a = args(&["--vectors", "10", "--bogus", "--seed", "1"]);
+        let _ = a.take_parsed::<usize>("--vectors", 100).unwrap();
+        let _ = a.take_parsed::<u64>("--seed", 2005).unwrap();
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected() {
+        let mut a = args(&["s1196", "extra"]);
+        assert_eq!(a.take_positional().as_deref(), Some("s1196"));
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("extra"));
+    }
+
+    #[test]
+    fn missing_values_are_rejected() {
+        let mut a = args(&["--vectors"]);
+        let err = a.take_value("--vectors").unwrap_err();
+        assert!(err.contains("expects a value"));
+        let mut a = args(&["--vectors", "--seed", "3"]);
+        let err = a.take_value("--vectors").unwrap_err();
+        assert!(err.contains("expects a value"));
+    }
+
+    #[test]
+    fn values_and_flags_parse() {
+        let mut a = args(&["--threads", "8", "--no-cache", "--temp", "350"]);
+        assert_eq!(a.take_parsed::<usize>("--threads", 0).unwrap(), 8);
+        assert!(a.take_flag("--no-cache"));
+        assert!(!a.take_flag("--reference"));
+        assert_eq!(a.take_parsed::<f64>("--temp", 300.0).unwrap(), 350.0);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn parse_errors_name_the_flag() {
+        let mut a = args(&["--vectors", "many"]);
+        let err = a.take_parsed::<usize>("--vectors", 100).unwrap_err();
+        assert!(err.contains("--vectors") && err.contains("many"));
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(parse_mode(None).unwrap(), EstimatorMode::Lut);
+        assert_eq!(parse_mode(Some("noloading".into())).unwrap(), EstimatorMode::NoLoading);
+        assert!(parse_mode(Some("spice".into())).is_err());
+    }
+
+    #[test]
+    fn pattern_formatting() {
+        let p = Pattern { pi: vec![true, false], states: vec![] };
+        assert_eq!(fmt_pattern(&p), "10");
+        let p = Pattern { pi: vec![false], states: vec![true] };
+        assert_eq!(fmt_pattern(&p), "0|1");
+    }
 }

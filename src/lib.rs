@@ -17,7 +17,7 @@
 //! fast one-pass estimation algorithm, validated against a full
 //! nonlinear circuit solve.
 //!
-//! This facade re-exports the six sub-crates:
+//! This facade re-exports the seven sub-crates:
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
@@ -27,6 +27,7 @@
 //! | [`netlist`] | `nanoleak-netlist` | gate-level circuits, `.bench`, generators |
 //! | [`core`] | `nanoleak-core` | the Fig. 13 estimator + reference simulator |
 //! | [`variation`] | `nanoleak-variation` | Monte-Carlo process variation |
+//! | [`engine`] | `nanoleak-engine` | parallel sweeps, MLV search, characterization cache |
 //!
 //! ## Quickstart
 //!
@@ -55,10 +56,59 @@
 //! assert!(loaded.total.total() != baseline.total.total());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## The analysis engine
+//!
+//! The [`engine`] crate scales the single-shot estimator into batch
+//! workloads. Its three subsystems:
+//!
+//! * **Pattern sweeps** ([`engine::sweep`](nanoleak_engine::sweep::sweep)) —
+//!   evaluate N random input patterns in parallel and merge
+//!   mean/std/min/max/percentile statistics per leakage component.
+//!   Pattern `i` is always drawn from the SplitMix64-derived stream
+//!   `mix(seed, i)`, so sweep statistics are bit-identical for any
+//!   `--threads` value.
+//! * **MLV search** ([`engine::mlv_search`](nanoleak_engine::mlv::mlv_search)) —
+//!   find the minimum- (or maximum-) leakage input vector for standby
+//!   power, by exhaustive enumeration, random sampling, or parallel
+//!   hill-climbing with restarts.
+//! * **Characterization cache**
+//!   ([`engine::LibraryCache`](nanoleak_engine::cache::LibraryCache)) —
+//!   persist characterized [`CellLibrary`](nanoleak_cells::CellLibrary)
+//!   LUTs to disk (`*.nlc`: magic/version/key/checksum header + the
+//!   serialized library), so repeated runs skip the multi-second
+//!   characterize step. Keys hash the full (technology, temperature,
+//!   options) request; any mismatch re-characterizes.
+//!
+//! ```
+//! use nanoleak::prelude::*;
+//!
+//! let tech = Technology::d25();
+//! let lib = CellLibrary::shared_with_options(
+//!     &tech, 300.0, &CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]));
+//! let mut b = CircuitBuilder::new("pair");
+//! let a = b.add_input("a");
+//! let c = b.add_input("b");
+//! let n = b.add_gate(CellType::Nand2, &[a, c], "n");
+//! let y = b.add_gate(CellType::Inv, &[n], "y");
+//! b.mark_output(y);
+//! let circuit = b.build()?;
+//!
+//! // Per-vector statistics over the input space, all cores.
+//! let report = sweep(&circuit, &lib, &SweepConfig { vectors: 32, ..Default::default() })?;
+//! // The standby vector with the least leakage.
+//! let best = mlv_search(&circuit, &lib, &MlvConfig::default())?;
+//! assert!(best.objective <= report.stats.total.min);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! From the CLI: `nanoleak-cli sweep s1196 --vectors 1000 --threads 8`
+//! and `nanoleak-cli mlv s838 --strategy hillclimb`.
 
 pub use nanoleak_cells as cells;
 pub use nanoleak_core as core;
 pub use nanoleak_device as device;
+pub use nanoleak_engine as engine;
 pub use nanoleak_netlist as netlist;
 pub use nanoleak_solver as solver;
 pub use nanoleak_variation as variation;
@@ -74,6 +124,10 @@ pub mod prelude {
     };
     pub use nanoleak_device::{
         Bias, DeviceDesign, LeakageBreakdown, MosKind, Perturbation, Technology, Transistor,
+    };
+    pub use nanoleak_engine::{
+        mlv_search, sweep, CacheOutcome, EngineError, LibraryCache, MlvConfig, MlvGoal, MlvResult,
+        MlvStrategy, ScalarStats, SweepConfig, SweepReport,
     };
     pub use nanoleak_netlist::{
         bench_format::parse_bench, generate, normalize::normalize, Circuit, CircuitBuilder,

@@ -1,0 +1,186 @@
+//! Integration tests for the analysis engine: sweep determinism
+//! across thread counts, MLV hill-climb vs. the exhaustive optimum,
+//! and the persistent characterization cache round-trip.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nanoleak::prelude::*;
+use nanoleak_engine::pattern_for_index;
+use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+
+fn library() -> Arc<CellLibrary> {
+    CellLibrary::shared_with_options(
+        &Technology::d25(),
+        300.0,
+        &CharacterizeOptions::coarse(&CellType::ALL),
+    )
+}
+
+fn test_circuit(inputs: usize, gates: usize, seed: u64) -> Circuit {
+    let raw = random_circuit(&RandomCircuitSpec::new("engine-it", inputs, 3, gates, 0, seed));
+    normalize(&raw).expect("random circuits normalize")
+}
+
+#[test]
+fn sweep_stats_identical_for_any_thread_count() {
+    let circuit = test_circuit(8, 40, 11);
+    let lib = library();
+    let base = SweepConfig { vectors: 64, seed: 99, threads: 1, ..Default::default() };
+    let single = sweep(&circuit, &lib, &base).unwrap();
+    for threads in [2, 4, 7, 16] {
+        let multi = sweep(&circuit, &lib, &SweepConfig { threads, ..base }).unwrap();
+        assert_eq!(single.stats, multi.stats, "sweep stats diverged at {threads} threads");
+    }
+    // And the sweep is reproducible wholesale.
+    let again = sweep(&circuit, &lib, &base).unwrap();
+    assert_eq!(single.stats, again.stats);
+}
+
+#[test]
+fn sweep_patterns_reproduce_individual_estimates() {
+    let circuit = test_circuit(6, 25, 3);
+    let lib = library();
+    let config = SweepConfig { vectors: 16, seed: 5, ..Default::default() };
+    let report = sweep(&circuit, &lib, &config).unwrap();
+    // Re-derive each pattern and estimate it individually; the sweep
+    // extremes must match a manual scan exactly.
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for i in 0..config.vectors {
+        let p = pattern_for_index(&circuit, config.seed, i);
+        let t = estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap().total.total();
+        min = min.min(t);
+        max = max.max(t);
+    }
+    assert_eq!(report.stats.total.min, min);
+    assert_eq!(report.stats.total.max, max);
+}
+
+#[test]
+fn hill_climb_finds_the_exhaustive_optimum_on_a_small_circuit() {
+    // 6 primary inputs: 64 vectors, exhaustively enumerable, so the
+    // hill climb's answer can be checked against the true optimum.
+    let circuit = test_circuit(6, 30, 7);
+    let lib = library();
+    let exhaustive = mlv_search(
+        &circuit,
+        &lib,
+        &MlvConfig { strategy: MlvStrategy::Exhaustive, ..Default::default() },
+    )
+    .unwrap();
+    let climb = mlv_search(
+        &circuit,
+        &lib,
+        &MlvConfig {
+            strategy: MlvStrategy::HillClimb { restarts: 8, max_steps: 64 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        climb.objective, exhaustive.objective,
+        "hill climb missed the optimum: {} vs {}",
+        climb.objective, exhaustive.objective
+    );
+    // The exhaustive search costs the full 2^6; the climb far less.
+    assert_eq!(exhaustive.telemetry.evaluations, 64);
+    assert!(climb.telemetry.evaluations < 8 * 64 * 7, "climb stays sub-exhaustive per restart");
+}
+
+#[test]
+fn mlv_results_are_internally_consistent() {
+    let circuit = test_circuit(5, 20, 13);
+    let lib = library();
+    let result = mlv_search(&circuit, &lib, &MlvConfig::default()).unwrap();
+    // The reported leakage really is the report of the reported vector.
+    let recheck = estimate(&circuit, &lib, &result.pattern, EstimatorMode::Lut).unwrap();
+    assert_eq!(recheck, result.leakage);
+    assert_eq!(result.objective, result.leakage.total.total());
+}
+
+fn scratch_cache(tag: &str) -> LibraryCache {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("nanoleak-engine-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    LibraryCache::new(dir)
+}
+
+#[test]
+fn cache_round_trip_gives_bit_identical_vector_chars() {
+    let tech = Technology::d25();
+    let opts = CharacterizeOptions::coarse(&[CellType::Inv, CellType::Nand2]);
+    let cache = scratch_cache("roundtrip");
+
+    let (fresh, outcome) = cache.load_or_characterize(&tech, 300.0, &opts).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss);
+    let (loaded, outcome) = cache.load_or_characterize(&tech, 300.0, &opts).unwrap();
+    assert_eq!(outcome, CacheOutcome::Hit);
+
+    // Every (cell, vector) characterization must survive the disk
+    // round trip bit-identically: same nominal components, same pin
+    // currents, same LUT knots.
+    for cell in [CellType::Inv, CellType::Nand2] {
+        for v in InputVector::all(cell.num_inputs()) {
+            let a = fresh.vector_char(cell, v).unwrap();
+            let b = loaded.vector_char(cell, v).unwrap();
+            assert_eq!(a, b, "{cell} vector {v} changed across the round trip");
+            assert_eq!(a.nominal.total().to_bits(), b.nominal.total().to_bits());
+            for (x, y) in a.pin_currents.iter().zip(&b.pin_currents) {
+                assert_eq!(x.to_bits(), y.to_bits(), "pin current bits");
+            }
+        }
+    }
+    // And estimates computed from both libraries agree exactly.
+    let circuit = {
+        let mut b = CircuitBuilder::new("cache-check");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let n = b.add_gate(CellType::Nand2, &[a, c], "n");
+        let y = b.add_gate(CellType::Inv, &[n], "y");
+        b.mark_output(y);
+        b.build().unwrap()
+    };
+    let p = Pattern::zeros(&circuit);
+    let ea = estimate(&circuit, &fresh, &p, EstimatorMode::Lut).unwrap();
+    let eb = estimate(&circuit, &loaded, &p, EstimatorMode::Lut).unwrap();
+    assert_eq!(ea, eb);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn cache_invalidates_on_option_change() {
+    let tech = Technology::d25();
+    let cache = scratch_cache("stale-key");
+    let coarse = CharacterizeOptions::coarse(&[CellType::Inv]);
+
+    let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &coarse).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss);
+
+    // A changed option set must never be served from the old entry.
+    let denser = CharacterizeOptions { points: coarse.points + 2, ..coarse.clone() };
+    let (lib, outcome) = cache.load_or_characterize(&tech, 300.0, &denser).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss, "changed options are a different key");
+    assert_eq!(lib.options, denser);
+
+    // A changed temperature likewise.
+    let (lib, outcome) = cache.load_or_characterize(&tech, 325.0, &coarse).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert_eq!(lib.temp, 325.0);
+
+    // The original request still hits its own entry.
+    let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &coarse).unwrap();
+    assert_eq!(outcome, CacheOutcome::Hit);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn prelude_exposes_the_engine_surface() {
+    // Compile-time check that the facade prelude re-exports the
+    // engine's entry points (this test exists so a prelude regression
+    // fails loudly rather than breaking downstream users).
+    let _: fn(&Circuit, &CellLibrary, &SweepConfig) -> Result<SweepReport, EstimateError> = sweep;
+    let _: fn(&Circuit, &CellLibrary, &MlvConfig) -> Result<MlvResult, EngineError> = mlv_search;
+    let _ = MlvGoal::Min;
+    let _ = CacheOutcome::Hit;
+}

@@ -82,8 +82,8 @@ fn estimator_is_orders_of_magnitude_faster_than_reference() {
     let est_time = t0.elapsed().as_secs_f64() / 5.0;
 
     let t0 = Instant::now();
-    let _ = reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default())
-        .unwrap();
+    let _ =
+        reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default()).unwrap();
     let ref_time = t0.elapsed().as_secs_f64();
 
     let speedup = ref_time / est_time;
@@ -113,8 +113,8 @@ fn reference_voltages_reveal_multi_level_propagation_is_weak() {
     let pattern = Pattern { pi: vec![false], states: vec![] };
     let bare = build(0);
     let loaded = build(8);
-    let v_bare = reference_leakage(&bare, &tech, 300.0, &pattern, &ReferenceOptions::default())
-        .unwrap();
+    let v_bare =
+        reference_leakage(&bare, &tech, 300.0, &pattern, &ReferenceOptions::default()).unwrap();
     let v_loaded =
         reference_leakage(&loaded, &tech, 300.0, &pattern, &ReferenceOptions::default()).unwrap();
     let s1_bare = v_bare.net_voltages[bare.find_net("s1").unwrap().0];
@@ -140,8 +140,7 @@ fn temperature_amplifies_loading_on_subthreshold() {
     let v = InputVector::parse("0").unwrap();
     let ld_sub = |temp: f64| {
         let nom = eval_isolated(&tech, temp, CellType::Inv, v).unwrap().breakdown;
-        let load =
-            eval_loaded(&tech, temp, CellType::Inv, v, &[1.5e-6], 1.5e-6).unwrap().breakdown;
+        let load = eval_loaded(&tech, temp, CellType::Inv, v, &[1.5e-6], 1.5e-6).unwrap().breakdown;
         (load.sub - nom.sub) / nom.sub
     };
     let cold = ld_sub(283.0);

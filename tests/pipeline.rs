@@ -139,8 +139,7 @@ fn direct_solve_mode_refines_lut_mode() {
     let direct = estimate(&circuit, &lib, &pattern, EstimatorMode::DirectSolve).unwrap();
     let rf =
         reference_leakage(&circuit, &tech, 300.0, &pattern, &ReferenceOptions::default()).unwrap();
-    let lut_vs_direct =
-        (lut.total.total() - direct.total.total()).abs() / direct.total.total();
+    let lut_vs_direct = (lut.total.total() - direct.total.total()).abs() / direct.total.total();
     assert!(lut_vs_direct < 0.01, "lut vs direct {}", lut_vs_direct);
     let direct_err = accuracy(&direct, &rf.leakage).total_rel_err.abs();
     assert!(direct_err < 0.03, "direct vs reference {}", direct_err);

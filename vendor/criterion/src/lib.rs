@@ -1,0 +1,176 @@
+//! Offline vendored mini-criterion.
+//!
+//! A small wall-clock micro-benchmark harness with real criterion's
+//! import surface for the subset this workspace uses: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, `sample_size`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up once, then timed over `sample_size`
+//! samples whose per-sample iteration count is auto-calibrated so a
+//! sample takes a measurable amount of time. Mean, min, and max
+//! per-iteration times are printed to stdout. There are no plots,
+//! baselines, or statistical tests — this exists so `cargo bench`
+//! works offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(200);
+
+/// The benchmark harness root.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _parent: self, sample_size }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (stdout flush point; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, calibrating iterations per sample automatically.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: time a single iteration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name}: no samples (closure never called iter)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let min = b.samples.iter().min().expect("non-empty");
+    let max = b.samples.iter().max().expect("non-empty");
+    println!(
+        "  {name}: mean {} (min {}, max {}) [{} samples x {} iters]",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs = black_box(runs + 1)));
+        group.finish();
+        assert!(runs > 0, "closure actually ran");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

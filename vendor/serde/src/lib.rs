@@ -1,0 +1,532 @@
+//! Offline vendored mini-serde.
+//!
+//! This workspace builds without network access, so the real `serde`
+//! cannot be fetched. This crate provides the subset the workspace
+//! needs with the same import surface (`use serde::{Serialize,
+//! Deserialize}` plus `#[derive(Serialize, Deserialize)]`), backed by a
+//! simple self-describing [`Value`] tree:
+//!
+//! * [`Serialize`] / [`Deserialize`] convert a type to/from [`Value`];
+//! * the derive macros (re-exported from `serde_derive`) generate those
+//!   impls for plain structs, tuple structs, and enums with unit or
+//!   tuple variants — exactly the shapes this workspace uses;
+//! * [`to_bytes`] / [`from_bytes`] are a compact binary codec over
+//!   [`Value`] (floats round-trip bit-exactly via `f64::to_bits`),
+//!   which is what `nanoleak-engine` uses for its on-disk
+//!   characterization cache.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit (fieldless enum variant payloads).
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Any integer type, widened.
+    Int(i128),
+    /// 64-bit float (encoded via `to_bits`, so NaN payloads survive).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence: `Vec<T>`, tuples, tuple-struct fields.
+    Seq(Vec<Value>),
+    /// Ordered map: `BTreeMap<K, V>`.
+    Map(Vec<(Value, Value)>),
+    /// Named struct: `(field name, value)` in declaration order.
+    Record(Vec<(String, Value)>),
+    /// Enum variant: name plus payload (`Unit` or `Seq`).
+    Variant(String, Box<Value>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, validating the value shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Derive-support helpers (called from generated code).
+// ---------------------------------------------------------------------
+
+/// Extracts the field list of a [`Value::Record`].
+pub fn value_record<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    match v {
+        Value::Record(fields) => Ok(fields),
+        other => Err(Error::msg(format!("{ty}: expected record, got {other:?}"))),
+    }
+}
+
+/// Looks up one named field of a record.
+pub fn record_field<'v>(
+    fields: &'v [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'v Value, Error> {
+    fields
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("{ty}: missing field '{name}'")))
+}
+
+/// Extracts a [`Value::Seq`] with an exact arity.
+pub fn value_seq<'v>(v: &'v Value, arity: usize, ty: &str) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == arity => Ok(items),
+        Value::Seq(items) => {
+            Err(Error::msg(format!("{ty}: expected {arity} elements, got {}", items.len())))
+        }
+        other => Err(Error::msg(format!("{ty}: expected sequence, got {other:?}"))),
+    }
+}
+
+/// Extracts a [`Value::Variant`] name and payload.
+pub fn value_variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), Error> {
+    match v {
+        Value::Variant(name, payload) => Ok((name, payload)),
+        other => Err(Error::msg(format!("{ty}: expected enum variant, got {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{} out of range", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        "expected {}, got {other:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            other => Err(Error::msg(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Variant("None".into(), Box::new(Value::Unit)),
+            Some(x) => Value::Variant("Some".into(), Box::new(Value::Seq(vec![x.to_value()]))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let (name, payload) = value_variant(v, "Option")?;
+        match name {
+            "None" => Ok(None),
+            "Some" => {
+                let items = value_seq(payload, 1, "Option")?;
+                Ok(Some(T::from_value(&items[0])?))
+            }
+            other => Err(Error::msg(format!("Option: unknown variant '{other}'"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = value_seq(v, 2, "tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = value_seq(v, 3, "tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codec.
+// ---------------------------------------------------------------------
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_SEQ: u8 = 5;
+const TAG_MAP: u8 = 6;
+const TAG_RECORD: u8 = 7;
+const TAG_VARIANT: u8 = 8;
+
+fn write_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Unit => out.push(TAG_UNIT),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_str(out, s);
+        }
+        Value::Seq(items) => {
+            out.push(TAG_SEQ);
+            write_len(out, items.len());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(TAG_MAP);
+            write_len(out, entries.len());
+            for (k, v) in entries {
+                encode_value(k, out);
+                encode_value(v, out);
+            }
+        }
+        Value::Record(fields) => {
+            out.push(TAG_RECORD);
+            write_len(out, fields.len());
+            for (name, v) in fields {
+                write_str(out, name);
+                encode_value(v, out);
+            }
+        }
+        Value::Variant(name, payload) => {
+            out.push(TAG_VARIANT);
+            write_str(out, name);
+            encode_value(payload, out);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.pos + n > self.bytes.len() {
+            return Err(Error::msg("truncated input"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_len(&mut self) -> Result<usize, Error> {
+        let b = self.take(8)?;
+        let n = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+        // Guard against absurd lengths from corrupt files before any
+        // allocation happens.
+        if n > (self.bytes.len() as u64).saturating_mul(2) + 1024 {
+            return Err(Error::msg("implausible length (corrupt input)"));
+        }
+        Ok(n as usize)
+    }
+
+    fn read_str(&mut self) -> Result<String, Error> {
+        let n = self.read_len()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| Error::msg("invalid UTF-8"))
+    }
+
+    fn read_value(&mut self) -> Result<Value, Error> {
+        let tag = self.take(1)?[0];
+        Ok(match tag {
+            TAG_UNIT => Value::Unit,
+            TAG_BOOL => Value::Bool(self.take(1)?[0] != 0),
+            TAG_INT => {
+                Value::Int(i128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+            }
+            TAG_F64 => Value::F64(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().expect("8 bytes"),
+            ))),
+            TAG_STR => Value::Str(self.read_str()?),
+            TAG_SEQ => {
+                let n = self.read_len()?;
+                let mut items = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    items.push(self.read_value()?);
+                }
+                Value::Seq(items)
+            }
+            TAG_MAP => {
+                let n = self.read_len()?;
+                let mut entries = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let k = self.read_value()?;
+                    let v = self.read_value()?;
+                    entries.push((k, v));
+                }
+                Value::Map(entries)
+            }
+            TAG_RECORD => {
+                let n = self.read_len()?;
+                let mut fields = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let name = self.read_str()?;
+                    let v = self.read_value()?;
+                    fields.push((name, v));
+                }
+                Value::Record(fields)
+            }
+            TAG_VARIANT => {
+                let name = self.read_str()?;
+                let payload = self.read_value()?;
+                Value::Variant(name, Box::new(payload))
+            }
+            other => return Err(Error::msg(format!("unknown tag {other}"))),
+        })
+    }
+}
+
+/// Encodes a value to the compact binary form.
+pub fn value_to_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(v, &mut out);
+    out
+}
+
+/// Decodes the compact binary form; rejects trailing bytes.
+pub fn value_from_bytes(bytes: &[u8]) -> Result<Value, Error> {
+    let mut r = Reader { bytes, pos: 0 };
+    let v = r.read_value()?;
+    if r.pos != bytes.len() {
+        return Err(Error::msg("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Serializes `value` to the compact binary form.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    value_to_bytes(&value.to_value())
+}
+
+/// Deserializes `T` from the compact binary form.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    T::from_value(&value_from_bytes(bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [Value::Unit, Value::Bool(true), Value::Int(-7), Value::F64(1.5e-9)] {
+            assert_eq!(value_from_bytes(&value_to_bytes(&v)).unwrap(), v);
+        }
+        let x: u64 = from_bytes(&to_bytes(&42u64)).unwrap();
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn f64_bits_survive() {
+        let xs = vec![0.0f64, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, f64::INFINITY];
+        let back: Vec<f64> = from_bytes(&to_bytes(&xs)).unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2, 3]);
+        m.insert("b".to_string(), vec![]);
+        let back: BTreeMap<String, Vec<u32>> = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+        let opt: Option<f64> = from_bytes(&to_bytes(&Some(2.5f64))).unwrap();
+        assert_eq!(opt, Some(2.5));
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        assert!(value_from_bytes(&[TAG_SEQ, 0xff, 0xff, 0xff, 0xff]).is_err());
+        assert!(value_from_bytes(&[99]).is_err());
+        assert!(value_from_bytes(&[]).is_err());
+        let mut good = to_bytes(&vec![1u8, 2, 3]);
+        good.push(0);
+        assert!(value_from_bytes(&good).is_err(), "trailing byte detected");
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let bytes = to_bytes(&true);
+        let r: Result<u64, Error> = from_bytes(&bytes);
+        assert!(r.unwrap_err().to_string().contains("expected u64"));
+    }
+}

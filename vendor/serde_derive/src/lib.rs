@@ -1,0 +1,337 @@
+//! Derive macros for the offline vendored mini-serde.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (the
+//! value-tree traits of the vendored `serde` crate) for the item shapes
+//! this workspace actually uses:
+//!
+//! * structs with named fields;
+//! * tuple structs;
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Generic parameters and struct-variant enums are rejected with a
+//! compile error naming the unsupported shape — extend the parser here
+//! if a new shape appears.
+//!
+//! Built without `syn`/`quote` (offline build): the item is parsed
+//! directly from the `proc_macro::TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item a derive was placed on.
+enum Item {
+    /// Struct with named fields, in declaration order.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum; each variant is `(name, payload arity)` (0 = unit).
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+fn is_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past any `#[...]` attribute sequences at `idx`.
+fn skip_attrs(tokens: &[TokenTree], idx: &mut usize) {
+    while *idx + 1 < tokens.len()
+        && is_punct(&tokens[*idx], '#')
+        && matches!(&tokens[*idx + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        *idx += 2;
+    }
+}
+
+/// Advances past `pub` / `pub(...)` visibility at `idx`.
+fn skip_vis(tokens: &[TokenTree], idx: &mut usize) {
+    if *idx < tokens.len() && is_ident(&tokens[*idx], "pub") {
+        *idx += 1;
+        if *idx < tokens.len()
+            && matches!(&tokens[*idx], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *idx += 1;
+        }
+    }
+}
+
+/// Counts top-level comma-separated segments in a field list,
+/// tracking `<...>` nesting so generic arguments don't split fields.
+fn count_tuple_fields(group: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut segment_has_tokens = false;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                segments += 1;
+                segment_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parses the named-field list inside a struct's brace group.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut idx = 0usize;
+    while idx < group.len() {
+        skip_attrs(group, &mut idx);
+        if idx >= group.len() {
+            break;
+        }
+        skip_vis(group, &mut idx);
+        let TokenTree::Ident(name) = &group[idx] else {
+            panic!("serde derive: expected field name, got {:?}", group[idx]);
+        };
+        fields.push(name.to_string());
+        idx += 1;
+        assert!(is_punct(&group[idx], ':'), "serde derive: expected ':' after field name");
+        idx += 1;
+        // Skip the type: everything up to the next top-level comma.
+        let mut depth = 0i32;
+        while idx < group.len() {
+            match &group[idx] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the variant list inside an enum's brace group.
+fn parse_variants(group: &[TokenTree]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut idx = 0usize;
+    while idx < group.len() {
+        skip_attrs(group, &mut idx);
+        if idx >= group.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &group[idx] else {
+            panic!("serde derive: expected variant name, got {:?}", group[idx]);
+        };
+        let name = name.to_string();
+        idx += 1;
+        let mut arity = 0usize;
+        if idx < group.len() {
+            match &group[idx] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    arity = count_tuple_fields(&inner);
+                    idx += 1;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    panic!("serde derive: struct variant '{name}' unsupported");
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        // Skip any discriminant and the trailing comma.
+        while idx < group.len() && !is_punct(&group[idx], ',') {
+            idx += 1;
+        }
+        idx += 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0usize;
+    skip_attrs(&tokens, &mut idx);
+    skip_vis(&tokens, &mut idx);
+
+    let kind = match &tokens[idx] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde derive: expected 'struct' or 'enum', got {other:?}"),
+    };
+    idx += 1;
+    let TokenTree::Ident(name) = &tokens[idx] else {
+        panic!("serde derive: expected type name");
+    };
+    let name = name.to_string();
+    idx += 1;
+    if idx < tokens.len() && is_punct(&tokens[idx], '<') {
+        panic!("serde derive: generic type '{name}' unsupported");
+    }
+
+    match (kind.as_str(), &tokens[idx]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::NamedStruct { name, fields: parse_named_fields(&inner) }
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::TupleStruct { name, arity: count_tuple_fields(&inner) }
+        }
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Enum { name, variants: parse_variants(&inner) }
+        }
+        _ => panic!("serde derive: unsupported item shape for '{name}'"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Record(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> =
+                (0..arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Variant(String::from(\"{v}\"), \
+                             Box::new(::serde::Value::Unit)),"
+                        )
+                    } else {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Variant(String::from(\"{v}\"), \
+                             Box::new(::serde::Value::Seq(vec![{}]))),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree) impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::record_field(fields, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let fields = ::serde::value_record(v, \"{name}\")?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let items = ::serde::value_seq(v, {arity}, \"{name}\")?;\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!("\"{v}\" => Ok({name}::{v}),")
+                    } else {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let items = ::serde::value_seq(payload, {arity}, \"{name}\")?;\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let (variant, payload) = ::serde::value_variant(v, \"{name}\")?;\n\
+                         let _ = payload;\n\
+                         match variant {{\n{}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"{name}: unknown variant '{{other}}'\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
