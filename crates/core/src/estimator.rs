@@ -11,13 +11,14 @@
 use nanoleak_cells::eval_loaded;
 use nanoleak_netlist::logic::simulate;
 use nanoleak_netlist::{Circuit, GateId, Pattern};
+use serde::{Deserialize, Serialize};
 
 use crate::error::EstimateError;
 use crate::loading::LoadingState;
 use crate::report::CircuitLeakage;
 
 /// How per-gate leakage is produced once loading currents are known.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum EstimatorMode {
     /// Traditional estimation: nominal per-gate leakage, loading
     /// ignored (the baseline the paper improves on).

@@ -24,11 +24,14 @@
 //! the characterization options changes the key and therefore the
 //! file name, so old entries can never shadow new requests.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nanoleak_cells::{CellLibrary, CharacterizeOptions};
 use nanoleak_device::Technology;
+use parking_lot::Mutex;
 
 use crate::EngineError;
 
@@ -39,9 +42,12 @@ pub const CACHE_FORMAT_VERSION: u32 = 1;
 const MAGIC: &[u8; 4] = b"NLKC";
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 
-/// How a [`LibraryCache::load_or_characterize`] request was satisfied.
+/// How a characterization request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
+    /// The request was served from process RAM; neither disk I/O nor
+    /// solver work ran ([`MemoLibraryCache`] only).
+    MemoryHit,
     /// A valid cache file was loaded; no solver work ran.
     Hit,
     /// No cache file existed; the library was characterized and stored.
@@ -199,6 +205,167 @@ impl LibraryCache {
     }
 }
 
+/// Counters describing how a [`MemoLibraryCache`] has served requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoCacheStats {
+    /// Requests served from process RAM.
+    pub memory_hits: u64,
+    /// Requests served from a valid `*.nlc` disk file.
+    pub disk_hits: u64,
+    /// Requests that ran the characterization solver (disk miss or
+    /// stale entry, or the disk layer disabled).
+    pub characterizations: u64,
+}
+
+impl MemoCacheStats {
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.characterizations
+    }
+
+    /// Fraction of requests that avoided solver work (memory + disk
+    /// hits); `0.0` before any request.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            (self.memory_hits + self.disk_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// An in-memory memoizing layer over the `*.nlc` disk cache.
+///
+/// A long-lived process (the `nanoleak-serve` front-end, batch
+/// condition-grid jobs) asks for the same `(technology, temperature,
+/// options)` characterization over and over; paying even the disk
+/// decode per request is wasted work. This layer keeps every library
+/// the process has seen as a shared [`Arc`] keyed by
+/// [`LibraryCache::request_key`], falling through to the disk cache
+/// (and from there to the solver) only on first contact. It is the
+/// first step toward the ROADMAP's per-(cell, vector) incremental
+/// caching.
+///
+/// Thread-safe: concurrent requests for *different* keys characterize
+/// in parallel; concurrent requests for the *same* key may both run
+/// the solve (last write wins — both produce identical libraries, so
+/// this trades a rare duplicated solve for never serializing distinct
+/// requests behind one lock).
+///
+/// Residency is bounded at [`MAX_RESIDENT_LIBRARIES`] entries (an
+/// arbitrary entry is evicted beyond that), so a long-lived server
+/// fed adversarially unique `(temp, Vdd)` requests cannot grow RAM
+/// without bound — evicted entries fall back to the disk layer.
+#[derive(Debug)]
+pub struct MemoLibraryCache {
+    disk: Option<LibraryCache>,
+    entries: Mutex<HashMap<u64, Arc<CellLibrary>>>,
+    max_resident: usize,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    characterizations: AtomicU64,
+}
+
+/// Default bound on libraries held in RAM by a [`MemoLibraryCache`]
+/// (a characterized full-family library is several MB).
+pub const MAX_RESIDENT_LIBRARIES: usize = 64;
+
+impl Default for MemoLibraryCache {
+    fn default() -> Self {
+        Self {
+            disk: None,
+            entries: Mutex::new(HashMap::new()),
+            max_resident: MAX_RESIDENT_LIBRARIES,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            characterizations: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MemoLibraryCache {
+    /// A memo layered over `disk`.
+    pub fn over(disk: LibraryCache) -> Self {
+        Self { disk: Some(disk), ..Self::default() }
+    }
+
+    /// A memo with no disk layer (RAM only; misses go straight to the
+    /// solver).
+    pub fn memory_only() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the residency bound (`0` is clamped to 1).
+    #[must_use]
+    pub fn with_max_resident(mut self, max_resident: usize) -> Self {
+        self.max_resident = max_resident.max(1);
+        self
+    }
+
+    /// The disk layer, if one is attached.
+    pub fn disk(&self) -> Option<&LibraryCache> {
+        self.disk.as_ref()
+    }
+
+    /// Returns the characterized library for a request, from RAM if
+    /// this process has seen the request before, else through the
+    /// disk cache, else by characterizing.
+    ///
+    /// # Errors
+    /// * [`EngineError::Solver`] if characterization fails;
+    /// * [`EngineError::Cache`] if a fresh disk entry cannot be
+    ///   written (RAM-only requests never return this).
+    pub fn get_or_characterize(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, CacheOutcome), EngineError> {
+        let key = LibraryCache::request_key(tech, temp, opts);
+        if let Some(lib) = self.entries.lock().get(&key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(lib), CacheOutcome::MemoryHit));
+        }
+        let (lib, outcome) = match &self.disk {
+            Some(disk) => disk.load_or_characterize(tech, temp, opts)?,
+            None => {
+                let lib = CellLibrary::characterize(tech, temp, opts)?;
+                (Arc::new(lib), CacheOutcome::Miss)
+            }
+        };
+        match outcome {
+            CacheOutcome::Hit => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+            _ => self.characterizations.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.max_resident {
+            // Arbitrary eviction keeps the bound without LRU
+            // bookkeeping; the disk layer (if any) still serves the
+            // evicted request without re-solving.
+            if let Some(&evict) = entries.keys().next() {
+                entries.remove(&evict);
+            }
+        }
+        entries.insert(key, Arc::clone(&lib));
+        Ok((lib, outcome))
+    }
+
+    /// Number of libraries currently held in RAM.
+    pub fn resident(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Snapshot of the request counters.
+    pub fn stats(&self) -> MemoCacheStats {
+        MemoCacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            characterizations: self.characterizations.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +437,67 @@ mod tests {
         let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
         assert_eq!(outcome, CacheOutcome::Invalidated);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn memo_layer_hits_ram_before_disk() {
+        let tech = Technology::d25();
+        let memo = MemoLibraryCache::over(LibraryCache::new(temp_dir("memo")));
+        let (first, outcome) = memo.get_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) = memo.get_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        assert!(Arc::ptr_eq(&first, &second), "RAM hit shares one allocation");
+        // A different temperature is a distinct entry.
+        let (_, outcome) = memo.get_or_characterize(&tech, 310.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(memo.resident(), 2);
+        let stats = memo.stats();
+        assert_eq!(
+            (stats.memory_hits, stats.disk_hits, stats.characterizations),
+            (1, 0, 2),
+            "{stats:?}"
+        );
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // A fresh memo over the same directory hits disk, not RAM.
+        let cold =
+            MemoLibraryCache::over(LibraryCache::new(memo.disk().unwrap().dir().to_path_buf()));
+        let (_, outcome) = cold.get_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(cold.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(memo.disk().unwrap().dir());
+    }
+
+    #[test]
+    fn residency_is_bounded_with_disk_fallback() {
+        let tech = Technology::d25();
+        let memo =
+            MemoLibraryCache::over(LibraryCache::new(temp_dir("bounded"))).with_max_resident(2);
+        for temp in [300.0, 310.0, 320.0] {
+            let (_, outcome) = memo.get_or_characterize(&tech, temp, &opts()).unwrap();
+            assert_eq!(outcome, CacheOutcome::Miss);
+        }
+        assert_eq!(memo.resident(), 2, "third insert evicted one entry");
+        // Every request still answers correctly; at most one of the
+        // three can need the solver again (the evicted one comes back
+        // from disk as a Hit).
+        for temp in [300.0, 310.0, 320.0] {
+            let (lib, outcome) = memo.get_or_characterize(&tech, temp, &opts()).unwrap();
+            assert_eq!(lib.temp, temp);
+            assert_ne!(outcome, CacheOutcome::Miss, "disk layer serves evictions");
+        }
+        let _ = std::fs::remove_dir_all(memo.disk().unwrap().dir());
+    }
+
+    #[test]
+    fn memory_only_memo_characterizes_once() {
+        let tech = Technology::d25();
+        let memo = MemoLibraryCache::memory_only();
+        let (_, outcome) = memo.get_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (_, outcome) = memo.get_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        assert_eq!(memo.stats().characterizations, 1);
     }
 
     #[test]

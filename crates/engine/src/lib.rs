@@ -64,7 +64,10 @@ use std::fmt;
 use nanoleak_core::EstimateError;
 use nanoleak_solver::SolverError;
 
-pub use cache::{CacheOutcome, LibraryCache, CACHE_FORMAT_VERSION};
+pub use cache::{
+    CacheOutcome, LibraryCache, MemoCacheStats, MemoLibraryCache, CACHE_FORMAT_VERSION,
+    MAX_RESIDENT_LIBRARIES,
+};
 pub use mlv::{mlv_search, MlvConfig, MlvGoal, MlvResult, MlvStrategy, MlvTelemetry};
 pub use stats::ScalarStats;
 pub use sweep::{

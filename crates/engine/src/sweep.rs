@@ -14,12 +14,16 @@ use nanoleak_core::{estimate, EstimateError, EstimatorMode};
 use nanoleak_device::LeakageBreakdown;
 use nanoleak_netlist::{Circuit, Pattern};
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::exec::{mix, par_map, resolve_threads};
 use crate::stats::ScalarStats;
 
 /// Configuration of one pattern sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so job front-ends (the `nanoleak-serve` HTTP API)
+/// can carry sweep requests and reproduce them exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepConfig {
     /// Number of random input patterns.
     pub vectors: usize,
@@ -46,7 +50,7 @@ pub fn pattern_for_index(circuit: &Circuit, seed: u64, index: usize) -> Pattern 
 }
 
 /// An extreme point of the swept input space.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExtremeVector {
     /// Sweep index of the pattern (reproducible via
     /// [`pattern_for_index`]).
@@ -59,7 +63,11 @@ pub struct ExtremeVector {
 
 /// Deterministic sweep output: per-component statistics over the
 /// pattern space plus the extreme vectors.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable (like [`SweepConfig`]) so reports can cross process
+/// boundaries — notably as `nanoleak-serve` job results — without
+/// losing bit-exactness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Number of patterns evaluated.
     pub vectors: usize,

@@ -7,6 +7,7 @@
 
 use nanoleak_cells::InputVector;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::circuit::{Circuit, GateId};
 
@@ -46,7 +47,7 @@ pub fn gate_vector(circuit: &Circuit, gate: GateId, values: &[bool]) -> InputVec
 
 /// A primary-input pattern plus DFF states — one "vector" of the
 /// paper's 100-random-vector experiments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pattern {
     /// Primary input values.
     pub pi: Vec<bool>,

@@ -1,0 +1,652 @@
+//! Request/response schemas of the JSON API, plus the handlers that
+//! run the engine.
+//!
+//! Requests are parsed from the mini-serde [`Value`] tree by hand
+//! (every field optional falls back to the CLI's defaults), so a
+//! client can POST `{"target": "s1196"}` and nothing more. Responses
+//! are built from `#[derive(Serialize)]` DTOs and encoded with the
+//! JSON text codec — floats round-trip bit-exactly, which is what
+//! makes the service's sweep results comparable `==` against an
+//! in-process [`sweep`] call.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_core::{estimate_batch, CircuitLeakage, EstimatorMode, LoadingImpact};
+use nanoleak_device::Technology;
+use nanoleak_engine::{
+    mlv_search, sweep, MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepStats,
+};
+use nanoleak_netlist::bench_format::parse_bench;
+use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_netlist::{Circuit, Pattern};
+use rand::SeedableRng;
+use serde::{json, Deserialize, Serialize, Value};
+
+/// An API-level failure: HTTP status plus message, rendered as the
+/// structured error body `{"error": {"code": ..., "message": ...}}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code (4xx for caller mistakes, 5xx for ours).
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 Bad Request.
+    pub fn bad(message: impl Into<String>) -> Self {
+        Self { status: 400, message: message.into() }
+    }
+
+    /// A 422: the request parsed but the analysis cannot run.
+    pub fn unprocessable(message: impl Into<String>) -> Self {
+        Self { status: 422, message: message.into() }
+    }
+
+    /// The JSON error body.
+    pub fn body(&self) -> String {
+        let v = Value::Record(vec![(
+            "error".into(),
+            Value::Record(vec![
+                ("code".into(), Value::Int(i128::from(self.status))),
+                ("message".into(), Value::Str(self.message.clone())),
+            ]),
+        )]);
+        json::value_to_string(&v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request parsing.
+// ---------------------------------------------------------------------
+
+/// A JSON request body, wrapped for typed field access with defaults.
+#[derive(Debug)]
+pub struct Body {
+    fields: Vec<(String, Value)>,
+}
+
+impl Body {
+    /// Parses the body text as a JSON object.
+    pub fn parse(text: &str) -> Result<Self, ApiError> {
+        let v = json::value_from_str(text)
+            .map_err(|e| ApiError::bad(format!("malformed JSON body: {e}")))?;
+        match v {
+            Value::Record(fields) => Ok(Self { fields }),
+            other => Err(ApiError::bad(format!("expected a JSON object, got {other:?}"))),
+        }
+    }
+
+    /// Typed access to an optional field (absent and `null` are both
+    /// `None`).
+    pub fn opt<T: Deserialize>(&self, name: &str) -> Result<Option<T>, ApiError> {
+        match self.fields.iter().find(|(n, _)| n == name) {
+            None => Ok(None),
+            Some((_, Value::Unit)) => Ok(None),
+            Some((_, v)) => T::from_value(v)
+                .map(Some)
+                .map_err(|e| ApiError::bad(format!("field '{name}': {e}"))),
+        }
+    }
+
+    /// Typed access with a default for absent fields.
+    pub fn get<T: Deserialize>(&self, name: &str, default: T) -> Result<T, ApiError> {
+        Ok(self.opt(name)?.unwrap_or(default))
+    }
+}
+
+/// Resolves the request's circuit: `"bench"` (inline `.bench` text)
+/// wins over `"target"` (a builtin generator name).
+///
+/// Unlike the CLI, the service never reads circuit files from its own
+/// filesystem — an HTTP `"target"` naming a path would otherwise be a
+/// read/probe oracle for anything the server process can open. Remote
+/// clients ship netlists inline via `"bench"`.
+pub fn resolve_circuit(body: &Body) -> Result<(String, Circuit), ApiError> {
+    let target: Option<String> = body.opt("target")?;
+    let bench: Option<String> = body.opt("bench")?;
+    let (name, raw) = match (target, bench) {
+        (_, Some(text)) => {
+            let raw = parse_bench("inline", &text)
+                .map_err(|e| ApiError::unprocessable(format!("bench: {e}")))?;
+            ("inline".to_string(), raw)
+        }
+        (Some(target), None) => {
+            let raw = match target.as_str() {
+                "alu88" => alu(8),
+                "mult88" => multiplier(8),
+                other => iscas_like(other).ok_or_else(|| {
+                    ApiError::unprocessable(format!(
+                        "unknown circuit '{other}' (builtin names only; \
+                         send file contents inline via 'bench')"
+                    ))
+                })?,
+            };
+            (target, raw)
+        }
+        (None, None) => return Err(ApiError::bad("missing 'target' (or inline 'bench')")),
+    };
+    let circuit = normalize(&raw)
+        .map_err(|e| ApiError::unprocessable(format!("normalization failed: {e}")))?;
+    Ok((name, circuit))
+}
+
+/// The technology named by a request (`"d25"` default, `"d50"`).
+pub fn resolve_tech(body: &Body) -> Result<Technology, ApiError> {
+    match body.get::<String>("tech", "d25".into())?.as_str() {
+        "d25" | "D25" => Ok(Technology::d25()),
+        "d50" | "D50" => Ok(Technology::d50()),
+        other => Err(ApiError::bad(format!("tech: expected d25|d50, got '{other}'"))),
+    }
+}
+
+/// Characterization options: the full default grid, or the coarse
+/// test grid when the request sets `"coarse": true` (seconds vs.
+/// milliseconds of solver work — integration tests and demos want
+/// coarse).
+pub fn resolve_char_opts(body: &Body) -> Result<CharacterizeOptions, ApiError> {
+    if body.get("coarse", false)? {
+        Ok(CharacterizeOptions::coarse(&CellType::ALL))
+    } else {
+        Ok(CharacterizeOptions::default())
+    }
+}
+
+/// Most vectors (or MLV samples/steps) one request may ask for — a
+/// remote client must not be able to pin a worker for hours.
+pub const MAX_REQUEST_VECTORS: usize = 100_000;
+/// Much lower vector cap for `mode: "direct"`, whose per-gate
+/// transistor-level re-solve is orders of magnitude slower than the
+/// LUT path — the same wall-clock budget, mode-adjusted.
+pub const MAX_REQUEST_DIRECT_VECTORS: usize = 500;
+/// Most worker threads one request may ask for (the engine's own
+/// all-cores resolution caps at 16 too).
+pub const MAX_REQUEST_THREADS: usize = 16;
+/// Most hill-climb restarts one request may ask for.
+pub const MAX_REQUEST_RESTARTS: usize = 256;
+
+fn check_limit(name: &str, value: usize, max: usize) -> Result<usize, ApiError> {
+    if value > max {
+        return Err(ApiError::bad(format!("'{name}' of {value} exceeds the limit of {max}")));
+    }
+    Ok(value)
+}
+
+fn parse_mode(raw: &str) -> Result<EstimatorMode, ApiError> {
+    match raw {
+        "lut" => Ok(EstimatorMode::Lut),
+        "noloading" => Ok(EstimatorMode::NoLoading),
+        "direct" => Ok(EstimatorMode::DirectSolve),
+        other => Err(ApiError::bad(format!("mode: expected lut|noloading|direct, got '{other}'"))),
+    }
+}
+
+/// The sweep parameters of a request, CLI defaults applied and
+/// client-controlled work bounded (the direct-solve mode gets a much
+/// smaller vector budget than the LUT fast path).
+pub fn resolve_sweep_config(body: &Body) -> Result<SweepConfig, ApiError> {
+    let mode = parse_mode(&body.get::<String>("mode", "lut".into())?)?;
+    let max_vectors = match mode {
+        EstimatorMode::DirectSolve => MAX_REQUEST_DIRECT_VECTORS,
+        EstimatorMode::Lut | EstimatorMode::NoLoading => MAX_REQUEST_VECTORS,
+    };
+    let vectors = check_limit("vectors", body.get("vectors", 100usize)?, max_vectors)?;
+    if vectors == 0 {
+        return Err(ApiError::bad("'vectors' must be at least 1"));
+    }
+    Ok(SweepConfig {
+        vectors,
+        seed: body.get("seed", 2005u64)?,
+        threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
+        mode,
+    })
+}
+
+/// Printable form of a pattern: primary-input bits, then `|` and the
+/// DFF state bits when present. Shared by the service responses and
+/// the CLI's text/JSON output, so the two transports can never
+/// diverge on vector formatting.
+pub fn fmt_pattern(p: &Pattern) -> String {
+    let bits = |bs: &[bool]| bs.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
+    if p.states.is_empty() {
+        bits(&p.pi)
+    } else {
+        format!("{}|{}", bits(&p.pi), bits(&p.states))
+    }
+}
+
+fn library(
+    cache: &MemoLibraryCache,
+    tech: &Technology,
+    temp: f64,
+    opts: &CharacterizeOptions,
+) -> Result<Arc<CellLibrary>, ApiError> {
+    cache
+        .get_or_characterize(tech, temp, opts)
+        .map(|(lib, _)| lib)
+        .map_err(|e| ApiError { status: 500, message: format!("characterization failed: {e}") })
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/estimate
+// ---------------------------------------------------------------------
+
+/// Response of `POST /v1/estimate`: mean leakage with/without loading
+/// over N random vectors, mirroring the CLI's `estimate` output.
+#[derive(Debug, Clone, Serialize)]
+pub struct EstimateResponse {
+    /// Resolved circuit name.
+    pub target: String,
+    /// Gate count of the normalized circuit.
+    pub gates: usize,
+    /// Primary input + state bit count.
+    pub input_bits: usize,
+    /// Vectors averaged over.
+    pub vectors: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Temperature \[K\].
+    pub temp: f64,
+    /// Mean total leakage, loading modeled \[A\].
+    pub mean_total_a: f64,
+    /// Mean total leakage, loading ignored \[A\].
+    pub mean_no_loading_a: f64,
+    /// Mean leakage power at the technology's Vdd \[W\].
+    pub mean_power_w: f64,
+    /// Average loading impact on total leakage (fraction).
+    pub loading_impact_avg: f64,
+    /// Worst-vector loading impact (fraction).
+    pub loading_impact_max: f64,
+    /// Server-side wall clock \[ms\].
+    pub elapsed_ms: f64,
+}
+
+/// Runs the estimate endpoint.
+pub fn run_estimate(cache: &MemoLibraryCache, body: &Body) -> Result<EstimateResponse, ApiError> {
+    let start = Instant::now();
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let temp = body.get("temp", 300.0f64)?;
+    let vectors = check_limit("vectors", body.get("vectors", 100usize)?, MAX_REQUEST_VECTORS)?;
+    if vectors == 0 {
+        return Err(ApiError::bad("'vectors' must be at least 1"));
+    }
+    let seed = body.get("seed", 2005u64)?;
+    let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let patterns = Pattern::random_batch(&circuit, &mut rng, vectors);
+    let loaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::Lut)
+        .map_err(|e| ApiError::unprocessable(format!("estimation failed: {e}")))?;
+    let unloaded = estimate_batch(&circuit, &lib, &patterns, EstimatorMode::NoLoading)
+        .map_err(|e| ApiError::unprocessable(format!("estimation failed: {e}")))?;
+
+    let mean =
+        |rs: &[CircuitLeakage]| rs.iter().map(|r| r.total.total()).sum::<f64>() / rs.len() as f64;
+    let pairs: Vec<_> = loaded.iter().cloned().zip(unloaded.iter().cloned()).collect();
+    let impact = LoadingImpact::from_pairs(&pairs);
+
+    Ok(EstimateResponse {
+        target,
+        gates: circuit.gate_count(),
+        input_bits: circuit.inputs().len() + circuit.state_inputs().len(),
+        vectors,
+        seed,
+        temp,
+        mean_total_a: mean(&loaded),
+        mean_no_loading_a: mean(&unloaded),
+        mean_power_w: mean(&loaded) * tech.vdd,
+        loading_impact_avg: impact.avg_total,
+        loading_impact_max: impact.max_total,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/sweep
+// ---------------------------------------------------------------------
+
+/// Response of `POST /v1/sweep`: the full deterministic
+/// [`SweepStats`] plus wall-clock telemetry.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResponse {
+    /// Resolved circuit name.
+    pub target: String,
+    /// Gate count of the normalized circuit.
+    pub gates: usize,
+    /// Temperature \[K\].
+    pub temp: f64,
+    /// The exact configuration the sweep ran with (defaults applied),
+    /// sufficient to reproduce it in-process.
+    pub config: SweepConfig,
+    /// Bit-exact sweep statistics.
+    pub stats: SweepStats,
+    /// Minimum-leakage vector, printable form.
+    pub min_vector: String,
+    /// Maximum-leakage vector, printable form.
+    pub max_vector: String,
+    /// Server-side wall clock \[ms\].
+    pub elapsed_ms: f64,
+    /// Sweep throughput \[patterns/s\].
+    pub patterns_per_sec: f64,
+}
+
+/// Runs the sweep endpoint (shared by the synchronous route and the
+/// job executor).
+pub fn run_sweep(cache: &MemoLibraryCache, body: &Body) -> Result<SweepResponse, ApiError> {
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let temp = body.get("temp", 300.0f64)?;
+    let config = resolve_sweep_config(body)?;
+    let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
+    let report = sweep(&circuit, &lib, &config)
+        .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
+    Ok(SweepResponse {
+        target,
+        gates: circuit.gate_count(),
+        temp,
+        config,
+        min_vector: fmt_pattern(&report.stats.min.pattern),
+        max_vector: fmt_pattern(&report.stats.max.pattern),
+        stats: report.stats,
+        elapsed_ms: report.telemetry.elapsed.as_secs_f64() * 1e3,
+        patterns_per_sec: report.telemetry.patterns_per_sec,
+    })
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/mlv
+// ---------------------------------------------------------------------
+
+/// Response of `POST /v1/mlv`: the optimal standby vector found.
+#[derive(Debug, Clone, Serialize)]
+pub struct MlvResponse {
+    /// Resolved circuit name.
+    pub target: String,
+    /// Search direction (`"min"` / `"max"`).
+    pub goal: String,
+    /// Strategy that produced the result.
+    pub strategy: String,
+    /// Best vector, printable form.
+    pub vector: String,
+    /// Best vector as the raw pattern.
+    pub pattern: Pattern,
+    /// Total leakage of the vector \[A\].
+    pub objective_a: f64,
+    /// Subthreshold component \[A\].
+    pub sub_a: f64,
+    /// Gate-tunneling component \[A\].
+    pub gate_a: f64,
+    /// Junction BTBT component \[A\].
+    pub btbt_a: f64,
+    /// Estimator invocations.
+    pub evaluations: u64,
+    /// Accepted hill-climb moves.
+    pub improving_moves: u64,
+    /// Restarts executed.
+    pub restarts: usize,
+    /// Server-side wall clock \[ms\].
+    pub elapsed_ms: f64,
+}
+
+/// Runs the MLV endpoint.
+pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, ApiError> {
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let temp = body.get("temp", 300.0f64)?;
+    let goal_raw: String = body.get("goal", "min".into())?;
+    let goal = match goal_raw.as_str() {
+        "min" => MlvGoal::Min,
+        "max" => MlvGoal::Max,
+        other => return Err(ApiError::bad(format!("goal: expected min|max, got '{other}'"))),
+    };
+    let samples = check_limit("samples", body.get("samples", 1024usize)?, MAX_REQUEST_VECTORS)?;
+    let restarts = check_limit("restarts", body.get("restarts", 8usize)?, MAX_REQUEST_RESTARTS)?;
+    let max_steps = check_limit("max_steps", body.get("max_steps", 64usize)?, MAX_REQUEST_VECTORS)?;
+    if samples == 0 || restarts == 0 {
+        return Err(ApiError::bad("'samples' and 'restarts' must be at least 1"));
+    }
+    let strategy = match body.get::<String>("strategy", "hillclimb".into())?.as_str() {
+        "hillclimb" => MlvStrategy::HillClimb { restarts, max_steps },
+        "exhaustive" => MlvStrategy::Exhaustive,
+        "random" => MlvStrategy::Random { samples },
+        other => {
+            return Err(ApiError::bad(format!(
+                "strategy: expected exhaustive|random|hillclimb, got '{other}'"
+            )))
+        }
+    };
+    let config = MlvConfig {
+        goal,
+        strategy,
+        seed: body.get("seed", 2005u64)?,
+        threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
+        mode: EstimatorMode::Lut,
+    };
+    let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
+    let result = mlv_search(&circuit, &lib, &config)
+        .map_err(|e| ApiError::unprocessable(format!("MLV search failed: {e}")))?;
+    Ok(MlvResponse {
+        target,
+        goal: goal_raw,
+        strategy: result.telemetry.strategy.to_string(),
+        vector: fmt_pattern(&result.pattern),
+        pattern: result.pattern.clone(),
+        objective_a: result.objective,
+        sub_a: result.leakage.total.sub,
+        gate_a: result.leakage.total.gate,
+        btbt_a: result.leakage.total.btbt,
+        evaluations: result.telemetry.evaluations,
+        improving_moves: result.telemetry.improving_moves,
+        restarts: result.telemetry.restarts,
+        elapsed_ms: result.telemetry.elapsed.as_secs_f64() * 1e3,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Condition-grid jobs (temperature × Vdd).
+// ---------------------------------------------------------------------
+
+/// Most grid cells a single job may request (each cell is a full
+/// characterization + sweep).
+pub const MAX_GRID_CELLS: usize = 256;
+
+/// One cell of a condition-grid result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Temperature \[K\].
+    pub temp: f64,
+    /// Vdd scale factor applied to the technology's nominal supply.
+    pub vdd_scale: f64,
+    /// Supply voltage after scaling \[V\].
+    pub vdd: f64,
+    /// Mean total leakage over the sweep \[A\].
+    pub mean_total_a: f64,
+    /// Minimum total leakage over the sweep \[A\].
+    pub min_total_a: f64,
+    /// Maximum total leakage over the sweep \[A\].
+    pub max_total_a: f64,
+}
+
+/// Result of a condition-grid job: a temps × vdd_scales matrix of
+/// sweep summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridResult {
+    /// Resolved circuit name.
+    pub target: String,
+    /// Temperature axis \[K\] (rows).
+    pub temps: Vec<f64>,
+    /// Vdd-scale axis (columns).
+    pub vdd_scales: Vec<f64>,
+    /// Sweep configuration shared by every cell.
+    pub config: SweepConfig,
+    /// Row-major cells (`temps.len() * vdd_scales.len()` entries).
+    pub cells: Vec<GridCell>,
+    /// Mean total leakage matrix \[A\], `matrix[ti][vi]` — the same
+    /// numbers as `cells`, shaped for direct plotting.
+    pub mean_total_a: Vec<Vec<f64>>,
+}
+
+/// Runs a condition-grid job: one deterministic sweep per
+/// (temperature, Vdd-scale) cell, characterizing through the shared
+/// memo cache. `cancelled()` is polled between cells; a `true` stops
+/// the grid early with an error.
+pub fn run_grid(
+    cache: &MemoLibraryCache,
+    body: &Body,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<GridResult, ApiError> {
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let config = resolve_sweep_config(body)?;
+    let opts = resolve_char_opts(body)?;
+    let temps: Vec<f64> = body.get("temps", vec![300.0])?;
+    let vdd_scales: Vec<f64> = body.get("vdd_scales", vec![1.0])?;
+    if temps.is_empty() || vdd_scales.is_empty() {
+        return Err(ApiError::bad("'temps' and 'vdd_scales' must be non-empty"));
+    }
+    if temps.len() * vdd_scales.len() > MAX_GRID_CELLS {
+        return Err(ApiError::bad(format!(
+            "grid of {} cells exceeds the {MAX_GRID_CELLS}-cell limit",
+            temps.len() * vdd_scales.len()
+        )));
+    }
+    if !temps.iter().all(|t| t.is_finite() && *t > 0.0) {
+        return Err(ApiError::bad("'temps' must be positive kelvin"));
+    }
+    if !vdd_scales.iter().all(|s| s.is_finite() && *s > 0.0) {
+        return Err(ApiError::bad("'vdd_scales' must be positive factors"));
+    }
+
+    let mut cells = Vec::with_capacity(temps.len() * vdd_scales.len());
+    let mut matrix = Vec::with_capacity(temps.len());
+    for &temp in &temps {
+        let mut row = Vec::with_capacity(vdd_scales.len());
+        for &scale in &vdd_scales {
+            if cancelled() {
+                return Err(ApiError { status: 409, message: "job cancelled".into() });
+            }
+            let mut scaled = tech.clone();
+            scaled.vdd *= scale;
+            let lib = library(cache, &scaled, temp, &opts)?;
+            let report = sweep(&circuit, &lib, &config)
+                .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
+            row.push(report.stats.total.mean);
+            cells.push(GridCell {
+                temp,
+                vdd_scale: scale,
+                vdd: scaled.vdd,
+                mean_total_a: report.stats.total.mean,
+                min_total_a: report.stats.total.min,
+                max_total_a: report.stats.total.max,
+            });
+        }
+        matrix.push(row);
+    }
+    Ok(GridResult { target, temps, vdd_scales, config, cells, mean_total_a: matrix })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_defaults_and_overrides() {
+        let b = Body::parse(r#"{"vectors": 12, "temp": 325, "seed": null}"#).unwrap();
+        assert_eq!(b.get("vectors", 100usize).unwrap(), 12);
+        assert_eq!(b.get("temp", 300.0).unwrap(), 325.0);
+        assert_eq!(b.get("seed", 2005u64).unwrap(), 2005, "null falls back to default");
+        assert_eq!(b.get("threads", 0usize).unwrap(), 0, "absent falls back to default");
+        let err = b.get::<bool>("vectors", false).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("vectors"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_object_bodies_are_rejected() {
+        assert_eq!(Body::parse("[1,2]").unwrap_err().status, 400);
+        assert_eq!(Body::parse("{oops").unwrap_err().status, 400);
+        let err = Body::parse(r#"{"vectors": "many"}"#)
+            .and_then(|b| b.get("vectors", 100usize))
+            .unwrap_err();
+        assert!(err.message.contains("vectors"), "{}", err.message);
+    }
+
+    #[test]
+    fn request_work_is_bounded() {
+        let b = Body::parse(r#"{"vectors": 200000}"#).unwrap();
+        let err = resolve_sweep_config(&b).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("limit"), "{}", err.message);
+        let b = Body::parse(r#"{"vectors": 10, "threads": 500000}"#).unwrap();
+        assert_eq!(resolve_sweep_config(&b).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn target_never_reads_the_filesystem() {
+        // Path-shaped targets are unknown builtins, not file reads —
+        // no existence oracle over HTTP.
+        let b = Body::parse(r#"{"target": "../../etc/secrets.bench"}"#).unwrap();
+        let err = resolve_circuit(&b).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert!(err.message.contains("builtin names only"), "{}", err.message);
+    }
+
+    #[test]
+    fn circuit_resolution_errors_are_structured() {
+        let b = Body::parse(r#"{"target": "nope-such-circuit"}"#).unwrap();
+        let err = resolve_circuit(&b).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert!(err.message.contains("nope-such-circuit"));
+        let b = Body::parse("{}").unwrap();
+        assert_eq!(resolve_circuit(&b).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn inline_bench_wins_over_target() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let request = Value::Record(vec![
+            ("target".into(), Value::Str("s838".into())),
+            ("bench".into(), Value::Str(text.into())),
+        ]);
+        let b = Body::parse(&json::value_to_string(&request)).unwrap();
+        let (name, circuit) = resolve_circuit(&b).unwrap();
+        assert_eq!(name, "inline");
+        assert_eq!(circuit.inputs().len(), 1);
+    }
+
+    #[test]
+    fn grid_request_validation() {
+        let cache = MemoLibraryCache::memory_only();
+        let never = || false;
+        for bad in [
+            r#"{"target": "s838", "temps": []}"#,
+            r#"{"target": "s838", "temps": [300], "vdd_scales": [0.0]}"#,
+            r#"{"target": "s838", "temps": [-5]}"#,
+        ] {
+            let b = Body::parse(bad).unwrap();
+            assert_eq!(run_grid(&cache, &b, &never).unwrap_err().status, 400, "{bad}");
+        }
+        // Oversized grids are refused before any solver work.
+        let temps: Vec<String> = (0..30).map(|i| (300 + i).to_string()).collect();
+        let big = format!(
+            r#"{{"target": "s838", "temps": [{}], "vdd_scales": [1,2,3,4,5,6,7,8,9]}}"#,
+            temps.join(",")
+        );
+        let b = Body::parse(&big).unwrap();
+        let err = run_grid(&cache, &b, &never).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("cell limit"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let e = ApiError::bad("quoted \"text\" here");
+        let v = json::value_from_str(&e.body()).unwrap();
+        let Value::Record(fields) = v else { panic!("not an object") };
+        assert_eq!(fields[0].0, "error");
+    }
+}

@@ -1,0 +1,291 @@
+//! A minimal, dependency-free HTTP/1.1 layer over [`std::net`].
+//!
+//! Supports exactly what the service needs: request-line + header
+//! parsing, `Content-Length` bodies, and one-shot responses
+//! (`Connection: close` on every reply, so a connection carries one
+//! request — the simplest model that `curl`, browsers, and raw
+//! `TcpStream` clients all handle). Hard limits on the header block
+//! and body size keep a misbehaving client from ballooning memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted header block (request line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+/// Total wall-clock budget for reading one request. Enforced as a
+/// deadline across every read, not per `recv` — a slow-trickle
+/// client (one byte per few seconds) cannot hold a handler thread
+/// past this.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("body is not valid UTF-8"))
+    }
+}
+
+/// A protocol-level failure while reading a request; carries the
+/// status code the client should see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status to report (4xx).
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A 400 Bad Request.
+    pub fn bad(message: impl Into<String>) -> Self {
+        Self { status: 400, message: message.into() }
+    }
+}
+
+/// A [`Read`] adapter that enforces an absolute deadline: every
+/// `read` first re-arms the socket timeout to the time remaining, so
+/// a slow-trickle client cannot stretch the request past
+/// [`READ_TIMEOUT`] by delivering one byte per `recv`.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    deadline: std::time::Instant,
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(std::time::Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "read deadline exceeded")
+            })?;
+        let _ = self.stream.set_read_timeout(Some(remaining));
+        Read::read(&mut &*self.stream, buf)
+    }
+}
+
+/// Maps a failed head read to the status the client should see.
+fn read_failure(e: &std::io::Error, what: &str) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            HttpError { status: 408, message: format!("deadline exceeded reading {what}") }
+        }
+        _ => HttpError::bad(format!("could not read {what}")),
+    }
+}
+
+/// Reads one request from the stream. Returns `Ok(None)` on a clean
+/// EOF before any bytes (client connected and went away).
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    let deadline = std::time::Instant::now() + READ_TIMEOUT;
+    // Hard byte budget for the whole request. `read_line` buffers
+    // until it sees a newline; without this cap a client streaming
+    // newline-free bytes would grow that buffer unboundedly before
+    // the per-line length checks ever ran.
+    let budget = (MAX_HEAD + MAX_BODY + 1024) as u64;
+    let mut reader =
+        BufReader::new(Read::take(DeadlineReader { stream: &*stream, deadline }, budget));
+
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(read_failure(&e, "request line")),
+    }
+    if line.len() > MAX_HEAD {
+        return Err(HttpError::bad("request line too long"));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError { status: 505, message: format!("unsupported {version}") });
+    }
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = String::new();
+        match reader.read_line(&mut hline) {
+            Ok(0) => return Err(HttpError::bad("connection closed mid-headers")),
+            Ok(n) => head_bytes += n,
+            Err(e) => return Err(read_failure(&e, "headers")),
+        }
+        if head_bytes > MAX_HEAD {
+            return Err(HttpError { status: 431, message: "header block too large".into() });
+        }
+        let trimmed = hline.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::bad(format!("malformed header '{trimmed}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => {
+            v.parse::<usize>().map_err(|_| HttpError::bad("malformed Content-Length"))?
+        }
+    };
+    if content_length > MAX_BODY {
+        return Err(HttpError { status: 413, message: "body too large".into() });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                HttpError { status: 408, message: "deadline exceeded reading body".into() }
+            }
+            _ => HttpError::bad("connection closed mid-body"),
+        })?;
+    }
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content type (defaults to `application/json`).
+    pub content_type: &'static str,
+    /// Body text.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self { status, content_type: "application/json", body: body.into() }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Writes `response` to the stream (with `Connection: close`).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs the parser against raw bytes through a real socket pair.
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /v1/estimate?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/estimate", "query string stripped");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_are_4xx() {
+        assert_eq!(parse(b"BROKEN\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse(b"GET / SMTP/1.0\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap_err().status,
+            413
+        );
+        assert_eq!(parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn newline_free_flood_is_bounded_and_rejected() {
+        // A head with no newline at all: the take() budget stops the
+        // buffering and the length check rejects it — no unbounded
+        // allocation.
+        let mut raw = vec![b'a'; MAX_HEAD + MAX_BODY + 4096];
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(err.status == 400 || err.status == 431, "{err:?}");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("mid-body"));
+    }
+}

@@ -1,0 +1,297 @@
+//! The async job subsystem: registry, lifecycle, and cancellation.
+//!
+//! `POST /v1/jobs` enqueues work and returns immediately with an id;
+//! `GET /v1/jobs/{id}` polls status and (when done) the result;
+//! `DELETE /v1/jobs/{id}` cancels. Jobs move strictly
+//! `queued → running → {done, failed}` or `{queued, running} →
+//! cancelled`; a cancelled-while-queued job is skipped by the worker
+//! that pops it, and a cancelled-while-running grid job stops at the
+//! next cell boundary.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::Value;
+
+/// What kind of work a job carries (the request body is re-parsed by
+/// the executor; the kind routes it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One deterministic pattern sweep.
+    Sweep,
+    /// A minimum/maximum-leakage-vector search.
+    Mlv,
+    /// A temperature × Vdd condition-grid of sweeps.
+    Grid,
+}
+
+impl JobKind {
+    /// Wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Sweep => "sweep",
+            JobKind::Mlv => "mlv",
+            JobKind::Grid => "grid",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "sweep" => Some(JobKind::Sweep),
+            "mlv" => Some(JobKind::Mlv),
+            "grid" => Some(JobKind::Grid),
+            _ => None,
+        }
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// In the queue, not yet picked up.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully; the result is available.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Wire name of the status.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One job's record in the registry.
+#[derive(Debug)]
+pub struct Job {
+    /// Job id (monotonic, process-local).
+    pub id: u64,
+    /// Work kind.
+    pub kind: JobKind,
+    /// The raw JSON request body, re-parsed by the executor.
+    pub body: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Result value once `Done`.
+    pub result: Option<Value>,
+    /// Error message once `Failed`.
+    pub error: Option<String>,
+    /// Set by `DELETE`; polled by executors.
+    pub cancel: Arc<AtomicBool>,
+    /// When the job was submitted.
+    pub submitted: Instant,
+    /// Wall-clock execution time once finished \[ms\].
+    pub elapsed_ms: Option<f64>,
+}
+
+/// Per-status job counts (for `/v1/stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished successfully.
+    pub done: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+}
+
+/// Thread-safe job registry.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_id: AtomicU64,
+}
+
+impl JobRegistry {
+    /// Registers a new queued job, returning its id and cancel flag.
+    pub fn submit(&self, kind: JobKind, body: String) -> (u64, Arc<AtomicBool>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let cancel = Arc::new(AtomicBool::new(false));
+        let job = Job {
+            id,
+            kind,
+            body,
+            status: JobStatus::Queued,
+            result: None,
+            error: None,
+            cancel: Arc::clone(&cancel),
+            submitted: Instant::now(),
+            elapsed_ms: None,
+        };
+        self.jobs.lock().insert(id, job);
+        (id, cancel)
+    }
+
+    /// Reads one job's state through `f` (`None` if the id is
+    /// unknown).
+    pub fn with_job<T>(&self, id: u64, f: impl FnOnce(&Job) -> T) -> Option<T> {
+        self.jobs.lock().get(&id).map(f)
+    }
+
+    /// Marks a queued job running, handing the executor its body and
+    /// cancel flag. Returns `None` if the job was cancelled while
+    /// queued (or does not exist) — the caller must skip it.
+    pub fn start(&self, id: u64) -> Option<(JobKind, String, Arc<AtomicBool>)> {
+        let mut jobs = self.jobs.lock();
+        let job = jobs.get_mut(&id)?;
+        if job.status != JobStatus::Queued {
+            return None;
+        }
+        job.status = JobStatus::Running;
+        Some((job.kind, job.body.clone(), Arc::clone(&job.cancel)))
+    }
+
+    /// Records a finished job.
+    pub fn finish(&self, id: u64, outcome: Result<Value, String>, elapsed_ms: f64) {
+        let mut jobs = self.jobs.lock();
+        let Some(job) = jobs.get_mut(&id) else { return };
+        job.elapsed_ms = Some(elapsed_ms);
+        // A cancel that raced the final cell wins: the client asked
+        // for the job to die and was told so.
+        if job.cancel.load(Ordering::Relaxed) {
+            job.status = JobStatus::Cancelled;
+            return;
+        }
+        match outcome {
+            Ok(value) => {
+                job.status = JobStatus::Done;
+                job.result = Some(value);
+            }
+            Err(message) => {
+                job.status = JobStatus::Failed;
+                job.error = Some(message);
+            }
+        }
+    }
+
+    /// Cancels a job. Queued jobs flip straight to `Cancelled`;
+    /// running jobs get their flag set and flip when the executor
+    /// notices. Returns the status after the cancel, or `None` for an
+    /// unknown id.
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let mut jobs = self.jobs.lock();
+        let job = jobs.get_mut(&id)?;
+        match job.status {
+            JobStatus::Queued => {
+                job.cancel.store(true, Ordering::Relaxed);
+                job.status = JobStatus::Cancelled;
+            }
+            JobStatus::Running => {
+                job.cancel.store(true, Ordering::Relaxed);
+            }
+            // Finished jobs are immutable.
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled => {}
+        }
+        Some(job.status)
+    }
+
+    /// Per-status counts.
+    pub fn counts(&self) -> JobCounts {
+        let jobs = self.jobs.lock();
+        let mut c = JobCounts::default();
+        for job in jobs.values() {
+            match job.status {
+                JobStatus::Queued => c.queued += 1,
+                JobStatus::Running => c.running += 1,
+                JobStatus::Done => c.done += 1,
+                JobStatus::Failed => c.failed += 1,
+                JobStatus::Cancelled => c.cancelled += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let reg = JobRegistry::default();
+        let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+        assert_eq!(reg.with_job(id, |j| j.status), Some(JobStatus::Queued));
+        let (kind, body, _) = reg.start(id).unwrap();
+        assert_eq!(kind, JobKind::Sweep);
+        assert_eq!(body, "{}");
+        assert_eq!(reg.with_job(id, |j| j.status), Some(JobStatus::Running));
+        reg.finish(id, Ok(Value::Int(1)), 5.0);
+        assert_eq!(reg.with_job(id, |j| j.status), Some(JobStatus::Done));
+        assert_eq!(reg.with_job(id, |j| j.result.clone()), Some(Some(Value::Int(1))));
+        assert_eq!(reg.counts().done, 1);
+    }
+
+    #[test]
+    fn cancel_while_queued_skips_execution() {
+        let reg = JobRegistry::default();
+        let (id, _) = reg.submit(JobKind::Grid, "{}".into());
+        assert_eq!(reg.cancel(id), Some(JobStatus::Cancelled));
+        assert!(reg.start(id).is_none(), "worker must skip a cancelled job");
+        assert_eq!(reg.counts().cancelled, 1);
+    }
+
+    #[test]
+    fn cancel_while_running_flags_and_finish_respects_it() {
+        let reg = JobRegistry::default();
+        let (id, cancel) = reg.submit(JobKind::Grid, "{}".into());
+        reg.start(id).unwrap();
+        assert_eq!(reg.cancel(id), Some(JobStatus::Running), "flip happens at executor notice");
+        assert!(cancel.load(Ordering::Relaxed));
+        reg.finish(id, Ok(Value::Unit), 1.0);
+        assert_eq!(reg.with_job(id, |j| j.status), Some(JobStatus::Cancelled));
+    }
+
+    #[test]
+    fn finished_jobs_are_immutable_to_cancel() {
+        let reg = JobRegistry::default();
+        let (id, _) = reg.submit(JobKind::Mlv, "{}".into());
+        reg.start(id).unwrap();
+        reg.finish(id, Err("boom".into()), 2.0);
+        assert_eq!(reg.cancel(id), Some(JobStatus::Failed));
+        assert_eq!(reg.with_job(id, |j| j.error.clone()), Some(Some("boom".into())));
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        let reg = JobRegistry::default();
+        assert!(reg.with_job(99, |j| j.id).is_none());
+        assert!(reg.cancel(99).is_none());
+        assert!(reg.start(99).is_none());
+    }
+
+    #[test]
+    fn ids_are_monotonic_from_one() {
+        let reg = JobRegistry::default();
+        let (a, _) = reg.submit(JobKind::Sweep, "{}".into());
+        let (b, _) = reg.submit(JobKind::Sweep, "{}".into());
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [JobKind::Sweep, JobKind::Mlv, JobKind::Grid] {
+            assert_eq!(JobKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(JobKind::parse("spice"), None);
+    }
+}

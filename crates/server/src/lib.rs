@@ -1,0 +1,483 @@
+//! # nanoleak-serve
+//!
+//! A long-lived HTTP/JSON leakage-analysis service over
+//! `nanoleak-engine`. The paper's estimator is cheap enough to score
+//! thousands of vectors per second — a workload shape that wants a
+//! resident process with a warm characterization cache, not a
+//! cold-start CLI per request. This crate is that process:
+//! dependency-free (raw [`std::net`] + the vendored mini-serde JSON
+//! codec), deterministic (a sweep served over HTTP is bit-identical
+//! to the same [`nanoleak_engine::sweep`] call in-process), and
+//! drain-on-shutdown.
+//!
+//! ## Service
+//!
+//! | Route | Does |
+//! |---|---|
+//! | `GET /healthz` | liveness: `{"status":"ok"}` |
+//! | `GET /v1/stats` | requests served, cache hit rate, queue depth, job counts |
+//! | `POST /v1/estimate` | mean leakage ± loading impact over N random vectors |
+//! | `POST /v1/sweep` | full per-vector statistics ([`nanoleak_engine::SweepStats`]) |
+//! | `POST /v1/mlv` | min/max-leakage standby-vector search |
+//! | `POST /v1/jobs` | submit an async job (`"type"`: `sweep`, `mlv`, or `grid`) |
+//! | `GET /v1/jobs/{id}` | job status, and the result once done |
+//! | `DELETE /v1/jobs/{id}` | cancel (queued: immediate; running: at the next cell) |
+//!
+//! Request bodies are JSON objects; every analysis field is optional
+//! and defaults to the CLI's defaults (`vectors` 100, `seed` 2005,
+//! `temp` 300 K, `mode` `"lut"`). Circuits come as `"target"` (a
+//! builtin name like `"s1196"`) or `"bench"` (inline netlist text —
+//! the service deliberately never reads files from its own
+//! filesystem). `"coarse": true` characterizes on the fast test
+//! grid. Per-request work is bounded
+//! ([`api::MAX_REQUEST_VECTORS`], [`api::MAX_REQUEST_THREADS`],
+//! [`api::MAX_GRID_CELLS`]). Errors are structured:
+//! `{"error": {"code": 422, "message": "..."}}`.
+//!
+//! The `"grid"` job type is the batch workhorse: a `temps` ×
+//! `vdd_scales` condition matrix (cf. Sultan et al. on
+//! leakage-vs-temperature) where every cell characterizes the scaled
+//! technology through the shared in-RAM
+//! [`MemoLibraryCache`](nanoleak_engine::MemoLibraryCache) and runs
+//! one deterministic sweep.
+//!
+//! ## Anatomy
+//!
+//! * [`http`] — minimal HTTP/1.1 parsing and responses;
+//! * [`router`] — `(method, path)` dispatch + the job executor;
+//! * [`api`] — request schemas, defaults, and the engine calls;
+//! * [`jobs`] — job registry and lifecycle (queued → running → done /
+//!   failed / cancelled);
+//! * [`pool`] — the bounded queue feeding the worker pool.
+//!
+//! [`Server::run`] hosts everything on a [`std::thread::scope`]: N
+//! job workers plus one connection thread per request, so shutdown is
+//! a join, not a detach. Ctrl-C / SIGTERM (via
+//! [`install_signal_handlers`]) stops the accept loop, closes the
+//! queue, drains queued jobs, and exits.
+//!
+//! ## In-process quickstart
+//!
+//! ```no_run
+//! use nanoleak_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(&ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..Default::default()
+//! })?;
+//! println!("listening on {}", server.local_addr()?);
+//! let handle = server.shutdown_handle();
+//! std::thread::spawn(move || server.run());
+//! // ... drive it over TCP, then:
+//! handle.request();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod api;
+pub mod http;
+pub mod jobs;
+pub mod pool;
+pub mod router;
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nanoleak_engine::{LibraryCache, MemoLibraryCache};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use jobs::JobRegistry;
+use pool::{JobQueue, JobReceiver};
+
+/// Configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Job worker threads (`0` = all cores, capped at 16).
+    pub threads: usize,
+    /// Bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Characterization disk-cache directory (`None` = the engine's
+    /// default location).
+    pub cache_dir: Option<PathBuf>,
+    /// `false` disables the disk layer (RAM memo only).
+    pub disk_cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8425".into(),
+            threads: 0,
+            queue_capacity: 64,
+            cache_dir: None,
+            disk_cache: true,
+        }
+    }
+}
+
+/// Shared state every connection and worker sees.
+#[derive(Debug)]
+pub struct ServerState {
+    /// RAM-first characterization cache (disk-backed unless
+    /// disabled).
+    pub cache: MemoLibraryCache,
+    /// The job registry.
+    pub jobs: JobRegistry,
+    queue: Mutex<Option<JobQueue>>,
+    queue_capacity: usize,
+    workers: usize,
+    requests: AtomicU64,
+    started: Instant,
+}
+
+impl ServerState {
+    /// A clone of the queue producer, or `None` once shutdown has
+    /// closed it.
+    pub fn queue_handle(&self) -> Option<JobQueue> {
+        self.queue.lock().clone()
+    }
+
+    /// Counts one served request.
+    fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `/v1/stats` snapshot.
+    pub fn stats(&self) -> StatsResponse {
+        let cache = self.cache.stats();
+        let jobs = self.jobs.counts();
+        StatsResponse {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            requests: self.requests.load(Ordering::Relaxed),
+            workers: self.workers,
+            queue: QueueStats {
+                depth: self.queue.lock().as_ref().map_or(0, JobQueue::depth),
+                capacity: self.queue_capacity,
+            },
+            cache: CacheStats {
+                memory_hits: cache.memory_hits,
+                disk_hits: cache.disk_hits,
+                characterizations: cache.characterizations,
+                hit_rate: cache.hit_rate(),
+                resident: self.cache.resident(),
+            },
+            jobs: JobStats {
+                queued: jobs.queued,
+                running: jobs.running,
+                done: jobs.done,
+                failed: jobs.failed,
+                cancelled: jobs.cancelled,
+            },
+        }
+    }
+}
+
+/// Body of `GET /v1/stats`.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsResponse {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// HTTP requests served (all routes).
+    pub requests: u64,
+    /// Job worker threads.
+    pub workers: usize,
+    /// Queue occupancy.
+    pub queue: QueueStats,
+    /// Characterization-cache counters.
+    pub cache: CacheStats,
+    /// Job counts by status.
+    pub jobs: JobStats,
+}
+
+/// Queue occupancy.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueStats {
+    /// Jobs waiting (submitted, not yet picked up).
+    pub depth: u64,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
+/// Characterization-cache counters (see
+/// [`nanoleak_engine::MemoCacheStats`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheStats {
+    /// Requests served from process RAM.
+    pub memory_hits: u64,
+    /// Requests served from `*.nlc` disk files.
+    pub disk_hits: u64,
+    /// Requests that ran the solver.
+    pub characterizations: u64,
+    /// Fraction of requests that avoided solver work.
+    pub hit_rate: f64,
+    /// Libraries resident in RAM.
+    pub resident: usize,
+}
+
+/// Job counts by status.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobStats {
+    /// Waiting in the queue.
+    pub queued: u64,
+    /// Executing now.
+    pub running: u64,
+    /// Finished successfully.
+    pub done: u64,
+    /// Finished with an error.
+    pub failed: u64,
+    /// Cancelled.
+    pub cancelled: u64,
+}
+
+/// Asks a running [`Server`] to shut down (idempotent, callable from
+/// any thread).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown: stop accepting, drain queued jobs, exit.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Most concurrent connection-handler threads per server; further
+/// connections are answered 503 on the accept thread.
+const MAX_CONNECTIONS: u64 = 256;
+
+/// Process-wide flag set by [`install_signal_handlers`]; every
+/// server instance honors it in addition to its own handle.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT (ctrl-c) and SIGTERM handlers that request
+/// graceful shutdown of every [`Server::run`] loop in the process.
+/// No-op on non-Unix platforms.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// A bound, not-yet-running service instance.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: ServerState,
+    receiver: JobReceiver,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The server
+    /// does not accept connections until [`Server::run`].
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = if config.disk_cache {
+            let disk = match &config.cache_dir {
+                Some(dir) => LibraryCache::new(dir.clone()),
+                None => LibraryCache::default_location(),
+            };
+            MemoLibraryCache::over(disk)
+        } else {
+            MemoLibraryCache::memory_only()
+        };
+        let workers = nanoleak_engine::exec::resolve_threads(config.threads);
+        let (queue, receiver) = pool::job_queue(config.queue_capacity.max(1));
+        Ok(Self {
+            listener,
+            state: ServerState {
+                cache,
+                jobs: JobRegistry::default(),
+                queue: Mutex::new(Some(queue)),
+                queue_capacity: config.queue_capacity.max(1),
+                workers,
+                requests: AtomicU64::new(0),
+                started: Instant::now(),
+            },
+            receiver,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real port).
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Read-only access to the shared state (tests, stats).
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Serves until shutdown is requested (via
+    /// [`Server::shutdown_handle`] or a signal after
+    /// [`install_signal_handlers`]): accepts connections, answers
+    /// requests, executes jobs on the worker pool. On shutdown the
+    /// accept loop stops, the job queue closes, queued jobs drain,
+    /// and every thread is joined before this returns.
+    ///
+    /// # Errors
+    /// Propagates a failure to configure the listener; per-connection
+    /// I/O errors are contained.
+    pub fn run(self) -> std::io::Result<()> {
+        // Non-blocking accept so the loop can poll the shutdown flag.
+        self.listener.set_nonblocking(true)?;
+        let state = &self.state;
+        let receiver = &self.receiver;
+        // Cap on concurrent connection-handler threads: a connection
+        // flood (thousands of sockets parked in the read timeout)
+        // must not translate into thousands of OS threads. Beyond the
+        // cap, new connections get an immediate 503 on the accept
+        // thread and are closed.
+        let active_connections = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..state.workers {
+                scope.spawn(move || {
+                    while let Some(id) = receiver.next() {
+                        router::execute_job(state, id);
+                    }
+                });
+            }
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((mut stream, _peer)) => {
+                        if active_connections.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
+                            let _ = stream.set_nonblocking(false);
+                            let overloaded = http::Response::json(
+                                503,
+                                api::ApiError {
+                                    status: 503,
+                                    message: "too many connections".into(),
+                                }
+                                .body(),
+                            );
+                            let _ = http::write_response(&mut stream, &overloaded);
+                            continue;
+                        }
+                        active_connections.fetch_add(1, Ordering::Relaxed);
+                        let active = Arc::clone(&active_connections);
+                        scope.spawn(move || {
+                            handle_connection(state, stream);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    // Transient accept errors (aborted handshakes):
+                    // keep serving.
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // Close the queue: workers drain what was accepted, then
+            // exit; in-flight connection threads finish their one
+            // response. The scope joins everything.
+            state.queue.lock().take();
+        });
+        Ok(())
+    }
+}
+
+/// Serves one connection: one request, one response, close.
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let response = match http::read_request(&mut stream) {
+        Ok(None) => return,
+        Ok(Some(request)) => {
+            state.count_request();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                router::route(state, &request)
+            }));
+            outcome.unwrap_or_else(|_| {
+                http::Response::json(
+                    500,
+                    api::ApiError { status: 500, message: "handler panicked".into() }.body(),
+                )
+            })
+        }
+        Err(e) => {
+            state.count_request();
+            http::Response::json(
+                e.status,
+                api::ApiError { status: e.status, message: e.message }.body(),
+            )
+        }
+    };
+    let _ = http::write_response(&mut stream, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_resolves_ephemeral_ports() {
+        let server =
+            Server::bind(&ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        assert_eq!(server.state().stats().requests, 0);
+    }
+
+    #[test]
+    fn run_returns_after_shutdown_request() {
+        let server =
+            Server::bind(&ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() })
+                .unwrap();
+        let handle = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.run());
+        handle.request();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stats_snapshot_shape() {
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 7,
+            threads: 3,
+            disk_cache: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let stats = server.state().stats();
+        assert_eq!(stats.queue.capacity, 7);
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.cache.resident, 0);
+        // The snapshot serializes to parseable JSON.
+        let text = serde::json::to_string(&stats);
+        assert!(serde::json::value_from_str(&text).is_ok(), "{text}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Bounded job queue feeding the worker pool.
+//!
+//! A [`JobQueue`] is the producer side (HTTP handlers `try_send` job
+//! ids; a full queue is backpressure the client sees as 503), and a
+//! [`JobReceiver`] is the consumer side shared by every worker
+//! thread. Workers block on [`JobReceiver::next`]; when the queue
+//! handle is dropped (graceful shutdown), already-queued jobs drain
+//! and `next` then returns `None`, so the pool exits exactly after
+//! finishing accepted work — the "drain, don't abort" contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Producer half of the bounded queue.
+#[derive(Debug, Clone)]
+pub struct JobQueue {
+    tx: SyncSender<u64>,
+    depth: Arc<AtomicU64>,
+    capacity: usize,
+}
+
+/// Consumer half, shared by all workers.
+#[derive(Debug)]
+pub struct JobReceiver {
+    rx: Mutex<Receiver<u64>>,
+    depth: Arc<AtomicU64>,
+}
+
+/// The queue is at capacity; the job was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// Creates a queue bounded at `capacity` pending jobs.
+pub fn job_queue(capacity: usize) -> (JobQueue, JobReceiver) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    let depth = Arc::new(AtomicU64::new(0));
+    (
+        JobQueue { tx, depth: Arc::clone(&depth), capacity },
+        JobReceiver { rx: Mutex::new(rx), depth },
+    )
+}
+
+impl JobQueue {
+    /// Enqueues a job id without blocking.
+    ///
+    /// # Errors
+    /// [`QueueFull`] when `capacity` jobs are already pending.
+    pub fn enqueue(&self, id: u64) -> Result<(), QueueFull> {
+        // Increment before the send: a worker may pop the id the
+        // instant try_send returns, and its decrement must never
+        // observe a counter we haven't bumped yet (u64 underflow).
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(id) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(QueueFull)
+            }
+        }
+    }
+
+    /// Jobs currently waiting (not yet popped by a worker).
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The bound this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl JobReceiver {
+    /// Blocks until a job id is available. `None` means every
+    /// [`JobQueue`] handle is gone and the queue is drained — the
+    /// worker should exit.
+    pub fn next(&self) -> Option<u64> {
+        // Holding the lock while blocked in recv() is intentional:
+        // idle workers serialize on the dequeue (cheap) and fan out
+        // for the execution (expensive).
+        let id = self.rx.lock().recv().ok()?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let (q, rx) = job_queue(2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.enqueue(3), Err(QueueFull));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(rx.next(), Some(1));
+        assert_eq!(q.depth(), 1);
+        q.enqueue(3).unwrap();
+    }
+
+    #[test]
+    fn drop_drains_then_stops() {
+        let (q, rx) = job_queue(4);
+        q.enqueue(7).unwrap();
+        q.enqueue(8).unwrap();
+        drop(q);
+        assert_eq!(rx.next(), Some(7), "queued work survives the producer");
+        assert_eq!(rx.next(), Some(8));
+        assert_eq!(rx.next(), None, "then the pool is told to exit");
+    }
+
+    #[test]
+    fn workers_share_one_receiver() {
+        let (q, rx) = job_queue(64);
+        for i in 0..40 {
+            q.enqueue(i).unwrap();
+        }
+        drop(q);
+        let rx = &rx;
+        let seen: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(id) = rx.next() {
+                            got.push(id);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            all.sort_unstable();
+            all
+        });
+        assert_eq!(seen, (0..40).collect::<Vec<u64>>(), "each job delivered exactly once");
+    }
+}

@@ -1,0 +1,176 @@
+//! Route dispatch: `(method, path)` → handler → [`Response`].
+//!
+//! Every body is JSON (structured errors included), every unknown
+//! route is a JSON 404, and every handler is synchronous — the only
+//! asynchronous machinery is the job subsystem behind `/v1/jobs`.
+
+use serde::{json, Serialize, Value};
+
+use crate::api::{self, ApiError, Body};
+use crate::http::{Request, Response};
+use crate::jobs::{JobKind, JobStatus};
+use crate::ServerState;
+
+fn ok_json<T: Serialize>(value: &T) -> Response {
+    Response::json(200, json::to_string(value))
+}
+
+fn err_response(e: &ApiError) -> Response {
+    Response::json(e.status, e.body())
+}
+
+/// Dispatches one request against the server state.
+pub fn route(state: &ServerState, req: &Request) -> Response {
+    let path = req.path.trim_end_matches('/');
+    let path = if path.is_empty() { "/" } else { path };
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
+        ("GET", "/v1/stats") => ok_json(&state.stats()),
+        ("POST", "/v1/estimate") => sync_endpoint(state, req, api::run_estimate),
+        ("POST", "/v1/sweep") => sync_endpoint(state, req, api::run_sweep),
+        ("POST", "/v1/mlv") => sync_endpoint(state, req, api::run_mlv),
+        ("POST", "/v1/jobs") => submit_job(state, req),
+        (method, path) => {
+            if let Some(id) = path.strip_prefix("/v1/jobs/") {
+                return job_route(state, method, id);
+            }
+            let known = matches!(
+                path,
+                "/healthz" | "/v1/stats" | "/v1/estimate" | "/v1/sweep" | "/v1/mlv" | "/v1/jobs"
+            );
+            if known {
+                err_response(&ApiError {
+                    status: 405,
+                    message: format!("{method} not allowed on {path}"),
+                })
+            } else {
+                err_response(&ApiError { status: 404, message: format!("no route for {path}") })
+            }
+        }
+    }
+}
+
+/// Runs a synchronous analysis endpoint: parse body, run, serialize.
+fn sync_endpoint<T: Serialize>(
+    state: &ServerState,
+    req: &Request,
+    run: impl FnOnce(&nanoleak_engine::MemoLibraryCache, &Body) -> Result<T, ApiError>,
+) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(e) => return err_response(&ApiError { status: e.status, message: e.message }),
+    };
+    match Body::parse(text).and_then(|body| run(&state.cache, &body)) {
+        Ok(response) => ok_json(&response),
+        Err(e) => err_response(&e),
+    }
+}
+
+/// `POST /v1/jobs`: validate shape, register, enqueue.
+fn submit_job(state: &ServerState, req: &Request) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t.to_string(),
+        Err(e) => return err_response(&ApiError { status: e.status, message: e.message }),
+    };
+    let parsed = Body::parse(&text).and_then(|body| {
+        let raw: String = body.get("type", "sweep".into())?;
+        JobKind::parse(&raw)
+            .ok_or_else(|| ApiError::bad(format!("type: expected sweep|mlv|grid, got '{raw}'")))
+    });
+    let kind = match parsed {
+        Ok(kind) => kind,
+        Err(e) => return err_response(&e),
+    };
+    let Some(queue) = state.queue_handle() else {
+        return err_response(&ApiError { status: 503, message: "server is shutting down".into() });
+    };
+    let (id, _) = state.jobs.submit(kind, text);
+    if queue.enqueue(id).is_err() {
+        // Registered but unplaceable: surface the backpressure and
+        // mark the orphan cancelled so it never reads as pending.
+        state.jobs.cancel(id);
+        return err_response(&ApiError {
+            status: 503,
+            message: format!("job queue full ({} pending)", queue.capacity()),
+        });
+    }
+    let body = Value::Record(vec![
+        ("id".into(), Value::Int(i128::from(id))),
+        ("status".into(), Value::Str("queued".into())),
+        ("kind".into(), Value::Str(kind.name().into())),
+    ]);
+    Response::json(202, json::value_to_string(&body))
+}
+
+/// `GET` / `DELETE` on `/v1/jobs/{id}`.
+fn job_route(state: &ServerState, method: &str, id_raw: &str) -> Response {
+    let Ok(id) = id_raw.parse::<u64>() else {
+        return err_response(&ApiError::bad(format!("malformed job id '{id_raw}'")));
+    };
+    match method {
+        "GET" => match state.jobs.with_job(id, job_body) {
+            Some(body) => Response::json(200, json::value_to_string(&body)),
+            None => err_response(&ApiError { status: 404, message: format!("no job {id}") }),
+        },
+        "DELETE" => match state.jobs.cancel(id) {
+            Some(status) => {
+                let body = Value::Record(vec![
+                    ("id".into(), Value::Int(i128::from(id))),
+                    ("status".into(), Value::Str(status.name().into())),
+                    // A running job flips to cancelled when its
+                    // executor next polls the flag.
+                    ("cancelling".into(), Value::Bool(status == JobStatus::Running)),
+                ]);
+                Response::json(200, json::value_to_string(&body))
+            }
+            None => err_response(&ApiError { status: 404, message: format!("no job {id}") }),
+        },
+        other => {
+            err_response(&ApiError { status: 405, message: format!("{other} not allowed on jobs") })
+        }
+    }
+}
+
+/// The status body of one job.
+fn job_body(job: &crate::jobs::Job) -> Value {
+    let mut fields = vec![
+        ("id".into(), Value::Int(i128::from(job.id))),
+        ("kind".into(), Value::Str(job.kind.name().into())),
+        ("status".into(), Value::Str(job.status.name().into())),
+        ("age_ms".into(), Value::F64(job.submitted.elapsed().as_secs_f64() * 1e3)),
+    ];
+    if let Some(ms) = job.elapsed_ms {
+        fields.push(("elapsed_ms".into(), Value::F64(ms)));
+    }
+    if let Some(result) = &job.result {
+        fields.push(("result".into(), result.clone()));
+    }
+    if let Some(error) = &job.error {
+        fields.push(("error".into(), Value::Str(error.clone())));
+    }
+    Value::Record(fields)
+}
+
+/// Executes one dequeued job against the engine (called from worker
+/// threads).
+pub fn execute_job(state: &ServerState, id: u64) {
+    let Some((kind, text, cancel)) = state.jobs.start(id) else {
+        return; // cancelled while queued, or unknown
+    };
+    let started = std::time::Instant::now();
+    let cancelled = || cancel.load(std::sync::atomic::Ordering::Relaxed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let body = Body::parse(&text)?;
+        match kind {
+            JobKind::Sweep => api::run_sweep(&state.cache, &body).map(|r| r.to_value()),
+            JobKind::Mlv => api::run_mlv(&state.cache, &body).map(|r| r.to_value()),
+            JobKind::Grid => api::run_grid(&state.cache, &body, &cancelled).map(|r| r.to_value()),
+        }
+    }));
+    let result = match outcome {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(e)) => Err(e.message),
+        Err(_) => Err("job panicked".to_string()),
+    };
+    state.jobs.finish(id, result, started.elapsed().as_secs_f64() * 1e3);
+}

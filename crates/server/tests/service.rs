@@ -1,0 +1,317 @@
+//! End-to-end integration tests for `nanoleak-serve`: a real server
+//! on an ephemeral port, driven by a raw [`TcpStream`] HTTP client.
+//!
+//! Covers the acceptance criteria of the service PR: `/healthz`
+//! answers, a sweep served over HTTP is bit-identical to the same
+//! in-process [`sweep`] call, the async job lifecycle runs
+//! queued → running → done (and cancels), and malformed JSON /
+//! unknown routes come back as structured 4xx errors.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_core::EstimatorMode;
+use nanoleak_device::Technology;
+use nanoleak_engine::{sweep, SweepConfig, SweepStats};
+use nanoleak_netlist::generate::iscas_like;
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_serve::{ServeConfig, Server, ShutdownHandle};
+use serde::{json, Deserialize, Value};
+
+/// A running test server; shuts down (and joins) on drop.
+struct TestServer {
+    addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(threads: usize, queue_capacity: usize) -> Self {
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            queue_capacity,
+            cache_dir: None,
+            disk_cache: false, // hermetic: RAM memo only
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address");
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        Self { addr, handle, thread: Some(thread) }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.request();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread").expect("server run");
+        }
+    }
+}
+
+/// One HTTP exchange over a raw TcpStream; returns (status, body).
+fn request(server: &TestServer, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Parses a JSON body and extracts a top-level field.
+fn field(body: &str, name: &str) -> Value {
+    let v = json::value_from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"));
+    let Value::Record(fields) = v else { panic!("not an object: {body}") };
+    fields
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("no field '{name}' in {body}"))
+}
+
+/// Asserts the structured error shape and returns its message.
+fn assert_error(body: &str, code: u16) -> String {
+    let Value::Record(fields) = field(body, "error") else { panic!("no error object: {body}") };
+    let mut message = String::new();
+    let mut seen_code = 0i128;
+    for (name, value) in fields {
+        match (name.as_str(), value) {
+            ("code", Value::Int(c)) => seen_code = c,
+            ("message", Value::Str(m)) => message = m,
+            _ => {}
+        }
+    }
+    assert_eq!(seen_code, i128::from(code), "error.code in {body}");
+    assert!(!message.is_empty(), "error.message missing in {body}");
+    message
+}
+
+#[test]
+fn healthz_answers() {
+    let server = TestServer::start(1, 8);
+    let (status, body) = request(&server, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"ok"}"#);
+}
+
+#[test]
+fn unknown_routes_and_bad_bodies_are_structured_4xx() {
+    let server = TestServer::start(1, 8);
+
+    let (status, body) = request(&server, "GET", "/totally/unknown", "");
+    assert_eq!(status, 404);
+    assert!(assert_error(&body, 404).contains("/totally/unknown"));
+
+    let (status, body) = request(&server, "POST", "/healthz", "");
+    assert_eq!(status, 405);
+    assert_error(&body, 405);
+
+    let (status, body) = request(&server, "POST", "/v1/sweep", "{not json");
+    assert_eq!(status, 400);
+    assert!(assert_error(&body, 400).contains("malformed JSON"));
+
+    let (status, body) = request(&server, "POST", "/v1/sweep", r#"{"vectors": 4}"#);
+    assert_eq!(status, 400, "missing target: {body}");
+    assert_error(&body, 400);
+
+    let (status, body) = request(&server, "POST", "/v1/estimate", r#"{"target": "sXYZ"}"#);
+    assert_eq!(status, 422);
+    assert!(assert_error(&body, 422).contains("sXYZ"));
+
+    let (status, body) = request(&server, "GET", "/v1/jobs/999", "");
+    assert_eq!(status, 404);
+    assert_error(&body, 404);
+
+    let (status, body) = request(&server, "DELETE", "/v1/jobs/not-a-number", "");
+    assert_eq!(status, 400);
+    assert_error(&body, 400);
+}
+
+#[test]
+fn estimate_endpoint_reports_loading_impact() {
+    let server = TestServer::start(1, 8);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/estimate",
+        r#"{"target": "s838", "vectors": 5, "coarse": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let Value::F64(mean) = field(&body, "mean_total_a") else { panic!("mean_total_a: {body}") };
+    assert!(mean > 0.0, "positive leakage, got {mean}");
+    let Value::F64(baseline) = field(&body, "mean_no_loading_a") else { panic!("{body}") };
+    assert_ne!(mean, baseline, "loading must move the estimate");
+}
+
+/// The acceptance criterion: a sweep served over HTTP equals the
+/// in-process `sweep()` call for the same seed, bit for bit.
+#[test]
+fn http_sweep_is_bit_identical_to_in_process_sweep() {
+    let server = TestServer::start(2, 8);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/sweep",
+        r#"{"target": "s838", "vectors": 12, "seed": 77, "threads": 2, "coarse": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let http_stats = SweepStats::from_value(&field(&body, "stats")).expect("decode stats");
+
+    let circuit = normalize(&iscas_like("s838").unwrap()).unwrap();
+    let lib = CellLibrary::shared_with_options(
+        &Technology::d25(),
+        300.0,
+        &CharacterizeOptions::coarse(&CellType::ALL),
+    );
+    let config = SweepConfig { vectors: 12, seed: 77, threads: 1, mode: EstimatorMode::Lut };
+    let local = sweep(&circuit, &lib, &config).expect("local sweep");
+    assert_eq!(http_stats, local.stats, "HTTP and in-process sweeps must agree exactly");
+}
+
+/// Polls one job until it reaches a terminal status.
+fn wait_for_job(server: &TestServer, id: i128, deadline: Duration) -> (String, String) {
+    let start = Instant::now();
+    loop {
+        let (status, body) = request(server, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let Value::Str(state) = field(&body, "status") else { panic!("status: {body}") };
+        match state.as_str() {
+            "done" | "failed" | "cancelled" => return (state, body),
+            "queued" | "running" => {
+                assert!(
+                    start.elapsed() < deadline,
+                    "job {id} still '{state}' after {deadline:?}: {body}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("unknown status '{other}': {body}"),
+        }
+    }
+}
+
+#[test]
+fn grid_job_lifecycle_queued_to_done_with_deterministic_matrix() {
+    let server = TestServer::start(1, 8);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"type": "grid", "target": "s838", "vectors": 6, "seed": 5, "coarse": true,
+            "temps": [300, 340], "vdd_scales": [0.9, 1.0]}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+    let Value::Str(state) = field(&body, "status") else { panic!("status: {body}") };
+    assert_eq!(state, "queued");
+
+    let (state, body) = wait_for_job(&server, id, Duration::from_secs(120));
+    assert_eq!(state, "done", "{body}");
+    let result = field(&body, "result");
+    let Value::Record(result_fields) = &result else { panic!("result: {body}") };
+    let matrix = result_fields
+        .iter()
+        .find(|(n, _)| n == "mean_total_a")
+        .map(|(_, v)| Vec::<Vec<f64>>::from_value(v).expect("matrix decodes"))
+        .expect("mean_total_a present");
+    assert_eq!(matrix.len(), 2, "one row per temperature");
+    assert!(matrix.iter().all(|row| row.len() == 2), "one column per vdd scale");
+    // Hotter rows leak more at every supply point.
+    for col in 0..2 {
+        assert!(matrix[1][col] > matrix[0][col], "340 K > 300 K leakage: {matrix:?}");
+    }
+
+    // Determinism across the HTTP boundary: the (300 K, 1.0) cell is
+    // exactly the in-process sweep mean for the same seed.
+    let circuit = normalize(&iscas_like("s838").unwrap()).unwrap();
+    let lib = CellLibrary::shared_with_options(
+        &Technology::d25(),
+        300.0,
+        &CharacterizeOptions::coarse(&CellType::ALL),
+    );
+    let config = SweepConfig { vectors: 6, seed: 5, threads: 0, mode: EstimatorMode::Lut };
+    let local = sweep(&circuit, &lib, &config).expect("local sweep");
+    assert_eq!(matrix[0][1], local.stats.total.mean, "grid cell equals in-process sweep");
+}
+
+#[test]
+fn queued_jobs_cancel_and_stats_count_everything() {
+    // One worker and a deep queue: the first job occupies the worker
+    // while the second is cancelled in place.
+    let server = TestServer::start(1, 8);
+    let submit = |body: &str| {
+        let (status, resp) = request(&server, "POST", "/v1/jobs", body);
+        assert_eq!(status, 202, "{resp}");
+        let Value::Int(id) = field(&resp, "id") else { panic!("id: {resp}") };
+        id
+    };
+    let first = submit(r#"{"type": "sweep", "target": "s838", "vectors": 8, "coarse": true}"#);
+    let second = submit(r#"{"type": "sweep", "target": "s838", "vectors": 8, "coarse": true}"#);
+
+    let (status, body) = request(&server, "DELETE", &format!("/v1/jobs/{second}"), "");
+    assert_eq!(status, 200, "{body}");
+    // Cancelled while queued (or, if the worker already grabbed it,
+    // flagged while running) — either way it terminates cancelled or
+    // done-before-cancel; a queued cancel must read "cancelled".
+    let (state, _) = wait_for_job(&server, second, Duration::from_secs(120));
+    assert!(state == "cancelled" || state == "done", "cancel outcome: {state}");
+
+    let (state, _) = wait_for_job(&server, first, Duration::from_secs(120));
+    assert_eq!(state, "done", "undisturbed job completes");
+
+    let (status, body) = request(&server, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let Value::Record(jobs) = field(&body, "jobs") else { panic!("jobs: {body}") };
+    let count = |name: &str| {
+        jobs.iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| if let Value::Int(i) = v { Some(*i) } else { None })
+            .unwrap_or_else(|| panic!("jobs.{name}: {body}"))
+    };
+    assert_eq!(count("queued") + count("running"), 0, "everything settled");
+    assert!(count("done") >= 1);
+    assert_eq!(count("done") + count("cancelled"), 2);
+    let Value::Record(cache) = field(&body, "cache") else { panic!("cache: {body}") };
+    let characterizations =
+        cache.iter().find(|(n, _)| n.as_str() == "characterizations").map(|(_, v)| v.clone());
+    assert!(
+        matches!(characterizations, Some(Value::Int(n)) if n >= 1),
+        "solver ran at least once: {body}"
+    );
+}
+
+#[test]
+fn full_queue_is_backpressure_not_an_error_500() {
+    // Capacity-1 queue and one worker: the first job runs, the second
+    // waits, the third must bounce with 503.
+    let server = TestServer::start(1, 1);
+    let body = r#"{"type": "sweep", "target": "s838", "vectors": 64, "coarse": true}"#;
+    let mut saw_503 = false;
+    for _ in 0..8 {
+        let (status, resp) = request(&server, "POST", "/v1/jobs", body);
+        match status {
+            202 => {}
+            503 => {
+                assert_error(&resp, 503);
+                saw_503 = true;
+                break;
+            }
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    }
+    assert!(saw_503, "a bounded queue must eventually push back");
+}

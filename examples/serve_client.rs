@@ -1,0 +1,122 @@
+//! Drive the `nanoleak-serve` HTTP API as a client: submit a
+//! temperature × Vdd condition-grid job and print the resulting
+//! leakage matrix.
+//!
+//! Starts a service instance in-process on an ephemeral port (exactly
+//! what `nanoleak-cli serve` runs), then talks to it over plain TCP —
+//! the same bytes an external client would send:
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! The grid is the paper's operating-space question at batch scale
+//! (cf. Sultan et al., *Is Leakage Power a Linear Function of
+//! Temperature?*): every (temperature, Vdd) cell characterizes the
+//! scaled technology through the server's shared in-RAM cache and
+//! runs one deterministic 64-vector sweep.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nanoleak_serve::{ServeConfig, Server};
+use serde::{json, Deserialize as _, Value};
+
+/// One HTTP/1.1 exchange; returns the response body.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: client\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send request");
+    stream.write_all(body.as_bytes()).expect("send body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
+}
+
+fn get<'v>(v: &'v Value, name: &str) -> &'v Value {
+    let Value::Record(fields) = v else { panic!("expected object, got {v:?}") };
+    &fields.iter().find(|(n, _)| n == name).unwrap_or_else(|| panic!("no '{name}'")).1
+}
+
+fn main() {
+    // A resident service with two job workers, RAM cache only.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        disk_cache: false,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let shutdown = server.shutdown_handle();
+    let host = std::thread::spawn(move || server.run());
+    println!("nanoleak-serve on http://{addr}\n");
+
+    // Submit the condition grid: 4 temperatures × 3 supply scalings.
+    let job = r#"{
+        "type": "grid", "target": "s1196", "vectors": 64, "seed": 2005, "coarse": true,
+        "temps": [300, 325, 350, 375], "vdd_scales": [0.8, 0.9, 1.0]
+    }"#;
+    let resp = json::value_from_str(&http(addr, "POST", "/v1/jobs", job)).expect("submit JSON");
+    let Value::Int(id) = get(&resp, "id") else { panic!("no job id: {resp:?}") };
+    println!("submitted grid job #{id} (s1196, 4 temps x 3 Vdd scales, 64 vectors/cell)");
+
+    // Poll until done.
+    let result = loop {
+        let body = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        let status = json::value_from_str(&body).expect("status JSON");
+        let Value::Str(state) = get(&status, "status") else { panic!("bad status: {body}") };
+        match state.as_str() {
+            "done" => break get(&status, "result").clone(),
+            "failed" => panic!("job failed: {body}"),
+            _ => {
+                print!(".");
+                std::io::stdout().flush().ok();
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    };
+    println!("\n");
+
+    // Print the matrix: rows = temperature, columns = Vdd. Column
+    // voltages come from the result cells themselves (each GridCell
+    // carries the supply it actually ran at).
+    let temps: Vec<f64> = Vec::from_value(get(&result, "temps")).expect("temps");
+    let scales: Vec<f64> = Vec::from_value(get(&result, "vdd_scales")).expect("scales");
+    let matrix: Vec<Vec<f64>> = Vec::from_value(get(&result, "mean_total_a")).expect("matrix");
+    let Value::Seq(cells) = get(&result, "cells") else { panic!("cells missing") };
+    let vdds: Vec<f64> = cells[..scales.len()]
+        .iter()
+        .map(|c| f64::from_value(get(c, "vdd")).expect("vdd"))
+        .collect();
+    println!("mean total leakage [uA] over the operating grid:");
+    print!("  {:>8}", "T \\ Vdd");
+    for vdd in &vdds {
+        print!(" {vdd:>10.2} V");
+    }
+    println!();
+    for (ti, row) in matrix.iter().enumerate() {
+        print!("  {:>6.0} K", temps[ti]);
+        for x in row {
+            print!(" {:>12.4}", x * 1e6);
+        }
+        println!();
+    }
+
+    // Show what the resident cache did for the 12-cell fan-out.
+    let stats = json::value_from_str(&http(addr, "GET", "/v1/stats", "")).expect("stats JSON");
+    let cache = get(&stats, "cache");
+    let int = |v: &Value| i64::from_value(v).expect("counter");
+    println!(
+        "\ncache: {} characterizations, {} RAM hits over the job",
+        int(get(cache, "characterizations")),
+        int(get(cache, "memory_hits"))
+    );
+
+    shutdown.request();
+    host.join().expect("server thread").expect("server run");
+}

@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! nanoleak-cli estimate <target> [--vectors N] [--seed S] [--temp K] [--reference]
-//!                                [--no-cache] [--cache-dir DIR]
+//!                                [--format text|json] [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli sweep    <target> [--vectors N] [--seed S] [--temp K] [--threads N]
-//!                                [--mode lut|noloading|direct] [--no-cache] [--cache-dir DIR]
+//!                                [--mode lut|noloading|direct] [--format text|json]
+//!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli mlv      <target> [--goal min|max] [--strategy exhaustive|random|hillclimb]
 //!                                [--samples N] [--restarts N] [--max-steps N]
 //!                                [--seed S] [--temp K] [--threads N]
 //!                                [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli serve    [--addr HOST:PORT] [--threads N] [--queue N]
+//!                       [--no-cache] [--cache-dir DIR]
 //! ```
 //!
 //! `<target>` is a `.bench` path or a built-in name (`s838`, `s1196`,
@@ -32,6 +35,8 @@ use nanoleak_engine::{
     SweepConfig,
 };
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
+use nanoleak_serve::api::{fmt_pattern, EstimateResponse, SweepResponse};
+use nanoleak_serve::{ServeConfig, Server};
 use rand::SeedableRng;
 
 const USAGE: &str = "\
@@ -41,12 +46,14 @@ commands:
   estimate   mean leakage and loading impact over random vectors (default)
   sweep      parallel per-vector statistics over the input space
   mlv        minimum/maximum-leakage input-vector search
+  serve      long-lived HTTP/JSON analysis service (no circuit argument)
 
 common options:
   --vectors N     random vectors (estimate/sweep; default 100)
   --seed S        RNG seed (default 2005)
   --temp K        temperature in kelvin (default 300)
-  --threads N     worker threads for sweep/mlv (default: all cores)
+  --threads N     worker threads for sweep/mlv/serve (default: all cores)
+  --format F      output format for estimate/sweep: text (default) or json
   --no-cache      re-characterize instead of using the on-disk cache
   --cache-dir D   cache directory (default .nanoleak-cache or $NANOLEAK_CACHE_DIR)
 
@@ -58,7 +65,11 @@ mlv options:
   --strategy exhaustive|random|hillclimb   (default hillclimb)
   --samples N     random-strategy samples (default 1024)
   --restarts N    hill-climb restarts (default 8)
-  --max-steps N   hill-climb accepted-move limit (default 64)";
+  --max-steps N   hill-climb accepted-move limit (default 64)
+
+serve options:
+  --addr A        bind address (default 127.0.0.1:8425)
+  --queue N       bound on queued jobs (default 64)";
 
 /// Strict argument list: every flag must be consumed by the active
 /// subcommand or parsing fails.
@@ -156,7 +167,7 @@ fn main() -> ExitCode {
     // Subcommand dispatch with backwards compatibility: a first
     // argument that is not a known command is an `estimate` target.
     let command = match raw[0].as_str() {
-        "estimate" | "sweep" | "mlv" => raw.remove(0),
+        "estimate" | "sweep" | "mlv" | "serve" => raw.remove(0),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -165,6 +176,13 @@ fn main() -> ExitCode {
     };
 
     let mut args = Args::new(raw);
+    // `serve` is the one command without a circuit argument.
+    if command == "serve" {
+        return match cmd_serve(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => fail(&msg),
+        };
+    }
     let Some(target) = args.take_positional() else {
         return fail("missing circuit target (the target must come before options)");
     };
@@ -212,12 +230,35 @@ impl CacheOpts {
     }
 }
 
+/// Output format of the `estimate` and `sweep` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+impl OutputFormat {
+    fn take(args: &mut Args) -> Result<Self, String> {
+        match args.take_value("--format")?.as_deref() {
+            None | Some("text") => Ok(OutputFormat::Text),
+            Some("json") => Ok(OutputFormat::Json),
+            Some(other) => Err(format!("--format: expected text|json, got '{other}'")),
+        }
+    }
+}
+
 /// Obtains the characterized library, through the persistent cache
-/// unless disabled.
-fn load_library(tech: &Technology, temp: f64, cache: &CacheOpts) -> Arc<CellLibrary> {
+/// unless disabled. With `quiet`, progress goes to stderr so stdout
+/// stays machine-parseable (`--format json`).
+fn load_library(tech: &Technology, temp: f64, cache: &CacheOpts, quiet: bool) -> Arc<CellLibrary> {
+    macro_rules! info {
+        ($($arg:tt)*) => {
+            if quiet { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
     let opts = CharacterizeOptions::default();
     if !cache.enabled {
-        println!("characterizing cell library for {} at {temp} K (cache disabled) ...", tech.name);
+        info!("characterizing cell library for {} at {temp} K (cache disabled) ...", tech.name);
         return CellLibrary::shared_with_options(tech, temp, &opts);
     }
     let store = match &cache.dir {
@@ -229,23 +270,26 @@ fn load_library(tech: &Technology, temp: f64, cache: &CacheOpts) -> Arc<CellLibr
         Ok((lib, outcome)) => {
             let elapsed = t0.elapsed();
             match outcome {
-                CacheOutcome::Hit => println!(
+                CacheOutcome::Hit => info!(
                     "[cache] hit: loaded {} @ {temp} K from {} in {:.1} ms",
                     tech.name,
                     store.dir().display(),
                     elapsed.as_secs_f64() * 1e3
                 ),
-                CacheOutcome::Miss => println!(
+                CacheOutcome::Miss => info!(
                     "[cache] miss: characterized {} @ {temp} K in {:.2} s (stored in {})",
                     tech.name,
                     elapsed.as_secs_f64(),
                     store.dir().display()
                 ),
-                CacheOutcome::Invalidated => println!(
+                CacheOutcome::Invalidated => info!(
                     "[cache] stale entry replaced: re-characterized {} @ {temp} K in {:.2} s",
                     tech.name,
                     elapsed.as_secs_f64()
                 ),
+                // LibraryCache is the disk layer; RAM hits only come
+                // from the MemoLibraryCache used by `serve`.
+                CacheOutcome::MemoryHit => unreachable!("disk cache cannot hit RAM"),
             }
             lib
         }
@@ -265,27 +309,27 @@ fn parse_mode(raw: Option<String>) -> Result<EstimatorMode, String> {
     }
 }
 
-fn fmt_pattern(p: &nanoleak_netlist::Pattern) -> String {
-    let bits = |bs: &[bool]| bs.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
-    if p.states.is_empty() {
-        bits(&p.pi)
-    } else {
-        format!("{}|{}", bits(&p.pi), bits(&p.states))
-    }
-}
-
 fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
     let vectors: usize = args.take_parsed("--vectors", 100)?;
     let seed: u64 = args.take_parsed("--seed", 2005)?;
     let temp: f64 = args.take_parsed("--temp", 300.0)?;
     let with_reference = args.take_flag("--reference");
+    let format = OutputFormat::take(&mut args)?;
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
+    if with_reference && format == OutputFormat::Json {
+        // Refusing beats silently dropping the reference solve from
+        // the JSON report.
+        return Err("--reference is not supported with --format json".to_string());
+    }
 
+    let t0 = Instant::now();
     let circuit = load_circuit(target)?;
-    println!("{}", CircuitStats::compute(&circuit));
+    if format == OutputFormat::Text {
+        println!("{}", CircuitStats::compute(&circuit));
+    }
     let tech = Technology::d25();
-    let lib = load_library(&tech, temp, &cache);
+    let lib = load_library(&tech, temp, &cache, format == OutputFormat::Json);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let patterns = Pattern::random_batch(&circuit, &mut rng, vectors);
@@ -299,6 +343,27 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
         |rs: &[CircuitLeakage]| rs.iter().map(|r| r.total.total()).sum::<f64>() / rs.len() as f64;
     let pairs: Vec<_> = loaded.iter().cloned().zip(unloaded.iter().cloned()).collect();
     let impact = LoadingImpact::from_pairs(&pairs);
+
+    if format == OutputFormat::Json {
+        // The service's POST /v1/estimate response type, so one
+        // parser covers both transports by construction.
+        let report = EstimateResponse {
+            target: target.to_string(),
+            gates: circuit.gate_count(),
+            input_bits: circuit.inputs().len() + circuit.state_inputs().len(),
+            vectors,
+            seed,
+            temp,
+            mean_total_a: mean(&loaded),
+            mean_no_loading_a: mean(&unloaded),
+            mean_power_w: mean(&loaded) * tech.vdd,
+            loading_impact_avg: impact.avg_total,
+            loading_impact_max: impact.max_total,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        println!("{}", serde::json::to_string_pretty(&report));
+        return Ok(());
+    }
 
     println!("\nleakage over {vectors} random vectors (mean):");
     println!("  without loading : {:10.3} uA", mean(&unloaded) * 1e6);
@@ -346,6 +411,7 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
         mode: parse_mode(args.take_value("--mode")?)?,
     };
     let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let format = OutputFormat::take(&mut args)?;
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
     if config.vectors == 0 {
@@ -353,13 +419,32 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
     }
 
     let circuit = load_circuit(target)?;
-    println!("{}", CircuitStats::compute(&circuit));
+    if format == OutputFormat::Text {
+        println!("{}", CircuitStats::compute(&circuit));
+    }
     let tech = Technology::d25();
-    let lib = load_library(&tech, temp, &cache);
+    let lib = load_library(&tech, temp, &cache, format == OutputFormat::Json);
 
     let report = sweep(&circuit, &lib, &config).map_err(|e| format!("sweep failed: {e}"))?;
     let s = &report.stats;
     let t = &report.telemetry;
+
+    if format == OutputFormat::Json {
+        // The service's POST /v1/sweep response type (see estimate).
+        let report_json = SweepResponse {
+            target: target.to_string(),
+            gates: circuit.gate_count(),
+            temp,
+            config,
+            min_vector: fmt_pattern(&s.min.pattern),
+            max_vector: fmt_pattern(&s.max.pattern),
+            stats: s.clone(),
+            elapsed_ms: t.elapsed.as_secs_f64() * 1e3,
+            patterns_per_sec: t.patterns_per_sec,
+        };
+        println!("{}", serde::json::to_string_pretty(&report_json));
+        return Ok(());
+    }
 
     let ua = 1e6;
     let row = |name: &str, st: &ScalarStats| {
@@ -442,7 +527,7 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
     let circuit = load_circuit(target)?;
     println!("{}", CircuitStats::compute(&circuit));
     let tech = Technology::d25();
-    let lib = load_library(&tech, temp, &cache);
+    let lib = load_library(&tech, temp, &cache, false);
 
     let result =
         mlv_search(&circuit, &lib, &config).map_err(|e| format!("MLV search failed: {e}"))?;
@@ -469,6 +554,39 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
         tel.elapsed.as_secs_f64()
     );
     Ok(())
+}
+
+fn cmd_serve(mut args: Args) -> Result<(), String> {
+    let addr = args.take_value("--addr")?.unwrap_or_else(|| "127.0.0.1:8425".to_string());
+    let threads: usize = args.take_parsed("--threads", 0)?;
+    let queue_capacity: usize = args.take_parsed("--queue", 64)?;
+    if queue_capacity == 0 {
+        return Err("--queue must be at least 1".to_string());
+    }
+    let cache = CacheOpts::take(&mut args)?;
+    args.finish()?;
+
+    let config = ServeConfig {
+        addr,
+        threads,
+        queue_capacity,
+        cache_dir: cache.dir.map(std::path::PathBuf::from),
+        disk_cache: cache.enabled,
+    };
+    nanoleak_serve::install_signal_handlers();
+    let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let stats = server.state().stats();
+    println!("nanoleak-serve listening on http://{addr}");
+    println!(
+        "  {} job worker(s), queue capacity {}, disk cache {}",
+        stats.workers,
+        stats.queue.capacity,
+        if config.disk_cache { "on" } else { "off" },
+    );
+    println!("  endpoints: /healthz /v1/stats /v1/estimate /v1/sweep /v1/mlv /v1/jobs");
+    println!("  ctrl-c or SIGTERM drains queued jobs and exits");
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
 
 #[cfg(test)]

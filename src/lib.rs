@@ -28,6 +28,7 @@
 //! | [`core`] | `nanoleak-core` | the Fig. 13 estimator + reference simulator |
 //! | [`variation`] | `nanoleak-variation` | Monte-Carlo process variation |
 //! | [`engine`] | `nanoleak-engine` | parallel sweeps, MLV search, characterization cache |
+//! | [`serve`] | `nanoleak-serve` | long-lived HTTP/JSON service + async condition-grid jobs |
 //!
 //! ## Quickstart
 //!
@@ -104,12 +105,23 @@
 //!
 //! From the CLI: `nanoleak-cli sweep s1196 --vectors 1000 --threads 8`
 //! and `nanoleak-cli mlv s838 --strategy hillclimb`.
+//!
+//! ## The service
+//!
+//! `nanoleak-cli serve` hosts the engine as a resident HTTP/JSON
+//! service ([`serve`]): synchronous `/v1/estimate`, `/v1/sweep`, and
+//! `/v1/mlv` endpoints plus an async job queue whose `"grid"` job
+//! type sweeps a temperature × Vdd condition matrix through a shared
+//! in-RAM characterization cache. `estimate` and `sweep` also take
+//! `--format json` for machine-readable one-shot output, using the
+//! same field names the service responds with.
 
 pub use nanoleak_cells as cells;
 pub use nanoleak_core as core;
 pub use nanoleak_device as device;
 pub use nanoleak_engine as engine;
 pub use nanoleak_netlist as netlist;
+pub use nanoleak_serve as serve;
 pub use nanoleak_solver as solver;
 pub use nanoleak_variation as variation;
 

@@ -1,0 +1,515 @@
+//! JSON text codec over the mini-serde [`Value`] tree.
+//!
+//! The binary codec (`to_bytes`/`from_bytes`) is what the on-disk
+//! caches use; this module is the human-facing twin for the HTTP API
+//! and `--format json` CLI output. The mapping:
+//!
+//! | [`Value`] | JSON |
+//! |---|---|
+//! | `Unit` | `null` |
+//! | `Bool` | `true`/`false` |
+//! | `Int` | integer literal |
+//! | `F64` | number (always with `.` or exponent; non-finite → `null`) |
+//! | `Str` | string |
+//! | `Seq` | array |
+//! | `Map` | array of `[key, value]` pairs |
+//! | `Record` | object, declaration order |
+//! | `Variant(name, Unit)` | `"name"` |
+//! | `Variant(name, payload)` | `{"name": payload}` |
+//!
+//! Two `Option` conventions make APIs read like ordinary JSON:
+//! `None` encodes as `null` and `Some(x)` encodes as `x` directly
+//! (so a type with `Option` fields never leaks `{"Some": [..]}` into
+//! its wire format). Symmetrically, typed decoding accepts `null` as
+//! `None` and any decodable value as `Some`.
+//!
+//! Decoding is forgiving in the directions a JSON client needs —
+//! integer literals decode into `f64` fields, `"min"` decodes into a
+//! unit enum variant — but strict about syntax: trailing input,
+//! unescaped control characters, and over-deep nesting are errors,
+//! never panics.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Maximum nesting depth accepted by the parser (arrays + objects),
+/// bounding recursion on hostile input.
+const MAX_DEPTH: usize = 128;
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a finite `f64` so it round-trips bit-exactly *and* stays a
+/// float on re-parse: Rust's shortest representation, with `.0`
+/// appended when it would otherwise read as an integer literal.
+fn push_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; encode as null (decodes to Unit,
+        // which typed f64 decoding rejects loudly rather than
+        // silently corrupting).
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{x}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn encode(v: &Value, out: &mut String, indent: Option<usize>) {
+    let (nl, pad, pad_in) = match indent {
+        Some(level) => ("\n", "  ".repeat(level), "  ".repeat(level + 1)),
+        None => ("", String::new(), String::new()),
+    };
+    let deeper = indent.map(|l| l + 1);
+    match v {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::F64(x) => push_f64(out, *x),
+        Value::Str(s) => push_json_str(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                encode(item, out, deeper);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            let pairs: Vec<Value> =
+                entries.iter().map(|(k, v)| Value::Seq(vec![k.clone(), v.clone()])).collect();
+            encode(&Value::Seq(pairs), out, indent);
+        }
+        Value::Record(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (name, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                push_json_str(out, name);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                encode(v, out, deeper);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+        Value::Variant(name, payload) => match (name.as_str(), payload.as_ref()) {
+            // Option reads as plain JSON: None → null, Some(x) → x.
+            ("None", Value::Unit) => out.push_str("null"),
+            ("Some", Value::Seq(items)) if items.len() == 1 => encode(&items[0], out, indent),
+            (_, Value::Unit) => push_json_str(out, name),
+            (_, payload) => {
+                out.push('{');
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                push_json_str(out, name);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                encode(payload, out, deeper);
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        },
+    }
+}
+
+/// Encodes a [`Value`] as compact (single-line) JSON.
+pub fn value_to_string(v: &Value) -> String {
+    let mut out = String::new();
+    encode(v, &mut out, None);
+    out
+}
+
+/// Encodes a [`Value`] as indented, human-readable JSON.
+pub fn value_to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    encode(v, &mut out, Some(0));
+    out
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value_to_string(&value.to_value())
+}
+
+/// Serializes `value` as indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    value_to_string_pretty(&value.to_value())
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::msg(format!("json at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice =
+            self.bytes.get(self.pos..end).ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                self.eat_keyword("\\u")
+                                    .map_err(|_| self.err("unpaired surrogate"))?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: one byte, one char.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // One multi-byte UTF-8 scalar: its length comes
+                    // from the leading byte, so only that slice is
+                    // validated — never the whole remaining input
+                    // (which would make string parsing quadratic).
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if text.contains(['.', 'e', 'E']) {
+            let x: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+            Ok(Value::F64(x))
+        } else {
+            match text.parse::<i128>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Integer literal too large for i128: keep the
+                // magnitude as a float rather than failing.
+                Err(_) => {
+                    let x: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+                    Ok(Value::F64(x))
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Unit),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Record(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let name = self.parse_string()?;
+                    self.skip_ws();
+                    self.eat(b':', "':'")?;
+                    let value = self.parse_value(depth + 1)?;
+                    fields.push((name, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Record(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`]; rejects trailing input.
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+/// Deserializes `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&value_from_str(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (v, s) in [
+            (Value::Unit, "null"),
+            (Value::Bool(true), "true"),
+            (Value::Bool(false), "false"),
+            (Value::Int(-42), "-42"),
+            (Value::Str("hi".into()), "\"hi\""),
+        ] {
+            assert_eq!(value_to_string(&v), s);
+            assert_eq!(value_from_str(s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly_and_stay_floats() {
+        for x in [0.0f64, -0.0, 2.0, 1.0 / 3.0, 6.02e23, 1.5e-9, f64::MIN_POSITIVE] {
+            let s = value_to_string(&Value::F64(x));
+            assert!(s.contains(['.', 'e', 'E']), "{s} must re-parse as a float");
+            match value_from_str(&s).unwrap() {
+                Value::F64(y) => assert_eq!(x.to_bits(), y.to_bits(), "{s}"),
+                other => panic!("parsed {other:?}"),
+            }
+        }
+        assert_eq!(value_to_string(&Value::F64(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line1\nline2\t\"quoted\" \\ \u{1}\u{1F600}";
+        let json = value_to_string(&Value::Str(s.into()));
+        assert_eq!(value_from_str(&json).unwrap(), Value::Str(s.into()));
+        // Escaped forms parse too (incl. a surrogate pair).
+        assert_eq!(
+            value_from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{e9}\u{1F600}".into())
+        );
+        assert!(value_from_str("\"\\ud800\"").is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Record(vec![
+            ("xs".into(), Value::Seq(vec![Value::Int(1), Value::F64(2.5)])),
+            ("name".into(), Value::Str("grid".into())),
+        ]);
+        assert_eq!(value_to_string(&v), r#"{"xs":[1,2.5],"name":"grid"}"#);
+        assert_eq!(value_from_str(&value_to_string(&v)).unwrap(), v);
+        // Pretty form parses back identically.
+        assert_eq!(value_from_str(&value_to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_round_trip_through_text() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2]);
+        m.insert("b".to_string(), vec![]);
+        let back: BTreeMap<String, Vec<u32>> = from_str(&to_string(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn options_read_as_plain_json() {
+        assert_eq!(to_string(&Option::<f64>::None), "null");
+        assert_eq!(to_string(&Some(2.5f64)), "2.5");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<f64>>("2.5").unwrap(), Some(2.5));
+        // Integer literals land in f64 fields (client convenience).
+        assert_eq!(from_str::<f64>("300").unwrap(), 300.0);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "\"abc", "1 2", "{\"a\":}", "nul"] {
+            assert!(value_from_str(bad).is_err(), "{bad:?} should fail");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(value_from_str(&deep).is_err(), "depth-limited");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = value_from_str(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Record(vec![
+                ("a".into(), Value::Seq(vec![Value::Int(1), Value::Int(2)])),
+                ("b".into(), Value::Unit),
+            ])
+        );
+    }
+}

@@ -18,6 +18,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+pub mod json;
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// A self-describing serialized value.
@@ -111,9 +113,16 @@ pub fn value_seq<'v>(v: &'v Value, arity: usize, ty: &str) -> Result<&'v [Value]
 }
 
 /// Extracts a [`Value::Variant`] name and payload.
+///
+/// Also accepts the JSON text encodings of a variant (see
+/// [`json`]): a bare string is a unit variant, and a single-field
+/// record is a variant with a payload.
 pub fn value_variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), Error> {
+    const UNIT: &Value = &Value::Unit;
     match v {
         Value::Variant(name, payload) => Ok((name, payload)),
+        Value::Str(name) => Ok((name, UNIT)),
+        Value::Record(fields) if fields.len() == 1 => Ok((&fields[0].0, &fields[0].1)),
         other => Err(Error::msg(format!("{ty}: expected enum variant, got {other:?}"))),
     }
 }
@@ -132,6 +141,14 @@ macro_rules! impl_int {
                 match v {
                     Value::Int(i) => <$t>::try_from(*i)
                         .map_err(|_| Error::msg(format!("{} out of range", stringify!($t)))),
+                    // Integer-valued floats (e.g. JSON `1e3`) decode
+                    // into integer fields when exactly representable.
+                    Value::F64(x)
+                        if x.is_finite() && x.fract() == 0.0 && x.abs() < 9.007199254740992e15 =>
+                    {
+                        <$t>::try_from(*x as i128)
+                            .map_err(|_| Error::msg(format!("{} out of range", stringify!($t))))
+                    }
                     other => Err(Error::msg(format!(
                         "expected {}, got {other:?}", stringify!($t)))),
                 }
@@ -167,6 +184,8 @@ impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::F64(x) => Ok(*x),
+            // JSON integer literals (`"temp": 300`) land in f64 fields.
+            Value::Int(i) => Ok(*i as f64),
             other => Err(Error::msg(format!("expected f64, got {other:?}"))),
         }
     }
@@ -231,14 +250,18 @@ impl<T: Serialize> Serialize for Option<T> {
 
 impl<T: Deserialize> Deserialize for Option<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let (name, payload) = value_variant(v, "Option")?;
-        match name {
-            "None" => Ok(None),
-            "Some" => {
-                let items = value_seq(payload, 1, "Option")?;
-                Ok(Some(T::from_value(&items[0])?))
-            }
-            other => Err(Error::msg(format!("Option: unknown variant '{other}'"))),
+        match v {
+            // JSON conventions: null is None, a bare value is Some.
+            Value::Unit => Ok(None),
+            Value::Variant(name, payload) => match name.as_str() {
+                "None" => Ok(None),
+                "Some" => {
+                    let items = value_seq(payload, 1, "Option")?;
+                    Ok(Some(T::from_value(&items[0])?))
+                }
+                _ => T::from_value(v).map(Some),
+            },
+            _ => T::from_value(v).map(Some),
         }
     }
 }
@@ -255,6 +278,15 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
             Value::Map(entries) => {
                 entries.iter().map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?))).collect()
             }
+            // The JSON text form of a map is an array of [key, value]
+            // pairs (keys need not be strings).
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| {
+                    let kv = value_seq(pair, 2, "map entry")?;
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                })
+                .collect(),
             other => Err(Error::msg(format!("expected map, got {other:?}"))),
         }
     }
