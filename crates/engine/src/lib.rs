@@ -71,7 +71,8 @@ pub use cache::{
 pub use mlv::{mlv_search, MlvConfig, MlvGoal, MlvResult, MlvStrategy, MlvTelemetry};
 pub use stats::ScalarStats;
 pub use sweep::{
-    pattern_for_index, sweep, ExtremeVector, SweepConfig, SweepReport, SweepStats, SweepTelemetry,
+    pattern_for_index, shard_count, sweep, sweep_streaming, ExtremeVector, SweepConfig,
+    SweepMerger, SweepReport, SweepShard, SweepStats, SweepTelemetry,
 };
 
 /// Errors from the analysis engine.

@@ -63,6 +63,14 @@ impl ScalarStats {
 }
 
 /// Linear-interpolated percentile of an already-sorted series.
+///
+/// Rank indexing audited for small N: `pos = q * (n - 1)` lies in
+/// `[0, n - 1]` for any `q` in `[0, 1]`, so `lo = floor(pos)` and
+/// `hi = ceil(pos)` are both in-bounds — N = 1 short-circuits, N = 2
+/// interpolates between the only two samples, N = 3 hits the middle
+/// sample exactly at q = 0.5 (`pos = 1.0`, `lo == hi`, `frac = 0`).
+/// Empty series never reach here ([`ScalarStats::of`] rejects them,
+/// and the sweep merger skips empty shards).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     let n = sorted.len();
     if n == 1 {
@@ -71,6 +79,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     let pos = q * (n - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
+    debug_assert!(hi < n, "rank {hi} out of bounds for {n} samples (q = {q})");
     let frac = pos - lo as f64;
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
@@ -115,6 +124,41 @@ mod tests {
         assert_eq!(s.mean, 7.5);
         assert_eq!(s.p99, 7.5);
         assert_eq!(s.std, 0.0);
+    }
+
+    /// Regression pins for the small-N rank indexing (exact values,
+    /// written as the same FP expressions the reduction computes).
+    #[test]
+    fn small_n_percentiles_are_pinned() {
+        // N = 1: every percentile is the sample itself.
+        let s = ScalarStats::of(&[3.25]);
+        assert_eq!((s.p50, s.p90, s.p99), (3.25, 3.25, 3.25));
+
+        // N = 2: pos = q, interpolating between the two samples.
+        let s = ScalarStats::of(&[3.0, 1.0]);
+        assert_eq!(s.p50, 1.0 + (3.0 - 1.0) * 0.5);
+        assert_eq!(s.p90, 1.0 + (3.0 - 1.0) * 0.9);
+        assert_eq!(s.p99, 1.0 + (3.0 - 1.0) * 0.99);
+
+        // N = 3: pos = 2q; p50 lands exactly on the middle sample
+        // (lo == hi == 1, frac 0 — no interpolation artifacts).
+        let s = ScalarStats::of(&[4.0, 1.0, 2.0]);
+        assert_eq!(s.p50, 2.0);
+        let frac90 = 0.90 * 2.0 - 1.0;
+        assert_eq!(s.p90, 2.0 + (4.0 - 2.0) * frac90);
+        let frac99 = 0.99 * 2.0 - 1.0;
+        assert_eq!(s.p99, 2.0 + (4.0 - 2.0) * frac99);
+    }
+
+    /// Percentiles never index out of bounds at the q → 1 edge, and
+    /// q = 1 degenerates to the max.
+    #[test]
+    fn rank_edges_stay_in_bounds() {
+        for n in 1..=5 {
+            let xs: Vec<f64> = (0..n).map(f64::from).collect();
+            let s = ScalarStats::of(&xs);
+            assert!(s.p99 <= s.max && s.p50 >= s.min, "n = {n}");
+        }
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! materialized in pattern-index order, and all statistics are reduced
 //! sequentially over that order — so a sweep's output is bit-identical
 //! for any thread count.
+//!
+//! Large sweeps stream: [`sweep_streaming`] executes the pattern space
+//! in contiguous index-order shards, yielding a [`SweepShard`] partial
+//! (its own [`SweepStats`] over the shard) after each one, and merges
+//! shards through a [`SweepMerger`] that concatenates the per-pattern
+//! series in index order and runs the *same* sequential reduction the
+//! monolithic path uses — so the merged stats are bit-identical to
+//! [`sweep`] for any shard size and thread count. The callback also
+//! gives callers a cancellation point between shards.
 
 use std::time::Instant;
 
@@ -107,6 +116,145 @@ pub struct SweepReport {
     pub telemetry: SweepTelemetry,
 }
 
+/// Reduces an index-ordered slice of per-pattern leakage totals into
+/// [`SweepStats`]. `start` is the global sweep index of `totals[0]`,
+/// so extreme-vector indexes stay reproducible via
+/// [`pattern_for_index`] whether the slice is one shard or the whole
+/// sweep.
+///
+/// This is the *single* reduction both the monolithic and the
+/// streaming paths run — bit-identity between them is by
+/// construction, not by parallel-algebra luck.
+fn reduce_stats(
+    circuit: &Circuit,
+    seed: u64,
+    start: usize,
+    totals: &[LeakageBreakdown],
+) -> SweepStats {
+    assert!(!totals.is_empty(), "stats over an empty pattern slice");
+    let series = |f: fn(&LeakageBreakdown) -> f64| -> Vec<f64> { totals.iter().map(f).collect() };
+    let total_series = series(LeakageBreakdown::total);
+
+    let extreme = |best_is_less: bool| -> ExtremeVector {
+        let mut best = 0usize;
+        for (i, &t) in total_series.iter().enumerate().skip(1) {
+            if (best_is_less && t < total_series[best]) || (!best_is_less && t > total_series[best])
+            {
+                best = i;
+            }
+        }
+        ExtremeVector {
+            index: start + best,
+            pattern: pattern_for_index(circuit, seed, start + best),
+            leakage: totals[best],
+        }
+    };
+
+    SweepStats {
+        vectors: totals.len(),
+        total: ScalarStats::of(&total_series),
+        sub: ScalarStats::of(&series(|b| b.sub)),
+        gate: ScalarStats::of(&series(|b| b.gate)),
+        btbt: ScalarStats::of(&series(|b| b.btbt)),
+        min: extreme(true),
+        max: extreme(false),
+    }
+}
+
+/// Estimates the contiguous index range `start .. start + len` in
+/// parallel, returning per-pattern totals in index order.
+fn estimate_chunk(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &SweepConfig,
+    threads: usize,
+    start: usize,
+    len: usize,
+) -> Result<Vec<LeakageBreakdown>, EstimateError> {
+    let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> = par_map(len, threads, |i| {
+        let pattern = pattern_for_index(circuit, config.seed, start + i);
+        estimate(circuit, library, &pattern, config.mode).map(|r| r.total)
+    });
+    let mut totals = Vec::with_capacity(len);
+    for r in per_pattern {
+        totals.push(r?);
+    }
+    Ok(totals)
+}
+
+/// One completed shard of a streaming sweep, yielded to the
+/// [`sweep_streaming`] callback as soon as its patterns are done.
+///
+/// Serializable so job front-ends can page shard partials to clients
+/// incrementally (`GET /v1/jobs/{id}/result?shard=K` in
+/// `nanoleak-serve`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepShard {
+    /// Shard index (0-based, in execution = pattern-index order).
+    pub shard: usize,
+    /// Total shards the sweep will execute.
+    pub shards_total: usize,
+    /// Global sweep index of this shard's first pattern.
+    pub start: usize,
+    /// Patterns in this shard.
+    pub vectors: usize,
+    /// Statistics over this shard alone. Extreme-vector indexes are
+    /// global sweep indexes (reproducible via [`pattern_for_index`]).
+    pub stats: SweepStats,
+}
+
+/// Number of shards a streaming sweep of `vectors` patterns executes
+/// with the given shard size (`0` means one monolithic shard).
+pub fn shard_count(vectors: usize, shard_vectors: usize) -> usize {
+    if shard_vectors == 0 {
+        1
+    } else {
+        vectors.div_ceil(shard_vectors)
+    }
+}
+
+/// Merges index-ordered shard series into sweep-wide statistics.
+///
+/// The merger concatenates per-pattern totals in the order they are
+/// pushed and [`SweepMerger::finish`] runs the same sequential
+/// index-order reduction the monolithic [`sweep`] uses — so for shards
+/// pushed in index order the merged stats are bit-identical to a
+/// monolithic sweep of the same seed, for any shard size and thread
+/// count. Memory cost is 32 bytes per pattern (the raw
+/// [`LeakageBreakdown`] series), i.e. ~32 MB for a 10^6-vector sweep —
+/// the price of exactness, bounded and predictable.
+#[derive(Debug, Default)]
+pub struct SweepMerger {
+    totals: Vec<LeakageBreakdown>,
+}
+
+impl SweepMerger {
+    /// A merger with capacity for `vectors` patterns.
+    pub fn with_capacity(vectors: usize) -> Self {
+        Self { totals: Vec::with_capacity(vectors) }
+    }
+
+    /// Appends one shard's per-pattern totals (must be pushed in
+    /// index order). An empty shard is a no-op — merging it can never
+    /// panic the percentile reduction or perturb the stats.
+    pub fn push(&mut self, shard_totals: &[LeakageBreakdown]) {
+        self.totals.extend_from_slice(shard_totals);
+    }
+
+    /// Patterns merged so far.
+    pub fn vectors(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// The merged statistics, or `None` if nothing was merged.
+    pub fn finish(&self, circuit: &Circuit, seed: u64) -> Option<SweepStats> {
+        if self.totals.is_empty() {
+            return None;
+        }
+        Some(reduce_stats(circuit, seed, 0, &self.totals))
+    }
+}
+
 /// Sweeps `config.vectors` random patterns over `circuit` in parallel.
 ///
 /// # Errors
@@ -120,57 +268,68 @@ pub fn sweep(
     library: &CellLibrary,
     config: &SweepConfig,
 ) -> Result<SweepReport, EstimateError> {
+    let report = sweep_streaming(circuit, library, config, 0, |_| true)?;
+    Ok(report.expect("monolithic sweep cannot be cancelled"))
+}
+
+/// Sweeps `config.vectors` patterns in contiguous shards of
+/// `shard_vectors` (`0` = one monolithic shard), calling `on_shard`
+/// after each shard completes. The callback returning `false` cancels
+/// the sweep (`Ok(None)`); otherwise the merged report is returned,
+/// bit-identical to [`sweep`] with the same config.
+///
+/// Shards execute strictly in index order (each internally parallel
+/// across `config.threads`), so partials stream to the caller in the
+/// same order the merger consumes them.
+///
+/// # Errors
+/// The first per-pattern [`EstimateError`], if any.
+///
+/// # Panics
+/// Panics if `config.vectors` is zero.
+pub fn sweep_streaming(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &SweepConfig,
+    shard_vectors: usize,
+    mut on_shard: impl FnMut(&SweepShard) -> bool,
+) -> Result<Option<SweepReport>, EstimateError> {
     assert!(config.vectors > 0, "sweep needs at least one vector");
     // Clamp exactly like par_map will, so the telemetry reports the
     // worker count actually used, not just the resolved request.
     let threads = resolve_threads(config.threads).min(config.vectors);
-    let start = Instant::now();
+    let shards_total = shard_count(config.vectors, shard_vectors);
+    let shard_size = if shard_vectors == 0 { config.vectors } else { shard_vectors };
+    let start_time = Instant::now();
 
-    let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> =
-        par_map(config.vectors, threads, |i| {
-            let pattern = pattern_for_index(circuit, config.seed, i);
-            estimate(circuit, library, &pattern, config.mode).map(|r| r.total)
-        });
-    let mut totals = Vec::with_capacity(config.vectors);
-    for r in per_pattern {
-        totals.push(r?);
+    let mut merger = SweepMerger::with_capacity(config.vectors);
+    for shard in 0..shards_total {
+        let start = shard * shard_size;
+        let len = shard_size.min(config.vectors - start);
+        let totals = estimate_chunk(circuit, library, config, threads, start, len)?;
+        let partial = SweepShard {
+            shard,
+            shards_total,
+            start,
+            vectors: len,
+            stats: reduce_stats(circuit, config.seed, start, &totals),
+        };
+        merger.push(&totals);
+        if !on_shard(&partial) {
+            return Ok(None);
+        }
     }
 
-    let elapsed = start.elapsed();
-    let series = |f: fn(&LeakageBreakdown) -> f64| -> Vec<f64> { totals.iter().map(f).collect() };
-    let total_series = series(LeakageBreakdown::total);
-
-    let extreme = |best_is_less: bool| -> ExtremeVector {
-        let mut best = 0usize;
-        for (i, &t) in total_series.iter().enumerate().skip(1) {
-            if (best_is_less && t < total_series[best]) || (!best_is_less && t > total_series[best])
-            {
-                best = i;
-            }
-        }
-        ExtremeVector {
-            index: best,
-            pattern: pattern_for_index(circuit, config.seed, best),
-            leakage: totals[best],
-        }
-    };
-
-    Ok(SweepReport {
-        stats: SweepStats {
-            vectors: config.vectors,
-            total: ScalarStats::of(&total_series),
-            sub: ScalarStats::of(&series(|b| b.sub)),
-            gate: ScalarStats::of(&series(|b| b.gate)),
-            btbt: ScalarStats::of(&series(|b| b.btbt)),
-            min: extreme(true),
-            max: extreme(false),
-        },
+    let elapsed = start_time.elapsed();
+    let stats = merger.finish(circuit, config.seed).expect("at least one non-empty shard ran");
+    Ok(Some(SweepReport {
+        stats,
         telemetry: SweepTelemetry {
             threads,
             elapsed,
             patterns_per_sec: config.vectors as f64 / elapsed.as_secs_f64().max(1e-9),
         },
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -236,6 +395,112 @@ mod tests {
         assert!(s.total.min <= s.total.p50 && s.total.p50 <= s.total.max);
         // The extreme patterns reproduce through pattern_for_index.
         assert_eq!(s.min.pattern, pattern_for_index(&circuit, 2005, s.min.index));
+    }
+
+    /// The tentpole acceptance: streamed shards merge to exactly the
+    /// monolithic result, across shard sizes *and* thread counts.
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_monolithic() {
+        let circuit = small_circuit();
+        let lib = library();
+        let base = SweepConfig { vectors: 41, seed: 99, threads: 1, ..Default::default() };
+        let mono = sweep(&circuit, &lib, &base).unwrap();
+        for shard_vectors in [1, 5, 16, 40, 41, 64] {
+            for threads in [1, 3] {
+                let cfg = SweepConfig { threads, ..base };
+                let mut seen_shards = Vec::new();
+                let streamed = sweep_streaming(&circuit, &lib, &cfg, shard_vectors, |s| {
+                    seen_shards.push((s.shard, s.start, s.vectors));
+                    true
+                })
+                .unwrap()
+                .expect("not cancelled");
+                assert_eq!(
+                    streamed.stats, mono.stats,
+                    "shard_vectors = {shard_vectors}, threads = {threads}"
+                );
+                let expected_shards = shard_count(41, shard_vectors);
+                assert_eq!(seen_shards.len(), expected_shards);
+                // Shards tile the index space contiguously, in order.
+                let mut next = 0;
+                for (i, (shard, start, vectors)) in seen_shards.iter().enumerate() {
+                    assert_eq!((*shard, *start), (i, next));
+                    next += vectors;
+                }
+                assert_eq!(next, 41, "shards cover every pattern exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partials_are_self_consistent() {
+        let circuit = small_circuit();
+        let lib = library();
+        let cfg = SweepConfig { vectors: 20, seed: 3, threads: 2, ..Default::default() };
+        let mut partials = Vec::new();
+        sweep_streaming(&circuit, &lib, &cfg, 8, |s| {
+            partials.push(s.clone());
+            true
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(partials.len(), 3, "20 vectors in shards of 8");
+        for p in &partials {
+            assert_eq!(p.shards_total, 3);
+            assert_eq!(p.stats.vectors, p.vectors);
+            // Extreme indexes are global and land inside the shard.
+            for idx in [p.stats.min.index, p.stats.max.index] {
+                assert!(idx >= p.start && idx < p.start + p.vectors, "{idx} in shard {}", p.shard);
+            }
+            // ... and reproduce through pattern_for_index.
+            assert_eq!(p.stats.min.pattern, pattern_for_index(&circuit, 3, p.stats.min.index));
+        }
+        // A shard's stats equal a standalone sweep over that range
+        // seeded the same way (shard 0 starts at index 0).
+        let first = sweep(&circuit, &lib, &SweepConfig { vectors: 8, ..cfg }).unwrap();
+        assert_eq!(partials[0].stats, first.stats);
+    }
+
+    #[test]
+    fn streaming_cancel_stops_between_shards() {
+        let circuit = small_circuit();
+        let lib = library();
+        let cfg = SweepConfig { vectors: 30, seed: 1, threads: 1, ..Default::default() };
+        let mut seen = 0;
+        let out = sweep_streaming(&circuit, &lib, &cfg, 10, |_| {
+            seen += 1;
+            seen < 2 // cancel after the second shard reports
+        })
+        .unwrap();
+        assert!(out.is_none(), "cancelled sweeps yield no report");
+        assert_eq!(seen, 2, "the cancelling callback is the last one invoked");
+    }
+
+    #[test]
+    fn merger_ignores_empty_shards_and_requires_data() {
+        let circuit = small_circuit();
+        let lib = library();
+        let cfg = SweepConfig { vectors: 6, seed: 12, threads: 1, ..Default::default() };
+        let mono = sweep(&circuit, &lib, &cfg).unwrap();
+
+        let totals = estimate_chunk(&circuit, &lib, &cfg, 1, 0, 6).unwrap();
+        let mut merger = SweepMerger::default();
+        assert!(merger.finish(&circuit, 12).is_none(), "nothing merged yet");
+        merger.push(&[]); // empty shard: no-op, must not panic later
+        merger.push(&totals[..2]);
+        merger.push(&[]);
+        merger.push(&totals[2..]);
+        assert_eq!(merger.vectors(), 6);
+        let merged = merger.finish(&circuit, 12).unwrap();
+        assert_eq!(merged, mono.stats, "empty shards do not perturb the merge");
+    }
+
+    #[test]
+    fn shard_count_tiles_the_space() {
+        assert_eq!(shard_count(100, 0), 1, "0 means monolithic");
+        assert_eq!(shard_count(100, 100), 1);
+        assert_eq!(shard_count(100, 33), 4);
+        assert_eq!(shard_count(1, 1000), 1);
     }
 
     #[test]

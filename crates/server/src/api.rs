@@ -15,8 +15,10 @@ use std::time::Instant;
 use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
 use nanoleak_core::{estimate_batch, CircuitLeakage, EstimatorMode, LoadingImpact};
 use nanoleak_device::Technology;
+use nanoleak_engine::exec::{par_map, resolve_threads};
 use nanoleak_engine::{
-    mlv_search, sweep, MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepStats,
+    mlv_search, shard_count, sweep, sweep_streaming, MemoLibraryCache, MlvConfig, MlvGoal,
+    MlvStrategy, SweepConfig, SweepShard, SweepStats,
 };
 use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
@@ -167,6 +169,9 @@ pub const MAX_REQUEST_DIRECT_VECTORS: usize = 500;
 pub const MAX_REQUEST_THREADS: usize = 16;
 /// Most hill-climb restarts one request may ask for.
 pub const MAX_REQUEST_RESTARTS: usize = 256;
+/// Most shard partials one streaming job may produce (each shard's
+/// partial stats stay resident until the job is evicted).
+pub const MAX_JOB_SHARDS: usize = 1024;
 
 fn check_limit(name: &str, value: usize, max: usize) -> Result<usize, ApiError> {
     if value > max {
@@ -203,6 +208,49 @@ pub fn resolve_sweep_config(body: &Body) -> Result<SweepConfig, ApiError> {
         threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
         mode,
     })
+}
+
+/// The `"shard_vectors"` field: patterns per streamed shard (`0` =
+/// monolithic), bounded so one job cannot pin [`MAX_JOB_SHARDS`]+
+/// partials in the registry.
+pub fn resolve_shard_vectors(body: &Body, vectors: usize) -> Result<usize, ApiError> {
+    let shard_vectors = body.get("shard_vectors", 0usize)?;
+    let shards = shard_count(vectors, shard_vectors);
+    if shards > MAX_JOB_SHARDS {
+        return Err(ApiError::bad(format!(
+            "'shard_vectors' of {shard_vectors} over {vectors} vectors yields {shards} shards, \
+             exceeding the limit of {MAX_JOB_SHARDS}"
+        )));
+    }
+    Ok(shard_vectors)
+}
+
+/// Observer of a streaming job's per-unit progress (sweep shards,
+/// grid cells). The job executor backs this with the job registry so
+/// clients can poll progress and page partials; synchronous endpoints
+/// use [`NoopObserver`].
+pub trait JobObserver: Sync {
+    /// Declares how many units the job will produce, before the first
+    /// one runs.
+    fn declare(&self, _total: usize) {}
+    /// Records one finished unit's partial result.
+    fn unit(&self, index: usize, partial: Value);
+    /// Polled between units; `true` aborts the job.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// An observer that discards progress and never cancels.
+pub struct NoopObserver;
+
+impl JobObserver for NoopObserver {
+    fn unit(&self, _index: usize, _partial: Value) {}
+}
+
+/// The structured 409 every executor returns when an observer aborts.
+fn cancelled_error() -> ApiError {
+    ApiError { status: 409, message: "job cancelled".into() }
 }
 
 /// Printable form of a pattern: primary-input bits, then `|` and the
@@ -322,6 +370,9 @@ pub struct SweepResponse {
     /// The exact configuration the sweep ran with (defaults applied),
     /// sufficient to reproduce it in-process.
     pub config: SweepConfig,
+    /// Shards the sweep executed in (1 = monolithic). Sharding never
+    /// changes `stats` — the merge is bit-identical by construction.
+    pub shards: usize,
     /// Bit-exact sweep statistics.
     pub stats: SweepStats,
     /// Minimum-leakage vector, printable form.
@@ -334,21 +385,43 @@ pub struct SweepResponse {
     pub patterns_per_sec: f64,
 }
 
-/// Runs the sweep endpoint (shared by the synchronous route and the
-/// job executor).
+/// Runs the sweep endpoint (the synchronous route; the job executor
+/// streams through [`run_sweep_streaming`] instead).
 pub fn run_sweep(cache: &MemoLibraryCache, body: &Body) -> Result<SweepResponse, ApiError> {
+    run_sweep_streaming(cache, body, &NoopObserver)
+}
+
+/// Runs a sweep in `"shard_vectors"`-sized shards, reporting each
+/// shard's [`SweepShard`] partial to `observer` as it completes. The
+/// merged stats in the response are bit-identical to a monolithic
+/// [`sweep`] of the same config, for any shard size.
+pub fn run_sweep_streaming(
+    cache: &MemoLibraryCache,
+    body: &Body,
+    observer: &dyn JobObserver,
+) -> Result<SweepResponse, ApiError> {
     let (target, circuit) = resolve_circuit(body)?;
     let tech = resolve_tech(body)?;
     let temp = body.get("temp", 300.0f64)?;
     let config = resolve_sweep_config(body)?;
+    let shard_vectors = resolve_shard_vectors(body, config.vectors)?;
+    let shards = shard_count(config.vectors, shard_vectors);
+    observer.declare(shards);
     let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
-    let report = sweep(&circuit, &lib, &config)
-        .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
+    let report = sweep_streaming(&circuit, &lib, &config, shard_vectors, |partial: &SweepShard| {
+        observer.unit(partial.shard, partial.to_value());
+        !observer.cancelled()
+    })
+    .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
+    let Some(report) = report else {
+        return Err(cancelled_error());
+    };
     Ok(SweepResponse {
         target,
         gates: circuit.gate_count(),
         temp,
         config,
+        shards,
         min_vector: fmt_pattern(&report.stats.min.pattern),
         max_vector: fmt_pattern(&report.stats.max.pattern),
         stats: report.stats,
@@ -492,12 +565,20 @@ pub struct GridResult {
 
 /// Runs a condition-grid job: one deterministic sweep per
 /// (temperature, Vdd-scale) cell, characterizing through the shared
-/// memo cache. `cancelled()` is polled between cells; a `true` stops
-/// the grid early with an error.
+/// memo cache.
+///
+/// Cells are independent, so they **fan across the worker pool** in
+/// parallel (row-major cell order) instead of running sequentially on
+/// the one worker that popped the job — the grid's latency drops by
+/// roughly the fan width. Per-cell results are reduced back in cell
+/// order and each cell's sweep stats are thread-count invariant, so
+/// the matrix is bit-identical to a sequential run. The observer's
+/// cancel flag is polled as each cell starts; completed cells are
+/// reported via [`JobObserver::unit`] for incremental paging.
 pub fn run_grid(
     cache: &MemoLibraryCache,
     body: &Body,
-    cancelled: &dyn Fn() -> bool,
+    observer: &dyn JobObserver,
 ) -> Result<GridResult, ApiError> {
     let (target, circuit) = resolve_circuit(body)?;
     let tech = resolve_tech(body)?;
@@ -508,10 +589,10 @@ pub fn run_grid(
     if temps.is_empty() || vdd_scales.is_empty() {
         return Err(ApiError::bad("'temps' and 'vdd_scales' must be non-empty"));
     }
-    if temps.len() * vdd_scales.len() > MAX_GRID_CELLS {
+    let n_cells = temps.len() * vdd_scales.len();
+    if n_cells > MAX_GRID_CELLS {
         return Err(ApiError::bad(format!(
-            "grid of {} cells exceeds the {MAX_GRID_CELLS}-cell limit",
-            temps.len() * vdd_scales.len()
+            "grid of {n_cells} cells exceeds the {MAX_GRID_CELLS}-cell limit"
         )));
     }
     if !temps.iter().all(|t| t.is_finite() && *t > 0.0) {
@@ -520,31 +601,51 @@ pub fn run_grid(
     if !vdd_scales.iter().all(|s| s.is_finite() && *s > 0.0) {
         return Err(ApiError::bad("'vdd_scales' must be positive factors"));
     }
+    observer.declare(n_cells);
 
-    let mut cells = Vec::with_capacity(temps.len() * vdd_scales.len());
-    let mut matrix = Vec::with_capacity(temps.len());
-    for &temp in &temps {
-        let mut row = Vec::with_capacity(vdd_scales.len());
-        for &scale in &vdd_scales {
-            if cancelled() {
-                return Err(ApiError { status: 409, message: "job cancelled".into() });
-            }
-            let mut scaled = tech.clone();
-            scaled.vdd *= scale;
-            let lib = library(cache, &scaled, temp, &opts)?;
-            let report = sweep(&circuit, &lib, &config)
-                .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
-            row.push(report.stats.total.mean);
-            cells.push(GridCell {
-                temp,
-                vdd_scale: scale,
-                vdd: scaled.vdd,
-                mean_total_a: report.stats.total.mean,
-                min_total_a: report.stats.total.min,
-                max_total_a: report.stats.total.max,
-            });
+    // Split the requested parallelism between the cell fan and each
+    // cell's inner sweep (`fan × inner ≈ requested`), so a 2-cell
+    // grid on 8 threads still uses all 8 instead of starving the
+    // inner sweeps. Sweep stats are thread-count invariant, so the
+    // split never moves a bit of the matrix.
+    let requested = resolve_threads(config.threads);
+    let fan = requested.min(n_cells);
+    let cell_config = SweepConfig { threads: (requested / fan).max(1), ..config };
+    let per_cell: Vec<Result<GridCell, ApiError>> = par_map(n_cells, fan, |i| {
+        if observer.cancelled() {
+            return Err(cancelled_error());
         }
-        matrix.push(row);
+        let temp = temps[i / vdd_scales.len()];
+        let scale = vdd_scales[i % vdd_scales.len()];
+        let mut scaled = tech.clone();
+        scaled.vdd *= scale;
+        let lib = library(cache, &scaled, temp, &opts)?;
+        let report = sweep(&circuit, &lib, &cell_config)
+            .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
+        let cell = GridCell {
+            temp,
+            vdd_scale: scale,
+            vdd: scaled.vdd,
+            mean_total_a: report.stats.total.mean,
+            min_total_a: report.stats.total.min,
+            max_total_a: report.stats.total.max,
+        };
+        observer.unit(i, cell.to_value());
+        Ok(cell)
+    });
+
+    // Sequential cell-order reduction: the first error (in cell
+    // order) wins deterministically, and rows assemble exactly as the
+    // old sequential loop did.
+    let mut cells = Vec::with_capacity(n_cells);
+    let mut matrix: Vec<Vec<f64>> = Vec::with_capacity(temps.len());
+    for (i, outcome) in per_cell.into_iter().enumerate() {
+        let cell = outcome?;
+        if i % vdd_scales.len() == 0 {
+            matrix.push(Vec::with_capacity(vdd_scales.len()));
+        }
+        matrix.last_mut().expect("row pushed above").push(cell.mean_total_a);
+        cells.push(cell);
     }
     Ok(GridResult { target, temps, vdd_scales, config, cells, mean_total_a: matrix })
 }
@@ -621,14 +722,13 @@ mod tests {
     #[test]
     fn grid_request_validation() {
         let cache = MemoLibraryCache::memory_only();
-        let never = || false;
         for bad in [
             r#"{"target": "s838", "temps": []}"#,
             r#"{"target": "s838", "temps": [300], "vdd_scales": [0.0]}"#,
             r#"{"target": "s838", "temps": [-5]}"#,
         ] {
             let b = Body::parse(bad).unwrap();
-            assert_eq!(run_grid(&cache, &b, &never).unwrap_err().status, 400, "{bad}");
+            assert_eq!(run_grid(&cache, &b, &NoopObserver).unwrap_err().status, 400, "{bad}");
         }
         // Oversized grids are refused before any solver work.
         let temps: Vec<String> = (0..30).map(|i| (300 + i).to_string()).collect();
@@ -637,9 +737,22 @@ mod tests {
             temps.join(",")
         );
         let b = Body::parse(&big).unwrap();
-        let err = run_grid(&cache, &b, &never).unwrap_err();
+        let err = run_grid(&cache, &b, &NoopObserver).unwrap_err();
         assert_eq!(err.status, 400);
         assert!(err.message.contains("cell limit"), "{}", err.message);
+    }
+
+    #[test]
+    fn shard_vectors_is_bounded_and_defaults_to_monolithic() {
+        let b = Body::parse(r#"{"vectors": 100}"#).unwrap();
+        assert_eq!(resolve_shard_vectors(&b, 100).unwrap(), 0, "default is one shard");
+        let b = Body::parse(r#"{"shard_vectors": 10}"#).unwrap();
+        assert_eq!(resolve_shard_vectors(&b, 100).unwrap(), 10);
+        // 100_000 vectors in shards of 1 would be 100k partials.
+        let b = Body::parse(r#"{"shard_vectors": 1}"#).unwrap();
+        let err = resolve_shard_vectors(&b, 100_000).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("shards"), "{}", err.message);
     }
 
     #[test]

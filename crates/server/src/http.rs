@@ -1,15 +1,24 @@
 //! A minimal, dependency-free HTTP/1.1 layer over [`std::net`].
 //!
-//! Supports exactly what the service needs: request-line + header
-//! parsing, `Content-Length` bodies, and one-shot responses
-//! (`Connection: close` on every reply, so a connection carries one
-//! request — the simplest model that `curl`, browsers, and raw
-//! `TcpStream` clients all handle). Hard limits on the header block
-//! and body size keep a misbehaving client from ballooning memory.
+//! Supports what the service needs: request-line + header parsing,
+//! `Content-Length` bodies, and **persistent connections** — a
+//! [`Conn`] wraps one [`TcpStream`] and reads any number of requests
+//! through one buffer, so bytes a client pipelined ahead of our
+//! response are never dropped between requests. Keep-alive is
+//! negotiated per request ([`Request::wants_keep_alive`]: HTTP/1.1
+//! defaults on, HTTP/1.0 off, `Connection: close` / `keep-alive`
+//! override), and the server bounds both the requests served per
+//! connection and the idle gap between them (`ServeConfig`). Hard
+//! limits on the header block and body size keep a misbehaving client
+//! from ballooning memory, and every request is read under an
+//! absolute wall-clock deadline — a slow-trickle client cannot hold a
+//! handler thread past it.
 
+use std::cell::Cell;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// Largest accepted header block (request line + headers) in bytes.
 const MAX_HEAD: usize = 16 * 1024;
@@ -19,7 +28,7 @@ pub const MAX_BODY: usize = 1024 * 1024;
 /// deadline across every read, not per `recv` — a slow-trickle
 /// client (one byte per few seconds) cannot hold a handler thread
 /// past this.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -28,6 +37,11 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// `false` only for `HTTP/1.0` (which defaults to one request per
+    /// connection); `HTTP/1.1` defaults to keep-alive.
+    pub http_11: bool,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was given).
@@ -44,6 +58,35 @@ impl Request {
     /// The body as UTF-8 text.
     pub fn body_text(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("body is not valid UTF-8"))
+    }
+
+    /// The value of one query-string parameter (`?shard=3`), or
+    /// `None` when absent.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Whether the client asked to keep the connection open:
+    /// `Connection: close` always closes, `Connection: keep-alive`
+    /// always keeps, otherwise the HTTP-version default applies
+    /// (1.1 keeps, 1.0 closes). `close` wins over `keep-alive` when a
+    /// confused client sends both tokens.
+    pub fn wants_keep_alive(&self) -> bool {
+        let mut close = false;
+        let mut keep = false;
+        if let Some(v) = self.header("connection") {
+            for token in v.split(',') {
+                match token.trim().to_ascii_lowercase().as_str() {
+                    "close" => close = true,
+                    "keep-alive" => keep = true,
+                    _ => {}
+                }
+            }
+        }
+        !close && (keep || self.http_11)
     }
 }
 
@@ -64,26 +107,177 @@ impl HttpError {
     }
 }
 
-/// A [`Read`] adapter that enforces an absolute deadline: every
-/// `read` first re-arms the socket timeout to the time remaining, so
-/// a slow-trickle client cannot stretch the request past
-/// [`READ_TIMEOUT`] by delivering one byte per `recv`.
-struct DeadlineReader<'a> {
-    stream: &'a TcpStream,
-    deadline: std::time::Instant,
+/// Per-request read state shared between [`Conn`] and the reader it
+/// feeds its `BufReader` from: an absolute deadline (re-armed as the
+/// socket timeout before every `recv`), a byte budget, and whether
+/// any socket bytes arrived for the current request (distinguishes an
+/// idle keep-alive close from a stalled partial request).
+#[derive(Debug)]
+struct ReadState {
+    deadline: Cell<Instant>,
+    remaining: Cell<u64>,
+    got_bytes: Cell<bool>,
 }
 
-impl Read for DeadlineReader<'_> {
+/// The [`Read`] half of a [`Conn`]: enforces the deadline and budget
+/// of [`ReadState`] on every socket read.
+struct ConnRead<'a> {
+    stream: &'a TcpStream,
+    state: Rc<ReadState>,
+}
+
+impl Read for ConnRead<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let remaining = self
+        let remaining = self.state.remaining.get();
+        if remaining == 0 {
+            return Ok(0); // budget exhausted: EOF to the parser
+        }
+        let cap = buf.len().min(usize::try_from(remaining).unwrap_or(usize::MAX));
+        let left = self
+            .state
             .deadline
-            .checked_duration_since(std::time::Instant::now())
+            .get()
+            .checked_duration_since(Instant::now())
             .filter(|d| !d.is_zero())
             .ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::TimedOut, "read deadline exceeded")
             })?;
-        let _ = self.stream.set_read_timeout(Some(remaining));
-        Read::read(&mut &*self.stream, buf)
+        let _ = self.stream.set_read_timeout(Some(left));
+        let n = Read::read(&mut &*self.stream, &mut buf[..cap])?;
+        if n > 0 {
+            self.state.got_bytes.set(true);
+            self.state.remaining.set(remaining - n as u64);
+        }
+        Ok(n)
+    }
+}
+
+/// One server side of a TCP connection, able to read a sequence of
+/// requests through a single persistent buffer.
+///
+/// The buffer outliving each request is what makes pipelining safe: a
+/// client that sends request N+1 before reading response N may get
+/// its bytes pulled into our buffer early, and a per-request reader
+/// would drop them on return.
+pub struct Conn<'a> {
+    stream: &'a TcpStream,
+    reader: BufReader<ConnRead<'a>>,
+    state: Rc<ReadState>,
+}
+
+impl<'a> Conn<'a> {
+    /// Wraps a stream. No bytes are read until
+    /// [`Conn::read_request`].
+    pub fn new(stream: &'a TcpStream) -> Self {
+        let state = Rc::new(ReadState {
+            deadline: Cell::new(Instant::now()),
+            remaining: Cell::new(0),
+            got_bytes: Cell::new(false),
+        });
+        Self {
+            stream,
+            reader: BufReader::new(ConnRead { stream, state: Rc::clone(&state) }),
+            state,
+        }
+    }
+
+    /// Reads one request, spending at most `timeout` of wall clock on
+    /// it. Returns `Ok(None)` when the connection is over without an
+    /// error to report: a clean EOF, or `timeout` elapsing before the
+    /// first byte of a next request (the keep-alive idle deadline).
+    /// A *partial* request hitting the deadline is a 408 error — the
+    /// slow-loris case, distinct from simple idleness.
+    pub fn read_request(&mut self, timeout: Duration) -> Result<Option<Request>, HttpError> {
+        self.state.deadline.set(Instant::now() + timeout);
+        // Hard byte budget for the whole request. `read_line` buffers
+        // until it sees a newline; without this cap a client
+        // streaming newline-free bytes would grow that buffer
+        // unboundedly before the per-line length checks ever ran.
+        self.state.remaining.set((MAX_HEAD + MAX_BODY + 1024) as u64);
+        self.state.got_bytes.set(false);
+
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => {
+                let timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                );
+                // Idle between requests (no bytes at all): a quiet
+                // close, not a client error.
+                if timed_out && !self.state.got_bytes.get() && line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(read_failure(&e, "request line"));
+            }
+        }
+        if line.len() > MAX_HEAD {
+            return Err(HttpError::bad("request line too long"));
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::bad("malformed request line"));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError { status: 505, message: format!("unsupported {version}") });
+        }
+        let http_11 = version != "HTTP/1.0";
+        let method = method.to_ascii_uppercase();
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        let mut headers = Vec::new();
+        let mut head_bytes = line.len();
+        loop {
+            let mut hline = String::new();
+            match self.reader.read_line(&mut hline) {
+                Ok(0) => return Err(HttpError::bad("connection closed mid-headers")),
+                Ok(n) => head_bytes += n,
+                Err(e) => return Err(read_failure(&e, "headers")),
+            }
+            if head_bytes > MAX_HEAD {
+                return Err(HttpError { status: 431, message: "header block too large".into() });
+            }
+            let trimmed = hline.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            let Some((name, value)) = trimmed.split_once(':') else {
+                return Err(HttpError::bad(format!("malformed header '{trimmed}'")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0,
+            Some((_, v)) => {
+                v.parse::<usize>().map_err(|_| HttpError::bad("malformed Content-Length"))?
+            }
+        };
+        if content_length > MAX_BODY {
+            return Err(HttpError { status: 413, message: "body too large".into() });
+        }
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 {
+            self.reader.read_exact(&mut body).map_err(|e| match e.kind() {
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                    HttpError { status: 408, message: "deadline exceeded reading body".into() }
+                }
+                _ => HttpError::bad("connection closed mid-body"),
+            })?;
+        }
+        Ok(Some(Request { method, path, query, http_11, headers, body }))
+    }
+
+    /// The wrapped stream (for writing responses).
+    pub fn stream(&self) -> &TcpStream {
+        self.stream
     }
 }
 
@@ -95,81 +289,6 @@ fn read_failure(e: &std::io::Error, what: &str) -> HttpError {
         }
         _ => HttpError::bad(format!("could not read {what}")),
     }
-}
-
-/// Reads one request from the stream. Returns `Ok(None)` on a clean
-/// EOF before any bytes (client connected and went away).
-pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
-    let deadline = std::time::Instant::now() + READ_TIMEOUT;
-    // Hard byte budget for the whole request. `read_line` buffers
-    // until it sees a newline; without this cap a client streaming
-    // newline-free bytes would grow that buffer unboundedly before
-    // the per-line length checks ever ran.
-    let budget = (MAX_HEAD + MAX_BODY + 1024) as u64;
-    let mut reader =
-        BufReader::new(Read::take(DeadlineReader { stream: &*stream, deadline }, budget));
-
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) => return Err(read_failure(&e, "request line")),
-    }
-    if line.len() > MAX_HEAD {
-        return Err(HttpError::bad("request line too long"));
-    }
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(HttpError::bad("malformed request line"));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError { status: 505, message: format!("unsupported {version}") });
-    }
-    let method = method.to_ascii_uppercase();
-    let path = target.split('?').next().unwrap_or(target).to_string();
-
-    let mut headers = Vec::new();
-    let mut head_bytes = line.len();
-    loop {
-        let mut hline = String::new();
-        match reader.read_line(&mut hline) {
-            Ok(0) => return Err(HttpError::bad("connection closed mid-headers")),
-            Ok(n) => head_bytes += n,
-            Err(e) => return Err(read_failure(&e, "headers")),
-        }
-        if head_bytes > MAX_HEAD {
-            return Err(HttpError { status: 431, message: "header block too large".into() });
-        }
-        let trimmed = hline.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
-            break;
-        }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(HttpError::bad(format!("malformed header '{trimmed}'")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        None => 0,
-        Some((_, v)) => {
-            v.parse::<usize>().map_err(|_| HttpError::bad("malformed Content-Length"))?
-        }
-    };
-    if content_length > MAX_BODY {
-        return Err(HttpError { status: 413, message: "body too large".into() });
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body).map_err(|e| match e.kind() {
-            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
-                HttpError { status: 408, message: "deadline exceeded reading body".into() }
-            }
-            _ => HttpError::bad("connection closed mid-body"),
-        })?;
-    }
-    Ok(Some(Request { method, path, headers, body }))
 }
 
 /// A response ready to serialize.
@@ -209,14 +328,22 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `response` to the stream (with `Connection: close`).
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// Writes `response` to the stream. `close` selects the
+/// `Connection:` header the client sees — it must match what the
+/// server actually does next (close the socket, or loop for another
+/// request).
+pub fn write_response(
+    mut stream: &TcpStream,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
+        if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
@@ -235,8 +362,8 @@ mod tests {
         let mut client = TcpStream::connect(addr).unwrap();
         client.write_all(raw).unwrap();
         client.shutdown(std::net::Shutdown::Write).unwrap();
-        let (mut server_side, _) = listener.accept().unwrap();
-        read_request(&mut server_side)
+        let (server_side, _) = listener.accept().unwrap();
+        Conn::new(&server_side).read_request(READ_TIMEOUT)
     }
 
     #[test]
@@ -247,13 +374,74 @@ mod tests {
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/estimate", "query string stripped");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("nope"), None);
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"{\"a\"");
+        assert!(req.http_11);
     }
 
     #[test]
     fn clean_eof_is_none() {
         assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn two_requests_flow_through_one_conn() {
+        // Both requests are pipelined before the first read: the
+        // persistent buffer must hand them over one at a time without
+        // losing the second.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(&server_side);
+        let a = conn.read_request(READ_TIMEOUT).unwrap().unwrap();
+        let b = conn.read_request(READ_TIMEOUT).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(conn.read_request(READ_TIMEOUT).unwrap().is_none(), "then clean EOF");
+    }
+
+    #[test]
+    fn idle_timeout_is_quiet_but_partial_request_is_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Connected but silent: the idle deadline closes quietly.
+        let _idle_client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let got = Conn::new(&server_side).read_request(Duration::from_millis(80)).unwrap();
+        assert!(got.is_none(), "idle connection closes without an error");
+
+        // A stalled partial request is a client error, not idleness.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /healthz HTT").unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let err = Conn::new(&server_side).read_request(Duration::from_millis(80)).unwrap_err();
+        assert_eq!(err.status, 408, "{err:?}");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let req = |version: &str, connection: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/".into(),
+            query: String::new(),
+            http_11: version == "1.1",
+            headers: connection.map(|c| ("connection".into(), c.into())).into_iter().collect(),
+            body: Vec::new(),
+        };
+        assert!(req("1.1", None).wants_keep_alive(), "1.1 defaults on");
+        assert!(!req("1.0", None).wants_keep_alive(), "1.0 defaults off");
+        assert!(!req("1.1", Some("close")).wants_keep_alive());
+        assert!(req("1.0", Some("keep-alive")).wants_keep_alive());
+        assert!(req("1.0", Some("Keep-Alive")).wants_keep_alive(), "case-insensitive");
+        assert!(!req("1.1", Some("keep-alive, close")).wants_keep_alive(), "close wins");
     }
 
     #[test]
@@ -273,7 +461,7 @@ mod tests {
 
     #[test]
     fn newline_free_flood_is_bounded_and_rejected() {
-        // A head with no newline at all: the take() budget stops the
+        // A head with no newline at all: the read budget stops the
         // buffering and the length check rejects it — no unbounded
         // allocation.
         let mut raw = vec![b'a'; MAX_HEAD + MAX_BODY + 4096];

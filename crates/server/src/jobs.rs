@@ -1,17 +1,25 @@
 //! The async job subsystem: registry, lifecycle, and cancellation.
 //!
 //! `POST /v1/jobs` enqueues work and returns immediately with an id;
-//! `GET /v1/jobs/{id}` polls status and (when done) the result;
+//! `GET /v1/jobs/{id}` polls status (with per-shard progress for
+//! streaming jobs) and (when done) the result;
+//! `GET /v1/jobs/{id}/result?shard=K` pages one shard's partial; and
 //! `DELETE /v1/jobs/{id}` cancels. Jobs move strictly
 //! `queued → running → {done, failed}` or `{queued, running} →
 //! cancelled`; a cancelled-while-queued job is skipped by the worker
-//! that pops it, and a cancelled-while-running grid job stops at the
-//! next cell boundary.
+//! that pops it, and a cancelled-while-running streaming job stops at
+//! the next shard/cell boundary.
+//!
+//! The registry is **bounded**: finished jobs (done / failed /
+//! cancelled) are retained up to an [`EvictionPolicy`] cap and TTL,
+//! evicted oldest-finished-first — a server living through millions
+//! of jobs holds a constant-size registry, not a process-lifetime
+//! leak.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::Value;
@@ -96,8 +104,40 @@ pub struct Job {
     pub cancel: Arc<AtomicBool>,
     /// When the job was submitted.
     pub submitted: Instant,
+    /// When the job reached a terminal status (drives TTL eviction).
+    pub finished_at: Option<Instant>,
     /// Wall-clock execution time once finished \[ms\].
     pub elapsed_ms: Option<f64>,
+    /// Shards the executor will produce (`None` until the executor
+    /// declares it — non-streaming jobs never do).
+    pub shards_total: Option<usize>,
+    /// Per-shard partial results, indexed by shard; `None` slots are
+    /// not yet computed. Served by `GET .../result?shard=K`.
+    pub shards: Vec<Option<Value>>,
+}
+
+impl Job {
+    /// Shards whose partial result is available.
+    pub fn shards_done(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Bounds on finished-job retention.
+#[derive(Debug, Clone, Copy)]
+pub struct EvictionPolicy {
+    /// Most finished jobs retained; beyond it the oldest-finished are
+    /// evicted first.
+    pub finished_cap: usize,
+    /// Finished jobs older than this are evicted regardless of the
+    /// cap.
+    pub ttl: Duration,
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        Self { finished_cap: 512, ttl: Duration::from_secs(3600) }
+    }
 }
 
 /// Per-status job counts (for `/v1/stats`).
@@ -113,16 +153,69 @@ pub struct JobCounts {
     pub failed: u64,
     /// Jobs cancelled.
     pub cancelled: u64,
+    /// Finished jobs evicted (cap or TTL) over the registry lifetime.
+    pub evicted: u64,
+    /// Jobs currently resident (all statuses).
+    pub resident: u64,
 }
 
-/// Thread-safe job registry.
-#[derive(Debug, Default)]
+/// Thread-safe job registry with bounded finished-job retention.
+#[derive(Debug)]
 pub struct JobRegistry {
     jobs: Mutex<HashMap<u64, Job>>,
     next_id: AtomicU64,
+    policy: EvictionPolicy,
+    evicted: AtomicU64,
+}
+
+impl Default for JobRegistry {
+    fn default() -> Self {
+        Self::with_eviction(EvictionPolicy::default())
+    }
 }
 
 impl JobRegistry {
+    /// A registry bounded by `policy`.
+    pub fn with_eviction(policy: EvictionPolicy) -> Self {
+        Self {
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            policy: EvictionPolicy { finished_cap: policy.finished_cap.max(1), ttl: policy.ttl },
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Evicts finished jobs past the TTL, then the oldest-finished
+    /// beyond the cap. Called with the lock held at every point a job
+    /// reaches a terminal status (and on submit, so an idle-then-busy
+    /// server also ages out stale results).
+    fn evict_locked(&self, jobs: &mut HashMap<u64, Job>) {
+        let now = Instant::now();
+        let mut finished: Vec<(u64, Instant)> =
+            jobs.values().filter_map(|j| j.finished_at.map(|t| (j.id, t))).collect();
+        let mut evicted = 0u64;
+        finished.retain(|(id, t)| {
+            if now.saturating_duration_since(*t) > self.policy.ttl {
+                jobs.remove(id);
+                evicted += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if finished.len() > self.policy.finished_cap {
+            // Oldest-finished first.
+            finished.sort_by_key(|(_, t)| *t);
+            for (id, _) in finished.drain(..finished.len() - self.policy.finished_cap) {
+                jobs.remove(&id);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
     /// Registers a new queued job, returning its id and cancel flag.
     pub fn submit(&self, kind: JobKind, body: String) -> (u64, Arc<AtomicBool>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
@@ -136,9 +229,14 @@ impl JobRegistry {
             error: None,
             cancel: Arc::clone(&cancel),
             submitted: Instant::now(),
+            finished_at: None,
             elapsed_ms: None,
+            shards_total: None,
+            shards: Vec::new(),
         };
-        self.jobs.lock().insert(id, job);
+        let mut jobs = self.jobs.lock();
+        jobs.insert(id, job);
+        self.evict_locked(&mut jobs);
         (id, cancel)
     }
 
@@ -161,27 +259,51 @@ impl JobRegistry {
         Some((job.kind, job.body.clone(), Arc::clone(&job.cancel)))
     }
 
+    /// Declares how many shard partials the executor will produce for
+    /// a streaming job (sizes the partial-result table).
+    pub fn set_shards_total(&self, id: u64, total: usize) {
+        let mut jobs = self.jobs.lock();
+        if let Some(job) = jobs.get_mut(&id) {
+            job.shards_total = Some(total);
+            job.shards = vec![None; total];
+        }
+    }
+
+    /// Stores one shard's partial result (out-of-range or unknown ids
+    /// are ignored — the executor outlives eviction races).
+    pub fn put_shard(&self, id: u64, shard: usize, partial: Value) {
+        let mut jobs = self.jobs.lock();
+        if let Some(job) = jobs.get_mut(&id) {
+            if let Some(slot) = job.shards.get_mut(shard) {
+                *slot = Some(partial);
+            }
+        }
+    }
+
     /// Records a finished job.
     pub fn finish(&self, id: u64, outcome: Result<Value, String>, elapsed_ms: f64) {
         let mut jobs = self.jobs.lock();
-        let Some(job) = jobs.get_mut(&id) else { return };
-        job.elapsed_ms = Some(elapsed_ms);
-        // A cancel that raced the final cell wins: the client asked
-        // for the job to die and was told so.
-        if job.cancel.load(Ordering::Relaxed) {
-            job.status = JobStatus::Cancelled;
-            return;
-        }
-        match outcome {
-            Ok(value) => {
-                job.status = JobStatus::Done;
-                job.result = Some(value);
+        if let Some(job) = jobs.get_mut(&id) {
+            job.elapsed_ms = Some(elapsed_ms);
+            job.finished_at = Some(Instant::now());
+            // A cancel that raced the final cell wins: the client
+            // asked for the job to die and was told so.
+            if job.cancel.load(Ordering::Relaxed) {
+                job.status = JobStatus::Cancelled;
+            } else {
+                match outcome {
+                    Ok(value) => {
+                        job.status = JobStatus::Done;
+                        job.result = Some(value);
+                    }
+                    Err(message) => {
+                        job.status = JobStatus::Failed;
+                        job.error = Some(message);
+                    }
+                }
             }
-            Err(message) => {
-                job.status = JobStatus::Failed;
-                job.error = Some(message);
-            }
         }
+        self.evict_locked(&mut jobs);
     }
 
     /// Cancels a job. Queued jobs flip straight to `Cancelled`;
@@ -195,6 +317,7 @@ impl JobRegistry {
             JobStatus::Queued => {
                 job.cancel.store(true, Ordering::Relaxed);
                 job.status = JobStatus::Cancelled;
+                job.finished_at = Some(Instant::now());
             }
             JobStatus::Running => {
                 job.cancel.store(true, Ordering::Relaxed);
@@ -205,10 +328,16 @@ impl JobRegistry {
         Some(job.status)
     }
 
-    /// Per-status counts.
+    /// Per-status counts. Note `done`/`failed`/`cancelled` count jobs
+    /// still *resident* — eviction retires old entries, and `evicted`
+    /// accounts for them.
     pub fn counts(&self) -> JobCounts {
         let jobs = self.jobs.lock();
-        let mut c = JobCounts::default();
+        let mut c = JobCounts {
+            evicted: self.evicted.load(Ordering::Relaxed),
+            resident: jobs.len() as u64,
+            ..JobCounts::default()
+        };
         for job in jobs.values() {
             match job.status {
                 JobStatus::Queued => c.queued += 1,
@@ -285,6 +414,90 @@ mod tests {
         let (a, _) = reg.submit(JobKind::Sweep, "{}".into());
         let (b, _) = reg.submit(JobKind::Sweep, "{}".into());
         assert_eq!((a, b), (1, 2));
+    }
+
+    /// The job-result leak fix: a registry living through heavy job
+    /// churn stays bounded at the finished-job cap.
+    #[test]
+    fn registry_stays_bounded_under_churn() {
+        let reg = JobRegistry::with_eviction(EvictionPolicy {
+            finished_cap: 16,
+            ttl: Duration::from_secs(3600),
+        });
+        let mut first_id = 0;
+        for i in 0..500 {
+            let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+            if i == 0 {
+                first_id = id;
+            }
+            reg.start(id);
+            reg.finish(id, Ok(Value::Int(i)), 1.0);
+        }
+        let c = reg.counts();
+        assert_eq!(c.resident, 16, "resident capped: {c:?}");
+        assert_eq!(c.done, 16);
+        assert_eq!(c.evicted, 500 - 16);
+        assert!(reg.with_job(first_id, |j| j.id).is_none(), "oldest-finished evicted first");
+        // The newest finished job survives.
+        let newest = reg.jobs.lock().keys().max().copied().unwrap();
+        assert_eq!(reg.with_job(newest, |j| j.status), Some(JobStatus::Done));
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_spares_unfinished() {
+        let reg = JobRegistry::with_eviction(EvictionPolicy {
+            finished_cap: 1,
+            ttl: Duration::from_secs(3600),
+        });
+        let (running, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(running);
+        let (a, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(a);
+        reg.finish(a, Ok(Value::Unit), 1.0);
+        let (b, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(b);
+        reg.finish(b, Ok(Value::Unit), 1.0);
+        assert!(reg.with_job(a, |_| ()).is_none(), "older finished job evicted");
+        assert!(reg.with_job(b, |_| ()).is_some(), "newer finished job retained");
+        assert_eq!(
+            reg.with_job(running, |j| j.status),
+            Some(JobStatus::Running),
+            "running jobs are never evicted"
+        );
+    }
+
+    #[test]
+    fn ttl_eviction_ages_out_stale_results() {
+        let reg = JobRegistry::with_eviction(EvictionPolicy {
+            finished_cap: 100,
+            ttl: Duration::from_millis(20),
+        });
+        let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(id);
+        reg.finish(id, Ok(Value::Unit), 1.0);
+        assert!(reg.with_job(id, |_| ()).is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        // Any registry write triggers the sweep; a fresh submit is
+        // what a busy server does constantly.
+        let _ = reg.submit(JobKind::Sweep, "{}".into());
+        assert!(reg.with_job(id, |_| ()).is_none(), "stale result aged out");
+        assert_eq!(reg.counts().evicted, 1);
+    }
+
+    #[test]
+    fn shard_partials_fill_and_report_progress() {
+        let reg = JobRegistry::default();
+        let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(id);
+        reg.set_shards_total(id, 3);
+        assert_eq!(reg.with_job(id, Job::shards_done), Some(0));
+        reg.put_shard(id, 1, Value::Int(11));
+        reg.put_shard(id, 0, Value::Int(10));
+        reg.put_shard(id, 7, Value::Int(99)); // out of range: ignored
+        assert_eq!(reg.with_job(id, Job::shards_done), Some(2));
+        assert_eq!(reg.with_job(id, |j| j.shards[1].clone()), Some(Some(Value::Int(11))));
+        assert_eq!(reg.with_job(id, |j| j.shards[2].clone()), Some(None));
+        assert_eq!(reg.with_job(id, |j| j.shards_total), Some(Some(3)));
     }
 
     #[test]

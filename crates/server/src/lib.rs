@@ -20,8 +20,10 @@
 //! | `POST /v1/sweep` | full per-vector statistics ([`nanoleak_engine::SweepStats`]) |
 //! | `POST /v1/mlv` | min/max-leakage standby-vector search |
 //! | `POST /v1/jobs` | submit an async job (`"type"`: `sweep`, `mlv`, or `grid`) |
-//! | `GET /v1/jobs/{id}` | job status, and the result once done |
-//! | `DELETE /v1/jobs/{id}` | cancel (queued: immediate; running: at the next cell) |
+//! | `GET /v1/jobs/{id}` | job status with shard progress, and the result once done |
+//! | `GET /v1/jobs/{id}/result` | the final result alone (409 until done) |
+//! | `GET /v1/jobs/{id}/result?shard=K` | one shard's partial (202 while pending) |
+//! | `DELETE /v1/jobs/{id}` | cancel (queued: immediate; running: at the next shard/cell) |
 //!
 //! Request bodies are JSON objects; every analysis field is optional
 //! and defaults to the CLI's defaults (`vectors` 100, `seed` 2005,
@@ -39,7 +41,31 @@
 //! leakage-vs-temperature) where every cell characterizes the scaled
 //! technology through the shared in-RAM
 //! [`MemoLibraryCache`](nanoleak_engine::MemoLibraryCache) and runs
-//! one deterministic sweep.
+//! one deterministic sweep — cells fan across the worker pool in
+//! parallel, reduced back in cell order so the matrix is bit-identical
+//! to a sequential run.
+//!
+//! ## Scale machinery
+//!
+//! Three mechanisms keep the service alive under 10^6-vector
+//! workloads and millions of requests:
+//!
+//! * **Streaming sharded sweeps** — `"shard_vectors"` on a sweep job
+//!   executes the pattern space in index-order shards
+//!   ([`nanoleak_engine::sweep_streaming`]); each shard's partial
+//!   stats are paged at `GET /v1/jobs/{id}/result?shard=K` as it
+//!   lands, the job body reports `shards_done`/`shards_total`, and
+//!   the merged stats are bit-identical to a monolithic sweep.
+//! * **HTTP/1.1 keep-alive** — connections serve many requests
+//!   through one persistent parse buffer (pipelining-safe), with
+//!   `Connection:` negotiation, a per-connection request bound
+//!   ([`ServeConfig::keep_alive_requests`]), and an idle deadline
+//!   ([`ServeConfig::keep_alive_idle`]) that quietly closes idle
+//!   sockets but answers 408 to stalled partial requests.
+//! * **Bounded job registry** — finished jobs are evicted
+//!   oldest-first past [`ServeConfig::finished_jobs_cap`] (and a
+//!   TTL), with `evicted`/`resident` counters in `/v1/stats`, so the
+//!   registry no longer grows for the process lifetime.
 //!
 //! ## Anatomy
 //!
@@ -106,6 +132,20 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// `false` disables the disk layer (RAM memo only).
     pub disk_cache: bool,
+    /// Most requests served over one keep-alive connection before the
+    /// server closes it (`0` disables keep-alive: one request per
+    /// connection). Bounding this recycles connection threads under
+    /// pathological clients.
+    pub keep_alive_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_idle: Duration,
+    /// Most finished (done / failed / cancelled) jobs retained in the
+    /// registry; beyond it the oldest-finished are evicted.
+    pub finished_jobs_cap: usize,
+    /// Finished jobs older than this are evicted regardless of the
+    /// cap.
+    pub finished_job_ttl: Duration,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +156,10 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_dir: None,
             disk_cache: true,
+            keep_alive_requests: 1000,
+            keep_alive_idle: Duration::from_secs(5),
+            finished_jobs_cap: 512,
+            finished_job_ttl: Duration::from_secs(3600),
         }
     }
 }
@@ -131,6 +175,8 @@ pub struct ServerState {
     queue: Mutex<Option<JobQueue>>,
     queue_capacity: usize,
     workers: usize,
+    keep_alive_requests: usize,
+    keep_alive_idle: Duration,
     requests: AtomicU64,
     started: Instant,
 }
@@ -172,6 +218,8 @@ impl ServerState {
                 done: jobs.done,
                 failed: jobs.failed,
                 cancelled: jobs.cancelled,
+                evicted: jobs.evicted,
+                resident: jobs.resident,
             },
         }
     }
@@ -232,6 +280,12 @@ pub struct JobStats {
     pub failed: u64,
     /// Cancelled.
     pub cancelled: u64,
+    /// Finished jobs evicted from the registry (cap or TTL) since the
+    /// server started.
+    pub evicted: u64,
+    /// Jobs currently resident in the registry (all statuses) — stays
+    /// bounded under churn by the eviction policy.
+    pub resident: u64,
 }
 
 /// Asks a running [`Server`] to shut down (idempotent, callable from
@@ -307,10 +361,15 @@ impl Server {
             listener,
             state: ServerState {
                 cache,
-                jobs: JobRegistry::default(),
+                jobs: JobRegistry::with_eviction(jobs::EvictionPolicy {
+                    finished_cap: config.finished_jobs_cap,
+                    ttl: config.finished_job_ttl,
+                }),
                 queue: Mutex::new(Some(queue)),
                 queue_capacity: config.queue_capacity.max(1),
                 workers,
+                keep_alive_requests: config.keep_alive_requests,
+                keep_alive_idle: config.keep_alive_idle,
                 requests: AtomicU64::new(0),
                 started: Instant::now(),
             },
@@ -371,7 +430,7 @@ impl Server {
                     break;
                 }
                 match self.listener.accept() {
-                    Ok((mut stream, _peer)) => {
+                    Ok((stream, _peer)) => {
                         if active_connections.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
                             let _ = stream.set_nonblocking(false);
                             let overloaded = http::Response::json(
@@ -382,13 +441,14 @@ impl Server {
                                 }
                                 .body(),
                             );
-                            let _ = http::write_response(&mut stream, &overloaded);
+                            let _ = http::write_response(&stream, &overloaded, true);
                             continue;
                         }
                         active_connections.fetch_add(1, Ordering::Relaxed);
                         let active = Arc::clone(&active_connections);
+                        let shutdown = Arc::clone(&self.shutdown);
                         scope.spawn(move || {
-                            handle_connection(state, stream);
+                            handle_connection(state, stream, &shutdown);
                             active.fetch_sub(1, Ordering::Relaxed);
                         });
                     }
@@ -409,32 +469,57 @@ impl Server {
     }
 }
 
-/// Serves one connection: one request, one response, close.
-fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+/// Serves one connection: a keep-alive loop reading requests through
+/// one persistent [`http::Conn`] buffer until the client closes, asks
+/// for `Connection: close`, idles past the deadline, exceeds the
+/// per-connection request bound, or the server starts shutting down.
+fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBool) {
     let _ = stream.set_nonblocking(false);
-    let response = match http::read_request(&mut stream) {
-        Ok(None) => return,
-        Ok(Some(request)) => {
-            state.count_request();
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                router::route(state, &request)
-            }));
-            outcome.unwrap_or_else(|_| {
-                http::Response::json(
-                    500,
-                    api::ApiError { status: 500, message: "handler panicked".into() }.body(),
-                )
-            })
+    let mut conn = http::Conn::new(&stream);
+    let mut served: usize = 0;
+    loop {
+        // The first request gets the full read budget; follow-ups on
+        // a warm connection are bounded by the (shorter) idle
+        // deadline, so parked keep-alive sockets release their thread
+        // promptly.
+        let timeout = if served == 0 { http::READ_TIMEOUT } else { state.keep_alive_idle };
+        let (response, keep_alive) = match conn.read_request(timeout) {
+            // Clean EOF, or idle past the keep-alive deadline.
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                state.count_request();
+                served += 1;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    router::route(state, &request)
+                }));
+                let response = outcome.unwrap_or_else(|_| {
+                    http::Response::json(
+                        500,
+                        api::ApiError { status: 500, message: "handler panicked".into() }.body(),
+                    )
+                });
+                let keep = request.wants_keep_alive()
+                    && served < state.keep_alive_requests
+                    && !shutdown.load(Ordering::SeqCst)
+                    && !SIGNAL_SHUTDOWN.load(Ordering::SeqCst);
+                (response, keep)
+            }
+            // Protocol errors (including a stalled partial request —
+            // the slow-loris 408) always close: the connection state
+            // is unknowable past a framing failure.
+            Err(e) => {
+                state.count_request();
+                let response = http::Response::json(
+                    e.status,
+                    api::ApiError { status: e.status, message: e.message }.body(),
+                );
+                (response, false)
+            }
+        };
+        if http::write_response(&stream, &response, !keep_alive).is_err() || !keep_alive {
+            return;
         }
-        Err(e) => {
-            state.count_request();
-            http::Response::json(
-                e.status,
-                api::ApiError { status: e.status, message: e.message }.body(),
-            )
-        }
-    };
-    let _ = http::write_response(&mut stream, &response);
+    }
 }
 
 #[cfg(test)]

@@ -31,8 +31,15 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
         ("POST", "/v1/mlv") => sync_endpoint(state, req, api::run_mlv),
         ("POST", "/v1/jobs") => submit_job(state, req),
         (method, path) => {
-            if let Some(id) = path.strip_prefix("/v1/jobs/") {
-                return job_route(state, method, id);
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                return match rest.split_once('/') {
+                    None => job_route(state, method, rest),
+                    Some((id, "result")) => job_result_route(state, method, id, req),
+                    Some(_) => err_response(&ApiError {
+                        status: 404,
+                        message: format!("no route for {path}"),
+                    }),
+                };
             }
             let known = matches!(
                 path,
@@ -131,6 +138,87 @@ fn job_route(state: &ServerState, method: &str, id_raw: &str) -> Response {
     }
 }
 
+/// `GET /v1/jobs/{id}/result[?shard=K]`: the final result alone, or
+/// one shard's partial — the paging interface that replaces polling a
+/// single giant job body for streaming jobs.
+fn job_result_route(state: &ServerState, method: &str, id_raw: &str, req: &Request) -> Response {
+    if method != "GET" {
+        return err_response(&ApiError {
+            status: 405,
+            message: format!("{method} not allowed on job results"),
+        });
+    }
+    let Ok(id) = id_raw.parse::<u64>() else {
+        return err_response(&ApiError::bad(format!("malformed job id '{id_raw}'")));
+    };
+    let Some(shard_raw) = req.query_param("shard") else {
+        // No shard: the merged final result, available once done.
+        return match state.jobs.with_job(id, |job| (job.status, job.result.clone())) {
+            None => err_response(&ApiError { status: 404, message: format!("no job {id}") }),
+            Some((JobStatus::Done, Some(result))) => {
+                let body = Value::Record(vec![
+                    ("id".into(), Value::Int(i128::from(id))),
+                    ("status".into(), Value::Str("done".into())),
+                    ("result".into(), result),
+                ]);
+                Response::json(200, json::value_to_string(&body))
+            }
+            Some((status, _)) => err_response(&ApiError {
+                status: 409,
+                message: format!("job {id} is {}, not done", status.name()),
+            }),
+        };
+    };
+    let Ok(shard) = shard_raw.parse::<usize>() else {
+        return err_response(&ApiError::bad(format!("malformed shard index '{shard_raw}'")));
+    };
+    let Some(page) = state.jobs.with_job(id, |job| {
+        (job.shards_total, job.shards.get(shard).cloned().flatten(), job.shards_done(), job.status)
+    }) else {
+        return err_response(&ApiError { status: 404, message: format!("no job {id}") });
+    };
+    match page {
+        (None, _, _, _) => err_response(&ApiError {
+            status: 404,
+            message: format!("job {id} has no shard results (not a streaming job, or not started)"),
+        }),
+        (Some(total), _, _, _) if shard >= total => err_response(&ApiError {
+            status: 404,
+            message: format!("shard {shard} out of range ({total} shards)"),
+        }),
+        // A terminal job will never fill the missing slot: answering
+        // "pending" would make pacing clients poll forever.
+        (Some(_), None, _, status @ (JobStatus::Failed | JobStatus::Cancelled)) => {
+            err_response(&ApiError {
+                status: 409,
+                message: format!("job {id} is {}; shard {shard} was never computed", status.name()),
+            })
+        }
+        (Some(total), None, done, _) => {
+            // Declared but not yet computed: 202 tells pollers to
+            // come back, with enough progress to pace themselves.
+            let body = Value::Record(vec![
+                ("id".into(), Value::Int(i128::from(id))),
+                ("shard".into(), Value::Int(shard as i128)),
+                ("status".into(), Value::Str("pending".into())),
+                ("shards_done".into(), Value::Int(done as i128)),
+                ("shards_total".into(), Value::Int(total as i128)),
+            ]);
+            Response::json(202, json::value_to_string(&body))
+        }
+        (Some(total), Some(partial), done, _) => {
+            let body = Value::Record(vec![
+                ("id".into(), Value::Int(i128::from(id))),
+                ("shard".into(), Value::Int(shard as i128)),
+                ("shards_done".into(), Value::Int(done as i128)),
+                ("shards_total".into(), Value::Int(total as i128)),
+                ("partial".into(), partial),
+            ]);
+            Response::json(200, json::value_to_string(&body))
+        }
+    }
+}
+
 /// The status body of one job.
 fn job_body(job: &crate::jobs::Job) -> Value {
     let mut fields = vec![
@@ -139,6 +227,10 @@ fn job_body(job: &crate::jobs::Job) -> Value {
         ("status".into(), Value::Str(job.status.name().into())),
         ("age_ms".into(), Value::F64(job.submitted.elapsed().as_secs_f64() * 1e3)),
     ];
+    if let Some(total) = job.shards_total {
+        fields.push(("shards_total".into(), Value::Int(total as i128)));
+        fields.push(("shards_done".into(), Value::Int(job.shards_done() as i128)));
+    }
     if let Some(ms) = job.elapsed_ms {
         fields.push(("elapsed_ms".into(), Value::F64(ms)));
     }
@@ -151,6 +243,29 @@ fn job_body(job: &crate::jobs::Job) -> Value {
     Value::Record(fields)
 }
 
+/// [`api::JobObserver`] backed by the job registry: partials land in
+/// the job's shard table as they complete, and the job's cancel flag
+/// aborts the executor at the next shard/cell boundary.
+struct RegistryObserver<'a> {
+    state: &'a ServerState,
+    id: u64,
+    cancel: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl api::JobObserver for RegistryObserver<'_> {
+    fn declare(&self, total: usize) {
+        self.state.jobs.set_shards_total(self.id, total);
+    }
+
+    fn unit(&self, index: usize, partial: Value) {
+        self.state.jobs.put_shard(self.id, index, partial);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Executes one dequeued job against the engine (called from worker
 /// threads).
 pub fn execute_job(state: &ServerState, id: u64) {
@@ -158,13 +273,15 @@ pub fn execute_job(state: &ServerState, id: u64) {
         return; // cancelled while queued, or unknown
     };
     let started = std::time::Instant::now();
-    let cancelled = || cancel.load(std::sync::atomic::Ordering::Relaxed);
+    let observer = RegistryObserver { state, id, cancel };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let body = Body::parse(&text)?;
         match kind {
-            JobKind::Sweep => api::run_sweep(&state.cache, &body).map(|r| r.to_value()),
+            JobKind::Sweep => {
+                api::run_sweep_streaming(&state.cache, &body, &observer).map(|r| r.to_value())
+            }
             JobKind::Mlv => api::run_mlv(&state.cache, &body).map(|r| r.to_value()),
-            JobKind::Grid => api::run_grid(&state.cache, &body, &cancelled).map(|r| r.to_value()),
+            JobKind::Grid => api::run_grid(&state.cache, &body, &observer).map(|r| r.to_value()),
         }
     }));
     let result = match outcome {

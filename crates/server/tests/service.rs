@@ -7,7 +7,7 @@
 //! queued → running → done (and cancels), and malformed JSON /
 //! unknown routes come back as structured 4xx errors.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -29,14 +29,21 @@ struct TestServer {
 
 impl TestServer {
     fn start(threads: usize, queue_capacity: usize) -> Self {
-        let server = Server::bind(&ServeConfig {
+        Self::start_cfg(ServeConfig { threads, queue_capacity, ..Self::base_config() })
+    }
+
+    /// Hermetic defaults: ephemeral port, RAM memo only.
+    fn base_config() -> ServeConfig {
+        ServeConfig {
             addr: "127.0.0.1:0".into(),
-            threads,
-            queue_capacity,
             cache_dir: None,
-            disk_cache: false, // hermetic: RAM memo only
-        })
-        .expect("bind ephemeral port");
+            disk_cache: false,
+            ..Default::default()
+        }
+    }
+
+    fn start_cfg(config: ServeConfig) -> Self {
+        let server = Server::bind(&config).expect("bind ephemeral port");
         let addr = server.local_addr().expect("bound address");
         let handle = server.shutdown_handle();
         let thread = std::thread::spawn(move || server.run());
@@ -294,6 +301,167 @@ fn queued_jobs_cancel_and_stats_count_everything() {
     );
 }
 
+/// Writes one request on an already-open keep-alive stream.
+fn write_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let head =
+        format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+}
+
+/// Reads exactly one response off a keep-alive stream; `None` on EOF.
+/// Returns `(status, connection_header, body)`.
+fn read_one_response(reader: &mut BufReader<&TcpStream>) -> Option<(u16, String, String)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).expect("read status line") == 0 {
+        return None;
+    }
+    let status: u16 = line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    let mut connection = String::new();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("read header");
+        let t = h.trim();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            match k.to_ascii_lowercase().as_str() {
+                "content-length" => content_length = v.trim().parse().expect("length"),
+                "connection" => connection = v.trim().to_string(),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    Some((status, connection, String::from_utf8(body).expect("utf8 body")))
+}
+
+/// The keep-alive acceptance criterion: one TCP connection serves
+/// 100+ sequential requests, each correctly framed and answered.
+#[test]
+fn keep_alive_serves_100_requests_on_one_connection() {
+    let server = TestServer::start(1, 8);
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let read_stream = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(&read_stream);
+    for i in 0..120 {
+        // Alternate routes so framing errors can't hide behind
+        // identical responses.
+        if i % 2 == 0 {
+            write_request(&mut stream, "GET", "/healthz", "");
+        } else {
+            write_request(&mut stream, "GET", "/v1/stats", "");
+        }
+        let (status, connection, body) =
+            read_one_response(&mut reader).unwrap_or_else(|| panic!("EOF at request {i}"));
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert_eq!(connection, "keep-alive", "request {i}");
+        if i % 2 == 0 {
+            assert_eq!(body, r#"{"status":"ok"}"#);
+        }
+    }
+    // Server-side request counter proves it was one warm path, not
+    // silent reconnects.
+    let (status, body) = request(&server, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let Value::Int(requests) = field(&body, "requests") else { panic!("requests: {body}") };
+    assert!(requests >= 121, "all keep-alive requests were counted: {requests}");
+}
+
+#[test]
+fn connection_close_and_http_10_are_honored() {
+    let server = TestServer::start(1, 8);
+    // Explicit close: exactly one response, then EOF.
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.contains("200 OK") && raw.contains("Connection: close"), "{raw}");
+
+    // HTTP/1.0 defaults to close without asking.
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream.write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.contains("Connection: close"), "{raw}");
+}
+
+#[test]
+fn keep_alive_request_bound_recycles_the_connection() {
+    let server = TestServer::start_cfg(ServeConfig {
+        threads: 1,
+        queue_capacity: 8,
+        keep_alive_requests: 3,
+        ..TestServer::base_config()
+    });
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let read_stream = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(&read_stream);
+    for i in 0..3 {
+        write_request(&mut stream, "GET", "/healthz", "");
+        let (status, connection, _) = read_one_response(&mut reader).expect("response");
+        assert_eq!(status, 200);
+        let expect = if i < 2 { "keep-alive" } else { "close" };
+        assert_eq!(connection, expect, "request {i} announces the bound");
+    }
+    assert!(read_one_response(&mut reader).is_none(), "connection closed after the bound");
+}
+
+/// The slow-loris case: a complete first request, then a *partial*
+/// second request that stalls. The idle deadline must answer 408 and
+/// close — not hold the handler thread indefinitely.
+#[test]
+fn slow_loris_partial_second_request_hits_the_idle_deadline() {
+    let server = TestServer::start_cfg(ServeConfig {
+        threads: 1,
+        queue_capacity: 8,
+        keep_alive_idle: Duration::from_millis(250),
+        ..TestServer::base_config()
+    });
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let read_stream = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(&read_stream);
+    write_request(&mut stream, "GET", "/healthz", "");
+    let (status, _, _) = read_one_response(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+
+    // Half a request line, then silence.
+    stream.write_all(b"GET /healthz HTT").expect("partial write");
+    let start = Instant::now();
+    let (status, connection, body) =
+        read_one_response(&mut reader).expect("the stall gets an answer, not a hang");
+    assert_eq!(status, 408, "{body}");
+    assert_eq!(connection, "close");
+    assert!(assert_error(&body, 408).contains("deadline"));
+    assert!(start.elapsed() < Duration::from_secs(5), "answered at the idle deadline");
+    assert!(read_one_response(&mut reader).is_none(), "connection closed after 408");
+}
+
+/// An idle keep-alive connection is closed quietly (no 408 spam) once
+/// the idle deadline passes.
+#[test]
+fn idle_keep_alive_connection_closes_quietly() {
+    let server = TestServer::start_cfg(ServeConfig {
+        threads: 1,
+        queue_capacity: 8,
+        keep_alive_idle: Duration::from_millis(200),
+        ..TestServer::base_config()
+    });
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let read_stream = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(&read_stream);
+    write_request(&mut stream, "GET", "/healthz", "");
+    let (status, _, _) = read_one_response(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+    // Send nothing more: EOF, not an error response.
+    assert!(read_one_response(&mut reader).is_none(), "quiet close on idle");
+}
+
 #[test]
 fn full_queue_is_backpressure_not_an_error_500() {
     // Capacity-1 queue and one worker: the first job runs, the second
@@ -314,4 +482,226 @@ fn full_queue_is_backpressure_not_an_error_500() {
         }
     }
     assert!(saw_503, "a bounded queue must eventually push back");
+}
+
+/// The streaming acceptance criterion over HTTP: a sharded sweep job
+/// reports per-shard progress, pages each shard's partial, and its
+/// merged stats are bit-identical to the in-process monolithic
+/// `sweep()` — across two shard sizes and thread counts.
+#[test]
+fn sharded_sweep_job_pages_partials_and_merges_bit_identically() {
+    let server = TestServer::start(2, 8);
+
+    let circuit = normalize(&iscas_like("s838").unwrap()).unwrap();
+    let lib = CellLibrary::shared_with_options(
+        &Technology::d25(),
+        300.0,
+        &CharacterizeOptions::coarse(&CellType::ALL),
+    );
+    let config = SweepConfig { vectors: 12, seed: 77, threads: 1, mode: EstimatorMode::Lut };
+    let local = sweep(&circuit, &lib, &config).expect("local sweep");
+
+    for (shard_vectors, threads, shards_total) in [(4usize, 2usize, 3i128), (5, 1, 3)] {
+        let submit = format!(
+            r#"{{"type": "sweep", "target": "s838", "vectors": 12, "seed": 77,
+                "threads": {threads}, "shard_vectors": {shard_vectors}, "coarse": true}}"#
+        );
+        let (status, body) = request(&server, "POST", "/v1/jobs", &submit);
+        assert_eq!(status, 202, "{body}");
+        let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+
+        let (state, body) = wait_for_job(&server, id, Duration::from_secs(120));
+        assert_eq!(state, "done", "{body}");
+        assert_eq!(field(&body, "shards_total"), Value::Int(shards_total), "{body}");
+        assert_eq!(field(&body, "shards_done"), Value::Int(shards_total), "{body}");
+
+        // The merged result equals the monolithic in-process sweep.
+        let result = field(&body, "result");
+        let Value::Record(result_fields) = &result else { panic!("result: {body}") };
+        let stats_value =
+            &result_fields.iter().find(|(n, _)| n == "stats").expect("stats present").1;
+        let http_stats = SweepStats::from_value(stats_value).expect("decode stats");
+        assert_eq!(
+            http_stats, local.stats,
+            "sharded job (shard_vectors {shard_vectors}, threads {threads}) \
+             must merge bit-identically"
+        );
+
+        // Every shard pages independently, with coherent framing.
+        let mut total_vectors = 0i128;
+        for shard in 0..shards_total {
+            let (status, page) =
+                request(&server, "GET", &format!("/v1/jobs/{id}/result?shard={shard}"), "");
+            assert_eq!(status, 200, "shard {shard}: {page}");
+            assert_eq!(field(&page, "shard"), Value::Int(shard));
+            assert_eq!(field(&page, "shards_total"), Value::Int(shards_total));
+            let Value::Record(partial) = field(&page, "partial") else { panic!("{page}") };
+            let vectors = partial
+                .iter()
+                .find(|(n, _)| n == "vectors")
+                .and_then(|(_, v)| if let Value::Int(n) = v { Some(*n) } else { None })
+                .expect("partial.vectors");
+            total_vectors += vectors;
+        }
+        assert_eq!(total_vectors, 12, "shards tile the vector space");
+
+        // Out-of-range shards and the no-shard result page behave.
+        let (status, page) =
+            request(&server, "GET", &format!("/v1/jobs/{id}/result?shard={shards_total}"), "");
+        assert_eq!(status, 404, "{page}");
+        assert!(assert_error(&page, 404).contains("out of range"));
+        let (status, page) = request(&server, "GET", &format!("/v1/jobs/{id}/result"), "");
+        assert_eq!(status, 200, "{page}");
+        let Value::Record(_) = field(&page, "result") else { panic!("{page}") };
+    }
+}
+
+/// A shard page of a terminal (cancelled) job must answer 409, not
+/// 202 "pending" — pacing clients would otherwise poll forever.
+#[test]
+fn shard_pages_of_cancelled_jobs_are_conflict_not_pending() {
+    let server = TestServer::start(1, 8);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"type": "sweep", "target": "s838", "vectors": 20000, "shard_vectors": 500,
+            "coarse": true}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+
+    // Wait until the executor has declared shards and finished at
+    // least one, then cancel between shards.
+    let start = Instant::now();
+    loop {
+        let (_, body) = request(&server, "GET", &format!("/v1/jobs/{id}"), "");
+        let done = json::value_from_str(&body)
+            .ok()
+            .and_then(|v| {
+                let Value::Record(fields) = v else { return None };
+                fields.into_iter().find(|(n, _)| n == "shards_done").map(|(_, v)| v)
+            })
+            .and_then(|v| if let Value::Int(n) = v { Some(n) } else { None })
+            .unwrap_or(0);
+        if done >= 1 {
+            break;
+        }
+        assert!(start.elapsed() < Duration::from_secs(120), "no shard progress: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, body) = request(&server, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+
+    let (state, _) = wait_for_job(&server, id, Duration::from_secs(120));
+    if state == "cancelled" {
+        // The last shard can never arrive now: 409, not 202.
+        let (status, page) = request(&server, "GET", &format!("/v1/jobs/{id}/result?shard=39"), "");
+        assert_eq!(status, 409, "{page}");
+        assert!(assert_error(&page, 409).contains("cancelled"));
+        // Completed shards stay pageable.
+        let (status, page) = request(&server, "GET", &format!("/v1/jobs/{id}/result?shard=0"), "");
+        assert_eq!(status, 200, "{page}");
+    } else {
+        // The executor won the race and finished first — legal, just
+        // means the cancel landed too late to exercise the 409 path.
+        assert_eq!(state, "done");
+    }
+}
+
+/// The job-result-leak fix observed over HTTP: under job churn the
+/// registry stays at its finished cap, evictions are surfaced in
+/// `/v1/stats`, and evicted jobs 404.
+#[test]
+fn finished_jobs_are_evicted_under_churn() {
+    let server = TestServer::start_cfg(ServeConfig {
+        threads: 1,
+        queue_capacity: 8,
+        finished_jobs_cap: 3,
+        ..TestServer::base_config()
+    });
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        let (status, body) = request(
+            &server,
+            "POST",
+            "/v1/jobs",
+            r#"{"type": "sweep", "target": "s838", "vectors": 2, "coarse": true}"#,
+        );
+        assert_eq!(status, 202, "{body}");
+        let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+        let (state, _) = wait_for_job(&server, id, Duration::from_secs(120));
+        assert_eq!(state, "done");
+        ids.push(id);
+    }
+
+    let (status, body) = request(&server, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let Value::Record(jobs) = field(&body, "jobs") else { panic!("jobs: {body}") };
+    let count = |name: &str| {
+        jobs.iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| if let Value::Int(i) = v { Some(*i) } else { None })
+            .unwrap_or_else(|| panic!("jobs.{name}: {body}"))
+    };
+    assert_eq!(count("resident"), 3, "registry bounded at the cap: {body}");
+    assert_eq!(count("evicted"), 5, "{body}");
+    assert_eq!(count("done"), 3, "resident finished jobs: {body}");
+
+    // The oldest jobs are gone; the newest survive.
+    let (status, _) = request(&server, "GET", &format!("/v1/jobs/{}", ids[0]), "");
+    assert_eq!(status, 404, "evicted job 404s");
+    let (status, _) = request(&server, "GET", &format!("/v1/jobs/{}", ids[7]), "");
+    assert_eq!(status, 200, "newest job still readable");
+}
+
+/// The grid-fan fix: cells now run in parallel across the pool, and
+/// the matrix must be bit-identical to a sequential cell-by-cell run.
+#[test]
+fn parallel_grid_matrix_is_bit_identical_to_sequential() {
+    let server = TestServer::start(4, 8);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"type": "grid", "target": "s838", "vectors": 4, "seed": 9, "coarse": true,
+            "temps": [300, 350], "vdd_scales": [0.9, 1.0]}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+    let (state, body) = wait_for_job(&server, id, Duration::from_secs(120));
+    assert_eq!(state, "done", "{body}");
+    assert_eq!(field(&body, "shards_done"), Value::Int(4), "one partial per cell");
+    let result = field(&body, "result");
+    let Value::Record(result_fields) = &result else { panic!("result: {body}") };
+    let matrix = result_fields
+        .iter()
+        .find(|(n, _)| n == "mean_total_a")
+        .map(|(_, v)| Vec::<Vec<f64>>::from_value(v).expect("matrix decodes"))
+        .expect("mean_total_a present");
+
+    // Sequential reference: one cell at a time, in row-major order,
+    // exactly what the pre-fan executor did.
+    let circuit = normalize(&iscas_like("s838").unwrap()).unwrap();
+    let config = SweepConfig { vectors: 4, seed: 9, threads: 1, mode: EstimatorMode::Lut };
+    let mut expected = Vec::new();
+    for temp in [300.0, 350.0] {
+        let mut row = Vec::new();
+        for scale in [0.9, 1.0] {
+            let mut tech = Technology::d25();
+            tech.vdd *= scale;
+            // Characterize directly: the process-wide shared cache
+            // keys on tech *name*, which a vdd scale does not change.
+            let lib = CellLibrary::characterize(
+                &tech,
+                temp,
+                &CharacterizeOptions::coarse(&CellType::ALL),
+            )
+            .expect("characterize scaled tech");
+            let report = sweep(&circuit, &lib, &config).expect("cell sweep");
+            row.push(report.stats.total.mean);
+        }
+        expected.push(row);
+    }
+    assert_eq!(matrix, expected, "parallel fan must not move a single bit");
 }

@@ -1,6 +1,7 @@
 //! Drive the `nanoleak-serve` HTTP API as a client: submit a
 //! temperature × Vdd condition-grid job and print the resulting
-//! leakage matrix.
+//! leakage matrix, then stream a sharded sweep job and page its
+//! per-shard partials as they land.
 //!
 //! Starts a service instance in-process on an ephemeral port (exactly
 //! what `nanoleak-cli serve` runs), then talks to it over plain TCP —
@@ -116,6 +117,49 @@ fn main() {
         int(get(cache, "characterizations")),
         int(get(cache, "memory_hits"))
     );
+
+    // Second act: a sharded sweep. 512 vectors in shards of 128 —
+    // the same protocol that pages a 10^6-vector sweep without one
+    // giant response body. Partials are polled as the job runs.
+    let job = r#"{
+        "type": "sweep", "target": "s1196", "vectors": 512, "seed": 2005,
+        "shard_vectors": 128, "coarse": true
+    }"#;
+    let resp = json::value_from_str(&http(addr, "POST", "/v1/jobs", job)).expect("submit JSON");
+    let Value::Int(id) = get(&resp, "id") else { panic!("no job id: {resp:?}") };
+    println!("\nsubmitted sharded sweep job #{id} (s1196, 512 vectors, 4 shards of 128)");
+
+    // Page each shard in order; a 202 means "not computed yet".
+    let mut shard = 0usize;
+    let mut shard_means = Vec::new();
+    while shard < 4 {
+        let body = http(addr, "GET", &format!("/v1/jobs/{id}/result?shard={shard}"), "");
+        let page = json::value_from_str(&body).expect("shard page JSON");
+        let Value::Record(fields) = &page else { panic!("bad page: {body}") };
+        if fields.iter().any(|(n, _)| n == "partial") {
+            let partial = get(&page, "partial");
+            let mean = f64::from_value(get(get(get(partial, "stats"), "total"), "mean"))
+                .expect("shard mean");
+            println!(
+                "  shard {shard}: vectors {}..{} mean {:.4} uA",
+                int(get(partial, "start")),
+                int(get(partial, "start")) + int(get(partial, "vectors")),
+                mean * 1e6
+            );
+            shard_means.push(mean);
+            shard += 1;
+        } else {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    // The merged result is bit-identical to a monolithic sweep of the
+    // same seed — sharding is a transport detail, not a math change.
+    let body = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+    let merged = json::value_from_str(&body).expect("result JSON");
+    let stats = get(get(&merged, "result"), "stats");
+    let mean = f64::from_value(get(get(stats, "total"), "mean")).expect("mean");
+    println!("  merged: 512 vectors mean {:.4} uA (bit-exact vs monolithic)", mean * 1e6);
 
     shutdown.request();
     host.join().expect("server thread").expect("server run");

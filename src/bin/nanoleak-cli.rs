@@ -5,13 +5,14 @@
 //! nanoleak-cli estimate <target> [--vectors N] [--seed S] [--temp K] [--reference]
 //!                                [--format text|json] [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli sweep    <target> [--vectors N] [--seed S] [--temp K] [--threads N]
-//!                                [--mode lut|noloading|direct] [--format text|json]
-//!                                [--no-cache] [--cache-dir DIR]
+//!                                [--mode lut|noloading|direct] [--shard-vectors N]
+//!                                [--format text|json] [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli mlv      <target> [--goal min|max] [--strategy exhaustive|random|hillclimb]
 //!                                [--samples N] [--restarts N] [--max-steps N]
 //!                                [--seed S] [--temp K] [--threads N]
 //!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli serve    [--addr HOST:PORT] [--threads N] [--queue N]
+//!                       [--keep-alive N] [--job-cap N]
 //!                       [--no-cache] [--cache-dir DIR]
 //! ```
 //!
@@ -31,8 +32,8 @@ use std::time::Instant;
 
 use nanoleak::prelude::*;
 use nanoleak_engine::{
-    mlv_search, sweep, CacheOutcome, LibraryCache, MlvConfig, MlvGoal, MlvStrategy, ScalarStats,
-    SweepConfig,
+    mlv_search, shard_count, sweep_streaming, CacheOutcome, LibraryCache, MlvConfig, MlvGoal,
+    MlvStrategy, ScalarStats, SweepConfig,
 };
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
 use nanoleak_serve::api::{fmt_pattern, EstimateResponse, SweepResponse};
@@ -60,6 +61,11 @@ common options:
 estimate options:
   --reference     also run the full transistor-level reference solve
 
+sweep options:
+  --shard-vectors N   stream the sweep in shards of N vectors (progress per
+                      shard on stderr; merged stats are bit-identical to a
+                      monolithic run; default 0 = one shard)
+
 mlv options:
   --goal min|max                       search direction (default min)
   --strategy exhaustive|random|hillclimb   (default hillclimb)
@@ -69,7 +75,11 @@ mlv options:
 
 serve options:
   --addr A        bind address (default 127.0.0.1:8425)
-  --queue N       bound on queued jobs (default 64)";
+  --queue N       bound on queued jobs (default 64)
+  --keep-alive N  max requests per keep-alive connection (0 = one request
+                  per connection; default 1000)
+  --job-cap N     finished jobs retained before oldest-first eviction
+                  (default 512)";
 
 /// Strict argument list: every flag must be consumed by the active
 /// subcommand or parsing fails.
@@ -411,6 +421,7 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
         mode: parse_mode(args.take_value("--mode")?)?,
     };
     let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let shard_vectors: usize = args.take_parsed("--shard-vectors", 0)?;
     let format = OutputFormat::take(&mut args)?;
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
@@ -425,7 +436,23 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
     let tech = Technology::d25();
     let lib = load_library(&tech, temp, &cache, format == OutputFormat::Json);
 
-    let report = sweep(&circuit, &lib, &config).map_err(|e| format!("sweep failed: {e}"))?;
+    // Progress streams to stderr so `--format json` stdout stays
+    // machine-parseable; merged stats are bit-identical to a
+    // monolithic sweep for any shard size.
+    let shards = shard_count(config.vectors, shard_vectors);
+    let report = sweep_streaming(&circuit, &lib, &config, shard_vectors, |shard| {
+        if shards > 1 {
+            eprintln!(
+                "[sweep] shard {}/{shards}: {} vectors done (mean {:.4} uA)",
+                shard.shard + 1,
+                shard.start + shard.vectors,
+                shard.stats.total.mean * 1e6
+            );
+        }
+        true
+    })
+    .map_err(|e| format!("sweep failed: {e}"))?
+    .expect("CLI sweeps are never cancelled");
     let s = &report.stats;
     let t = &report.telemetry;
 
@@ -436,6 +463,7 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
             gates: circuit.gate_count(),
             temp,
             config,
+            shards,
             min_vector: fmt_pattern(&s.min.pattern),
             max_vector: fmt_pattern(&s.max.pattern),
             stats: s.clone(),
@@ -557,11 +585,18 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
 }
 
 fn cmd_serve(mut args: Args) -> Result<(), String> {
+    let defaults = ServeConfig::default();
     let addr = args.take_value("--addr")?.unwrap_or_else(|| "127.0.0.1:8425".to_string());
     let threads: usize = args.take_parsed("--threads", 0)?;
     let queue_capacity: usize = args.take_parsed("--queue", 64)?;
+    let keep_alive_requests: usize =
+        args.take_parsed("--keep-alive", defaults.keep_alive_requests)?;
+    let finished_jobs_cap: usize = args.take_parsed("--job-cap", defaults.finished_jobs_cap)?;
     if queue_capacity == 0 {
         return Err("--queue must be at least 1".to_string());
+    }
+    if finished_jobs_cap == 0 {
+        return Err("--job-cap must be at least 1".to_string());
     }
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
@@ -572,6 +607,9 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
         queue_capacity,
         cache_dir: cache.dir.map(std::path::PathBuf::from),
         disk_cache: cache.enabled,
+        keep_alive_requests,
+        finished_jobs_cap,
+        ..defaults
     };
     nanoleak_serve::install_signal_handlers();
     let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -579,10 +617,13 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
     let stats = server.state().stats();
     println!("nanoleak-serve listening on http://{addr}");
     println!(
-        "  {} job worker(s), queue capacity {}, disk cache {}",
+        "  {} job worker(s), queue capacity {}, disk cache {}, \
+         keep-alive {} req/conn, {} finished jobs retained",
         stats.workers,
         stats.queue.capacity,
         if config.disk_cache { "on" } else { "off" },
+        config.keep_alive_requests,
+        config.finished_jobs_cap,
     );
     println!("  endpoints: /healthz /v1/stats /v1/estimate /v1/sweep /v1/mlv /v1/jobs");
     println!("  ctrl-c or SIGTERM drains queued jobs and exits");
