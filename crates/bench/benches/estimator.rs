@@ -1,0 +1,52 @@
+//! Compiled-plan vs legacy per-pattern estimation on the s1196-sized
+//! benchmark, plus single-thread sweep throughput (vectors/sec) on
+//! the compiled path. `cargo run --release -p nanoleak-bench --bin
+//! bench_sweep` records the committed `BENCH_sweep.json` baseline
+//! from the same workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nanoleak_cells::CharacterizeOptions;
+use nanoleak_core::{estimate, CompiledEstimator, EstimatorMode};
+use nanoleak_device::Technology;
+use nanoleak_engine::{pattern_for_index, sweep, LibraryCache, SweepConfig};
+use nanoleak_netlist::generate::iscas_like;
+use nanoleak_netlist::normalize::normalize;
+
+fn bench_estimator(c: &mut Criterion) {
+    let tech = Technology::d25();
+    // Production-resolution library through the disk cache — the same
+    // workload `bench_sweep` records as BENCH_sweep.json.
+    let (lib, _) = LibraryCache::default_location()
+        .load_or_characterize(&tech, 300.0, &CharacterizeOptions::default())
+        .expect("characterize library");
+    let circuit = normalize(&iscas_like("s1196").unwrap()).unwrap();
+    let pattern = pattern_for_index(&circuit, 2005, 0);
+
+    let mut group = c.benchmark_group("estimate_s1196_per_pattern");
+    group.sample_size(10);
+    group.bench_function("legacy_estimate", |b| {
+        b.iter(|| estimate(&circuit, &lib, black_box(&pattern), EstimatorMode::Lut).unwrap())
+    });
+    let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+    let mut scratch = plan.scratch();
+    group.bench_function("compiled_estimate_into", |b| {
+        b.iter(|| {
+            plan.estimate_into(&mut scratch, black_box(&pattern), EstimatorMode::Lut).unwrap()
+        })
+    });
+    group.finish();
+
+    // End-to-end sweep throughput on the compiled path (pattern
+    // generation + estimation + reduction), single thread so the
+    // number is comparable across hosts.
+    let mut group = c.benchmark_group("sweep_s1196_throughput");
+    group.sample_size(10);
+    let config = SweepConfig { vectors: 256, threads: 1, ..Default::default() };
+    group.bench_function("compiled_sweep_256v_1t", |b| {
+        b.iter(|| sweep(&circuit, &lib, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Records the sweep-throughput baseline (`BENCH_sweep.json`):
+//! single-thread patterns/sec of the legacy per-pattern path
+//! (`estimate()` + a fresh `Pattern` per index) vs the compiled plan
+//! the engine's sweeps actually run on, plus their ratio — and
+//! verifies the two paths agree bit-for-bit on every pattern while
+//! measuring.
+//!
+//! The library is the production-resolution characterization
+//! (`CharacterizeOptions::default()`, 11-point grid) served through
+//! the engine's `*.nlc` disk cache, so only the first run pays the
+//! solve. `--coarse` switches to the 4-point test grid (used by the
+//! CI smoke step, which only checks the bin runs and the paths agree).
+//!
+//! ```text
+//! cargo run --release -p nanoleak-bench --bin bench_sweep -- \
+//!     [--circuit s1196] [--vectors 512] [--repeat 3] [--coarse] \
+//!     [--out BENCH_sweep.json]
+//! ```
+
+use std::time::Instant;
+
+use nanoleak_cells::{CellType, CharacterizeOptions};
+use nanoleak_core::{estimate, CompiledEstimator, EstimatorMode};
+use nanoleak_device::Technology;
+use nanoleak_engine::{pattern_for_index, LibraryCache};
+use nanoleak_netlist::generate::iscas_like;
+use nanoleak_netlist::normalize::normalize;
+
+fn main() {
+    let mut circuit_name = "s1196".to_string();
+    let mut vectors = 512usize;
+    let mut repeat = 3usize;
+    let mut coarse = false;
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--circuit" => circuit_name = value("--circuit"),
+            "--vectors" => vectors = value("--vectors").parse().expect("--vectors: integer"),
+            "--repeat" => repeat = value("--repeat").parse().expect("--repeat: integer"),
+            "--coarse" => coarse = true,
+            "--out" => out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(vectors > 0 && repeat > 0, "need at least one vector and one repeat");
+
+    let tech = Technology::d25();
+    let opts = if coarse {
+        CharacterizeOptions::coarse(&CellType::ALL)
+    } else {
+        CharacterizeOptions::default()
+    };
+    let (lib, _) = LibraryCache::default_location()
+        .load_or_characterize(&tech, 300.0, &opts)
+        .expect("characterize library");
+    let circuit = normalize(&iscas_like(&circuit_name).expect("known circuit")).unwrap();
+    let seed = 2005u64;
+
+    // Warm both paths (page in the library, grow the scratch).
+    let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+    let mut scratch = plan.scratch();
+    let warm_pattern = pattern_for_index(&circuit, seed, 0);
+    let _ = estimate(&circuit, &lib, &warm_pattern, EstimatorMode::Lut).unwrap();
+    let _ = plan.estimate_into(&mut scratch, &warm_pattern, EstimatorMode::Lut).unwrap();
+
+    // Best-of-N on each path: scheduler noise only ever slows a pass
+    // down, so the minimum time is the fairest single-thread figure
+    // (and both paths get the same treatment).
+    let mut legacy_secs = f64::INFINITY;
+    let mut legacy = Vec::new();
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        let totals: Vec<f64> = (0..vectors)
+            .map(|i| {
+                let p = pattern_for_index(&circuit, seed, i);
+                estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap().total.total()
+            })
+            .collect();
+        legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
+        legacy = totals;
+    }
+
+    // Compiled path: plan compile + scratch + index stream, like a
+    // single-thread engine sweep shard.
+    let mut compiled_secs = f64::INFINITY;
+    let mut compiled = Vec::new();
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut scratch = plan.scratch();
+        let totals: Vec<f64> = (0..vectors)
+            .map(|i| {
+                plan.estimate_index_into(&mut scratch, seed, i, EstimatorMode::Lut).unwrap().total()
+            })
+            .collect();
+        compiled_secs = compiled_secs.min(t0.elapsed().as_secs_f64());
+        compiled = totals;
+    }
+
+    let bit_identical = legacy.iter().zip(&compiled).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "compiled path diverged from the reference estimator");
+
+    let legacy_pps = vectors as f64 / legacy_secs.max(1e-9);
+    let compiled_pps = vectors as f64 / compiled_secs.max(1e-9);
+    let speedup = compiled_pps / legacy_pps;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_throughput_single_thread\",\n  \"circuit\": \"{}\",\n  \
+         \"gates\": {},\n  \"vectors\": {},\n  \"repeat\": {},\n  \"grid_points\": {},\n  \
+         \"mode\": \"Lut\",\n  \"seed\": {},\n  \
+         \"legacy_patterns_per_sec\": {:.1},\n  \"compiled_patterns_per_sec\": {:.1},\n  \
+         \"speedup\": {:.2},\n  \"bit_identical\": {}\n}}\n",
+        circuit_name,
+        circuit.gate_count(),
+        vectors,
+        repeat,
+        opts.points,
+        seed,
+        legacy_pps,
+        compiled_pps,
+        speedup,
+        bit_identical,
+    );
+    std::fs::write(&out, &json).expect("write baseline");
+    print!("{json}");
+    println!("wrote {out}");
+}

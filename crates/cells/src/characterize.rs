@@ -260,6 +260,21 @@ mod tests {
     }
 
     #[test]
+    fn nan_loading_clamps_instead_of_panicking() {
+        // A NaN loading magnitude (e.g. from upstream numerical junk)
+        // must not panic the segment search; the NaN propagates through
+        // the delta tables and the non-negative clamp turns each
+        // poisoned component into 0.0.
+        let tech = Technology::d25();
+        let v = InputVector::parse("0").unwrap();
+        let ch = characterize_vector(&tech, 300.0, CellType::Inv, v, &opts()).unwrap();
+        let out = ch.leakage(&[f64::NAN], 0.0);
+        assert_eq!((out.sub, out.gate, out.btbt), (0.0, 0.0, 0.0));
+        let out = ch.leakage(&[0.0], f64::NAN);
+        assert_eq!(out.total(), 0.0);
+    }
+
+    #[test]
     fn cell_char_indexes_all_vectors() {
         let tech = Technology::d25();
         let copts = CharacterizeOptions::coarse(&[CellType::Nand2]);

@@ -75,6 +75,13 @@ impl CellLibrary {
 
     /// Like [`CellLibrary::shared`], but keyed on explicit options.
     ///
+    /// The memo key is [`CellLibrary::request_key`] — a hash of the
+    /// *full* serialized `(tech, temp, opts)` request — so two
+    /// technologies that share a name but differ in any device
+    /// parameter (a scaled `vdd`, a tweaked oxide thickness, ...) are
+    /// distinct cache entries, matching the discipline of the engine's
+    /// on-disk `*.nlc` cache.
+    ///
     /// # Panics
     /// Panics if the characterization fails to converge (the default
     /// technologies are guaranteed to).
@@ -83,18 +90,14 @@ impl CellLibrary {
         temp: f64,
         opts: &CharacterizeOptions,
     ) -> Arc<CellLibrary> {
-        static CACHE: Mutex<Vec<(String, Arc<CellLibrary>)>> = Mutex::new(Vec::new());
-        let cell_sig: String = opts.cells.iter().map(|c| c.name()).collect::<Vec<_>>().join(",");
-        let key = format!(
-            "{}@{}mK/{}pts/{:e}/{}",
-            tech.name,
-            (temp * 1000.0).round() as u64,
-            opts.points,
-            opts.max_loading,
-            cell_sig
-        );
+        static CACHE: Mutex<Vec<(u64, Arc<CellLibrary>)>> = Mutex::new(Vec::new());
+        let key = Self::request_key(tech, temp, opts);
         let mut cache = CACHE.lock();
-        if let Some((_, lib)) = cache.iter().find(|(k, _)| *k == key) {
+        // The key is a 64-bit hash; re-check the full request on a hit
+        // so a hash collision can never hand back the wrong physics.
+        let matches =
+            |lib: &CellLibrary| lib.tech == *tech && lib.temp == temp && lib.options == *opts;
+        if let Some((_, lib)) = cache.iter().find(|(k, lib)| *k == key && matches(lib)) {
             return Arc::clone(lib);
         }
         let lib = Arc::new(
@@ -103,6 +106,24 @@ impl CellLibrary {
         );
         cache.push((key, Arc::clone(&lib)));
         lib
+    }
+
+    /// A stable 64-bit key for one characterization request: FNV-1a
+    /// over the serialized `(tech, temp, opts)` triple. Every field of
+    /// the technology (device designs included) participates, so e.g.
+    /// a supply-voltage tweak yields a different key even when the
+    /// technology name is unchanged. The engine's disk and RAM caches
+    /// key on this same hash.
+    pub fn request_key(tech: &Technology, temp: f64, opts: &CharacterizeOptions) -> u64 {
+        let request = (tech.clone(), temp, opts.clone());
+        let bytes = serde::to_bytes(&request);
+        // FNV-1a.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
     }
 }
 
@@ -145,5 +166,47 @@ mod tests {
         // A different temperature is a different cache entry.
         let c = CellLibrary::shared_with_options(&tech, 310.0, &opts);
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn shared_cache_distinguishes_same_named_technologies() {
+        // Regression: the memo used to key on tech.name (plus a few
+        // scalar options), so a scaled-vdd Technology with the same
+        // name collided with the pristine one. The full-request key
+        // must separate them *and* characterize genuinely different
+        // libraries.
+        let tech = Technology::d25();
+        let mut scaled = tech.clone();
+        scaled.vdd *= 0.9;
+        assert_eq!(tech.name, scaled.name, "precondition: same name");
+        let opts = CharacterizeOptions::coarse(&[CellType::Inv]);
+        let a = CellLibrary::shared_with_options(&tech, 300.0, &opts);
+        let b = CellLibrary::shared_with_options(&scaled, 300.0, &opts);
+        assert!(!Arc::ptr_eq(&a, &b), "scaled-vdd request must not hit the nominal entry");
+        assert_ne!(a.tech.vdd, b.tech.vdd);
+        let v = InputVector::parse("0").unwrap();
+        assert_ne!(
+            a.vector_char(CellType::Inv, v).unwrap().nominal,
+            b.vector_char(CellType::Inv, v).unwrap().nominal,
+            "different supply, different leakage"
+        );
+        // And the same scaled request hits its own entry.
+        let c = CellLibrary::shared_with_options(&scaled, 300.0, &opts);
+        assert!(Arc::ptr_eq(&b, &c));
+    }
+
+    #[test]
+    fn request_keys_separate_full_tech_state() {
+        let tech = Technology::d25();
+        let opts = CharacterizeOptions::coarse(&[CellType::Inv]);
+        let base = CellLibrary::request_key(&tech, 300.0, &opts);
+        assert_ne!(base, CellLibrary::request_key(&tech, 310.0, &opts));
+        let mut scaled = tech.clone();
+        scaled.vdd *= 0.95;
+        assert_ne!(base, CellLibrary::request_key(&scaled, 300.0, &opts));
+        let denser = CharacterizeOptions { points: opts.points + 1, ..opts.clone() };
+        assert_ne!(base, CellLibrary::request_key(&tech, 300.0, &denser));
+        // Deterministic across calls.
+        assert_eq!(base, CellLibrary::request_key(&tech, 300.0, &opts));
     }
 }

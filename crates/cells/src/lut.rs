@@ -37,11 +37,16 @@ impl Lut1 {
     }
 
     /// Interpolated (or extrapolated) value at `x`.
+    ///
+    /// A NaN `x` yields a NaN result (it total-orders above every
+    /// finite knot, so the last segment's extrapolation propagates the
+    /// NaN) — never a panic.
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.xs.len();
         // Segment selection: clamp to the end segments for
-        // extrapolation.
-        let seg = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        // extrapolation. total_cmp keeps the search well-defined for
+        // NaN inputs, where partial_cmp would panic.
+        let seg = match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => return self.ys[i],
             Err(0) => 0,
             Err(i) if i >= n => n - 2,
@@ -49,7 +54,11 @@ impl Lut1 {
         };
         let (x0, x1) = (self.xs[seg], self.xs[seg + 1]);
         let (y0, y1) = (self.ys[seg], self.ys[seg + 1]);
-        y0 + (x - x0) * (y1 - y0) / (x1 - x0)
+        // Lerp with the normalized offset factored out: one division,
+        // and the exact operation order the compiled estimator
+        // (`nanoleak-core`'s plan) replicates for bit-identity.
+        let d = (x - x0) / (x1 - x0);
+        y0 + d * (y1 - y0)
     }
 
     /// The sampled abscissae.
@@ -153,5 +162,18 @@ mod tests {
     #[test]
     fn breakdown_lut_rejects_mismatched_lengths() {
         assert!(BreakdownLut::from_samples(&[0.0], &[]).is_none());
+    }
+
+    #[test]
+    fn nan_input_propagates_instead_of_panicking() {
+        let lut = Lut1::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 15.0]).unwrap();
+        assert!(lut.eval(f64::NAN).is_nan());
+        let b = BreakdownLut::from_samples(
+            &[0.0, 1.0],
+            &[LeakageBreakdown::ZERO, LeakageBreakdown { sub: 1.0, gate: 2.0, btbt: 3.0 }],
+        )
+        .unwrap();
+        let out = b.eval(f64::NAN);
+        assert!(out.sub.is_nan() && out.gate.is_nan() && out.btbt.is_nan());
     }
 }

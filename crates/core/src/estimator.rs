@@ -128,41 +128,36 @@ fn estimate_gate(
     })
 }
 
-/// Convenience: estimates a batch of patterns, in parallel across
-/// threads when the batch is large.
+/// Convenience: estimates a batch of patterns on the compiled plan,
+/// in parallel across threads when the batch is large.
+///
+/// The plan is compiled once and each worker keeps one
+/// [`crate::EstimateScratch`]; worker counts follow the
+/// workspace-wide convention of [`crate::exec::resolve_threads`]
+/// (all cores, capped at 16), and results are materialized in pattern
+/// order — bit-identical to calling [`estimate`] per pattern, for any
+/// core count.
 ///
 /// # Errors
-/// The first error encountered, if any.
+/// [`EstimateError::MissingCell`] if the library lacks a used cell
+/// (even before any pattern runs), else the first per-pattern error.
 pub fn estimate_batch(
     circuit: &Circuit,
     library: &nanoleak_cells::CellLibrary,
     patterns: &[Pattern],
     mode: EstimatorMode,
 ) -> Result<Vec<CircuitLeakage>, EstimateError> {
-    if patterns.len() < 4 {
-        return patterns.iter().map(|p| estimate(circuit, library, p, mode)).collect();
+    if patterns.is_empty() {
+        return Ok(Vec::new());
     }
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    let chunk = patterns.len().div_ceil(workers);
-    let results: Vec<Result<Vec<CircuitLeakage>, EstimateError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = patterns
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    slice
-                        .iter()
-                        .map(|p| estimate(circuit, library, p, mode))
-                        .collect::<Result<Vec<_>, _>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("estimator thread panicked")).collect()
-    });
-    let mut out = Vec::with_capacity(patterns.len());
-    for r in results {
-        out.extend(r?);
-    }
-    Ok(out)
+    let plan = crate::plan::CompiledEstimator::compile(circuit, library)?;
+    let results = crate::exec::par_map_with(
+        patterns.len(),
+        0,
+        || plan.scratch(),
+        |scratch, i| plan.estimate_report(scratch, &patterns[i], mode),
+    );
+    results.into_iter().collect()
 }
 
 #[cfg(test)]

@@ -15,6 +15,13 @@
 //!   accuracy yardstick of Fig. 12a and the denominator of the paper's
 //!   ~1000x speedup claim.
 //! * [`loading`] — per-net loading-current bookkeeping.
+//! * [`plan`] — the compiled estimation pipeline:
+//!   [`CompiledEstimator`] flattens a (circuit, library) pair once so
+//!   per-pattern evaluation runs allocation-free against a reusable
+//!   [`EstimateScratch`], bit-identical to [`estimate`]. This is the
+//!   hot path the engine's sweeps and MLV searches run on.
+//! * [`exec`] — the workspace's deterministic parallel-execution
+//!   primitives (SplitMix64 seed streams, index-ordered `par_map`).
 //! * [`report`] / [`experiment`] — leakage reports, loading-impact
 //!   statistics (Figs. 12b/12c) and the batch experiment driver.
 //!
@@ -46,8 +53,10 @@
 
 pub mod error;
 pub mod estimator;
+pub mod exec;
 pub mod experiment;
 pub mod loading;
+pub mod plan;
 pub mod reference;
 pub mod report;
 
@@ -55,6 +64,7 @@ pub use error::EstimateError;
 pub use estimator::{estimate, estimate_batch, EstimatorMode};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use loading::LoadingState;
+pub use plan::{CompiledEstimator, EstimateScratch};
 pub use reference::{reference_batch, reference_leakage, ReferenceOptions, ReferenceResult};
 pub use report::{accuracy, Accuracy, CircuitLeakage, LoadingImpact};
 

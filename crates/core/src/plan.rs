@@ -1,0 +1,897 @@
+//! The compiled estimation pipeline: a per-(circuit, library) plan
+//! that runs the Fig. 13 pass with **zero heap allocations per
+//! pattern** after warm-up.
+//!
+//! [`estimate`](crate::estimate) is the readable reference
+//! implementation, but it re-pays compilation-class costs on every
+//! pattern: per-gate `BTreeMap` lookups of the characterized
+//! `VectorChar`, per-gate pin-current clones, per-gate `il_in`
+//! buffers, and three binary searches per `BreakdownLut::eval`. A
+//! 10^6-vector sweep over a 1k-gate circuit performs billions of
+//! avoidable allocations and tree walks. [`CompiledEstimator`]
+//! hoists all of that work to construction time:
+//!
+//! * the circuit is flattened into CSR gate-input adjacency
+//!   (`in_off`/`in_nets`), per-gate output nets, and per-net
+//!   gate-driven flags — no `Gate` pointer chasing in the loop;
+//! * every gate's full `2^k` `VectorChar` table is resolved into a
+//!   dense index-addressed slab, so the per-pattern lookup is
+//!   `vcs[vc_base[gate] + vector_bits]` — no map walks, and
+//!   missing-cell errors surface once, at compile time;
+//! * the characterization LUTs are re-laid out with their abscissa
+//!   grids interned and detected-uniform grids given an O(1)
+//!   arithmetic segment index (binary-search fallback for non-uniform
+//!   tables), with one segment lookup shared across the sub/gate/btbt
+//!   components of each table;
+//! * all per-pattern state lives in a reusable [`EstimateScratch`]
+//!   (net values, net currents, a flat CSR-aligned pin-current
+//!   buffer, a reusable `Pattern`), and per-gate input loading uses a
+//!   stack-bounded buffer.
+//!
+//! ## Bit-identity contract
+//!
+//! [`CompiledEstimator::estimate_into`] is **bit-identical** to
+//! [`estimate`](crate::estimate) for every mode: the same segment
+//! selection (including the exact-knot fast-return of `Lut1::eval`),
+//! the same interpolation formula evaluated in the same order, the
+//! same per-pin/output delta accumulation order, and the same
+//! sequential gate-id-order total reduction. The engine's sweeps and
+//! MLV searches run on this path, so every determinism guarantee
+//! (thread-count and shard-size invariance) carries over unchanged —
+//! and is enforced by proptests below plus the engine's cross-path
+//! tests.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use nanoleak_cells::{BreakdownLut, CellLibrary, CellType, InputVector};
+use nanoleak_device::LeakageBreakdown;
+use nanoleak_netlist::{Circuit, Driver, GateId, Pattern};
+use rand::SeedableRng;
+
+use crate::error::EstimateError;
+use crate::estimator::EstimatorMode;
+use crate::exec::mix;
+use crate::report::CircuitLeakage;
+
+/// Largest cell fanin the stack-bounded loading buffers support
+/// (the cell family tops out at 4 pins; 8 matches `InputVector`).
+const MAX_PINS: usize = 8;
+
+/// Where a lookup lands in a grid: exactly on a knot (return the
+/// stored sample, like `Lut1::eval`'s `Ok` arm) or inside/beyond a
+/// segment (interpolate/extrapolate).
+#[derive(Clone, Copy)]
+enum Seg {
+    Knot(usize),
+    Interp(usize),
+}
+
+/// One interned abscissa grid shared by many compiled tables. The
+/// knots themselves live in the plan's flat `xs_slab`, so the struct
+/// stays small and the hot path dereferences one slab, not a
+/// `Vec<Vec<f64>>` chain.
+#[derive(Debug, Clone, Copy)]
+struct PlanGrid {
+    xs_off: u32,
+    len: u32,
+    /// `(n-1) / xs[n-1]` when the grid is numerically uniform from
+    /// zero (the `CharacterizeOptions::grid` layout) — enables the
+    /// O(1) arithmetic segment index. NaN marks a non-uniform grid
+    /// (binary-search fallback).
+    inv_step: f64,
+}
+
+impl PlanGrid {
+    fn describe(xs: &[f64], xs_off: u32) -> Self {
+        let n = xs.len();
+        let inv_step = if n >= 2 && xs[0] == 0.0 && xs[n - 1] > 0.0 {
+            let step = xs[n - 1] / (n - 1) as f64;
+            let uniform =
+                xs.iter().enumerate().all(|(i, &x)| (x - step * i as f64).abs() <= step * 1e-9);
+            if uniform {
+                (n - 1) as f64 / xs[n - 1]
+            } else {
+                f64::NAN
+            }
+        } else {
+            f64::NAN
+        };
+        Self { xs_off, len: n as u32, inv_step }
+    }
+}
+
+/// Selects the same knot-or-segment `Lut1::eval`'s
+/// `binary_search_by(total_cmp)` would.
+#[inline]
+fn locate(xs: &[f64], inv_step: f64, x: f64) -> Seg {
+    if inv_step.is_nan() {
+        locate_binary(xs, x)
+    } else {
+        locate_uniform(xs, inv_step, x)
+    }
+}
+
+/// Verbatim clone of `Lut1::eval`'s segment selection.
+fn locate_binary(xs: &[f64], x: f64) -> Seg {
+    let n = xs.len();
+    match xs.binary_search_by(|v| v.total_cmp(&x)) {
+        Ok(i) => Seg::Knot(i),
+        Err(0) => Seg::Interp(0),
+        Err(i) if i >= n => Seg::Interp(n - 2),
+        Err(i) => Seg::Interp(i - 1),
+    }
+}
+
+/// O(1) arithmetic hint plus a local total-order fix-up, so the
+/// result agrees with [`locate_binary`] bit-for-bit even at rounding
+/// boundaries, below the grid, beyond it, and for NaN (which
+/// total-orders above every finite knot).
+#[inline]
+fn locate_uniform(xs: &[f64], inv_step: f64, x: f64) -> Seg {
+    let n = xs.len();
+    // NaN and negative x cast to 0; oversized x saturates.
+    let mut i = ((x * inv_step) as usize).min(n - 2);
+    while i > 0 && xs[i].total_cmp(&x) == Ordering::Greater {
+        i -= 1;
+    }
+    while i + 1 < n - 1 && xs[i + 1].total_cmp(&x) != Ordering::Greater {
+        i += 1;
+    }
+    if xs[i].total_cmp(&x) == Ordering::Equal {
+        Seg::Knot(i)
+    } else if xs[i + 1].total_cmp(&x) == Ordering::Equal {
+        Seg::Knot(i + 1)
+    } else {
+        Seg::Interp(i)
+    }
+}
+
+/// One compiled `Lut1`: an interned grid plus an ordinate run in the
+/// shared slab.
+#[derive(Clone, Copy)]
+struct PlanLut1 {
+    grid: u32,
+    ys: u32,
+}
+
+/// One compiled `BreakdownLut`.
+///
+/// Characterization samples all three components on one abscissa
+/// sweep, so the common (`Shared`) layout interleaves their ordinates
+/// as `[sub, gate, btbt]` triples per knot: evaluation does a single
+/// segment lookup and reads two adjacent triples. `Split` is the
+/// fallback for tables whose components somehow carry different
+/// grids (possible only through hand-built libraries).
+enum PlanBreakdownLut {
+    Shared { grid: u32, ys: u32 },
+    Split { sub: PlanLut1, gate: PlanLut1, btbt: PlanLut1 },
+}
+
+/// One resolved (cell, vector) characterization in the dense slab.
+struct PlanVectorChar {
+    nominal: LeakageBreakdown,
+    /// The vector itself (needed by direct-solve mode).
+    vector: InputVector,
+    /// Pin count.
+    pins: u32,
+    /// Offset of this state's pin currents in the flat slab.
+    pin_off: u32,
+    /// Offset of this state's tables in `luts`: `pins` input-response
+    /// tables followed by the output-response table.
+    lut_off: u32,
+}
+
+/// A compiled estimation plan for one (circuit, library) pair.
+///
+/// Construction ([`CompiledEstimator::compile`]) pays every lookup,
+/// clone, and validation once; [`CompiledEstimator::estimate_into`]
+/// then evaluates patterns with zero heap allocations (LUT and
+/// no-loading modes) against a reusable [`EstimateScratch`].
+///
+/// # Examples
+/// ```
+/// use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+/// use nanoleak_core::{estimate, CompiledEstimator, EstimatorMode};
+/// use nanoleak_device::Technology;
+/// use nanoleak_netlist::{CircuitBuilder, Pattern};
+///
+/// let tech = Technology::d25();
+/// let lib = CellLibrary::shared_with_options(
+///     &tech, 300.0, &CharacterizeOptions::coarse(&[CellType::Inv]));
+/// let mut b = CircuitBuilder::new("pair");
+/// let a = b.add_input("a");
+/// let x = b.add_gate(CellType::Inv, &[a], "x");
+/// let y = b.add_gate(CellType::Inv, &[x], "y");
+/// b.mark_output(y);
+/// let circuit = b.build()?;
+///
+/// let plan = CompiledEstimator::compile(&circuit, &lib)?;
+/// let mut scratch = plan.scratch();
+/// let p = Pattern::zeros(&circuit);
+/// let total = plan.estimate_into(&mut scratch, &p, EstimatorMode::Lut)?;
+/// // Bit-identical to the reference implementation.
+/// let reference = estimate(&circuit, &lib, &p, EstimatorMode::Lut)?;
+/// assert_eq!(total, reference.total);
+/// assert_eq!(scratch.per_gate(), reference.per_gate.as_slice());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct CompiledEstimator<'a> {
+    circuit: &'a Circuit,
+    library: &'a CellLibrary,
+    /// CSR offsets into `in_nets`, one entry per gate plus a tail.
+    in_off: Vec<u32>,
+    /// Flattened per-gate input nets, pin order.
+    in_nets: Vec<u32>,
+    /// Output net per gate.
+    out_net: Vec<u32>,
+    /// Cell type per gate (direct-solve mode).
+    gate_cell: Vec<CellType>,
+    /// Base of each gate's `2^k` vector-char block in `vcs`.
+    vc_base: Vec<u32>,
+    /// Per-net flag: driven by a gate (`true`) or held by an ideal
+    /// primary/state input (`false`, no loading shift).
+    gate_driven: Vec<bool>,
+    /// Gate evaluation order for the simulation and leakage passes
+    /// (mirrors `estimate`'s traversal, so direct-solve errors surface
+    /// for the same gate).
+    topo: Vec<u32>,
+    vcs: Vec<PlanVectorChar>,
+    /// Output logic level per `vcs` entry, precomputed from
+    /// `CellType::eval_logic` — the fused simulation pass is one slab
+    /// read per gate.
+    logic_slab: Vec<bool>,
+    pin_current_slab: Vec<f64>,
+    luts: Vec<PlanBreakdownLut>,
+    ys_slab: Vec<f64>,
+    xs_slab: Vec<f64>,
+    grids: Vec<PlanGrid>,
+}
+
+/// Reusable per-worker buffers for [`CompiledEstimator`]. All vectors
+/// are pre-sized by [`CompiledEstimator::scratch`], so repeated
+/// estimates never touch the allocator.
+#[derive(Debug, Default)]
+pub struct EstimateScratch {
+    /// Logic value per net.
+    values: Vec<bool>,
+    /// Summed pin current per net \[A\].
+    net_current: Vec<f64>,
+    /// Resolved vector-char slab index per gate.
+    gate_vc: Vec<u32>,
+    /// Leakage breakdown per gate, indexed by `GateId.0`.
+    per_gate: Vec<LeakageBreakdown>,
+    /// Reusable pattern buffer for index-derived sweep patterns.
+    pattern: Pattern,
+}
+
+impl EstimateScratch {
+    /// Per-gate breakdowns of the most recent estimate, indexed by
+    /// `GateId.0`.
+    pub fn per_gate(&self) -> &[LeakageBreakdown] {
+        &self.per_gate
+    }
+}
+
+impl<'a> CompiledEstimator<'a> {
+    /// Flattens `circuit` against `library` into a compiled plan.
+    ///
+    /// # Errors
+    /// [`EstimateError::MissingCell`] if the library lacks any cell
+    /// type the circuit uses (reported for the lowest-id offending
+    /// gate, like the reference path).
+    pub fn compile(circuit: &'a Circuit, library: &'a CellLibrary) -> Result<Self, EstimateError> {
+        let n_gates = circuit.gate_count();
+        let n_nets = circuit.net_count();
+
+        let mut plan = Self {
+            circuit,
+            library,
+            in_off: Vec::with_capacity(n_gates + 1),
+            in_nets: Vec::new(),
+            out_net: Vec::with_capacity(n_gates),
+            gate_cell: Vec::with_capacity(n_gates),
+            vc_base: Vec::with_capacity(n_gates),
+            gate_driven: (0..n_nets)
+                .map(|n| matches!(circuit.net_driver(nanoleak_netlist::NetId(n)), Driver::Gate(_)))
+                .collect(),
+            topo: circuit.topo_order().iter().map(|g| g.0 as u32).collect(),
+            vcs: Vec::new(),
+            logic_slab: Vec::new(),
+            pin_current_slab: Vec::new(),
+            luts: Vec::new(),
+            ys_slab: Vec::new(),
+            xs_slab: Vec::new(),
+            grids: Vec::new(),
+        };
+
+        let mut cell_blocks: BTreeMap<CellType, u32> = BTreeMap::new();
+        plan.in_off.push(0);
+        for gid in 0..n_gates {
+            let gate = circuit.gate(GateId(gid));
+            let base = match cell_blocks.get(&gate.cell) {
+                Some(&base) => base,
+                None => {
+                    let base = plan.compile_cell(gate.cell)?;
+                    cell_blocks.insert(gate.cell, base);
+                    base
+                }
+            };
+            plan.vc_base.push(base);
+            plan.gate_cell.push(gate.cell);
+            plan.out_net.push(gate.output.0 as u32);
+            plan.in_nets.extend(gate.inputs.iter().map(|n| n.0 as u32));
+            plan.in_off.push(plan.in_nets.len() as u32);
+        }
+        Ok(plan)
+    }
+
+    /// Resolves one cell type's full `2^k` vector table into the slab,
+    /// returning the block base.
+    fn compile_cell(&mut self, cell: CellType) -> Result<u32, EstimateError> {
+        assert!(cell.num_inputs() <= MAX_PINS, "{cell}: fanin exceeds {MAX_PINS}");
+        let chars = self.library.cell(cell).ok_or(EstimateError::MissingCell(cell))?;
+        let base = self.vcs.len() as u32;
+        for vc in chars.vectors() {
+            let pin_off = self.pin_current_slab.len() as u32;
+            self.pin_current_slab.extend_from_slice(&vc.pin_currents);
+            let lut_off = self.luts.len() as u32;
+            for resp in &vc.input_resp {
+                let compiled = self.compile_blut(resp);
+                self.luts.push(compiled);
+            }
+            let output = self.compile_blut(&vc.output_resp);
+            self.luts.push(output);
+            // The fused simulation pass propagates logic through this
+            // table; derive it from `eval_logic` (exactly what the
+            // reference `simulate` computes), not from the solver's
+            // characterized output level.
+            self.logic_slab.push(cell.eval_logic(&vc.vector.to_bools()));
+            self.vcs.push(PlanVectorChar {
+                nominal: vc.nominal,
+                vector: vc.vector,
+                pins: vc.pin_currents.len() as u32,
+                pin_off,
+                lut_off,
+            });
+        }
+        Ok(base)
+    }
+
+    fn compile_blut(&mut self, lut: &BreakdownLut) -> PlanBreakdownLut {
+        let g_sub = self.intern_grid(lut.sub.xs());
+        let g_gate = self.intern_grid(lut.gate.xs());
+        let g_btbt = self.intern_grid(lut.btbt.xs());
+        if g_sub == g_gate && g_gate == g_btbt {
+            // Shared grid: interleave the ordinates as [sub, gate,
+            // btbt] triples so one segment lookup reads contiguous
+            // memory.
+            let ys = self.ys_slab.len() as u32;
+            for i in 0..lut.sub.xs().len() {
+                self.ys_slab.push(lut.sub.ys()[i]);
+                self.ys_slab.push(lut.gate.ys()[i]);
+                self.ys_slab.push(lut.btbt.ys()[i]);
+            }
+            PlanBreakdownLut::Shared { grid: g_sub, ys }
+        } else {
+            PlanBreakdownLut::Split {
+                sub: self.compile_lut1(g_sub, lut.sub.ys()),
+                gate: self.compile_lut1(g_gate, lut.gate.ys()),
+                btbt: self.compile_lut1(g_btbt, lut.btbt.ys()),
+            }
+        }
+    }
+
+    fn compile_lut1(&mut self, grid: u32, ys_in: &[f64]) -> PlanLut1 {
+        let ys = self.ys_slab.len() as u32;
+        self.ys_slab.extend_from_slice(ys_in);
+        PlanLut1 { grid, ys }
+    }
+
+    /// Interns an abscissa grid, deduplicating bit-exact repeats (the
+    /// common case: every table in a library shares one
+    /// characterization grid).
+    fn intern_grid(&mut self, xs: &[f64]) -> u32 {
+        let same = |g: &&PlanGrid| {
+            let gx = &self.xs_slab[g.xs_off as usize..(g.xs_off + g.len) as usize];
+            gx.len() == xs.len() && gx.iter().zip(xs).all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        if let Some(i) = self.grids.iter().position(|g| same(&g)) {
+            return i as u32;
+        }
+        let xs_off = self.xs_slab.len() as u32;
+        self.xs_slab.extend_from_slice(xs);
+        self.grids.push(PlanGrid::describe(xs, xs_off));
+        (self.grids.len() - 1) as u32
+    }
+
+    /// The knot slice backing one interned grid.
+    #[inline]
+    fn grid_xs(&self, g: PlanGrid) -> &[f64] {
+        &self.xs_slab[g.xs_off as usize..(g.xs_off + g.len) as usize]
+    }
+
+    /// The circuit this plan was compiled for.
+    pub fn circuit(&self) -> &'a Circuit {
+        self.circuit
+    }
+
+    /// The library this plan was compiled against.
+    pub fn library(&self) -> &'a CellLibrary {
+        self.library
+    }
+
+    /// A scratch pre-sized for this plan, ready for allocation-free
+    /// estimates. Keep one per worker thread.
+    pub fn scratch(&self) -> EstimateScratch {
+        let n_gates = self.gate_cell.len();
+        EstimateScratch {
+            values: vec![false; self.gate_driven.len()],
+            net_current: vec![0.0; self.gate_driven.len()],
+            gate_vc: vec![0; n_gates],
+            per_gate: vec![LeakageBreakdown::ZERO; n_gates],
+            pattern: Pattern {
+                pi: Vec::with_capacity(self.circuit.inputs().len()),
+                states: Vec::with_capacity(self.circuit.state_inputs().len()),
+            },
+        }
+    }
+
+    /// Fig. 13 for one pattern on the compiled plan, bit-identical to
+    /// [`estimate`](crate::estimate) (same total *and* the same
+    /// per-gate breakdowns, readable via
+    /// [`EstimateScratch::per_gate`]). Performs no heap allocation in
+    /// `Lut`/`NoLoading` modes once `scratch` is warm.
+    ///
+    /// # Errors
+    /// * [`EstimateError::BadPattern`] on arity mismatch;
+    /// * [`EstimateError::Solver`] from direct-solve mode.
+    pub fn estimate_into(
+        &self,
+        scratch: &mut EstimateScratch,
+        pattern: &Pattern,
+        mode: EstimatorMode,
+    ) -> Result<LeakageBreakdown, EstimateError> {
+        if pattern.pi.len() != self.circuit.inputs().len() {
+            return Err(EstimateError::BadPattern(format!(
+                "{} primary-input values for {} inputs",
+                pattern.pi.len(),
+                self.circuit.inputs().len()
+            )));
+        }
+        if pattern.states.len() != self.circuit.state_inputs().len() {
+            return Err(EstimateError::BadPattern(format!(
+                "{} DFF states for {} flip-flops",
+                pattern.states.len(),
+                self.circuit.state_inputs().len()
+            )));
+        }
+        self.run(scratch, &pattern.pi, &pattern.states, mode)
+    }
+
+    /// Estimates the seed-derived sweep pattern at `index` (the same
+    /// stream as the engine's `pattern_for_index`: a `StdRng` seeded
+    /// with SplitMix64 `mix(seed, index)`), generating the pattern
+    /// straight into the scratch's reusable buffer — no per-index
+    /// `Pattern` allocation.
+    ///
+    /// # Errors
+    /// As [`CompiledEstimator::estimate_into`].
+    pub fn estimate_index_into(
+        &self,
+        scratch: &mut EstimateScratch,
+        seed: u64,
+        index: usize,
+        mode: EstimatorMode,
+    ) -> Result<LeakageBreakdown, EstimateError> {
+        let mut pattern = std::mem::take(&mut scratch.pattern);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, index as u64));
+        pattern.fill_random(self.circuit, &mut rng);
+        let out = self.estimate_into(scratch, &pattern, mode);
+        scratch.pattern = pattern;
+        out
+    }
+
+    /// [`CompiledEstimator::estimate_into`] packaged as an owned
+    /// [`CircuitLeakage`] report (allocates the report itself).
+    ///
+    /// # Errors
+    /// As [`CompiledEstimator::estimate_into`].
+    pub fn estimate_report(
+        &self,
+        scratch: &mut EstimateScratch,
+        pattern: &Pattern,
+        mode: EstimatorMode,
+    ) -> Result<CircuitLeakage, EstimateError> {
+        let total = self.estimate_into(scratch, pattern, mode)?;
+        Ok(CircuitLeakage { per_gate: scratch.per_gate.clone(), total })
+    }
+
+    /// The fused simulation + loading + leakage passes.
+    fn run(
+        &self,
+        scratch: &mut EstimateScratch,
+        pi: &[bool],
+        states: &[bool],
+        mode: EstimatorMode,
+    ) -> Result<LeakageBreakdown, EstimateError> {
+        let n_gates = self.gate_cell.len();
+        scratch.values.clear();
+        scratch.values.resize(self.gate_driven.len(), false);
+        scratch.gate_vc.clear();
+        scratch.gate_vc.resize(n_gates, 0);
+        scratch.per_gate.clear();
+        scratch.per_gate.resize(n_gates, LeakageBreakdown::ZERO);
+
+        // Fused simulation pass (topo order, like `simulate`): collect
+        // each gate's input bits once, resolve its vector-char slab
+        // index, and propagate its output level from the precomputed
+        // `eval_logic` slab.
+        for (net, &v) in self.circuit.inputs().iter().zip(pi) {
+            scratch.values[net.0] = v;
+        }
+        for (net, &state) in self.circuit.state_inputs().iter().zip(states) {
+            scratch.values[net.0] = !state;
+        }
+        for &g in &self.topo {
+            let g = g as usize;
+            let (s, e) = (self.in_off[g] as usize, self.in_off[g + 1] as usize);
+            let mut bits = 0u32;
+            for (k, &net) in self.in_nets[s..e].iter().enumerate() {
+                bits |= (scratch.values[net as usize] as u32) << k;
+            }
+            let vc_idx = self.vc_base[g] + bits;
+            scratch.gate_vc[g] = vc_idx;
+            scratch.values[self.out_net[g] as usize] = self.logic_slab[vc_idx as usize];
+        }
+
+        // Loading pass, gate-id order — the accumulation order of
+        // `LoadingState::build`, so per-net sums are bit-identical.
+        if mode != EstimatorMode::NoLoading {
+            scratch.net_current.clear();
+            scratch.net_current.resize(self.gate_driven.len(), 0.0);
+            for g in 0..n_gates {
+                let vc = &self.vcs[scratch.gate_vc[g] as usize];
+                let s = self.in_off[g] as usize;
+                let pins = vc.pins as usize;
+                for k in 0..pins {
+                    scratch.net_current[self.in_nets[s + k] as usize] +=
+                        self.pin_current_slab[vc.pin_off as usize + k];
+                }
+            }
+        }
+
+        // Leakage pass. Gates are independent given the loading state,
+        // so traversal order cannot change any value — the Lut and
+        // NoLoading passes run in gate-id order (cache-sequential over
+        // every per-gate array), while DirectSolve keeps the reference
+        // walk's topo order so solver errors surface for the same gate
+        // `estimate()` would report.
+        match mode {
+            EstimatorMode::NoLoading => {
+                for g in 0..n_gates {
+                    scratch.per_gate[g] = self.vcs[scratch.gate_vc[g] as usize].nominal;
+                }
+            }
+            EstimatorMode::Lut => {
+                for g in 0..n_gates {
+                    let vc = &self.vcs[scratch.gate_vc[g] as usize];
+                    let pins = vc.pins as usize;
+                    let in_off = self.in_off[g] as usize;
+                    // `VectorChar::leakage` verbatim: nominal, plus the
+                    // per-pin input deltas in pin order, plus the
+                    // output delta, clamped non-negative.
+                    let mut b = vc.nominal;
+                    for k in 0..pins {
+                        let il = self.input_loading(scratch, vc, in_off, k);
+                        b += self.blut_eval(&self.luts[vc.lut_off as usize + k], il.abs());
+                    }
+                    let il_out = scratch.net_current[self.out_net[g] as usize].abs();
+                    b += self.blut_eval(&self.luts[vc.lut_off as usize + pins], il_out.abs());
+                    scratch.per_gate[g] = LeakageBreakdown {
+                        sub: b.sub.max(0.0),
+                        gate: b.gate.max(0.0),
+                        btbt: b.btbt.max(0.0),
+                    };
+                }
+            }
+            EstimatorMode::DirectSolve => {
+                for &g in &self.topo {
+                    let g = g as usize;
+                    let vc = &self.vcs[scratch.gate_vc[g] as usize];
+                    let pins = vc.pins as usize;
+                    let in_off = self.in_off[g] as usize;
+                    let mut il_in = [0.0_f64; MAX_PINS];
+                    for (k, slot) in il_in[..pins].iter_mut().enumerate() {
+                        *slot = self.input_loading(scratch, vc, in_off, k);
+                    }
+                    let il_out = scratch.net_current[self.out_net[g] as usize].abs();
+                    scratch.per_gate[g] = nanoleak_cells::eval_loaded(
+                        &self.library.tech,
+                        self.library.temp,
+                        self.gate_cell[g],
+                        vc.vector,
+                        &il_in[..pins],
+                        il_out,
+                    )?
+                    .breakdown;
+                }
+            }
+        }
+
+        // The same sequential gate-id-order reduction as
+        // `CircuitLeakage::from_gates`.
+        Ok(scratch.per_gate.iter().fold(LeakageBreakdown::ZERO, |acc, b| acc + *b))
+    }
+
+    /// Input-loading magnitude on one pin: the other gates' summed pin
+    /// currents on that net (`LoadingState::input_loading` verbatim —
+    /// the gate's own contribution comes straight from the pin-current
+    /// slab); zero on ideal-source nets.
+    #[inline]
+    fn input_loading(
+        &self,
+        scratch: &EstimateScratch,
+        vc: &PlanVectorChar,
+        in_off: usize,
+        pin: usize,
+    ) -> f64 {
+        let net = self.in_nets[in_off + pin] as usize;
+        if self.gate_driven[net] {
+            let own = self.pin_current_slab[vc.pin_off as usize + pin];
+            (scratch.net_current[net] - own).abs()
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluates one compiled breakdown table at loading magnitude
+    /// `x`: one segment lookup shared across the three components, and
+    /// (in the interleaved layout) two adjacent ordinate triples. The
+    /// per-component arithmetic is `Lut1::eval`'s, verbatim.
+    #[inline]
+    fn blut_eval(&self, lut: &PlanBreakdownLut, x: f64) -> LeakageBreakdown {
+        match *lut {
+            PlanBreakdownLut::Shared { grid, ys } => {
+                let grid = self.grids[grid as usize];
+                let xs = self.grid_xs(grid);
+                let ys = ys as usize;
+                match locate(xs, grid.inv_step, x) {
+                    Seg::Knot(i) => {
+                        let t = &self.ys_slab[ys + 3 * i..ys + 3 * i + 3];
+                        LeakageBreakdown { sub: t[0], gate: t[1], btbt: t[2] }
+                    }
+                    Seg::Interp(s) => {
+                        let (x0, x1) = (xs[s], xs[s + 1]);
+                        let t = &self.ys_slab[ys + 3 * s..ys + 3 * s + 6];
+                        // One division for all three components —
+                        // `Lut1::eval` computes the identical `d`.
+                        let d = (x - x0) / (x1 - x0);
+                        LeakageBreakdown {
+                            sub: t[0] + d * (t[3] - t[0]),
+                            gate: t[1] + d * (t[4] - t[1]),
+                            btbt: t[2] + d * (t[5] - t[2]),
+                        }
+                    }
+                }
+            }
+            PlanBreakdownLut::Split { sub, gate, btbt } => LeakageBreakdown {
+                sub: self.lut_eval(sub, x),
+                gate: self.lut_eval(gate, x),
+                btbt: self.lut_eval(btbt, x),
+            },
+        }
+    }
+
+    #[inline]
+    fn lut_eval(&self, lut: PlanLut1, x: f64) -> f64 {
+        let grid = self.grids[lut.grid as usize];
+        let xs = self.grid_xs(grid);
+        let ys = lut.ys as usize;
+        match locate(xs, grid.inv_step, x) {
+            Seg::Knot(i) => self.ys_slab[ys + i],
+            Seg::Interp(s) => {
+                let (x0, x1) = (xs[s], xs[s + 1]);
+                let (y0, y1) = (self.ys_slab[ys + s], self.ys_slab[ys + s + 1]);
+                let d = (x - x0) / (x1 - x0);
+                y0 + d * (y1 - y0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate;
+    use nanoleak_cells::CharacterizeOptions;
+    use nanoleak_device::Technology;
+    use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+    use nanoleak_netlist::normalize::normalize;
+    use nanoleak_netlist::CircuitBuilder;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn library() -> Arc<CellLibrary> {
+        CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&CellType::ALL),
+        )
+    }
+
+    fn assert_bit_identical(
+        circuit: &Circuit,
+        lib: &CellLibrary,
+        pattern: &Pattern,
+        mode: EstimatorMode,
+    ) {
+        let reference = estimate(circuit, lib, pattern, mode).unwrap();
+        let plan = CompiledEstimator::compile(circuit, lib).unwrap();
+        let mut scratch = plan.scratch();
+        let total = plan.estimate_into(&mut scratch, pattern, mode).unwrap();
+        assert_eq!(total.total().to_bits(), reference.total.total().to_bits(), "{mode:?}");
+        assert_eq!(total, reference.total);
+        assert_eq!(scratch.per_gate(), reference.per_gate.as_slice(), "{mode:?}");
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_fanout_web() {
+        let mut b = CircuitBuilder::new("fanout");
+        let a = b.add_input("a");
+        let mid = b.add_gate(CellType::Inv, &[a], "mid");
+        for i in 0..6 {
+            let y = b.add_gate(CellType::Inv, &[mid], &format!("y{i}"));
+            b.mark_output(y);
+        }
+        let circuit = b.build().unwrap();
+        let lib = library();
+        for pi in [false, true] {
+            let p = Pattern { pi: vec![pi], states: vec![] };
+            for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut, EstimatorMode::DirectSolve] {
+                assert_bit_identical(&circuit, &lib, &p, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_index_stream_matches_reference_pattern_stream() {
+        let raw = random_circuit(&RandomCircuitSpec::new("plan-idx", 6, 3, 40, 2, 17));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut scratch = plan.scratch();
+        for index in 0..16 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(mix(2005, index as u64));
+            let pattern = Pattern::random(&circuit, &mut rng);
+            let reference = estimate(&circuit, &lib, &pattern, EstimatorMode::Lut).unwrap();
+            let total =
+                plan.estimate_index_into(&mut scratch, 2005, index, EstimatorMode::Lut).unwrap();
+            assert_eq!(total, reference.total, "index {index}");
+        }
+    }
+
+    #[test]
+    fn scratch_state_never_leaks_across_patterns() {
+        // Estimating A, then B, then A again must reproduce A exactly
+        // even though the scratch was dirtied in between (different
+        // vector, different mode).
+        let raw = random_circuit(&RandomCircuitSpec::new("plan-reuse", 5, 3, 30, 1, 3));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut scratch = plan.scratch();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let a = Pattern::random(&circuit, &mut rng);
+        let b = Pattern::random(&circuit, &mut rng);
+        let first = plan.estimate_into(&mut scratch, &a, EstimatorMode::Lut).unwrap();
+        let _ = plan.estimate_into(&mut scratch, &b, EstimatorMode::NoLoading).unwrap();
+        let _ = plan.estimate_into(&mut scratch, &b, EstimatorMode::Lut).unwrap();
+        let again = plan.estimate_into(&mut scratch, &a, EstimatorMode::Lut).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn compile_reports_missing_cells_up_front() {
+        let mut b = CircuitBuilder::new("missing");
+        let a = b.add_input("a");
+        let x = b.add_gate(CellType::Nor2, &[a, a], "x");
+        b.mark_output(x);
+        let circuit = b.build().unwrap();
+        let lib = CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&[CellType::Inv]),
+        );
+        assert!(matches!(
+            CompiledEstimator::compile(&circuit, &lib),
+            Err(EstimateError::MissingCell(CellType::Nor2))
+        ));
+    }
+
+    #[test]
+    fn bad_pattern_arity_rejected() {
+        let mut b = CircuitBuilder::new("arity");
+        let a = b.add_input("a");
+        let y = b.add_gate(CellType::Inv, &[a], "y");
+        b.mark_output(y);
+        let circuit = b.build().unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut scratch = plan.scratch();
+        let p = Pattern { pi: vec![], states: vec![] };
+        assert!(matches!(
+            plan.estimate_into(&mut scratch, &p, EstimatorMode::Lut),
+            Err(EstimateError::BadPattern(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_segment_index_agrees_with_binary_search_everywhere() {
+        // Drive locate through knots, midpoints, boundaries, below,
+        // beyond, and NaN on a grid laid out exactly like
+        // `CharacterizeOptions::grid`.
+        let n = 11;
+        let max = 7.0e-6;
+        let xs: Vec<f64> = (0..n).map(|i| max * i as f64 / (n - 1) as f64).collect();
+        let grid = PlanGrid::describe(&xs, 0);
+        assert!(!grid.inv_step.is_nan(), "grid() layout must be detected uniform");
+        let mut probes: Vec<f64> = vec![-1.0, -1e-12, 0.0, 1e-9, max, max + 1e-7, 1e-3, f64::NAN];
+        for w in xs.windows(2) {
+            probes.push(w[0]);
+            probes.push((w[0] + w[1]) / 2.0);
+            probes.push(f64::midpoint(w[0], w[1]).next_up());
+            probes.push(w[1].next_down());
+        }
+        for &x in &probes {
+            let a = locate_uniform(&xs, grid.inv_step, x);
+            let b = locate_binary(&xs, x);
+            let key = |s: &Seg| match *s {
+                Seg::Knot(i) => (0, i),
+                Seg::Interp(i) => (1, i),
+            };
+            assert_eq!(key(&a), key(&b), "x = {x:e}");
+        }
+    }
+
+    #[test]
+    fn irregular_grids_fall_back_to_binary_search() {
+        let g = PlanGrid::describe(&[0.0, 1.0, 10.0, 11.0], 0);
+        assert!(g.inv_step.is_nan(), "non-uniform grid must not take the arithmetic path");
+        let g = PlanGrid::describe(&[1.0, 2.0, 3.0], 0);
+        assert!(g.inv_step.is_nan(), "grids not anchored at zero are not uniform");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole contract: on random circuits (with DFF state
+        /// bits) and random patterns the compiled plan reproduces the
+        /// reference `estimate()` bit-for-bit in every mode.
+        #[test]
+        fn compiled_path_is_bit_identical_to_estimate(seed in any::<u64>()) {
+            let lib = library();
+            let raw = random_circuit(&RandomCircuitSpec::new("plan-prop", 6, 2, 35, 2, seed));
+            let circuit = normalize(&raw).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x706c616e);
+            for _ in 0..3 {
+                let p = Pattern::random(&circuit, &mut rng);
+                for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut] {
+                    assert_bit_identical(&circuit, &lib, &p, mode);
+                }
+            }
+        }
+
+        /// Direct-solve mode (slow: per-gate transistor re-solves) on
+        /// small circuits.
+        #[test]
+        fn compiled_direct_solve_is_bit_identical(seed in any::<u64>()) {
+            let lib = library();
+            let raw = random_circuit(&RandomCircuitSpec::new("plan-ds", 4, 2, 8, 0, seed));
+            let circuit = normalize(&raw).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6473);
+            let p = Pattern::random(&circuit, &mut rng);
+            assert_bit_identical(&circuit, &lib, &p, EstimatorMode::DirectSolve);
+        }
+    }
+}

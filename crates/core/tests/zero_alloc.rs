@@ -1,0 +1,88 @@
+//! The compiled estimator's zero-allocation guarantee, asserted with
+//! a counting global allocator.
+//!
+//! This file intentionally holds a single test: integration-test
+//! binaries get their own process, so the allocation counter observes
+//! only this test's activity (cargo's libtest would otherwise
+//! interleave other tests' allocations into the measured window).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_core::{CompiledEstimator, EstimatorMode};
+use nanoleak_device::Technology;
+use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_netlist::Pattern;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`; the counter is a
+// side-effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn lut_hot_path_performs_zero_allocations_after_warm_up() {
+    // Setup (allocates freely): library, circuit, plan, scratch.
+    let tech = Technology::d25();
+    let lib = CellLibrary::characterize(&tech, 300.0, &CharacterizeOptions::coarse(&CellType::ALL))
+        .unwrap();
+    let raw = random_circuit(&RandomCircuitSpec::new("zero-alloc", 8, 3, 120, 4, 2005));
+    let circuit = normalize(&raw).unwrap();
+    let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+    let mut scratch = plan.scratch();
+    let pattern = Pattern::zeros(&circuit);
+
+    // Warm-up: grow every scratch buffer to its steady-state size.
+    for mode in [EstimatorMode::Lut, EstimatorMode::NoLoading] {
+        plan.estimate_into(&mut scratch, &pattern, mode).unwrap();
+    }
+    for index in 0..2 {
+        plan.estimate_index_into(&mut scratch, 7, index, EstimatorMode::Lut).unwrap();
+    }
+
+    // Measured window: per-pattern estimation, fixed patterns and
+    // seed-derived sweep patterns alike, must never hit the allocator.
+    let mut sink = 0.0;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for index in 0..256 {
+        sink += plan.estimate_into(&mut scratch, &pattern, EstimatorMode::Lut).unwrap().total();
+        sink +=
+            plan.estimate_index_into(&mut scratch, 7, index, EstimatorMode::Lut).unwrap().total();
+        sink += plan.estimate_into(&mut scratch, &pattern, EstimatorMode::NoLoading).unwrap().sub;
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(sink.is_finite() && sink > 0.0, "estimates actually ran");
+    assert_eq!(
+        after - before,
+        0,
+        "the warm Lut/NoLoading hot path must not allocate (saw {} allocations)",
+        after - before
+    );
+}

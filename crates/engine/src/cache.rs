@@ -95,10 +95,12 @@ impl LibraryCache {
     /// The request key: FNV-1a over the serialized (tech, temp,
     /// options) triple. Every field of the technology (device designs
     /// included) participates, so e.g. an oxide-thickness tweak yields
-    /// a different key.
+    /// a different key. Delegates to [`CellLibrary::request_key`] —
+    /// the same hash keys the cells crate's process-wide memo, so
+    /// every cache layer (RAM memo, shared-library memo, `*.nlc`
+    /// disk files) agrees on request identity.
     pub fn request_key(tech: &Technology, temp: f64, opts: &CharacterizeOptions) -> u64 {
-        let request = (tech.clone(), temp, opts.clone());
-        fnv1a(&serde::to_bytes(&request))
+        CellLibrary::request_key(tech, temp, opts)
     }
 
     /// The file path backing one request.

@@ -1,102 +1,10 @@
 //! Deterministic parallel execution primitives.
 //!
-//! The engine's contract is that every result is **bit-identical for
-//! any thread count**. Two rules make that hold:
-//!
-//! 1. anything random is derived per *work item* from the base seed
-//!    with [`mix`] (SplitMix64), never from a shared RNG stream;
-//! 2. per-item outputs are materialized in item order and every
-//!    floating-point reduction runs sequentially over that order —
-//!    threads only compute, they never reduce.
+//! These historically lived in the engine; PR 4 moved them down into
+//! [`nanoleak_core::exec`] so the estimator's own batch entry points
+//! (`estimate_batch`, the compiled plan's sweep hook) share one
+//! threading and seeding discipline with the engine. This module
+//! re-exports them unchanged — engine-internal and downstream paths
+//! (`nanoleak_engine::exec::par_map`, ...) keep working.
 
-/// SplitMix64: decorrelates per-item seeds from a base seed.
-///
-/// The same mixer `nanoleak-variation` uses for Monte-Carlo sample
-/// streams, so engine sweeps and MC runs share one seeding discipline.
-pub fn mix(seed: u64, i: u64) -> u64 {
-    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-/// Resolves a requested worker count: `0` means "all cores" (capped
-/// at 16); anything else is taken literally.
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
-    } else {
-        requested
-    }
-}
-
-/// Maps `f` over `0..n` on up to `threads` workers, returning results
-/// in index order.
-///
-/// Work is split into contiguous index chunks, one per worker; chunk
-/// outputs are concatenated in chunk order, so the returned vector is
-/// identical to `(0..n).map(f).collect()` regardless of `threads`.
-///
-/// # Panics
-/// Propagates panics from `f`.
-pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..n)
-            .step_by(chunk)
-            .map(|start| {
-                let end = (start + chunk).min(n);
-                scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("engine worker panicked"));
-        }
-        out
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mix_streams_do_not_collide_trivially() {
-        let a: Vec<u64> = (0..64).map(|i| mix(2005, i)).collect();
-        let mut sorted = a.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), a.len(), "no duplicates in the first 64 streams");
-        assert_ne!(mix(2005, 0), mix(2006, 0), "seed changes the stream");
-    }
-
-    #[test]
-    fn par_map_preserves_index_order_for_any_thread_count() {
-        let expect: Vec<usize> = (0..103).map(|i| i * i).collect();
-        for threads in [1, 2, 3, 7, 16, 64] {
-            assert_eq!(par_map(103, threads, |i| i * i), expect, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn par_map_handles_degenerate_sizes() {
-        assert_eq!(par_map(0, 8, |i| i), Vec::<usize>::new());
-        assert_eq!(par_map(1, 8, |i| i + 1), vec![1]);
-    }
-
-    #[test]
-    fn requested_threads_are_honored() {
-        assert_eq!(resolve_threads(3), 3);
-        assert!(resolve_threads(0) >= 1);
-    }
-}
+pub use nanoleak_core::exec::{mix, par_map, par_map_with, resolve_threads};

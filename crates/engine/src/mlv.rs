@@ -20,10 +20,12 @@
 use std::time::Instant;
 
 use nanoleak_cells::CellLibrary;
-use nanoleak_core::{estimate, CircuitLeakage, EstimatorMode};
+use nanoleak_core::{
+    CircuitLeakage, CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode,
+};
 use nanoleak_netlist::{Circuit, Pattern};
 
-use crate::exec::{par_map, resolve_threads};
+use crate::exec::{par_map_with, resolve_threads};
 use crate::sweep::pattern_for_index;
 use crate::EngineError;
 
@@ -151,24 +153,22 @@ struct Candidate {
     objective: f64,
 }
 
-/// Builds the pattern encoded by the low `bits` of `index`: primary
-/// inputs first (bit 0 = first input), then DFF state bits.
-fn pattern_from_bits(circuit: &Circuit, index: u64) -> Pattern {
+/// Refills `pattern` with the assignment encoded by the low `bits` of
+/// `index`: primary inputs first (bit 0 = first input), then DFF state
+/// bits. Allocation-free once the buffers are warm.
+fn fill_pattern_from_bits(circuit: &Circuit, index: u64, pattern: &mut Pattern) {
     let n_pi = circuit.inputs().len();
-    let n_state = circuit.state_inputs().len();
-    Pattern {
-        pi: (0..n_pi).map(|j| index >> j & 1 == 1).collect(),
-        states: (0..n_state).map(|j| index >> (n_pi + j) & 1 == 1).collect(),
-    }
+    pattern.pi.clear();
+    pattern.pi.extend((0..n_pi).map(|j| index >> j & 1 == 1));
+    pattern.states.clear();
+    pattern.states.extend((0..circuit.state_inputs().len()).map(|j| index >> (n_pi + j) & 1 == 1));
 }
 
-fn score(
-    circuit: &Circuit,
-    library: &CellLibrary,
-    pattern: &Pattern,
-    mode: EstimatorMode,
-) -> Result<f64, EngineError> {
-    Ok(estimate(circuit, library, pattern, mode)?.total.total())
+/// Builds the pattern encoded by the low `bits` of `index`.
+fn pattern_from_bits(circuit: &Circuit, index: u64) -> Pattern {
+    let mut p = Pattern::default();
+    fill_pattern_from_bits(circuit, index, &mut p);
+    p
 }
 
 /// Folds candidates in iteration order; ties keep the earliest, so
@@ -184,22 +184,29 @@ fn pick_best(goal: MlvGoal, candidates: impl IntoIterator<Item = Candidate>) -> 
     best
 }
 
-/// Scores `n` candidate patterns in parallel and picks the winner.
-fn scored_scan(
-    circuit: &Circuit,
-    library: &CellLibrary,
-    config: &MlvConfig,
+/// Scores `n` candidates in parallel (per-worker scratch state, no
+/// per-candidate allocations) and picks the winning `(index,
+/// objective)`. Objectives are materialized in index order and the
+/// fold keeps the earliest on ties, so the winner is deterministic
+/// for any thread count — the winning *pattern* is regenerated from
+/// its index by the caller.
+fn scored_scan<S>(
+    goal: MlvGoal,
     threads: usize,
     n: usize,
-    pattern_at: impl Fn(usize) -> Pattern + Sync,
-) -> Result<Option<Candidate>, EngineError> {
-    let scored = par_map(n, threads, |i| -> Result<Candidate, EngineError> {
-        let pattern = pattern_at(i);
-        let objective = score(circuit, library, &pattern, config.mode)?;
-        Ok(Candidate { pattern, objective })
-    });
-    let candidates = scored.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(pick_best(config.goal, candidates))
+    init: impl Fn() -> S + Sync,
+    score_at: impl Fn(&mut S, usize) -> Result<f64, EstimateError> + Sync,
+) -> Result<(usize, f64), EngineError> {
+    let scored: Vec<Result<f64, EstimateError>> = par_map_with(n, threads, init, score_at);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, r) in scored.into_iter().enumerate() {
+        let objective = r?;
+        match best {
+            Some((_, b)) if !goal.improves(objective, b) => {}
+            _ => best = Some((i, objective)),
+        }
+    }
+    Ok(best.expect("scored_scan evaluates at least one candidate"))
 }
 
 /// Searches for the extreme-leakage input vector of `circuit`.
@@ -216,30 +223,57 @@ pub fn mlv_search(
     let start = Instant::now();
     let threads = resolve_threads(config.threads);
     let bits = circuit.inputs().len() + circuit.state_inputs().len();
+    if let MlvStrategy::Exhaustive = config.strategy {
+        if bits > MAX_EXHAUSTIVE_BITS {
+            return Err(EngineError::SearchSpaceTooLarge { bits, limit: MAX_EXHAUSTIVE_BITS });
+        }
+    }
+
+    // One compiled plan for the whole search; candidate scoring runs
+    // allocation-free against per-worker scratches.
+    let plan = CompiledEstimator::compile(circuit, library)?;
 
     let (best, evaluations, improving_moves, restarts) = match config.strategy {
         MlvStrategy::Exhaustive => {
-            if bits > MAX_EXHAUSTIVE_BITS {
-                return Err(EngineError::SearchSpaceTooLarge { bits, limit: MAX_EXHAUSTIVE_BITS });
-            }
             let n = 1usize << bits;
-            let best = scored_scan(circuit, library, config, threads, n, |i| {
-                pattern_from_bits(circuit, i as u64)
-            })?;
+            let (index, objective) = scored_scan(
+                config.goal,
+                threads,
+                n,
+                || (plan.scratch(), Pattern::default()),
+                |(scratch, pattern), i| {
+                    fill_pattern_from_bits(circuit, i as u64, pattern);
+                    plan.estimate_into(scratch, pattern, config.mode).map(|b| b.total())
+                },
+            )?;
+            let best = Candidate { pattern: pattern_from_bits(circuit, index as u64), objective };
             (best, n as u64, 0, 1)
         }
         MlvStrategy::Random { samples } => {
             assert!(samples > 0, "random MLV search needs at least one sample");
-            let best = scored_scan(circuit, library, config, threads, samples, |i| {
-                pattern_for_index(circuit, config.seed, i)
-            })?;
+            let (index, objective) = scored_scan(
+                config.goal,
+                threads,
+                samples,
+                || plan.scratch(),
+                |scratch, i| {
+                    plan.estimate_index_into(scratch, config.seed, i, config.mode)
+                        .map(|b| b.total())
+                },
+            )?;
+            let best =
+                Candidate { pattern: pattern_for_index(circuit, config.seed, index), objective };
             (best, samples as u64, 0, 1)
         }
         MlvStrategy::HillClimb { restarts, max_steps } => {
             assert!(restarts > 0, "hill climb needs at least one restart");
             type ClimbOutcome = Result<(Candidate, u64, u64), EngineError>;
-            let climbs: Vec<ClimbOutcome> =
-                par_map(restarts, threads, |r| climb(circuit, library, config, r, max_steps));
+            let climbs: Vec<ClimbOutcome> = par_map_with(
+                restarts,
+                threads,
+                || plan.scratch(),
+                |scratch, r| climb(&plan, scratch, config, r, max_steps),
+            );
             let mut merged = Vec::with_capacity(restarts);
             let (mut evals, mut moves) = (0u64, 0u64);
             for c in climbs {
@@ -248,12 +282,14 @@ pub fn mlv_search(
                 moves += m;
                 merged.push(cand);
             }
-            (pick_best(config.goal, merged), evals, moves, restarts)
+            let best =
+                pick_best(config.goal, merged).expect("at least one restart produced a candidate");
+            (best, evals, moves, restarts)
         }
     };
 
-    let best = best.expect("every strategy evaluates at least one candidate");
-    let leakage = estimate(circuit, library, &best.pattern, config.mode)?;
+    let mut scratch = plan.scratch();
+    let leakage = plan.estimate_report(&mut scratch, &best.pattern, config.mode)?;
     Ok(MlvResult {
         pattern: best.pattern,
         objective: best.objective,
@@ -270,17 +306,19 @@ pub fn mlv_search(
 
 /// One hill-climb restart: greedy steepest-ascent/descent over
 /// single-bit flips, scanning bits in a fixed order for determinism.
+/// The candidate pattern is mutated in place (flip, score, flip back),
+/// so a whole restart performs no per-step allocations.
 fn climb(
-    circuit: &Circuit,
-    library: &CellLibrary,
+    plan: &CompiledEstimator<'_>,
+    scratch: &mut EstimateScratch,
     config: &MlvConfig,
     restart: usize,
     max_steps: usize,
 ) -> Result<(Candidate, u64, u64), EngineError> {
     // Restart streams reuse the sweep's per-index derivation, offset
     // so hill-climb starts differ from sweep/random sample patterns.
-    let mut current = pattern_for_index(circuit, config.seed ^ 0x4d4c56, restart);
-    let mut objective = score(circuit, library, &current, config.mode)?;
+    let mut current = pattern_for_index(plan.circuit(), config.seed ^ 0x4d4c56, restart);
+    let mut objective = plan.estimate_into(scratch, &current, config.mode)?.total();
     let mut evaluations = 1u64;
     let mut moves = 0u64;
     let bits = current.pi.len() + current.states.len();
@@ -288,8 +326,9 @@ fn climb(
     for _ in 0..max_steps {
         let mut best_flip: Option<(usize, f64)> = None;
         for bit in 0..bits {
-            let candidate = flipped(&current, bit);
-            let cand_obj = score(circuit, library, &candidate, config.mode)?;
+            flip_in_place(&mut current, bit);
+            let cand_obj = plan.estimate_into(scratch, &current, config.mode)?.total();
+            flip_in_place(&mut current, bit);
             evaluations += 1;
             let beats_current = config.goal.improves(cand_obj, objective);
             let beats_best = match best_flip {
@@ -302,7 +341,7 @@ fn climb(
         }
         match best_flip {
             Some((bit, obj)) => {
-                current = flipped(&current, bit);
+                flip_in_place(&mut current, bit);
                 objective = obj;
                 moves += 1;
             }
@@ -312,23 +351,22 @@ fn climb(
     Ok((Candidate { pattern: current, objective }, evaluations, moves))
 }
 
-/// Returns `pattern` with one bit (primary inputs first, then DFF
-/// states) flipped.
-fn flipped(pattern: &Pattern, bit: usize) -> Pattern {
-    let mut p = pattern.clone();
-    if bit < p.pi.len() {
-        p.pi[bit] = !p.pi[bit];
+/// Flips one bit of `pattern` (primary inputs first, then DFF states)
+/// in place.
+fn flip_in_place(pattern: &mut Pattern, bit: usize) {
+    if bit < pattern.pi.len() {
+        pattern.pi[bit] = !pattern.pi[bit];
     } else {
-        let s = bit - p.pi.len();
-        p.states[s] = !p.states[s];
+        let s = bit - pattern.pi.len();
+        pattern.states[s] = !pattern.states[s];
     }
-    p
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+    use nanoleak_core::estimate;
     use nanoleak_device::Technology;
     use nanoleak_netlist::CircuitBuilder;
     use std::sync::Arc;

@@ -19,13 +19,13 @@
 use std::time::Instant;
 
 use nanoleak_cells::CellLibrary;
-use nanoleak_core::{estimate, EstimateError, EstimatorMode};
+use nanoleak_core::{CompiledEstimator, EstimateError, EstimatorMode};
 use nanoleak_device::LeakageBreakdown;
 use nanoleak_netlist::{Circuit, Pattern};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::exec::{mix, par_map, resolve_threads};
+use crate::exec::{mix, par_map_with, resolve_threads};
 use crate::stats::ScalarStats;
 
 /// Configuration of one pattern sweep.
@@ -162,19 +162,23 @@ fn reduce_stats(
 }
 
 /// Estimates the contiguous index range `start .. start + len` in
-/// parallel, returning per-pattern totals in index order.
+/// parallel on the compiled plan, returning per-pattern totals in
+/// index order. Each worker keeps one `EstimateScratch`, and patterns
+/// are generated straight into its reusable buffers — the per-pattern
+/// loop never touches the allocator.
 fn estimate_chunk(
-    circuit: &Circuit,
-    library: &CellLibrary,
+    plan: &CompiledEstimator<'_>,
     config: &SweepConfig,
     threads: usize,
     start: usize,
     len: usize,
 ) -> Result<Vec<LeakageBreakdown>, EstimateError> {
-    let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> = par_map(len, threads, |i| {
-        let pattern = pattern_for_index(circuit, config.seed, start + i);
-        estimate(circuit, library, &pattern, config.mode).map(|r| r.total)
-    });
+    let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> = par_map_with(
+        len,
+        threads,
+        || plan.scratch(),
+        |scratch, i| plan.estimate_index_into(scratch, config.seed, start + i, config.mode),
+    );
     let mut totals = Vec::with_capacity(len);
     for r in per_pattern {
         totals.push(r?);
@@ -302,11 +306,21 @@ pub fn sweep_streaming(
     let shard_size = if shard_vectors == 0 { config.vectors } else { shard_vectors };
     let start_time = Instant::now();
 
-    let mut merger = SweepMerger::with_capacity(config.vectors);
+    // Compile once per sweep; every shard and worker shares the plan.
+    let plan = CompiledEstimator::compile(circuit, library)?;
+    // The merger is only fed on multi-shard sweeps — the monolithic
+    // path reuses its single shard's stats, so don't reserve
+    // vectors-sized backing storage it would never touch.
+    let mut merger = if shards_total > 1 {
+        SweepMerger::with_capacity(config.vectors)
+    } else {
+        SweepMerger::default()
+    };
+    let mut mono_stats = None;
     for shard in 0..shards_total {
         let start = shard * shard_size;
         let len = shard_size.min(config.vectors - start);
-        let totals = estimate_chunk(circuit, library, config, threads, start, len)?;
+        let totals = estimate_chunk(&plan, config, threads, start, len)?;
         let partial = SweepShard {
             shard,
             shards_total,
@@ -314,14 +328,26 @@ pub fn sweep_streaming(
             vectors: len,
             stats: reduce_stats(circuit, config.seed, start, &totals),
         };
-        merger.push(&totals);
+        if shards_total > 1 {
+            merger.push(&totals);
+        }
         if !on_shard(&partial) {
             return Ok(None);
+        }
+        if shards_total == 1 {
+            // A single shard's partial covers the whole sweep with
+            // `start == 0` — the merged reduction would recompute the
+            // identical stats over the identical series, so reuse
+            // them (this is the monolithic `sweep()` hot path).
+            mono_stats = Some(partial.stats);
         }
     }
 
     let elapsed = start_time.elapsed();
-    let stats = merger.finish(circuit, config.seed).expect("at least one non-empty shard ran");
+    let stats = match mono_stats {
+        Some(stats) => stats,
+        None => merger.finish(circuit, config.seed).expect("at least one non-empty shard ran"),
+    };
     Ok(Some(SweepReport {
         stats,
         telemetry: SweepTelemetry {
@@ -483,7 +509,8 @@ mod tests {
         let cfg = SweepConfig { vectors: 6, seed: 12, threads: 1, ..Default::default() };
         let mono = sweep(&circuit, &lib, &cfg).unwrap();
 
-        let totals = estimate_chunk(&circuit, &lib, &cfg, 1, 0, 6).unwrap();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let totals = estimate_chunk(&plan, &cfg, 1, 0, 6).unwrap();
         let mut merger = SweepMerger::default();
         assert!(merger.finish(&circuit, 12).is_none(), "nothing merged yet");
         merger.push(&[]); // empty shard: no-op, must not panic later

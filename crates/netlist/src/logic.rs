@@ -11,6 +11,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::circuit::{Circuit, GateId};
 
+/// Largest cell fanin [`simulate_into`] supports without allocating
+/// (the cell family tops out at 4 pins; 8 leaves headroom and matches
+/// `InputVector`'s bound).
+const MAX_FANIN: usize = 8;
+
 /// Evaluates all net values for primary-input pattern `pi` and DFF
 /// stored states `states`.
 ///
@@ -21,21 +26,43 @@ use crate::circuit::{Circuit, GateId};
 /// # Panics
 /// Panics if `pi` or `states` have the wrong length.
 pub fn simulate(circuit: &Circuit, pi: &[bool], states: &[bool]) -> Vec<bool> {
+    let mut values = Vec::new();
+    simulate_into(circuit, pi, states, &mut values);
+    values
+}
+
+/// [`simulate`] into a caller-owned buffer: `values` is cleared and
+/// refilled with one boolean per net (indexable by `NetId.0`).
+///
+/// Once `values` has reached the circuit's net count this performs no
+/// heap allocation — the buffer is reused and per-gate input levels
+/// live in a stack array — which is what lets the compiled estimator
+/// (`nanoleak-core`'s `CompiledEstimator`) run a whole pattern without
+/// touching the allocator.
+///
+/// # Panics
+/// Panics if `pi` or `states` have the wrong length.
+pub fn simulate_into(circuit: &Circuit, pi: &[bool], states: &[bool], values: &mut Vec<bool>) {
     assert_eq!(pi.len(), circuit.inputs().len(), "primary input count");
     assert_eq!(states.len(), circuit.state_inputs().len(), "DFF state count");
-    let mut values = vec![false; circuit.net_count()];
+    values.clear();
+    values.resize(circuit.net_count(), false);
     for (net, &v) in circuit.inputs().iter().zip(pi) {
         values[net.0] = v;
     }
     for (net, &state) in circuit.state_inputs().iter().zip(states) {
         values[net.0] = !state;
     }
+    let mut ins = [false; MAX_FANIN];
     for &gid in circuit.topo_order() {
         let gate = circuit.gate(gid);
-        let ins: Vec<bool> = gate.inputs.iter().map(|n| values[n.0]).collect();
-        values[gate.output.0] = gate.cell.eval_logic(&ins);
+        let k = gate.inputs.len();
+        assert!(k <= MAX_FANIN, "gate fanin {k} exceeds {MAX_FANIN}");
+        for (slot, &net) in ins[..k].iter_mut().zip(&gate.inputs) {
+            *slot = values[net.0];
+        }
+        values[gate.output.0] = gate.cell.eval_logic(&ins[..k]);
     }
-    values
 }
 
 /// The input vector a gate sees under the given net values.
@@ -47,7 +74,7 @@ pub fn gate_vector(circuit: &Circuit, gate: GateId, values: &[bool]) -> InputVec
 
 /// A primary-input pattern plus DFF states — one "vector" of the
 /// paper's 100-random-vector experiments.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pattern {
     /// Primary input values.
     pub pi: Vec<bool>,
@@ -58,10 +85,22 @@ pub struct Pattern {
 impl Pattern {
     /// Draws a uniformly random pattern for `circuit`.
     pub fn random<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Self {
-        Self {
-            pi: (0..circuit.inputs().len()).map(|_| rng.gen()).collect(),
-            states: (0..circuit.state_inputs().len()).map(|_| rng.gen()).collect(),
-        }
+        let mut p = Self::default();
+        p.fill_random(circuit, rng);
+        p
+    }
+
+    /// Refills `self` with a uniformly random pattern for `circuit`,
+    /// reusing the existing buffers. Draws the same RNG stream as
+    /// [`Pattern::random`] (primary inputs first, then DFF states), so
+    /// `fill_random` into a reused pattern and `random` into a fresh
+    /// one produce identical bits — allocation-free once the buffers
+    /// have grown to the circuit's arity.
+    pub fn fill_random<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) {
+        self.pi.clear();
+        self.pi.extend((0..circuit.inputs().len()).map(|_| rng.gen::<bool>()));
+        self.states.clear();
+        self.states.extend((0..circuit.state_inputs().len()).map(|_| rng.gen::<bool>()));
     }
 
     /// Draws `n` random patterns.
@@ -113,6 +152,33 @@ mod tests {
         let values = simulate(&c, &[true, false], &[]);
         let v = gate_vector(&c, c.topo_order()[0], &values);
         assert_eq!(v.to_string(), "10");
+    }
+
+    #[test]
+    fn simulate_into_reuses_the_buffer_and_matches_simulate() {
+        let c = nand_inv();
+        let mut values = Vec::new();
+        for (a, b) in [(false, false), (true, false), (true, true)] {
+            simulate_into(&c, &[a, b], &[], &mut values);
+            assert_eq!(values, simulate(&c, &[a, b], &[]), "a={a} b={b}");
+        }
+        // A stale, oversized buffer is fully overwritten.
+        values.resize(64, true);
+        simulate_into(&c, &[false, true], &[], &mut values);
+        assert_eq!(values.len(), c.net_count());
+        assert_eq!(values, simulate(&c, &[false, true], &[]));
+    }
+
+    #[test]
+    fn fill_random_draws_the_same_stream_as_random() {
+        let c = nand_inv();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut reused = Pattern { pi: vec![true; 7], states: vec![true; 3] };
+        for _ in 0..8 {
+            reused.fill_random(&c, &mut r1);
+            assert_eq!(reused, Pattern::random(&c, &mut r2));
+        }
     }
 
     #[test]

@@ -690,14 +690,14 @@ fn parallel_grid_matrix_is_bit_identical_to_sequential() {
         for scale in [0.9, 1.0] {
             let mut tech = Technology::d25();
             tech.vdd *= scale;
-            // Characterize directly: the process-wide shared cache
-            // keys on tech *name*, which a vdd scale does not change.
-            let lib = CellLibrary::characterize(
+            // The process-wide shared cache keys on the full
+            // serialized tech (vdd included), so scaled requests get
+            // their own entries and repeated test runs share them.
+            let lib = CellLibrary::shared_with_options(
                 &tech,
                 temp,
                 &CharacterizeOptions::coarse(&CellType::ALL),
-            )
-            .expect("characterize scaled tech");
+            );
             let report = sweep(&circuit, &lib, &config).expect("cell sweep");
             row.push(report.stats.total.mean);
         }

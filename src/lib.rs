@@ -131,8 +131,8 @@ pub mod prelude {
         eval_isolated, eval_loaded, CellLibrary, CellType, CharacterizeOptions, InputVector,
     };
     pub use nanoleak_core::{
-        accuracy, estimate, estimate_batch, reference_leakage, CircuitLeakage, EstimateError,
-        EstimatorMode, LoadingImpact, ReferenceOptions,
+        accuracy, estimate, estimate_batch, reference_leakage, CircuitLeakage, CompiledEstimator,
+        EstimateError, EstimateScratch, EstimatorMode, LoadingImpact, ReferenceOptions,
     };
     pub use nanoleak_device::{
         Bias, DeviceDesign, LeakageBreakdown, MosKind, Perturbation, Technology, Transistor,

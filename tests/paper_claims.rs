@@ -91,6 +91,54 @@ fn estimator_is_orders_of_magnitude_faster_than_reference() {
 }
 
 #[test]
+fn compiled_sweep_stats_stay_pinned_to_the_reference_estimator() {
+    // PR 4 moved the engine's sweeps onto the compiled estimator plan;
+    // their statistics must stay pinned to what the seed-era
+    // per-pattern path produces: re-derive every pattern with
+    // `pattern_for_index`, score it with the reference `estimate()`,
+    // run the same sequential reduction — and demand bit-equality on
+    // every published statistic, for more than one thread count.
+    use nanoleak_engine::pattern_for_index;
+
+    let lib = library();
+    let raw = random_circuit(&RandomCircuitSpec::new("pin", 8, 4, 120, 3, 2005));
+    let circuit = normalize(&raw).unwrap();
+    let base = SweepConfig { vectors: 48, seed: 2005, threads: 1, ..Default::default() };
+
+    let totals: Vec<LeakageBreakdown> = (0..base.vectors)
+        .map(|i| {
+            let p = pattern_for_index(&circuit, base.seed, i);
+            estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap().total
+        })
+        .collect();
+    let series = |f: fn(&LeakageBreakdown) -> f64| -> Vec<f64> { totals.iter().map(f).collect() };
+    let total_series = series(LeakageBreakdown::total);
+    let argbest = |less: bool| -> usize {
+        let mut best = 0;
+        for (i, &t) in total_series.iter().enumerate().skip(1) {
+            if (less && t < total_series[best]) || (!less && t > total_series[best]) {
+                best = i;
+            }
+        }
+        best
+    };
+
+    for threads in [1, 3] {
+        let report = sweep(&circuit, &lib, &SweepConfig { threads, ..base }).unwrap();
+        let s = &report.stats;
+        assert_eq!(s.total, ScalarStats::of(&total_series), "threads = {threads}");
+        assert_eq!(s.sub, ScalarStats::of(&series(|b| b.sub)));
+        assert_eq!(s.gate, ScalarStats::of(&series(|b| b.gate)));
+        assert_eq!(s.btbt, ScalarStats::of(&series(|b| b.btbt)));
+        assert_eq!(s.min.index, argbest(true));
+        assert_eq!(s.max.index, argbest(false));
+        assert_eq!(s.min.leakage, totals[s.min.index]);
+        assert_eq!(s.max.leakage, totals[s.max.index]);
+        assert_eq!(s.min.pattern, pattern_for_index(&circuit, base.seed, s.min.index));
+    }
+}
+
+#[test]
 fn reference_voltages_reveal_multi_level_propagation_is_weak() {
     // Paper Section 6's argument for one-level truncation: a
     // second-level neighbor's gate leakage barely moves this gate's
