@@ -1,0 +1,114 @@
+//! Records the Monte-Carlo throughput baseline (`BENCH_mc.json`):
+//! single-thread samples/sec of the two variation workloads —
+//!
+//! * the paper's paired **inverter fixture** (`run_inverter_mc`,
+//!   transistor-level, per-device intra-die variation), and
+//! * the **circuit-level MC** (`mc_streaming`, one perturbed die per
+//!   sample characterized into a library and estimated on the
+//!   compiled plan) on a small ISCAS circuit —
+//!
+//! and verifies along the way that a re-run of each seed reproduces
+//! the summary bit-for-bit (the determinism the engine tests pin, here
+//! checked on the exact configuration being measured).
+//!
+//! Circuit samples pay a per-die characterization, so the baseline is
+//! recorded on the coarse 4-point grid (like the CI smoke paths); the
+//! JSON carries `grid_points` so numbers are never compared across
+//! resolutions. `--coarse` is therefore the default — pass `--full`
+//! for the production 11-point grid if you have minutes to spare.
+//!
+//! ```text
+//! cargo run --release -p nanoleak-bench --bin bench_mc -- \
+//!     [--circuit s838] [--samples 8] [--fixture-samples 64] [--full] \
+//!     [--out BENCH_mc.json]
+//! ```
+
+use std::time::Instant;
+
+use nanoleak_device::Technology;
+use nanoleak_engine::{mc_streaming, MemoLibraryCache};
+use nanoleak_netlist::generate::iscas_like;
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_variation::{char_opts_for, run_inverter_mc, CircuitMcConfig, McConfig};
+
+fn main() {
+    let mut circuit_name = "s838".to_string();
+    let mut samples = 8usize;
+    let mut fixture_samples = 64usize;
+    let mut full = false;
+    let mut out = "BENCH_mc.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--circuit" => circuit_name = value("--circuit"),
+            "--samples" => samples = value("--samples").parse().expect("--samples: integer"),
+            "--fixture-samples" => {
+                fixture_samples =
+                    value("--fixture-samples").parse().expect("--fixture-samples: integer");
+            }
+            "--full" => full = true,
+            "--coarse" => full = false,
+            "--out" => out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(samples > 0 && fixture_samples > 0, "need at least one sample");
+
+    let tech = Technology::d25();
+
+    // ---- Inverter fixture (transistor level, single thread). ----
+    let fixture_cfg =
+        McConfig { samples: fixture_samples, seed: 2005, threads: 1, ..Default::default() };
+    let t0 = Instant::now();
+    let fixture = run_inverter_mc(&tech, &fixture_cfg).expect("fixture mc");
+    let fixture_secs = t0.elapsed().as_secs_f64();
+    let again = run_inverter_mc(&tech, &fixture_cfg).expect("fixture mc rerun");
+    assert_eq!(fixture, again, "fixture must reproduce bit-for-bit");
+    let fixture_sps = fixture_samples as f64 / fixture_secs.max(1e-9);
+
+    // ---- Circuit-level MC (one library per die, single thread). ----
+    let circuit = normalize(&iscas_like(&circuit_name).expect("known circuit")).unwrap();
+    let mc_cfg = CircuitMcConfig {
+        samples,
+        seed: 2005,
+        threads: 1,
+        vectors: 1,
+        char_opts: char_opts_for(&circuit, !full),
+        ..Default::default()
+    };
+    let cache = MemoLibraryCache::memory_only();
+    let t0 = Instant::now();
+    let report = mc_streaming(&circuit, &tech, &cache, &mc_cfg, 0, |_| true)
+        .expect("circuit mc")
+        .expect("not cancelled");
+    let circuit_secs = t0.elapsed().as_secs_f64();
+    // Re-run through the warm memo: must be bit-identical and solver-free.
+    let solves = cache.stats().characterizations;
+    let warm = mc_streaming(&circuit, &tech, &cache, &mc_cfg, 0, |_| true)
+        .expect("warm circuit mc")
+        .expect("not cancelled");
+    assert_eq!(report.summary, warm.summary, "circuit MC must reproduce bit-for-bit");
+    assert_eq!(cache.stats().characterizations, solves, "warm re-run must not re-solve");
+    let circuit_sps = samples as f64 / circuit_secs.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"bench\": \"mc_throughput_single_thread\",\n  \
+         \"fixture\": {{\n    \"samples\": {fixture_samples},\n    \
+         \"samples_per_sec\": {:.2},\n    \"mean_shift_pct\": {:.3}\n  }},\n  \
+         \"circuit\": {{\n    \"name\": \"{circuit_name}\",\n    \"gates\": {},\n    \
+         \"samples\": {samples},\n    \"grid_points\": {},\n    \
+         \"samples_per_sec\": {:.3},\n    \"mean_shift_pct\": {:.3},\n    \
+         \"std_shift_pct\": {:.3}\n  }},\n  \"seed\": 2005,\n  \"bit_identical\": true\n}}\n",
+        fixture_sps,
+        fixture.mean_shift() * 100.0,
+        circuit.gate_count(),
+        mc_cfg.char_opts.points,
+        circuit_sps,
+        report.summary.mean_shift * 100.0,
+        report.summary.std_shift * 100.0,
+    );
+    std::fs::write(&out, &json).expect("write baseline");
+    print!("{json}");
+    println!("wrote {out}");
+}

@@ -1,7 +1,7 @@
 //! Fig. 9 — impact of temperature on the overall loading effect
 //! (`LD_ALL`) of an inverter with input '0'.
 
-use nanoleak_cells::{eval_isolated, eval_loaded, CellType, InputVector};
+use nanoleak_cells::{eval_isolated, eval_loaded, CellType, InputVector, OperatingPoint};
 use nanoleak_device::Technology;
 
 use crate::{fmt, linspace, pct, print_table, write_csv};
@@ -32,7 +32,12 @@ impl Default for Options {
 /// the subthreshold current and the junction current of the PMOS of
 /// the inverter D to node IN increases"), so the measured loading
 /// effect on the subthreshold component grows steeply with T.
-fn ld_at(tech: &Technology, temp: f64, opts: &Options) -> (f64, f64, f64, f64) {
+fn ld_at(tech: &Technology, op: &OperatingPoint, opts: &Options) -> (f64, f64, f64, f64) {
+    // The condition derivation flows through the shared OperatingPoint
+    // (vdd_scale 1.0 is an exact no-op, so this is bit-identical to
+    // evaluating the base technology directly).
+    let tech = &op.tech(tech);
+    let temp = op.temp;
     let v = InputVector::parse("0").unwrap();
     let nom = eval_isolated(tech, temp, CellType::Inv, v).expect("nominal").breakdown;
     let load = eval_loaded(tech, temp, CellType::Inv, v, &[opts.il_in], opts.il_out)
@@ -49,7 +54,7 @@ pub fn run(opts: &Options) {
     let headers = ["T[C]", "LD(sub)%", "LD(gate)%", "LD(btbt)%", "LD(total)%"];
     let mut rows = Vec::new();
     for t_c in linspace(0.0, 150.0, opts.points) {
-        let (sub, gate, btbt, total) = ld_at(&tech, t_c + 273.15, opts);
+        let (sub, gate, btbt, total) = ld_at(&tech, &OperatingPoint::from_celsius(t_c), opts);
         rows.push(vec![
             fmt(t_c, 0),
             fmt(pct(sub), 3),
@@ -71,8 +76,8 @@ mod tests {
         // Paper Fig. 9: LD_ALL(sub) rises steeply with temperature.
         let tech = Technology::d25();
         let opts = Options::default();
-        let (sub_cold, ..) = ld_at(&tech, 280.0, &opts);
-        let (sub_hot, ..) = ld_at(&tech, 400.0, &opts);
+        let (sub_cold, ..) = ld_at(&tech, &OperatingPoint::at_temp(280.0), &opts);
+        let (sub_hot, ..) = ld_at(&tech, &OperatingPoint::at_temp(400.0), &opts);
         assert!(sub_hot > 1.5 * sub_cold, "cold {sub_cold} vs hot {sub_hot}");
     }
 
@@ -82,8 +87,8 @@ mod tests {
         // down (paper Fig. 9's negative-going curves).
         let tech = Technology::d25();
         let opts = Options::default();
-        let (_, gate_cold, btbt_cold, _) = ld_at(&tech, 280.0, &opts);
-        let (_, gate_hot, btbt_hot, _) = ld_at(&tech, 400.0, &opts);
+        let (_, gate_cold, btbt_cold, _) = ld_at(&tech, &OperatingPoint::at_temp(280.0), &opts);
+        let (_, gate_hot, btbt_hot, _) = ld_at(&tech, &OperatingPoint::at_temp(400.0), &opts);
         assert!(gate_hot < gate_cold, "gate: {gate_cold} -> {gate_hot}");
         assert!(btbt_hot < btbt_cold, "btbt: {btbt_cold} -> {btbt_hot}");
     }
@@ -94,7 +99,7 @@ mod tests {
         // damped (paper Section 5.2 conclusion).
         let tech = Technology::d25();
         let opts = Options::default();
-        let (sub, _, _, total) = ld_at(&tech, 400.0, &opts);
+        let (sub, _, _, total) = ld_at(&tech, &OperatingPoint::at_temp(400.0), &opts);
         assert!(total < sub, "total {total} vs sub {sub}");
         assert!(total > 0.0);
     }

@@ -2,6 +2,7 @@
 //! deviation (right) of total inverter leakage versus the inter-die
 //! threshold-voltage sigma.
 
+use nanoleak_cells::OperatingPoint;
 use nanoleak_device::Technology;
 use nanoleak_variation::{run_inverter_mc, McConfig, VariationSigmas};
 
@@ -34,6 +35,10 @@ pub fn run(opts: &Options) {
             samples: opts.samples,
             seed: opts.seed,
             sigmas: VariationSigmas::paper_nominal().with_vt_inter(vt_inter).with_vt_intra(30e-3),
+            // The paper's room-temperature nominal, named through the
+            // shared operating-point derivation (no hand-rolled
+            // temperature or supply arithmetic in this bin).
+            op: OperatingPoint::default(),
             ..Default::default()
         };
         let std_cfg = McConfig {

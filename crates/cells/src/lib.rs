@@ -13,7 +13,13 @@
 //! * [`characterize`] / [`CellLibrary`] — per-(cell, vector) nominal
 //!   leakage, signed gate-pin currents, and loading-response lookup
 //!   tables: exactly the `f(I_L-IN, I_L-OUT)` data the paper's Fig. 13
-//!   algorithm consumes.
+//!   algorithm consumes;
+//! * [`operating`] / [`OperatingPoint`] — first-class operating
+//!   conditions (temperature, supply scale) that derive the scaled
+//!   [`Technology`](nanoleak_device::Technology) and its characterized
+//!   library through the shared request-key cache discipline — the one
+//!   condition-derivation path the server's grid jobs, the figure
+//!   bins, and the Monte-Carlo workloads all flow through.
 //!
 //! ## Example: the loading effect on an inverter
 //!
@@ -35,6 +41,7 @@ pub mod characterize;
 pub mod eval;
 pub mod library;
 pub mod lut;
+pub mod operating;
 pub mod topology;
 pub mod vector;
 
@@ -43,6 +50,7 @@ pub use characterize::{CellChar, CharacterizeOptions, VectorChar};
 pub use eval::{eval_isolated, eval_loaded, loading_injection, CellSolution};
 pub use library::CellLibrary;
 pub use lut::{BreakdownLut, Lut1};
+pub use operating::OperatingPoint;
 pub use topology::{add_cell, CellPins};
 pub use vector::InputVector;
 

@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use nanoleak_cells::{CellLibrary, CharacterizeOptions};
+use nanoleak_cells::{CellLibrary, CharacterizeOptions, OperatingPoint};
 use nanoleak_device::Technology;
 use parking_lot::Mutex;
 
@@ -353,6 +353,24 @@ impl MemoLibraryCache {
         Ok((lib, outcome))
     }
 
+    /// [`MemoLibraryCache::get_or_characterize`] at an
+    /// [`OperatingPoint`]: derives the scaled technology through the
+    /// shared [`OperatingPoint::tech`] path and characterizes at the
+    /// point's temperature. This is the one condition-derivation route
+    /// the server's grid and Monte-Carlo jobs use — no caller scales
+    /// `vdd` by hand anymore.
+    ///
+    /// # Errors
+    /// As [`MemoLibraryCache::get_or_characterize`].
+    pub fn get_or_characterize_at(
+        &self,
+        base: &Technology,
+        op: &OperatingPoint,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, CacheOutcome), EngineError> {
+        self.get_or_characterize(&op.tech(base), op.temp, opts)
+    }
+
     /// Number of libraries currently held in RAM.
     pub fn resident(&self) -> usize {
         self.entries.lock().len()
@@ -489,6 +507,24 @@ mod tests {
             assert_ne!(outcome, CacheOutcome::Miss, "disk layer serves evictions");
         }
         let _ = std::fs::remove_dir_all(memo.disk().unwrap().dir());
+    }
+
+    #[test]
+    fn operating_point_requests_share_entries_with_raw_requests() {
+        // The same physics asked for two ways — a raw (tech, temp)
+        // pair and an OperatingPoint — must name the same memo entry,
+        // and distinct points must not collide.
+        let base = Technology::d25();
+        let memo = MemoLibraryCache::memory_only();
+        let op = OperatingPoint::new(300.0, 0.9);
+        let (via_op, outcome) = memo.get_or_characterize_at(&base, &op, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (via_raw, outcome) = memo.get_or_characterize(&op.tech(&base), 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::MemoryHit, "same request, same entry");
+        assert!(Arc::ptr_eq(&via_op, &via_raw));
+        let hotter = OperatingPoint::new(310.0, 0.9);
+        let (_, outcome) = memo.get_or_characterize_at(&base, &hotter, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "different point, different entry");
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   disk behind a versioned, checksummed header keyed on the
 //!   technology/temperature/options hash, so repeated CLI and bench
 //!   runs skip the expensive characterize step entirely.
+//! * [`mc_streaming`](crate::mc::mc_streaming) — **circuit-level
+//!   Monte-Carlo variation** (the paper's Section 5.3 at circuit
+//!   scale): sharded, cancellable execution of
+//!   `nanoleak-variation`'s perturbed-die sampling, with per-sample
+//!   libraries served through the memoized cache and merged summaries
+//!   bit-identical to a monolithic run for any shard size or thread
+//!   count.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +62,7 @@
 
 pub mod cache;
 pub mod exec;
+pub mod mc;
 pub mod mlv;
 pub mod stats;
 pub mod sweep;
@@ -68,6 +76,7 @@ pub use cache::{
     CacheOutcome, LibraryCache, MemoCacheStats, MemoLibraryCache, CACHE_FORMAT_VERSION,
     MAX_RESIDENT_LIBRARIES,
 };
+pub use mc::{mc_streaming, McReport, McShard, McTelemetry};
 pub use mlv::{mlv_search, MlvConfig, MlvGoal, MlvResult, MlvStrategy, MlvTelemetry};
 pub use stats::ScalarStats;
 pub use sweep::{

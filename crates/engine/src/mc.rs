@@ -1,0 +1,270 @@
+//! Streaming circuit-level Monte-Carlo execution.
+//!
+//! [`mc_streaming`] runs `nanoleak-variation`'s circuit workload
+//! ([`run_circuit_mc_range`]) the way [`sweep_streaming`] runs pattern
+//! sweeps: the sample space executes in contiguous index-order shards,
+//! each shard yields a serializable [`McShard`] partial (its own
+//! [`McSummary`] over the shard) to the caller's callback — the
+//! cancellation point — and the raw per-sample series concatenates in
+//! index order so the final summary is the *same* sequential reduction
+//! a monolithic [`run_circuit_mc`](nanoleak_variation::run_circuit_mc)
+//! finishes with. Merged results are therefore **bit-identical for any
+//! shard size and thread count**.
+//!
+//! Per-sample libraries flow through the [`MemoLibraryCache`] (which
+//! implements [`LibraryProvider`]): unique perturbed dies miss and
+//! characterize, but re-running the same seed — a re-submitted job, a
+//! bench re-measure, the nominal corner — hits RAM or disk instead of
+//! the solver.
+
+use std::time::Instant;
+
+use nanoleak_device::Technology;
+use nanoleak_netlist::Circuit;
+use nanoleak_variation::{
+    run_circuit_mc_range, summarize, CircuitMcConfig, LibraryProvider, McError, McSummary,
+    DEFAULT_HIST_BINS,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::MemoLibraryCache;
+use crate::sweep::shard_count;
+use crate::EngineError;
+
+impl LibraryProvider for MemoLibraryCache {
+    fn library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &nanoleak_cells::CharacterizeOptions,
+    ) -> Result<std::sync::Arc<nanoleak_cells::CellLibrary>, McError> {
+        self.get_or_characterize(tech, temp, opts).map(|(lib, _)| lib).map_err(|e| match e {
+            EngineError::Solver(e) => McError::Solver(e),
+            EngineError::Estimate(e) => McError::Estimate(e),
+            other => McError::Library(other.to_string()),
+        })
+    }
+}
+
+impl From<McError> for EngineError {
+    fn from(e: McError) -> Self {
+        match e {
+            McError::Solver(e) => EngineError::Solver(e),
+            McError::Estimate(e) => EngineError::Estimate(e),
+            McError::Library(msg) => EngineError::Cache(msg),
+        }
+    }
+}
+
+/// One completed shard of a streaming Monte Carlo, yielded to the
+/// [`mc_streaming`] callback as soon as its samples are done.
+///
+/// Serializable so job front-ends can page shard partials to clients
+/// incrementally (`GET /v1/jobs/{id}/result?shard=K` in
+/// `nanoleak-serve`), exactly like [`SweepShard`](crate::SweepShard).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McShard {
+    /// Shard index (0-based, in execution = sample-index order).
+    pub shard: usize,
+    /// Total shards the run will execute.
+    pub shards_total: usize,
+    /// Global sample index of this shard's first sample.
+    pub start: usize,
+    /// Samples in this shard.
+    pub samples: usize,
+    /// Distribution summary over this shard alone.
+    pub summary: McSummary,
+}
+
+/// Wall-clock measurements of one MC run (not deterministic; kept
+/// separate from the summary so determinism is assertable on the
+/// summary alone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McTelemetry {
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+    /// Throughput in samples per second.
+    pub samples_per_sec: f64,
+}
+
+/// Result of [`mc_streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct McReport {
+    /// Deterministic distribution summary over all samples.
+    pub summary: McSummary,
+    /// Wall-clock telemetry.
+    pub telemetry: McTelemetry,
+}
+
+/// Runs `config.samples` Monte-Carlo samples in contiguous shards of
+/// `shard_samples` (`0` = one monolithic shard), calling `on_shard`
+/// after each shard completes. The callback returning `false` cancels
+/// the run (`Ok(None)`); otherwise the merged report is returned,
+/// bit-identical to a monolithic run of the same config for any shard
+/// size and thread count.
+///
+/// # Errors
+/// The first per-sample failure ([`EngineError::Solver`] /
+/// [`EngineError::Estimate`] / [`EngineError::Cache`]) in index order.
+///
+/// # Panics
+/// Panics if `config.samples` or `config.vectors` is zero.
+pub fn mc_streaming(
+    circuit: &Circuit,
+    tech: &Technology,
+    cache: &MemoLibraryCache,
+    config: &CircuitMcConfig,
+    shard_samples: usize,
+    mut on_shard: impl FnMut(&McShard) -> bool,
+) -> Result<Option<McReport>, EngineError> {
+    assert!(config.samples > 0, "MC needs at least one sample");
+    let shards_total = shard_count(config.samples, shard_samples);
+    let shard_size = if shard_samples == 0 { config.samples } else { shard_samples };
+    let start_time = Instant::now();
+
+    // Raw samples concatenate in index order; the final summary is the
+    // one sequential reduction the monolithic path runs (32 B/sample
+    // resident — the same exactness-for-memory trade as SweepMerger).
+    let mut merged = Vec::with_capacity(config.samples);
+    for shard in 0..shards_total {
+        let start = shard * shard_size;
+        let len = shard_size.min(config.samples - start);
+        let samples = run_circuit_mc_range(circuit, tech, cache, config, start, len)?;
+        let partial = McShard {
+            shard,
+            shards_total,
+            start,
+            samples: len,
+            summary: summarize(&samples, DEFAULT_HIST_BINS),
+        };
+        merged.extend(samples);
+        if !on_shard(&partial) {
+            return Ok(None);
+        }
+    }
+
+    let elapsed = start_time.elapsed();
+    Ok(Some(McReport {
+        summary: summarize(&merged, DEFAULT_HIST_BINS),
+        telemetry: McTelemetry {
+            elapsed,
+            samples_per_sec: config.samples as f64 / elapsed.as_secs_f64().max(1e-9),
+        },
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::CellType;
+    use nanoleak_netlist::CircuitBuilder;
+    use nanoleak_variation::{char_opts_for, run_circuit_mc, SolverProvider};
+
+    fn small_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("engine-mc");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let n = b.add_gate(CellType::Nand2, &[a, c], "n");
+        let y = b.add_gate(CellType::Inv, &[n], "y");
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    fn config(samples: usize) -> CircuitMcConfig {
+        CircuitMcConfig {
+            samples,
+            seed: 11,
+            vectors: 2,
+            char_opts: char_opts_for(&small_circuit(), true),
+            ..Default::default()
+        }
+    }
+
+    /// The tentpole acceptance at the engine layer: sharded MC merges
+    /// to exactly the monolithic summary across shard sizes and
+    /// thread counts, and the memoized provider changes nothing.
+    #[test]
+    fn sharded_mc_is_bit_identical_to_monolithic() {
+        let circuit = small_circuit();
+        let tech = Technology::d25();
+        let base = config(7);
+        let mono = run_circuit_mc(&circuit, &tech, &SolverProvider, &base).unwrap();
+        let mono_summary = mono.summary(DEFAULT_HIST_BINS);
+        for shard_samples in [0usize, 1, 3, 7, 16] {
+            for threads in [1usize, 3] {
+                let cache = MemoLibraryCache::memory_only();
+                let cfg = CircuitMcConfig { threads, ..base.clone() };
+                let mut seen = Vec::new();
+                let report = mc_streaming(&circuit, &tech, &cache, &cfg, shard_samples, |s| {
+                    seen.push((s.shard, s.start, s.samples));
+                    true
+                })
+                .unwrap()
+                .expect("not cancelled");
+                assert_eq!(
+                    report.summary, mono_summary,
+                    "shard_samples = {shard_samples}, threads = {threads}"
+                );
+                let expected = shard_count(7, shard_samples);
+                assert_eq!(seen.len(), expected);
+                // Shards tile the sample space contiguously, in order.
+                let mut next = 0;
+                for (i, (shard, start, samples)) in seen.iter().enumerate() {
+                    assert_eq!((*shard, *start), (i, next));
+                    next += samples;
+                }
+                assert_eq!(next, 7, "shards cover every sample exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_stops_between_shards() {
+        let circuit = small_circuit();
+        let tech = Technology::d25();
+        let cache = MemoLibraryCache::memory_only();
+        let mut seen = 0;
+        let out = mc_streaming(&circuit, &tech, &cache, &config(6), 2, |_| {
+            seen += 1;
+            seen < 2
+        })
+        .unwrap();
+        assert!(out.is_none(), "cancelled runs yield no report");
+        assert_eq!(seen, 2, "the cancelling callback is the last one invoked");
+    }
+
+    #[test]
+    fn memo_provider_reuses_libraries_across_reruns() {
+        // The same seed re-run through one cache must not
+        // re-characterize a single die — that is the point of routing
+        // the MC through the memoized library path.
+        let circuit = small_circuit();
+        let tech = Technology::d25();
+        let cache = MemoLibraryCache::memory_only();
+        let cfg = config(3);
+        let first = mc_streaming(&circuit, &tech, &cache, &cfg, 0, |_| true).unwrap().unwrap();
+        let solves = cache.stats().characterizations;
+        assert_eq!(solves, 3, "one characterization per unique die");
+        let second = mc_streaming(&circuit, &tech, &cache, &cfg, 0, |_| true).unwrap().unwrap();
+        assert_eq!(cache.stats().characterizations, solves, "re-run served from RAM");
+        assert_eq!(first.summary, second.summary);
+    }
+
+    #[test]
+    fn missing_cell_surfaces_in_index_order() {
+        let circuit = small_circuit();
+        let tech = Technology::d25();
+        let cache = MemoLibraryCache::memory_only();
+        // Characterize only the inverter: every sample fails on the
+        // NAND2 at compile time.
+        let cfg = CircuitMcConfig {
+            char_opts: nanoleak_cells::CharacterizeOptions::coarse(&[CellType::Inv]),
+            ..config(2)
+        };
+        let err = mc_streaming(&circuit, &tech, &cache, &cfg, 0, |_| true).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Estimate(nanoleak_core::EstimateError::MissingCell(CellType::Nand2))
+        ));
+    }
+}

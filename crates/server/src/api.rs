@@ -12,18 +12,19 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions, OperatingPoint};
 use nanoleak_core::{estimate_batch, CircuitLeakage, EstimatorMode, LoadingImpact};
 use nanoleak_device::Technology;
 use nanoleak_engine::exec::{par_map, resolve_threads};
 use nanoleak_engine::{
-    mlv_search, shard_count, sweep, sweep_streaming, MemoLibraryCache, MlvConfig, MlvGoal,
-    MlvStrategy, SweepConfig, SweepShard, SweepStats,
+    mc_streaming, mlv_search, shard_count, sweep, sweep_streaming, McShard, MemoLibraryCache,
+    MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepShard, SweepStats,
 };
 use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
 use nanoleak_netlist::normalize::normalize;
 use nanoleak_netlist::{Circuit, Pattern};
+use nanoleak_variation::{char_opts_for, CircuitMcConfig, McSummary, VariationSigmas};
 use rand::SeedableRng;
 use serde::{json, Deserialize, Serialize, Value};
 
@@ -145,6 +146,21 @@ pub fn resolve_tech(body: &Body) -> Result<Technology, ApiError> {
     }
 }
 
+/// The operating conditions of a request: `"temp"` (kelvin, default
+/// 300) and `"vdd_scale"` (factor on the nominal supply, default 1.0),
+/// validated and bundled as the [`OperatingPoint`] every analysis
+/// characterizes through — the same derivation path the grid and MC
+/// jobs use, so a single-point request and the matching grid cell name
+/// the same cache entry.
+pub fn resolve_operating_point(body: &Body) -> Result<OperatingPoint, ApiError> {
+    let op = OperatingPoint {
+        temp: body.get("temp", 300.0f64)?,
+        vdd_scale: body.get("vdd_scale", 1.0f64)?,
+    };
+    op.validate().map_err(ApiError::bad)?;
+    Ok(op)
+}
+
 /// Characterization options: the full default grid, or the coarse
 /// test grid when the request sets `"coarse": true` (seconds vs.
 /// milliseconds of solver work — integration tests and demos want
@@ -210,19 +226,27 @@ pub fn resolve_sweep_config(body: &Body) -> Result<SweepConfig, ApiError> {
     })
 }
 
-/// The `"shard_vectors"` field: patterns per streamed shard (`0` =
+/// One shard-size field (`"shard_vectors"` on sweeps,
+/// `"shard_samples"` on MC jobs): units per streamed shard (`0` =
 /// monolithic), bounded so one job cannot pin [`MAX_JOB_SHARDS`]+
-/// partials in the registry.
-pub fn resolve_shard_vectors(body: &Body, vectors: usize) -> Result<usize, ApiError> {
-    let shard_vectors = body.get("shard_vectors", 0usize)?;
-    let shards = shard_count(vectors, shard_vectors);
+/// partials in the registry — a single policy shared by every
+/// streaming job kind.
+fn resolve_shard_field(body: &Body, field: &str, units: usize) -> Result<usize, ApiError> {
+    let shard_size = body.get(field, 0usize)?;
+    let shards = shard_count(units, shard_size);
     if shards > MAX_JOB_SHARDS {
         return Err(ApiError::bad(format!(
-            "'shard_vectors' of {shard_vectors} over {vectors} vectors yields {shards} shards, \
+            "'{field}' of {shard_size} over {units} units yields {shards} shards, \
              exceeding the limit of {MAX_JOB_SHARDS}"
         )));
     }
-    Ok(shard_vectors)
+    Ok(shard_size)
+}
+
+/// The `"shard_vectors"` field of a sweep job (see
+/// [`resolve_shard_field`] for the shared bound).
+pub fn resolve_shard_vectors(body: &Body, vectors: usize) -> Result<usize, ApiError> {
+    resolve_shard_field(body, "shard_vectors", vectors)
 }
 
 /// Observer of a streaming job's per-unit progress (sweep shards,
@@ -269,11 +293,11 @@ pub fn fmt_pattern(p: &Pattern) -> String {
 fn library(
     cache: &MemoLibraryCache,
     tech: &Technology,
-    temp: f64,
+    op: &OperatingPoint,
     opts: &CharacterizeOptions,
 ) -> Result<Arc<CellLibrary>, ApiError> {
     cache
-        .get_or_characterize(tech, temp, opts)
+        .get_or_characterize_at(tech, op, opts)
         .map(|(lib, _)| lib)
         .map_err(|e| ApiError { status: 500, message: format!("characterization failed: {e}") })
 }
@@ -317,13 +341,13 @@ pub fn run_estimate(cache: &MemoLibraryCache, body: &Body) -> Result<EstimateRes
     let start = Instant::now();
     let (target, circuit) = resolve_circuit(body)?;
     let tech = resolve_tech(body)?;
-    let temp = body.get("temp", 300.0f64)?;
+    let op = resolve_operating_point(body)?;
     let vectors = check_limit("vectors", body.get("vectors", 100usize)?, MAX_REQUEST_VECTORS)?;
     if vectors == 0 {
         return Err(ApiError::bad("'vectors' must be at least 1"));
     }
     let seed = body.get("seed", 2005u64)?;
-    let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
+    let lib = library(cache, &tech, &op, &resolve_char_opts(body)?)?;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let patterns = Pattern::random_batch(&circuit, &mut rng, vectors);
@@ -343,10 +367,10 @@ pub fn run_estimate(cache: &MemoLibraryCache, body: &Body) -> Result<EstimateRes
         input_bits: circuit.inputs().len() + circuit.state_inputs().len(),
         vectors,
         seed,
-        temp,
+        temp: op.temp,
         mean_total_a: mean(&loaded),
         mean_no_loading_a: mean(&unloaded),
-        mean_power_w: mean(&loaded) * tech.vdd,
+        mean_power_w: mean(&loaded) * lib.tech.vdd,
         loading_impact_avg: impact.avg_total,
         loading_impact_max: impact.max_total,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -402,12 +426,12 @@ pub fn run_sweep_streaming(
 ) -> Result<SweepResponse, ApiError> {
     let (target, circuit) = resolve_circuit(body)?;
     let tech = resolve_tech(body)?;
-    let temp = body.get("temp", 300.0f64)?;
+    let op = resolve_operating_point(body)?;
     let config = resolve_sweep_config(body)?;
     let shard_vectors = resolve_shard_vectors(body, config.vectors)?;
     let shards = shard_count(config.vectors, shard_vectors);
     observer.declare(shards);
-    let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
+    let lib = library(cache, &tech, &op, &resolve_char_opts(body)?)?;
     let report = sweep_streaming(&circuit, &lib, &config, shard_vectors, |partial: &SweepShard| {
         observer.unit(partial.shard, partial.to_value());
         !observer.cancelled()
@@ -419,7 +443,7 @@ pub fn run_sweep_streaming(
     Ok(SweepResponse {
         target,
         gates: circuit.gate_count(),
-        temp,
+        temp: op.temp,
         config,
         shards,
         min_vector: fmt_pattern(&report.stats.min.pattern),
@@ -469,7 +493,7 @@ pub struct MlvResponse {
 pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, ApiError> {
     let (target, circuit) = resolve_circuit(body)?;
     let tech = resolve_tech(body)?;
-    let temp = body.get("temp", 300.0f64)?;
+    let op = resolve_operating_point(body)?;
     let goal_raw: String = body.get("goal", "min".into())?;
     let goal = match goal_raw.as_str() {
         "min" => MlvGoal::Min,
@@ -499,7 +523,7 @@ pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, Api
         threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
         mode: EstimatorMode::Lut,
     };
-    let lib = library(cache, &tech, temp, &resolve_char_opts(body)?)?;
+    let lib = library(cache, &tech, &op, &resolve_char_opts(body)?)?;
     let result = mlv_search(&circuit, &lib, &config)
         .map_err(|e| ApiError::unprocessable(format!("MLV search failed: {e}")))?;
     Ok(MlvResponse {
@@ -564,8 +588,13 @@ pub struct GridResult {
 }
 
 /// Runs a condition-grid job: one deterministic sweep per
-/// (temperature, Vdd-scale) cell, characterizing through the shared
-/// memo cache.
+/// [`OperatingPoint`] cell, characterizing through the shared memo
+/// cache.
+///
+/// The condition matrix is [`OperatingPoint::grid`] — the one shared
+/// temps × vdd_scales derivation (row-major) — so a grid cell and a
+/// single-point request at the same conditions name the same cache
+/// entry, and no scaling arithmetic lives in this executor.
 ///
 /// Cells are independent, so they **fan across the worker pool** in
 /// parallel (row-major cell order) instead of running sequentially on
@@ -589,17 +618,15 @@ pub fn run_grid(
     if temps.is_empty() || vdd_scales.is_empty() {
         return Err(ApiError::bad("'temps' and 'vdd_scales' must be non-empty"));
     }
-    let n_cells = temps.len() * vdd_scales.len();
+    let points = OperatingPoint::grid(&temps, &vdd_scales);
+    let n_cells = points.len();
     if n_cells > MAX_GRID_CELLS {
         return Err(ApiError::bad(format!(
             "grid of {n_cells} cells exceeds the {MAX_GRID_CELLS}-cell limit"
         )));
     }
-    if !temps.iter().all(|t| t.is_finite() && *t > 0.0) {
-        return Err(ApiError::bad("'temps' must be positive kelvin"));
-    }
-    if !vdd_scales.iter().all(|s| s.is_finite() && *s > 0.0) {
-        return Err(ApiError::bad("'vdd_scales' must be positive factors"));
+    for op in &points {
+        op.validate().map_err(ApiError::bad)?;
     }
     observer.declare(n_cells);
 
@@ -615,17 +642,14 @@ pub fn run_grid(
         if observer.cancelled() {
             return Err(cancelled_error());
         }
-        let temp = temps[i / vdd_scales.len()];
-        let scale = vdd_scales[i % vdd_scales.len()];
-        let mut scaled = tech.clone();
-        scaled.vdd *= scale;
-        let lib = library(cache, &scaled, temp, &opts)?;
+        let op = points[i];
+        let lib = library(cache, &tech, &op, &opts)?;
         let report = sweep(&circuit, &lib, &cell_config)
             .map_err(|e| ApiError::unprocessable(format!("sweep failed: {e}")))?;
         let cell = GridCell {
-            temp,
-            vdd_scale: scale,
-            vdd: scaled.vdd,
+            temp: op.temp,
+            vdd_scale: op.vdd_scale,
+            vdd: lib.tech.vdd,
             mean_total_a: report.stats.total.mean,
             min_total_a: report.stats.total.min,
             max_total_a: report.stats.total.max,
@@ -648,6 +672,139 @@ pub fn run_grid(
         cells.push(cell);
     }
     Ok(GridResult { target, temps, vdd_scales, config, cells, mean_total_a: matrix })
+}
+
+// ---------------------------------------------------------------------
+// Circuit-level Monte-Carlo jobs.
+// ---------------------------------------------------------------------
+
+/// Most Monte-Carlo samples one job may request. Each sample is a
+/// full characterization of a perturbed die — orders of magnitude more
+/// solver work than a sweep vector — so the budget is correspondingly
+/// smaller than [`MAX_REQUEST_VECTORS`].
+pub const MAX_REQUEST_MC_SAMPLES: usize = 2048;
+
+/// Response of an `"mc"` job (and of `nanoleak-cli mc --format json`):
+/// the full loaded/unloaded leakage distributions of a circuit under
+/// die-to-die process variation.
+#[derive(Debug, Clone, Serialize)]
+pub struct McResponse {
+    /// Resolved circuit name.
+    pub target: String,
+    /// Gate count of the normalized circuit.
+    pub gates: usize,
+    /// Monte-Carlo samples drawn.
+    pub samples: usize,
+    /// Input patterns averaged per sample.
+    pub vectors: usize,
+    /// Perturbation-stream seed.
+    pub seed: u64,
+    /// Pattern-stream seed.
+    pub pattern_seed: u64,
+    /// Temperature \[K\].
+    pub temp: f64,
+    /// Vdd scale factor on the nominal supply.
+    pub vdd_scale: f64,
+    /// Variation magnitudes the samples were drawn with.
+    pub sigmas: VariationSigmas,
+    /// Shards the run executed in (1 = monolithic). Sharding never
+    /// changes `summary` — the merge is bit-identical by construction.
+    pub shards: usize,
+    /// Bit-exact distribution summary (loaded/unloaded statistics,
+    /// shared-range histograms, Fig. 11 mean/std shifts).
+    pub summary: McSummary,
+    /// Server-side wall clock \[ms\].
+    pub elapsed_ms: f64,
+    /// Throughput \[samples/s\].
+    pub samples_per_sec: f64,
+}
+
+/// The `"shard_samples"` field of an MC job (see
+/// [`resolve_shard_field`] for the shared bound).
+pub fn resolve_shard_samples(body: &Body, samples: usize) -> Result<usize, ApiError> {
+    resolve_shard_field(body, "shard_samples", samples)
+}
+
+/// The Monte-Carlo configuration of a request: CLI defaults applied,
+/// work bounded, sigma overrides honored (`"sigma_vt"` is the paper's
+/// Fig. 11 sweep variable — the inter-die threshold sigma in volts).
+pub fn resolve_mc_config(body: &Body, circuit: &Circuit) -> Result<CircuitMcConfig, ApiError> {
+    let samples = check_limit("samples", body.get("samples", 200usize)?, MAX_REQUEST_MC_SAMPLES)?;
+    let vectors = check_limit("vectors", body.get("vectors", 1usize)?, MAX_REQUEST_VECTORS)?;
+    if samples == 0 || vectors == 0 {
+        return Err(ApiError::bad("'samples' and 'vectors' must be at least 1"));
+    }
+    let mut sigmas = VariationSigmas::paper_nominal();
+    if let Some(vt) = body.opt::<f64>("sigma_vt")? {
+        sigmas = sigmas.with_vt_inter(vt);
+    }
+    if let Some(vt) = body.opt::<f64>("sigma_vt_intra")? {
+        sigmas = sigmas.with_vt_intra(vt);
+    }
+    // Reject NaN/absurd magnitudes here, like temp/vdd_scale — a
+    // poisoned sigma would otherwise NaN every draw and report the
+    // garbage as a successful run.
+    sigmas.validate().map_err(ApiError::bad)?;
+    let seed = body.get("seed", 2005u64)?;
+    Ok(CircuitMcConfig {
+        samples,
+        seed,
+        sigmas,
+        op: resolve_operating_point(body)?,
+        vectors,
+        // Sharing the perturbation seed keeps the request surface
+        // small; an explicit "pattern_seed" decouples the two streams.
+        pattern_seed: body.get("pattern_seed", seed)?,
+        threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
+        char_opts: char_opts_for(circuit, body.get("coarse", false)?),
+    })
+}
+
+/// Runs a circuit-level Monte-Carlo job in `"shard_samples"`-sized
+/// shards, reporting each shard's [`McShard`] partial to `observer` as
+/// it completes. The merged summary is bit-identical to a monolithic
+/// [`mc_streaming`] run of the same config, for any shard size and
+/// thread count — the same contract the sweep path holds.
+///
+/// `cache` should be a **RAM-only** memo (the server routes MC jobs
+/// through `ServerState::mc_cache`): every sample is a unique
+/// perturbed die, and writing those one-shot libraries through a
+/// disk-backed cache would grow it without bound.
+pub fn run_mc(
+    cache: &MemoLibraryCache,
+    body: &Body,
+    observer: &dyn JobObserver,
+) -> Result<McResponse, ApiError> {
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let config = resolve_mc_config(body, &circuit)?;
+    let shard_samples = resolve_shard_samples(body, config.samples)?;
+    let shards = shard_count(config.samples, shard_samples);
+    observer.declare(shards);
+    let report =
+        mc_streaming(&circuit, &tech, cache, &config, shard_samples, |partial: &McShard| {
+            observer.unit(partial.shard, partial.to_value());
+            !observer.cancelled()
+        })
+        .map_err(|e| ApiError::unprocessable(format!("monte carlo failed: {e}")))?;
+    let Some(report) = report else {
+        return Err(cancelled_error());
+    };
+    Ok(McResponse {
+        target,
+        gates: circuit.gate_count(),
+        samples: config.samples,
+        vectors: config.vectors,
+        seed: config.seed,
+        pattern_seed: config.pattern_seed,
+        temp: config.op.temp,
+        vdd_scale: config.op.vdd_scale,
+        sigmas: config.sigmas,
+        shards,
+        summary: report.summary,
+        elapsed_ms: report.telemetry.elapsed.as_secs_f64() * 1e3,
+        samples_per_sec: report.telemetry.samples_per_sec,
+    })
 }
 
 #[cfg(test)]
@@ -753,6 +910,55 @@ mod tests {
         let err = resolve_shard_vectors(&b, 100_000).unwrap_err();
         assert_eq!(err.status, 400);
         assert!(err.message.contains("shards"), "{}", err.message);
+    }
+
+    #[test]
+    fn operating_point_resolution_defaults_and_validates() {
+        let b = Body::parse("{}").unwrap();
+        assert_eq!(resolve_operating_point(&b).unwrap(), OperatingPoint::default());
+        let b = Body::parse(r#"{"temp": 350, "vdd_scale": 0.9}"#).unwrap();
+        assert_eq!(resolve_operating_point(&b).unwrap(), OperatingPoint::new(350.0, 0.9));
+        for bad in [r#"{"temp": -3}"#, r#"{"vdd_scale": 0}"#] {
+            let b = Body::parse(bad).unwrap();
+            assert_eq!(resolve_operating_point(&b).unwrap_err().status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn mc_request_is_bounded_and_defaults_apply() {
+        let circuit = {
+            let mut b = nanoleak_netlist::CircuitBuilder::new("t");
+            let a = b.add_input("a");
+            let y = b.add_gate(CellType::Inv, &[a], "y");
+            b.mark_output(y);
+            b.build().unwrap()
+        };
+        let b = Body::parse(r#"{"coarse": true}"#).unwrap();
+        let cfg = resolve_mc_config(&b, &circuit).unwrap();
+        assert_eq!((cfg.samples, cfg.vectors, cfg.seed, cfg.pattern_seed), (200, 1, 2005, 2005));
+        assert_eq!(cfg.sigmas, VariationSigmas::paper_nominal());
+        assert_eq!(cfg.char_opts.cells, vec![CellType::Inv], "only the circuit's cells");
+        // Sigma override lands on the inter-die component.
+        let b = Body::parse(r#"{"sigma_vt": 0.05, "seed": 9}"#).unwrap();
+        let cfg = resolve_mc_config(&b, &circuit).unwrap();
+        assert_eq!(cfg.sigmas.vt_inter, 0.05);
+        assert_eq!(cfg.sigmas.vt_intra, VariationSigmas::paper_nominal().vt_intra);
+        assert_eq!(cfg.pattern_seed, 9, "pattern stream follows the seed by default");
+        // Non-physical sigmas are rejected like temp/vdd_scale.
+        for bad in [r#"{"sigma_vt": -0.1}"#, r#"{"sigma_vt": 1e308}"#] {
+            let b = Body::parse(bad).unwrap();
+            assert_eq!(resolve_mc_config(&b, &circuit).unwrap_err().status, 400, "{bad}");
+        }
+        // Work bounds hold.
+        let b = Body::parse(r#"{"samples": 1000000}"#).unwrap();
+        assert_eq!(resolve_mc_config(&b, &circuit).unwrap_err().status, 400);
+        let b = Body::parse(r#"{"samples": 0}"#).unwrap();
+        assert_eq!(resolve_mc_config(&b, &circuit).unwrap_err().status, 400);
+        // Shard bound mirrors the sweep path.
+        let b = Body::parse(r#"{"shard_samples": 1}"#).unwrap();
+        assert_eq!(resolve_shard_samples(&b, 2048).unwrap_err().status, 400);
+        let b = Body::parse(r#"{"shard_samples": 4}"#).unwrap();
+        assert_eq!(resolve_shard_samples(&b, 12).unwrap(), 4);
     }
 
     #[test]

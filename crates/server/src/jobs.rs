@@ -34,6 +34,8 @@ pub enum JobKind {
     Mlv,
     /// A temperature × Vdd condition-grid of sweeps.
     Grid,
+    /// A circuit-level Monte-Carlo variation run.
+    Mc,
 }
 
 impl JobKind {
@@ -43,6 +45,7 @@ impl JobKind {
             JobKind::Sweep => "sweep",
             JobKind::Mlv => "mlv",
             JobKind::Grid => "grid",
+            JobKind::Mc => "mc",
         }
     }
 
@@ -52,6 +55,7 @@ impl JobKind {
             "sweep" => Some(JobKind::Sweep),
             "mlv" => Some(JobKind::Mlv),
             "grid" => Some(JobKind::Grid),
+            "mc" => Some(JobKind::Mc),
             _ => None,
         }
     }
@@ -502,7 +506,7 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in [JobKind::Sweep, JobKind::Mlv, JobKind::Grid] {
+        for kind in [JobKind::Sweep, JobKind::Mlv, JobKind::Grid, JobKind::Mc] {
             assert_eq!(JobKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(JobKind::parse("spice"), None);

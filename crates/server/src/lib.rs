@@ -19,7 +19,7 @@
 //! | `POST /v1/estimate` | mean leakage ± loading impact over N random vectors |
 //! | `POST /v1/sweep` | full per-vector statistics ([`nanoleak_engine::SweepStats`]) |
 //! | `POST /v1/mlv` | min/max-leakage standby-vector search |
-//! | `POST /v1/jobs` | submit an async job (`"type"`: `sweep`, `mlv`, or `grid`) |
+//! | `POST /v1/jobs` | submit an async job (`"type"`: `sweep`, `mlv`, `grid`, or `mc`) |
 //! | `GET /v1/jobs/{id}` | job status with shard progress, and the result once done |
 //! | `GET /v1/jobs/{id}/result` | the final result alone (409 until done) |
 //! | `GET /v1/jobs/{id}/result?shard=K` | one shard's partial (202 while pending) |
@@ -27,23 +27,35 @@
 //!
 //! Request bodies are JSON objects; every analysis field is optional
 //! and defaults to the CLI's defaults (`vectors` 100, `seed` 2005,
-//! `temp` 300 K, `mode` `"lut"`). Circuits come as `"target"` (a
-//! builtin name like `"s1196"`) or `"bench"` (inline netlist text —
-//! the service deliberately never reads files from its own
-//! filesystem). `"coarse": true` characterizes on the fast test
+//! `temp` 300 K, `vdd_scale` 1.0, `mode` `"lut"`). Circuits come as
+//! `"target"` (a builtin name like `"s1196"`) or `"bench"` (inline
+//! netlist text — the service deliberately never reads files from its
+//! own filesystem). `"coarse": true` characterizes on the fast test
 //! grid. Per-request work is bounded
 //! ([`api::MAX_REQUEST_VECTORS`], [`api::MAX_REQUEST_THREADS`],
-//! [`api::MAX_GRID_CELLS`]). Errors are structured:
-//! `{"error": {"code": 422, "message": "..."}}`.
+//! [`api::MAX_GRID_CELLS`], [`api::MAX_REQUEST_MC_SAMPLES`]). Errors
+//! are structured: `{"error": {"code": 422, "message": "..."}}`.
+//!
+//! Every analysis characterizes at a first-class
+//! [`OperatingPoint`](nanoleak_cells::OperatingPoint) (`temp` ×
+//! `vdd_scale`), so a single-point request, a grid cell, and a
+//! Monte-Carlo nominal at the same conditions share one cache entry.
 //!
 //! The `"grid"` job type is the batch workhorse: a `temps` ×
 //! `vdd_scales` condition matrix (cf. Sultan et al. on
-//! leakage-vs-temperature) where every cell characterizes the scaled
-//! technology through the shared in-RAM
+//! leakage-vs-temperature) built by `OperatingPoint::grid`, where
+//! every cell characterizes through the shared in-RAM
 //! [`MemoLibraryCache`](nanoleak_engine::MemoLibraryCache) and runs
 //! one deterministic sweep — cells fan across the worker pool in
 //! parallel, reduced back in cell order so the matrix is bit-identical
 //! to a sequential run.
+//!
+//! The `"mc"` job type is the paper's Section 5.3 at circuit scale: a
+//! circuit-level Monte-Carlo over die-to-die process variation
+//! ([`nanoleak_engine::mc_streaming`]), streaming per-shard
+//! distribution partials through the same `shards_done`/`shards_total`
+//! progress and `?shard=K` paging protocol as sharded sweeps, with the
+//! merged loaded/unloaded summary bit-identical to an in-process run.
 //!
 //! ## Scale machinery
 //!
@@ -170,6 +182,13 @@ pub struct ServerState {
     /// RAM-first characterization cache (disk-backed unless
     /// disabled).
     pub cache: MemoLibraryCache,
+    /// RAM-only cache for Monte-Carlo jobs. Every MC sample is a
+    /// unique perturbed die — persisting those libraries would grow
+    /// the disk cache without bound (one `.nlc` per die per seed) and
+    /// churn the bounded main memo out of its warm nominal entries, so
+    /// MC characterizations live in their own bounded RAM memo:
+    /// re-submitted same-seed jobs still hit, nothing touches disk.
+    pub mc_cache: MemoLibraryCache,
     /// The job registry.
     pub jobs: JobRegistry,
     queue: Mutex<Option<JobQueue>>,
@@ -361,6 +380,7 @@ impl Server {
             listener,
             state: ServerState {
                 cache,
+                mc_cache: MemoLibraryCache::memory_only(),
                 jobs: JobRegistry::with_eviction(jobs::EvictionPolicy {
                     finished_cap: config.finished_jobs_cap,
                     ttl: config.finished_job_ttl,

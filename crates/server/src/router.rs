@@ -82,7 +82,7 @@ fn submit_job(state: &ServerState, req: &Request) -> Response {
     let parsed = Body::parse(&text).and_then(|body| {
         let raw: String = body.get("type", "sweep".into())?;
         JobKind::parse(&raw)
-            .ok_or_else(|| ApiError::bad(format!("type: expected sweep|mlv|grid, got '{raw}'")))
+            .ok_or_else(|| ApiError::bad(format!("type: expected sweep|mlv|grid|mc, got '{raw}'")))
     });
     let kind = match parsed {
         Ok(kind) => kind,
@@ -282,6 +282,11 @@ pub fn execute_job(state: &ServerState, id: u64) {
             }
             JobKind::Mlv => api::run_mlv(&state.cache, &body).map(|r| r.to_value()),
             JobKind::Grid => api::run_grid(&state.cache, &body, &observer).map(|r| r.to_value()),
+            // MC jobs characterize unique perturbed dies: they run
+            // against the RAM-only `mc_cache` so the disk cache never
+            // fills with one-shot entries and the main memo keeps its
+            // warm nominal libraries.
+            JobKind::Mc => api::run_mc(&state.mc_cache, &body, &observer).map(|r| r.to_value()),
         }
     }));
     let result = match outcome {

@@ -11,13 +11,15 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions, OperatingPoint};
 use nanoleak_core::EstimatorMode;
 use nanoleak_device::Technology;
-use nanoleak_engine::{sweep, SweepConfig, SweepStats};
+use nanoleak_engine::{mc_streaming, sweep, MemoLibraryCache, SweepConfig, SweepStats};
+use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::iscas_like;
 use nanoleak_netlist::normalize::normalize;
 use nanoleak_serve::{ServeConfig, Server, ShutdownHandle};
+use nanoleak_variation::{char_opts_for, CircuitMcConfig, McSummary, VariationSigmas};
 use serde::{json, Deserialize, Value};
 
 /// A running test server; shuts down (and joins) on drop.
@@ -609,6 +611,74 @@ fn shard_pages_of_cancelled_jobs_are_conflict_not_pending() {
     }
 }
 
+/// The MC tentpole over HTTP: a sharded `"mc"` job reports per-shard
+/// progress, pages each shard's distribution partial, and its merged
+/// summary is **bit-identical** to the in-process [`mc_streaming`]
+/// run of the same configuration — the serde JSON round trip included.
+#[test]
+fn mc_job_pages_partials_and_matches_in_process_bit_exactly() {
+    let server = TestServer::start(2, 8);
+    let bench_text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn1 = NAND(a, b)\ny = NOT(n1)\n";
+    let submit = format!(
+        r#"{{"type": "mc", "bench": "{}", "samples": 5, "seed": 33, "vectors": 2,
+            "sigma_vt": 0.05, "shard_samples": 2, "coarse": true}}"#,
+        bench_text.replace('\n', "\\n")
+    );
+    let (status, body) = request(&server, "POST", "/v1/jobs", &submit);
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+
+    let (state, body) = wait_for_job(&server, id, Duration::from_secs(120));
+    assert_eq!(state, "done", "{body}");
+    assert_eq!(field(&body, "shards_total"), Value::Int(3), "5 samples in shards of 2: {body}");
+    assert_eq!(field(&body, "shards_done"), Value::Int(3), "{body}");
+
+    // Every shard pages independently and tiles the sample space.
+    let mut total_samples = 0i128;
+    for shard in 0..3 {
+        let (status, page) =
+            request(&server, "GET", &format!("/v1/jobs/{id}/result?shard={shard}"), "");
+        assert_eq!(status, 200, "shard {shard}: {page}");
+        let Value::Record(partial) = field(&page, "partial") else { panic!("{page}") };
+        let int_of = |name: &str| {
+            partial
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| if let Value::Int(n) = v { Some(*n) } else { None })
+                .unwrap_or_else(|| panic!("partial.{name}: {page}"))
+        };
+        assert_eq!(int_of("shard"), shard);
+        total_samples += int_of("samples");
+    }
+    assert_eq!(total_samples, 5, "shards tile the sample space");
+
+    // The merged summary equals the in-process run, bit for bit.
+    let result = field(&body, "result");
+    let Value::Record(result_fields) = &result else { panic!("result: {body}") };
+    let summary_value =
+        &result_fields.iter().find(|(n, _)| n == "summary").expect("summary present").1;
+    let http_summary = McSummary::from_value(summary_value).expect("decode summary");
+
+    let circuit = normalize(&parse_bench("inline", bench_text).unwrap()).unwrap();
+    let config = CircuitMcConfig {
+        samples: 5,
+        seed: 33,
+        sigmas: VariationSigmas::paper_nominal().with_vt_inter(0.05),
+        op: OperatingPoint::default(),
+        vectors: 2,
+        pattern_seed: 33,
+        threads: 0,
+        char_opts: char_opts_for(&circuit, true),
+    };
+    let cache = MemoLibraryCache::memory_only();
+    let local = mc_streaming(&circuit, &Technology::d25(), &cache, &config, 2, |_| true)
+        .expect("local mc")
+        .expect("not cancelled");
+    assert_eq!(http_summary, local.summary, "HTTP MC must equal in-process MC exactly");
+    // Sanity on the physics that rides along: loading shifts the mean.
+    assert!(http_summary.mean_shift != 0.0, "loading must move the distribution");
+}
+
 /// The job-result-leak fix observed over HTTP: under job churn the
 /// registry stays at its finished cap, evictions are surfaced in
 /// `/v1/stats`, and evicted jobs 404.
@@ -655,8 +725,13 @@ fn finished_jobs_are_evicted_under_churn() {
     assert_eq!(status, 200, "newest job still readable");
 }
 
-/// The grid-fan fix: cells now run in parallel across the pool, and
-/// the matrix must be bit-identical to a sequential cell-by-cell run.
+/// The condition-matrix regression pin: the grid executor now derives
+/// every cell through the shared `OperatingPoint` path, and its matrix
+/// must be bit-identical to the **pre-refactor** reference — the
+/// hand-rolled `tech.vdd *= scale` derivation plus one sequential
+/// sweep per cell, written out below exactly as the old executor
+/// computed it. (This also pins the grid-fan fix: parallel cells
+/// cannot move a bit either.)
 #[test]
 fn parallel_grid_matrix_is_bit_identical_to_sequential() {
     let server = TestServer::start(4, 8);

@@ -15,6 +15,18 @@
 //! leakage distribution (the paper's >40% std increase at
 //! sigma_Vt = 50 mV).
 //!
+//! Two workloads share the sampling discipline:
+//!
+//! * [`run_inverter_mc`] — the paper's paired inverter fixture, solved
+//!   at transistor level with full per-device intra-die resolution
+//!   (Figs. 10–11);
+//! * [`run_circuit_mc`] — the same question at circuit scale: each
+//!   sample derives a perturbed [`Technology`](nanoleak_device::Technology)
+//!   (die-wide draw), characterizes it through a pluggable
+//!   [`LibraryProvider`], and estimates the whole circuit with and
+//!   without loading on a compiled plan. Bit-identical for any thread
+//!   count or shard split (see [`circuit`]).
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -28,11 +40,17 @@
 //! # Ok::<(), nanoleak_solver::SolverError>(())
 //! ```
 
+pub mod circuit;
 pub mod mc;
 pub mod sigmas;
 pub mod stats;
 
-pub use mc::{run_inverter_mc, McConfig, McResult, McSample, Series};
+pub use circuit::{
+    char_opts_for, run_circuit_mc, run_circuit_mc_range, summarize, CircuitMcConfig,
+    CircuitMcResult, LibraryProvider, McError, McSummary, SeriesSummary, SolverProvider,
+    DEFAULT_HIST_BINS,
+};
+pub use mc::{run_inverter_mc, series_of, stats_of, McConfig, McResult, McSample, Series};
 pub use sigmas::{gaussian, VariationSigmas};
 pub use stats::{Histogram, Stats};
 
@@ -68,6 +86,110 @@ mod proptests {
         fn histogram_conserves_mass(xs in proptest::collection::vec(-10.0f64..10.0, 1..200)) {
             let h = Histogram::of(&xs, -5.0, 5.0, 16);
             prop_assert_eq!(h.counts.iter().sum::<usize>() + h.outliers, xs.len());
+        }
+    }
+
+    /// The workload's determinism contract, property-tested: for any
+    /// seed, any thread count, and any shard split, the circuit MC
+    /// reproduces the same sample set and summary bit-for-bit.
+    mod circuit_determinism {
+        use super::*;
+        use crate::circuit::{
+            char_opts_for, run_circuit_mc, run_circuit_mc_range, summarize, CircuitMcConfig,
+            SolverProvider,
+        };
+        use nanoleak_cells::CellType;
+        use nanoleak_device::Technology;
+        use nanoleak_netlist::{Circuit, CircuitBuilder};
+
+        fn chain() -> Circuit {
+            let mut b = CircuitBuilder::new("prop-chain");
+            let a = b.add_input("a");
+            let m = b.add_gate(CellType::Inv, &[a], "m");
+            let y = b.add_gate(CellType::Inv, &[m], "y");
+            b.mark_output(y);
+            b.build().unwrap()
+        }
+
+        fn config(seed: u64) -> CircuitMcConfig {
+            CircuitMcConfig {
+                samples: 3,
+                seed,
+                vectors: 1,
+                char_opts: char_opts_for(&chain(), true),
+                ..Default::default()
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            /// Stats are invariant across thread counts and shard
+            /// splits, and the same seed reproduces the same samples.
+            #[test]
+            fn threads_and_shards_never_move_a_bit(
+                seed in any::<u64>(),
+                threads in 1usize..5,
+                split in 1usize..3,
+            ) {
+                let circuit = chain();
+                let tech = Technology::d25();
+                let reference = run_circuit_mc(
+                    &circuit,
+                    &tech,
+                    &SolverProvider,
+                    &CircuitMcConfig { threads: 1, ..config(seed) },
+                )
+                .unwrap();
+                // Thread-count invariance.
+                let multi = run_circuit_mc(
+                    &circuit,
+                    &tech,
+                    &SolverProvider,
+                    &CircuitMcConfig { threads, ..config(seed) },
+                )
+                .unwrap();
+                prop_assert_eq!(&multi.samples, &reference.samples);
+                // Shard invariance: split at `split`, concatenate.
+                let cfg = config(seed);
+                let mut sharded =
+                    run_circuit_mc_range(&circuit, &tech, &SolverProvider, &cfg, 0, split)
+                        .unwrap();
+                sharded.extend(
+                    run_circuit_mc_range(&circuit, &tech, &SolverProvider, &cfg, split, 3 - split)
+                        .unwrap(),
+                );
+                prop_assert_eq!(&sharded, &reference.samples);
+                prop_assert_eq!(summarize(&sharded, 8), reference.summary(8));
+                // Same seed, same set (fresh run, fresh provider).
+                let again =
+                    run_circuit_mc(&circuit, &tech, &SolverProvider, &config(seed)).unwrap();
+                prop_assert_eq!(again.samples, reference.samples);
+            }
+        }
+    }
+
+    /// The inverter fixture holds the same contract after its port to
+    /// the shared exec/OperatingPoint plumbing.
+    mod fixture_determinism {
+        use super::*;
+        use nanoleak_device::Technology;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[test]
+            fn inverter_mc_reproduces_across_threads(seed in any::<u64>()) {
+                let tech = Technology::d25();
+                let base = McConfig { samples: 6, seed, threads: 1, ..Default::default() };
+                let one = run_inverter_mc(&tech, &base).unwrap();
+                let multi = run_inverter_mc(
+                    &tech,
+                    &McConfig { threads: 3, ..base },
+                )
+                .unwrap();
+                prop_assert_eq!(one.samples, multi.samples);
+            }
         }
     }
 }

@@ -14,6 +14,8 @@
 //! The same device samples are used in both arms, so the distributions
 //! differ only through the loading effect.
 
+use nanoleak_cells::OperatingPoint;
+use nanoleak_core::exec::{mix, par_map};
 use nanoleak_device::{DeviceDesign, LeakageBreakdown, Technology, Transistor};
 use nanoleak_solver::{solve_dc, MosNetlist, NewtonOptions, SolverError};
 use rand::SeedableRng;
@@ -36,10 +38,15 @@ pub struct McConfig {
     pub input_loads: usize,
     /// Inverters loading the output net (paper: 6).
     pub output_loads: usize,
-    /// Temperature \[K\].
-    pub temp: f64,
+    /// Operating conditions (temperature and supply scale) the
+    /// fixtures are solved at. The supply perturbation `dvdd` is
+    /// applied on top of the scaled nominal.
+    pub op: OperatingPoint,
     /// Logic level at G's input (paper: '0', output '1').
     pub input_level: bool,
+    /// Worker threads (`0` = all cores, capped at 16). Never changes
+    /// the result — only how fast it arrives.
+    pub threads: usize,
 }
 
 impl Default for McConfig {
@@ -50,8 +57,9 @@ impl Default for McConfig {
             sigmas: VariationSigmas::paper_nominal(),
             input_loads: 6,
             output_loads: 6,
-            temp: 300.0,
+            op: OperatingPoint::default(),
             input_level: false,
+            threads: 0,
         }
     }
 }
@@ -78,6 +86,31 @@ pub enum Series {
     Total,
 }
 
+/// Extracts one series over a paired sample set — shared by the
+/// inverter fixture ([`McResult`]) and the circuit-level workload
+/// (`CircuitMcResult`), so the two analyses can never diverge on what
+/// "the loaded subthreshold series" means.
+pub fn series_of(samples: &[McSample], which: Series, loaded: bool) -> Vec<f64> {
+    samples
+        .iter()
+        .map(|s| {
+            let b = if loaded { &s.loaded } else { &s.unloaded };
+            match which {
+                Series::Sub => b.sub,
+                Series::Gate => b.gate,
+                Series::Btbt => b.btbt,
+                Series::Total => b.total(),
+            }
+        })
+        .collect()
+}
+
+/// Statistics of one series over a paired sample set (see
+/// [`series_of`]).
+pub fn stats_of(samples: &[McSample], which: Series, loaded: bool) -> Stats {
+    Stats::of(&series_of(samples, which, loaded))
+}
+
 /// Monte-Carlo result set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct McResult {
@@ -90,23 +123,12 @@ pub struct McResult {
 impl McResult {
     /// Extracts a series over samples.
     pub fn series(&self, which: Series, loaded: bool) -> Vec<f64> {
-        self.samples
-            .iter()
-            .map(|s| {
-                let b = if loaded { &s.loaded } else { &s.unloaded };
-                match which {
-                    Series::Sub => b.sub,
-                    Series::Gate => b.gate,
-                    Series::Btbt => b.btbt,
-                    Series::Total => b.total(),
-                }
-            })
-            .collect()
+        series_of(&self.samples, which, loaded)
     }
 
     /// Statistics of a series.
     pub fn stats(&self, which: Series, loaded: bool) -> Stats {
-        Stats::of(&self.series(which, loaded))
+        stats_of(&self.samples, which, loaded)
     }
 
     /// Fig. 11 (left): loading-induced shift of the mean of total
@@ -132,35 +154,24 @@ impl McResult {
 /// Propagates the first solver failure (extreme corners are clamped by
 /// the perturbation model, so the default configurations converge).
 pub fn run_inverter_mc(tech: &Technology, config: &McConfig) -> Result<McResult, SolverError> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    let indices: Vec<usize> = (0..config.samples).collect();
-    let chunk = indices.len().div_ceil(workers.max(1));
-    let results: Vec<Result<Vec<McSample>, SolverError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = indices
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || slice.iter().map(|&i| run_sample(tech, config, i)).collect())
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("mc thread panicked")).collect()
-    });
+    // Per-item outputs land in index order and the reduction below is
+    // sequential, so the result is thread-count invariant (the
+    // workspace-wide `exec` contract).
+    let per_sample: Vec<Result<McSample, SolverError>> =
+        par_map(config.samples, config.threads, |i| run_sample(tech, config, i));
     let mut samples = Vec::with_capacity(config.samples);
-    for r in results {
-        samples.extend(r?);
+    for r in per_sample {
+        samples.push(r?);
     }
     Ok(McResult { config: *config, samples })
 }
 
-/// SplitMix64 — decorrelates per-sample seeds.
-fn mix(seed: u64, i: u64) -> u64 {
-    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
 fn run_sample(tech: &Technology, config: &McConfig, index: usize) -> Result<McSample, SolverError> {
+    // Per-sample streams come from the workspace-wide SplitMix64
+    // `mix(seed, i)` convention (`nanoleak_core::exec::mix`), the same
+    // mixer the engine's sweeps and the circuit-level MC use.
     let mut rng = rand::rngs::StdRng::seed_from_u64(mix(config.seed, index as u64));
+    let tech = &config.op.tech(tech);
     let sigmas = &config.sigmas;
     let inter = sigmas.sample_inter(&mut rng);
     let vdd = tech.vdd + inter.dvdd;
@@ -214,7 +225,7 @@ fn run_sample(tech: &Technology, config: &McConfig, index: usize) -> Result<McSa
     for &(lo, pin) in &load_outs {
         guess[lo.0] = if pin == node_in { out_rail } else { in_rail };
     }
-    let sol = solve_dc(&nl, config.temp, Some(&guess), &NewtonOptions::default())?;
+    let sol = solve_dc(&nl, config.op.temp, Some(&guess), &NewtonOptions::default())?;
     let loaded = sol.device_breakdowns[g_first] + sol.device_breakdowns[g_first + 1];
 
     // ---- Unloaded fixture: same G, ideal input ----
@@ -227,7 +238,7 @@ fn run_sample(tech: &Technology, config: &McConfig, index: usize) -> Result<McSa
     nl2.add_mos(g_p, out2, in2, vdd2, vdd2);
     let mut guess2 = vec![out_rail; nl2.node_count()];
     guess2[out2.0] = out_rail;
-    let sol2 = solve_dc(&nl2, config.temp, Some(&guess2), &NewtonOptions::default())?;
+    let sol2 = solve_dc(&nl2, config.op.temp, Some(&guess2), &NewtonOptions::default())?;
     let unloaded = sol2.device_breakdowns[0] + sol2.device_breakdowns[1];
 
     Ok(McSample { loaded, unloaded })

@@ -33,6 +33,29 @@ impl VariationSigmas {
         Self { l: 2.0 * NM, tox: 0.067 * NM, vdd: 33.3e-3, vt_inter: 30e-3, vt_intra: 30e-3 }
     }
 
+    /// Checks the magnitudes are physical: every sigma finite and
+    /// non-negative, voltage sigmas at most 1 V and geometry sigmas at
+    /// most 100 nm — generous bounds that still reject the NaN /
+    /// 1e308 garbage a request or flag could smuggle into the
+    /// perturbation model (where it would poison every draw).
+    ///
+    /// # Errors
+    /// A human-readable description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let volts = [("vt_inter", self.vt_inter), ("vt_intra", self.vt_intra), ("vdd", self.vdd)];
+        for (name, v) in volts {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("sigma {name} must be within 0..=1 V, got {v}"));
+            }
+        }
+        for (name, v) in [("l", self.l), ("tox", self.tox)] {
+            if !(v.is_finite() && (0.0..=100.0 * NM).contains(&v)) {
+                return Err(format!("sigma {name} must be within 0..=100 nm, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Returns a copy with a different inter-die Vt sigma (the Fig. 11
     /// sweep variable).
     #[must_use]
@@ -115,6 +138,19 @@ mod tests {
         let xs: Vec<f64> = (0..5000).map(|_| s.sample_inter(&mut rng).dvth).collect();
         let st = Stats::of(&xs);
         assert!((st.std - 50e-3).abs() < 3e-3, "std = {}", st.std);
+    }
+
+    #[test]
+    fn validation_rejects_nonphysical_sigmas() {
+        assert!(VariationSigmas::paper_nominal().validate().is_ok());
+        let bad = VariationSigmas::paper_nominal().with_vt_inter(f64::NAN);
+        assert!(bad.validate().unwrap_err().contains("vt_inter"));
+        let bad = VariationSigmas::paper_nominal().with_vt_intra(-0.01);
+        assert!(bad.validate().unwrap_err().contains("vt_intra"));
+        let bad = VariationSigmas { l: 1e-3, ..VariationSigmas::paper_nominal() };
+        assert!(bad.validate().unwrap_err().contains("100 nm"));
+        let bad = VariationSigmas { vdd: 2.0, ..VariationSigmas::paper_nominal() };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Drive the `nanoleak-serve` HTTP API as a client: submit a
 //! temperature × Vdd condition-grid job and print the resulting
-//! leakage matrix, then stream a sharded sweep job and page its
-//! per-shard partials as they land.
+//! leakage matrix, stream a sharded sweep job and page its per-shard
+//! partials as they land, then run a circuit-level Monte-Carlo job
+//! and page its distribution partials the same way.
 //!
 //! Starts a service instance in-process on an ephemeral port (exactly
 //! what `nanoleak-cli serve` runs), then talks to it over plain TCP —
@@ -160,6 +161,50 @@ fn main() {
     let stats = get(get(&merged, "result"), "stats");
     let mean = f64::from_value(get(get(stats, "total"), "mean")).expect("mean");
     println!("  merged: 512 vectors mean {:.4} uA (bit-exact vs monolithic)", mean * 1e6);
+
+    // Third act: circuit-level Monte-Carlo variation (the paper's
+    // Section 5.3 at circuit scale). Each sample is a perturbed die —
+    // characterized through the server's memo cache — so shards stream
+    // distribution partials through the same paging protocol.
+    let job = r#"{
+        "type": "mc", "target": "s838", "samples": 8, "seed": 2005, "sigma_vt": 0.05,
+        "shard_samples": 4, "coarse": true
+    }"#;
+    let resp = json::value_from_str(&http(addr, "POST", "/v1/jobs", job)).expect("submit JSON");
+    let Value::Int(id) = get(&resp, "id") else { panic!("no job id: {resp:?}") };
+    println!("\nsubmitted MC job #{id} (s838, 8 perturbed dies, sigma_vt 50 mV, 2 shards)");
+
+    let mut shard = 0usize;
+    while shard < 2 {
+        let body = http(addr, "GET", &format!("/v1/jobs/{id}/result?shard={shard}"), "");
+        let page = json::value_from_str(&body).expect("shard page JSON");
+        let Value::Record(fields) = &page else { panic!("bad page: {body}") };
+        if fields.iter().any(|(n, _)| n == "partial") {
+            let summary = get(get(&page, "partial"), "summary");
+            let loaded = f64::from_value(get(get(get(summary, "loaded"), "total"), "mean"))
+                .expect("loaded mean");
+            let unloaded = f64::from_value(get(get(get(summary, "unloaded"), "total"), "mean"))
+                .expect("unloaded mean");
+            println!(
+                "  shard {shard}: loaded mean {:.4} uA vs unloaded {:.4} uA",
+                loaded * 1e6,
+                unloaded * 1e6
+            );
+            shard += 1;
+        } else {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    let body = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+    let merged = json::value_from_str(&body).expect("result JSON");
+    let summary = get(get(&merged, "result"), "summary");
+    println!(
+        "  merged: loading shifts the mean by {:+.2}% and the spread by {:+.2}% \
+         (bit-exact vs in-process)",
+        f64::from_value(get(summary, "mean_shift")).expect("mean_shift") * 100.0,
+        f64::from_value(get(summary, "std_shift")).expect("std_shift") * 100.0,
+    );
 
     shutdown.request();
     host.join().expect("server thread").expect("server run");

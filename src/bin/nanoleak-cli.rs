@@ -2,15 +2,22 @@
 //! built-in benchmarks) with the loading-aware estimator.
 //!
 //! ```text
-//! nanoleak-cli estimate <target> [--vectors N] [--seed S] [--temp K] [--reference]
-//!                                [--format text|json] [--no-cache] [--cache-dir DIR]
-//! nanoleak-cli sweep    <target> [--vectors N] [--seed S] [--temp K] [--threads N]
-//!                                [--mode lut|noloading|direct] [--shard-vectors N]
-//!                                [--format text|json] [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli estimate <target> [--vectors N] [--seed S] [--temp K] [--vdd-scale X]
+//!                                [--reference] [--format text|json] [--coarse]
+//!                                [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli sweep    <target> [--vectors N] [--seed S] [--temp K] [--vdd-scale X]
+//!                                [--threads N] [--mode lut|noloading|direct]
+//!                                [--shard-vectors N] [--format text|json] [--coarse]
+//!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli mlv      <target> [--goal min|max] [--strategy exhaustive|random|hillclimb]
 //!                                [--samples N] [--restarts N] [--max-steps N]
-//!                                [--seed S] [--temp K] [--threads N]
+//!                                [--seed S] [--temp K] [--vdd-scale X] [--threads N]
+//!                                [--format text|json] [--coarse]
 //!                                [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli mc       <target> [--samples N] [--sigma-vt V] [--sigma-vt-intra V]
+//!                                [--vectors N] [--seed S] [--temp K] [--vdd-scale X]
+//!                                [--threads N] [--shard-samples N]
+//!                                [--format text|json] [--coarse]
 //! nanoleak-cli serve    [--addr HOST:PORT] [--threads N] [--queue N]
 //!                       [--keep-alive N] [--job-cap N]
 //!                       [--no-cache] [--cache-dir DIR]
@@ -22,22 +29,30 @@
 //! original CLI. Unknown `--flags` are rejected with an error instead
 //! of being silently ignored.
 //!
+//! Every subcommand analyzes at a first-class operating point
+//! (`--temp` × `--vdd-scale`, see `nanoleak_cells::OperatingPoint`),
+//! the same condition derivation the server's grid and MC jobs use.
+//!
 //! The characterized cell library is cached on disk between runs
 //! (`.nanoleak-cache/` or `$NANOLEAK_CACHE_DIR`); pass `--no-cache`
-//! to force re-characterization.
+//! to force re-characterization. `mc` is the exception: its per-sample
+//! libraries belong to unique perturbed dies, so they are memoized in
+//! RAM only — a disk cache would fill with one-shot entries.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 use nanoleak::prelude::*;
+use nanoleak_cells::OperatingPoint;
 use nanoleak_engine::{
-    mlv_search, shard_count, sweep_streaming, CacheOutcome, LibraryCache, MlvConfig, MlvGoal,
-    MlvStrategy, ScalarStats, SweepConfig,
+    mc_streaming, mlv_search, shard_count, sweep_streaming, CacheOutcome, LibraryCache,
+    MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, ScalarStats, SweepConfig,
 };
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
-use nanoleak_serve::api::{fmt_pattern, EstimateResponse, SweepResponse};
+use nanoleak_serve::api::{fmt_pattern, EstimateResponse, McResponse, MlvResponse, SweepResponse};
 use nanoleak_serve::{ServeConfig, Server};
+use nanoleak_variation::{char_opts_for, CircuitMcConfig, Stats, VariationSigmas};
 use rand::SeedableRng;
 
 const USAGE: &str = "\
@@ -47,14 +62,21 @@ commands:
   estimate   mean leakage and loading impact over random vectors (default)
   sweep      parallel per-vector statistics over the input space
   mlv        minimum/maximum-leakage input-vector search
+  mc         circuit-level Monte-Carlo leakage distribution under process
+             variation (loaded vs unloaded)
   serve      long-lived HTTP/JSON analysis service (no circuit argument)
 
 common options:
-  --vectors N     random vectors (estimate/sweep; default 100)
+  --vectors N     random vectors (estimate/sweep; patterns per MC sample for
+                  mc; default 100, mc default 1)
   --seed S        RNG seed (default 2005)
   --temp K        temperature in kelvin (default 300)
-  --threads N     worker threads for sweep/mlv/serve (default: all cores)
-  --format F      output format for estimate/sweep: text (default) or json
+  --vdd-scale X   supply-scale factor on the nominal Vdd (default 1.0)
+  --threads N     worker threads for sweep/mlv/mc/serve (default: all cores)
+  --format F      output format for estimate/sweep/mlv/mc: text (default)
+                  or json
+  --coarse        characterize on the coarse 4-point test grid (fast,
+                  lower LUT resolution)
   --no-cache      re-characterize instead of using the on-disk cache
   --cache-dir D   cache directory (default .nanoleak-cache or $NANOLEAK_CACHE_DIR)
 
@@ -72,6 +94,16 @@ mlv options:
   --samples N     random-strategy samples (default 1024)
   --restarts N    hill-climb restarts (default 8)
   --max-steps N   hill-climb accepted-move limit (default 64)
+
+mc options:
+  --samples N         Monte-Carlo samples / perturbed dies (default 200)
+  --sigma-vt V        inter-die threshold-voltage sigma in volts, the
+                      paper's Fig. 11 sweep variable (default 0.030)
+  --sigma-vt-intra V  intra-die threshold sigma in volts (default 0.030)
+  --shard-samples N   stream the run in shards of N samples (progress per
+                      shard on stderr; merged summary is bit-identical to
+                      a monolithic run; default 0 = one shard)
+  (mc ignores the disk cache: per-sample libraries are RAM-memoized only)
 
 serve options:
   --addr A        bind address (default 127.0.0.1:8425)
@@ -177,7 +209,7 @@ fn main() -> ExitCode {
     // Subcommand dispatch with backwards compatibility: a first
     // argument that is not a known command is an `estimate` target.
     let command = match raw[0].as_str() {
-        "estimate" | "sweep" | "mlv" | "serve" => raw.remove(0),
+        "estimate" | "sweep" | "mlv" | "mc" | "serve" => raw.remove(0),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -201,6 +233,7 @@ fn main() -> ExitCode {
         "estimate" => cmd_estimate(&target, args),
         "sweep" => cmd_sweep(&target, args),
         "mlv" => cmd_mlv(&target, args),
+        "mc" => cmd_mc(&target, args),
         _ => unreachable!("dispatch covers all commands"),
     };
     match result {
@@ -240,7 +273,7 @@ impl CacheOpts {
     }
 }
 
-/// Output format of the `estimate` and `sweep` subcommands.
+/// Output format of the analysis subcommands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum OutputFormat {
     Text,
@@ -257,26 +290,55 @@ impl OutputFormat {
     }
 }
 
-/// Obtains the characterized library, through the persistent cache
-/// unless disabled. With `quiet`, progress goes to stderr so stdout
-/// stays machine-parseable (`--format json`).
-fn load_library(tech: &Technology, temp: f64, cache: &CacheOpts, quiet: bool) -> Arc<CellLibrary> {
+/// The operating conditions of a run: `--temp` (kelvin) and
+/// `--vdd-scale`, bundled as the shared [`OperatingPoint`] the whole
+/// stack characterizes through.
+fn take_operating_point(args: &mut Args) -> Result<OperatingPoint, String> {
+    let op = OperatingPoint {
+        temp: args.take_parsed("--temp", 300.0)?,
+        vdd_scale: args.take_parsed("--vdd-scale", 1.0)?,
+    };
+    op.validate()?;
+    Ok(op)
+}
+
+/// `--coarse` selects the fast 4-point test grid (what the service's
+/// `"coarse": true` does); the default is the production 11-point
+/// resolution.
+fn take_char_opts(args: &mut Args) -> CharacterizeOptions {
+    if args.take_flag("--coarse") {
+        CharacterizeOptions::coarse(&CellType::ALL)
+    } else {
+        CharacterizeOptions::default()
+    }
+}
+
+/// Obtains the characterized library at an operating point, through
+/// the persistent cache unless disabled. With `quiet`, progress goes
+/// to stderr so stdout stays machine-parseable (`--format json`).
+fn load_library(
+    tech: &Technology,
+    op: &OperatingPoint,
+    opts: &CharacterizeOptions,
+    cache: &CacheOpts,
+    quiet: bool,
+) -> Arc<CellLibrary> {
     macro_rules! info {
         ($($arg:tt)*) => {
             if quiet { eprintln!($($arg)*) } else { println!($($arg)*) }
         };
     }
-    let opts = CharacterizeOptions::default();
+    let temp = op.temp;
     if !cache.enabled {
         info!("characterizing cell library for {} at {temp} K (cache disabled) ...", tech.name);
-        return CellLibrary::shared_with_options(tech, temp, &opts);
+        return op.shared_library(tech, opts);
     }
     let store = match &cache.dir {
         Some(dir) => LibraryCache::new(dir),
         None => LibraryCache::default_location(),
     };
     let t0 = Instant::now();
-    match store.load_or_characterize(tech, temp, &opts) {
+    match store.load_or_characterize(&op.tech(tech), temp, opts) {
         Ok((lib, outcome)) => {
             let elapsed = t0.elapsed();
             match outcome {
@@ -305,7 +367,7 @@ fn load_library(tech: &Technology, temp: f64, cache: &CacheOpts, quiet: bool) ->
         }
         Err(e) => {
             eprintln!("warning: {e}; continuing without the disk cache");
-            CellLibrary::shared_with_options(tech, temp, &opts)
+            op.shared_library(tech, opts)
         }
     }
 }
@@ -322,9 +384,10 @@ fn parse_mode(raw: Option<String>) -> Result<EstimatorMode, String> {
 fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
     let vectors: usize = args.take_parsed("--vectors", 100)?;
     let seed: u64 = args.take_parsed("--seed", 2005)?;
-    let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let op = take_operating_point(&mut args)?;
     let with_reference = args.take_flag("--reference");
     let format = OutputFormat::take(&mut args)?;
+    let char_opts = take_char_opts(&mut args);
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
     if with_reference && format == OutputFormat::Json {
@@ -339,7 +402,7 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
         println!("{}", CircuitStats::compute(&circuit));
     }
     let tech = Technology::d25();
-    let lib = load_library(&tech, temp, &cache, format == OutputFormat::Json);
+    let lib = load_library(&tech, &op, &char_opts, &cache, format == OutputFormat::Json);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let patterns = Pattern::random_batch(&circuit, &mut rng, vectors);
@@ -363,10 +426,10 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
             input_bits: circuit.inputs().len() + circuit.state_inputs().len(),
             vectors,
             seed,
-            temp,
+            temp: op.temp,
             mean_total_a: mean(&loaded),
             mean_no_loading_a: mean(&unloaded),
-            mean_power_w: mean(&loaded) * tech.vdd,
+            mean_power_w: mean(&loaded) * lib.tech.vdd,
             loading_impact_avg: impact.avg_total,
             loading_impact_max: impact.max_total,
             elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -378,7 +441,7 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
     println!("\nleakage over {vectors} random vectors (mean):");
     println!("  without loading : {:10.3} uA", mean(&unloaded) * 1e6);
     println!("  with loading    : {:10.3} uA", mean(&loaded) * 1e6);
-    println!("  leakage power   : {:10.3} uW (with loading)", mean(&loaded) * tech.vdd * 1e6);
+    println!("  leakage power   : {:10.3} uW (with loading)", mean(&loaded) * lib.tech.vdd * 1e6);
     println!("\nloading impact (avg over vectors):");
     println!("  subthreshold    : {:+7.2} %", impact.avg.sub * 100.0);
     println!("  gate tunneling  : {:+7.2} %", impact.avg.gate * 100.0);
@@ -391,8 +454,8 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
         println!("\nrunning full reference solve on {n} vectors (slow) ...");
         match nanoleak_core::reference_batch(
             &circuit,
-            &tech,
-            temp,
+            &lib.tech,
+            op.temp,
             &patterns[..n],
             &ReferenceOptions::default(),
         ) {
@@ -420,9 +483,10 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
         threads: args.take_parsed("--threads", 0)?,
         mode: parse_mode(args.take_value("--mode")?)?,
     };
-    let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let op = take_operating_point(&mut args)?;
     let shard_vectors: usize = args.take_parsed("--shard-vectors", 0)?;
     let format = OutputFormat::take(&mut args)?;
+    let char_opts = take_char_opts(&mut args);
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
     if config.vectors == 0 {
@@ -434,7 +498,7 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
         println!("{}", CircuitStats::compute(&circuit));
     }
     let tech = Technology::d25();
-    let lib = load_library(&tech, temp, &cache, format == OutputFormat::Json);
+    let lib = load_library(&tech, &op, &char_opts, &cache, format == OutputFormat::Json);
 
     // Progress streams to stderr so `--format json` stdout stays
     // machine-parseable; merged stats are bit-identical to a
@@ -461,7 +525,7 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
         let report_json = SweepResponse {
             target: target.to_string(),
             gates: circuit.gate_count(),
-            temp,
+            temp: op.temp,
             config,
             shards,
             min_vector: fmt_pattern(&s.min.pattern),
@@ -548,22 +612,56 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
         threads: args.take_parsed("--threads", 0)?,
         mode: EstimatorMode::Lut,
     };
-    let temp: f64 = args.take_parsed("--temp", 300.0)?;
+    let op = take_operating_point(&mut args)?;
+    let format = OutputFormat::take(&mut args)?;
+    let char_opts = take_char_opts(&mut args);
     let cache = CacheOpts::take(&mut args)?;
     args.finish()?;
 
     let circuit = load_circuit(target)?;
-    println!("{}", CircuitStats::compute(&circuit));
+    if format == OutputFormat::Text {
+        println!("{}", CircuitStats::compute(&circuit));
+    }
     let tech = Technology::d25();
-    let lib = load_library(&tech, temp, &cache, false);
+    let lib = load_library(&tech, &op, &char_opts, &cache, format == OutputFormat::Json);
 
     let result =
         mlv_search(&circuit, &lib, &config).map_err(|e| format!("MLV search failed: {e}"))?;
+    let tel = &result.telemetry;
+
+    if format == OutputFormat::Json {
+        // The service's POST /v1/mlv response type, so one parser
+        // covers both transports by construction (floats print
+        // shortest-round-trip, decoding bit-exactly).
+        let goal_name = match goal {
+            MlvGoal::Min => "min",
+            MlvGoal::Max => "max",
+        };
+        let report = MlvResponse {
+            target: target.to_string(),
+            goal: goal_name.to_string(),
+            strategy: tel.strategy.to_string(),
+            vector: fmt_pattern(&result.pattern),
+            pattern: result.pattern.clone(),
+            objective_a: result.objective,
+            sub_a: result.leakage.total.sub,
+            gate_a: result.leakage.total.gate,
+            btbt_a: result.leakage.total.btbt,
+            evaluations: tel.evaluations,
+            improving_moves: tel.improving_moves,
+            restarts: tel.restarts,
+            // Search-only wall clock, matching the service's
+            // `POST /v1/mlv` semantics for the same field.
+            elapsed_ms: tel.elapsed.as_secs_f64() * 1e3,
+        };
+        println!("{}", serde::json::to_string_pretty(&report));
+        return Ok(());
+    }
+
     let which = match goal {
         MlvGoal::Min => "minimum",
         MlvGoal::Max => "maximum",
     };
-    let tel = &result.telemetry;
     println!("\n{which}-leakage vector ({} strategy):", tel.strategy);
     println!("  vector   : {}", fmt_pattern(&result.pattern));
     println!("  leakage  : {:.4} uA total", result.objective * 1e6);
@@ -573,13 +671,133 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
         result.leakage.total.gate * 1e6,
         result.leakage.total.btbt * 1e6
     );
-    println!("  power    : {:.4} uW at {:.2} V", result.objective * tech.vdd * 1e6, tech.vdd);
+    println!(
+        "  power    : {:.4} uW at {:.2} V",
+        result.objective * lib.tech.vdd * 1e6,
+        lib.tech.vdd
+    );
     println!(
         "\n  {} evaluations, {} improving moves, {} restart(s) in {:.3} s",
         tel.evaluations,
         tel.improving_moves,
         tel.restarts,
         tel.elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
+    let samples: usize = args.take_parsed("--samples", 200)?;
+    let vectors: usize = args.take_parsed("--vectors", 1)?;
+    let seed: u64 = args.take_parsed("--seed", 2005)?;
+    let sigma_vt: f64 = args.take_parsed("--sigma-vt", 30e-3)?;
+    let sigma_vt_intra: f64 = args.take_parsed("--sigma-vt-intra", 30e-3)?;
+    let threads: usize = args.take_parsed("--threads", 0)?;
+    let shard_samples: usize = args.take_parsed("--shard-samples", 0)?;
+    let op = take_operating_point(&mut args)?;
+    let format = OutputFormat::take(&mut args)?;
+    let coarse = args.take_flag("--coarse");
+    // Accepted for flag-set compatibility with the other subcommands,
+    // but deliberately unused: per-sample libraries belong to unique
+    // perturbed dies, so `mc` never reads or writes the disk cache.
+    let _ = CacheOpts::take(&mut args)?;
+    args.finish()?;
+    if samples == 0 || vectors == 0 {
+        return Err("--samples and --vectors must be at least 1".to_string());
+    }
+
+    let circuit = load_circuit(target)?;
+    if format == OutputFormat::Text {
+        println!("{}", CircuitStats::compute(&circuit));
+    }
+    let tech = Technology::d25();
+    let sigmas =
+        VariationSigmas::paper_nominal().with_vt_inter(sigma_vt).with_vt_intra(sigma_vt_intra);
+    sigmas.validate()?;
+    let config = CircuitMcConfig {
+        samples,
+        seed,
+        sigmas,
+        op,
+        vectors,
+        pattern_seed: seed,
+        threads,
+        char_opts: char_opts_for(&circuit, coarse),
+    };
+    // Per-sample libraries belong to unique perturbed dies: memoize in
+    // RAM (re-runs of one seed hit), never on disk (one-shot litter).
+    let cache = MemoLibraryCache::memory_only();
+    let shards = shard_count(samples, shard_samples);
+    let report = mc_streaming(&circuit, &tech, &cache, &config, shard_samples, |shard| {
+        if shards > 1 {
+            eprintln!(
+                "[mc] shard {}/{shards}: {} samples done (loaded mean {:.4} uA)",
+                shard.shard + 1,
+                shard.start + shard.samples,
+                shard.summary.loaded.total.mean * 1e6
+            );
+        }
+        true
+    })
+    .map_err(|e| format!("monte carlo failed: {e}"))?
+    .expect("CLI MC runs are never cancelled");
+    let summary = report.summary;
+    let tel = &report.telemetry;
+
+    if format == OutputFormat::Json {
+        // The service's "mc" job response type (see estimate/sweep).
+        let response = McResponse {
+            target: target.to_string(),
+            gates: circuit.gate_count(),
+            samples,
+            vectors,
+            seed,
+            pattern_seed: seed,
+            temp: op.temp,
+            vdd_scale: op.vdd_scale,
+            sigmas: config.sigmas,
+            shards,
+            summary,
+            elapsed_ms: tel.elapsed.as_secs_f64() * 1e3,
+            samples_per_sec: tel.samples_per_sec,
+        };
+        println!("{}", serde::json::to_string_pretty(&response));
+        return Ok(());
+    }
+
+    let ua = 1e6;
+    println!(
+        "\nleakage distribution over {samples} perturbed dies \
+         (sigma_vt {:.0} mV inter / {:.0} mV intra, {vectors} vector(s)/sample) [uA]:",
+        sigma_vt * 1e3,
+        sigma_vt_intra * 1e3
+    );
+    println!(
+        "  {:<6} {:>12} {:>12} {:>12} {:>12}",
+        "", "mean(load)", "mean(no)", "std(load)", "std(no)"
+    );
+    let row = |name: &str, l: &Stats, u: &Stats| {
+        println!(
+            "  {name:<6} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            l.mean * ua,
+            u.mean * ua,
+            l.std * ua,
+            u.std * ua
+        );
+    };
+    row("total", &summary.loaded.total, &summary.unloaded.total);
+    row("sub", &summary.loaded.sub, &summary.unloaded.sub);
+    row("gate", &summary.loaded.gate, &summary.unloaded.gate);
+    row("btbt", &summary.loaded.btbt, &summary.unloaded.btbt);
+    println!(
+        "\n  loading shifts the total-leakage mean by {:+.2}% and the spread by {:+.2}%",
+        summary.mean_shift * 100.0,
+        summary.std_shift * 100.0
+    );
+    println!(
+        "\n  {samples} samples in {:.3} s — {:.1} samples/sec",
+        tel.elapsed.as_secs_f64(),
+        tel.samples_per_sec
     );
     Ok(())
 }

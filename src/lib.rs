@@ -26,9 +26,9 @@
 //! | [`cells`] | `nanoleak-cells` | standard cells + loading characterization |
 //! | [`netlist`] | `nanoleak-netlist` | gate-level circuits, `.bench`, generators |
 //! | [`core`] | `nanoleak-core` | the Fig. 13 estimator + reference simulator |
-//! | [`variation`] | `nanoleak-variation` | Monte-Carlo process variation |
-//! | [`engine`] | `nanoleak-engine` | parallel sweeps, MLV search, characterization cache |
-//! | [`serve`] | `nanoleak-serve` | long-lived HTTP/JSON service + async condition-grid jobs |
+//! | [`variation`] | `nanoleak-variation` | Monte-Carlo process variation (inverter fixture + circuit-level) |
+//! | [`engine`] | `nanoleak-engine` | parallel sweeps, MLV search, streaming MC, characterization cache |
+//! | [`serve`] | `nanoleak-serve` | long-lived HTTP/JSON service + async grid/MC jobs |
 //!
 //! ## Quickstart
 //!
@@ -129,6 +129,7 @@ pub use nanoleak_variation as variation;
 pub mod prelude {
     pub use nanoleak_cells::{
         eval_isolated, eval_loaded, CellLibrary, CellType, CharacterizeOptions, InputVector,
+        OperatingPoint,
     };
     pub use nanoleak_core::{
         accuracy, estimate, estimate_batch, reference_leakage, CircuitLeakage, CompiledEstimator,
@@ -138,13 +139,15 @@ pub mod prelude {
         Bias, DeviceDesign, LeakageBreakdown, MosKind, Perturbation, Technology, Transistor,
     };
     pub use nanoleak_engine::{
-        mlv_search, sweep, CacheOutcome, EngineError, LibraryCache, MlvConfig, MlvGoal, MlvResult,
-        MlvStrategy, ScalarStats, SweepConfig, SweepReport,
+        mc_streaming, mlv_search, sweep, CacheOutcome, EngineError, LibraryCache, MemoLibraryCache,
+        MlvConfig, MlvGoal, MlvResult, MlvStrategy, ScalarStats, SweepConfig, SweepReport,
     };
     pub use nanoleak_netlist::{
         bench_format::parse_bench, generate, normalize::normalize, Circuit, CircuitBuilder,
         CircuitStats, Pattern,
     };
     pub use nanoleak_solver::{solve_dc, MosNetlist, NewtonOptions, SolverError};
-    pub use nanoleak_variation::{run_inverter_mc, McConfig, VariationSigmas};
+    pub use nanoleak_variation::{
+        run_circuit_mc, run_inverter_mc, CircuitMcConfig, McConfig, McSummary, VariationSigmas,
+    };
 }
