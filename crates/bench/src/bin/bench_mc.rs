@@ -57,11 +57,20 @@ fn main() {
 
     let tech = Technology::d25();
 
+    // Capture the run as spans so the baseline JSON records where the
+    // wall time went — the fixture stage plus the engine's own
+    // estimate/merge/library/characterize spans from the cold circuit
+    // run.
+    nanoleak_obs::begin_capture();
+
     // ---- Inverter fixture (transistor level, single thread). ----
     let fixture_cfg =
         McConfig { samples: fixture_samples, seed: 2005, threads: 1, ..Default::default() };
     let t0 = Instant::now();
-    let fixture = run_inverter_mc(&tech, &fixture_cfg).expect("fixture mc");
+    let fixture = {
+        let _span = nanoleak_obs::span!("fixture", samples = fixture_samples);
+        run_inverter_mc(&tech, &fixture_cfg).expect("fixture mc")
+    };
     let fixture_secs = t0.elapsed().as_secs_f64();
     let again = run_inverter_mc(&tech, &fixture_cfg).expect("fixture mc rerun");
     assert_eq!(fixture, again, "fixture must reproduce bit-for-bit");
@@ -83,6 +92,10 @@ fn main() {
         .expect("circuit mc")
         .expect("not cancelled");
     let circuit_secs = t0.elapsed().as_secs_f64();
+    // Only the cold run is captured: the warm re-run below would
+    // double-count the estimate/merge stages.
+    let trace = nanoleak_obs::end_capture();
+    let stage_ms = |name: &str| trace.total_us(name) as f64 / 1e3;
     // Re-run through the warm memo: must be bit-identical and solver-free.
     let solves = cache.stats().characterizations;
     let warm = mc_streaming(&circuit, &tech, &cache, &mc_cfg, 0, |_| true)
@@ -99,7 +112,9 @@ fn main() {
          \"circuit\": {{\n    \"name\": \"{circuit_name}\",\n    \"gates\": {},\n    \
          \"samples\": {samples},\n    \"grid_points\": {},\n    \
          \"samples_per_sec\": {:.3},\n    \"mean_shift_pct\": {:.3},\n    \
-         \"std_shift_pct\": {:.3}\n  }},\n  \"seed\": 2005,\n  \"bit_identical\": true\n}}\n",
+         \"std_shift_pct\": {:.3}\n  }},\n  \"timings_ms\": {{\n    \"fixture\": {:.3},\n    \
+         \"library\": {:.3},\n    \"characterize\": {:.3},\n    \"estimate\": {:.3},\n    \
+         \"merge\": {:.3}\n  }},\n  \"seed\": 2005,\n  \"bit_identical\": true\n}}\n",
         fixture_sps,
         fixture.mean_shift() * 100.0,
         circuit.gate_count(),
@@ -107,6 +122,11 @@ fn main() {
         circuit_sps,
         report.summary.mean_shift * 100.0,
         report.summary.std_shift * 100.0,
+        stage_ms("fixture"),
+        stage_ms("library"),
+        stage_ms("characterize"),
+        stage_ms("estimate"),
+        stage_ms("merge"),
     );
     std::fs::write(&out, &json).expect("write baseline");
     print!("{json}");

@@ -52,14 +52,24 @@ fn main() {
     } else {
         CharacterizeOptions::default()
     };
-    let (lib, _) = LibraryCache::default_location()
-        .load_or_characterize(&tech, 300.0, &opts)
-        .expect("characterize library");
+    // Capture the run as spans so the baseline JSON records where the
+    // wall time went (library load/solve, compile+warm, each measured
+    // path), not just the final throughput numbers.
+    nanoleak_obs::begin_capture();
+    let (lib, _) = {
+        let _span = nanoleak_obs::span!("library");
+        LibraryCache::default_location()
+            .load_or_characterize(&tech, 300.0, &opts)
+            .expect("characterize library")
+    };
     let circuit = normalize(&iscas_like(&circuit_name).expect("known circuit")).unwrap();
     let seed = 2005u64;
 
     // Warm both paths (page in the library, grow the scratch).
-    let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+    let plan = {
+        let _span = nanoleak_obs::span!("compile");
+        CompiledEstimator::compile(&circuit, &lib).unwrap()
+    };
     let mut scratch = plan.scratch();
     let warm_pattern = pattern_for_index(&circuit, seed, 0);
     let _ = estimate(&circuit, &lib, &warm_pattern, EstimatorMode::Lut).unwrap();
@@ -70,34 +80,44 @@ fn main() {
     // (and both paths get the same treatment).
     let mut legacy_secs = f64::INFINITY;
     let mut legacy = Vec::new();
-    for _ in 0..repeat {
-        let t0 = Instant::now();
-        let totals: Vec<f64> = (0..vectors)
-            .map(|i| {
-                let p = pattern_for_index(&circuit, seed, i);
-                estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap().total.total()
-            })
-            .collect();
-        legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
-        legacy = totals;
+    {
+        let _span = nanoleak_obs::span!("legacy", repeat = repeat);
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            let totals: Vec<f64> = (0..vectors)
+                .map(|i| {
+                    let p = pattern_for_index(&circuit, seed, i);
+                    estimate(&circuit, &lib, &p, EstimatorMode::Lut).unwrap().total.total()
+                })
+                .collect();
+            legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
+            legacy = totals;
+        }
     }
 
     // Compiled path: plan compile + scratch + index stream, like a
     // single-thread engine sweep shard.
     let mut compiled_secs = f64::INFINITY;
     let mut compiled = Vec::new();
-    for _ in 0..repeat {
-        let t0 = Instant::now();
-        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
-        let mut scratch = plan.scratch();
-        let totals: Vec<f64> = (0..vectors)
-            .map(|i| {
-                plan.estimate_index_into(&mut scratch, seed, i, EstimatorMode::Lut).unwrap().total()
-            })
-            .collect();
-        compiled_secs = compiled_secs.min(t0.elapsed().as_secs_f64());
-        compiled = totals;
+    {
+        let _span = nanoleak_obs::span!("compiled", repeat = repeat);
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+            let mut scratch = plan.scratch();
+            let totals: Vec<f64> = (0..vectors)
+                .map(|i| {
+                    plan.estimate_index_into(&mut scratch, seed, i, EstimatorMode::Lut)
+                        .unwrap()
+                        .total()
+                })
+                .collect();
+            compiled_secs = compiled_secs.min(t0.elapsed().as_secs_f64());
+            compiled = totals;
+        }
     }
+    let trace = nanoleak_obs::end_capture();
+    let stage_ms = |name: &str| trace.total_us(name) as f64 / 1e3;
 
     let bit_identical = legacy.iter().zip(&compiled).all(|(a, b)| a.to_bits() == b.to_bits());
     assert!(bit_identical, "compiled path diverged from the reference estimator");
@@ -110,7 +130,9 @@ fn main() {
          \"gates\": {},\n  \"vectors\": {},\n  \"repeat\": {},\n  \"grid_points\": {},\n  \
          \"mode\": \"Lut\",\n  \"seed\": {},\n  \
          \"legacy_patterns_per_sec\": {:.1},\n  \"compiled_patterns_per_sec\": {:.1},\n  \
-         \"speedup\": {:.2},\n  \"bit_identical\": {}\n}}\n",
+         \"speedup\": {:.2},\n  \"timings_ms\": {{\n    \"library\": {:.3},\n    \
+         \"characterize\": {:.3},\n    \"compile\": {:.3},\n    \"legacy\": {:.3},\n    \
+         \"compiled\": {:.3}\n  }},\n  \"bit_identical\": {}\n}}\n",
         circuit_name,
         circuit.gate_count(),
         vectors,
@@ -120,6 +142,11 @@ fn main() {
         legacy_pps,
         compiled_pps,
         speedup,
+        stage_ms("library"),
+        stage_ms("characterize"),
+        stage_ms("compile"),
+        stage_ms("legacy"),
+        stage_ms("compiled"),
         bit_identical,
     );
     std::fs::write(&out, &json).expect("write baseline");

@@ -7,7 +7,10 @@
 //! *change* as a function of loading-current magnitude. Multi-input
 //! loading is combined additively per the paper's eq. (5).
 
+use std::sync::OnceLock;
+
 use nanoleak_device::{LeakageBreakdown, Technology};
+use nanoleak_obs::{global, Counter, Histogram};
 use nanoleak_solver::SolverError;
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +18,33 @@ use crate::cell_type::CellType;
 use crate::eval::eval_loaded;
 use crate::lut::BreakdownLut;
 use crate::vector::InputVector;
+
+/// Process-wide characterization telemetry.
+struct CellMetrics {
+    cells: Counter,
+    seconds: Histogram,
+}
+
+impl CellMetrics {
+    fn record(&self, elapsed: std::time::Duration) {
+        self.cells.inc();
+        self.seconds.record_duration(elapsed);
+    }
+}
+
+fn cell_metrics() -> &'static CellMetrics {
+    static METRICS: OnceLock<CellMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CellMetrics {
+        cells: global().counter(
+            "nanoleak_cells_characterized_total",
+            "Cell types characterized (all vectors of one cell)",
+        ),
+        seconds: global().histogram(
+            "nanoleak_cells_characterize_seconds",
+            "Wall time to characterize one cell type",
+        ),
+    })
+}
 
 /// Options for the characterization sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -181,10 +211,13 @@ impl CellChar {
         cell: CellType,
         opts: &CharacterizeOptions,
     ) -> Result<Self, SolverError> {
+        let _span = nanoleak_obs::span!("characterize", cell = cell);
+        let started = std::time::Instant::now();
         let mut vectors = Vec::with_capacity(cell.num_vectors());
         for v in InputVector::all(cell.num_inputs()) {
             vectors.push(characterize_vector(tech, temp, cell, v, opts)?);
         }
+        cell_metrics().record(started.elapsed());
         Ok(Self { cell, vectors })
     }
 

@@ -31,9 +31,42 @@ use std::sync::Arc;
 
 use nanoleak_cells::{CellLibrary, CharacterizeOptions, OperatingPoint};
 use nanoleak_device::Technology;
+use nanoleak_obs::{global, Counter, Histogram};
 use parking_lot::Mutex;
 
 use crate::EngineError;
+
+/// Process-wide cache telemetry aggregated over every
+/// [`MemoLibraryCache`] instance (per-instance counts stay on the
+/// instance; see [`MemoLibraryCache::stats`]).
+struct CacheMetrics {
+    memory_hits: Counter,
+    disk_hits: Counter,
+    characterizations: Counter,
+    characterize_seconds: Histogram,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        memory_hits: global().counter(
+            "nanoleak_cache_memory_hits_total",
+            "Library requests served from the in-RAM memo layer",
+        ),
+        disk_hits: global().counter(
+            "nanoleak_cache_disk_hits_total",
+            "Library requests served from the on-disk cache",
+        ),
+        characterizations: global().counter(
+            "nanoleak_cache_characterizations_total",
+            "Library requests that ran a full characterization",
+        ),
+        characterize_seconds: global().histogram(
+            "nanoleak_cache_characterize_seconds",
+            "Wall time of full library characterizations (cache misses)",
+        ),
+    })
+}
 
 /// Bump when the header layout or the serialized library shape
 /// changes; old files then re-characterize instead of mis-decoding.
@@ -327,8 +360,11 @@ impl MemoLibraryCache {
         let key = LibraryCache::request_key(tech, temp, opts);
         if let Some(lib) = self.entries.lock().get(&key) {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().memory_hits.inc();
             return Ok((Arc::clone(lib), CacheOutcome::MemoryHit));
         }
+        let started = std::time::Instant::now();
+        let _span = nanoleak_obs::span!("library", temp = temp);
         let (lib, outcome) = match &self.disk {
             Some(disk) => disk.load_or_characterize(tech, temp, opts)?,
             None => {
@@ -337,8 +373,15 @@ impl MemoLibraryCache {
             }
         };
         match outcome {
-            CacheOutcome::Hit => self.disk_hits.fetch_add(1, Ordering::Relaxed),
-            _ => self.characterizations.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Hit => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().disk_hits.inc();
+            }
+            _ => {
+                self.characterizations.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().characterizations.inc();
+                cache_metrics().characterize_seconds.record_duration(started.elapsed());
+            }
         };
         let mut entries = self.entries.lock();
         if entries.len() >= self.max_resident {

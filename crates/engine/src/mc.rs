@@ -31,6 +31,18 @@ use crate::cache::MemoLibraryCache;
 use crate::sweep::shard_count;
 use crate::EngineError;
 
+/// Process-wide MC shard latency (shard granularity only — the
+/// per-sample path inside `run_circuit_mc_range` stays untouched).
+fn mc_shard_seconds() -> &'static nanoleak_obs::Histogram {
+    static METRIC: std::sync::OnceLock<nanoleak_obs::Histogram> = std::sync::OnceLock::new();
+    METRIC.get_or_init(|| {
+        nanoleak_obs::global().histogram(
+            "nanoleak_mc_shard_seconds",
+            "Wall time to run one Monte-Carlo shard (all workers)",
+        )
+    })
+}
+
 impl LibraryProvider for MemoLibraryCache {
     fn library(
         &self,
@@ -129,23 +141,36 @@ pub fn mc_streaming(
     for shard in 0..shards_total {
         let start = shard * shard_size;
         let len = shard_size.min(config.samples - start);
-        let samples = run_circuit_mc_range(circuit, tech, cache, config, start, len)?;
-        let partial = McShard {
-            shard,
-            shards_total,
-            start,
-            samples: len,
-            summary: summarize(&samples, DEFAULT_HIST_BINS),
+        let shard_start = Instant::now();
+        let samples = {
+            let _span = nanoleak_obs::span!("estimate", shard = shard, samples = len);
+            run_circuit_mc_range(circuit, tech, cache, config, start, len)?
         };
-        merged.extend(samples);
+        mc_shard_seconds().record_duration(shard_start.elapsed());
+        let partial = {
+            let _span = nanoleak_obs::span!("merge", shard = shard);
+            let partial = McShard {
+                shard,
+                shards_total,
+                start,
+                samples: len,
+                summary: summarize(&samples, DEFAULT_HIST_BINS),
+            };
+            merged.extend(samples);
+            partial
+        };
         if !on_shard(&partial) {
             return Ok(None);
         }
     }
 
     let elapsed = start_time.elapsed();
+    let summary = {
+        let _span = nanoleak_obs::span!("merge");
+        summarize(&merged, DEFAULT_HIST_BINS)
+    };
     Ok(Some(McReport {
-        summary: summarize(&merged, DEFAULT_HIST_BINS),
+        summary,
         telemetry: McTelemetry {
             elapsed,
             samples_per_sec: config.samples as f64 / elapsed.as_secs_f64().max(1e-9),

@@ -28,6 +28,27 @@ use serde::{Deserialize, Serialize};
 use crate::exec::{mix, par_map_with, resolve_threads};
 use crate::stats::ScalarStats;
 
+/// Process-wide sweep telemetry (latency histograms only — never on
+/// the per-pattern path, which stays zero-allocation).
+struct SweepMetrics {
+    compile_seconds: nanoleak_obs::Histogram,
+    shard_seconds: nanoleak_obs::Histogram,
+}
+
+fn sweep_metrics() -> &'static SweepMetrics {
+    static METRICS: std::sync::OnceLock<SweepMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SweepMetrics {
+        compile_seconds: nanoleak_obs::global().histogram(
+            "nanoleak_sweep_compile_seconds",
+            "Wall time to compile a (circuit, library) estimator plan",
+        ),
+        shard_seconds: nanoleak_obs::global().histogram(
+            "nanoleak_sweep_shard_seconds",
+            "Wall time to estimate one sweep shard (all workers)",
+        ),
+    })
+}
+
 /// Configuration of one pattern sweep.
 ///
 /// Serializable so job front-ends (the `nanoleak-serve` HTTP API)
@@ -307,7 +328,13 @@ pub fn sweep_streaming(
     let start_time = Instant::now();
 
     // Compile once per sweep; every shard and worker shares the plan.
-    let plan = CompiledEstimator::compile(circuit, library)?;
+    let plan = {
+        let _span = nanoleak_obs::span!("compile");
+        let compile_start = Instant::now();
+        let plan = CompiledEstimator::compile(circuit, library)?;
+        sweep_metrics().compile_seconds.record_duration(compile_start.elapsed());
+        plan
+    };
     // The merger is only fed on multi-shard sweeps — the monolithic
     // path reuses its single shard's stats, so don't reserve
     // vectors-sized backing storage it would never touch.
@@ -320,17 +347,26 @@ pub fn sweep_streaming(
     for shard in 0..shards_total {
         let start = shard * shard_size;
         let len = shard_size.min(config.vectors - start);
-        let totals = estimate_chunk(&plan, config, threads, start, len)?;
-        let partial = SweepShard {
-            shard,
-            shards_total,
-            start,
-            vectors: len,
-            stats: reduce_stats(circuit, config.seed, start, &totals),
+        let shard_start = Instant::now();
+        let totals = {
+            let _span = nanoleak_obs::span!("estimate", shard = shard, vectors = len);
+            estimate_chunk(&plan, config, threads, start, len)?
         };
-        if shards_total > 1 {
-            merger.push(&totals);
-        }
+        sweep_metrics().shard_seconds.record_duration(shard_start.elapsed());
+        let partial = {
+            let _span = nanoleak_obs::span!("merge", shard = shard);
+            let partial = SweepShard {
+                shard,
+                shards_total,
+                start,
+                vectors: len,
+                stats: reduce_stats(circuit, config.seed, start, &totals),
+            };
+            if shards_total > 1 {
+                merger.push(&totals);
+            }
+            partial
+        };
         if !on_shard(&partial) {
             return Ok(None);
         }
@@ -346,7 +382,10 @@ pub fn sweep_streaming(
     let elapsed = start_time.elapsed();
     let stats = match mono_stats {
         Some(stats) => stats,
-        None => merger.finish(circuit, config.seed).expect("at least one non-empty shard ran"),
+        None => {
+            let _span = nanoleak_obs::span!("merge");
+            merger.finish(circuit, config.seed).expect("at least one non-empty shard ran")
+        }
     };
     Ok(Some(SweepReport {
         stats,

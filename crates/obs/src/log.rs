@@ -1,0 +1,241 @@
+//! Leveled JSON-lines logging to stderr.
+//!
+//! Off by default: records are emitted only when `NANOLEAK_LOG` names
+//! a level (`error`..`trace`) or the process calls [`set_level`]
+//! (the CLI's `--log-level`). Each record is one JSON object per
+//! line:
+//!
+//! ```json
+//! {"ts_ms":1723100000000,"level":"info","target":"server",
+//!  "msg":"listening on 127.0.0.1:8425","request_id":"req-1a2b-0001"}
+//! ```
+//!
+//! `request_id` is taken from a thread-local set by the HTTP layer
+//! ([`set_request_id`]) — either propagated from an incoming
+//! `X-Request-Id` header or generated ([`next_request_id`]) — so
+//! every record (and every span capture) of one request carries the
+//! same id across the stack.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json_escape_into;
+
+/// Log verbosity, most severe first. `Off` disables all records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No records at all (the library default).
+    Off = 0,
+    /// Unexpected failures (worker panics, I/O errors).
+    Error = 1,
+    /// Degraded-but-continuing conditions.
+    Warn = 2,
+    /// Lifecycle events (listen, shutdown, job transitions).
+    Info = 3,
+    /// Per-request dispatch records.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses `"error" | "warn" | "info" | "debug" | "trace" | "off"`
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name used in records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Current level + 1; 0 means "not initialized yet" (read the env).
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn level_from_env() -> Level {
+    std::env::var("NANOLEAK_LOG").ok().and_then(|v| Level::parse(&v)).unwrap_or(Level::Off)
+}
+
+/// The active level (initialized from `NANOLEAK_LOG` on first use).
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != 0 {
+        return decode(raw - 1);
+    }
+    let l = level_from_env();
+    // Racing first reads agree: both computed the same env answer.
+    LEVEL.store(l as u8 + 1, Ordering::Relaxed);
+    l
+}
+
+/// Overrides the level (e.g. from `--log-level`).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8 + 1, Ordering::Relaxed);
+}
+
+fn decode(raw: u8) -> Level {
+    match raw {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        5 => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// Whether records at `l` are currently emitted.
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && l <= level()
+}
+
+thread_local! {
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Stamps subsequent records and span captures on this thread with
+/// `id`; `None` clears it.
+pub fn set_request_id(id: Option<String>) {
+    REQUEST_ID.with(|r| *r.borrow_mut() = id);
+}
+
+/// The current thread's request id, if one is set.
+pub fn current_request_id() -> Option<String> {
+    REQUEST_ID.with(|r| r.borrow().clone())
+}
+
+/// Generates a fresh process-unique request id.
+pub fn next_request_id() -> String {
+    static PREFIX: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let prefix = PREFIX.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        // FNV-style scramble so concurrent processes rarely collide.
+        (nanos ^ std::process::id() as u64).wrapping_mul(0x100000001b3) & 0xffff_ffff
+    });
+    format!("req-{prefix:08x}-{:04x}", SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Emits one record (no level check — callers go through the macros,
+/// which check [`enabled`] first so disabled records cost nothing).
+pub fn emit(level: Level, target: &str, msg: &str) {
+    let ts_ms =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+    let mut line = String::with_capacity(96 + msg.len());
+    line.push_str("{\"ts_ms\":");
+    line.push_str(&ts_ms.to_string());
+    line.push_str(",\"level\":\"");
+    line.push_str(level.as_str());
+    line.push_str("\",\"target\":");
+    json_escape_into(&mut line, target);
+    line.push_str(",\"msg\":");
+    json_escape_into(&mut line, msg);
+    if let Some(id) = current_request_id() {
+        line.push_str(",\"request_id\":");
+        json_escape_into(&mut line, &id);
+    }
+    line.push_str("}\n");
+    // One write_all per record keeps lines atomic across threads.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Emits an `error`-level record: `error!("server", "boom: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($fmt:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, $target, &format!($($fmt)*));
+        }
+    };
+}
+
+/// Emits a `warn`-level record.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($fmt:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, $target, &format!($($fmt)*));
+        }
+    };
+}
+
+/// Emits an `info`-level record.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($fmt:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, $target, &format!($($fmt)*));
+        }
+    };
+}
+
+/// Emits a `debug`-level record.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($fmt:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, $target, &format!($($fmt)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_round_trips() {
+        for l in [Level::Off, Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn enabled_respects_ordering() {
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_thread_scoped() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        set_request_id(Some(a.clone()));
+        assert_eq!(current_request_id().as_deref(), Some(a.as_str()));
+        let from_other = std::thread::spawn(current_request_id).join().unwrap();
+        assert_eq!(from_other, None);
+        set_request_id(None);
+        assert_eq!(current_request_id(), None);
+    }
+}

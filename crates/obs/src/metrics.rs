@@ -1,0 +1,521 @@
+//! Lock-free metrics: counters, gauges, log-bucketed histograms, and
+//! a registry with Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones over atomics; recording is a single atomic RMW, so handles
+//! can be hit from any thread — including inside parallel sections —
+//! without perturbing deterministic results. The registry mutex is
+//! touched only at registration and render time, never on the record
+//! path.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets (fixed layout, see [`bucket_bound`]).
+pub const BUCKETS: usize = 64;
+
+/// Exponent of the first bucket's upper bound: bucket 0 holds
+/// `v <= 2^MIN_EXP` (~1 ns when values are seconds).
+const MIN_EXP: i32 = -30;
+
+/// Upper bound of bucket `i`: `2^(MIN_EXP + i)`, except the last
+/// bucket which is `+Inf`.
+pub fn bucket_bound(i: usize) -> f64 {
+    assert!(i < BUCKETS);
+    if i == BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(MIN_EXP + i as i32)
+    }
+}
+
+/// Bucket index for a recorded value; total over all of `f64`.
+///
+/// Finite positive values land in the first bucket whose upper bound
+/// is `>= v` (computed exactly from the exponent bits, so exact
+/// powers of two sit in the bucket they bound). `NaN`, zero and
+/// negative values fall in bucket 0; `+Inf` and anything above the
+/// last finite bound fall in the overflow bucket.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        return 0; // subnormal: far below the first bound
+    }
+    if biased == 0x7ff {
+        return BUCKETS - 1; // +Inf
+    }
+    let exp = biased - 1023;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    let raw = exp - MIN_EXP + i32::from(mantissa != 0);
+    raw.clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (set/add/sub).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    counts: [AtomicU64; BUCKETS],
+    /// Sum of recorded values as `f64` bits, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A log-bucketed histogram with the fixed [`BUCKETS`]-bucket layout.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A free-standing histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }))
+    }
+
+    /// Records one observation (lock-free; two atomic RMWs).
+    ///
+    /// Non-finite and non-positive values still count in their bucket
+    /// (see [`bucket_index`]) but contribute `0.0` to the sum so one
+    /// stray `NaN`/`Inf` cannot poison the aggregate.
+    pub fn record(&self, v: f64) {
+        self.0.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        if add != 0.0 {
+            let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + add).to_bits();
+                match self.0.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Allocation-free snapshot (fixed-size array on the stack).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.0.counts[i].load(Ordering::Relaxed)),
+            sum: f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram; merging is associative and
+/// commutative because every histogram shares one bucket layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub counts: [u64; BUCKETS],
+    /// Sum of recorded (finite, positive) values.
+    pub sum: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// The all-zero snapshot (identity element for [`merge`]).
+    ///
+    /// [`merge`]: HistogramSnapshot::merge
+    pub const fn empty() -> Self {
+        HistogramSnapshot { counts: [0; BUCKETS], sum: 0.0 }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds `other` into `self` bucket-by-bucket.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Renders the Prometheus `_bucket`/`_sum`/`_count` sample lines
+    /// (cumulative `le` buckets; no `# TYPE` header).
+    pub fn render_into(&self, out: &mut String, name: &str, labels: &[(&str, &str)]) {
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            // Trailing-zero buckets would bloat the exposition 64x;
+            // always keep the first and +Inf buckets so an empty
+            // histogram still encodes as a valid cumulative series.
+            if *c == 0 && i != 0 && i != BUCKETS - 1 {
+                continue;
+            }
+            let le =
+                if i == BUCKETS - 1 { "+Inf".to_string() } else { bucket_bound(i).to_string() };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            sample_u64(out, &format!("{name}_bucket"), &with_le, cum);
+        }
+        sample_f64(out, &format!("{name}_sum"), labels, self.sum);
+        sample_u64(out, &format!("{name}_count"), labels, self.count());
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Metric {
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    instrument: Instrument,
+}
+
+/// A set of registered metrics renderable as Prometheus text.
+///
+/// Registration returns a cheap handle; recording through the handle
+/// never touches the registry lock. One process may hold several
+/// registries (the server keeps one per instance for its own state
+/// and the [`global`] one for engine/solver/cells instrumentation).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        instrument: Instrument,
+    ) {
+        let labels = labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        self.metrics.lock().unwrap().push(Metric { name, help, labels, instrument });
+    }
+
+    /// Registers and returns a counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers a counter carrying fixed labels.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Counter {
+        let c = Counter::new();
+        self.register(name, help, labels, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Registers and returns a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers a gauge carrying fixed labels.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Gauge {
+        let g = Gauge::new();
+        self.register(name, help, labels, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers and returns a histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers a histogram carrying fixed labels.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Histogram {
+        let h = Histogram::new();
+        self.register(name, help, labels, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    /// Renders every registered metric as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders into `out`, grouping same-name metrics under one
+    /// `# HELP`/`# TYPE` header (sorted by name, stable within).
+    pub fn render_into(&self, out: &mut String) {
+        let metrics = self.metrics.lock().unwrap();
+        let mut order: Vec<usize> = (0..metrics.len()).collect();
+        order.sort_by_key(|&i| metrics[i].name);
+        let mut last_name = "";
+        for &i in &order {
+            let m = &metrics[i];
+            if m.name != last_name {
+                family_header(out, m.name, m.instrument.type_name(), m.help);
+                last_name = m.name;
+            }
+            let labels: Vec<(&str, &str)> =
+                m.labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            match &m.instrument {
+                Instrument::Counter(c) => sample_u64(out, m.name, &labels, c.get()),
+                Instrument::Gauge(g) => sample_i64(out, m.name, &labels, g.get()),
+                Instrument::Histogram(h) => h.snapshot().render_into(out, m.name, &labels),
+            }
+        }
+    }
+}
+
+/// The process-wide registry used by crates that have no access to a
+/// server instance (engine, solver, cells).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Writes a `# HELP` + `# TYPE` family header.
+pub fn family_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn labels_into(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Writes one integer sample line (`name{labels} value`).
+pub fn sample_u64(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    labels_into(out, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Writes one signed integer sample line.
+pub fn sample_i64(out: &mut String, name: &str, labels: &[(&str, &str)], value: i64) {
+    out.push_str(name);
+    labels_into(out, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Writes one float sample line (shortest round-trip formatting).
+pub fn sample_f64(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    labels_into(out, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("t_total", "help");
+        let g = r.gauge("t_gauge", "help");
+        c.add(3);
+        c.inc();
+        g.set(7);
+        g.dec();
+        assert_eq!(c.get(), 4);
+        assert_eq!(g.get(), 6);
+        let text = r.render();
+        assert!(text.contains("# TYPE t_total counter"), "{text}");
+        assert!(text.contains("t_total 4\n"), "{text}");
+        assert!(text.contains("t_gauge 6\n"), "{text}");
+    }
+
+    #[test]
+    fn labels_render_escaped() {
+        let r = Registry::new();
+        let c = r.counter_with("t_total", "h", &[("kind", "a\"b\\c")]);
+        c.inc();
+        let text = r.render();
+        assert!(text.contains(r#"t_total{kind="a\"b\\c"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn same_family_header_once() {
+        let r = Registry::new();
+        r.counter_with("t_total", "h", &[("kind", "a")]).inc();
+        r.counter_with("t_total", "h", &[("kind", "b")]).add(2);
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE t_total counter").count(), 1, "{text}");
+        assert!(text.contains(r#"t_total{kind="a"} 1"#));
+        assert!(text.contains(r#"t_total{kind="b"} 2"#));
+    }
+
+    #[test]
+    fn histogram_sum_ignores_non_finite() {
+        let h = Histogram::new();
+        h.record(1.5);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-2.0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum, 1.5);
+        assert_eq!(s.counts[0], 2); // NaN and -2.0
+        assert_eq!(s.counts[BUCKETS - 1], 1); // +Inf
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        h.record(0.25);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4000);
+        assert!((s.sum - 1000.0).abs() < 1e-9, "{}", s.sum);
+    }
+}

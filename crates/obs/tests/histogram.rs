@@ -1,0 +1,134 @@
+//! Histogram contract tests: bucket-boundary placement, merge
+//! associativity, empty-snapshot encoding, and full-`f64`-range
+//! bucket placement (proptest).
+
+use nanoleak_obs::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// Reference bucketing: the first bucket whose upper bound admits `v`
+/// under Prometheus `le` (less-or-equal) semantics.
+fn reference_bucket(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    (0..BUCKETS).find(|&i| v <= bucket_bound(i)).expect("last bound is +Inf")
+}
+
+#[test]
+fn bounds_are_strictly_increasing_powers_of_two() {
+    for i in 1..BUCKETS - 1 {
+        assert!(bucket_bound(i) > bucket_bound(i - 1));
+        assert_eq!(bucket_bound(i) / bucket_bound(i - 1), 2.0);
+    }
+    assert!(bucket_bound(BUCKETS - 1).is_infinite());
+}
+
+#[test]
+fn exact_bounds_land_in_their_own_bucket() {
+    for i in 0..BUCKETS - 1 {
+        let b = bucket_bound(i);
+        assert_eq!(bucket_index(b), i, "bound {b} of bucket {i}");
+        // The next representable value belongs to the next bucket.
+        let above = f64::from_bits(b.to_bits() + 1);
+        assert_eq!(bucket_index(above), i + 1, "just above bound {b}");
+    }
+}
+
+#[test]
+fn edge_values_are_total() {
+    assert_eq!(bucket_index(0.0), 0);
+    assert_eq!(bucket_index(-1.0), 0);
+    assert_eq!(bucket_index(f64::NAN), 0);
+    assert_eq!(bucket_index(f64::NEG_INFINITY), 0);
+    assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0); // subnormal
+    assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+    assert_eq!(bucket_index(f64::MAX), BUCKETS - 1);
+}
+
+#[test]
+fn merge_is_associative_and_has_identity() {
+    let mk = |values: &[f64]| {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    };
+    let a = mk(&[1e-9, 0.5, 3.0]);
+    let b = mk(&[2.0, 2.0, 1e6]);
+    let c = mk(&[7e-3]);
+
+    // (a + b) + c == a + (b + c)
+    let mut left = a;
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b;
+    bc.merge(&c);
+    let mut right = a;
+    right.merge(&bc);
+    assert_eq!(left, right);
+
+    // empty is the identity.
+    let mut with_empty = a;
+    with_empty.merge(&HistogramSnapshot::empty());
+    assert_eq!(with_empty, a);
+    assert_eq!(left.count(), 7);
+}
+
+#[test]
+fn empty_snapshot_encodes_a_valid_series() {
+    let mut out = String::new();
+    HistogramSnapshot::empty().render_into(&mut out, "t_seconds", &[]);
+    // Sparse encoding: the first and +Inf buckets always appear so
+    // the cumulative series parses, and sum/count close the family.
+    let first = format!("t_seconds_bucket{{le=\"{}\"}} 0\n", bucket_bound(0));
+    assert!(out.contains(&first), "{out}");
+    assert!(out.contains("t_seconds_bucket{le=\"+Inf\"} 0\n"), "{out}");
+    assert!(out.contains("t_seconds_sum 0\n"), "{out}");
+    assert!(out.contains("t_seconds_count 0\n"), "{out}");
+}
+
+#[test]
+fn rendered_buckets_are_cumulative() {
+    let h = Histogram::new();
+    for &v in &[1e-6, 1e-6, 1e-3, 5.0] {
+        h.record(v);
+    }
+    let mut out = String::new();
+    h.snapshot().render_into(&mut out, "t_seconds", &[]);
+    let mut last = 0u64;
+    let mut infinity_total = None;
+    for line in out.lines().filter(|l| l.starts_with("t_seconds_bucket")) {
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value >= last, "non-monotone cumulative series: {out}");
+        last = value;
+        if line.contains("le=\"+Inf\"") {
+            infinity_total = Some(value);
+        }
+    }
+    assert_eq!(infinity_total, Some(4), "{out}");
+    assert!(out.contains("t_seconds_count 4\n"), "{out}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Any bit pattern — normals, subnormals, zeros, infinities,
+    /// NaNs — lands in the bucket the `le` boundaries dictate.
+    #[test]
+    fn full_f64_range_lands_in_the_correct_bucket(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        prop_assert_eq!(bucket_index(v), reference_bucket(v));
+    }
+
+    /// Recording through a histogram agrees with `bucket_index`.
+    #[test]
+    fn recording_places_values_where_bucket_index_says(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let h = Histogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), 1);
+        prop_assert_eq!(snap.counts[bucket_index(v)], 1);
+    }
+}

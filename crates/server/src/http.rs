@@ -300,12 +300,25 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body text.
     pub body: String,
+    /// Request id echoed as an `X-Request-Id` header when set (the
+    /// connection loop stamps it after routing).
+    pub request_id: Option<String>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Self { status, content_type: "application/json", body: body.into() }
+        Self { status, content_type: "application/json", body: body.into(), request_id: None }
+    }
+
+    /// A plain-text response (Prometheus exposition, health probes).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into(),
+            request_id: None,
+        }
     }
 }
 
@@ -337,12 +350,17 @@ pub fn write_response(
     response: &Response,
     close: bool,
 ) -> std::io::Result<()> {
+    let request_id = match &response.request_id {
+        Some(id) => format!("X-Request-Id: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
+        request_id,
         if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;

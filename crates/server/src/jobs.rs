@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use nanoleak_obs::{Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use serde::Value;
 
@@ -118,6 +119,15 @@ pub struct Job {
     /// Per-shard partial results, indexed by shard; `None` slots are
     /// not yet computed. Served by `GET .../result?shard=K`.
     pub shards: Vec<Option<Value>>,
+    /// Request id of the submitting HTTP request (stamped on the
+    /// job's log records, spans, and trace).
+    pub request_id: Option<String>,
+    /// Span tree captured while the job executed (served by
+    /// `GET /v1/jobs/{id}/trace` once finished).
+    pub trace: Option<Value>,
+    /// Per-stage timing breakdown (served by `?debug=timings` on the
+    /// job status).
+    pub timings: Option<Value>,
 }
 
 impl Job {
@@ -141,6 +151,93 @@ pub struct EvictionPolicy {
 impl Default for EvictionPolicy {
     fn default() -> Self {
         Self { finished_cap: 512, ttl: Duration::from_secs(3600) }
+    }
+}
+
+/// The registry's observable state: every count `/v1/stats` reports
+/// is backed by one of these instruments, and `GET /metrics` renders
+/// the *same* instruments — the two views cannot drift.
+#[derive(Clone)]
+pub struct JobMetrics {
+    /// Jobs ever submitted.
+    pub submitted: Counter,
+    /// Jobs waiting in the queue.
+    pub queued: Gauge,
+    /// Jobs currently executing.
+    pub running: Gauge,
+    /// Resident jobs finished successfully.
+    pub done: Gauge,
+    /// Resident jobs finished with an error.
+    pub failed: Gauge,
+    /// Resident jobs cancelled.
+    pub cancelled: Gauge,
+    /// Finished jobs evicted (cap or TTL) over the registry lifetime.
+    pub evicted: Counter,
+    /// Jobs currently resident (all statuses).
+    pub resident: Gauge,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue_wait_seconds: Histogram,
+    /// Wall-clock job execution time.
+    pub job_seconds: Histogram,
+}
+
+impl std::fmt::Debug for JobMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobMetrics").finish_non_exhaustive()
+    }
+}
+
+impl JobMetrics {
+    /// Handles not registered in any registry (library/test use).
+    pub fn unregistered() -> Self {
+        Self {
+            submitted: Counter::new(),
+            queued: Gauge::new(),
+            running: Gauge::new(),
+            done: Gauge::new(),
+            failed: Gauge::new(),
+            cancelled: Gauge::new(),
+            evicted: Counter::new(),
+            resident: Gauge::new(),
+            queue_wait_seconds: Histogram::new(),
+            job_seconds: Histogram::new(),
+        }
+    }
+
+    /// Registers the job families in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        const BY_STATUS: &str = "Resident jobs by lifecycle status";
+        Self {
+            submitted: registry.counter("nanoleak_jobs_submitted_total", "Jobs ever submitted"),
+            queued: registry.gauge_with("nanoleak_jobs", BY_STATUS, &[("status", "queued")]),
+            running: registry.gauge_with("nanoleak_jobs", BY_STATUS, &[("status", "running")]),
+            done: registry.gauge_with("nanoleak_jobs", BY_STATUS, &[("status", "done")]),
+            failed: registry.gauge_with("nanoleak_jobs", BY_STATUS, &[("status", "failed")]),
+            cancelled: registry.gauge_with("nanoleak_jobs", BY_STATUS, &[("status", "cancelled")]),
+            evicted: registry.counter(
+                "nanoleak_jobs_evicted_total",
+                "Finished jobs evicted from the registry (cap or TTL)",
+            ),
+            resident: registry
+                .gauge("nanoleak_jobs_resident", "Jobs resident in the registry (all statuses)"),
+            queue_wait_seconds: registry.histogram(
+                "nanoleak_job_queue_wait_seconds",
+                "Time from job submission to worker pickup",
+            ),
+            job_seconds: registry
+                .histogram("nanoleak_job_seconds", "Wall-clock job execution time"),
+        }
+    }
+
+    /// The gauge tracking `status`.
+    fn status_gauge(&self, status: JobStatus) -> &Gauge {
+        match status {
+            JobStatus::Queued => &self.queued,
+            JobStatus::Running => &self.running,
+            JobStatus::Done => &self.done,
+            JobStatus::Failed => &self.failed,
+            JobStatus::Cancelled => &self.cancelled,
+        }
     }
 }
 
@@ -169,7 +266,7 @@ pub struct JobRegistry {
     jobs: Mutex<HashMap<u64, Job>>,
     next_id: AtomicU64,
     policy: EvictionPolicy,
-    evicted: AtomicU64,
+    metrics: JobMetrics,
 }
 
 impl Default for JobRegistry {
@@ -179,14 +276,22 @@ impl Default for JobRegistry {
 }
 
 impl JobRegistry {
-    /// A registry bounded by `policy`.
+    /// A registry bounded by `policy`, counting into free-standing
+    /// (unregistered) instruments; see [`JobRegistry::with_metrics`].
     pub fn with_eviction(policy: EvictionPolicy) -> Self {
         Self {
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             policy: EvictionPolicy { finished_cap: policy.finished_cap.max(1), ttl: policy.ttl },
-            evicted: AtomicU64::new(0),
+            metrics: JobMetrics::unregistered(),
         }
+    }
+
+    /// Swaps in instruments registered in a metrics registry, so job
+    /// counts surface on `/metrics`. Call before any job is submitted.
+    pub fn with_metrics(mut self, metrics: JobMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Evicts finished jobs past the TTL, then the oldest-finished
@@ -198,10 +303,16 @@ impl JobRegistry {
         let mut finished: Vec<(u64, Instant)> =
             jobs.values().filter_map(|j| j.finished_at.map(|t| (j.id, t))).collect();
         let mut evicted = 0u64;
+        let retire = |job: Job| {
+            self.metrics.status_gauge(job.status).dec();
+            self.metrics.resident.dec();
+        };
         finished.retain(|(id, t)| {
             if now.saturating_duration_since(*t) > self.policy.ttl {
-                jobs.remove(id);
-                evicted += 1;
+                if let Some(job) = jobs.remove(id) {
+                    retire(job);
+                    evicted += 1;
+                }
                 false
             } else {
                 true
@@ -211,12 +322,14 @@ impl JobRegistry {
             // Oldest-finished first.
             finished.sort_by_key(|(_, t)| *t);
             for (id, _) in finished.drain(..finished.len() - self.policy.finished_cap) {
-                jobs.remove(&id);
-                evicted += 1;
+                if let Some(job) = jobs.remove(&id) {
+                    retire(job);
+                    evicted += 1;
+                }
             }
         }
         if evicted > 0 {
-            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+            self.metrics.evicted.add(evicted);
         }
     }
 
@@ -237,9 +350,15 @@ impl JobRegistry {
             elapsed_ms: None,
             shards_total: None,
             shards: Vec::new(),
+            request_id: nanoleak_obs::log::current_request_id(),
+            trace: None,
+            timings: None,
         };
         let mut jobs = self.jobs.lock();
         jobs.insert(id, job);
+        self.metrics.submitted.inc();
+        self.metrics.queued.inc();
+        self.metrics.resident.inc();
         self.evict_locked(&mut jobs);
         (id, cancel)
     }
@@ -260,7 +379,26 @@ impl JobRegistry {
             return None;
         }
         job.status = JobStatus::Running;
+        self.metrics.queued.dec();
+        self.metrics.running.inc();
+        self.metrics.queue_wait_seconds.record_duration(job.submitted.elapsed());
         Some((job.kind, job.body.clone(), Arc::clone(&job.cancel)))
+    }
+
+    /// The queue-wait of a job in milliseconds (submission to now);
+    /// `None` for unknown ids.
+    pub fn queue_wait_ms(&self, id: u64) -> Option<f64> {
+        self.with_job(id, |job| job.submitted.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Attaches the captured span tree and timing breakdown to a job
+    /// (called by the executor just before [`JobRegistry::finish`]).
+    pub fn set_telemetry(&self, id: u64, trace: Value, timings: Value) {
+        let mut jobs = self.jobs.lock();
+        if let Some(job) = jobs.get_mut(&id) {
+            job.trace = Some(trace);
+            job.timings = Some(timings);
+        }
     }
 
     /// Declares how many shard partials the executor will produce for
@@ -290,6 +428,10 @@ impl JobRegistry {
         if let Some(job) = jobs.get_mut(&id) {
             job.elapsed_ms = Some(elapsed_ms);
             job.finished_at = Some(Instant::now());
+            if job.status == JobStatus::Running {
+                self.metrics.running.dec();
+                self.metrics.job_seconds.record(elapsed_ms / 1e3);
+            }
             // A cancel that raced the final cell wins: the client
             // asked for the job to die and was told so.
             if job.cancel.load(Ordering::Relaxed) {
@@ -306,6 +448,7 @@ impl JobRegistry {
                     }
                 }
             }
+            self.metrics.status_gauge(job.status).inc();
         }
         self.evict_locked(&mut jobs);
     }
@@ -322,6 +465,8 @@ impl JobRegistry {
                 job.cancel.store(true, Ordering::Relaxed);
                 job.status = JobStatus::Cancelled;
                 job.finished_at = Some(Instant::now());
+                self.metrics.queued.dec();
+                self.metrics.cancelled.inc();
             }
             JobStatus::Running => {
                 job.cancel.store(true, Ordering::Relaxed);
@@ -334,24 +479,20 @@ impl JobRegistry {
 
     /// Per-status counts. Note `done`/`failed`/`cancelled` count jobs
     /// still *resident* — eviction retires old entries, and `evicted`
-    /// accounts for them.
+    /// accounts for them. Reads the same [`JobMetrics`] instruments
+    /// that back `GET /metrics`, so `/v1/stats` cannot drift from the
+    /// Prometheus view.
     pub fn counts(&self) -> JobCounts {
-        let jobs = self.jobs.lock();
-        let mut c = JobCounts {
-            evicted: self.evicted.load(Ordering::Relaxed),
-            resident: jobs.len() as u64,
-            ..JobCounts::default()
-        };
-        for job in jobs.values() {
-            match job.status {
-                JobStatus::Queued => c.queued += 1,
-                JobStatus::Running => c.running += 1,
-                JobStatus::Done => c.done += 1,
-                JobStatus::Failed => c.failed += 1,
-                JobStatus::Cancelled => c.cancelled += 1,
-            }
+        let gauge = |g: &nanoleak_obs::Gauge| g.get().max(0) as u64;
+        JobCounts {
+            queued: gauge(&self.metrics.queued),
+            running: gauge(&self.metrics.running),
+            done: gauge(&self.metrics.done),
+            failed: gauge(&self.metrics.failed),
+            cancelled: gauge(&self.metrics.cancelled),
+            evicted: self.metrics.evicted.get(),
+            resident: gauge(&self.metrics.resident),
         }
-        c
     }
 }
 

@@ -23,7 +23,9 @@
 //! | `GET /v1/jobs/{id}` | job status with shard progress, and the result once done |
 //! | `GET /v1/jobs/{id}/result` | the final result alone (409 until done) |
 //! | `GET /v1/jobs/{id}/result?shard=K` | one shard's partial (202 while pending) |
+//! | `GET /v1/jobs/{id}/trace` | span tree + timing breakdown of a finished job |
 //! | `DELETE /v1/jobs/{id}` | cancel (queued: immediate; running: at the next shard/cell) |
+//! | `GET /metrics` | Prometheus text exposition of every registered metric |
 //!
 //! Request bodies are JSON objects; every analysis field is optional
 //! and defaults to the CLI's defaults (`vectors` 100, `seed` 2005,
@@ -79,6 +81,41 @@
 //!   TTL), with `evicted`/`resident` counters in `/v1/stats`, so the
 //!   registry no longer grows for the process lifetime.
 //!
+//! ## Telemetry
+//!
+//! The service is instrumented through [`nanoleak_obs`] — metrics,
+//! span tracing, and structured logging — with zero extra
+//! dependencies:
+//!
+//! * **Metrics** — `GET /metrics` serves Prometheus text exposition
+//!   composed from two registries: the per-instance one in
+//!   [`ServerState::telemetry`] (HTTP traffic, job lifecycle, queue,
+//!   cache) and the process-global [`nanoleak_obs::global()`] one
+//!   (engine / solver / cells instrumentation). Server families are
+//!   prefixed `nanoleak_server_*` and `nanoleak_jobs*`; library
+//!   families are `nanoleak_{solver,cells,cache,sweep,mc}_*`.
+//!   Per-instance cache counters carry a `cache="analysis"|"mc"`
+//!   label. `GET /v1/stats` reads the *same* instruments, so the two
+//!   views cannot drift.
+//! * **Spans** — job execution runs under a
+//!   [`nanoleak_obs::span!`] capture at shard granularity
+//!   (`job` → `compile` / `estimate` / `merge` / `serialize`, plus
+//!   `library` / `characterize` on cache misses). The resulting span
+//!   tree is served at `GET /v1/jobs/{id}/trace`, and an aggregate
+//!   per-stage breakdown (queue-wait, characterization, compile,
+//!   estimate, merge, serialize, total) rides on the job-status body
+//!   under `GET /v1/jobs/{id}?debug=timings`. The per-pattern
+//!   estimation path stays span-free, preserving the zero-allocation
+//!   contract.
+//! * **Logs** — library crates never print; leveled JSON lines go to
+//!   stderr (`{"ts_ms":…,"level":…,"target":…,"msg":…,"request_id":…}`)
+//!   gated by `NANOLEAK_LOG` or the CLI's `--log-level`. Every HTTP
+//!   request gets a request id — the client's `X-Request-Id` header
+//!   if present (sanitized, length-capped), else a generated
+//!   `req-…` id — which is echoed on the response, stamped on log
+//!   lines, and carried into the job's span capture when the request
+//!   submits a job.
+//!
 //! ## Anatomy
 //!
 //! * [`http`] — minimal HTTP/1.1 parsing and responses;
@@ -103,7 +140,7 @@
 //!     addr: "127.0.0.1:0".into(), // ephemeral port
 //!     ..Default::default()
 //! })?;
-//! println!("listening on {}", server.local_addr()?);
+//! let addr = server.local_addr()?; // resolves the ephemeral port
 //! let handle = server.shutdown_handle();
 //! std::thread::spawn(move || server.run());
 //! // ... drive it over TCP, then:
@@ -124,10 +161,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nanoleak_engine::{LibraryCache, MemoLibraryCache};
+use nanoleak_obs::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use serde::Serialize;
 
-use jobs::JobRegistry;
+use jobs::{JobMetrics, JobRegistry};
 use pool::{JobQueue, JobReceiver};
 
 /// Configuration of one service instance.
@@ -176,6 +214,50 @@ impl Default for ServeConfig {
     }
 }
 
+/// Per-instance observability instruments (`nanoleak-obs`).
+///
+/// Server-scoped metrics live in a per-instance [`Registry`] rather
+/// than the process-global one so that tests hosting several servers
+/// in one process each see their own zeroed counters; `GET /metrics`
+/// renders this registry *and* [`nanoleak_obs::global()`].
+pub struct Telemetry {
+    /// The per-instance metrics registry behind `GET /metrics`.
+    pub registry: Registry,
+    /// HTTP requests served (all routes, protocol errors included).
+    pub requests: Counter,
+    /// Requests rejected at the framing layer (bad request line,
+    /// oversized headers, slow-loris 408, …).
+    pub protocol_errors: Counter,
+    /// End-to-end request latency, parse completion to response
+    /// serialization.
+    pub request_seconds: Histogram,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter(
+            "nanoleak_server_requests_total",
+            "HTTP requests served, protocol errors included",
+        );
+        let protocol_errors = registry.counter(
+            "nanoleak_server_protocol_errors_total",
+            "Requests rejected at the HTTP framing layer",
+        );
+        let request_seconds = registry.histogram(
+            "nanoleak_server_request_seconds",
+            "End-to-end HTTP request latency in seconds",
+        );
+        Self { registry, requests, protocol_errors, request_seconds }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("requests", &self.requests.get()).finish_non_exhaustive()
+    }
+}
+
 /// Shared state every connection and worker sees.
 #[derive(Debug)]
 pub struct ServerState {
@@ -191,12 +273,14 @@ pub struct ServerState {
     pub mc_cache: MemoLibraryCache,
     /// The job registry.
     pub jobs: JobRegistry,
+    /// Per-instance metrics instruments (also rendered by
+    /// `GET /metrics`).
+    pub telemetry: Telemetry,
     queue: Mutex<Option<JobQueue>>,
     queue_capacity: usize,
     workers: usize,
     keep_alive_requests: usize,
     keep_alive_idle: Duration,
-    requests: AtomicU64,
     started: Instant,
 }
 
@@ -207,18 +291,35 @@ impl ServerState {
         self.queue.lock().clone()
     }
 
-    /// Counts one served request.
+    /// Counts one served request (the same counter `GET /metrics`
+    /// exposes as `nanoleak_server_requests_total`).
     fn count_request(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.requests.inc();
     }
 
-    /// The `/v1/stats` snapshot.
+    /// Seconds since the server started.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Job worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current queue occupancy (depth, capacity).
+    pub fn queue_occupancy(&self) -> (u64, usize) {
+        (self.queue.lock().as_ref().map_or(0, JobQueue::depth), self.queue_capacity)
+    }
+
+    /// The `/v1/stats` snapshot — every counter here is a view over
+    /// the same instruments `GET /metrics` renders.
     pub fn stats(&self) -> StatsResponse {
         let cache = self.cache.stats();
         let jobs = self.jobs.counts();
         StatsResponse {
             uptime_s: self.started.elapsed().as_secs_f64(),
-            requests: self.requests.load(Ordering::Relaxed),
+            requests: self.telemetry.requests.get(),
             workers: self.workers,
             queue: QueueStats {
                 depth: self.queue.lock().as_ref().map_or(0, JobQueue::depth),
@@ -376,21 +477,24 @@ impl Server {
         };
         let workers = nanoleak_engine::exec::resolve_threads(config.threads);
         let (queue, receiver) = pool::job_queue(config.queue_capacity.max(1));
+        let telemetry = Telemetry::new();
+        let jobs = JobRegistry::with_eviction(jobs::EvictionPolicy {
+            finished_cap: config.finished_jobs_cap,
+            ttl: config.finished_job_ttl,
+        })
+        .with_metrics(JobMetrics::register(&telemetry.registry));
         Ok(Self {
             listener,
             state: ServerState {
                 cache,
                 mc_cache: MemoLibraryCache::memory_only(),
-                jobs: JobRegistry::with_eviction(jobs::EvictionPolicy {
-                    finished_cap: config.finished_jobs_cap,
-                    ttl: config.finished_job_ttl,
-                }),
+                jobs,
+                telemetry,
                 queue: Mutex::new(Some(queue)),
                 queue_capacity: config.queue_capacity.max(1),
                 workers,
                 keep_alive_requests: config.keep_alive_requests,
                 keep_alive_idle: config.keep_alive_idle,
-                requests: AtomicU64::new(0),
                 started: Instant::now(),
             },
             receiver,
@@ -489,10 +593,34 @@ impl Server {
     }
 }
 
+/// Longest client-supplied `X-Request-Id` honored verbatim; longer
+/// (or non-printable) ids are replaced with a generated one.
+const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// The request id for one request: the client's `X-Request-Id` when
+/// it is printable ASCII within [`MAX_REQUEST_ID_LEN`], else a fresh
+/// generated id.
+fn resolve_request_id(request: &http::Request) -> String {
+    match request.header("x-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= MAX_REQUEST_ID_LEN
+                && id.bytes().all(|b| (0x21..=0x7e).contains(&b)) =>
+        {
+            id.to_string()
+        }
+        _ => nanoleak_obs::log::next_request_id(),
+    }
+}
+
 /// Serves one connection: a keep-alive loop reading requests through
 /// one persistent [`http::Conn`] buffer until the client closes, asks
 /// for `Connection: close`, idles past the deadline, exceeds the
 /// per-connection request bound, or the server starts shutting down.
+///
+/// Every parsed request runs under a thread-local request id
+/// (client-supplied or generated) that is stamped on log lines and
+/// echoed back as `X-Request-Id`.
 fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBool) {
     let _ = stream.set_nonblocking(false);
     let mut conn = http::Conn::new(&stream);
@@ -509,15 +637,29 @@ fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBo
             Ok(Some(request)) => {
                 state.count_request();
                 served += 1;
+                let request_id = resolve_request_id(&request);
+                nanoleak_obs::set_request_id(Some(request_id.clone()));
+                let started = Instant::now();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     router::route(state, &request)
                 }));
-                let response = outcome.unwrap_or_else(|_| {
+                let mut response = outcome.unwrap_or_else(|_| {
                     http::Response::json(
                         500,
                         api::ApiError { status: 500, message: "handler panicked".into() }.body(),
                     )
                 });
+                state.telemetry.request_seconds.record_duration(started.elapsed());
+                nanoleak_obs::debug!(
+                    "server",
+                    "{} {} -> {} in {:.3} ms",
+                    request.method,
+                    request.path,
+                    response.status,
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+                nanoleak_obs::set_request_id(None);
+                response.request_id = Some(request_id);
                 let keep = request.wants_keep_alive()
                     && served < state.keep_alive_requests
                     && !shutdown.load(Ordering::SeqCst)
@@ -529,6 +671,8 @@ fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBo
             // is unknowable past a framing failure.
             Err(e) => {
                 state.count_request();
+                state.telemetry.protocol_errors.inc();
+                nanoleak_obs::warn!("server", "protocol error {}: {}", e.status, e.message);
                 let response = http::Response::json(
                     e.status,
                     api::ApiError { status: e.status, message: e.message }.body(),

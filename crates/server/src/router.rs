@@ -26,6 +26,7 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
         ("GET", "/v1/stats") => ok_json(&state.stats()),
+        ("GET", "/metrics") => metrics_route(state),
         ("POST", "/v1/estimate") => sync_endpoint(state, req, api::run_estimate),
         ("POST", "/v1/sweep") => sync_endpoint(state, req, api::run_sweep),
         ("POST", "/v1/mlv") => sync_endpoint(state, req, api::run_mlv),
@@ -33,8 +34,9 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
                 return match rest.split_once('/') {
-                    None => job_route(state, method, rest),
+                    None => job_route(state, method, rest, req),
                     Some((id, "result")) => job_result_route(state, method, id, req),
+                    Some((id, "trace")) => job_trace_route(state, method, id),
                     Some(_) => err_response(&ApiError {
                         status: 404,
                         message: format!("no route for {path}"),
@@ -43,7 +45,13 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
             }
             let known = matches!(
                 path,
-                "/healthz" | "/v1/stats" | "/v1/estimate" | "/v1/sweep" | "/v1/mlv" | "/v1/jobs"
+                "/healthz"
+                    | "/v1/stats"
+                    | "/metrics"
+                    | "/v1/estimate"
+                    | "/v1/sweep"
+                    | "/v1/mlv"
+                    | "/v1/jobs"
             );
             if known {
                 err_response(&ApiError {
@@ -53,6 +61,141 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
             } else {
                 err_response(&ApiError { status: 404, message: format!("no route for {path}") })
             }
+        }
+    }
+}
+
+/// `GET /metrics`: Prometheus text exposition. Three sections, one
+/// buffer: the per-instance registry (HTTP traffic + job lifecycle),
+/// hand-rendered point-in-time families (uptime, workers, queue,
+/// per-instance caches labelled `cache="analysis"|"mc"`), then the
+/// process-global registry (solver / cells / engine instrumentation).
+fn metrics_route(state: &ServerState) -> Response {
+    use nanoleak_obs::metrics::{family_header, sample_f64, sample_u64};
+    let mut out = String::with_capacity(4096);
+    state.telemetry.registry.render_into(&mut out);
+
+    family_header(
+        &mut out,
+        "nanoleak_server_uptime_seconds",
+        "gauge",
+        "Seconds since the server started",
+    );
+    sample_f64(&mut out, "nanoleak_server_uptime_seconds", &[], state.uptime_s());
+    family_header(&mut out, "nanoleak_server_workers", "gauge", "Job worker threads");
+    sample_u64(&mut out, "nanoleak_server_workers", &[], state.workers() as u64);
+    let (depth, capacity) = state.queue_occupancy();
+    family_header(
+        &mut out,
+        "nanoleak_server_queue_depth",
+        "gauge",
+        "Jobs submitted but not yet picked up by a worker",
+    );
+    sample_u64(&mut out, "nanoleak_server_queue_depth", &[], depth);
+    family_header(
+        &mut out,
+        "nanoleak_server_queue_capacity",
+        "gauge",
+        "Configured bound on queued jobs",
+    );
+    sample_u64(&mut out, "nanoleak_server_queue_capacity", &[], capacity as u64);
+
+    // Per-instance characterization caches: the disk-backed analysis
+    // memo and the RAM-only Monte-Carlo memo, as one labelled family
+    // per counter (the process-global `nanoleak_cache_*` series in
+    // the global registry aggregates both).
+    let caches = [
+        ("analysis", state.cache.stats(), state.cache.resident()),
+        ("mc", state.mc_cache.stats(), state.mc_cache.resident()),
+    ];
+    family_header(
+        &mut out,
+        "nanoleak_server_cache_memory_hits_total",
+        "counter",
+        "Characterization requests served from process RAM",
+    );
+    for (label, stats, _) in &caches {
+        sample_u64(
+            &mut out,
+            "nanoleak_server_cache_memory_hits_total",
+            &[("cache", label)],
+            stats.memory_hits,
+        );
+    }
+    family_header(
+        &mut out,
+        "nanoleak_server_cache_disk_hits_total",
+        "counter",
+        "Characterization requests served from disk",
+    );
+    for (label, stats, _) in &caches {
+        sample_u64(
+            &mut out,
+            "nanoleak_server_cache_disk_hits_total",
+            &[("cache", label)],
+            stats.disk_hits,
+        );
+    }
+    family_header(
+        &mut out,
+        "nanoleak_server_cache_characterizations_total",
+        "counter",
+        "Characterization requests that ran the solver",
+    );
+    for (label, stats, _) in &caches {
+        sample_u64(
+            &mut out,
+            "nanoleak_server_cache_characterizations_total",
+            &[("cache", label)],
+            stats.characterizations,
+        );
+    }
+    family_header(&mut out, "nanoleak_server_cache_resident", "gauge", "Libraries resident in RAM");
+    for (label, _, resident) in &caches {
+        sample_u64(
+            &mut out,
+            "nanoleak_server_cache_resident",
+            &[("cache", label)],
+            *resident as u64,
+        );
+    }
+
+    nanoleak_obs::global().render_into(&mut out);
+    Response::text(200, out)
+}
+
+/// `GET /v1/jobs/{id}/trace`: the span tree captured while the job
+/// executed. 202 with the current status until the job finishes, 404
+/// for unknown ids.
+fn job_trace_route(state: &ServerState, method: &str, id_raw: &str) -> Response {
+    if method != "GET" {
+        return err_response(&ApiError {
+            status: 405,
+            message: format!("{method} not allowed on job traces"),
+        });
+    }
+    let Ok(id) = id_raw.parse::<u64>() else {
+        return err_response(&ApiError::bad(format!("malformed job id '{id_raw}'")));
+    };
+    match state.jobs.with_job(id, |job| (job.status, job.trace.clone())) {
+        None => err_response(&ApiError { status: 404, message: format!("no job {id}") }),
+        Some((status, Some(trace))) => {
+            let body = Value::Record(vec![
+                ("id".into(), Value::Int(i128::from(id))),
+                ("status".into(), Value::Str(status.name().into())),
+                ("trace".into(), trace),
+            ]);
+            Response::json(200, json::value_to_string(&body))
+        }
+        Some((status, None)) => {
+            // No capture yet: queued / still running (or the executor
+            // died before attaching one — the status disambiguates).
+            let body = Value::Record(vec![
+                ("id".into(), Value::Int(i128::from(id))),
+                ("status".into(), Value::Str(status.name().into())),
+                ("trace".into(), Value::Unit),
+            ]);
+            Response::json(202, json::value_to_string(&body))
         }
     }
 }
@@ -109,16 +252,21 @@ fn submit_job(state: &ServerState, req: &Request) -> Response {
     Response::json(202, json::value_to_string(&body))
 }
 
-/// `GET` / `DELETE` on `/v1/jobs/{id}`.
-fn job_route(state: &ServerState, method: &str, id_raw: &str) -> Response {
+/// `GET` / `DELETE` on `/v1/jobs/{id}`. `GET ...?debug=timings`
+/// appends the per-stage timing breakdown captured while the job
+/// executed.
+fn job_route(state: &ServerState, method: &str, id_raw: &str, req: &Request) -> Response {
     let Ok(id) = id_raw.parse::<u64>() else {
         return err_response(&ApiError::bad(format!("malformed job id '{id_raw}'")));
     };
     match method {
-        "GET" => match state.jobs.with_job(id, job_body) {
-            Some(body) => Response::json(200, json::value_to_string(&body)),
-            None => err_response(&ApiError { status: 404, message: format!("no job {id}") }),
-        },
+        "GET" => {
+            let timings = req.query_param("debug") == Some("timings");
+            match state.jobs.with_job(id, |job| job_body(job, timings)) {
+                Some(body) => Response::json(200, json::value_to_string(&body)),
+                None => err_response(&ApiError { status: 404, message: format!("no job {id}") }),
+            }
+        }
         "DELETE" => match state.jobs.cancel(id) {
             Some(status) => {
                 let body = Value::Record(vec![
@@ -219,8 +367,10 @@ fn job_result_route(state: &ServerState, method: &str, id_raw: &str, req: &Reque
     }
 }
 
-/// The status body of one job.
-fn job_body(job: &crate::jobs::Job) -> Value {
+/// The status body of one job; `with_timings` appends the per-stage
+/// breakdown (`?debug=timings`) — `null` until the executor attaches
+/// one at finish.
+fn job_body(job: &crate::jobs::Job, with_timings: bool) -> Value {
     let mut fields = vec![
         ("id".into(), Value::Int(i128::from(job.id))),
         ("kind".into(), Value::Str(job.kind.name().into())),
@@ -239,6 +389,9 @@ fn job_body(job: &crate::jobs::Job) -> Value {
     }
     if let Some(error) = &job.error {
         fields.push(("error".into(), Value::Str(error.clone())));
+    }
+    if with_timings {
+        fields.push(("timings".into(), job.timings.clone().unwrap_or(Value::Unit)));
     }
     Value::Record(fields)
 }
@@ -266,33 +419,122 @@ impl api::JobObserver for RegistryObserver<'_> {
     }
 }
 
+/// Runs the result serialization under a `serialize` span so it shows
+/// up as its own stage in the job's trace and timing breakdown.
+fn serialized(f: impl FnOnce() -> Value) -> Value {
+    let _span = nanoleak_obs::span!("serialize");
+    f()
+}
+
+/// One captured span as a JSON node with nested children.
+fn span_node(trace: &nanoleak_obs::Trace, index: usize) -> Value {
+    let span = &trace.spans[index];
+    let mut fields = vec![
+        ("name".into(), Value::Str(span.name.into())),
+        ("start_us".into(), Value::Int(i128::from(span.start_us))),
+        ("dur_us".into(), Value::Int(i128::from(span.dur_us))),
+    ];
+    if !span.attrs.is_empty() {
+        let attrs = span.attrs.iter().map(|(k, v)| ((*k).into(), Value::Str(v.clone()))).collect();
+        fields.push(("attrs".into(), Value::Record(attrs)));
+    }
+    let mut children: Vec<usize> =
+        (0..trace.spans.len()).filter(|&i| trace.spans[i].parent == Some(span.id)).collect();
+    children.sort_by_key(|&i| trace.spans[i].start_us);
+    if !children.is_empty() {
+        let nodes = children.into_iter().map(|i| span_node(trace, i)).collect();
+        fields.push(("children".into(), Value::Seq(nodes)));
+    }
+    Value::Record(fields)
+}
+
+/// The span tree of one capture as the `GET /v1/jobs/{id}/trace`
+/// payload. Roots are spans with no (surviving) parent — the ring
+/// evicts oldest-ended spans first, and parents always end after
+/// their children, so a surviving span's parent is only missing when
+/// the ring overflowed (reported via `dropped`).
+fn trace_value(trace: &nanoleak_obs::Trace) -> Value {
+    let ids: std::collections::HashSet<u32> = trace.spans.iter().map(|s| s.id).collect();
+    let mut roots: Vec<usize> = (0..trace.spans.len())
+        .filter(|&i| trace.spans[i].parent.is_none_or(|p| !ids.contains(&p)))
+        .collect();
+    roots.sort_by_key(|&i| trace.spans[i].start_us);
+    Value::Record(vec![
+        ("request_id".into(), Value::Str(trace.request_id.clone())),
+        ("dropped".into(), Value::Int(i128::from(trace.dropped))),
+        ("spans".into(), Value::Seq(roots.into_iter().map(|i| span_node(trace, i)).collect())),
+    ])
+}
+
+/// The `?debug=timings` breakdown: queue wait plus per-stage wall
+/// time aggregated over *all* spans of each stage (exact even when
+/// the span ring truncated). Stages a job never entered report 0.
+fn timings_value(trace: &nanoleak_obs::Trace, queue_wait_ms: f64, total_ms: f64) -> Value {
+    let ms = |name: &str| trace.total_us(name) as f64 / 1e3;
+    Value::Record(vec![
+        ("queue_wait_ms".into(), Value::F64(queue_wait_ms)),
+        ("characterize_ms".into(), Value::F64(ms("characterize"))),
+        ("library_ms".into(), Value::F64(ms("library"))),
+        ("compile_ms".into(), Value::F64(ms("compile"))),
+        ("estimate_ms".into(), Value::F64(ms("estimate"))),
+        ("merge_ms".into(), Value::F64(ms("merge"))),
+        ("serialize_ms".into(), Value::F64(ms("serialize"))),
+        ("total_ms".into(), Value::F64(total_ms)),
+    ])
+}
+
 /// Executes one dequeued job against the engine (called from worker
-/// threads).
+/// threads). Runs under a span capture rooted at `job`, with the
+/// submitting request's id re-adopted so the job's logs and trace
+/// correlate with the HTTP request that created it.
 pub fn execute_job(state: &ServerState, id: u64) {
     let Some((kind, text, cancel)) = state.jobs.start(id) else {
         return; // cancelled while queued, or unknown
     };
+    nanoleak_obs::set_request_id(state.jobs.with_job(id, |job| job.request_id.clone()).flatten());
+    let queue_wait_ms = state.jobs.queue_wait_ms(id).unwrap_or(0.0);
+    nanoleak_obs::begin_capture();
     let started = std::time::Instant::now();
     let observer = RegistryObserver { state, id, cancel };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _job_span = nanoleak_obs::span!("job");
         let body = Body::parse(&text)?;
         match kind {
-            JobKind::Sweep => {
-                api::run_sweep_streaming(&state.cache, &body, &observer).map(|r| r.to_value())
+            JobKind::Sweep => api::run_sweep_streaming(&state.cache, &body, &observer)
+                .map(|r| serialized(|| r.to_value())),
+            JobKind::Mlv => api::run_mlv(&state.cache, &body).map(|r| serialized(|| r.to_value())),
+            JobKind::Grid => {
+                api::run_grid(&state.cache, &body, &observer).map(|r| serialized(|| r.to_value()))
             }
-            JobKind::Mlv => api::run_mlv(&state.cache, &body).map(|r| r.to_value()),
-            JobKind::Grid => api::run_grid(&state.cache, &body, &observer).map(|r| r.to_value()),
             // MC jobs characterize unique perturbed dies: they run
             // against the RAM-only `mc_cache` so the disk cache never
             // fills with one-shot entries and the main memo keeps its
             // warm nominal libraries.
-            JobKind::Mc => api::run_mc(&state.mc_cache, &body, &observer).map(|r| r.to_value()),
+            JobKind::Mc => {
+                api::run_mc(&state.mc_cache, &body, &observer).map(|r| serialized(|| r.to_value()))
+            }
         }
     }));
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let trace = nanoleak_obs::end_capture();
     let result = match outcome {
         Ok(Ok(value)) => Ok(value),
         Ok(Err(e)) => Err(e.message),
         Err(_) => Err("job panicked".to_string()),
     };
-    state.jobs.finish(id, result, started.elapsed().as_secs_f64() * 1e3);
+    match &result {
+        Ok(_) => {
+            nanoleak_obs::info!("jobs", "job {} ({}) done in {:.1} ms", id, kind.name(), elapsed_ms)
+        }
+        Err(message) => {
+            nanoleak_obs::warn!("jobs", "job {} ({}) failed: {}", id, kind.name(), message);
+        }
+    }
+    state.jobs.set_telemetry(
+        id,
+        trace_value(&trace),
+        timings_value(&trace, queue_wait_ms, elapsed_ms),
+    );
+    state.jobs.finish(id, result, elapsed_ms);
+    nanoleak_obs::set_request_id(None);
 }

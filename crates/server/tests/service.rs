@@ -780,3 +780,266 @@ fn parallel_grid_matrix_is_bit_identical_to_sequential() {
     }
     assert_eq!(matrix, expected, "parallel fan must not move a single bit");
 }
+
+/// One HTTP exchange that also returns the response headers
+/// (lowercased names), for asserting `X-Request-Id` and
+/// `Content-Type`.
+fn request_full(
+    server: &TestServer,
+    method: &str,
+    path: &str,
+    extra_headers: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra_headers}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+/// Looks up a response header by (lowercase) name.
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// The value of one exact series (`name` or `name{labels}`) in a
+/// Prometheus text exposition.
+fn metric(text: &str, series: &str) -> f64 {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(series) {
+            if let Some(v) = rest.strip_prefix(' ') {
+                return v.trim().parse().unwrap_or_else(|e| panic!("bad value in '{line}': {e}"));
+            }
+        }
+    }
+    panic!("series '{series}' not found in:\n{text}");
+}
+
+/// A field of a JSON record `Value` (not the top-level body).
+fn record_field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    let Value::Record(fields) = value else { return None };
+    fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_prometheus_text() {
+    let server = TestServer::start(1, 8);
+    // Touch a couple of routes so counters move.
+    let _ = request(&server, "GET", "/healthz", "");
+    let _ = request(&server, "GET", "/v1/stats", "");
+
+    let (status, headers, text) = request_full(&server, "GET", "/metrics", "", "");
+    assert_eq!(status, 200);
+    assert!(
+        header(&headers, "content-type").is_some_and(|t| t.starts_with("text/plain")),
+        "{headers:?}"
+    );
+
+    // Every line is a comment or `series value` with a float value.
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let kind = rest.split_whitespace().next().unwrap_or("");
+            assert!(kind == "HELP" || kind == "TYPE", "bad comment line: {line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+        assert!(!series.is_empty(), "bad line: {line}");
+        assert!(value.parse::<f64>().is_ok(), "unparsable value in: {line}");
+    }
+
+    // The expected families from all three sections: the per-instance
+    // registry, the hand-rendered point-in-time block, and the
+    // process-global registry.
+    for family in [
+        "nanoleak_server_requests_total",
+        "nanoleak_server_protocol_errors_total",
+        "nanoleak_server_request_seconds_bucket",
+        "nanoleak_server_request_seconds_count",
+        "nanoleak_jobs_submitted_total",
+        "nanoleak_jobs{status=\"queued\"}",
+        "nanoleak_server_uptime_seconds",
+        "nanoleak_server_workers",
+        "nanoleak_server_queue_depth",
+        "nanoleak_server_queue_capacity",
+        "nanoleak_server_cache_memory_hits_total{cache=\"analysis\"}",
+        "nanoleak_server_cache_memory_hits_total{cache=\"mc\"}",
+    ] {
+        assert!(text.contains(family), "family '{family}' missing from:\n{text}");
+    }
+    // The /metrics request counts itself, plus healthz and stats.
+    assert!(metric(&text, "nanoleak_server_requests_total") >= 3.0, "{text}");
+}
+
+#[test]
+fn stats_and_metrics_are_views_over_the_same_instruments() {
+    let server = TestServer::start(1, 4);
+
+    // A scripted sequence that moves every counter: a sync estimate,
+    // a finished job, and a protocol error.
+    let (status, _) = request(
+        &server,
+        "POST",
+        "/v1/estimate",
+        r#"{"target": "s838", "vectors": 3, "coarse": true}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"type": "sweep", "target": "s838", "vectors": 4, "seed": 9, "coarse": true}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+    let (state, _) = wait_for_job(&server, id, Duration::from_secs(120));
+    assert_eq!(state, "done");
+
+    // The same instruments answer both endpoints. `/metrics` is read
+    // first and counts itself; the `/v1/stats` request right after is
+    // exactly one more.
+    let (status, _, text) = request_full(&server, "GET", "/metrics", "", "");
+    assert_eq!(status, 200);
+    let (status, stats_body) = request(&server, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+
+    let stats = |path: &[&str]| -> f64 {
+        let mut v = field(&stats_body, path[0]);
+        for name in &path[1..] {
+            v = record_field(&v, name).unwrap_or_else(|| panic!("{path:?}")).clone();
+        }
+        match v {
+            Value::Int(i) => i as f64,
+            Value::F64(f) => f,
+            other => panic!("{path:?}: {other:?}"),
+        }
+    };
+
+    assert_eq!(stats(&["requests"]), metric(&text, "nanoleak_server_requests_total") + 1.0);
+    assert_eq!(stats(&["workers"]), metric(&text, "nanoleak_server_workers"));
+    assert_eq!(stats(&["queue", "depth"]), metric(&text, "nanoleak_server_queue_depth"));
+    assert_eq!(stats(&["queue", "capacity"]), metric(&text, "nanoleak_server_queue_capacity"));
+    for status_name in ["queued", "running", "done", "failed", "cancelled"] {
+        assert_eq!(
+            stats(&["jobs", status_name]),
+            metric(&text, &format!("nanoleak_jobs{{status=\"{status_name}\"}}")),
+            "jobs.{status_name}"
+        );
+    }
+    assert_eq!(stats(&["jobs", "resident"]), metric(&text, "nanoleak_jobs_resident"));
+    assert_eq!(stats(&["jobs", "evicted"]), metric(&text, "nanoleak_jobs_evicted_total"));
+    for (stat, series) in [
+        ("memory_hits", "nanoleak_server_cache_memory_hits_total{cache=\"analysis\"}"),
+        ("disk_hits", "nanoleak_server_cache_disk_hits_total{cache=\"analysis\"}"),
+        ("characterizations", "nanoleak_server_cache_characterizations_total{cache=\"analysis\"}"),
+        ("resident", "nanoleak_server_cache_resident{cache=\"analysis\"}"),
+    ] {
+        assert_eq!(stats(&["cache", stat]), metric(&text, series), "cache.{stat}");
+    }
+    assert_eq!(metric(&text, "nanoleak_jobs_submitted_total"), 1.0);
+    assert_eq!(metric(&text, "nanoleak_jobs{status=\"done\"}"), 1.0);
+}
+
+#[test]
+fn trace_endpoint_returns_span_tree_and_timings_ride_on_job_status() {
+    let server = TestServer::start(1, 8);
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"type": "sweep", "target": "s838", "vectors": 8, "seed": 3, "coarse": true,
+            "shard_vectors": 4}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(id) = field(&body, "id") else { panic!("id: {body}") };
+
+    // Unknown jobs are 404.
+    let (status, body404) = request(&server, "GET", "/v1/jobs/999999/trace", "");
+    assert_eq!(status, 404, "{body404}");
+
+    let (state, _) = wait_for_job(&server, id, Duration::from_secs(120));
+    assert_eq!(state, "done");
+
+    let (status, body) = request(&server, "GET", &format!("/v1/jobs/{id}/trace"), "");
+    assert_eq!(status, 200, "{body}");
+    let trace = field(&body, "trace");
+    let Some(Value::Seq(roots)) = record_field(&trace, "spans") else {
+        panic!("trace.spans: {body}")
+    };
+    assert_eq!(roots.len(), 1, "one root span: {body}");
+    let root = &roots[0];
+    assert_eq!(record_field(root, "name"), Some(&Value::Str("job".into())), "{body}");
+    let Some(Value::Seq(children)) = record_field(root, "children") else {
+        panic!("job span has stage children: {body}")
+    };
+    let names: Vec<&str> = children
+        .iter()
+        .filter_map(|c| match record_field(c, "name") {
+            Some(Value::Str(n)) => Some(n.as_str()),
+            _ => None,
+        })
+        .collect();
+    for stage in ["compile", "estimate", "merge", "serialize"] {
+        assert!(names.contains(&stage), "stage '{stage}' missing from {names:?}");
+    }
+    // One `estimate` child per shard (8 vectors / 4 per shard).
+    assert_eq!(names.iter().filter(|n| **n == "estimate").count(), 2, "{names:?}");
+
+    // `?debug=timings` on the job status body.
+    let (status, body) = request(&server, "GET", &format!("/v1/jobs/{id}?debug=timings"), "");
+    assert_eq!(status, 200, "{body}");
+    let timings = field(&body, "timings");
+    let ms = |name: &str| match record_field(&timings, name) {
+        Some(Value::F64(v)) => *v,
+        other => panic!("timings.{name}: {other:?} in {body}"),
+    };
+    assert!(ms("total_ms") > 0.0, "{body}");
+    assert!(ms("estimate_ms") >= 0.0, "{body}");
+    assert!(ms("queue_wait_ms") >= 0.0, "{body}");
+    assert!(ms("estimate_ms") + ms("compile_ms") <= ms("total_ms"), "{body}");
+    for stage in ["characterize_ms", "library_ms", "merge_ms", "serialize_ms"] {
+        assert!(ms(stage) >= 0.0, "{body}");
+    }
+    // Without the debug flag the field is absent.
+    let (_, plain) = request(&server, "GET", &format!("/v1/jobs/{id}"), "");
+    assert!(!plain.contains("\"timings\""), "{plain}");
+}
+
+#[test]
+fn request_ids_are_generated_and_client_ids_echoed() {
+    let server = TestServer::start(1, 8);
+
+    let (status, headers, _) = request_full(&server, "GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    let generated = header(&headers, "x-request-id").expect("generated id");
+    assert!(generated.starts_with("req-"), "{generated}");
+
+    let (status, headers, _) =
+        request_full(&server, "GET", "/healthz", "X-Request-Id: my-trace-42\r\n", "");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("my-trace-42"));
+
+    // Oversized / non-printable client ids are replaced, not echoed.
+    let long = "x".repeat(200);
+    let (status, headers, _) =
+        request_full(&server, "GET", "/healthz", &format!("X-Request-Id: {long}\r\n"), "");
+    assert_eq!(status, 200);
+    let replaced = header(&headers, "x-request-id").expect("replacement id");
+    assert!(replaced.starts_with("req-"), "{replaced}");
+}

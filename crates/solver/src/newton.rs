@@ -7,8 +7,47 @@
 //! per-component step limiting (voltages move at most `max_step` per
 //! iteration) and a backtracking line search on the residual norm.
 
+use std::sync::OnceLock;
+
+use nanoleak_obs::{global, Counter};
+
 use crate::error::SolverError;
 use crate::linear::{inf_norm, lu_solve};
+
+/// Process-wide Newton telemetry (registered once, incremented per
+/// solve; plain atomic adds, so safe from parallel sections).
+struct NewtonMetrics {
+    solves: Counter,
+    failures: Counter,
+    iterations: Counter,
+}
+
+fn metrics() -> &'static NewtonMetrics {
+    static METRICS: OnceLock<NewtonMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| NewtonMetrics {
+        solves: global()
+            .counter("nanoleak_solver_newton_solves_total", "Completed Newton solves (converged)"),
+        failures: global().counter(
+            "nanoleak_solver_newton_failures_total",
+            "Newton solves that failed to converge or degenerated",
+        ),
+        iterations: global().counter(
+            "nanoleak_solver_newton_iterations_total",
+            "Newton iterations summed over all solves",
+        ),
+    })
+}
+
+/// Counts one finished solve in the global registry.
+fn count_solve(iterations: usize, converged: bool) {
+    let m = metrics();
+    m.iterations.add(iterations as u64);
+    if converged {
+        m.solves.inc();
+    } else {
+        m.failures.inc();
+    }
+}
 
 /// Options controlling the Newton iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +113,23 @@ pub struct NewtonStats {
 /// # Ok::<(), nanoleak_solver::SolverError>(())
 /// ```
 pub fn solve<F>(
+    residual: F,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+) -> Result<NewtonStats, SolverError>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let result = solve_inner(residual, x, opts);
+    match &result {
+        Ok(stats) => count_solve(stats.iterations, true),
+        Err(SolverError::NoConvergence { iterations, .. }) => count_solve(*iterations, false),
+        Err(_) => count_solve(0, false),
+    }
+    result
+}
+
+fn solve_inner<F>(
     residual: F,
     x: &mut [f64],
     opts: &NewtonOptions,

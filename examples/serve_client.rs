@@ -206,6 +206,26 @@ fn main() {
         f64::from_value(get(summary, "std_shift")).expect("std_shift") * 100.0,
     );
 
+    // Where did the wall time go? `?debug=timings` on the job status
+    // returns the per-stage breakdown aggregated from the span
+    // capture the executor ran under (the full span tree is at
+    // GET /v1/jobs/{id}/trace).
+    let body = http(addr, "GET", &format!("/v1/jobs/{id}?debug=timings"), "");
+    let status = json::value_from_str(&body).expect("timings JSON");
+    let timings = get(&status, "timings");
+    let ms = |name: &str| f64::from_value(get(timings, name)).expect(name);
+    println!("\ntiming breakdown of MC job #{id} (?debug=timings):");
+    for (label, key) in [
+        ("queue wait", "queue_wait_ms"),
+        ("characterize", "characterize_ms"),
+        ("estimate", "estimate_ms"),
+        ("merge", "merge_ms"),
+        ("serialize", "serialize_ms"),
+        ("total", "total_ms"),
+    ] {
+        println!("  {label:>12}: {:9.3} ms", ms(key));
+    }
+
     shutdown.request();
     host.join().expect("server thread").expect("server run");
 }

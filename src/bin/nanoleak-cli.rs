@@ -111,7 +111,10 @@ serve options:
   --keep-alive N  max requests per keep-alive connection (0 = one request
                   per connection; default 1000)
   --job-cap N     finished jobs retained before oldest-first eviction
-                  (default 512)";
+                  (default 512)
+  --log-level L   off|error|warn|info|debug|trace — JSON-lines log
+                  verbosity on stderr (default info; NANOLEAK_LOG
+                  applies when the flag is absent)";
 
 /// Strict argument list: every flag must be consumed by the active
 /// subcommand or parsing fails.
@@ -810,6 +813,21 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
     let keep_alive_requests: usize =
         args.take_parsed("--keep-alive", defaults.keep_alive_requests)?;
     let finished_jobs_cap: usize = args.take_parsed("--job-cap", defaults.finished_jobs_cap)?;
+    // `--log-level` wins; otherwise NANOLEAK_LOG applies (read lazily
+    // by nanoleak-obs); otherwise a long-lived service defaults to
+    // info so operators see startup and job lines.
+    match args.take_value("--log-level")? {
+        Some(raw) => {
+            let level = nanoleak_obs::Level::parse(&raw)
+                .ok_or_else(|| format!("--log-level: unknown level '{raw}'"))?;
+            nanoleak_obs::set_level(level);
+        }
+        None => {
+            if std::env::var_os("NANOLEAK_LOG").is_none() {
+                nanoleak_obs::set_level(nanoleak_obs::Level::Info);
+            }
+        }
+    }
     if queue_capacity == 0 {
         return Err("--queue must be at least 1".to_string());
     }
@@ -833,18 +851,25 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
     let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| format!("cannot resolve bound address: {e}"))?;
     let stats = server.state().stats();
+    // The listening line stays on stdout so scripts can capture the
+    // resolved port; everything else is structured stderr logging.
     println!("nanoleak-serve listening on http://{addr}");
-    println!(
-        "  {} job worker(s), queue capacity {}, disk cache {}, \
+    nanoleak_obs::info!(
+        "serve",
+        "listening on http://{}: {} worker(s), queue capacity {}, disk cache {}, \
          keep-alive {} req/conn, {} finished jobs retained",
+        addr,
         stats.workers,
         stats.queue.capacity,
         if config.disk_cache { "on" } else { "off" },
         config.keep_alive_requests,
-        config.finished_jobs_cap,
+        config.finished_jobs_cap
     );
-    println!("  endpoints: /healthz /v1/stats /v1/estimate /v1/sweep /v1/mlv /v1/jobs");
-    println!("  ctrl-c or SIGTERM drains queued jobs and exits");
+    nanoleak_obs::info!(
+        "serve",
+        "endpoints: /healthz /metrics /v1/stats /v1/estimate /v1/sweep /v1/mlv /v1/jobs; \
+         ctrl-c or SIGTERM drains queued jobs and exits"
+    );
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 

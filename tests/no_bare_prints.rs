@@ -1,0 +1,52 @@
+//! Guard: library crates never print. Human-facing output belongs to
+//! the CLI (`src/bin/`) and the bench crate's report bins; everything
+//! under `crates/*/src` must log through `nanoleak-obs` instead, so
+//! services get leveled JSON lines on stderr rather than stray text
+//! interleaved into pipes. CI enforces the same rule with a grep.
+
+use std::path::{Path, PathBuf};
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn library_crates_do_not_print() {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut offenders = Vec::new();
+    for entry in std::fs::read_dir(&crates).expect("crates dir") {
+        let entry = entry.expect("crate entry");
+        // The bench crate's bins are human-facing reports.
+        if entry.file_name() == "bench" {
+            continue;
+        }
+        let src = entry.path().join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&src, &mut files);
+        for file in files {
+            let text = std::fs::read_to_string(&file).expect("read source");
+            for (i, line) in text.lines().enumerate() {
+                // Comments (incl. doc examples) may show prints.
+                let code = line.split("//").next().unwrap_or("");
+                if code.contains("println!") || code.contains("eprintln!") {
+                    offenders.push(format!("{}:{}: {}", file.display(), i + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "bare prints in library crates (log via nanoleak-obs instead):\n{}",
+        offenders.join("\n")
+    );
+}
