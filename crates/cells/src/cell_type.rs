@@ -108,6 +108,22 @@ impl CellType {
         matches!(self, CellType::Inv | CellType::Nand2 | CellType::Nand3 | CellType::Nand4)
     }
 
+    /// How many leading input pins are logically interchangeable: the
+    /// full fanin for the symmetric NAND/NOR families, the two pins of
+    /// the inner AND/OR pair for AOI21/OAI21 (pin 2 is the lone
+    /// branch), and trivially 1 for the inverter.
+    ///
+    /// Permuting nets within this prefix never changes the cell's
+    /// boolean function — but it *does* change which characterized pin
+    /// each net loads, which is exactly the leakage degree of freedom
+    /// the loading model exposes (and `nanoleak-opt` exploits).
+    pub fn commutative_prefix(self) -> usize {
+        match self {
+            CellType::Aoi21 | CellType::Oai21 => 2,
+            other => other.num_inputs(),
+        }
+    }
+
     /// Boolean function of the cell.
     ///
     /// # Panics
@@ -178,6 +194,34 @@ mod tests {
     fn inverter_truth_table() {
         assert!(CellType::Inv.eval_logic(&[false]));
         assert!(!CellType::Inv.eval_logic(&[true]));
+    }
+
+    #[test]
+    fn commutative_prefix_is_symmetric() {
+        // The claimed prefix really is symmetric: permuting any two
+        // pins inside it never changes the boolean function.
+        for c in CellType::ALL {
+            let k = c.num_inputs();
+            let p = c.commutative_prefix();
+            assert!(p >= 1 && p <= k, "{c}");
+            for bits in 0..c.num_vectors() {
+                let ins: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+                let base = c.eval_logic(&ins);
+                for i in 0..p {
+                    for j in i + 1..p {
+                        let mut swapped = ins.clone();
+                        swapped.swap(i, j);
+                        assert_eq!(c.eval_logic(&swapped), base, "{c} pins {i}<->{j}");
+                    }
+                }
+            }
+        }
+        // AOI/OAI pin 2 is genuinely asymmetric.
+        assert_eq!(CellType::Aoi21.commutative_prefix(), 2);
+        assert!(
+            CellType::Aoi21.eval_logic(&[false, false, true])
+                != CellType::Aoi21.eval_logic(&[false, true, false])
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod loading;
 pub mod plan;
 pub mod reference;
 pub mod report;
+pub mod shared;
 
 pub use error::EstimateError;
 pub use estimator::{estimate, estimate_batch, EstimatorMode};
@@ -67,6 +68,7 @@ pub use loading::LoadingState;
 pub use plan::{CompiledEstimator, EstimateScratch};
 pub use reference::{reference_batch, reference_leakage, ReferenceOptions, ReferenceResult};
 pub use report::{accuracy, Accuracy, CircuitLeakage, LoadingImpact};
+pub use shared::SharedEstimator;
 
 #[cfg(test)]
 mod proptests {

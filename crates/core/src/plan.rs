@@ -437,6 +437,46 @@ impl<'a> CompiledEstimator<'a> {
         }
     }
 
+    /// The nets currently assigned to `gate`'s input pins, in pin
+    /// order (raw net indices). Reflects any
+    /// [`permute_gate_inputs`](Self::permute_gate_inputs) applied
+    /// since compilation.
+    pub fn gate_input_nets(&self, gate: GateId) -> &[u32] {
+        &self.in_nets[self.in_off[gate.0] as usize..self.in_off[gate.0 + 1] as usize]
+    }
+
+    /// Reorders one gate's pin assignment in place: after the call,
+    /// pin `k` of `gate` is driven by the net that previously drove
+    /// pin `perm[k]`.
+    ///
+    /// This is *exactly* equivalent to recompiling against a circuit
+    /// whose gate has the permuted input list — the fused passes build
+    /// the vector-char index from `in_nets` order, deposit pin
+    /// currents by the same positions, and the own-pin loading
+    /// subtraction reads them back positionally — so `nanoleak-opt`
+    /// can score every pin assignment of a gate without a recompile or
+    /// an allocation. The caller must keep the permutation inside the
+    /// cell's commutative prefix
+    /// ([`CellType::commutative_prefix`](nanoleak_cells::CellType::commutative_prefix)):
+    /// the simulation pass reads pins positionally, so permuting an
+    /// asymmetric pin would change the computed logic function. Note
+    /// the plan no longer matches [`circuit`](Self::circuit) pin-level
+    /// until permutations are undone or the circuit is rebuilt.
+    ///
+    /// # Panics
+    /// If `perm.len()` differs from the gate's pin count.
+    pub fn permute_gate_inputs(&mut self, gate: GateId, perm: &[usize]) {
+        let s = self.in_off[gate.0] as usize;
+        let e = self.in_off[gate.0 + 1] as usize;
+        let n = e - s;
+        assert_eq!(perm.len(), n, "permutation arity mismatch");
+        let mut tmp = [0u32; MAX_PINS];
+        tmp[..n].copy_from_slice(&self.in_nets[s..e]);
+        for (k, &p) in perm.iter().enumerate() {
+            self.in_nets[s + k] = tmp[p];
+        }
+    }
+
     /// Fig. 13 for one pattern on the compiled plan, bit-identical to
     /// [`estimate`](crate::estimate) (same total *and* the same
     /// per-gate breakdowns, readable via
@@ -768,6 +808,46 @@ mod tests {
             let total =
                 plan.estimate_index_into(&mut scratch, 2005, index, EstimatorMode::Lut).unwrap();
             assert_eq!(total, reference.total, "index {index}");
+        }
+    }
+
+    #[test]
+    fn permuted_plan_matches_recompiled_permuted_circuit() {
+        // In-place pin permutation must be bit-identical to compiling
+        // a circuit built with that pin order — totals and per-gate
+        // breakdowns — in every estimator mode.
+        fn build(swap: bool) -> Circuit {
+            let mut b = CircuitBuilder::new("perm");
+            let a = b.add_input("a");
+            let c = b.add_input("b");
+            let x = b.add_gate(CellType::Inv, &[c], "x");
+            let pins = if swap { [x, a] } else { [a, x] };
+            let y = b.add_gate(CellType::Nand2, &pins, "y");
+            b.mark_output(y);
+            b.build().unwrap()
+        }
+        let base = build(false);
+        let swapped = build(true);
+        let lib = library();
+        let mut plan = CompiledEstimator::compile(&base, &lib).unwrap();
+        let swapped_plan = CompiledEstimator::compile(&swapped, &lib).unwrap();
+        let mut s1 = plan.scratch();
+        let mut s2 = swapped_plan.scratch();
+        let nand = GateId(1);
+        for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut, EstimatorMode::DirectSolve] {
+            for bits in 0..4u32 {
+                let p = Pattern { pi: vec![bits & 1 == 1, bits & 2 == 2], states: vec![] };
+                plan.permute_gate_inputs(nand, &[1, 0]);
+                let permuted = plan.estimate_into(&mut s1, &p, mode).unwrap();
+                let direct = swapped_plan.estimate_into(&mut s2, &p, mode).unwrap();
+                assert_eq!(permuted.total().to_bits(), direct.total().to_bits(), "{mode:?}");
+                assert_eq!(s1.per_gate(), s2.per_gate(), "{mode:?} {bits}");
+                // Undo restores the original plan exactly.
+                plan.permute_gate_inputs(nand, &[1, 0]);
+                let restored = plan.estimate_into(&mut s1, &p, mode).unwrap();
+                let reference = estimate(&base, &lib, &p, mode).unwrap();
+                assert_eq!(restored.total().to_bits(), reference.total.total().to_bits());
+            }
         }
     }
 

@@ -1,0 +1,118 @@
+//! A self-contained, shareable compiled plan.
+//!
+//! [`CompiledEstimator`] borrows its circuit and library, which makes
+//! it impossible to store in a process-wide cache or hand across
+//! threads on its own. [`SharedEstimator`] bundles the plan with
+//! `Arc`-owned copies of both borrows, so the whole unit is `'static`,
+//! cheap to clone behind an `Arc`, and safe to share — the engine's
+//! plan cache stores these.
+
+use std::sync::Arc;
+
+use nanoleak_cells::CellLibrary;
+use nanoleak_netlist::Circuit;
+
+use crate::error::EstimateError;
+use crate::plan::CompiledEstimator;
+
+/// A compiled plan that owns its circuit and library.
+///
+/// # Safety rationale
+///
+/// The plan is compiled against references obtained from the `Arc`s'
+/// heap allocations and transmuted to `'static`. This is sound
+/// because:
+///
+/// * the `Arc` pointees live exactly as long as `self` (the fields
+///   are private and never replaced), and the heap allocation is
+///   stable across moves of `SharedEstimator`;
+/// * nothing hands out `&mut` to the circuit or library, so the
+///   shared borrows are never invalidated;
+/// * [`CompiledEstimator`] is covariant in its lifetime (it only
+///   holds `&'a` fields) and has no `Drop` impl touching them, so
+///   [`plan`](Self::plan) can shrink `'static` back down to the
+///   borrow of `self`, which prevents the references from ever being
+///   observed beyond the owner's life.
+pub struct SharedEstimator {
+    // Declared first so its (trivial) drop glue runs before the Arcs
+    // are released; no field of the plan dereferences on drop.
+    plan: CompiledEstimator<'static>,
+    circuit: Arc<Circuit>,
+    library: Arc<CellLibrary>,
+}
+
+impl SharedEstimator {
+    /// Compiles a plan that co-owns `circuit` and `library`.
+    ///
+    /// # Errors
+    /// Propagates [`CompiledEstimator::compile`] errors.
+    pub fn new(circuit: Arc<Circuit>, library: Arc<CellLibrary>) -> Result<Self, EstimateError> {
+        // SAFETY: see the type-level rationale — the pointees outlive
+        // every use of these references because the Arcs are owned by
+        // the same value as the plan and `plan()` reborrows at `&self`
+        // lifetime.
+        let c: &'static Circuit = unsafe { &*Arc::as_ptr(&circuit) };
+        let l: &'static CellLibrary = unsafe { &*Arc::as_ptr(&library) };
+        let plan = CompiledEstimator::compile(c, l)?;
+        Ok(Self { plan, circuit, library })
+    }
+
+    /// The compiled plan, with its lifetime tied back to `self`.
+    pub fn plan(&self) -> &CompiledEstimator<'_> {
+        &self.plan
+    }
+
+    /// The co-owned circuit.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// The co-owned library.
+    pub fn library(&self) -> &Arc<CellLibrary> {
+        &self.library
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{estimate, EstimatorMode};
+    use nanoleak_cells::{CellType, CharacterizeOptions};
+    use nanoleak_device::Technology;
+    use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+    use nanoleak_netlist::normalize::normalize;
+    use nanoleak_netlist::Pattern;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shared_plan_survives_moves_and_threads() {
+        let raw = random_circuit(&RandomCircuitSpec::new("shared", 5, 3, 30, 1, 9));
+        let circuit = Arc::new(normalize(&raw).unwrap());
+        let library = CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&CellType::ALL),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let pattern = Pattern::random(&circuit, &mut rng);
+        let reference = estimate(&circuit, &library, &pattern, EstimatorMode::Lut).unwrap().total;
+
+        let shared = SharedEstimator::new(circuit, library).unwrap();
+        // Move it (heap allocations behind the Arcs are stable).
+        let shared = Arc::new(shared);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let shared = Arc::clone(&shared);
+            let pattern = pattern.clone();
+            handles.push(std::thread::spawn(move || {
+                let plan = shared.plan();
+                let mut scratch = plan.scratch();
+                plan.estimate_into(&mut scratch, &pattern, EstimatorMode::Lut).unwrap()
+            }));
+        }
+        for h in handles {
+            let total = h.join().unwrap();
+            assert_eq!(total.total().to_bits(), reference.total().to_bits());
+        }
+    }
+}

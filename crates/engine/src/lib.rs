@@ -64,6 +64,7 @@ pub mod cache;
 pub mod exec;
 pub mod mc;
 pub mod mlv;
+pub mod plan_cache;
 pub mod stats;
 pub mod sweep;
 
@@ -78,6 +79,7 @@ pub use cache::{
 };
 pub use mc::{mc_streaming, McReport, McShard, McTelemetry};
 pub use mlv::{mlv_search, MlvConfig, MlvGoal, MlvResult, MlvStrategy, MlvTelemetry};
+pub use plan_cache::{shared_plan, MAX_RESIDENT_PLANS};
 pub use stats::ScalarStats;
 pub use sweep::{
     pattern_for_index, shard_count, sweep, sweep_streaming, ExtremeVector, SweepConfig,

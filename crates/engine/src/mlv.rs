@@ -229,9 +229,12 @@ pub fn mlv_search(
         }
     }
 
-    // One compiled plan for the whole search; candidate scoring runs
-    // allocation-free against per-worker scratches.
-    let plan = CompiledEstimator::compile(circuit, library)?;
+    // One plan for the whole search — shared process-wide via the
+    // structural cache, so repeated searches over isomorphic netlists
+    // skip the compile; candidate scoring runs allocation-free against
+    // per-worker scratches.
+    let shared = crate::plan_cache::shared_plan(circuit, library)?;
+    let plan = shared.plan();
 
     let (best, evaluations, improving_moves, restarts) = match config.strategy {
         MlvStrategy::Exhaustive => {
@@ -272,7 +275,7 @@ pub fn mlv_search(
                 restarts,
                 threads,
                 || plan.scratch(),
-                |scratch, r| climb(&plan, scratch, config, r, max_steps),
+                |scratch, r| climb(plan, scratch, config, r, max_steps),
             );
             let mut merged = Vec::with_capacity(restarts);
             let (mut evals, mut moves) = (0u64, 0u64);

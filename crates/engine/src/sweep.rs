@@ -327,14 +327,17 @@ pub fn sweep_streaming(
     let shard_size = if shard_vectors == 0 { config.vectors } else { shard_vectors };
     let start_time = Instant::now();
 
-    // Compile once per sweep; every shard and worker shares the plan.
-    let plan = {
+    // One plan per sweep, shared process-wide via the structural
+    // cache — every shard and worker (and any later sweep over an
+    // isomorphic netlist) shares the same compile.
+    let shared = {
         let _span = nanoleak_obs::span!("compile");
         let compile_start = Instant::now();
-        let plan = CompiledEstimator::compile(circuit, library)?;
+        let shared = crate::plan_cache::shared_plan(circuit, library)?;
         sweep_metrics().compile_seconds.record_duration(compile_start.elapsed());
-        plan
+        shared
     };
+    let plan = shared.plan();
     // The merger is only fed on multi-shard sweeps — the monolithic
     // path reuses its single shard's stats, so don't reserve
     // vectors-sized backing storage it would never touch.
@@ -350,7 +353,7 @@ pub fn sweep_streaming(
         let shard_start = Instant::now();
         let totals = {
             let _span = nanoleak_obs::span!("estimate", shard = shard, vectors = len);
-            estimate_chunk(&plan, config, threads, start, len)?
+            estimate_chunk(plan, config, threads, start, len)?
         };
         sweep_metrics().shard_seconds.record_duration(shard_start.elapsed());
         let partial = {

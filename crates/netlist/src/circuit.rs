@@ -151,6 +151,63 @@ impl Circuit {
         self.net_names.iter().position(|n| n == name).map(NetId)
     }
 
+    /// Structural identity hash: FNV-1a over the gate list with nets
+    /// renumbered canonically (primary inputs in order, then state
+    /// inputs, then gate outputs in gate-id order), plus the output
+    /// and DFF-D markers.
+    ///
+    /// The key is **name-independent but order- and pin-exact**: two
+    /// circuits that differ only in net/circuit names hash equal,
+    /// while any structural difference — including swapping the pins
+    /// of a commutative gate or reordering gate declarations — hashes
+    /// differently. Pin order is leakage-relevant (each net loads a
+    /// distinct characterized pin) and gate order is the estimator's
+    /// FP reduction order, so both must be part of any identity that
+    /// keys a shared `CompiledEstimator`: a plan-cache hit is then
+    /// guaranteed to reproduce a fresh compile bit-for-bit.
+    pub fn structural_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        fn mix(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        // Canonical net numbering: every net has exactly one driver,
+        // so inputs + state inputs + gate outputs cover all of them.
+        let mut canon = vec![0u64; self.net_names.len()];
+        let mut next = 0u64;
+        for &n in self.inputs.iter().chain(&self.state_inputs) {
+            canon[n.0] = next;
+            next += 1;
+        }
+        for g in &self.gates {
+            canon[g.output.0] = next;
+            next += 1;
+        }
+        let mut h = OFFSET;
+        mix(&mut h, self.inputs.len() as u64);
+        mix(&mut h, self.state_inputs.len() as u64);
+        mix(&mut h, self.gates.len() as u64);
+        for g in &self.gates {
+            mix(&mut h, g.cell as u64);
+            mix(&mut h, g.inputs.len() as u64);
+            for &i in &g.inputs {
+                mix(&mut h, canon[i.0]);
+            }
+            mix(&mut h, canon[g.output.0]);
+        }
+        mix(&mut h, self.outputs.len() as u64);
+        for &o in &self.outputs {
+            mix(&mut h, canon[o.0]);
+        }
+        for &d in &self.dff_d {
+            mix(&mut h, canon[d.0]);
+        }
+        h
+    }
+
     /// Histogram of gate counts per cell type.
     pub fn cell_histogram(&self) -> Vec<(CellType, usize)> {
         let mut counts = std::collections::BTreeMap::new();
@@ -371,6 +428,50 @@ mod tests {
         let a = b.add_net_raw("floating");
         let _ = b.add_gate(CellType::Inv, &[a], "x");
         assert!(matches!(b.build(), Err(CircuitError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn structural_key_ignores_names_only() {
+        fn nand_pair(name: &str, a_name: &str, b_name: &str, swap: bool) -> Circuit {
+            let mut b = CircuitBuilder::new(name);
+            let a = b.add_input(a_name);
+            let c = b.add_input(b_name);
+            let pins = if swap { [c, a] } else { [a, c] };
+            let y = b.add_gate(CellType::Nand2, &pins, "y");
+            b.mark_output(y);
+            b.build().unwrap()
+        }
+        let base = nand_pair("one", "a", "b", false);
+        let renamed = nand_pair("two", "p", "q", false);
+        let swapped = nand_pair("one", "a", "b", true);
+        // Names never matter...
+        assert_eq!(base.structural_key(), renamed.structural_key());
+        // ...but pin order does: each pin is a distinct characterized
+        // load, so a swap is a different circuit to the estimator.
+        assert_ne!(base.structural_key(), swapped.structural_key());
+    }
+
+    #[test]
+    fn structural_key_sees_structure() {
+        let chain = two_gate_chain();
+        let mut b = CircuitBuilder::new("chain3");
+        let a = b.add_input("a");
+        let x = b.add_gate(CellType::Inv, &[a], "x");
+        let y = b.add_gate(CellType::Inv, &[x], "y");
+        let z = b.add_gate(CellType::Inv, &[y], "z");
+        b.mark_output(z);
+        let chain3 = b.build().unwrap();
+        assert_ne!(chain.structural_key(), chain3.structural_key());
+
+        // Output markers are part of identity too.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.add_input("a");
+        let x = b.add_gate(CellType::Inv, &[a], "x");
+        let y = b.add_gate(CellType::Inv, &[x], "y");
+        b.mark_output(x);
+        b.mark_output(y);
+        let two_outs = b.build().unwrap();
+        assert_ne!(chain.structural_key(), two_outs.structural_key());
     }
 
     #[test]

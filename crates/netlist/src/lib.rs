@@ -5,8 +5,8 @@
 //! the characterized cell family, logic simulation, and generators for
 //! the paper's benchmark suite.
 //!
-//! * [`raw`] / [`bench_format`] — arbitrary-fanin boolean networks and
-//!   the `.bench` reader/writer;
+//! * [`raw`] / [`bench_format`] / [`yosys`] — arbitrary-fanin boolean
+//!   networks, the `.bench` reader/writer, and the Yosys JSON importer;
 //! * [`normalize`](crate::normalize::normalize) — technology mapping to
 //!   INV/NAND/NOR cells, with the leakage-equivalent DFF expansion;
 //! * [`circuit`] — the validated, topologically-sorted cell-level
@@ -37,6 +37,7 @@
 //! ```
 
 pub mod bench_format;
+pub mod canonical;
 pub mod circuit;
 pub mod error;
 pub mod generate;
@@ -44,12 +45,15 @@ pub mod logic;
 pub mod normalize;
 pub mod raw;
 pub mod stats;
+pub mod yosys;
 
+pub use canonical::{canonicalize, canonicalize_raw, CanonReport};
 pub use circuit::{Circuit, CircuitBuilder, Driver, Gate, GateId, NetId, NetLoad};
 pub use error::CircuitError;
 pub use logic::Pattern;
 pub use raw::{RawCircuit, RawGate, RawOp, SigId};
 pub use stats::CircuitStats;
+pub use yosys::parse_yosys_json;
 
 #[cfg(test)]
 mod proptests {

@@ -83,7 +83,7 @@ pub fn normalize(raw: &RawCircuit) -> Result<Circuit, CircuitError> {
 }
 
 /// Kahn topological sort of raw gates by signal dependencies.
-fn raw_topo_order(raw: &RawCircuit) -> Result<Vec<usize>, CircuitError> {
+pub(crate) fn raw_topo_order(raw: &RawCircuit) -> Result<Vec<usize>, CircuitError> {
     let n = raw.gates.len();
     let mut producer: Vec<Option<usize>> = vec![None; raw.signal_count()];
     for (gi, g) in raw.gates.iter().enumerate() {

@@ -1,0 +1,410 @@
+//! Yosys JSON netlist importer (`yosys ... write_json design.json`).
+//!
+//! Reads the gate-level subset of Yosys's JSON dump — a design that
+//! has been mapped to the single-bit internal cells (`$_NOT_`,
+//! `$_AND_`, `$_NAND_`, `$_OR_`, `$_NOR_`, `$_XOR_`, `$_XNOR_`,
+//! `$_BUF_`, `$_DFF_P_`/`$_DFF_N_`), e.g. via `synth; abc; simplemap`
+//! — into a [`RawCircuit`], the same entry point the `.bench` parser
+//! feeds. Word-level cells (`$add`, `$mux`, ...) are rejected with an
+//! error naming the cell: run Yosys's mapping passes first.
+//!
+//! Net naming follows `netnames`: each bit takes the first public
+//! (non-`$`) name that mentions it, in file order, with `name[i]`
+//! for bits of multi-bit wires; bits only private names mention fall
+//! back to those, and completely anonymous bits become `_bit_<n>`.
+//! Clock pins of DFF cells are ignored (the leakage model is
+//! steady-state), matching how the `.bench` dialect treats `DFF()`.
+
+use std::collections::HashMap;
+
+use serde::{json, Value};
+
+use crate::error::CircuitError;
+use crate::raw::{RawCircuit, RawOp};
+
+/// `CircuitError::Parse` pinned to line 1: the JSON tree has no
+/// useful line mapping, so every import error cites the document.
+fn perr(message: impl Into<String>) -> CircuitError {
+    CircuitError::Parse { line: 1, message: message.into() }
+}
+
+/// The field list of one JSON object (`Value::Record`).
+type Fields<'v> = &'v [(String, Value)];
+
+fn as_record<'v>(v: &'v Value, what: &str) -> Result<Fields<'v>, CircuitError> {
+    match v {
+        Value::Record(fields) => Ok(fields),
+        other => Err(perr(format!("{what}: expected a JSON object, got {other:?}"))),
+    }
+}
+
+fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+/// One pin's bit list; gate-level cells carry exactly one bit per
+/// pin. Bits are net ids (`Int`) — constant bits (`"0"`, `"1"`,
+/// `"x"`) have no representation in [`RawCircuit`] and are rejected.
+fn pin_bit(cell: &str, conns: &[(String, Value)], pin: &str) -> Result<u64, CircuitError> {
+    let bits = field(conns, pin)
+        .ok_or_else(|| perr(format!("cell '{cell}': missing connection '{pin}'")))?;
+    let Value::Seq(items) = bits else {
+        return Err(perr(format!("cell '{cell}': connection '{pin}' is not a bit list")));
+    };
+    let [bit] = items.as_slice() else {
+        return Err(perr(format!(
+            "cell '{cell}': connection '{pin}' has {} bits, expected 1 (map to gate-level cells)",
+            items.len()
+        )));
+    };
+    match bit {
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        Value::Str(c) => Err(perr(format!(
+            "cell '{cell}': pin '{pin}' is tied to constant '{c}' — constant folding is not \
+             supported, run `opt_clean`/`opt_expr` before export"
+        ))),
+        other => Err(perr(format!("cell '{cell}': pin '{pin}' has malformed bit {other:?}"))),
+    }
+}
+
+/// The gate-level cell types accepted, with their input pin order.
+fn cell_shape(ty: &str) -> Option<(RawOp, &'static [&'static str])> {
+    match ty {
+        "$_NOT_" => Some((RawOp::Not, &["A"])),
+        "$_BUF_" => Some((RawOp::Buff, &["A"])),
+        "$_AND_" => Some((RawOp::And, &["A", "B"])),
+        "$_NAND_" => Some((RawOp::Nand, &["A", "B"])),
+        "$_OR_" => Some((RawOp::Or, &["A", "B"])),
+        "$_NOR_" => Some((RawOp::Nor, &["A", "B"])),
+        "$_XOR_" => Some((RawOp::Xor, &["A", "B"])),
+        "$_XNOR_" => Some((RawOp::Xnor, &["A", "B"])),
+        _ => None,
+    }
+}
+
+/// Selects the module to import: the one whose `attributes.top` is
+/// set, or the only module. Ambiguity is an error naming the choices.
+fn select_module(modules: Fields<'_>) -> Result<(&str, Fields<'_>), CircuitError> {
+    if modules.is_empty() {
+        return Err(perr("no modules in design"));
+    }
+    let mut chosen: Option<(&str, &[(String, Value)])> = None;
+    for (name, module) in modules {
+        let module = as_record(module, name)?;
+        let is_top = field(module, "attributes")
+            .and_then(|a| as_record(a, "attributes").ok())
+            .and_then(|a| field(a, "top"))
+            .is_some_and(|top| match top {
+                Value::Int(n) => *n != 0,
+                // Yosys encodes attribute values as bit strings.
+                Value::Str(s) => s.contains('1'),
+                _ => false,
+            });
+        if is_top {
+            return Ok((name, module));
+        }
+        chosen = Some((name, module));
+    }
+    if modules.len() > 1 {
+        let names: Vec<&str> = modules.iter().map(|(n, _)| n.as_str()).collect();
+        return Err(perr(format!(
+            "{} modules and none marked top: {}",
+            modules.len(),
+            names.join(", ")
+        )));
+    }
+    Ok(chosen.expect("non-empty module list"))
+}
+
+/// Parses a Yosys JSON netlist into a [`RawCircuit`] named `name`
+/// (the selected module's name is recorded when `name` is empty).
+///
+/// # Errors
+/// [`CircuitError::Parse`] on malformed JSON, ambiguous/missing top
+/// modules, word-level or unknown cell types, constant-tied pins, and
+/// multi-bit pins; plus anything [`RawCircuit::validate`] rejects
+/// (multiple drivers, undriven nets).
+pub fn parse_yosys_json(name: &str, text: &str) -> Result<RawCircuit, CircuitError> {
+    let root = json::value_from_str(text).map_err(|e| perr(format!("malformed JSON: {e}")))?;
+    let root = as_record(&root, "design")?;
+    let modules = field(root, "modules").ok_or_else(|| perr("missing 'modules'"))?;
+    let modules = as_record(modules, "modules")?;
+    let (module_name, module) = select_module(modules)?;
+
+    // Bit → name assignment from `netnames`, in file order. Public
+    // names (not starting with '$') win over private ones; the first
+    // name of each class wins; a name that would collide with a
+    // different bit's is skipped (the bit keeps its fallback).
+    let mut public: HashMap<u64, String> = HashMap::new();
+    let mut private: HashMap<u64, String> = HashMap::new();
+    let mut used: HashMap<String, u64> = HashMap::new();
+    if let Some(netnames) = field(module, "netnames") {
+        for (net, info) in as_record(netnames, "netnames")? {
+            let info = as_record(info, net)?;
+            let Some(Value::Seq(bits)) = field(info, "bits") else { continue };
+            let wide = bits.len() > 1;
+            for (i, bit) in bits.iter().enumerate() {
+                let Value::Int(n) = bit else { continue };
+                let n = u64::try_from(*n).unwrap_or(u64::MAX);
+                let bit_name = if wide { format!("{net}[{i}]") } else { net.clone() };
+                let class = if net.starts_with('$') { &mut private } else { &mut public };
+                if class.contains_key(&n) || used.get(&bit_name).is_some_and(|&b| b != n) {
+                    continue;
+                }
+                used.insert(bit_name.clone(), n);
+                class.insert(n, bit_name);
+            }
+        }
+    }
+    let bit_name = |n: u64| -> String {
+        public.get(&n).or_else(|| private.get(&n)).cloned().unwrap_or_else(|| format!("_bit_{n}"))
+    };
+
+    let mut raw = RawCircuit::new(if name.is_empty() { module_name } else { name });
+
+    // Ports declare the primary IO; everything else is inferred from
+    // cell connections.
+    let ports = field(module, "ports").ok_or_else(|| perr("missing 'ports'"))?;
+    let mut output_bits: Vec<u64> = Vec::new();
+    for (port, info) in as_record(ports, "ports")? {
+        let info = as_record(info, port)?;
+        let direction = match field(info, "direction") {
+            Some(Value::Str(d)) => d.as_str(),
+            _ => return Err(perr(format!("port '{port}': missing direction"))),
+        };
+        let Some(Value::Seq(bits)) = field(info, "bits") else {
+            return Err(perr(format!("port '{port}': missing bits")));
+        };
+        for bit in bits {
+            let Value::Int(n) = bit else {
+                return Err(perr(format!("port '{port}': constant or malformed bit {bit:?}")));
+            };
+            let n = u64::try_from(*n).map_err(|_| perr(format!("port '{port}': negative bit")))?;
+            match direction {
+                "input" => {
+                    raw.add_input(&bit_name(n));
+                }
+                "output" => output_bits.push(n),
+                other => {
+                    return Err(perr(format!(
+                        "port '{port}': unsupported direction '{other}' (input/output only)"
+                    )))
+                }
+            }
+        }
+    }
+
+    if let Some(cells) = field(module, "cells") {
+        for (cell, info) in as_record(cells, "cells")? {
+            let info = as_record(info, cell)?;
+            let ty = match field(info, "type") {
+                Some(Value::Str(t)) => t.as_str(),
+                _ => return Err(perr(format!("cell '{cell}': missing type"))),
+            };
+            let conns = match field(info, "connections") {
+                Some(v) => as_record(v, cell)?,
+                None => return Err(perr(format!("cell '{cell}': missing connections"))),
+            };
+            if matches!(ty, "$_DFF_P_" | "$_DFF_N_") {
+                // Clock edge and pin are irrelevant to steady-state
+                // leakage; only the d → q storage relation survives.
+                let d = pin_bit(cell, conns, "D")?;
+                let q = pin_bit(cell, conns, "Q")?;
+                let d = raw.signal(&bit_name(d));
+                let q = raw.signal(&bit_name(q));
+                raw.add_dff(d, q);
+                continue;
+            }
+            let Some((op, pins)) = cell_shape(ty) else {
+                return Err(perr(format!(
+                    "cell '{cell}': unsupported type '{ty}' — map the design to gate-level \
+                     cells ($_NAND_, $_NOR_, $_NOT_, ...) before export"
+                )));
+            };
+            let mut inputs = Vec::with_capacity(pins.len());
+            for pin in pins {
+                let n = pin_bit(cell, conns, pin)?;
+                inputs.push(raw.signal(&bit_name(n)));
+            }
+            let y = pin_bit(cell, conns, "Y")?;
+            let y = raw.signal(&bit_name(y));
+            raw.add_gate(op, &inputs, y);
+        }
+    }
+
+    for n in output_bits {
+        raw.add_output(&bit_name(n));
+    }
+    raw.validate()?;
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::simulate;
+    use crate::normalize::normalize;
+
+    /// A hand-written dump of `y = !(a & b)`, `q <= y` with a public
+    /// name for every net — the shape `yosys synth; abc -g NAND;
+    /// write_json` produces for a tiny design.
+    const FIXTURE: &str = r#"{
+      "creator": "Yosys",
+      "modules": {
+        "top": {
+          "attributes": { "top": 1 },
+          "ports": {
+            "a":   { "direction": "input",  "bits": [2] },
+            "b":   { "direction": "input",  "bits": [3] },
+            "q":   { "direction": "output", "bits": [5] }
+          },
+          "cells": {
+            "g_nand": {
+              "type": "$_NAND_",
+              "connections": { "A": [2], "B": [3], "Y": [4] }
+            },
+            "ff": {
+              "type": "$_DFF_P_",
+              "connections": { "C": [6], "D": [4], "Q": [5] }
+            }
+          },
+          "netnames": {
+            "a":   { "bits": [2] },
+            "b":   { "bits": [3] },
+            "y":   { "bits": [4] },
+            "q":   { "bits": [5] },
+            "clk": { "bits": [6] }
+          }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn fixture_imports_with_names_and_dff() {
+        let raw = parse_yosys_json("", FIXTURE).unwrap();
+        assert_eq!(raw.name, "top");
+        assert_eq!(raw.inputs.len(), 2);
+        assert_eq!(raw.outputs.len(), 1);
+        assert_eq!(raw.gates.len(), 1);
+        assert_eq!(raw.dffs.len(), 1);
+        assert_eq!(raw.gates[0].op, RawOp::Nand);
+        assert_eq!(raw.signal_name(raw.gates[0].output), "y");
+        assert_eq!(raw.signal_name(raw.outputs[0]), "q");
+        // The clock net is ignored entirely (no signal required).
+        let circuit = normalize(&raw).unwrap();
+        assert_eq!(circuit.inputs().len(), 2);
+        assert_eq!(circuit.state_inputs().len(), 1);
+        // y = NAND(a, b) at the D pin.
+        for (a, b) in [(false, false), (true, false), (true, true)] {
+            let values = simulate(&circuit, &[a, b], &[false]);
+            assert_eq!(values[circuit.dff_d_nets()[0].0], !(a && b));
+        }
+    }
+
+    #[test]
+    fn multibit_ports_name_per_bit() {
+        let text = r#"{
+          "modules": { "m": {
+            "ports": {
+              "d": { "direction": "input",  "bits": [2, 3] },
+              "y": { "direction": "output", "bits": [4] }
+            },
+            "cells": {
+              "g": { "type": "$_XOR_", "connections": { "A": [2], "B": [3], "Y": [4] } }
+            },
+            "netnames": {
+              "d": { "bits": [2, 3] },
+              "y": { "bits": [4] }
+            }
+          } }
+        }"#;
+        let raw = parse_yosys_json("", text).unwrap();
+        assert_eq!(raw.signal_name(raw.inputs[0]), "d[0]");
+        assert_eq!(raw.signal_name(raw.inputs[1]), "d[1]");
+    }
+
+    #[test]
+    fn private_names_lose_to_public_ones() {
+        let text = r#"{
+          "modules": { "m": {
+            "ports": {
+              "a": { "direction": "input",  "bits": [2] },
+              "y": { "direction": "output", "bits": [3] }
+            },
+            "cells": {
+              "g": { "type": "$_NOT_", "connections": { "A": [2], "Y": [3] } }
+            },
+            "netnames": {
+              "$abc$123$new_n7": { "bits": [3] },
+              "y": { "bits": [3] }
+            }
+          } }
+        }"#;
+        let raw = parse_yosys_json("", text).unwrap();
+        assert_eq!(raw.signal_name(raw.outputs[0]), "y");
+    }
+
+    #[test]
+    fn word_level_cells_are_rejected_with_the_cell_named() {
+        let text = r#"{
+          "modules": { "m": {
+            "ports": { "a": { "direction": "input", "bits": [2] } },
+            "cells": {
+              "adder": { "type": "$add", "connections": { "A": [2], "B": [2], "Y": [3] } }
+            }
+          } }
+        }"#;
+        let err = parse_yosys_json("", text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("adder") && msg.contains("$add"), "{msg}");
+    }
+
+    #[test]
+    fn constant_pins_are_rejected() {
+        let text = r#"{
+          "modules": { "m": {
+            "ports": { "y": { "direction": "output", "bits": [3] } },
+            "cells": {
+              "g": { "type": "$_NOT_", "connections": { "A": ["1"], "Y": [3] } }
+            }
+          } }
+        }"#;
+        let err = parse_yosys_json("", text).unwrap_err();
+        assert!(err.to_string().contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn ambiguous_multi_module_designs_need_a_top() {
+        let one = r#"{ "ports": {}, "cells": {} }"#;
+        let text = format!(r#"{{ "modules": {{ "m1": {one}, "m2": {one} }} }}"#);
+        let err = parse_yosys_json("", &text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("m1") && msg.contains("m2"), "{msg}");
+        // Marking one top resolves it.
+        let text = format!(
+            r#"{{ "modules": {{ "m1": {one},
+                 "m2": {{ "attributes": {{ "top": "00000001" }}, "ports": {{}}, "cells": {{}} }} }} }}"#
+        );
+        let raw = parse_yosys_json("", &text).unwrap();
+        assert_eq!(raw.name, "m2");
+    }
+
+    #[test]
+    fn structural_problems_surface_as_circuit_errors() {
+        // Two drivers on bit 3.
+        let text = r#"{
+          "modules": { "m": {
+            "ports": {
+              "a": { "direction": "input",  "bits": [2] },
+              "y": { "direction": "output", "bits": [3] }
+            },
+            "cells": {
+              "g1": { "type": "$_NOT_", "connections": { "A": [2], "Y": [3] } },
+              "g2": { "type": "$_BUF_", "connections": { "A": [2], "Y": [3] } }
+            },
+            "netnames": { "y": { "bits": [3] } }
+          } }
+        }"#;
+        assert!(matches!(parse_yosys_json("", text), Err(CircuitError::MultipleDrivers { .. })));
+    }
+}

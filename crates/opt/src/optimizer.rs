@@ -1,0 +1,730 @@
+//! The greedy leakage optimizer (see the crate docs for the model).
+
+use std::time::{Duration, Instant};
+
+use nanoleak_cells::{CellLibrary, CellType};
+use nanoleak_core::{CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode};
+use nanoleak_engine::{mlv_search, EngineError, MlvConfig, MlvResult};
+use nanoleak_netlist::canonical::{canonicalize, CanonReport};
+use nanoleak_netlist::{Circuit, CircuitBuilder, Driver, GateId, NetId, Pattern};
+use nanoleak_obs::{global, Counter, Histogram};
+
+/// Widest pin count we track in fixed-size buffers (matches the
+/// estimator's own pin bound).
+const MAX_PINS: usize = 8;
+
+struct OptMetrics {
+    runs: Counter,
+    rounds: Counter,
+    candidates: Counter,
+    accepted_permutations: Counter,
+    accepted_remaps: Counter,
+    reverted: Counter,
+    run_seconds: Histogram,
+    improvement_percent: Histogram,
+}
+
+fn opt_metrics() -> &'static OptMetrics {
+    static METRICS: std::sync::OnceLock<OptMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| OptMetrics {
+        runs: global().counter("nanoleak_opt_runs_total", "Optimization runs started"),
+        rounds: global().counter("nanoleak_opt_rounds_total", "Optimization rounds executed"),
+        candidates: global().counter(
+            "nanoleak_opt_candidates_total",
+            "Rewrite candidates scored with the estimator",
+        ),
+        accepted_permutations: global().counter(
+            "nanoleak_opt_accepted_permutations_total",
+            "Pin permutations kept because they lowered leakage at the MLV",
+        ),
+        accepted_remaps: global().counter(
+            "nanoleak_opt_accepted_remaps_total",
+            "NAND/NOR De Morgan remaps kept because they lowered leakage at the MLV",
+        ),
+        reverted: global().counter(
+            "nanoleak_opt_reverted_total",
+            "Runs that returned the input circuit because no rewrite survived the final guard",
+        ),
+        run_seconds: global()
+            .histogram("nanoleak_opt_run_seconds", "Wall time of optimization runs"),
+        improvement_percent: global().histogram(
+            "nanoleak_opt_improvement_percent",
+            "Relative MLV-leakage improvement of finished runs (percent)",
+        ),
+    })
+}
+
+/// Configuration of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeConfig {
+    /// How the leakage vector is (re-)searched between rounds. The
+    /// goal is respected: `Min` optimizes standby leakage at the
+    /// minimum-leakage vector, `Max` pushes down the worst-case
+    /// vector. "Improvement" always means a *lower* objective.
+    pub mlv: MlvConfig,
+    /// Upper bound on optimization rounds (each: pin-permutation pass,
+    /// remap pass, vector re-search). The loop stops early when a
+    /// round accepts nothing or fails to improve the objective.
+    pub max_rounds: usize,
+    /// Try the score-gated [`canonicalize`] pre-pass.
+    pub canonicalize: bool,
+    /// Enumerate commutative pin permutations.
+    pub permute: bool,
+    /// Enumerate `NAND2(!x,!y)` ⇄ `INV(NOR2(x,y))` remaps.
+    pub remap: bool,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        Self {
+            mlv: MlvConfig::default(),
+            max_rounds: 4,
+            canonicalize: true,
+            permute: true,
+            remap: true,
+        }
+    }
+}
+
+/// Progress of one finished optimization round (also the per-round
+/// payload streamed to job observers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundProgress {
+    /// 1-based round index.
+    pub round: usize,
+    /// Configured round bound.
+    pub rounds_total: usize,
+    /// Pin permutations accepted this round.
+    pub accepted_permutations: usize,
+    /// De Morgan remaps accepted this round.
+    pub accepted_remaps: usize,
+    /// Objective after this round's vector re-search \[A\].
+    pub objective_a: f64,
+    /// The untouched circuit's objective \[A\].
+    pub baseline_a: f64,
+    /// Estimator invocations so far (including embedded MLV searches).
+    pub evaluations: u64,
+}
+
+/// Result of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// The rewritten circuit (the input circuit when `reverted`).
+    pub circuit: Circuit,
+    /// MLV search on the input circuit.
+    pub baseline: MlvResult,
+    /// MLV search on the returned circuit. Guaranteed
+    /// `improved.objective <= baseline.objective`.
+    pub improved: MlvResult,
+    /// Per-round progress, in order.
+    pub rounds: Vec<RoundProgress>,
+    /// What the canonicalization pre-pass did, if it was kept.
+    pub canonical: Option<CanonReport>,
+    /// `true` when every rewrite was abandoned because the final
+    /// objective would have exceeded the baseline (possible only with
+    /// heuristic re-search strategies).
+    pub reverted: bool,
+    /// Total estimator invocations (candidates + MLV searches).
+    pub evaluations: u64,
+    /// Gate count going in.
+    pub gates_before: usize,
+    /// Gate count of the returned circuit.
+    pub gates_after: usize,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl OptimizeResult {
+    /// Relative improvement of the MLV objective, in percent.
+    pub fn improvement_percent(&self) -> f64 {
+        if self.baseline.objective.abs() <= 1e-30 {
+            return 0.0;
+        }
+        (self.baseline.objective - self.improved.objective) / self.baseline.objective * 100.0
+    }
+}
+
+/// Optimizes `circuit` for low leakage at its extreme vector. See the
+/// crate docs for the passes and contracts.
+///
+/// # Errors
+/// Propagates [`mlv_search`] and estimator errors.
+pub fn optimize(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &OptimizeConfig,
+) -> Result<OptimizeResult, EngineError> {
+    Ok(optimize_with(circuit, library, config, |_| true)?.expect("optimize cannot be cancelled"))
+}
+
+/// [`optimize`] with a per-round progress callback; returning `false`
+/// cancels the run (`Ok(None)`). The callback fires after each
+/// round's vector re-search, in round order.
+///
+/// # Errors
+/// Propagates [`mlv_search`] and estimator errors.
+pub fn optimize_with(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    config: &OptimizeConfig,
+    mut on_round: impl FnMut(&RoundProgress) -> bool,
+) -> Result<Option<OptimizeResult>, EngineError> {
+    let metrics = opt_metrics();
+    metrics.runs.inc();
+    let start = Instant::now();
+    let _span = nanoleak_obs::span!("optimize");
+
+    let baseline = mlv_search(circuit, library, &config.mlv)?;
+    let mut evaluations = baseline.telemetry.evaluations;
+    let mut cur = circuit.clone();
+    let mut cur_mlv = baseline.clone();
+
+    // Score-gated canonicalization: keep the cleaned-up circuit only
+    // if the estimator agrees it is no worse at its own MLV (the pass
+    // removes real transistors, which usually — but not provably —
+    // lowers leakage).
+    let mut canonical = None;
+    if config.canonicalize {
+        let (canon, report) = canonicalize(&cur);
+        let canon_mlv = mlv_search(&canon, library, &config.mlv)?;
+        evaluations += canon_mlv.telemetry.evaluations;
+        if canon_mlv.objective <= cur_mlv.objective {
+            cur = canon;
+            cur_mlv = canon_mlv;
+            canonical = Some(report);
+        }
+    }
+
+    let mut rounds: Vec<RoundProgress> = Vec::new();
+    let mut total_perms = 0usize;
+    let mut total_remaps = 0usize;
+    for round in 1..=config.max_rounds {
+        let round_start = cur_mlv.objective;
+        // `cur_mlv.objective` IS the estimate of `cur` at
+        // `cur_mlv.pattern`, so candidate comparisons against it are
+        // bit-consistent with re-running the estimator.
+        let mut incumbent = cur_mlv.objective;
+        let mut accepted_permutations = 0;
+        if config.permute {
+            let mut plan = CompiledEstimator::compile(&cur, library)?;
+            let mut scratch = plan.scratch();
+            accepted_permutations = permutation_pass(
+                &mut plan,
+                &mut scratch,
+                &cur_mlv.pattern,
+                config.mlv.mode,
+                &mut incumbent,
+                &mut evaluations,
+            )?;
+            if accepted_permutations > 0 {
+                // Rebuild so later passes (and the caller) see the
+                // chosen pin assignment as a plain circuit. The
+                // rebuild is estimator-neutral: gate order and pin
+                // assignments are preserved, so `incumbent` still
+                // matches a fresh compile bit-for-bit.
+                cur = rebuild_with_pins(&cur, &plan);
+            }
+        }
+
+        let mut accepted_remaps = 0;
+        if config.remap {
+            // Greedy first-improvement: candidate gate ids go stale
+            // after every acceptance (the rebuild renumbers), so
+            // re-enumerate from the rewritten circuit each time.
+            loop {
+                let mut improved = false;
+                for gid in remap_candidates(&cur) {
+                    let candidate = apply_remap(&cur, gid);
+                    let obj = score(&candidate, library, &cur_mlv.pattern, config.mlv.mode)?;
+                    evaluations += 1;
+                    metrics.candidates.inc();
+                    if obj < incumbent {
+                        cur = candidate;
+                        incumbent = obj;
+                        accepted_remaps += 1;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // Re-search the extreme vector of the rewritten circuit.
+        let next = mlv_search(&cur, library, &config.mlv)?;
+        evaluations += next.telemetry.evaluations;
+        cur_mlv = next;
+
+        total_perms += accepted_permutations;
+        total_remaps += accepted_remaps;
+        metrics.rounds.inc();
+        let progress = RoundProgress {
+            round,
+            rounds_total: config.max_rounds,
+            accepted_permutations,
+            accepted_remaps,
+            objective_a: cur_mlv.objective,
+            baseline_a: baseline.objective,
+            evaluations,
+        };
+        rounds.push(progress);
+        if !on_round(&progress) {
+            return Ok(None);
+        }
+        if (accepted_permutations == 0 && accepted_remaps == 0) || cur_mlv.objective >= round_start
+        {
+            break;
+        }
+    }
+
+    // Hard guarantee: never hand back a circuit whose re-searched
+    // objective exceeds the baseline. Heuristic strategies (random /
+    // hill-climb re-search) can land on a worse vector estimate even
+    // though every accepted rewrite improved the fixed-pattern score.
+    let mut reverted = false;
+    if cur_mlv.objective > baseline.objective {
+        cur = circuit.clone();
+        cur_mlv = baseline.clone();
+        reverted = true;
+        metrics.reverted.inc();
+    }
+    metrics.accepted_permutations.add(total_perms as u64);
+    metrics.accepted_remaps.add(total_remaps as u64);
+    metrics.run_seconds.record_duration(start.elapsed());
+
+    let result = OptimizeResult {
+        gates_before: circuit.gate_count(),
+        gates_after: cur.gate_count(),
+        circuit: cur,
+        improved: cur_mlv,
+        baseline,
+        rounds,
+        canonical,
+        reverted,
+        evaluations,
+        elapsed: start.elapsed(),
+    };
+    metrics.improvement_percent.record(result.improvement_percent());
+    Ok(Some(result))
+}
+
+/// One allocation-free estimate of `circuit` at `pattern`.
+fn score(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    pattern: &Pattern,
+    mode: EstimatorMode,
+) -> Result<f64, EstimateError> {
+    let plan = CompiledEstimator::compile(circuit, library)?;
+    let mut scratch = plan.scratch();
+    Ok(plan.estimate_into(&mut scratch, pattern, mode)?.total())
+}
+
+/// Lexicographic next-permutation; `false` once `p` is the last
+/// (descending) arrangement.
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+/// Moves `gate`'s pins from arrangement `cur` to `target` (both map
+/// position → original pin) with one in-place plan permutation.
+fn apply_arrangement(
+    plan: &mut CompiledEstimator<'_>,
+    gate: GateId,
+    pins: usize,
+    prefix: usize,
+    cur: &mut [usize; MAX_PINS],
+    target: &[usize; MAX_PINS],
+) {
+    if cur[..prefix] == target[..prefix] {
+        return;
+    }
+    // permute_gate_inputs maps new position -> current position, so
+    // the relative permutation is cur⁻¹ ∘ target.
+    let mut inv = [0usize; MAX_PINS];
+    for (k, &c) in cur[..prefix].iter().enumerate() {
+        inv[c] = k;
+    }
+    let mut rel = [0usize; MAX_PINS];
+    for k in 0..prefix {
+        rel[k] = inv[target[k]];
+    }
+    for (k, r) in rel[prefix..pins].iter_mut().enumerate() {
+        *r = prefix + k;
+    }
+    plan.permute_gate_inputs(gate, &rel[..pins]);
+    cur[..prefix].copy_from_slice(&target[..prefix]);
+}
+
+/// Greedy per-gate pin-permutation pass at a fixed pattern. Gates are
+/// visited in id order; each gate's commutative-prefix permutations
+/// are enumerated lexicographically (identity first, so ties keep the
+/// incumbent assignment) and scored in place — no allocation, no
+/// recompile. On return the plan holds the chosen assignments and
+/// `incumbent` their objective.
+fn permutation_pass(
+    plan: &mut CompiledEstimator<'_>,
+    scratch: &mut EstimateScratch,
+    pattern: &Pattern,
+    mode: EstimatorMode,
+    incumbent: &mut f64,
+    evaluations: &mut u64,
+) -> Result<usize, EstimateError> {
+    let metrics = opt_metrics();
+    let mut accepted = 0;
+    let n_gates = plan.circuit().gate_count();
+    let identity = {
+        let mut id = [0usize; MAX_PINS];
+        for (k, v) in id.iter_mut().enumerate() {
+            *v = k;
+        }
+        id
+    };
+    for gi in 0..n_gates {
+        let gate = GateId(gi);
+        let cell = plan.circuit().gate(gate).cell;
+        let prefix = cell.commutative_prefix();
+        if prefix < 2 {
+            continue;
+        }
+        let pins = cell.num_inputs();
+        {
+            // All-equal nets: every arrangement is the same assignment.
+            let nets = plan.gate_input_nets(gate);
+            if nets[..prefix].iter().all(|&n| n == nets[0]) {
+                continue;
+            }
+        }
+        let mut cur = identity;
+        let mut best = identity;
+        let mut best_obj = *incumbent;
+        let mut cand = identity;
+        while next_permutation(&mut cand[..prefix]) {
+            apply_arrangement(plan, gate, pins, prefix, &mut cur, &cand);
+            let obj = plan.estimate_into(scratch, pattern, mode)?.total();
+            *evaluations += 1;
+            metrics.candidates.inc();
+            if obj < best_obj {
+                best_obj = obj;
+                best[..prefix].copy_from_slice(&cand[..prefix]);
+            }
+        }
+        apply_arrangement(plan, gate, pins, prefix, &mut cur, &best);
+        if best[..prefix] != identity[..prefix] {
+            accepted += 1;
+            *incumbent = best_obj;
+        }
+    }
+    Ok(accepted)
+}
+
+/// Rebuilds `c` with each gate's input list taken from the (possibly
+/// permuted) plan. Gate order and names are preserved, so the result
+/// estimates bit-identically to the plan itself.
+fn rebuild_with_pins(c: &Circuit, plan: &CompiledEstimator<'_>) -> Circuit {
+    let mut b = CircuitBuilder::new(c.name());
+    let mut new_net = vec![NetId(usize::MAX); c.net_count()];
+    for &i in c.inputs() {
+        new_net[i.0] = b.add_input(c.net_name(i));
+    }
+    for &s in c.state_inputs() {
+        new_net[s.0] = b.add_state_input(c.net_name(s));
+    }
+    for (gi, g) in c.gates().iter().enumerate() {
+        let ins: Vec<NetId> =
+            plan.gate_input_nets(GateId(gi)).iter().map(|&n| new_net[n as usize]).collect();
+        new_net[g.output.0] = b.add_gate(g.cell, &ins, c.net_name(g.output));
+    }
+    for &o in c.outputs() {
+        b.mark_output(new_net[o.0]);
+    }
+    for &d in c.dff_d_nets() {
+        b.mark_dff_d(new_net[d.0]);
+    }
+    b.build().expect("pin-permuted rebuild of a valid circuit is valid")
+}
+
+/// Gates eligible for the De Morgan remap: 2-input NAND/NOR whose
+/// pins are both driven by inverters, in gate-id order.
+fn remap_candidates(c: &Circuit) -> Vec<GateId> {
+    let mut out = Vec::new();
+    for (gi, g) in c.gates().iter().enumerate() {
+        if !matches!(g.cell, CellType::Nand2 | CellType::Nor2) {
+            continue;
+        }
+        let all_inverted = g.inputs.iter().all(|&i| match c.net_driver(i) {
+            Driver::Gate(h) => c.gate(h).cell == CellType::Inv,
+            _ => false,
+        });
+        if all_inverted {
+            out.push(GateId(gi));
+        }
+    }
+    out
+}
+
+/// Rewrites `NAND2(!x, !y)` as `INV(NOR2(x, y))` (or the NOR/NAND
+/// dual) at `target`, retiring each feeding inverter whose only load
+/// was the remapped gate. DFF slave inverters are never retired, and
+/// inverter outputs that are primary outputs or DFF D nets keep their
+/// driver. Function-preserving by De Morgan; whether it *pays* is for
+/// the estimator to decide.
+fn apply_remap(c: &Circuit, target: GateId) -> Circuit {
+    let g = c.gate(target);
+    debug_assert!(matches!(g.cell, CellType::Nand2 | CellType::Nor2));
+    let dual = if g.cell == CellType::Nand2 { CellType::Nor2 } else { CellType::Nand2 };
+
+    let mut is_state = vec![false; c.net_count()];
+    for &s in c.state_inputs() {
+        is_state[s.0] = true;
+    }
+    let mut keep_driven = vec![false; c.net_count()];
+    for &o in c.outputs() {
+        keep_driven[o.0] = true;
+    }
+    for &d in c.dff_d_nets() {
+        keep_driven[d.0] = true;
+    }
+
+    // The two feeding inverters: their sources become the dual gate's
+    // pins; single-load ones retire.
+    let mut sources = [NetId(usize::MAX); 2];
+    let mut retire = [usize::MAX; 2];
+    for (k, &pin) in g.inputs.iter().enumerate() {
+        let Driver::Gate(h) = c.net_driver(pin) else {
+            unreachable!("remap candidates are inverter-driven");
+        };
+        sources[k] = c.gate(h).inputs[0];
+        let retirable =
+            c.net_loads(pin).len() == 1 && !keep_driven[pin.0] && !is_state[c.gate(h).inputs[0].0];
+        if retirable {
+            retire[k] = h.0;
+        }
+    }
+
+    let mut b = CircuitBuilder::new(c.name());
+    let mut new_net = vec![NetId(usize::MAX); c.net_count()];
+    for &i in c.inputs() {
+        new_net[i.0] = b.add_input(c.net_name(i));
+    }
+    for &s in c.state_inputs() {
+        new_net[s.0] = b.add_state_input(c.net_name(s));
+    }
+    for (gi, g2) in c.gates().iter().enumerate() {
+        if gi == retire[0] || gi == retire[1] {
+            continue;
+        }
+        if gi == target.0 {
+            let out_name = c.net_name(g2.output);
+            let mid = b.add_gate(
+                dual,
+                &[new_net[sources[0].0], new_net[sources[1].0]],
+                &format!("{out_name}__dm"),
+            );
+            new_net[g2.output.0] = b.add_gate(CellType::Inv, &[mid], out_name);
+            continue;
+        }
+        let ins: Vec<NetId> = g2.inputs.iter().map(|&i| new_net[i.0]).collect();
+        new_net[g2.output.0] = b.add_gate(g2.cell, &ins, c.net_name(g2.output));
+    }
+    for &o in c.outputs() {
+        b.mark_output(new_net[o.0]);
+    }
+    for &d in c.dff_d_nets() {
+        b.mark_dff_d(new_net[d.0]);
+    }
+    b.build().expect("De Morgan remap of a valid circuit is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoleak_cells::CharacterizeOptions;
+    use nanoleak_core::estimate;
+    use nanoleak_device::Technology;
+    use nanoleak_engine::MlvStrategy;
+    use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+    use nanoleak_netlist::logic::simulate;
+    use nanoleak_netlist::normalize::normalize;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn library() -> Arc<CellLibrary> {
+        CellLibrary::shared_with_options(
+            &Technology::d25(),
+            300.0,
+            &CharacterizeOptions::coarse(&CellType::ALL),
+        )
+    }
+
+    fn assert_same_function(a: &Circuit, b: &Circuit, cases: usize, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..cases {
+            let p = Pattern::random(a, &mut rng);
+            let va = simulate(a, &p.pi, &p.states);
+            let vb = simulate(b, &p.pi, &p.states);
+            for (k, (&oa, &ob)) in a.outputs().iter().zip(b.outputs()).enumerate() {
+                assert_eq!(va[oa.0], vb[ob.0], "output {k}");
+            }
+            for (k, (&da, &db)) in a.dff_d_nets().iter().zip(b.dff_d_nets()).enumerate() {
+                assert_eq!(va[da.0], vb[db.0], "dff d {k}");
+            }
+        }
+    }
+
+    fn small_config() -> OptimizeConfig {
+        OptimizeConfig { max_rounds: 3, ..OptimizeConfig::default() }
+    }
+
+    #[test]
+    fn optimize_improves_or_matches_and_reports_exactly() {
+        let raw = random_circuit(&RandomCircuitSpec::new("opt-t", 5, 3, 40, 1, 13));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let result = optimize(&circuit, &lib, &small_config()).unwrap();
+        assert!(result.improved.objective <= result.baseline.objective);
+        assert_same_function(&circuit, &result.circuit, 16, 99);
+        // The reported improved objective is exactly what estimate()
+        // returns for the rewritten circuit at the reported vector.
+        let re =
+            estimate(&result.circuit, &lib, &result.improved.pattern, EstimatorMode::Lut).unwrap();
+        assert_eq!(
+            re.total.total().to_bits(),
+            result.improved.objective.to_bits(),
+            "reported improvement must be reproducible bit-exactly"
+        );
+    }
+
+    #[test]
+    fn optimize_is_deterministic() {
+        let raw = random_circuit(&RandomCircuitSpec::new("opt-d", 5, 3, 35, 0, 21));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let a = optimize(&circuit, &lib, &small_config()).unwrap();
+        let b = optimize(&circuit, &lib, &small_config()).unwrap();
+        assert_eq!(a.circuit.structural_key(), b.circuit.structural_key());
+        assert_eq!(a.improved.objective.to_bits(), b.improved.objective.to_bits());
+        assert_eq!(a.rounds.len(), b.rounds.len());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn cancellation_returns_none() {
+        let raw = random_circuit(&RandomCircuitSpec::new("opt-c", 4, 2, 25, 0, 2));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let cancelled = optimize_with(&circuit, &lib, &small_config(), |_| false).unwrap();
+        assert!(cancelled.is_none());
+    }
+
+    #[test]
+    fn heuristic_strategies_never_beat_the_guarantee() {
+        let raw = random_circuit(&RandomCircuitSpec::new("opt-h", 6, 3, 45, 2, 31));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let config = OptimizeConfig {
+            mlv: MlvConfig {
+                strategy: MlvStrategy::HillClimb { restarts: 2, max_steps: 8 },
+                ..MlvConfig::default()
+            },
+            max_rounds: 2,
+            ..OptimizeConfig::default()
+        };
+        let result = optimize(&circuit, &lib, &config).unwrap();
+        assert!(result.improved.objective <= result.baseline.objective);
+        if result.reverted {
+            assert_eq!(result.gates_after, result.gates_before);
+        }
+        assert_same_function(&circuit, &result.circuit, 12, 7);
+    }
+
+    #[test]
+    fn remap_rewrite_preserves_function_and_retires_inverters() {
+        // y = NAND(!a, !b) with single-use inverters: the remap must
+        // drop to NOR2 + INV (2 gates instead of 3).
+        let mut b = CircuitBuilder::new("dm");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let na = b.add_gate(CellType::Inv, &[a], "na");
+        let nb = b.add_gate(CellType::Inv, &[c], "nb");
+        let y = b.add_gate(CellType::Nand2, &[na, nb], "y");
+        b.mark_output(y);
+        let circuit = b.build().unwrap();
+        let cands = remap_candidates(&circuit);
+        assert_eq!(cands, vec![GateId(2)]);
+        let rewritten = apply_remap(&circuit, cands[0]);
+        assert_eq!(rewritten.gate_count(), 2);
+        assert_same_function(&circuit, &rewritten, 8, 3);
+    }
+
+    #[test]
+    fn remap_keeps_shared_and_protected_inverters() {
+        // na also feeds an output, so it must survive the remap.
+        let mut b = CircuitBuilder::new("dm2");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let na = b.add_gate(CellType::Inv, &[a], "na");
+        let nb = b.add_gate(CellType::Inv, &[c], "nb");
+        let y = b.add_gate(CellType::Nor2, &[na, nb], "y");
+        b.mark_output(y);
+        b.mark_output(na);
+        let circuit = b.build().unwrap();
+        let rewritten = apply_remap(&circuit, GateId(2));
+        // na survives (it is an output), nb retires.
+        assert_eq!(rewritten.gate_count(), 3);
+        assert!(rewritten.find_net("na").is_some());
+        assert_same_function(&circuit, &rewritten, 8, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The satellite contract: optimization is semantics-
+        /// preserving for random circuits, the improvement direction
+        /// holds, and the reported leakage matches an independent
+        /// estimate() re-run bit-exactly.
+        #[test]
+        fn optimization_preserves_semantics(
+            seed in any::<u64>(),
+            gates in 8usize..50,
+            inputs in 2usize..8,
+            dffs in 0usize..4,
+        ) {
+            let spec = RandomCircuitSpec::new("opt-prop", inputs, 2, gates, dffs, seed);
+            let circuit = normalize(&random_circuit(&spec)).unwrap();
+            let lib = library();
+            let result = optimize(&circuit, &lib, &small_config()).unwrap();
+            prop_assert!(result.improved.objective <= result.baseline.objective);
+            assert_same_function(&circuit, &result.circuit, 8, seed ^ 0x5bd1);
+            let re = estimate(
+                &result.circuit,
+                &lib,
+                &result.improved.pattern,
+                EstimatorMode::Lut,
+            ).unwrap();
+            prop_assert_eq!(
+                re.total.total().to_bits(),
+                result.improved.objective.to_bits()
+            );
+        }
+    }
+}

@@ -23,7 +23,8 @@ use nanoleak_engine::{
 use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
 use nanoleak_netlist::normalize::normalize;
-use nanoleak_netlist::{Circuit, Pattern};
+use nanoleak_netlist::{Circuit, NetId, Pattern};
+use nanoleak_opt::{optimize_with, OptimizeConfig, RoundProgress};
 use nanoleak_variation::{char_opts_for, CircuitMcConfig, McSummary, VariationSigmas};
 use rand::SeedableRng;
 use serde::{json, Deserialize, Serialize, Value};
@@ -489,11 +490,11 @@ pub struct MlvResponse {
     pub elapsed_ms: f64,
 }
 
-/// Runs the MLV endpoint.
-pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, ApiError> {
-    let (target, circuit) = resolve_circuit(body)?;
-    let tech = resolve_tech(body)?;
-    let op = resolve_operating_point(body)?;
+/// The MLV-search parameters of a request (shared by `/v1/mlv` and
+/// `/v1/optimize`): goal, strategy, seed, threads — CLI defaults
+/// applied and client-controlled work bounded. Returns the raw goal
+/// string alongside the config for response echoing.
+pub fn resolve_mlv_config(body: &Body) -> Result<(String, MlvConfig), ApiError> {
     let goal_raw: String = body.get("goal", "min".into())?;
     let goal = match goal_raw.as_str() {
         "min" => MlvGoal::Min,
@@ -523,6 +524,15 @@ pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, Api
         threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
         mode: EstimatorMode::Lut,
     };
+    Ok((goal_raw, config))
+}
+
+/// Runs the MLV endpoint.
+pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, ApiError> {
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let op = resolve_operating_point(body)?;
+    let (goal_raw, config) = resolve_mlv_config(body)?;
     let lib = library(cache, &tech, &op, &resolve_char_opts(body)?)?;
     let result = mlv_search(&circuit, &lib, &config)
         .map_err(|e| ApiError::unprocessable(format!("MLV search failed: {e}")))?;
@@ -540,6 +550,184 @@ pub fn run_mlv(cache: &MemoLibraryCache, body: &Body) -> Result<MlvResponse, Api
         improving_moves: result.telemetry.improving_moves,
         restarts: result.telemetry.restarts,
         elapsed_ms: result.telemetry.elapsed.as_secs_f64() * 1e3,
+    })
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/optimize
+// ---------------------------------------------------------------------
+
+/// Most optimization rounds one request may ask for — each round is a
+/// full pin-permutation pass plus a remap pass plus an MLV re-search.
+pub const MAX_REQUEST_OPT_ROUNDS: usize = 16;
+
+/// Structured JSON form of a normalized circuit: named nets, cells in
+/// gate order. This is the exact structure (the `.bench` dialect
+/// cannot express a normalized circuit's DFF master/slave expansion
+/// without re-normalizing it differently on import).
+pub fn circuit_to_value(c: &Circuit) -> Value {
+    let names = |nets: &[NetId]| {
+        Value::Seq(nets.iter().map(|&n| Value::Str(c.net_name(n).to_string())).collect())
+    };
+    let gates = c
+        .gates()
+        .iter()
+        .map(|g| {
+            Value::Record(vec![
+                ("cell".into(), Value::Str(g.cell.name().to_string())),
+                ("inputs".into(), names(&g.inputs)),
+                ("output".into(), Value::Str(c.net_name(g.output).to_string())),
+            ])
+        })
+        .collect();
+    Value::Record(vec![
+        ("name".into(), Value::Str(c.name().to_string())),
+        ("inputs".into(), names(c.inputs())),
+        ("state_inputs".into(), names(c.state_inputs())),
+        ("outputs".into(), names(c.outputs())),
+        ("dff_d".into(), names(c.dff_d_nets())),
+        ("gates".into(), Value::Seq(gates)),
+    ])
+}
+
+/// One optimization round as the job-observer partial / response row.
+pub fn round_to_value(r: &RoundProgress) -> Value {
+    Value::Record(vec![
+        ("round".into(), Value::Int(r.round as i128)),
+        ("rounds_total".into(), Value::Int(r.rounds_total as i128)),
+        ("accepted_permutations".into(), Value::Int(r.accepted_permutations as i128)),
+        ("accepted_remaps".into(), Value::Int(r.accepted_remaps as i128)),
+        ("objective_a".into(), Value::F64(r.objective_a)),
+        ("baseline_a".into(), Value::F64(r.baseline_a)),
+        ("evaluations".into(), Value::Int(i128::from(r.evaluations))),
+    ])
+}
+
+/// Response of `POST /v1/optimize` (and the `"optimize"` job kind):
+/// the leakage-optimized circuit plus the before/after report.
+#[derive(Debug, Clone, Serialize)]
+pub struct OptimizeResponse {
+    /// Resolved circuit name.
+    pub target: String,
+    /// Search direction the scoring used (`"min"` / `"max"`).
+    pub goal: String,
+    /// MLV re-search strategy.
+    pub strategy: String,
+    /// Gate count going in (after normalization).
+    pub gates_before: usize,
+    /// Gate count of the optimized circuit.
+    pub gates_after: usize,
+    /// Rounds executed (≤ the configured bound).
+    pub rounds_run: usize,
+    /// Configured round bound.
+    pub max_rounds: usize,
+    /// Extreme vector of the input circuit, printable form.
+    pub baseline_vector: String,
+    /// Objective of the input circuit at its extreme vector \[A\].
+    pub baseline_a: f64,
+    /// Extreme vector of the optimized circuit, printable form.
+    pub improved_vector: String,
+    /// Objective of the optimized circuit at its extreme vector \[A\].
+    /// Guaranteed `improved_a <= baseline_a`.
+    pub improved_a: f64,
+    /// Leakage power of the optimized circuit at its vector \[W\].
+    pub improved_power_w: f64,
+    /// Relative objective improvement (percent).
+    pub improvement_percent: f64,
+    /// Pin permutations accepted across all rounds.
+    pub accepted_permutations: usize,
+    /// De Morgan remaps accepted across all rounds.
+    pub accepted_remaps: usize,
+    /// Whether the canonicalization pre-pass was kept.
+    pub canonicalized: bool,
+    /// Double-inverter pairs removed by the kept pre-pass.
+    pub inverter_pairs_removed: usize,
+    /// Dead gates removed by the kept pre-pass.
+    pub dead_gates_removed: usize,
+    /// `true` when the input circuit was returned unchanged because
+    /// no rewrite survived the final objective guard.
+    pub reverted: bool,
+    /// Total estimator invocations (candidates + MLV searches).
+    pub evaluations: u64,
+    /// Per-round progress rows.
+    pub rounds: Vec<Value>,
+    /// The optimized circuit as a structured netlist (see
+    /// [`circuit_to_value`]).
+    pub netlist: Value,
+    /// Server-side wall clock \[ms\].
+    pub elapsed_ms: f64,
+}
+
+/// Runs the optimize endpoint (the synchronous route; the job
+/// executor streams per-round progress through [`run_optimize_with`]).
+pub fn run_optimize(cache: &MemoLibraryCache, body: &Body) -> Result<OptimizeResponse, ApiError> {
+    run_optimize_with(cache, body, &NoopObserver)
+}
+
+/// Runs a leakage optimization, reporting each round's
+/// [`RoundProgress`] to `observer` as it completes (the declared unit
+/// count is the configured round bound; early convergence leaves the
+/// tail undeclared-but-absent). The observer's cancel flag is polled
+/// at round boundaries.
+pub fn run_optimize_with(
+    cache: &MemoLibraryCache,
+    body: &Body,
+    observer: &dyn JobObserver,
+) -> Result<OptimizeResponse, ApiError> {
+    let start = Instant::now();
+    let (target, circuit) = resolve_circuit(body)?;
+    let tech = resolve_tech(body)?;
+    let op = resolve_operating_point(body)?;
+    let (goal_raw, mlv) = resolve_mlv_config(body)?;
+    let max_rounds = check_limit("rounds", body.get("rounds", 4usize)?, MAX_REQUEST_OPT_ROUNDS)?;
+    if max_rounds == 0 {
+        return Err(ApiError::bad("'rounds' must be at least 1"));
+    }
+    let config = OptimizeConfig {
+        mlv,
+        max_rounds,
+        canonicalize: body.get("canonicalize", true)?,
+        permute: body.get("permute", true)?,
+        remap: body.get("remap", true)?,
+    };
+    observer.declare(max_rounds);
+    let lib = library(cache, &tech, &op, &resolve_char_opts(body)?)?;
+    let result = optimize_with(&circuit, &lib, &config, |round| {
+        observer.unit(round.round - 1, round_to_value(round));
+        !observer.cancelled()
+    })
+    .map_err(|e| ApiError::unprocessable(format!("optimization failed: {e}")))?;
+    let Some(result) = result else {
+        return Err(cancelled_error());
+    };
+    let (pairs, dead) = result
+        .canonical
+        .as_ref()
+        .map_or((0, 0), |r| (r.inverter_pairs_removed, r.dead_gates_removed));
+    Ok(OptimizeResponse {
+        target,
+        goal: goal_raw,
+        strategy: result.baseline.telemetry.strategy.to_string(),
+        gates_before: result.gates_before,
+        gates_after: result.gates_after,
+        rounds_run: result.rounds.len(),
+        max_rounds,
+        baseline_vector: fmt_pattern(&result.baseline.pattern),
+        baseline_a: result.baseline.objective,
+        improved_vector: fmt_pattern(&result.improved.pattern),
+        improved_a: result.improved.objective,
+        improved_power_w: result.improved.objective * lib.tech.vdd,
+        improvement_percent: result.improvement_percent(),
+        accepted_permutations: result.rounds.iter().map(|r| r.accepted_permutations).sum(),
+        accepted_remaps: result.rounds.iter().map(|r| r.accepted_remaps).sum(),
+        canonicalized: result.canonical.is_some(),
+        inverter_pairs_removed: pairs,
+        dead_gates_removed: dead,
+        reverted: result.reverted,
+        evaluations: result.evaluations,
+        rounds: result.rounds.iter().map(round_to_value).collect(),
+        netlist: circuit_to_value(&result.circuit),
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
     })
 }
 

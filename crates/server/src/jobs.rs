@@ -37,6 +37,8 @@ pub enum JobKind {
     Grid,
     /// A circuit-level Monte-Carlo variation run.
     Mc,
+    /// A leakage-aware netlist optimization run.
+    Optimize,
 }
 
 impl JobKind {
@@ -47,6 +49,7 @@ impl JobKind {
             JobKind::Mlv => "mlv",
             JobKind::Grid => "grid",
             JobKind::Mc => "mc",
+            JobKind::Optimize => "optimize",
         }
     }
 
@@ -57,6 +60,7 @@ impl JobKind {
             "mlv" => Some(JobKind::Mlv),
             "grid" => Some(JobKind::Grid),
             "mc" => Some(JobKind::Mc),
+            "optimize" => Some(JobKind::Optimize),
             _ => None,
         }
     }
@@ -647,7 +651,7 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in [JobKind::Sweep, JobKind::Mlv, JobKind::Grid, JobKind::Mc] {
+        for kind in [JobKind::Sweep, JobKind::Mlv, JobKind::Grid, JobKind::Mc, JobKind::Optimize] {
             assert_eq!(JobKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(JobKind::parse("spice"), None);

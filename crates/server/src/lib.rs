@@ -19,7 +19,8 @@
 //! | `POST /v1/estimate` | mean leakage ± loading impact over N random vectors |
 //! | `POST /v1/sweep` | full per-vector statistics ([`nanoleak_engine::SweepStats`]) |
 //! | `POST /v1/mlv` | min/max-leakage standby-vector search |
-//! | `POST /v1/jobs` | submit an async job (`"type"`: `sweep`, `mlv`, `grid`, or `mc`) |
+//! | `POST /v1/optimize` | leakage-aware netlist rewriting (returns the optimized netlist) |
+//! | `POST /v1/jobs` | submit an async job (`"type"`: `sweep`, `mlv`, `grid`, `mc`, or `optimize`) |
 //! | `GET /v1/jobs/{id}` | job status with shard progress, and the result once done |
 //! | `GET /v1/jobs/{id}/result` | the final result alone (409 until done) |
 //! | `GET /v1/jobs/{id}/result?shard=K` | one shard's partial (202 while pending) |
@@ -58,6 +59,22 @@
 //! distribution partials through the same `shards_done`/`shards_total`
 //! progress and `?shard=K` paging protocol as sharded sweeps, with the
 //! merged loaded/unloaded summary bit-identical to an in-process run.
+//!
+//! ## Optimization
+//!
+//! `POST /v1/optimize` (and the `"optimize"` job type, which reports
+//! one progress unit per finished round) runs the
+//! [`nanoleak_opt`](nanoleak_opt::optimize_with) greedy rewriter:
+//! canonicalization, commutative pin permutations, and De-Morgan
+//! NAND↔NOR remaps, each candidate scored with the compiled estimator
+//! at the minimum-leakage vector. The response carries the baseline
+//! and improved MLV results (`improved_a` ≤ `baseline_a`, guaranteed),
+//! per-round telemetry, and the rewritten netlist as structured JSON
+//! (named nets and cells in gate order). Every embedded MLV search
+//! goes through the process-wide plan cache, so repeated optimize
+//! requests against the same structure skip recompilation —
+//! `nanoleak_plan_cache_*` and `nanoleak_opt_*` counters on
+//! `GET /metrics` make both visible.
 //!
 //! ## Scale machinery
 //!

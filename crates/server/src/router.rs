@@ -30,6 +30,7 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
         ("POST", "/v1/estimate") => sync_endpoint(state, req, api::run_estimate),
         ("POST", "/v1/sweep") => sync_endpoint(state, req, api::run_sweep),
         ("POST", "/v1/mlv") => sync_endpoint(state, req, api::run_mlv),
+        ("POST", "/v1/optimize") => sync_endpoint(state, req, api::run_optimize),
         ("POST", "/v1/jobs") => submit_job(state, req),
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
@@ -51,6 +52,7 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
                     | "/v1/estimate"
                     | "/v1/sweep"
                     | "/v1/mlv"
+                    | "/v1/optimize"
                     | "/v1/jobs"
             );
             if known {
@@ -224,8 +226,9 @@ fn submit_job(state: &ServerState, req: &Request) -> Response {
     };
     let parsed = Body::parse(&text).and_then(|body| {
         let raw: String = body.get("type", "sweep".into())?;
-        JobKind::parse(&raw)
-            .ok_or_else(|| ApiError::bad(format!("type: expected sweep|mlv|grid|mc, got '{raw}'")))
+        JobKind::parse(&raw).ok_or_else(|| {
+            ApiError::bad(format!("type: expected sweep|mlv|grid|mc|optimize, got '{raw}'"))
+        })
     });
     let kind = match parsed {
         Ok(kind) => kind,
@@ -513,6 +516,10 @@ pub fn execute_job(state: &ServerState, id: u64) {
             JobKind::Mc => {
                 api::run_mc(&state.mc_cache, &body, &observer).map(|r| serialized(|| r.to_value()))
             }
+            // Optimize jobs report one unit per finished round, so
+            // pollers watch the objective converge live.
+            JobKind::Optimize => api::run_optimize_with(&state.cache, &body, &observer)
+                .map(|r| serialized(|| r.to_value())),
         }
     }));
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;

@@ -14,6 +14,13 @@
 //!                                [--seed S] [--temp K] [--vdd-scale X] [--threads N]
 //!                                [--format text|json] [--coarse]
 //!                                [--no-cache] [--cache-dir DIR]
+//! nanoleak-cli optimize <target> [--rounds N] [--goal min|max]
+//!                                [--strategy exhaustive|random|hillclimb]
+//!                                [--samples N] [--restarts N] [--max-steps N]
+//!                                [--no-canonicalize] [--no-permute] [--no-remap]
+//!                                [--out FILE] [--seed S] [--temp K] [--vdd-scale X]
+//!                                [--threads N] [--format text|json] [--coarse]
+//!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli mc       <target> [--samples N] [--sigma-vt V] [--sigma-vt-intra V]
 //!                                [--vectors N] [--seed S] [--temp K] [--vdd-scale X]
 //!                                [--threads N] [--shard-samples N]
@@ -23,11 +30,14 @@
 //!                       [--no-cache] [--cache-dir DIR]
 //! ```
 //!
-//! `<target>` is a `.bench` path or a built-in name (`s838`, `s1196`,
-//! ..., `alu88`, `mult88`). Invoking with a target as the first
-//! argument (no subcommand) behaves like `estimate`, preserving the
-//! original CLI. Unknown `--flags` are rejected with an error instead
-//! of being silently ignored.
+//! `<target>` is a `.bench` path, a Yosys gate-level JSON dump
+//! (`.json`, see [`nanoleak_netlist::yosys`]), or a built-in name
+//! (`s838`, `s1196`, ..., `alu88`, `mult88`); `--circuit-format
+//! auto|bench|yosys` overrides the extension-based detection.
+//! Invoking with a target as the first argument (no subcommand)
+//! behaves like `estimate`, preserving the original CLI. Unknown
+//! `--flags` are rejected with an error instead of being silently
+//! ignored.
 //!
 //! Every subcommand analyzes at a first-class operating point
 //! (`--temp` × `--vdd-scale`, see `nanoleak_cells::OperatingPoint`),
@@ -50,18 +60,25 @@ use nanoleak_engine::{
     MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, ScalarStats, SweepConfig,
 };
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
-use nanoleak_serve::api::{fmt_pattern, EstimateResponse, McResponse, MlvResponse, SweepResponse};
+use nanoleak_netlist::{parse_yosys_json, RawCircuit};
+use nanoleak_opt::{optimize_with, OptimizeConfig};
+use nanoleak_serve::api::{
+    circuit_to_value, fmt_pattern, round_to_value, EstimateResponse, McResponse, MlvResponse,
+    OptimizeResponse, SweepResponse,
+};
 use nanoleak_serve::{ServeConfig, Server};
 use nanoleak_variation::{char_opts_for, CircuitMcConfig, Stats, VariationSigmas};
 use rand::SeedableRng;
 
 const USAGE: &str = "\
-usage: nanoleak-cli <command> <circuit.bench | s838 | s1196 | s1423 | s5378 | s9234 | s13207 | alu88 | mult88> [options]
+usage: nanoleak-cli <command> <circuit.bench | design.json | s838 | s1196 | s1423 | s5378 | s9234 | s13207 | alu88 | mult88> [options]
 
 commands:
   estimate   mean leakage and loading impact over random vectors (default)
   sweep      parallel per-vector statistics over the input space
   mlv        minimum/maximum-leakage input-vector search
+  optimize   leakage-aware netlist rewriting (pin permutations and NAND/NOR
+             remapping, scored at the extreme vector)
   mc         circuit-level Monte-Carlo leakage distribution under process
              variation (loaded vs unloaded)
   serve      long-lived HTTP/JSON analysis service (no circuit argument)
@@ -79,6 +96,9 @@ common options:
                   lower LUT resolution)
   --no-cache      re-characterize instead of using the on-disk cache
   --cache-dir D   cache directory (default .nanoleak-cache or $NANOLEAK_CACHE_DIR)
+  --circuit-format F  auto (default) | bench | yosys; auto picks by
+                  extension (.bench, .json = Yosys gate-level JSON dump)
+                  and falls back to the built-in generator names
 
 estimate options:
   --reference     also run the full transistor-level reference solve
@@ -94,6 +114,15 @@ mlv options:
   --samples N     random-strategy samples (default 1024)
   --restarts N    hill-climb restarts (default 8)
   --max-steps N   hill-climb accepted-move limit (default 64)
+
+optimize options (plus all mlv options, which steer the scoring vector):
+  --rounds N          optimization-round bound (default 4; each round is a
+                      pin-permutation pass, a remap pass, and a vector
+                      re-search — the loop stops early on convergence)
+  --no-canonicalize   skip the double-inverter / dead-gate pre-pass
+  --no-permute        skip the commutative pin-permutation pass
+  --no-remap          skip the NAND(!x,!y) <-> INV(NOR(x,y)) remap pass
+  --out FILE          also write the optimized netlist as structured JSON
 
 mc options:
   --samples N         Monte-Carlo samples / perturbed dies (default 200)
@@ -212,7 +241,7 @@ fn main() -> ExitCode {
     // Subcommand dispatch with backwards compatibility: a first
     // argument that is not a known command is an `estimate` target.
     let command = match raw[0].as_str() {
-        "estimate" | "sweep" | "mlv" | "mc" | "serve" => raw.remove(0),
+        "estimate" | "sweep" | "mlv" | "optimize" | "mc" | "serve" => raw.remove(0),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -236,6 +265,7 @@ fn main() -> ExitCode {
         "estimate" => cmd_estimate(&target, args),
         "sweep" => cmd_sweep(&target, args),
         "mlv" => cmd_mlv(&target, args),
+        "optimize" => cmd_optimize(&target, args),
         "mc" => cmd_mc(&target, args),
         _ => unreachable!("dispatch covers all commands"),
     };
@@ -245,19 +275,51 @@ fn main() -> ExitCode {
     }
 }
 
-/// Resolves a `.bench` path or built-in generator name to a circuit.
-fn load_circuit(target: &str) -> Result<Circuit, String> {
-    let raw = if target.ends_with(".bench") {
-        let text =
-            std::fs::read_to_string(target).map_err(|e| format!("cannot read '{target}': {e}"))?;
+/// On-disk netlist dialect of the circuit target: `--circuit-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CircuitFormat {
+    /// By extension: `.bench` → bench, `.json` → yosys, otherwise a
+    /// built-in generator name.
+    Auto,
+    Bench,
+    Yosys,
+}
+
+impl CircuitFormat {
+    fn take(args: &mut Args) -> Result<Self, String> {
+        match args.take_value("--circuit-format")?.as_deref() {
+            None | Some("auto") => Ok(CircuitFormat::Auto),
+            Some("bench") => Ok(CircuitFormat::Bench),
+            Some("yosys") => Ok(CircuitFormat::Yosys),
+            Some(other) => {
+                Err(format!("--circuit-format: expected auto|bench|yosys, got '{other}'"))
+            }
+        }
+    }
+}
+
+/// Resolves a `.bench` path, Yosys JSON dump, or built-in generator
+/// name to a circuit.
+fn load_circuit(target: &str, format: CircuitFormat) -> Result<Circuit, String> {
+    let read = || -> Result<String, String> {
+        std::fs::read_to_string(target).map_err(|e| format!("cannot read '{target}': {e}"))
+    };
+    let bench = |text: &str| -> Result<RawCircuit, String> {
         let name = target.trim_end_matches(".bench").to_string();
-        parse_bench(&name, &text).map_err(|e| format!("{target}: {e}"))?
-    } else {
-        match target {
+        parse_bench(&name, text).map_err(|e| format!("{target}: {e}"))
+    };
+    // The empty name lets the importer keep the JSON module's name.
+    let yosys = |text: &str| parse_yosys_json("", text).map_err(|e| format!("{target}: {e}"));
+    let raw = match format {
+        CircuitFormat::Bench => bench(&read()?)?,
+        CircuitFormat::Yosys => yosys(&read()?)?,
+        CircuitFormat::Auto if target.ends_with(".bench") => bench(&read()?)?,
+        CircuitFormat::Auto if target.ends_with(".json") => yosys(&read()?)?,
+        CircuitFormat::Auto => match target {
             "alu88" => alu(8),
             "mult88" => multiplier(8),
             other => iscas_like(other).ok_or_else(|| format!("unknown circuit '{other}'"))?,
-        }
+        },
     };
     normalize(&raw).map_err(|e| format!("normalization failed: {e}"))
 }
@@ -392,6 +454,7 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
     let format = OutputFormat::take(&mut args)?;
     let char_opts = take_char_opts(&mut args);
     let cache = CacheOpts::take(&mut args)?;
+    let circuit_format = CircuitFormat::take(&mut args)?;
     args.finish()?;
     if with_reference && format == OutputFormat::Json {
         // Refusing beats silently dropping the reference solve from
@@ -400,7 +463,7 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
     }
 
     let t0 = Instant::now();
-    let circuit = load_circuit(target)?;
+    let circuit = load_circuit(target, circuit_format)?;
     if format == OutputFormat::Text {
         println!("{}", CircuitStats::compute(&circuit));
     }
@@ -491,12 +554,13 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
     let format = OutputFormat::take(&mut args)?;
     let char_opts = take_char_opts(&mut args);
     let cache = CacheOpts::take(&mut args)?;
+    let circuit_format = CircuitFormat::take(&mut args)?;
     args.finish()?;
     if config.vectors == 0 {
         return Err("--vectors must be at least 1".to_string());
     }
 
-    let circuit = load_circuit(target)?;
+    let circuit = load_circuit(target, circuit_format)?;
     if format == OutputFormat::Text {
         println!("{}", CircuitStats::compute(&circuit));
     }
@@ -585,7 +649,9 @@ fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
+/// The MLV-search flags shared by `mlv` and `optimize` (goal,
+/// strategy, seed, threads), mirroring the service's resolver.
+fn take_mlv_config(args: &mut Args) -> Result<MlvConfig, String> {
     let goal = match args.take_value("--goal")?.as_deref() {
         None | Some("min") => MlvGoal::Min,
         Some("max") => MlvGoal::Max,
@@ -608,20 +674,33 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
             return Err(format!("--strategy: expected exhaustive|random|hillclimb, got '{other}'"))
         }
     };
-    let config = MlvConfig {
+    Ok(MlvConfig {
         goal,
         strategy,
         seed: args.take_parsed("--seed", 2005)?,
         threads: args.take_parsed("--threads", 0)?,
         mode: EstimatorMode::Lut,
-    };
+    })
+}
+
+fn goal_name(goal: MlvGoal) -> &'static str {
+    match goal {
+        MlvGoal::Min => "min",
+        MlvGoal::Max => "max",
+    }
+}
+
+fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
+    let config = take_mlv_config(&mut args)?;
+    let goal = config.goal;
     let op = take_operating_point(&mut args)?;
     let format = OutputFormat::take(&mut args)?;
     let char_opts = take_char_opts(&mut args);
     let cache = CacheOpts::take(&mut args)?;
+    let circuit_format = CircuitFormat::take(&mut args)?;
     args.finish()?;
 
-    let circuit = load_circuit(target)?;
+    let circuit = load_circuit(target, circuit_format)?;
     if format == OutputFormat::Text {
         println!("{}", CircuitStats::compute(&circuit));
     }
@@ -689,6 +768,137 @@ fn cmd_mlv(target: &str, mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_optimize(target: &str, mut args: Args) -> Result<(), String> {
+    let mlv = take_mlv_config(&mut args)?;
+    let rounds: usize = args.take_parsed("--rounds", 4)?;
+    if rounds == 0 {
+        return Err("--rounds must be at least 1".to_string());
+    }
+    let config = OptimizeConfig {
+        mlv,
+        max_rounds: rounds,
+        canonicalize: !args.take_flag("--no-canonicalize"),
+        permute: !args.take_flag("--no-permute"),
+        remap: !args.take_flag("--no-remap"),
+    };
+    let out_path = args.take_value("--out")?;
+    let op = take_operating_point(&mut args)?;
+    let format = OutputFormat::take(&mut args)?;
+    let char_opts = take_char_opts(&mut args);
+    let cache = CacheOpts::take(&mut args)?;
+    let circuit_format = CircuitFormat::take(&mut args)?;
+    args.finish()?;
+
+    let t0 = Instant::now();
+    let circuit = load_circuit(target, circuit_format)?;
+    if format == OutputFormat::Text {
+        println!("{}", CircuitStats::compute(&circuit));
+    }
+    let tech = Technology::d25();
+    let lib = load_library(&tech, &op, &char_opts, &cache, format == OutputFormat::Json);
+
+    // Round progress goes to stderr so `--format json` stdout stays
+    // machine-parseable.
+    let result = optimize_with(&circuit, &lib, &config, |round| {
+        eprintln!(
+            "[optimize] round {}/{}: objective {:.4} uA ({} permutation(s), {} remap(s))",
+            round.round,
+            round.rounds_total,
+            round.objective_a * 1e6,
+            round.accepted_permutations,
+            round.accepted_remaps
+        );
+        true
+    })
+    .map_err(|e| format!("optimization failed: {e}"))?
+    .expect("CLI optimizations are never cancelled");
+
+    if let Some(path) = &out_path {
+        let netlist = serde::json::value_to_string(&circuit_to_value(&result.circuit));
+        std::fs::write(path, netlist).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!("[optimize] wrote optimized netlist to {path}");
+    }
+
+    if format == OutputFormat::Json {
+        // The service's POST /v1/optimize response type, so one
+        // parser covers both transports by construction.
+        let (pairs, dead) = result
+            .canonical
+            .as_ref()
+            .map_or((0, 0), |r| (r.inverter_pairs_removed, r.dead_gates_removed));
+        let response = OptimizeResponse {
+            target: target.to_string(),
+            goal: goal_name(config.mlv.goal).to_string(),
+            strategy: result.baseline.telemetry.strategy.to_string(),
+            gates_before: result.gates_before,
+            gates_after: result.gates_after,
+            rounds_run: result.rounds.len(),
+            max_rounds: rounds,
+            baseline_vector: fmt_pattern(&result.baseline.pattern),
+            baseline_a: result.baseline.objective,
+            improved_vector: fmt_pattern(&result.improved.pattern),
+            improved_a: result.improved.objective,
+            improved_power_w: result.improved.objective * lib.tech.vdd,
+            improvement_percent: result.improvement_percent(),
+            accepted_permutations: result.rounds.iter().map(|r| r.accepted_permutations).sum(),
+            accepted_remaps: result.rounds.iter().map(|r| r.accepted_remaps).sum(),
+            canonicalized: result.canonical.is_some(),
+            inverter_pairs_removed: pairs,
+            dead_gates_removed: dead,
+            reverted: result.reverted,
+            evaluations: result.evaluations,
+            rounds: result.rounds.iter().map(round_to_value).collect(),
+            netlist: circuit_to_value(&result.circuit),
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        println!("{}", serde::json::to_string_pretty(&response));
+        return Ok(());
+    }
+
+    let ua = 1e6;
+    let which = match config.mlv.goal {
+        MlvGoal::Min => "minimum",
+        MlvGoal::Max => "maximum",
+    };
+    println!("\nleakage optimization at the {which}-leakage vector:");
+    if let Some(report) = &result.canonical {
+        println!(
+            "  canonical : {} -> {} gates ({} inverter pair(s), {} dead gate(s) removed)",
+            report.gates_before,
+            report.gates_after,
+            report.inverter_pairs_removed,
+            report.dead_gates_removed
+        );
+    }
+    println!(
+        "  baseline  : {:.4} uA at {}",
+        result.baseline.objective * ua,
+        fmt_pattern(&result.baseline.pattern)
+    );
+    println!(
+        "  improved  : {:.4} uA at {} ({:+.2} %)",
+        result.improved.objective * ua,
+        fmt_pattern(&result.improved.pattern),
+        -result.improvement_percent()
+    );
+    println!(
+        "  rewrites  : {} pin permutation(s), {} NAND/NOR remap(s) over {} round(s)",
+        result.rounds.iter().map(|r| r.accepted_permutations).sum::<usize>(),
+        result.rounds.iter().map(|r| r.accepted_remaps).sum::<usize>(),
+        result.rounds.len()
+    );
+    println!("  gates     : {} -> {}", result.gates_before, result.gates_after);
+    if result.reverted {
+        println!("  (no rewrite survived the objective guard; input returned unchanged)");
+    }
+    println!(
+        "\n  {} estimator evaluations in {:.3} s",
+        result.evaluations,
+        result.elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
 fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
     let samples: usize = args.take_parsed("--samples", 200)?;
     let vectors: usize = args.take_parsed("--vectors", 1)?;
@@ -704,12 +914,13 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
     // but deliberately unused: per-sample libraries belong to unique
     // perturbed dies, so `mc` never reads or writes the disk cache.
     let _ = CacheOpts::take(&mut args)?;
+    let circuit_format = CircuitFormat::take(&mut args)?;
     args.finish()?;
     if samples == 0 || vectors == 0 {
         return Err("--samples and --vectors must be at least 1".to_string());
     }
 
-    let circuit = load_circuit(target)?;
+    let circuit = load_circuit(target, circuit_format)?;
     if format == OutputFormat::Text {
         println!("{}", CircuitStats::compute(&circuit));
     }
@@ -867,7 +1078,8 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
     );
     nanoleak_obs::info!(
         "serve",
-        "endpoints: /healthz /metrics /v1/stats /v1/estimate /v1/sweep /v1/mlv /v1/jobs; \
+        "endpoints: /healthz /metrics /v1/stats /v1/estimate /v1/sweep /v1/mlv /v1/optimize \
+         /v1/jobs; \
          ctrl-c or SIGTERM drains queued jobs and exits"
     );
     server.run().map_err(|e| format!("server failed: {e}"))

@@ -17,7 +17,7 @@
 //! fast one-pass estimation algorithm, validated against a full
 //! nonlinear circuit solve.
 //!
-//! This facade re-exports the seven sub-crates:
+//! This facade re-exports the sub-crates:
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
@@ -27,8 +27,9 @@
 //! | [`netlist`] | `nanoleak-netlist` | gate-level circuits, `.bench`, generators |
 //! | [`core`] | `nanoleak-core` | the Fig. 13 estimator + reference simulator |
 //! | [`variation`] | `nanoleak-variation` | Monte-Carlo process variation (inverter fixture + circuit-level) |
-//! | [`engine`] | `nanoleak-engine` | parallel sweeps, MLV search, streaming MC, characterization cache |
-//! | [`serve`] | `nanoleak-serve` | long-lived HTTP/JSON service + async grid/MC jobs |
+//! | [`engine`] | `nanoleak-engine` | parallel sweeps, MLV search, streaming MC, characterization + plan caches |
+//! | [`opt`] | `nanoleak-opt` | leakage-aware netlist optimization (pin permutations, NAND/NOR remaps) |
+//! | [`serve`] | `nanoleak-serve` | long-lived HTTP/JSON service + async grid/MC/optimize jobs |
 //!
 //! ## Quickstart
 //!
@@ -106,6 +107,17 @@
 //! From the CLI: `nanoleak-cli sweep s1196 --vectors 1000 --threads 8`
 //! and `nanoleak-cli mlv s838 --strategy hillclimb`.
 //!
+//! ## The optimizer
+//!
+//! The [`opt`] crate closes the loop from *estimating* standby leakage
+//! to *reducing* it ([`opt::optimize`](nanoleak_opt::optimize)): a
+//! deterministic greedy pass that permutes commutative gate pins and
+//! applies De-Morgan NAND↔NOR remaps, scoring every candidate with the
+//! compiled estimator at the minimum-leakage vector and re-searching
+//! the vector after each round. The result is guaranteed no worse than
+//! the input at its own MLV. From the CLI:
+//! `nanoleak-cli optimize s838 --rounds 4`.
+//!
 //! ## The service
 //!
 //! `nanoleak-cli serve` hosts the engine as a resident HTTP/JSON
@@ -121,6 +133,7 @@ pub use nanoleak_core as core;
 pub use nanoleak_device as device;
 pub use nanoleak_engine as engine;
 pub use nanoleak_netlist as netlist;
+pub use nanoleak_opt as opt;
 pub use nanoleak_serve as serve;
 pub use nanoleak_solver as solver;
 pub use nanoleak_variation as variation;
@@ -143,9 +156,10 @@ pub mod prelude {
         MlvConfig, MlvGoal, MlvResult, MlvStrategy, ScalarStats, SweepConfig, SweepReport,
     };
     pub use nanoleak_netlist::{
-        bench_format::parse_bench, generate, normalize::normalize, Circuit, CircuitBuilder,
-        CircuitStats, Pattern,
+        bench_format::parse_bench, generate, normalize::normalize, parse_yosys_json, Circuit,
+        CircuitBuilder, CircuitStats, Pattern,
     };
+    pub use nanoleak_opt::{optimize, optimize_with, OptimizeConfig, OptimizeResult};
     pub use nanoleak_solver::{solve_dc, MosNetlist, NewtonOptions, SolverError};
     pub use nanoleak_variation::{
         run_circuit_mc, run_inverter_mc, CircuitMcConfig, McConfig, McSummary, VariationSigmas,
