@@ -1,12 +1,13 @@
 //! Compiled-plan vs legacy per-pattern estimation on the s1196-sized
-//! benchmark, plus single-thread sweep throughput (vectors/sec) on
-//! the compiled path. `cargo run --release -p nanoleak-bench --bin
-//! bench_sweep` records the committed `BENCH_sweep.json` baseline
-//! from the same workload.
+//! benchmark, the 64-lane block kernel on the same workload, plus
+//! single-thread sweep throughput (vectors/sec) on both the scalar
+//! and block engine paths. `cargo run --release -p nanoleak-bench
+//! --bin bench_sweep` records the committed `BENCH_sweep.json`
+//! baseline from the same workload.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nanoleak_cells::CharacterizeOptions;
-use nanoleak_core::{estimate, CompiledEstimator, EstimatorMode};
+use nanoleak_core::{estimate, CompiledEstimator, EstimatorMode, LANES};
 use nanoleak_device::Technology;
 use nanoleak_engine::{pattern_for_index, sweep, LibraryCache, SweepConfig};
 use nanoleak_netlist::generate::iscas_like;
@@ -34,6 +35,22 @@ fn bench_estimator(c: &mut Criterion) {
             plan.estimate_into(&mut scratch, black_box(&pattern), EstimatorMode::Lut).unwrap()
         })
     });
+    // One 64-pattern block through the word-parallel kernel; divide
+    // the reported time by 64 for the per-pattern figure.
+    plan.prepare_block();
+    let mut block_scratch = plan.block_scratch();
+    group.bench_function("block_estimate_64_lanes", |b| {
+        b.iter(|| {
+            plan.estimate_index_block_into(
+                &mut block_scratch,
+                black_box(2005),
+                0,
+                LANES,
+                EstimatorMode::Lut,
+            )
+            .unwrap()
+        })
+    });
     group.finish();
 
     // End-to-end sweep throughput on the compiled path (pattern
@@ -41,9 +58,13 @@ fn bench_estimator(c: &mut Criterion) {
     // number is comparable across hosts.
     let mut group = c.benchmark_group("sweep_s1196_throughput");
     group.sample_size(10);
-    let config = SweepConfig { vectors: 256, threads: 1, ..Default::default() };
+    let config = SweepConfig { vectors: 256, threads: 1, lanes: 1, ..Default::default() };
     group.bench_function("compiled_sweep_256v_1t", |b| {
         b.iter(|| sweep(&circuit, &lib, &config).unwrap())
+    });
+    let block_config = SweepConfig { lanes: 64, ..config };
+    group.bench_function("block_sweep_256v_1t", |b| {
+        b.iter(|| sweep(&circuit, &lib, &block_config).unwrap())
     });
     group.finish();
 }

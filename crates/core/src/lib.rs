@@ -19,7 +19,12 @@
 //!   [`CompiledEstimator`] flattens a (circuit, library) pair once so
 //!   per-pattern evaluation runs allocation-free against a reusable
 //!   [`EstimateScratch`], bit-identical to [`estimate`]. This is the
-//!   hot path the engine's sweeps and MLV searches run on.
+//!   hot path the engine's sweeps and MLV searches run on. Its block
+//!   path packs [`LANES`] (= 64) patterns into one `u64` word per net
+//!   ([`PatternBlock`]) and evaluates them through a word-parallel
+//!   simulate kernel plus a table-driven resolve kernel
+//!   ([`CompiledEstimator::estimate_block_into`] /
+//!   [`BlockScratch`]), bit-identical to the scalar path.
 //! * [`exec`] — the workspace's deterministic parallel-execution
 //!   primitives (SplitMix64 seed streams, index-ordered `par_map`).
 //! * [`report`] / [`experiment`] — leakage reports, loading-impact
@@ -65,7 +70,9 @@ pub use error::EstimateError;
 pub use estimator::{estimate, estimate_batch, EstimatorMode};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use loading::LoadingState;
-pub use plan::{CompiledEstimator, EstimateScratch};
+pub use plan::{
+    resolve_lanes, BlockScratch, CompiledEstimator, EstimateScratch, PatternBlock, LANES,
+};
 pub use reference::{reference_batch, reference_leakage, ReferenceOptions, ReferenceResult};
 pub use report::{accuracy, Accuracy, CircuitLeakage, LoadingImpact};
 pub use shared::SharedEstimator;

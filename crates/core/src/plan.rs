@@ -40,13 +40,61 @@
 //! (thread-count and shard-size invariance) carries over unchanged —
 //! and is enforced by proptests below plus the engine's cross-path
 //! tests.
+//!
+//! ## The block path: two kernels, [`LANES`] patterns at a time
+//!
+//! [`CompiledEstimator::estimate_block_into`] evaluates a packed
+//! [`PatternBlock`] of up to [`LANES`] (= 64) patterns through two
+//! kernels:
+//!
+//! 1. a **simulate kernel** that holds one `u64` word per net — bit
+//!    `l` is lane `l`'s logic value — and walks the topo order once
+//!    per block, evaluating each gate as a sum of minterm masks read
+//!    off the same `eval_logic` truth-table slab the scalar pass
+//!    uses;
+//! 2. a **resolve kernel** that turns per-lane net states into
+//!    leakage. In `Lut` mode it is table-driven: at (lazy) block-plan
+//!    build time, per-gate responses are precomputed for each
+//!    combination of their *support nets* — the nets the scalar
+//!    arithmetic actually depends on — with exactly the scalar
+//!    pass's floating-point operations in exactly the scalar order,
+//!    so a lookup is bit-identical to recomputing. Three tiers:
+//!    a gate whose whole clamped breakdown has at most
+//!    [`MAX_SUPPORT_BITS`] support nets (its inputs plus the inputs
+//!    of every gate loading its input and output nets) gets one
+//!    whole-gate table (one lookup per lane); wider gates split into
+//!    per-*term* tables (one per pin response and one for the output
+//!    response, each over its own narrower support, summed per lane
+//!    in the scalar order before the clamp); terms still wider than
+//!    the bound — high-fanout hub nets — evaluate at runtime from
+//!    per-lane net currents, folded in the scalar loading pass's
+//!    order. The global [`MAX_TABLE_ENTRIES`] budget caps total
+//!    table memory.
+//!
+//! **The block path is bit-identical to the scalar path** — and hence
+//! to [`estimate`](crate::estimate) — for every mode: per-lane totals
+//! accumulate per-gate breakdowns sequentially in gate-id order (the
+//! scalar reduction order), and callers consume
+//! [`BlockScratch::totals`] in lane order, so any stats reduction
+//! stays in strict pattern-index order. `DirectSolve` mode and plans
+//! whose pin wiring was changed by
+//! [`permute_gate_inputs`](CompiledEstimator::permute_gate_inputs)
+//! (the optimizer's probe) serve each lane through the scalar kernel
+//! instead — same results, no acceleration — because the response
+//! tables are compiled against the original wiring.
+//! [`BlockScratch`] carries the same zero-allocation-per-block
+//! contract as [`EstimateScratch`] once warm (the first `Lut`-mode
+//! block builds the response tables and sizes the runtime-current
+//! buffer).
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use nanoleak_cells::{BreakdownLut, CellLibrary, CellType, InputVector};
 use nanoleak_device::LeakageBreakdown;
-use nanoleak_netlist::{Circuit, Driver, GateId, Pattern};
+use nanoleak_netlist::{Circuit, Driver, GateId, NetId, Pattern};
+pub use nanoleak_netlist::{PatternBlock, LANES};
 use rand::SeedableRng;
 
 use crate::error::EstimateError;
@@ -57,6 +105,124 @@ use crate::report::CircuitLeakage;
 /// Largest cell fanin the stack-bounded loading buffers support
 /// (the cell family tops out at 4 pins; 8 matches `InputVector`).
 const MAX_PINS: usize = 8;
+
+/// Largest support-net count a block response table covers
+/// (`2^bits` precomputed entries per table). Applies to whole-gate
+/// tables and per-term tables alike; on ISCAS-sized netlists ~75% of
+/// gates fit whole and all but a few percent of the remaining terms
+/// fit split, leaving only true high-fanout hubs on the runtime
+/// path.
+pub const MAX_SUPPORT_BITS: usize = 12;
+
+/// Global budget of precomputed response-table entries per plan
+/// (~24 MiB of breakdowns at the cap). Gates past the budget fall
+/// back like over-wide ones.
+pub const MAX_TABLE_ENTRIES: usize = 1 << 20;
+
+/// `tbl_off` sentinel: gate (or term) not served by a table.
+const TABLE_FALLBACK: u32 = u32::MAX;
+
+/// One additive term of a split (tier-B) gate response: the pin-`pin`
+/// input response (or, at `pin == pins`, the output response), either
+/// as a precomputed table over its own support nets or as a runtime
+/// evaluation against per-lane net currents.
+struct BlockTerm {
+    /// Offset of the term's `2^sup_len` entries in `tbl`, or
+    /// [`TABLE_FALLBACK`] for runtime evaluation.
+    tbl: u32,
+    /// Support run in `sup_nets` (table terms only).
+    sup_start: u32,
+    sup_len: u32,
+    /// Input pin index, or the gate's pin count for the output term
+    /// (also the term's LUT offset from the gate's `lut_off`).
+    pin: u32,
+    /// The net whose loading current feeds this term.
+    net: u32,
+}
+
+/// Resolves a requested lane count (`0` = auto) to a concrete one.
+///
+/// # Panics
+/// If `requested` is not `0`, `1`, or [`LANES`] — config validation
+/// belongs at the API edge (CLI/server), so the engine treats any
+/// other value as a programming error.
+pub fn resolve_lanes(requested: usize) -> usize {
+    match requested {
+        0 => LANES,
+        1 | LANES => requested,
+        other => panic!("unsupported lane count {other} (expected 1 or {LANES})"),
+    }
+}
+
+/// The lazily built block-resolve plan: per-gate response tables plus
+/// the runtime-current fallback layout. Built once per
+/// [`CompiledEstimator`] (against its compile-time wiring) on first
+/// `Lut`-mode block estimate or [`CompiledEstimator::prepare_block`].
+struct BlockTables {
+    /// Per gate: offset of its `2^support` entry run in `tbl`, or
+    /// [`TABLE_FALLBACK`].
+    tbl_off: Vec<u32>,
+    /// CSR offsets into `sup_nets`, one per gate plus a tail
+    /// (fallback gates own an empty run).
+    sup_off: Vec<u32>,
+    /// Flattened per-gate support nets; bit `j` of a table index is
+    /// the value of support net `j`.
+    sup_nets: Vec<u32>,
+    /// Precomputed breakdowns: whole-gate entries are clamped gate
+    /// responses, term entries are unclamped single-LUT deltas.
+    tbl: Vec<LeakageBreakdown>,
+    /// CSR offsets into `terms`, one per gate plus a tail (whole-gate
+    /// table gates own an empty run).
+    term_off: Vec<u32>,
+    /// Flattened per-gate terms of split gates, pins in order then
+    /// the output — the scalar accumulation order.
+    terms: Vec<BlockTerm>,
+    /// Nets whose runtime per-lane currents the runtime terms read.
+    rt_nets: Vec<u32>,
+    /// Per net: its slot in `rt_nets`, or `u32::MAX`.
+    rt_slot: Vec<u32>,
+    /// CSR offsets into `rt_loads`, one per `rt_nets` entry plus a
+    /// tail.
+    rt_off: Vec<u32>,
+    /// Flattened (gate, pin) loads per runtime net, in the scalar
+    /// loading pass's accumulation order.
+    rt_loads: Vec<(u32, u32)>,
+    /// Gates split into per-term service (diagnostics/tests).
+    fallback_gates: usize,
+    /// Terms evaluated at runtime (diagnostics/tests).
+    rt_terms: usize,
+}
+
+/// Reusable per-worker buffers for the block path
+/// ([`CompiledEstimator::estimate_block_into`]). Like
+/// [`EstimateScratch`], repeated block estimates perform no heap
+/// allocation once the buffers are warm; keep one per worker thread.
+///
+/// `Default` yields an unsized scratch that warms up on first use, so
+/// workers that see many plans over one circuit (the MC path) can
+/// reuse a single scratch across compiles.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    /// One packed word per net: bit `l` is lane `l`'s logic value.
+    words: Vec<u64>,
+    /// Runtime per-lane net currents for fallback gates,
+    /// `rt_slot * LANES + lane`.
+    rt_cur: Vec<f64>,
+    /// Per-lane totals of the most recent block, lane order.
+    totals: Vec<LeakageBreakdown>,
+    /// Scalar scratch backing the per-lane fallback kernels.
+    inner: EstimateScratch,
+    /// Reusable block for index-derived sweep patterns.
+    index_block: PatternBlock,
+}
+
+impl BlockScratch {
+    /// Per-lane totals of the most recent block estimate, in lane
+    /// (pattern-index) order; one entry per packed lane.
+    pub fn totals(&self) -> &[LeakageBreakdown] {
+        &self.totals
+    }
+}
 
 /// Where a lookup lands in a grid: exactly on a knot (return the
 /// stored sample, like `Lut1::eval`'s `Ok` arm) or inside/beyond a
@@ -246,6 +412,14 @@ pub struct CompiledEstimator<'a> {
     ys_slab: Vec<f64>,
     xs_slab: Vec<f64>,
     grids: Vec<PlanGrid>,
+    /// Snapshot of `in_nets` at compile time. The block response
+    /// tables are valid only while the live wiring still equals this
+    /// snapshot; `permute_gate_inputs` diverges from it (and undoing
+    /// the permutation restores it), and the block path compares
+    /// before trusting the tables.
+    compiled_wiring: Vec<u32>,
+    /// Lazily built block-resolve plan (shared across threads).
+    block: OnceLock<BlockTables>,
 }
 
 /// Reusable per-worker buffers for [`CompiledEstimator`]. All vectors
@@ -303,6 +477,8 @@ impl<'a> CompiledEstimator<'a> {
             ys_slab: Vec::new(),
             xs_slab: Vec::new(),
             grids: Vec::new(),
+            compiled_wiring: Vec::new(),
+            block: OnceLock::new(),
         };
 
         let mut cell_blocks: BTreeMap<CellType, u32> = BTreeMap::new();
@@ -323,6 +499,7 @@ impl<'a> CompiledEstimator<'a> {
             plan.in_nets.extend(gate.inputs.iter().map(|n| n.0 as u32));
             plan.in_off.push(plan.in_nets.len() as u32);
         }
+        plan.compiled_wiring = plan.in_nets.clone();
         Ok(plan)
     }
 
@@ -545,6 +722,597 @@ impl<'a> CompiledEstimator<'a> {
     ) -> Result<CircuitLeakage, EstimateError> {
         let total = self.estimate_into(scratch, pattern, mode)?;
         Ok(CircuitLeakage { per_gate: scratch.per_gate.clone(), total })
+    }
+
+    /// A block scratch for this plan, ready for allocation-free block
+    /// estimates once warm. Keep one per worker thread.
+    pub fn block_scratch(&self) -> BlockScratch {
+        BlockScratch {
+            words: vec![0; self.gate_driven.len()],
+            rt_cur: Vec::new(),
+            totals: Vec::with_capacity(LANES),
+            inner: self.scratch(),
+            index_block: PatternBlock::for_circuit(self.circuit),
+        }
+    }
+
+    /// Builds the block response tables now (they are otherwise built
+    /// lazily by the first `Lut`-mode block estimate), so callers can
+    /// charge the cost to a compile stage instead of the first shard.
+    /// No-op when the plan's wiring has been permuted away from its
+    /// compiled state.
+    pub fn prepare_block(&self) {
+        if self.in_nets == self.compiled_wiring {
+            let _ = self.block_tables();
+        }
+    }
+
+    /// Gates the block plan serves through the runtime fallback
+    /// instead of a response table (support wider than
+    /// [`MAX_SUPPORT_BITS`] or past the [`MAX_TABLE_ENTRIES`]
+    /// budget). Builds the tables if needed.
+    pub fn block_fallback_gates(&self) -> usize {
+        self.block_tables().fallback_gates
+    }
+
+    fn block_tables(&self) -> &BlockTables {
+        self.block.get_or_init(|| self.build_block_tables())
+    }
+
+    /// Evaluates every packed lane of `block`, leaving one total per
+    /// lane in [`BlockScratch::totals`] (lane order = pattern-index
+    /// order). Bit-identical to calling
+    /// [`estimate_into`](Self::estimate_into) per lane, in every
+    /// mode; see the module docs for the kernel split. `Lut` mode
+    /// builds the response tables on first use; `DirectSolve` mode
+    /// and permuted plans run each lane through the scalar kernel.
+    ///
+    /// # Errors
+    /// * [`EstimateError::BadPattern`] on arity mismatch;
+    /// * [`EstimateError::Solver`] from direct-solve mode.
+    pub fn estimate_block_into(
+        &self,
+        scratch: &mut BlockScratch,
+        block: &PatternBlock,
+        mode: EstimatorMode,
+    ) -> Result<(), EstimateError> {
+        self.check_block(block)?;
+        let len = block.len();
+        scratch.totals.clear();
+        scratch.totals.resize(len, LeakageBreakdown::ZERO);
+        if len == 0 {
+            return Ok(());
+        }
+        if mode == EstimatorMode::DirectSolve || self.in_nets != self.compiled_wiring {
+            return self.run_block_scalar(scratch, block, mode);
+        }
+        self.simulate_block(&mut scratch.words, block);
+        match mode {
+            EstimatorMode::NoLoading => self.resolve_nominal_block(scratch, len),
+            EstimatorMode::Lut => {
+                let tables = self.block_tables();
+                self.resolve_lut_block(tables, scratch, len);
+            }
+            EstimatorMode::DirectSolve => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    /// The per-lane reference kernel: every lane is unpacked and run
+    /// through the scalar pipeline. Same results and totals layout as
+    /// [`estimate_block_into`](Self::estimate_block_into), never any
+    /// table build — the right call when a plan is too short-lived to
+    /// amortize one (the MC path compiles a fresh plan per die).
+    ///
+    /// # Errors
+    /// As [`estimate_block_into`](Self::estimate_block_into).
+    pub fn estimate_block_scalar_into(
+        &self,
+        scratch: &mut BlockScratch,
+        block: &PatternBlock,
+        mode: EstimatorMode,
+    ) -> Result<(), EstimateError> {
+        self.check_block(block)?;
+        scratch.totals.clear();
+        scratch.totals.resize(block.len(), LeakageBreakdown::ZERO);
+        self.run_block_scalar(scratch, block, mode)
+    }
+
+    /// Packs the seed-derived sweep patterns `start..start + count`
+    /// (the [`estimate_index_into`](Self::estimate_index_into)
+    /// stream) into the scratch's reusable block and evaluates them
+    /// via [`estimate_block_into`](Self::estimate_block_into).
+    ///
+    /// # Panics
+    /// If `count > LANES`.
+    ///
+    /// # Errors
+    /// As [`estimate_block_into`](Self::estimate_block_into).
+    pub fn estimate_index_block_into(
+        &self,
+        scratch: &mut BlockScratch,
+        seed: u64,
+        start: usize,
+        count: usize,
+        mode: EstimatorMode,
+    ) -> Result<(), EstimateError> {
+        assert!(count <= LANES, "{count} patterns exceed the {LANES}-lane block");
+        let mut block = std::mem::take(&mut scratch.index_block);
+        let (pis, states) = (self.circuit.inputs().len(), self.circuit.state_inputs().len());
+        if block.pi_words().len() != pis || block.state_words().len() != states {
+            block = PatternBlock::for_arity(pis, states);
+        }
+        block.clear();
+        let mut pattern = std::mem::take(&mut scratch.inner.pattern);
+        for i in 0..count {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, (start + i) as u64));
+            pattern.fill_random(self.circuit, &mut rng);
+            block.push(&pattern);
+        }
+        scratch.inner.pattern = pattern;
+        let out = self.estimate_block_into(scratch, &block, mode);
+        scratch.index_block = block;
+        out
+    }
+
+    fn check_block(&self, block: &PatternBlock) -> Result<(), EstimateError> {
+        if block.pi_words().len() != self.circuit.inputs().len() {
+            return Err(EstimateError::BadPattern(format!(
+                "{} packed primary-input words for {} inputs",
+                block.pi_words().len(),
+                self.circuit.inputs().len()
+            )));
+        }
+        if block.state_words().len() != self.circuit.state_inputs().len() {
+            return Err(EstimateError::BadPattern(format!(
+                "{} packed DFF-state words for {} flip-flops",
+                block.state_words().len(),
+                self.circuit.state_inputs().len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The word-parallel simulate kernel: one topo pass over packed
+    /// `u64` net words. Each gate ORs together the minterm masks of
+    /// its true truth-table rows — the same `eval_logic`-derived slab
+    /// the scalar pass indexes — so bit `l` of every net word equals
+    /// the scalar simulation of lane `l`. Lanes beyond the block's
+    /// length compute the all-zeros pattern and are never read.
+    fn simulate_block(&self, words: &mut Vec<u64>, block: &PatternBlock) {
+        words.clear();
+        words.resize(self.gate_driven.len(), 0);
+        for (net, &w) in self.circuit.inputs().iter().zip(block.pi_words()) {
+            words[net.0] = w;
+        }
+        // DFF slave inverters reproduce the state on Q, so the state
+        // pseudo-input is the complement (as in `simulate_into`).
+        for (net, &w) in self.circuit.state_inputs().iter().zip(block.state_words()) {
+            words[net.0] = !w;
+        }
+        for &g in &self.topo {
+            let g = g as usize;
+            let (s, e) = (self.in_off[g] as usize, self.in_off[g + 1] as usize);
+            let k = e - s;
+            let mut ins = [0u64; MAX_PINS];
+            for (slot, &net) in ins[..k].iter_mut().zip(&self.in_nets[s..e]) {
+                *slot = words[net as usize];
+            }
+            let base = self.vc_base[g] as usize;
+            let mut out = 0u64;
+            for v in 0..1usize << k {
+                if self.logic_slab[base + v] {
+                    let mut m = !0u64;
+                    for (j, &w) in ins[..k].iter().enumerate() {
+                        m &= if v >> j & 1 == 1 { w } else { !w };
+                    }
+                    out |= m;
+                }
+            }
+            words[self.out_net[g] as usize] = out;
+        }
+    }
+
+    /// Per-lane input bits for gate `g`, gathered with the pin loop
+    /// outermost so each packed net word is loaded once per block
+    /// (not once per lane) and the lane loop is all register ops.
+    #[inline]
+    fn gate_bits_block(&self, words: &[u64], g: usize, len: usize) -> [u16; LANES] {
+        let (s, e) = (self.in_off[g] as usize, self.in_off[g + 1] as usize);
+        let mut bits = [0u16; LANES];
+        for (k, &net) in self.in_nets[s..e].iter().enumerate() {
+            let w = words[net as usize];
+            for (lane, b) in bits[..len].iter_mut().enumerate() {
+                *b |= ((w >> lane & 1) as u16) << k;
+            }
+        }
+        bits
+    }
+
+    /// Per-lane table indices over support nets `sup`, net loop
+    /// outermost for the same one-load-per-word reason.
+    #[inline]
+    fn gather_block(words: &[u64], sup: &[u32], len: usize) -> [u32; LANES] {
+        let mut idx = [0u32; LANES];
+        for (j, &net) in sup.iter().enumerate() {
+            let w = words[net as usize];
+            for (lane, i) in idx[..len].iter_mut().enumerate() {
+                *i |= ((w >> lane & 1) as u32) << j;
+            }
+        }
+        idx
+    }
+
+    /// `NoLoading` block resolve: per-lane totals accumulate each
+    /// gate's nominal breakdown in gate-id order — the scalar
+    /// reduction order, so every lane total is bit-identical.
+    fn resolve_nominal_block(&self, scratch: &mut BlockScratch, len: usize) {
+        for g in 0..self.gate_cell.len() {
+            let base = self.vc_base[g] as usize;
+            let bits = self.gate_bits_block(&scratch.words, g, len);
+            for (lane, total) in scratch.totals[..len].iter_mut().enumerate() {
+                *total += self.vcs[base + bits[lane] as usize].nominal;
+            }
+        }
+    }
+
+    /// `Lut` block resolve: whole-gate table gates add their
+    /// precomputed clamped breakdown (indexed by packed support-net
+    /// state); split gates sum per-term deltas (table lookups, or
+    /// runtime evaluations from per-lane net currents for hub terms)
+    /// and clamp. Both accumulate into the lane totals in gate-id
+    /// order, so every lane reproduces the scalar fold bit-for-bit.
+    fn resolve_lut_block(&self, t: &BlockTables, scratch: &mut BlockScratch, len: usize) {
+        // Per-lane currents for the nets runtime terms read, folded
+        // over each net's loads in the scalar loading pass's
+        // (gate, pin) order — the load loop is outermost, but each
+        // lane's additions still happen in load order, so every
+        // per-lane sum replays the scalar accumulation sequence.
+        let need = t.rt_nets.len() * LANES;
+        if scratch.rt_cur.len() != need {
+            scratch.rt_cur.resize(need, 0.0);
+        }
+        for slot in 0..t.rt_nets.len() {
+            let loads = &t.rt_loads[t.rt_off[slot] as usize..t.rt_off[slot + 1] as usize];
+            let cur = &mut scratch.rt_cur[slot * LANES..slot * LANES + LANES];
+            cur[..len].fill(0.0);
+            for &(h, pin) in loads {
+                let h = h as usize;
+                let bits = self.gate_bits_block(&scratch.words, h, len);
+                let base = self.vc_base[h] as usize;
+                for (lane, c) in cur[..len].iter_mut().enumerate() {
+                    let vc = &self.vcs[base + bits[lane] as usize];
+                    *c += self.pin_current_slab[(vc.pin_off + pin) as usize];
+                }
+            }
+        }
+        for g in 0..self.gate_cell.len() {
+            let off = t.tbl_off[g];
+            if off != TABLE_FALLBACK {
+                let sup = &t.sup_nets[t.sup_off[g] as usize..t.sup_off[g + 1] as usize];
+                let tbl = &t.tbl[off as usize..off as usize + (1usize << sup.len())];
+                let idx = Self::gather_block(&scratch.words, sup, len);
+                for (lane, total) in scratch.totals[..len].iter_mut().enumerate() {
+                    *total += tbl[idx[lane] as usize];
+                }
+            } else {
+                // Split gate: per lane, sum the per-term deltas in
+                // the scalar kernel's order (pin 0..pins, then the
+                // output), then clamp the sum — `VectorChar::
+                // leakage`'s exact floating-point sequence, with
+                // each `blut_eval` value drawn from a term table or
+                // evaluated at runtime from the per-lane currents.
+                let terms = &t.terms[t.term_off[g] as usize..t.term_off[g + 1] as usize];
+                let gbits = self.gate_bits_block(&scratch.words, g, len);
+                let base = self.vc_base[g] as usize;
+                let mut acc = [LeakageBreakdown::default(); LANES];
+                for (lane, a) in acc[..len].iter_mut().enumerate() {
+                    *a = self.vcs[base + gbits[lane] as usize].nominal;
+                }
+                for term in terms {
+                    if term.tbl != TABLE_FALLBACK {
+                        let sup = &t.sup_nets
+                            [term.sup_start as usize..(term.sup_start + term.sup_len) as usize];
+                        let idx = Self::gather_block(&scratch.words, sup, len);
+                        for (lane, a) in acc[..len].iter_mut().enumerate() {
+                            *a += t.tbl[term.tbl as usize + idx[lane] as usize];
+                        }
+                        continue;
+                    }
+                    let net = term.net as usize;
+                    let pin = term.pin as usize;
+                    // Non-driven pin nets have no runtime slot: the
+                    // scalar kernel pins their loading to zero.
+                    let cur: &[f64] = if self.gate_driven[net] {
+                        let s = t.rt_slot[net] as usize * LANES;
+                        &scratch.rt_cur[s..s + LANES]
+                    } else {
+                        &[]
+                    };
+                    for (lane, a) in acc[..len].iter_mut().enumerate() {
+                        let vc = &self.vcs[base + gbits[lane] as usize];
+                        let pins = vc.pins as usize;
+                        let il = if pin < pins {
+                            if self.gate_driven[net] {
+                                let own = self.pin_current_slab[vc.pin_off as usize + pin];
+                                (cur[lane] - own).abs()
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            cur[lane].abs()
+                        };
+                        *a += self.blut_eval(&self.luts[vc.lut_off as usize + pin], il.abs());
+                    }
+                }
+                for (lane, total) in scratch.totals[..len].iter_mut().enumerate() {
+                    let b = acc[lane];
+                    *total += LeakageBreakdown {
+                        sub: b.sub.max(0.0),
+                        gate: b.gate.max(0.0),
+                        btbt: b.btbt.max(0.0),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Per-lane scalar service for block calls that cannot use the
+    /// packed kernels (direct-solve mode, permuted wiring, or the
+    /// explicit reference entry point).
+    fn run_block_scalar(
+        &self,
+        scratch: &mut BlockScratch,
+        block: &PatternBlock,
+        mode: EstimatorMode,
+    ) -> Result<(), EstimateError> {
+        let mut pattern = std::mem::take(&mut scratch.inner.pattern);
+        let mut result = Ok(());
+        for lane in 0..block.len() {
+            block.get_into(lane, &mut pattern);
+            match self.run(&mut scratch.inner, &pattern.pi, &pattern.states, mode) {
+                Ok(total) => scratch.totals[lane] = total,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        scratch.inner.pattern = pattern;
+        result
+    }
+
+    /// Builds [`BlockTables`] against the compiled wiring. For every
+    /// gate, collect the support nets of its whole clamped breakdown
+    /// (its own inputs, plus the inputs of every gate loading its
+    /// gate-driven input nets and its output net — exactly the nets
+    /// its scalar `Lut` arithmetic depends on) and precompute one
+    /// entry per support state when it fits [`MAX_SUPPORT_BITS`].
+    /// Wider gates split into per-term tables over each term's own
+    /// narrower support; terms still too wide (or past the
+    /// [`MAX_TABLE_ENTRIES`] budget) register their net for runtime
+    /// per-lane current folding.
+    fn build_block_tables(&self) -> BlockTables {
+        let n_gates = self.gate_cell.len();
+        let n_nets = self.gate_driven.len();
+        let mut t = BlockTables {
+            tbl_off: Vec::with_capacity(n_gates),
+            sup_off: Vec::with_capacity(n_gates + 1),
+            sup_nets: Vec::new(),
+            tbl: Vec::new(),
+            term_off: Vec::with_capacity(n_gates + 1),
+            terms: Vec::new(),
+            rt_nets: Vec::new(),
+            rt_slot: vec![u32::MAX; n_nets],
+            rt_off: Vec::new(),
+            rt_loads: Vec::new(),
+            fallback_gates: 0,
+            rt_terms: 0,
+        };
+        t.sup_off.push(0);
+        t.term_off.push(0);
+        // Scratch for the support set under construction: `pos_of`
+        // maps net → bit position (u32::MAX = absent) and is reset
+        // after each table.
+        let mut pos_of: Vec<u32> = vec![u32::MAX; n_nets];
+        let mut support: Vec<u32> = Vec::new();
+        for g in 0..n_gates {
+            let (s, e) = (self.in_off[g] as usize, self.in_off[g + 1] as usize);
+            let pins = e - s;
+            let out = self.out_net[g];
+            // Whole-gate support: own inputs + loads of every
+            // gate-driven pin net and of the output net. (Loads on
+            // ideal-source nets never matter: the scalar pass pins
+            // their loading to zero.)
+            support.clear();
+            Self::push_support(&mut support, &mut pos_of, &self.in_nets[s..e]);
+            for &net in self.in_nets[s..e].iter().chain(std::iter::once(&out)) {
+                if self.gate_driven[net as usize] {
+                    self.push_load_support(&mut support, &mut pos_of, net);
+                }
+            }
+            let width = support.len();
+            if width <= MAX_SUPPORT_BITS && t.tbl.len() + (1usize << width) <= MAX_TABLE_ENTRIES {
+                t.tbl_off.push(t.tbl.len() as u32);
+                t.sup_nets.extend_from_slice(&support);
+                t.sup_off.push(t.sup_nets.len() as u32);
+                for idx in 0..1usize << width {
+                    let entry = self.gate_entry(g, idx, &pos_of);
+                    t.tbl.push(entry);
+                }
+                Self::clear_support(&mut support, &mut pos_of);
+                t.term_off.push(t.terms.len() as u32);
+                continue;
+            }
+            Self::clear_support(&mut support, &mut pos_of);
+
+            // Split gate: one term per pin response plus the output
+            // response, each over its own support.
+            t.tbl_off.push(TABLE_FALLBACK);
+            t.fallback_gates += 1;
+            for pin in 0..=pins {
+                let net = if pin < pins { self.in_nets[s + pin] } else { out };
+                // The term's LUT choice and own-pin subtraction read
+                // the gate's input vector, so the gate's inputs are
+                // always in support.
+                support.clear();
+                Self::push_support(&mut support, &mut pos_of, &self.in_nets[s..e]);
+                if self.gate_driven[net as usize] {
+                    self.push_load_support(&mut support, &mut pos_of, net);
+                }
+                let width = support.len();
+                if width <= MAX_SUPPORT_BITS && t.tbl.len() + (1usize << width) <= MAX_TABLE_ENTRIES
+                {
+                    t.terms.push(BlockTerm {
+                        tbl: t.tbl.len() as u32,
+                        sup_start: t.sup_nets.len() as u32,
+                        sup_len: width as u32,
+                        pin: pin as u32,
+                        net,
+                    });
+                    t.sup_nets.extend_from_slice(&support);
+                    for idx in 0..1usize << width {
+                        let entry = self.term_entry(g, pin, net, idx, &pos_of);
+                        t.tbl.push(entry);
+                    }
+                } else {
+                    t.rt_terms += 1;
+                    if self.gate_driven[net as usize] && t.rt_slot[net as usize] == u32::MAX {
+                        t.rt_slot[net as usize] = t.rt_nets.len() as u32;
+                        t.rt_nets.push(net);
+                    }
+                    t.terms.push(BlockTerm {
+                        tbl: TABLE_FALLBACK,
+                        sup_start: 0,
+                        sup_len: 0,
+                        pin: pin as u32,
+                        net,
+                    });
+                }
+                Self::clear_support(&mut support, &mut pos_of);
+            }
+            t.sup_off.push(t.sup_nets.len() as u32);
+            t.term_off.push(t.terms.len() as u32);
+        }
+        t.rt_off.push(0);
+        for &net in &t.rt_nets {
+            for load in self.circuit.net_loads(NetId(net as usize)) {
+                t.rt_loads.push((load.gate.0 as u32, load.pin as u32));
+            }
+            t.rt_off.push(t.rt_loads.len() as u32);
+        }
+        t
+    }
+
+    /// Adds `nets` to the support set under construction (dedup via
+    /// `pos_of`).
+    fn push_support(support: &mut Vec<u32>, pos_of: &mut [u32], nets: &[u32]) {
+        for &net in nets {
+            if pos_of[net as usize] == u32::MAX {
+                pos_of[net as usize] = support.len() as u32;
+                support.push(net);
+            }
+        }
+    }
+
+    /// Adds the inputs of every gate loading `net` to the support
+    /// set — the nets `net`'s loading current depends on.
+    fn push_load_support(&self, support: &mut Vec<u32>, pos_of: &mut [u32], net: u32) {
+        for load in self.circuit.net_loads(NetId(net as usize)) {
+            let h = load.gate.0;
+            let (hs, he) = (self.in_off[h] as usize, self.in_off[h + 1] as usize);
+            Self::push_support(support, pos_of, &self.in_nets[hs..he]);
+        }
+    }
+
+    fn clear_support(support: &mut Vec<u32>, pos_of: &mut [u32]) {
+        for &net in support.iter() {
+            pos_of[net as usize] = u32::MAX;
+        }
+        support.clear();
+    }
+
+    /// Gate `h`'s input bits when the support nets hold the values
+    /// packed in `idx` (bit `pos_of[net]`). Only valid while every
+    /// input of `h` is in the support set.
+    fn bits_at(&self, h: usize, idx: usize, pos_of: &[u32]) -> usize {
+        let (s, e) = (self.in_off[h] as usize, self.in_off[h + 1] as usize);
+        let mut bits = 0usize;
+        for (k, &net) in self.in_nets[s..e].iter().enumerate() {
+            bits |= (idx >> pos_of[net as usize] & 1) << k;
+        }
+        bits
+    }
+
+    /// `net`'s loading current under support state `idx`: the fold
+    /// over `net_loads` in the scalar loading pass's per-net
+    /// accumulation sequence, so the sum is bit-identical to
+    /// `scratch.net_current[net]` whenever the support nets take
+    /// these values.
+    fn current_at(&self, net: u32, idx: usize, pos_of: &[u32]) -> f64 {
+        let mut c = 0.0;
+        for load in self.circuit.net_loads(NetId(net as usize)) {
+            let h = load.gate.0;
+            let vc = &self.vcs[self.vc_base[h] as usize + self.bits_at(h, idx, pos_of)];
+            c += self.pin_current_slab[vc.pin_off as usize + load.pin];
+        }
+        c
+    }
+
+    /// One whole-gate response-table entry: gate `g`'s clamped
+    /// `Lut`-mode breakdown under support state `idx`. Every
+    /// floating-point operation — the per-net current folds, the
+    /// per-pin and output deltas, the clamp — replays the scalar
+    /// kernel exactly, so the stored entry is bit-identical to what
+    /// the scalar path computes whenever the support nets take these
+    /// values.
+    fn gate_entry(&self, g: usize, idx: usize, pos_of: &[u32]) -> LeakageBreakdown {
+        let s = self.in_off[g] as usize;
+        let vc = &self.vcs[self.vc_base[g] as usize + self.bits_at(g, idx, pos_of)];
+        let pins = vc.pins as usize;
+        let mut b = vc.nominal;
+        for k in 0..pins {
+            let net = self.in_nets[s + k];
+            let il = if self.gate_driven[net as usize] {
+                let own = self.pin_current_slab[vc.pin_off as usize + k];
+                (self.current_at(net, idx, pos_of) - own).abs()
+            } else {
+                0.0
+            };
+            b += self.blut_eval(&self.luts[vc.lut_off as usize + k], il.abs());
+        }
+        let il_out = self.current_at(self.out_net[g], idx, pos_of).abs();
+        b += self.blut_eval(&self.luts[vc.lut_off as usize + pins], il_out.abs());
+        LeakageBreakdown { sub: b.sub.max(0.0), gate: b.gate.max(0.0), btbt: b.btbt.max(0.0) }
+    }
+
+    /// One per-term table entry: the single LUT delta gate `g`'s
+    /// scalar kernel adds for `pin` (or the output response at
+    /// `pin == pins`) under support state `idx` — bit-identical to
+    /// the scalar `blut_eval` call by the same replay argument as
+    /// [`gate_entry`](Self::gate_entry). Unclamped: the clamp applies
+    /// to the per-lane sum of terms, in the resolve kernel.
+    fn term_entry(
+        &self,
+        g: usize,
+        pin: usize,
+        net: u32,
+        idx: usize,
+        pos_of: &[u32],
+    ) -> LeakageBreakdown {
+        let vc = &self.vcs[self.vc_base[g] as usize + self.bits_at(g, idx, pos_of)];
+        let pins = vc.pins as usize;
+        let il = if pin < pins {
+            if self.gate_driven[net as usize] {
+                let own = self.pin_current_slab[vc.pin_off as usize + pin];
+                (self.current_at(net, idx, pos_of) - own).abs()
+            } else {
+                0.0
+            }
+        } else {
+            self.current_at(net, idx, pos_of).abs()
+        };
+        self.blut_eval(&self.luts[vc.lut_off as usize + pin], il.abs())
     }
 
     /// The fused simulation + loading + leakage passes.
@@ -906,6 +1674,189 @@ mod tests {
         ));
     }
 
+    /// Pack `patterns` and check every block entry point reproduces
+    /// the scalar path bit-for-bit, lane by lane.
+    fn assert_block_bit_identical(
+        plan: &CompiledEstimator,
+        patterns: &[Pattern],
+        mode: EstimatorMode,
+    ) {
+        assert!(patterns.len() <= LANES);
+        let mut block = PatternBlock::for_circuit(plan.circuit());
+        for p in patterns {
+            block.push(p);
+        }
+        let mut bs = plan.block_scratch();
+        let mut ss = plan.scratch();
+        plan.estimate_block_into(&mut bs, &block, mode).unwrap();
+        assert_eq!(bs.totals().len(), patterns.len());
+        let want: Vec<LeakageBreakdown> =
+            patterns.iter().map(|p| plan.estimate_into(&mut ss, p, mode).unwrap()).collect();
+        for (lane, (got, want)) in bs.totals().iter().zip(&want).enumerate() {
+            assert_eq!(got.total().to_bits(), want.total().to_bits(), "{mode:?} lane {lane}");
+            assert_eq!(got, want, "{mode:?} lane {lane}");
+        }
+        // The explicit per-lane reference kernel agrees too.
+        plan.estimate_block_scalar_into(&mut bs, &block, mode).unwrap();
+        assert_eq!(bs.totals(), want.as_slice(), "{mode:?} scalar block kernel");
+    }
+
+    #[test]
+    fn block_path_matches_scalar_on_random_circuit_all_modes() {
+        let raw = random_circuit(&RandomCircuitSpec::new("blk", 6, 3, 40, 2, 99));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // A full block, and tails of several lengths (incl. one lane).
+        for len in [LANES, 1, 7, 63] {
+            let patterns: Vec<Pattern> =
+                (0..len).map(|_| Pattern::random(&circuit, &mut rng)).collect();
+            for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut] {
+                assert_block_bit_identical(&plan, &patterns, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn block_direct_solve_matches_scalar() {
+        let raw = random_circuit(&RandomCircuitSpec::new("blk-ds", 4, 2, 8, 0, 5));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let patterns: Vec<Pattern> = (0..5).map(|_| Pattern::random(&circuit, &mut rng)).collect();
+        assert_block_bit_identical(&plan, &patterns, EstimatorMode::DirectSolve);
+    }
+
+    #[test]
+    fn block_fallback_gates_match_scalar_on_wide_fanout_hub() {
+        // A hub net loading enough 2-pin gates that every gate on the
+        // hub exceeds MAX_SUPPORT_BITS — exercising the runtime
+        // fallback kernel against the scalar path.
+        let mut b = CircuitBuilder::new("hub");
+        let a = b.add_input("a");
+        let hub = b.add_gate(CellType::Inv, &[a], "hub");
+        let mut side = a;
+        for i in 0..(MAX_SUPPORT_BITS + 2) {
+            side = b.add_gate(CellType::Nand2, &[hub, side], &format!("y{i}"));
+            b.mark_output(side);
+        }
+        let circuit = b.build().unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        assert!(plan.block_fallback_gates() > 0, "hub circuit must exercise the fallback");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let patterns: Vec<Pattern> =
+            (0..LANES).map(|_| Pattern::random(&circuit, &mut rng)).collect();
+        for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut] {
+            assert_block_bit_identical(&plan, &patterns, mode);
+        }
+    }
+
+    #[test]
+    fn block_index_stream_matches_scalar_index_stream() {
+        let raw = random_circuit(&RandomCircuitSpec::new("blk-idx", 6, 3, 40, 2, 21));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut bs = plan.block_scratch();
+        let mut ss = plan.scratch();
+        // Tail count not divisible by LANES, non-zero start.
+        plan.estimate_index_block_into(&mut bs, 2005, 130, 41, EstimatorMode::Lut).unwrap();
+        assert_eq!(bs.totals().len(), 41);
+        for (i, got) in bs.totals().iter().enumerate() {
+            let want =
+                plan.estimate_index_into(&mut ss, 2005, 130 + i, EstimatorMode::Lut).unwrap();
+            assert_eq!(got.total().to_bits(), want.total().to_bits(), "index {}", 130 + i);
+        }
+        // A default (unsized) scratch warms itself up to the same bits.
+        let mut cold = BlockScratch::default();
+        plan.estimate_index_block_into(&mut cold, 2005, 130, 41, EstimatorMode::Lut).unwrap();
+        assert_eq!(cold.totals(), bs.totals());
+    }
+
+    #[test]
+    fn permuted_plan_blocks_fall_back_and_stay_correct() {
+        // After permute_gate_inputs the response tables no longer
+        // describe the live wiring; the block path must detect the
+        // divergence and serve lanes through the scalar kernel — and
+        // resume table service once the permutation is undone.
+        fn build(swap: bool) -> Circuit {
+            let mut b = CircuitBuilder::new("perm-blk");
+            let a = b.add_input("a");
+            let c = b.add_input("b");
+            let x = b.add_gate(CellType::Inv, &[c], "x");
+            let pins = if swap { [x, a] } else { [a, x] };
+            let y = b.add_gate(CellType::Nand2, &pins, "y");
+            b.mark_output(y);
+            b.build().unwrap()
+        }
+        let lib = library();
+        let base = build(false);
+        let mut plan = CompiledEstimator::compile(&base, &lib).unwrap();
+        let swapped = build(true);
+        let swapped_plan = CompiledEstimator::compile(&swapped, &lib).unwrap();
+        plan.prepare_block(); // tables built against the original wiring
+        let mut block = PatternBlock::for_arity(2, 0);
+        for bits in 0..4u32 {
+            block.push(&Pattern { pi: vec![bits & 1 == 1, bits & 2 == 2], states: vec![] });
+        }
+        let mut bs = plan.block_scratch();
+        let mut want = swapped_plan.block_scratch();
+        plan.permute_gate_inputs(GateId(1), &[1, 0]);
+        plan.estimate_block_into(&mut bs, &block, EstimatorMode::Lut).unwrap();
+        swapped_plan.estimate_block_into(&mut want, &block, EstimatorMode::Lut).unwrap();
+        assert_eq!(bs.totals(), want.totals(), "permuted block must match the swapped compile");
+        // Undo: the compiled wiring is restored, tables serve again.
+        plan.permute_gate_inputs(GateId(1), &[1, 0]);
+        let mut ss = plan.scratch();
+        plan.estimate_block_into(&mut bs, &block, EstimatorMode::Lut).unwrap();
+        let mut p = Pattern::default();
+        for lane in 0..block.len() {
+            block.get_into(lane, &mut p);
+            let want = plan.estimate_into(&mut ss, &p, EstimatorMode::Lut).unwrap();
+            assert_eq!(bs.totals()[lane].total().to_bits(), want.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn block_arity_mismatch_rejected() {
+        let mut b = CircuitBuilder::new("blk-arity");
+        let a = b.add_input("a");
+        let y = b.add_gate(CellType::Inv, &[a], "y");
+        b.mark_output(y);
+        let circuit = b.build().unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut bs = plan.block_scratch();
+        let block = PatternBlock::for_arity(3, 0);
+        assert!(matches!(
+            plan.estimate_block_into(&mut bs, &block, EstimatorMode::Lut),
+            Err(EstimateError::BadPattern(_))
+        ));
+    }
+
+    #[test]
+    fn empty_block_yields_no_totals() {
+        let raw = random_circuit(&RandomCircuitSpec::new("blk-empty", 4, 2, 10, 0, 1));
+        let circuit = normalize(&raw).unwrap();
+        let lib = library();
+        let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+        let mut bs = plan.block_scratch();
+        let block = PatternBlock::for_circuit(&circuit);
+        plan.estimate_block_into(&mut bs, &block, EstimatorMode::Lut).unwrap();
+        assert!(bs.totals().is_empty());
+    }
+
+    #[test]
+    fn resolve_lanes_maps_auto_and_rejects_garbage() {
+        assert_eq!(resolve_lanes(0), LANES);
+        assert_eq!(resolve_lanes(1), 1);
+        assert_eq!(resolve_lanes(LANES), LANES);
+        assert!(std::panic::catch_unwind(|| resolve_lanes(2)).is_err());
+    }
+
     #[test]
     fn uniform_segment_index_agrees_with_binary_search_everywhere() {
         // Drive locate through knots, midpoints, boundaries, below,
@@ -959,6 +1910,24 @@ mod tests {
                 for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut] {
                     assert_bit_identical(&circuit, &lib, &p, mode);
                 }
+            }
+        }
+
+        /// Block-path tentpole: packed evaluation reproduces the
+        /// scalar path bit-for-bit on random circuits (with DFF state
+        /// bits), random patterns, and random tail sizes.
+        #[test]
+        fn block_path_is_bit_identical_to_scalar(seed in any::<u64>()) {
+            let lib = library();
+            let raw = random_circuit(&RandomCircuitSpec::new("blk-prop", 6, 2, 35, 2, seed));
+            let circuit = normalize(&raw).unwrap();
+            let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x626c6b);
+            let len = 1 + (seed % LANES as u64) as usize;
+            let patterns: Vec<Pattern> =
+                (0..len).map(|_| Pattern::random(&circuit, &mut rng)).collect();
+            for mode in [EstimatorMode::NoLoading, EstimatorMode::Lut] {
+                assert_block_bit_identical(&plan, &patterns, mode);
             }
         }
 

@@ -1,0 +1,103 @@
+//! The block kernel's zero-allocation guarantee, asserted with a
+//! counting global allocator.
+//!
+//! Separate binary from `zero_alloc.rs` for the same reason that file
+//! holds a single test: each integration-test binary gets its own
+//! process, so the counter observes only this test's activity.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions};
+use nanoleak_core::{CompiledEstimator, EstimatorMode, PatternBlock, LANES};
+use nanoleak_device::Technology;
+use nanoleak_netlist::generate::{random_circuit, RandomCircuitSpec};
+use nanoleak_netlist::normalize::normalize;
+use nanoleak_netlist::Pattern;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`; the counter is a
+// side-effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn block_hot_path_performs_zero_allocations_after_warm_up() {
+    // Setup (allocates freely): library, circuit, plan, block tables,
+    // scratch, packed block.
+    let tech = Technology::d25();
+    let lib = CellLibrary::characterize(&tech, 300.0, &CharacterizeOptions::coarse(&CellType::ALL))
+        .unwrap();
+    let raw = random_circuit(&RandomCircuitSpec::new("zero-alloc-block", 8, 3, 120, 4, 2005));
+    let circuit = normalize(&raw).unwrap();
+    let plan = CompiledEstimator::compile(&circuit, &lib).unwrap();
+    plan.prepare_block();
+    let mut scratch = plan.block_scratch();
+    let mut block = PatternBlock::for_circuit(&circuit);
+    let mut pattern = Pattern::zeros(&circuit);
+    while !block.is_full() {
+        block.push(&pattern);
+    }
+
+    // Warm-up: grow every scratch buffer (both modes, both entry
+    // points, full and tail blocks) to its steady-state size.
+    for mode in [EstimatorMode::Lut, EstimatorMode::NoLoading] {
+        plan.estimate_block_into(&mut scratch, &block, mode).unwrap();
+        plan.estimate_index_block_into(&mut scratch, 7, 0, LANES, mode).unwrap();
+        plan.estimate_index_block_into(&mut scratch, 7, 0, 3, mode).unwrap();
+    }
+
+    // Measured window: warm block evaluation — packed blocks,
+    // seed-derived index blocks, tail blocks, both fast modes, plus
+    // re-packing an existing block — must never hit the allocator.
+    let mut sink = 0.0;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..32 {
+        block.clear();
+        while !block.is_full() {
+            block.push(&pattern);
+        }
+        plan.estimate_block_into(&mut scratch, &block, EstimatorMode::Lut).unwrap();
+        sink += scratch.totals().iter().map(|t| t.total()).sum::<f64>();
+        plan.estimate_index_block_into(&mut scratch, 7, round * LANES, LANES, EstimatorMode::Lut)
+            .unwrap();
+        sink += scratch.totals()[0].total();
+        plan.estimate_index_block_into(&mut scratch, 7, round, 5, EstimatorMode::NoLoading)
+            .unwrap();
+        sink += scratch.totals()[4].total();
+        block.get_into(round % LANES, &mut pattern);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(sink.is_finite() && sink > 0.0, "block estimates actually ran");
+    assert_eq!(
+        after - before,
+        0,
+        "the warm block kernel must not allocate (saw {} allocations)",
+        after - before
+    );
+}

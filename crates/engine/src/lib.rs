@@ -60,6 +60,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod block;
 pub mod cache;
 pub mod exec;
 pub mod mc;
@@ -73,6 +74,7 @@ use std::fmt;
 use nanoleak_core::EstimateError;
 use nanoleak_solver::SolverError;
 
+pub use block::{block_metrics, eval_block_timed, BlockMetrics};
 pub use cache::{
     CacheOutcome, LibraryCache, MemoCacheStats, MemoLibraryCache, CACHE_FORMAT_VERSION,
     MAX_RESIDENT_LIBRARIES,

@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use nanoleak_core::{resolve_lanes, LANES};
 use nanoleak_device::Technology;
 use nanoleak_netlist::Circuit;
 use nanoleak_variation::{
@@ -147,6 +148,15 @@ pub fn mc_streaming(
             run_circuit_mc_range(circuit, tech, cache, config, start, len)?
         };
         mc_shard_seconds().record_duration(shard_start.elapsed());
+        if resolve_lanes(config.lanes) != 1 {
+            // `nanoleak-variation` stays free of observability
+            // dependencies, so its per-die block-kernel work (one
+            // unloaded-arm block per LANES patterns per sample) is
+            // accounted for here arithmetically.
+            let per_sample = config.vectors.div_ceil(LANES) as u64;
+            let tail = ((LANES - config.vectors % LANES) % LANES) as u64;
+            crate::block::record_external_blocks(len as u64 * per_sample, len as u64 * tail);
+        }
         let partial = {
             let _span = nanoleak_obs::span!("merge", shard = shard);
             let partial = McShard {

@@ -21,10 +21,12 @@ use std::time::Instant;
 
 use nanoleak_cells::CellLibrary;
 use nanoleak_core::{
-    CircuitLeakage, CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode,
+    resolve_lanes, CircuitLeakage, CompiledEstimator, EstimateError, EstimateScratch,
+    EstimatorMode, PatternBlock, LANES,
 };
 use nanoleak_netlist::{Circuit, Pattern};
 
+use crate::block::{eval_block_timed, eval_packed_block_timed};
 use crate::exec::{par_map_with, resolve_threads};
 use crate::sweep::pattern_for_index;
 use crate::EngineError;
@@ -103,6 +105,13 @@ pub struct MlvConfig {
     pub threads: usize,
     /// Estimator mode used to score candidates.
     pub mode: EstimatorMode,
+    /// Evaluation lanes: `0` (auto) and [`LANES`] score exhaustive /
+    /// random candidates through the 64-way block kernel; `1` forces
+    /// the scalar path. The winner is identical either way (per-block
+    /// earliest-best folds in block order reproduce the scalar
+    /// earliest-wins scan). Hill climbing always scores scalar — its
+    /// candidates are sequentially dependent.
+    pub lanes: usize,
 }
 
 impl Default for MlvConfig {
@@ -113,6 +122,7 @@ impl Default for MlvConfig {
             seed: 2005,
             threads: 0,
             mode: EstimatorMode::Lut,
+            lanes: 0,
         }
     }
 }
@@ -209,6 +219,55 @@ fn scored_scan<S>(
     Ok(best.expect("scored_scan evaluates at least one candidate"))
 }
 
+/// Earliest-best candidate of one scored block: `totals[j]` holds the
+/// objective breakdown of global candidate `start + j`, and ties keep
+/// the lowest index — the same rule [`scored_scan`] applies.
+fn block_best(
+    goal: MlvGoal,
+    start: usize,
+    totals: &[nanoleak_device::LeakageBreakdown],
+) -> (usize, f64) {
+    let mut best = (start, totals[0].total());
+    for (j, t) in totals.iter().enumerate().skip(1) {
+        let objective = t.total();
+        if goal.improves(objective, best.1) {
+            best = (start + j, objective);
+        }
+    }
+    best
+}
+
+/// Block-kernel counterpart of [`scored_scan`]: the candidate space
+/// tiles into [`LANES`]-sized blocks (only the last can be partial),
+/// `score_block` reduces each to its earliest-best `(index,
+/// objective)` (via [`block_best`]), and the per-block winners fold
+/// in block order with the same earliest-wins rule. Two-level
+/// earliest-wins over an ordered tiling picks exactly the candidate
+/// the flat scalar scan picks, for any thread count.
+fn scored_scan_block<S>(
+    goal: MlvGoal,
+    threads: usize,
+    n: usize,
+    init: impl Fn() -> S + Sync,
+    score_block: impl Fn(&mut S, usize, usize) -> Result<(usize, f64), EstimateError> + Sync,
+) -> Result<(usize, f64), EngineError> {
+    let blocks = n.div_ceil(LANES);
+    let per_block: Vec<Result<(usize, f64), EstimateError>> =
+        par_map_with(blocks, threads, init, |s, b| {
+            let start = b * LANES;
+            score_block(s, start, LANES.min(n - start))
+        });
+    let mut best: Option<(usize, f64)> = None;
+    for r in per_block {
+        let (index, objective) = r?;
+        match best {
+            Some((_, b)) if !goal.improves(objective, b) => {}
+            _ => best = Some((index, objective)),
+        }
+    }
+    Ok(best.expect("scored_scan_block evaluates at least one candidate"))
+}
+
 /// Searches for the extreme-leakage input vector of `circuit`.
 ///
 /// # Errors
@@ -235,35 +294,81 @@ pub fn mlv_search(
     // per-worker scratches.
     let shared = crate::plan_cache::shared_plan(circuit, library)?;
     let plan = shared.plan();
+    // Block scanning serves the two flat strategies; hill climbing is
+    // sequentially dependent and always scores scalar.
+    let block_scan = resolve_lanes(config.lanes) != 1
+        && !matches!(config.strategy, MlvStrategy::HillClimb { .. });
+    if block_scan && config.mode == EstimatorMode::Lut {
+        // Charge the response-table build to the search setup, not
+        // the first scored block (cached on the shared plan).
+        plan.prepare_block();
+    }
 
     let (best, evaluations, improving_moves, restarts) = match config.strategy {
         MlvStrategy::Exhaustive => {
             let n = 1usize << bits;
-            let (index, objective) = scored_scan(
-                config.goal,
-                threads,
-                n,
-                || (plan.scratch(), Pattern::default()),
-                |(scratch, pattern), i| {
-                    fill_pattern_from_bits(circuit, i as u64, pattern);
-                    plan.estimate_into(scratch, pattern, config.mode).map(|b| b.total())
-                },
-            )?;
+            let (index, objective) = if block_scan {
+                scored_scan_block(
+                    config.goal,
+                    threads,
+                    n,
+                    || {
+                        (
+                            plan.block_scratch(),
+                            PatternBlock::for_circuit(circuit),
+                            Pattern::default(),
+                        )
+                    },
+                    |(scratch, block, pattern), start, count| {
+                        block.clear();
+                        for j in 0..count {
+                            fill_pattern_from_bits(circuit, (start + j) as u64, pattern);
+                            block.push(pattern);
+                        }
+                        eval_packed_block_timed(plan, scratch, block, config.mode)?;
+                        Ok(block_best(config.goal, start, scratch.totals()))
+                    },
+                )?
+            } else {
+                scored_scan(
+                    config.goal,
+                    threads,
+                    n,
+                    || (plan.scratch(), Pattern::default()),
+                    |(scratch, pattern), i| {
+                        fill_pattern_from_bits(circuit, i as u64, pattern);
+                        plan.estimate_into(scratch, pattern, config.mode).map(|b| b.total())
+                    },
+                )?
+            };
             let best = Candidate { pattern: pattern_from_bits(circuit, index as u64), objective };
             (best, n as u64, 0, 1)
         }
         MlvStrategy::Random { samples } => {
             assert!(samples > 0, "random MLV search needs at least one sample");
-            let (index, objective) = scored_scan(
-                config.goal,
-                threads,
-                samples,
-                || plan.scratch(),
-                |scratch, i| {
-                    plan.estimate_index_into(scratch, config.seed, i, config.mode)
-                        .map(|b| b.total())
-                },
-            )?;
+            let (index, objective) = if block_scan {
+                scored_scan_block(
+                    config.goal,
+                    threads,
+                    samples,
+                    || plan.block_scratch(),
+                    |scratch, start, count| {
+                        eval_block_timed(plan, scratch, config.seed, start, count, config.mode)?;
+                        Ok(block_best(config.goal, start, scratch.totals()))
+                    },
+                )?
+            } else {
+                scored_scan(
+                    config.goal,
+                    threads,
+                    samples,
+                    || plan.scratch(),
+                    |scratch, i| {
+                        plan.estimate_index_into(scratch, config.seed, i, config.mode)
+                            .map(|b| b.total())
+                    },
+                )?
+            };
             let best =
                 Candidate { pattern: pattern_for_index(circuit, config.seed, index), objective };
             (best, samples as u64, 0, 1)

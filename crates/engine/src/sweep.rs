@@ -19,12 +19,13 @@
 use std::time::Instant;
 
 use nanoleak_cells::CellLibrary;
-use nanoleak_core::{CompiledEstimator, EstimateError, EstimatorMode};
+use nanoleak_core::{resolve_lanes, CompiledEstimator, EstimateError, EstimatorMode, LANES};
 use nanoleak_device::LeakageBreakdown;
 use nanoleak_netlist::{Circuit, Pattern};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::block::eval_block_timed;
 use crate::exec::{mix, par_map_with, resolve_threads};
 use crate::stats::ScalarStats;
 
@@ -64,11 +65,16 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Estimator mode for every pattern.
     pub mode: EstimatorMode,
+    /// Evaluation lanes: `0` (auto) and [`LANES`] run the 64-way
+    /// word-parallel block kernel; `1` forces the scalar path. Both
+    /// produce bit-identical statistics — this is a throughput knob,
+    /// never a results knob.
+    pub lanes: usize,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        Self { vectors: 100, seed: 2005, threads: 0, mode: EstimatorMode::Lut }
+        Self { vectors: 100, seed: 2005, threads: 0, mode: EstimatorMode::Lut, lanes: 0 }
     }
 }
 
@@ -184,9 +190,15 @@ fn reduce_stats(
 
 /// Estimates the contiguous index range `start .. start + len` in
 /// parallel on the compiled plan, returning per-pattern totals in
-/// index order. Each worker keeps one `EstimateScratch`, and patterns
-/// are generated straight into its reusable buffers — the per-pattern
-/// loop never touches the allocator.
+/// index order.
+///
+/// With `lanes == 1` every pattern is estimated scalar; otherwise the
+/// range tiles into [`LANES`]-pattern blocks evaluated through the
+/// word-parallel kernel (only the final block can be partial). Each
+/// worker keeps one scratch across its share, and the per-pattern /
+/// per-block loops never touch the allocator — per-block results copy
+/// out once so the index-ordered series can concatenate. Both paths
+/// yield bit-identical totals.
 fn estimate_chunk(
     plan: &CompiledEstimator<'_>,
     config: &SweepConfig,
@@ -194,15 +206,34 @@ fn estimate_chunk(
     start: usize,
     len: usize,
 ) -> Result<Vec<LeakageBreakdown>, EstimateError> {
-    let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> = par_map_with(
-        len,
+    if resolve_lanes(config.lanes) == 1 {
+        let per_pattern: Vec<Result<LeakageBreakdown, EstimateError>> = par_map_with(
+            len,
+            threads,
+            || plan.scratch(),
+            |scratch, i| plan.estimate_index_into(scratch, config.seed, start + i, config.mode),
+        );
+        let mut totals = Vec::with_capacity(len);
+        for r in per_pattern {
+            totals.push(r?);
+        }
+        return Ok(totals);
+    }
+    let blocks = len.div_ceil(LANES);
+    let per_block: Vec<Result<Vec<LeakageBreakdown>, EstimateError>> = par_map_with(
+        blocks,
         threads,
-        || plan.scratch(),
-        |scratch, i| plan.estimate_index_into(scratch, config.seed, start + i, config.mode),
+        || plan.block_scratch(),
+        |scratch, b| {
+            let off = b * LANES;
+            let n = LANES.min(len - off);
+            eval_block_timed(plan, scratch, config.seed, start + off, n, config.mode)?;
+            Ok(scratch.totals().to_vec())
+        },
     );
     let mut totals = Vec::with_capacity(len);
-    for r in per_pattern {
-        totals.push(r?);
+    for r in per_block {
+        totals.extend(r?);
     }
     Ok(totals)
 }
@@ -334,6 +365,13 @@ pub fn sweep_streaming(
         let _span = nanoleak_obs::span!("compile");
         let compile_start = Instant::now();
         let shared = crate::plan_cache::shared_plan(circuit, library)?;
+        // Build the block response tables eagerly so their cost is
+        // charged to the compile span, not the first shard (they are
+        // cached on the shared plan, so isomorphic re-sweeps skip
+        // this too). Only the Lut block path reads them.
+        if resolve_lanes(config.lanes) != 1 && config.mode == EstimatorMode::Lut {
+            shared.plan().prepare_block();
+        }
         sweep_metrics().compile_seconds.record_duration(compile_start.elapsed());
         shared
     };

@@ -50,7 +50,7 @@ pub mod yosys;
 pub use canonical::{canonicalize, canonicalize_raw, CanonReport};
 pub use circuit::{Circuit, CircuitBuilder, Driver, Gate, GateId, NetId, NetLoad};
 pub use error::CircuitError;
-pub use logic::Pattern;
+pub use logic::{Pattern, PatternBlock, LANES};
 pub use raw::{RawCircuit, RawGate, RawOp, SigId};
 pub use stats::CircuitStats;
 pub use yosys::parse_yosys_json;

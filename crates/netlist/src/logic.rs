@@ -117,6 +117,113 @@ impl Pattern {
     }
 }
 
+/// Lane count of the word-parallel evaluation path: one bit of a
+/// `u64` word per pattern.
+pub const LANES: usize = 64;
+
+/// Up to [`LANES`] patterns packed bit-transposed: one `u64` word per
+/// primary input (and per DFF state), bit `l` of each word holding
+/// lane `l`'s value. This is the input format of the compiled plan's
+/// block simulate kernel (`nanoleak-core`'s
+/// `CompiledEstimator::estimate_block_into`), which propagates all
+/// packed lanes through the topo order at once with bitwise ops.
+///
+/// Words are sized once by [`PatternBlock::for_arity`]; `clear`/`push`
+/// never touch the allocator, so a per-worker block can be refilled
+/// per 64-pattern chunk under the same zero-allocation contract as
+/// the scalar scratch. Lanes beyond [`len`](Self::len) are zero
+/// (all-false patterns); consumers must ignore them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternBlock {
+    pi: Vec<u64>,
+    states: Vec<u64>,
+    len: usize,
+}
+
+impl PatternBlock {
+    /// An empty block sized for `circuit`'s input/state arity.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        Self::for_arity(circuit.inputs().len(), circuit.state_inputs().len())
+    }
+
+    /// An empty block for the given primary-input and DFF-state counts.
+    pub fn for_arity(inputs: usize, states: usize) -> Self {
+        Self { pi: vec![0; inputs], states: vec![0; states], len: 0 }
+    }
+
+    /// Packed lanes currently in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no lanes are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when all [`LANES`] lanes are packed.
+    pub fn is_full(&self) -> bool {
+        self.len == LANES
+    }
+
+    /// Drops all lanes (words are zeroed; capacity is kept).
+    pub fn clear(&mut self) {
+        self.pi.iter_mut().for_each(|w| *w = 0);
+        self.states.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Packs `pattern` into the next free lane and returns its lane
+    /// index.
+    ///
+    /// # Panics
+    /// If the block is full or the pattern's arity differs from the
+    /// block's.
+    pub fn push(&mut self, pattern: &Pattern) -> usize {
+        assert!(self.len < LANES, "pattern block is full");
+        assert_eq!(pattern.pi.len(), self.pi.len(), "primary input count");
+        assert_eq!(pattern.states.len(), self.states.len(), "DFF state count");
+        let lane = self.len;
+        let bit = 1u64 << lane;
+        for (w, &v) in self.pi.iter_mut().zip(&pattern.pi) {
+            if v {
+                *w |= bit;
+            }
+        }
+        for (w, &v) in self.states.iter_mut().zip(&pattern.states) {
+            if v {
+                *w |= bit;
+            }
+        }
+        self.len = lane + 1;
+        lane
+    }
+
+    /// Unpacks lane `lane` into `pattern` (cleared and refilled;
+    /// allocation-free once the buffers have grown to the arity).
+    ///
+    /// # Panics
+    /// If `lane >= self.len()`.
+    pub fn get_into(&self, lane: usize, pattern: &mut Pattern) {
+        assert!(lane < self.len, "lane {lane} out of {}", self.len);
+        pattern.pi.clear();
+        pattern.pi.extend(self.pi.iter().map(|w| w >> lane & 1 == 1));
+        pattern.states.clear();
+        pattern.states.extend(self.states.iter().map(|w| w >> lane & 1 == 1));
+    }
+
+    /// Packed primary-input words, one per circuit input, lane `l` in
+    /// bit `l`.
+    pub fn pi_words(&self) -> &[u64] {
+        &self.pi
+    }
+
+    /// Packed DFF-state words, one per state pseudo-input.
+    pub fn state_words(&self) -> &[u64] {
+        &self.states
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +309,41 @@ mod tests {
     fn wrong_pi_arity_panics() {
         let c = nand_inv();
         simulate(&c, &[true], &[]);
+    }
+
+    #[test]
+    fn pattern_block_round_trips_every_lane() {
+        let c = nand_inv();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut block = PatternBlock::for_circuit(&c);
+        let patterns: Vec<Pattern> = (0..LANES).map(|_| Pattern::random(&c, &mut rng)).collect();
+        for (i, p) in patterns.iter().enumerate() {
+            assert!(!block.is_full());
+            assert_eq!(block.push(p), i);
+        }
+        assert!(block.is_full());
+        let mut out = Pattern::default();
+        for (i, p) in patterns.iter().enumerate() {
+            block.get_into(i, &mut out);
+            assert_eq!(&out, p, "lane {i}");
+        }
+        // Clearing zeroes every word and lets the block be refilled.
+        block.clear();
+        assert!(block.is_empty());
+        assert!(block.pi_words().iter().all(|&w| w == 0));
+        block.push(&patterns[3]);
+        block.get_into(0, &mut out);
+        assert_eq!(out, patterns[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern block is full")]
+    fn pattern_block_overflow_panics() {
+        let c = nand_inv();
+        let mut block = PatternBlock::for_circuit(&c);
+        let p = Pattern::zeros(&c);
+        for _ in 0..=LANES {
+            block.push(&p);
+        }
     }
 }

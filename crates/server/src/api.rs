@@ -197,6 +197,20 @@ fn check_limit(name: &str, value: usize, max: usize) -> Result<usize, ApiError> 
     Ok(value)
 }
 
+/// The `"lanes"` field shared by sweep/MLV/MC requests: `0` (auto,
+/// the 64-wide block kernel), `64` (block explicitly), or `1` (the
+/// scalar reference path). A throughput knob only — results are
+/// bit-identical either way.
+fn resolve_lanes_field(body: &Body) -> Result<usize, ApiError> {
+    let lanes = body.get("lanes", 0usize)?;
+    if !matches!(lanes, 0 | 1 | 64) {
+        return Err(ApiError::bad(format!(
+            "'lanes' must be 0 (auto), 1 (scalar), or 64 (block), got {lanes}"
+        )));
+    }
+    Ok(lanes)
+}
+
 fn parse_mode(raw: &str) -> Result<EstimatorMode, ApiError> {
     match raw {
         "lut" => Ok(EstimatorMode::Lut),
@@ -224,6 +238,7 @@ pub fn resolve_sweep_config(body: &Body) -> Result<SweepConfig, ApiError> {
         seed: body.get("seed", 2005u64)?,
         threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
         mode,
+        lanes: resolve_lanes_field(body)?,
     })
 }
 
@@ -238,7 +253,9 @@ fn resolve_shard_field(body: &Body, field: &str, units: usize) -> Result<usize, 
     if shards > MAX_JOB_SHARDS {
         return Err(ApiError::bad(format!(
             "'{field}' of {shard_size} over {units} units yields {shards} shards, \
-             exceeding the limit of {MAX_JOB_SHARDS}"
+             exceeding the limit of {MAX_JOB_SHARDS}: every shard partial stays \
+             resident in RAM until the job is evicted, so the count is bounded — \
+             raise '{field}' to produce fewer, larger shards"
         )));
     }
     Ok(shard_size)
@@ -523,6 +540,7 @@ pub fn resolve_mlv_config(body: &Body) -> Result<(String, MlvConfig), ApiError> 
         seed: body.get("seed", 2005u64)?,
         threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
         mode: EstimatorMode::Lut,
+        lanes: resolve_lanes_field(body)?,
     };
     Ok((goal_raw, config))
 }
@@ -945,6 +963,7 @@ pub fn resolve_mc_config(body: &Body, circuit: &Circuit) -> Result<CircuitMcConf
         pattern_seed: body.get("pattern_seed", seed)?,
         threads: check_limit("threads", body.get("threads", 0usize)?, MAX_REQUEST_THREADS)?,
         char_opts: char_opts_for(circuit, body.get("coarse", false)?),
+        lanes: resolve_lanes_field(body)?,
     })
 }
 

@@ -187,7 +187,8 @@ fn http_sweep_is_bit_identical_to_in_process_sweep() {
         300.0,
         &CharacterizeOptions::coarse(&CellType::ALL),
     );
-    let config = SweepConfig { vectors: 12, seed: 77, threads: 1, mode: EstimatorMode::Lut };
+    let config =
+        SweepConfig { vectors: 12, seed: 77, threads: 1, mode: EstimatorMode::Lut, lanes: 0 };
     let local = sweep(&circuit, &lib, &config).expect("local sweep");
     assert_eq!(http_stats, local.stats, "HTTP and in-process sweeps must agree exactly");
 }
@@ -252,7 +253,8 @@ fn grid_job_lifecycle_queued_to_done_with_deterministic_matrix() {
         300.0,
         &CharacterizeOptions::coarse(&CellType::ALL),
     );
-    let config = SweepConfig { vectors: 6, seed: 5, threads: 0, mode: EstimatorMode::Lut };
+    let config =
+        SweepConfig { vectors: 6, seed: 5, threads: 0, mode: EstimatorMode::Lut, lanes: 0 };
     let local = sweep(&circuit, &lib, &config).expect("local sweep");
     assert_eq!(matrix[0][1], local.stats.total.mean, "grid cell equals in-process sweep");
 }
@@ -500,7 +502,8 @@ fn sharded_sweep_job_pages_partials_and_merges_bit_identically() {
         300.0,
         &CharacterizeOptions::coarse(&CellType::ALL),
     );
-    let config = SweepConfig { vectors: 12, seed: 77, threads: 1, mode: EstimatorMode::Lut };
+    let config =
+        SweepConfig { vectors: 12, seed: 77, threads: 1, mode: EstimatorMode::Lut, lanes: 0 };
     let local = sweep(&circuit, &lib, &config).expect("local sweep");
 
     for (shard_vectors, threads, shards_total) in [(4usize, 2usize, 3i128), (5, 1, 3)] {
@@ -669,6 +672,7 @@ fn mc_job_pages_partials_and_matches_in_process_bit_exactly() {
         pattern_seed: 33,
         threads: 0,
         char_opts: char_opts_for(&circuit, true),
+        lanes: 0,
     };
     let cache = MemoLibraryCache::memory_only();
     let local = mc_streaming(&circuit, &Technology::d25(), &cache, &config, 2, |_| true)
@@ -758,7 +762,8 @@ fn parallel_grid_matrix_is_bit_identical_to_sequential() {
     // Sequential reference: one cell at a time, in row-major order,
     // exactly what the pre-fan executor did.
     let circuit = normalize(&iscas_like("s838").unwrap()).unwrap();
-    let config = SweepConfig { vectors: 4, seed: 9, threads: 1, mode: EstimatorMode::Lut };
+    let config =
+        SweepConfig { vectors: 4, seed: 9, threads: 1, mode: EstimatorMode::Lut, lanes: 0 };
     let mut expected = Vec::new();
     for temp in [300.0, 350.0] {
         let mut row = Vec::new();

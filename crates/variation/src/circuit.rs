@@ -40,9 +40,12 @@ use std::sync::Arc;
 
 use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions, OperatingPoint};
 use nanoleak_core::exec::{mix, par_map_with};
-use nanoleak_core::{CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode};
+use nanoleak_core::{
+    resolve_lanes, BlockScratch, CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode,
+    PatternBlock, LANES,
+};
 use nanoleak_device::{LeakageBreakdown, Technology};
-use nanoleak_netlist::Circuit;
+use nanoleak_netlist::{Circuit, Pattern};
 use nanoleak_solver::SolverError;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -161,6 +164,11 @@ pub struct CircuitMcConfig {
     /// characterizing cells the circuit never instantiates is pure
     /// waste at one library per sample.
     pub char_opts: CharacterizeOptions,
+    /// Evaluation lanes: `0` (auto) and [`LANES`] pack each sample's
+    /// shared pattern set into 64-lane blocks (packed once, reused by
+    /// both arms); `1` forces the scalar per-pattern path. Never
+    /// changes a bit of the result.
+    pub lanes: usize,
 }
 
 impl Default for CircuitMcConfig {
@@ -174,6 +182,7 @@ impl Default for CircuitMcConfig {
             pattern_seed: 2005,
             threads: 0,
             char_opts: CharacterizeOptions::default(),
+            lanes: 0,
         }
     }
 }
@@ -303,35 +312,92 @@ fn sample_tech(nominal: &Technology, config: &CircuitMcConfig, index: usize) -> 
     tech
 }
 
+/// Per-worker reusable buffers for circuit MC samples. Plans share
+/// the circuit's dimensions, so every buffer warms once and then
+/// serves each per-die plan allocation-free.
+#[derive(Debug, Default)]
+struct SampleScratch {
+    scalar: EstimateScratch,
+    block: BlockScratch,
+    pack: PatternBlock,
+    pattern: Pattern,
+}
+
 fn run_circuit_sample(
     circuit: &Circuit,
     nominal: &Technology,
     provider: &dyn LibraryProvider,
     config: &CircuitMcConfig,
     index: usize,
-    scratch: &mut EstimateScratch,
+    scratch: &mut SampleScratch,
 ) -> Result<McSample, McError> {
     let tech = sample_tech(nominal, config, index);
     let lib = provider.library(&tech, config.op.temp, &config.char_opts)?;
     let plan = CompiledEstimator::compile(circuit, &lib)?;
-    // Sequential index-order mean over the shared pattern set; both
-    // arms run on the same plan (the unloaded arm simply skips the
-    // loading pass), so one characterization serves both.
-    let mut arm = |mode: EstimatorMode| -> Result<LeakageBreakdown, McError> {
-        let mut sum = LeakageBreakdown::ZERO;
-        for k in 0..config.vectors {
-            sum += plan.estimate_index_into(scratch, config.pattern_seed, k, mode)?;
+    let (loaded, unloaded) = if resolve_lanes(config.lanes) == 1 {
+        // Sequential index-order mean over the shared pattern set;
+        // both arms run on the same plan (the unloaded arm simply
+        // skips the loading pass), so one characterization serves
+        // both.
+        let scalar = &mut scratch.scalar;
+        let mut arm = |mode: EstimatorMode| -> Result<LeakageBreakdown, McError> {
+            let mut sum = LeakageBreakdown::ZERO;
+            for k in 0..config.vectors {
+                sum += plan.estimate_index_into(scalar, config.pattern_seed, k, mode)?;
+            }
+            Ok(sum)
+        };
+        (arm(EstimatorMode::Lut)?, arm(EstimatorMode::NoLoading)?)
+    } else {
+        // Block path: each 64-pattern chunk of the shared set is
+        // packed once and reused by both arms. The unloaded arm runs
+        // the word-parallel kernel (no tables needed); the loaded
+        // arm runs the per-lane scalar service — a per-die plan is
+        // far too short-lived to amortize a response-table build
+        // over a handful of vectors. Each arm's sum still adds its
+        // per-pattern values in index order, so both means are
+        // bit-identical to the scalar path's.
+        let mut loaded = LeakageBreakdown::ZERO;
+        let mut unloaded = LeakageBreakdown::ZERO;
+        if scratch.pack.pi_words().len() != circuit.inputs().len()
+            || scratch.pack.state_words().len() != circuit.state_inputs().len()
+        {
+            scratch.pack = PatternBlock::for_circuit(circuit);
         }
-        Ok(sum.scaled(1.0 / config.vectors as f64))
+        let mut k = 0usize;
+        while k < config.vectors {
+            let n = LANES.min(config.vectors - k);
+            scratch.pack.clear();
+            for j in 0..n {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(mix(config.pattern_seed, (k + j) as u64));
+                scratch.pattern.fill_random(circuit, &mut rng);
+                scratch.pack.push(&scratch.pattern);
+            }
+            plan.estimate_block_scalar_into(&mut scratch.block, &scratch.pack, EstimatorMode::Lut)?;
+            for t in scratch.block.totals() {
+                loaded += *t;
+            }
+            plan.estimate_block_into(&mut scratch.block, &scratch.pack, EstimatorMode::NoLoading)?;
+            for t in scratch.block.totals() {
+                unloaded += *t;
+            }
+            k += n;
+        }
+        (loaded, unloaded)
     };
-    Ok(McSample { loaded: arm(EstimatorMode::Lut)?, unloaded: arm(EstimatorMode::NoLoading)? })
+    Ok(McSample {
+        loaded: loaded.scaled(1.0 / config.vectors as f64),
+        unloaded: unloaded.scaled(1.0 / config.vectors as f64),
+    })
 }
 
 /// Runs the contiguous sample range `start .. start + len` of the
 /// Monte Carlo, returning paired samples in index order — the
 /// building block streaming front-ends shard over. Each worker keeps
-/// one [`EstimateScratch`] across its samples (plans share the
-/// circuit's dimensions, so the scratch warms once).
+/// one scratch set (scalar, block, and pattern buffers) across its
+/// samples — plans share the circuit's dimensions, so everything
+/// warms once.
 ///
 /// # Errors
 /// The first per-sample [`McError`] in index order.
@@ -349,7 +415,7 @@ pub fn run_circuit_mc_range(
     assert!(config.vectors > 0, "circuit MC needs at least one pattern per sample");
     let nominal = config.op.tech(tech);
     let per_sample: Vec<Result<McSample, McError>> =
-        par_map_with(len, config.threads, EstimateScratch::default, |scratch, k| {
+        par_map_with(len, config.threads, SampleScratch::default, |scratch, k| {
             run_circuit_sample(circuit, &nominal, provider, config, start + k, scratch)
         });
     let mut samples = Vec::with_capacity(len);

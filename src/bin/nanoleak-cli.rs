@@ -6,13 +6,13 @@
 //!                                [--reference] [--format text|json] [--coarse]
 //!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli sweep    <target> [--vectors N] [--seed S] [--temp K] [--vdd-scale X]
-//!                                [--threads N] [--mode lut|noloading|direct]
+//!                                [--threads N] [--lanes 1|64] [--mode lut|noloading|direct]
 //!                                [--shard-vectors N] [--format text|json] [--coarse]
 //!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli mlv      <target> [--goal min|max] [--strategy exhaustive|random|hillclimb]
 //!                                [--samples N] [--restarts N] [--max-steps N]
 //!                                [--seed S] [--temp K] [--vdd-scale X] [--threads N]
-//!                                [--format text|json] [--coarse]
+//!                                [--lanes 1|64] [--format text|json] [--coarse]
 //!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli optimize <target> [--rounds N] [--goal min|max]
 //!                                [--strategy exhaustive|random|hillclimb]
@@ -23,7 +23,7 @@
 //!                                [--no-cache] [--cache-dir DIR]
 //! nanoleak-cli mc       <target> [--samples N] [--sigma-vt V] [--sigma-vt-intra V]
 //!                                [--vectors N] [--seed S] [--temp K] [--vdd-scale X]
-//!                                [--threads N] [--shard-samples N]
+//!                                [--threads N] [--lanes 1|64] [--shard-samples N]
 //!                                [--format text|json] [--coarse]
 //! nanoleak-cli serve    [--addr HOST:PORT] [--threads N] [--queue N]
 //!                       [--keep-alive N] [--job-cap N]
@@ -90,6 +90,10 @@ common options:
   --temp K        temperature in kelvin (default 300)
   --vdd-scale X   supply-scale factor on the nominal Vdd (default 1.0)
   --threads N     worker threads for sweep/mlv/mc/serve (default: all cores)
+  --lanes N       patterns per evaluation word for sweep/mlv/mc: 64 packs
+                  patterns 64-wide through the block kernel, 1 forces the
+                  scalar reference path, 0 picks automatically (default 0;
+                  results are bit-identical either way)
   --format F      output format for estimate/sweep/mlv/mc: text (default)
                   or json
   --coarse        characterize on the coarse 4-point test grid (fast,
@@ -542,12 +546,25 @@ fn cmd_estimate(target: &str, mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--lanes` flag shared by sweep/mlv/mc: `0` (auto → the
+/// 64-wide block kernel), `64` (block explicitly), or `1` (the scalar
+/// reference path). A throughput knob only — results are
+/// bit-identical either way.
+fn take_lanes(args: &mut Args) -> Result<usize, String> {
+    let lanes: usize = args.take_parsed("--lanes", 0)?;
+    if !matches!(lanes, 0 | 1 | 64) {
+        return Err(format!("--lanes: expected 0 (auto), 1 (scalar), or 64 (block), got {lanes}"));
+    }
+    Ok(lanes)
+}
+
 fn cmd_sweep(target: &str, mut args: Args) -> Result<(), String> {
     let config = SweepConfig {
         vectors: args.take_parsed("--vectors", 100)?,
         seed: args.take_parsed("--seed", 2005)?,
         threads: args.take_parsed("--threads", 0)?,
         mode: parse_mode(args.take_value("--mode")?)?,
+        lanes: take_lanes(&mut args)?,
     };
     let op = take_operating_point(&mut args)?;
     let shard_vectors: usize = args.take_parsed("--shard-vectors", 0)?;
@@ -680,6 +697,7 @@ fn take_mlv_config(args: &mut Args) -> Result<MlvConfig, String> {
         seed: args.take_parsed("--seed", 2005)?,
         threads: args.take_parsed("--threads", 0)?,
         mode: EstimatorMode::Lut,
+        lanes: take_lanes(args)?,
     })
 }
 
@@ -906,6 +924,7 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
     let sigma_vt: f64 = args.take_parsed("--sigma-vt", 30e-3)?;
     let sigma_vt_intra: f64 = args.take_parsed("--sigma-vt-intra", 30e-3)?;
     let threads: usize = args.take_parsed("--threads", 0)?;
+    let lanes = take_lanes(&mut args)?;
     let shard_samples: usize = args.take_parsed("--shard-samples", 0)?;
     let op = take_operating_point(&mut args)?;
     let format = OutputFormat::take(&mut args)?;
@@ -937,6 +956,7 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
         pattern_seed: seed,
         threads,
         char_opts: char_opts_for(&circuit, coarse),
+        lanes,
     };
     // Per-sample libraries belong to unique perturbed dies: memoize in
     // RAM (re-runs of one seed hit), never on disk (one-shot litter).

@@ -69,7 +69,11 @@
 //!   mean/std/min/max/percentile statistics per leakage component.
 //!   Pattern `i` is always drawn from the SplitMix64-derived stream
 //!   `mix(seed, i)`, so sweep statistics are bit-identical for any
-//!   `--threads` value.
+//!   `--threads` value. Patterns run 64 to the machine word through
+//!   the compiled plan's block kernel
+//!   ([`CompiledEstimator::estimate_block_into`](nanoleak_core::CompiledEstimator::estimate_block_into));
+//!   `--lanes 1` forces the scalar reference path, with bit-identical
+//!   results either way.
 //! * **MLV search** ([`engine::mlv_search`](nanoleak_engine::mlv::mlv_search)) —
 //!   find the minimum- (or maximum-) leakage input vector for standby
 //!   power, by exhaustive enumeration, random sampling, or parallel
@@ -145,8 +149,9 @@ pub mod prelude {
         OperatingPoint,
     };
     pub use nanoleak_core::{
-        accuracy, estimate, estimate_batch, reference_leakage, CircuitLeakage, CompiledEstimator,
-        EstimateError, EstimateScratch, EstimatorMode, LoadingImpact, ReferenceOptions,
+        accuracy, estimate, estimate_batch, reference_leakage, resolve_lanes, BlockScratch,
+        CircuitLeakage, CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode,
+        LoadingImpact, PatternBlock, ReferenceOptions, LANES,
     };
     pub use nanoleak_device::{
         Bias, DeviceDesign, LeakageBreakdown, MosKind, Perturbation, Technology, Transistor,
