@@ -194,8 +194,21 @@ impl LibraryCache {
         bytes.extend_from_slice(&payload);
 
         // Write-then-rename so a crashed writer never leaves a torn
-        // file behind for the next reader.
-        let tmp = path.with_extension("nlc.tmp");
+        // file behind for the next reader. The tmp name carries the
+        // pid and a process-unique sequence number: two processes (or
+        // two threads racing the same key through MemoLibraryCache)
+        // must never interleave writes into one tmp file and rename a
+        // spliced payload into place.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "nlc.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if let Some(msg) = nanoleak_fault::inject("cache-io") {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(EngineError::Cache(format!("write {}: {msg}", tmp.display())));
+        }
         std::fs::write(&tmp, &bytes)
             .map_err(|e| EngineError::Cache(format!("write {}: {e}", tmp.display())))?;
         std::fs::rename(&tmp, &path)
@@ -212,6 +225,11 @@ impl LibraryCache {
         temp: f64,
         opts: &CharacterizeOptions,
     ) -> Option<CellLibrary> {
+        // Chaos hook: an armed `cache-corrupt` failpoint makes every
+        // existing entry read as torn, forcing the invalidation path.
+        if nanoleak_fault::inject("cache-corrupt").is_some() {
+            return None;
+        }
         let bytes = std::fs::read(path).ok()?;
         if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
             return None;
@@ -365,6 +383,15 @@ impl MemoLibraryCache {
         }
         let started = std::time::Instant::now();
         let _span = nanoleak_obs::span!("library", temp = temp);
+        // Chaos hook: `characterize` injects a solver non-convergence
+        // on the miss path (memory hits above stay unaffected — an
+        // already-resident library cannot fail retroactively).
+        if nanoleak_fault::inject("characterize").is_some() {
+            return Err(EngineError::Solver(nanoleak_solver::SolverError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            }));
+        }
         let (lib, outcome) = match &self.disk {
             Some(disk) => disk.load_or_characterize(tech, temp, opts)?,
             None => {
@@ -579,6 +606,36 @@ mod tests {
         let (_, outcome) = memo.get_or_characterize(&tech, 300.0, &opts()).unwrap();
         assert_eq!(outcome, CacheOutcome::MemoryHit);
         assert_eq!(memo.stats().characterizations, 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_writers_never_tear_the_entry() {
+        // Both writers produce identical bytes, but before tmp names
+        // were writer-unique they could interleave into one shared
+        // `.nlc.tmp` and rename a spliced file into place. Pin that
+        // racing stores always leave a loadable entry behind.
+        let tech = Technology::d25();
+        let cache = LibraryCache::new(temp_dir("race"));
+        let lib = CellLibrary::characterize(&tech, 300.0, &opts()).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        cache.store(&lib).unwrap();
+                    }
+                });
+            }
+        });
+        let (_, outcome) = cache.load_or_characterize(&tech, 300.0, &opts()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "entry survived racing writers intact");
+        // No tmp litter: every writer renamed (or failed loudly).
+        let leftovers: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_none_or(|ext| ext != "nlc"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray tmp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

@@ -142,6 +142,15 @@ pub fn mc_streaming(
     for shard in 0..shards_total {
         let start = shard * shard_size;
         let len = shard_size.min(config.samples - start);
+        // Chaos hook at the shard boundary, mirroring sweep_streaming:
+        // delays and injected failures land between shards, never
+        // inside the per-sample kernels.
+        if nanoleak_fault::inject("slow-shard").is_some() {
+            return Err(EngineError::Solver(nanoleak_solver::SolverError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            }));
+        }
         let shard_start = Instant::now();
         let samples = {
             let _span = nanoleak_obs::span!("estimate", shard = shard, samples = len);

@@ -388,6 +388,16 @@ pub fn sweep_streaming(
     for shard in 0..shards_total {
         let start = shard * shard_size;
         let len = shard_size.min(config.vectors - start);
+        // Chaos hook at the shard boundary (never inside the kernel):
+        // a sleep action models a slow shard, an error action a shard
+        // whose solve gave up — both leave lane/shard determinism
+        // untouched because no per-pattern work has started yet.
+        if nanoleak_fault::inject("slow-shard").is_some() {
+            return Err(EstimateError::Solver(nanoleak_solver::SolverError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            }));
+        }
         let shard_start = Instant::now();
         let totals = {
             let _span = nanoleak_obs::span!("estimate", shard = shard, vectors = len);

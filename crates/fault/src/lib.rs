@@ -1,0 +1,343 @@
+//! `nanoleak-fault` — a small failpoint layer for chaos-testing the
+//! nanoleak serving stack.
+//!
+//! Production code plants named **failpoints** at failure-relevant
+//! seams (cache I/O, characterization, shard boundaries, job entry)
+//! by calling [`inject`]. A disarmed failpoint costs one relaxed
+//! atomic load — no lock, no allocation, no branch beyond the flag
+//! check — so the hooks can stay compiled into release builds.
+//!
+//! Tests and operators **arm** failpoints with a [`FaultAction`]:
+//!
+//! * [`FaultAction::Error`] — [`inject`] returns `Some(message)`; the
+//!   call site maps it into its own error type (an injected solver
+//!   failure, a failed cache write, ...).
+//! * [`FaultAction::Panic`] — [`inject`] panics with the message,
+//!   exercising `catch_unwind` isolation around the call site.
+//! * [`FaultAction::SleepMs`] — [`inject`] blocks for the given
+//!   duration and returns `None`, simulating a slow shard or a stuck
+//!   solver without changing any result.
+//!
+//! Arming is programmatic ([`arm`] / [`arm_limited`]) or textual: a
+//! spec string (`"point=action[:arg][*N]"`, `;`-separated) via
+//! [`arm_from_spec`], or the `NANOLEAK_FAULTS` environment variable
+//! via [`arm_from_env`] — the hook a server binary calls once at
+//! startup. `*N` bounds how many times the point fires before it
+//! disarms itself (e.g. `"job-entry=panic*1"` panics exactly one
+//! job).
+//!
+//! Every fire is counted per point ([`hits`], [`snapshot`]) so a
+//! chaos run can assert — and a `/metrics` endpoint can expose as
+//! `nanoleak_fault_injected_total` — exactly which faults actually
+//! triggered.
+//!
+//! The registry is process-global (fault injection is a process
+//! property, like signal handlers); tests sharing a process must
+//! serialize chaos sections and [`disarm_all`] between them.
+//!
+//! Dependency-free (std only), like `nanoleak-obs`, so any crate in
+//! the workspace can plant failpoints without cycles.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when execution reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// [`inject`] returns `Some(message)`; the call site surfaces it
+    /// as its own error type.
+    Error(String),
+    /// [`inject`] panics with the message (exercises `catch_unwind`
+    /// isolation at the call site's boundary).
+    Panic(String),
+    /// [`inject`] sleeps for this many milliseconds, then returns
+    /// `None` — a pure delay that never changes a result.
+    SleepMs(u64),
+}
+
+/// One armed failpoint.
+#[derive(Debug)]
+struct Armed {
+    action: FaultAction,
+    /// Fires remaining before the point self-disarms; `None` = unlimited.
+    remaining: Option<u64>,
+}
+
+/// Fast-path flag: `false` means no failpoint is armed anywhere and
+/// [`inject`] returns immediately.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Per-point fire counts; persists across disarms so a chaos run can
+/// assert on what triggered after cleaning up.
+fn hit_counts() -> &'static Mutex<HashMap<String, u64>> {
+    static HITS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    HITS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    // A panic inside the critical sections below is impossible (no
+    // user code runs under the lock), but `FaultAction::Panic` tests
+    // unwind through arbitrary frames — never let poisoning turn one
+    // injected panic into a poisoned-registry cascade.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Arms `point` with `action`, firing on every hit until disarmed.
+pub fn arm(point: &str, action: FaultAction) {
+    arm_limited(point, action, None);
+}
+
+/// Arms `point` with `action`, firing at most `limit` times
+/// (`None` = unlimited) before the point disarms itself.
+pub fn arm_limited(point: &str, action: FaultAction, limit: Option<u64>) {
+    let mut reg = lock(registry());
+    reg.insert(point.to_string(), Armed { action, remaining: limit });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms one failpoint (its hit count is retained).
+pub fn disarm(point: &str) {
+    let mut reg = lock(registry());
+    reg.remove(point);
+    if reg.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every failpoint (hit counts are retained).
+pub fn disarm_all() {
+    lock(registry()).clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Times `point` has actually fired (counted across disarms).
+pub fn hits(point: &str) -> u64 {
+    lock(hit_counts()).get(point).copied().unwrap_or(0)
+}
+
+/// Every point that has ever fired, with its fire count, sorted by
+/// point name (stable for text exposition).
+pub fn snapshot() -> Vec<(String, u64)> {
+    let mut all: Vec<(String, u64)> =
+        lock(hit_counts()).iter().map(|(k, v)| (k.clone(), *v)).collect();
+    all.sort();
+    all
+}
+
+/// The failpoint check production code plants at a failure seam.
+///
+/// Disarmed (the overwhelmingly common case): one relaxed atomic
+/// load, `None`. Armed: fires the action — returns `Some(message)`
+/// for [`FaultAction::Error`], panics for [`FaultAction::Panic`],
+/// sleeps then returns `None` for [`FaultAction::SleepMs`] — and
+/// counts the hit.
+pub fn inject(point: &str) -> Option<String> {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    let action = {
+        let mut reg = lock(registry());
+        let armed = reg.get_mut(point)?;
+        match &mut armed.remaining {
+            Some(0) => {
+                reg.remove(point);
+                return None;
+            }
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        let action = armed.action.clone();
+        if armed.remaining == Some(0) {
+            reg.remove(point);
+        }
+        action
+    };
+    *lock(hit_counts()).entry(point.to_string()).or_insert(0) += 1;
+    match action {
+        FaultAction::Error(msg) => Some(msg),
+        FaultAction::Panic(msg) => panic!("injected fault at '{point}': {msg}"),
+        FaultAction::SleepMs(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+    }
+}
+
+/// Arms failpoints from a spec string:
+/// `point=action[:arg][*N]` entries separated by `;`.
+///
+/// Actions: `error[:message]`, `panic[:message]`, `sleep:MILLIS`.
+/// `*N` caps the fire count. Examples:
+///
+/// * `job-entry=panic*1` — panic the first job that starts;
+/// * `cache-io=error:disk unplugged` — every cache write fails;
+/// * `slow-shard=sleep:250` — every shard takes an extra 250 ms.
+///
+/// Returns how many points were armed.
+///
+/// # Errors
+/// A human-readable message naming the malformed entry.
+pub fn arm_from_spec(spec: &str) -> Result<usize, String> {
+    let mut armed = 0;
+    for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (point, rhs) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec '{entry}': expected point=action"))?;
+        let point = point.trim();
+        if point.is_empty() {
+            return Err(format!("fault spec '{entry}': empty point name"));
+        }
+        let (rhs, limit) = match rhs.rsplit_once('*') {
+            Some((action, n)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                let n: u64 = n.parse().map_err(|_| format!("fault spec '{entry}': bad limit"))?;
+                (action, Some(n))
+            }
+            _ => (rhs, None),
+        };
+        let (kind, arg) = match rhs.split_once(':') {
+            Some((k, a)) => (k.trim(), Some(a)),
+            None => (rhs.trim(), None),
+        };
+        let action = match (kind, arg) {
+            ("error", msg) => FaultAction::Error(msg.unwrap_or("injected error").to_string()),
+            ("panic", msg) => FaultAction::Panic(msg.unwrap_or("injected panic").to_string()),
+            ("sleep", Some(ms)) => FaultAction::SleepMs(
+                ms.trim()
+                    .parse()
+                    .map_err(|_| format!("fault spec '{entry}': sleep wants milliseconds"))?,
+            ),
+            ("sleep", None) => {
+                return Err(format!("fault spec '{entry}': sleep wants milliseconds"))
+            }
+            (other, _) => {
+                return Err(format!(
+                    "fault spec '{entry}': unknown action '{other}' (error|panic|sleep)"
+                ))
+            }
+        };
+        arm_limited(point, action, limit);
+        armed += 1;
+    }
+    Ok(armed)
+}
+
+/// Environment variable [`arm_from_env`] reads.
+pub const ENV_VAR: &str = "NANOLEAK_FAULTS";
+
+/// Arms failpoints from [`ENV_VAR`] (see [`arm_from_spec`] for the
+/// syntax). Unset or empty is a no-op.
+///
+/// # Errors
+/// The spec-parse failure message; nothing before the malformed entry
+/// is rolled back.
+pub fn arm_from_env() -> Result<usize, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => arm_from_spec(&spec),
+        _ => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; tests serialize on this.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = lock(GATE.get_or_init(|| Mutex::new(())));
+        disarm_all();
+        guard
+    }
+
+    #[test]
+    fn disarmed_points_are_silent() {
+        let _g = serial();
+        assert_eq!(inject("nothing-armed-here"), None);
+    }
+
+    #[test]
+    fn error_action_returns_the_message() {
+        let _g = serial();
+        arm("t-error", FaultAction::Error("boom".into()));
+        assert_eq!(inject("t-error"), Some("boom".into()));
+        assert_eq!(inject("t-other"), None, "only the armed point fires");
+        disarm("t-error");
+        assert_eq!(inject("t-error"), None);
+        assert!(hits("t-error") >= 1, "hits survive disarm");
+    }
+
+    #[test]
+    fn limited_points_self_disarm() {
+        let _g = serial();
+        let before = hits("t-limited");
+        arm_limited("t-limited", FaultAction::Error("once".into()), Some(2));
+        assert!(inject("t-limited").is_some());
+        assert!(inject("t-limited").is_some());
+        assert_eq!(inject("t-limited"), None, "limit reached");
+        assert_eq!(hits("t-limited"), before + 2);
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_action_panics_with_the_point_name() {
+        let _g = serial();
+        arm_limited("t-panic", FaultAction::Panic("kaboom".into()), Some(1));
+        let err = std::panic::catch_unwind(|| inject("t-panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("t-panic") && msg.contains("kaboom"), "{msg}");
+        assert_eq!(inject("t-panic"), None, "self-disarmed after the limit");
+        disarm_all();
+    }
+
+    #[test]
+    fn sleep_action_delays_and_passes() {
+        let _g = serial();
+        arm_limited("t-sleep", FaultAction::SleepMs(30), Some(1));
+        let start = std::time::Instant::now();
+        assert_eq!(inject("t-sleep"), None, "sleep never fails the call site");
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        disarm_all();
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let _g = serial();
+        let n = arm_from_spec("a=error:msg with spaces*3; b=panic; c=sleep:150").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(inject("a"), Some("msg with spaces".into()));
+        {
+            let reg = lock(registry());
+            assert_eq!(reg.get("a").unwrap().remaining, Some(2));
+            assert_eq!(reg.get("b").unwrap().action, FaultAction::Panic("injected panic".into()));
+            assert_eq!(reg.get("c").unwrap().action, FaultAction::SleepMs(150));
+        }
+        disarm_all();
+        for bad in ["justapoint", "=error", "x=explode", "x=sleep", "x=sleep:soon"] {
+            assert!(arm_from_spec(bad).is_err(), "{bad}");
+        }
+        disarm_all();
+    }
+
+    #[test]
+    fn snapshot_lists_fired_points_sorted() {
+        let _g = serial();
+        arm("t-snap-b", FaultAction::Error("x".into()));
+        arm("t-snap-a", FaultAction::Error("y".into()));
+        inject("t-snap-b");
+        inject("t-snap-a");
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        let ia = names.iter().position(|n| *n == "t-snap-a").unwrap();
+        let ib = names.iter().position(|n| *n == "t-snap-b").unwrap();
+        assert!(ia < ib, "sorted by point name: {names:?}");
+        disarm_all();
+    }
+}

@@ -17,8 +17,8 @@ use nanoleak_core::{estimate_batch, CircuitLeakage, EstimatorMode, LoadingImpact
 use nanoleak_device::Technology;
 use nanoleak_engine::exec::{par_map, resolve_threads};
 use nanoleak_engine::{
-    mc_streaming, mlv_search, shard_count, sweep, sweep_streaming, McShard, MemoLibraryCache,
-    MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepShard, SweepStats,
+    mc_streaming, mlv_search, shard_count, sweep, sweep_streaming, EngineError, McShard,
+    MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepShard, SweepStats,
 };
 use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
@@ -314,10 +314,14 @@ fn library(
     op: &OperatingPoint,
     opts: &CharacterizeOptions,
 ) -> Result<Arc<CellLibrary>, ApiError> {
-    cache
-        .get_or_characterize_at(tech, op, opts)
-        .map(|(lib, _)| lib)
-        .map_err(|e| ApiError { status: 500, message: format!("characterization failed: {e}") })
+    cache.get_or_characterize_at(tech, op, opts).map(|(lib, _)| lib).map_err(|e| match e {
+        // A solver that won't converge on a well-formed request is a
+        // processing failure (422, like sweep failures), not a server
+        // fault; cache/I-O breakage is genuinely ours (500). The
+        // `EngineError` Display already says which stage failed.
+        EngineError::Solver(_) => ApiError::unprocessable(e.to_string()),
+        other => ApiError { status: 500, message: other.to_string() },
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -871,10 +875,12 @@ pub fn run_grid(
     let mut matrix: Vec<Vec<f64>> = Vec::with_capacity(temps.len());
     for (i, outcome) in per_cell.into_iter().enumerate() {
         let cell = outcome?;
-        if i % vdd_scales.len() == 0 {
+        if i % vdd_scales.len() == 0 || matrix.is_empty() {
             matrix.push(Vec::with_capacity(vdd_scales.len()));
         }
-        matrix.last_mut().expect("row pushed above").push(cell.mean_total_a);
+        if let Some(row) = matrix.last_mut() {
+            row.push(cell.mean_total_a);
+        }
         cells.push(cell);
     }
     Ok(GridResult { target, temps, vdd_scales, config, cells, mean_total_a: matrix })

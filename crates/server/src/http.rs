@@ -279,6 +279,14 @@ impl<'a> Conn<'a> {
     pub fn stream(&self) -> &TcpStream {
         self.stream
     }
+
+    /// Whether bytes a client pipelined ahead are already sitting in
+    /// the parse buffer. Used by the connection loop to tell "client
+    /// pipelined past the per-connection request bound" (answer 429)
+    /// from a plain bound-reached close.
+    pub fn has_buffered(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
 }
 
 /// Maps a failed head read to the status the client should see.
@@ -303,12 +311,22 @@ pub struct Response {
     /// Request id echoed as an `X-Request-Id` header when set (the
     /// connection loop stamps it after routing).
     pub request_id: Option<String>,
+    /// Seconds for a `Retry-After` header, emitted when set (load
+    /// shedding: 503 on a saturated queue, 429 on per-connection
+    /// excess).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Self { status, content_type: "application/json", body: body.into(), request_id: None }
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            request_id: None,
+            retry_after: None,
+        }
     }
 
     /// A plain-text response (Prometheus exposition, health probes).
@@ -318,7 +336,15 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
             request_id: None,
+            retry_after: None,
         }
+    }
+
+    /// Stamps a `Retry-After` hint (seconds) on the response.
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -333,6 +359,7 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -354,13 +381,18 @@ pub fn write_response(
         Some(id) => format!("X-Request-Id: {id}\r\n"),
         None => String::new(),
     };
+    let retry_after = match response.retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         request_id,
+        retry_after,
         if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;

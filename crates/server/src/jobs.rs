@@ -25,6 +25,19 @@ use nanoleak_obs::{Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use serde::Value;
 
+/// The error message a job fails with when its deadline expired; the
+/// executor produces it, [`JobRegistry::finish`] counts it, and
+/// clients match on it. Enforcement sits only at shard boundaries and
+/// job lifecycle edges — never inside the kernels — so a job that
+/// misses its deadline still has every completed shard's partial
+/// intact.
+pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+
+/// Prefix of the error message a job fails with when its executor
+/// panicked; the panic payload (when it is a string) follows after
+/// `": "`.
+pub const JOB_PANICKED: &str = "job panicked";
+
 /// What kind of work a job carries (the request body is re-parsed by
 /// the executor; the kind routes it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +124,10 @@ pub struct Job {
     pub error: Option<String>,
     /// Set by `DELETE`; polled by executors.
     pub cancel: Arc<AtomicBool>,
+    /// Absolute deadline; executors stop at the next shard boundary
+    /// past it and the job fails with [`DEADLINE_EXCEEDED`]. `None`
+    /// means unbounded.
+    pub deadline: Option<Instant>,
     /// When the job was submitted.
     pub submitted: Instant,
     /// When the job reached a terminal status (drives TTL eviction).
@@ -138,6 +155,11 @@ impl Job {
     /// Shards whose partial result is available.
     pub fn shards_done(&self) -> usize {
         self.shards.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the job's deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -179,6 +201,11 @@ pub struct JobMetrics {
     pub evicted: Counter,
     /// Jobs currently resident (all statuses).
     pub resident: Gauge,
+    /// Jobs that failed because their deadline expired.
+    pub deadline_exceeded: Counter,
+    /// Jobs that failed because their executor panicked (the panic
+    /// was contained; the worker survived).
+    pub panicked: Counter,
     /// Time jobs spent queued before a worker picked them up.
     pub queue_wait_seconds: Histogram,
     /// Wall-clock job execution time.
@@ -203,6 +230,8 @@ impl JobMetrics {
             cancelled: Gauge::new(),
             evicted: Counter::new(),
             resident: Gauge::new(),
+            deadline_exceeded: Counter::new(),
+            panicked: Counter::new(),
             queue_wait_seconds: Histogram::new(),
             job_seconds: Histogram::new(),
         }
@@ -224,6 +253,14 @@ impl JobMetrics {
             ),
             resident: registry
                 .gauge("nanoleak_jobs_resident", "Jobs resident in the registry (all statuses)"),
+            deadline_exceeded: registry.counter(
+                "nanoleak_deadline_exceeded_total",
+                "Jobs that failed because their deadline expired",
+            ),
+            panicked: registry.counter(
+                "nanoleak_jobs_panicked_total",
+                "Jobs whose executor panicked (contained; the worker survived)",
+            ),
             queue_wait_seconds: registry.histogram(
                 "nanoleak_job_queue_wait_seconds",
                 "Time from job submission to worker pickup",
@@ -262,6 +299,10 @@ pub struct JobCounts {
     pub evicted: u64,
     /// Jobs currently resident (all statuses).
     pub resident: u64,
+    /// Jobs that failed because their deadline expired.
+    pub deadline_exceeded: u64,
+    /// Jobs whose executor panicked (contained).
+    pub panicked: u64,
 }
 
 /// Thread-safe job registry with bounded finished-job retention.
@@ -339,6 +380,18 @@ impl JobRegistry {
 
     /// Registers a new queued job, returning its id and cancel flag.
     pub fn submit(&self, kind: JobKind, body: String) -> (u64, Arc<AtomicBool>) {
+        self.submit_with_deadline(kind, body, None)
+    }
+
+    /// [`JobRegistry::submit`] with an absolute deadline: executors
+    /// stop at the first shard boundary past it and the job fails
+    /// with [`DEADLINE_EXCEEDED`].
+    pub fn submit_with_deadline(
+        &self,
+        kind: JobKind,
+        body: String,
+        deadline: Option<Instant>,
+    ) -> (u64, Arc<AtomicBool>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let cancel = Arc::new(AtomicBool::new(false));
         let job = Job {
@@ -349,6 +402,7 @@ impl JobRegistry {
             result: None,
             error: None,
             cancel: Arc::clone(&cancel),
+            deadline,
             submitted: Instant::now(),
             finished_at: None,
             elapsed_ms: None,
@@ -430,6 +484,14 @@ impl JobRegistry {
     pub fn finish(&self, id: u64, outcome: Result<Value, String>, elapsed_ms: f64) {
         let mut jobs = self.jobs.lock();
         if let Some(job) = jobs.get_mut(&id) {
+            // Terminal jobs are immutable: an executor that lost a
+            // cancel race while the job was still queued (its start()
+            // returned None) must not re-count or resurrect the entry
+            // if it calls finish anyway.
+            if matches!(job.status, JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled) {
+                self.evict_locked(&mut jobs);
+                return;
+            }
             job.elapsed_ms = Some(elapsed_ms);
             job.finished_at = Some(Instant::now());
             if job.status == JobStatus::Running {
@@ -447,6 +509,11 @@ impl JobRegistry {
                         job.result = Some(value);
                     }
                     Err(message) => {
+                        if message == DEADLINE_EXCEEDED {
+                            self.metrics.deadline_exceeded.inc();
+                        } else if message.starts_with(JOB_PANICKED) {
+                            self.metrics.panicked.inc();
+                        }
                         job.status = JobStatus::Failed;
                         job.error = Some(message);
                     }
@@ -481,6 +548,15 @@ impl JobRegistry {
         Some(job.status)
     }
 
+    /// Mean wall-clock execution time of finished jobs in seconds;
+    /// `None` before the first job finishes. Drives the server's
+    /// `Retry-After` estimates when shedding load.
+    pub fn avg_job_seconds(&self) -> Option<f64> {
+        let snap = self.metrics.job_seconds.snapshot();
+        let count = snap.count();
+        (count > 0).then(|| snap.sum / count as f64)
+    }
+
     /// Per-status counts. Note `done`/`failed`/`cancelled` count jobs
     /// still *resident* — eviction retires old entries, and `evicted`
     /// accounts for them. Reads the same [`JobMetrics`] instruments
@@ -496,6 +572,8 @@ impl JobRegistry {
             cancelled: gauge(&self.metrics.cancelled),
             evicted: self.metrics.evicted.get(),
             resident: gauge(&self.metrics.resident),
+            deadline_exceeded: self.metrics.deadline_exceeded.get(),
+            panicked: self.metrics.panicked.get(),
         }
     }
 }
@@ -655,5 +733,147 @@ mod tests {
             assert_eq!(JobKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(JobKind::parse("spice"), None);
+    }
+
+    #[test]
+    fn deadline_and_panic_failures_are_counted_separately() {
+        let reg = JobRegistry::default();
+        let deadline = Some(Instant::now() + Duration::from_secs(3600));
+        let (a, _) = reg.submit_with_deadline(JobKind::Sweep, "{}".into(), deadline);
+        assert_eq!(reg.with_job(a, |j| j.deadline), Some(deadline));
+        assert_eq!(reg.with_job(a, |j| j.deadline_expired()), Some(false));
+        reg.start(a);
+        reg.finish(a, Err(DEADLINE_EXCEEDED.to_string()), 1.0);
+        let (b, _) = reg.submit(JobKind::Sweep, "{}".into());
+        assert_eq!(reg.with_job(b, |j| j.deadline), Some(None));
+        reg.start(b);
+        reg.finish(b, Err(format!("{JOB_PANICKED}: shard blew up")), 1.0);
+        let (c, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(c);
+        reg.finish(c, Err("plain failure".into()), 1.0);
+        let counts = reg.counts();
+        assert_eq!(counts.failed, 3);
+        assert_eq!(counts.deadline_exceeded, 1);
+        assert_eq!(counts.panicked, 1);
+    }
+
+    #[test]
+    fn expired_deadlines_read_as_expired() {
+        let reg = JobRegistry::default();
+        let past = Some(Instant::now() - Duration::from_millis(1));
+        let (id, _) = reg.submit_with_deadline(JobKind::Sweep, "{}".into(), past);
+        assert_eq!(reg.with_job(id, |j| j.deadline_expired()), Some(true));
+    }
+
+    /// A cancel racing a worker's finish must settle on exactly one
+    /// terminal state, every time, with the counters agreeing.
+    #[test]
+    fn concurrent_cancel_vs_finish_settles_one_terminal_state() {
+        for _ in 0..64 {
+            let reg = std::sync::Arc::new(JobRegistry::default());
+            let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+            reg.start(id);
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+            std::thread::scope(|s| {
+                let (r, b) = (reg.clone(), barrier.clone());
+                s.spawn(move || {
+                    b.wait();
+                    r.cancel(id);
+                });
+                let (r, b) = (reg.clone(), barrier.clone());
+                s.spawn(move || {
+                    b.wait();
+                    r.finish(id, Ok(Value::Int(1)), 1.0);
+                });
+            });
+            let status = reg.with_job(id, |j| j.status).unwrap();
+            assert!(
+                matches!(status, JobStatus::Done | JobStatus::Cancelled),
+                "non-terminal after race: {status:?}"
+            );
+            let counts = reg.counts();
+            assert_eq!(counts.done + counts.cancelled, 1, "double-counted: {counts:?}");
+            // A cancelled job must never expose a result.
+            if status == JobStatus::Cancelled {
+                assert_eq!(reg.with_job(id, |j| j.result.clone()), Some(None));
+            }
+        }
+    }
+
+    /// Submit/finish churn (which drives eviction) racing cancels and
+    /// reads of arbitrary ids: no deadlock, no panic, bounded
+    /// registry, coherent counters.
+    #[test]
+    fn concurrent_churn_eviction_and_cancels_stay_coherent() {
+        let reg = std::sync::Arc::new(JobRegistry::with_eviction(EvictionPolicy {
+            finished_cap: 8,
+            ttl: Duration::from_secs(3600),
+        }));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+                        match (i + t) % 3 {
+                            0 => {
+                                reg.cancel(id);
+                            }
+                            1 => {
+                                reg.start(id);
+                                reg.finish(id, Ok(Value::Int(i as i128)), 0.1);
+                            }
+                            _ => {
+                                reg.start(id);
+                                reg.finish(id, Err("boom".into()), 0.1);
+                            }
+                        }
+                        // Poke a neighbour that may be mid-flight or
+                        // already evicted on another thread.
+                        let _ = reg.with_job(id.saturating_sub(1), |j| j.status);
+                        let _ = reg.cancel(id.saturating_sub(2));
+                    }
+                });
+            }
+        });
+        // Eviction runs on finish, not on cancel, so trailing cancels
+        // can leave a few extra residents; one more finish sweeps
+        // them. (A live server finishes jobs constantly.)
+        let (id, _) = reg.submit(JobKind::Sweep, "{}".into());
+        reg.start(id);
+        reg.finish(id, Ok(Value::Int(0)), 0.1);
+        let counts = reg.counts();
+        // Status gauges count *resident* jobs; every submitted job
+        // must be accounted exactly once — terminal or evicted.
+        assert_eq!(counts.queued, 0, "{counts:?}");
+        assert_eq!(counts.running, 0, "{counts:?}");
+        assert_eq!(
+            counts.done + counts.failed + counts.cancelled + counts.evicted,
+            801,
+            "{counts:?}"
+        );
+        assert!(counts.resident <= 8, "unbounded: {counts:?}");
+    }
+
+    /// Ids stay unique and dense under concurrent submission.
+    #[test]
+    fn concurrent_submissions_mint_unique_ids() {
+        let reg = std::sync::Arc::new(JobRegistry::default());
+        let mut all = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let reg = reg.clone();
+                    s.spawn(move || {
+                        (0..100).map(|_| reg.submit(JobKind::Mc, "{}".into()).0).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect::<Vec<u64>>()
+        });
+        all.sort_unstable();
+        let n = all.len();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate job ids minted");
+        assert_eq!(all.last().copied().unwrap() - all.first().copied().unwrap() + 1, n as u64);
     }
 }

@@ -98,6 +98,42 @@
 //!   TTL), with `evicted`/`resident` counters in `/v1/stats`, so the
 //!   registry no longer grows for the process lifetime.
 //!
+//! ## Resilience
+//!
+//! The failure-containment contract, exercised continuously by the
+//! `nanoleak-fault` failpoint harness (`--faults` /
+//! `$NANOLEAK_FAULTS`) and the `tests/chaos.rs` drills:
+//!
+//! * **Deadline propagation** — a job's `timeout_ms` field (or the
+//!   server-wide [`ServeConfig::default_job_timeout`]) becomes a
+//!   deadline carried in the job registry and polled at **shard
+//!   boundaries only** — never inside a numeric kernel — so an
+//!   expired job fails with error `deadline_exceeded` while every
+//!   shard it completed stays paged and bit-identical to an
+//!   unhurried run. Expiry is also checked before the executor
+//!   starts (a job that aged out in the queue never touches the
+//!   engine) and counted in `nanoleak_deadline_exceeded_total`.
+//! * **Panic isolation** — each job executes under `catch_unwind`;
+//!   a panicking shard fails exactly that job (the panic message is
+//!   preserved in the job record as `job panicked: …` and counted in
+//!   `nanoleak_jobs_panicked_total`), and a second containment ring
+//!   around the worker loop plus the `nanoleak_server_workers_alive`
+//!   gauge guarantee the pool never silently decays.
+//! * **Admission control** — overload is shed at the door with
+//!   `503 + Retry-After` (hint = predicted queue drain time,
+//!   clamped to 1–60 s): a full queue, a request whose explicit
+//!   `timeout_ms` the current backlog is predicted to outlast, and
+//!   the accept-loop connection cap all shed rather than degrade;
+//!   clients that pipeline past the per-connection request bound get
+//!   each buffered excess answered `429` before the close. Sheds are
+//!   accounted by reason in `nanoleak_shed_total` and mirrored under
+//!   `resilience` in `/v1/stats`.
+//! * **Fault injection** — `nanoleak-fault` failpoints (`cache-io`,
+//!   `cache-corrupt`, `characterize`, `slow-shard`) are compiled in
+//!   but cost one relaxed atomic load when disarmed; armed hits are
+//!   exposed as `nanoleak_fault_injected_total{point=…}` on
+//!   `/metrics`, so chaos drills are observable end-to-end.
+//!
 //! ## Telemetry
 //!
 //! The service is instrumented through [`nanoleak_obs`] — metrics,
@@ -178,7 +214,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nanoleak_engine::{LibraryCache, MemoLibraryCache};
-use nanoleak_obs::{Counter, Histogram, Registry};
+use nanoleak_obs::{Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -213,6 +249,11 @@ pub struct ServeConfig {
     /// Finished jobs older than this are evicted regardless of the
     /// cap.
     pub finished_job_ttl: Duration,
+    /// Deadline applied to jobs whose request carries no
+    /// `timeout_ms` field (`None` = unbounded). Executors stop at the
+    /// first shard boundary past the deadline and the job fails with
+    /// `deadline_exceeded`.
+    pub default_job_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -227,6 +268,7 @@ impl Default for ServeConfig {
             keep_alive_idle: Duration::from_secs(5),
             finished_jobs_cap: 512,
             finished_job_ttl: Duration::from_secs(3600),
+            default_job_timeout: None,
         }
     }
 }
@@ -248,6 +290,23 @@ pub struct Telemetry {
     /// End-to-end request latency, parse completion to response
     /// serialization.
     pub request_seconds: Histogram,
+    /// Work shed because the job queue was saturated
+    /// (`nanoleak_shed_total{reason="queue_full"}`).
+    pub shed_queue_full: Counter,
+    /// Work shed because the queue's predicted drain time already
+    /// exceeded the request's own deadline
+    /// (`nanoleak_shed_total{reason="predicted_deadline"}`).
+    pub shed_predicted_deadline: Counter,
+    /// Connections shed at the accept loop's concurrency cap
+    /// (`nanoleak_shed_total{reason="connection_limit"}`).
+    pub shed_connection_limit: Counter,
+    /// Pipelined requests shed past the per-connection request bound
+    /// (`nanoleak_shed_total{reason="connection_requests"}`).
+    pub shed_connection_requests: Counter,
+    /// Job worker threads currently alive. Panic isolation means this
+    /// must equal the configured pool size for the process lifetime —
+    /// a decay is a contained-panic bug escaping containment.
+    pub workers_alive: Gauge,
 }
 
 impl Telemetry {
@@ -265,7 +324,38 @@ impl Telemetry {
             "nanoleak_server_request_seconds",
             "End-to-end HTTP request latency in seconds",
         );
-        Self { registry, requests, protocol_errors, request_seconds }
+        const SHED: &str = "nanoleak_shed_total";
+        const SHED_HELP: &str = "Work shed by admission control, by reason";
+        let shed_queue_full = registry.counter_with(SHED, SHED_HELP, &[("reason", "queue_full")]);
+        let shed_predicted_deadline =
+            registry.counter_with(SHED, SHED_HELP, &[("reason", "predicted_deadline")]);
+        let shed_connection_limit =
+            registry.counter_with(SHED, SHED_HELP, &[("reason", "connection_limit")]);
+        let shed_connection_requests =
+            registry.counter_with(SHED, SHED_HELP, &[("reason", "connection_requests")]);
+        let workers_alive = registry.gauge(
+            "nanoleak_server_workers_alive",
+            "Job worker threads alive (must equal the configured pool size)",
+        );
+        Self {
+            registry,
+            requests,
+            protocol_errors,
+            request_seconds,
+            shed_queue_full,
+            shed_predicted_deadline,
+            shed_connection_limit,
+            shed_connection_requests,
+            workers_alive,
+        }
+    }
+
+    /// Total requests shed across every reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full.get()
+            + self.shed_predicted_deadline.get()
+            + self.shed_connection_limit.get()
+            + self.shed_connection_requests.get()
     }
 }
 
@@ -298,6 +388,7 @@ pub struct ServerState {
     workers: usize,
     keep_alive_requests: usize,
     keep_alive_idle: Duration,
+    default_job_timeout: Option<Duration>,
     started: Instant,
 }
 
@@ -322,6 +413,11 @@ impl ServerState {
     /// Job worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Deadline applied to jobs submitted without a `timeout_ms`.
+    pub fn default_job_timeout(&self) -> Option<Duration> {
+        self.default_job_timeout
     }
 
     /// Current queue occupancy (depth, capacity).
@@ -358,6 +454,15 @@ impl ServerState {
                 evicted: jobs.evicted,
                 resident: jobs.resident,
             },
+            resilience: ResilienceStats {
+                shed_queue_full: self.telemetry.shed_queue_full.get(),
+                shed_predicted_deadline: self.telemetry.shed_predicted_deadline.get(),
+                shed_connection_limit: self.telemetry.shed_connection_limit.get(),
+                shed_connection_requests: self.telemetry.shed_connection_requests.get(),
+                deadline_exceeded: jobs.deadline_exceeded,
+                panicked: jobs.panicked,
+                workers_alive: self.telemetry.workers_alive.get().max(0) as u64,
+            },
         }
     }
 }
@@ -377,6 +482,32 @@ pub struct StatsResponse {
     pub cache: CacheStats,
     /// Job counts by status.
     pub jobs: JobStats,
+    /// Overload-shedding and failure-containment counters.
+    pub resilience: ResilienceStats,
+}
+
+/// Overload-shedding and failure-containment counters (the same
+/// instruments `GET /metrics` exposes as `nanoleak_shed_total`,
+/// `nanoleak_deadline_exceeded_total`, `nanoleak_jobs_panicked_total`,
+/// and `nanoleak_server_workers_alive`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceStats {
+    /// Jobs rejected because the queue was saturated.
+    pub shed_queue_full: u64,
+    /// Jobs rejected because predicted queue drain already exceeded
+    /// the request's deadline.
+    pub shed_predicted_deadline: u64,
+    /// Connections rejected at the concurrency cap.
+    pub shed_connection_limit: u64,
+    /// Pipelined requests rejected past the per-connection bound.
+    pub shed_connection_requests: u64,
+    /// Jobs failed with `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Jobs whose executor panicked (contained).
+    pub panicked: u64,
+    /// Worker threads alive (equals the configured pool size while
+    /// the server runs; panic isolation keeps it from decaying).
+    pub workers_alive: u64,
 }
 
 /// Queue occupancy.
@@ -512,6 +643,7 @@ impl Server {
                 workers,
                 keep_alive_requests: config.keep_alive_requests,
                 keep_alive_idle: config.keep_alive_idle,
+                default_job_timeout: config.default_job_timeout,
                 started: Instant::now(),
             },
             receiver,
@@ -561,9 +693,30 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..state.workers {
                 scope.spawn(move || {
+                    // Self-check gauge: a worker increments on entry
+                    // and decrements only at clean queue-closed exit,
+                    // so `nanoleak_server_workers_alive` decaying
+                    // below the pool size means a panic escaped
+                    // containment.
+                    state.telemetry.workers_alive.inc();
                     while let Some(id) = receiver.next() {
-                        router::execute_job(state, id);
+                        // `execute_job` contains job panics itself;
+                        // this outer guard is the last line of
+                        // defense so even a panic in the registry
+                        // bookkeeping costs one job, never a worker.
+                        let contained =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                router::execute_job(state, id)
+                            }));
+                        if contained.is_err() {
+                            nanoleak_obs::warn!(
+                                "jobs",
+                                "job {} escaped executor containment; worker survives",
+                                id
+                            );
+                        }
                     }
+                    state.telemetry.workers_alive.dec();
                 });
             }
             loop {
@@ -574,6 +727,7 @@ impl Server {
                     Ok((stream, _peer)) => {
                         if active_connections.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
                             let _ = stream.set_nonblocking(false);
+                            state.telemetry.shed_connection_limit.inc();
                             let overloaded = http::Response::json(
                                 503,
                                 api::ApiError {
@@ -581,7 +735,8 @@ impl Server {
                                     message: "too many connections".into(),
                                 }
                                 .body(),
-                            );
+                            )
+                            .with_retry_after(1);
                             let _ = http::write_response(&stream, &overloaded, true);
                             continue;
                         }
@@ -642,6 +797,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBo
     let _ = stream.set_nonblocking(false);
     let mut conn = http::Conn::new(&stream);
     let mut served: usize = 0;
+    let mut bound_hit = false;
     loop {
         // The first request gets the full read budget; follow-ups on
         // a warm connection are bounded by the (shorter) idle
@@ -681,6 +837,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBo
                     && served < state.keep_alive_requests
                     && !shutdown.load(Ordering::SeqCst)
                     && !SIGNAL_SHUTDOWN.load(Ordering::SeqCst);
+                bound_hit = state.keep_alive_requests > 0 && served >= state.keep_alive_requests;
                 (response, keep)
             }
             // Protocol errors (including a stalled partial request —
@@ -697,7 +854,37 @@ fn handle_connection(state: &ServerState, stream: TcpStream, shutdown: &AtomicBo
                 (response, false)
             }
         };
-        if http::write_response(&stream, &response, !keep_alive).is_err() || !keep_alive {
+        if http::write_response(&stream, &response, !keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            // A client that pipelined past the per-connection request
+            // bound has more requests already buffered; instead of
+            // dropping them silently, answer each with a structured
+            // 429 + Retry-After before closing. Plain bound-reached
+            // closes (no buffered bytes) stay exactly as before.
+            while bound_hit && conn.has_buffered() {
+                let Ok(Some(_excess)) = conn.read_request(Duration::from_millis(50)) else {
+                    break;
+                };
+                state.count_request();
+                state.telemetry.shed_connection_requests.inc();
+                let shed = http::Response::json(
+                    429,
+                    api::ApiError {
+                        status: 429,
+                        message: format!(
+                            "connection request limit reached ({} per connection)",
+                            state.keep_alive_requests
+                        ),
+                    }
+                    .body(),
+                )
+                .with_retry_after(1);
+                if http::write_response(&stream, &shed, true).is_err() {
+                    break;
+                }
+            }
             return;
         }
     }

@@ -4,12 +4,19 @@
 //! route is a JSON 404, and every handler is synchronous — the only
 //! asynchronous machinery is the job subsystem behind `/v1/jobs`.
 
+use std::time::{Duration, Instant};
+
 use serde::{json, Serialize, Value};
 
 use crate::api::{self, ApiError, Body};
 use crate::http::{Request, Response};
-use crate::jobs::{JobKind, JobStatus};
+use crate::jobs::{JobKind, JobStatus, DEADLINE_EXCEEDED, JOB_PANICKED};
 use crate::ServerState;
+
+/// Largest client-settable `timeout_ms`: one hour. A cap (rather than
+/// unbounded) keeps a typo'd `timeout_ms` from pinning a job slot for
+/// days; anything longer should simply omit the field.
+pub const MAX_JOB_TIMEOUT_MS: u64 = 3_600_000;
 
 fn ok_json<T: Serialize>(value: &T) -> Response {
     Response::json(200, json::to_string(value))
@@ -162,6 +169,27 @@ fn metrics_route(state: &ServerState) -> Response {
         );
     }
 
+    // Fault-injection hit counters (chaos drills only — the family is
+    // absent in a clean process, so dashboards can alert on its mere
+    // presence in production scrapes).
+    let faults = nanoleak_fault::snapshot();
+    if !faults.is_empty() {
+        family_header(
+            &mut out,
+            "nanoleak_fault_injected_total",
+            "counter",
+            "Faults injected by armed failpoints",
+        );
+        for (point, hits) in &faults {
+            sample_u64(
+                &mut out,
+                "nanoleak_fault_injected_total",
+                &[("point", point.as_str())],
+                *hits,
+            );
+        }
+    }
+
     nanoleak_obs::global().render_into(&mut out);
     Response::text(200, out)
 }
@@ -218,7 +246,27 @@ fn sync_endpoint<T: Serialize>(
     }
 }
 
-/// `POST /v1/jobs`: validate shape, register, enqueue.
+/// How long a shed client should wait before retrying: the estimated
+/// time to drain the current queue (`depth × avg job seconds /
+/// workers`), clamped to `[1, 60]` seconds. Before any job has
+/// finished there is no average, so the hint degrades to 1 second.
+fn retry_after_seconds(state: &ServerState, depth: u64) -> u64 {
+    match state.jobs.avg_job_seconds() {
+        Some(avg) if avg > 0.0 => {
+            let wait = depth as f64 * avg / state.workers().max(1) as f64;
+            (wait.ceil() as u64).clamp(1, 60)
+        }
+        _ => 1,
+    }
+}
+
+/// `POST /v1/jobs`: validate shape, apply admission control, register,
+/// enqueue. An optional `timeout_ms` field sets the job's deadline
+/// (falling back to the server's `--default-job-timeout-ms`, if any);
+/// expired deadlines abort the job at the next shard boundary with a
+/// `deadline_exceeded` failure. Requests that would predictably miss
+/// their deadline given the current backlog are shed up front with a
+/// 503 and a `Retry-After` hint, as are queue-full rejections.
 fn submit_job(state: &ServerState, req: &Request) -> Response {
     let text = match req.body_text() {
         Ok(t) => t.to_string(),
@@ -226,26 +274,61 @@ fn submit_job(state: &ServerState, req: &Request) -> Response {
     };
     let parsed = Body::parse(&text).and_then(|body| {
         let raw: String = body.get("type", "sweep".into())?;
-        JobKind::parse(&raw).ok_or_else(|| {
+        let kind = JobKind::parse(&raw).ok_or_else(|| {
             ApiError::bad(format!("type: expected sweep|mlv|grid|mc|optimize, got '{raw}'"))
-        })
+        })?;
+        let timeout_ms: Option<u64> = body.opt("timeout_ms")?;
+        if let Some(ms) = timeout_ms {
+            if ms == 0 || ms > MAX_JOB_TIMEOUT_MS {
+                return Err(ApiError::bad(format!(
+                    "timeout_ms: expected 1..={MAX_JOB_TIMEOUT_MS}, got {ms}"
+                )));
+            }
+        }
+        Ok((kind, timeout_ms))
     });
-    let kind = match parsed {
-        Ok(kind) => kind,
+    let (kind, timeout_ms) = match parsed {
+        Ok(pair) => pair,
         Err(e) => return err_response(&e),
     };
     let Some(queue) = state.queue_handle() else {
         return err_response(&ApiError { status: 503, message: "server is shutting down".into() });
     };
-    let (id, _) = state.jobs.submit(kind, text);
+    let (depth, _) = state.queue_occupancy();
+    // Deadline-aware shedding: if the backlog alone is predicted to
+    // outlast an explicit client deadline, admitting the job would
+    // just burn a worker slot computing a result nobody will read.
+    // Only an *explicit* timeout_ms sheds — the server-wide default
+    // is a safety net, not a latency SLO.
+    if let (Some(ms), Some(avg)) = (timeout_ms, state.jobs.avg_job_seconds()) {
+        let predicted_wait_s = depth as f64 * avg / state.workers().max(1) as f64;
+        if predicted_wait_s * 1e3 > ms as f64 {
+            state.telemetry.shed_predicted_deadline.inc();
+            return err_response(&ApiError {
+                status: 503,
+                message: format!(
+                    "predicted queue wait {:.0} ms exceeds timeout_ms {ms}",
+                    predicted_wait_s * 1e3
+                ),
+            })
+            .with_retry_after(retry_after_seconds(state, depth));
+        }
+    }
+    let deadline = timeout_ms
+        .map(Duration::from_millis)
+        .or_else(|| state.default_job_timeout())
+        .map(|d| Instant::now() + d);
+    let (id, _) = state.jobs.submit_with_deadline(kind, text, deadline);
     if queue.enqueue(id).is_err() {
         // Registered but unplaceable: surface the backpressure and
         // mark the orphan cancelled so it never reads as pending.
         state.jobs.cancel(id);
+        state.telemetry.shed_queue_full.inc();
         return err_response(&ApiError {
             status: 503,
             message: format!("job queue full ({} pending)", queue.capacity()),
-        });
+        })
+        .with_retry_after(retry_after_seconds(state, depth.max(queue.capacity() as u64)));
     }
     let body = Value::Record(vec![
         ("id".into(), Value::Int(i128::from(id))),
@@ -401,11 +484,16 @@ fn job_body(job: &crate::jobs::Job, with_timings: bool) -> Value {
 
 /// [`api::JobObserver`] backed by the job registry: partials land in
 /// the job's shard table as they complete, and the job's cancel flag
-/// aborts the executor at the next shard/cell boundary.
+/// — or an expired deadline — aborts the executor at the next
+/// shard/cell boundary. Deadlines are only ever enforced here, at
+/// unit boundaries, never inside a numeric kernel: a job that misses
+/// its deadline keeps every shard it finished, bit-identical to an
+/// unhurried run of the same shards.
 struct RegistryObserver<'a> {
     state: &'a ServerState,
     id: u64,
     cancel: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    deadline: Option<Instant>,
 }
 
 impl api::JobObserver for RegistryObserver<'_> {
@@ -419,6 +507,7 @@ impl api::JobObserver for RegistryObserver<'_> {
 
     fn cancelled(&self) -> bool {
         self.cancel.load(std::sync::atomic::Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -494,11 +583,21 @@ pub fn execute_job(state: &ServerState, id: u64) {
     let Some((kind, text, cancel)) = state.jobs.start(id) else {
         return; // cancelled while queued, or unknown
     };
+    let deadline = state.jobs.with_job(id, |job| job.deadline).flatten();
+    // Expired while queued: fail fast without touching the engine.
+    // (If the client also cancelled, the cancel verdict wins below.)
+    if deadline.is_some_and(|d| Instant::now() >= d)
+        && !cancel.load(std::sync::atomic::Ordering::Relaxed)
+    {
+        nanoleak_obs::warn!("jobs", "job {} ({}) expired in queue", id, kind.name());
+        state.jobs.finish(id, Err(DEADLINE_EXCEEDED.to_string()), 0.0);
+        return;
+    }
     nanoleak_obs::set_request_id(state.jobs.with_job(id, |job| job.request_id.clone()).flatten());
     let queue_wait_ms = state.jobs.queue_wait_ms(id).unwrap_or(0.0);
     nanoleak_obs::begin_capture();
     let started = std::time::Instant::now();
-    let observer = RegistryObserver { state, id, cancel };
+    let observer = RegistryObserver { state, id, cancel: cancel.clone(), deadline };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _job_span = nanoleak_obs::span!("job");
         let body = Body::parse(&text)?;
@@ -526,8 +625,32 @@ pub fn execute_job(state: &ServerState, id: u64) {
     let trace = nanoleak_obs::end_capture();
     let result = match outcome {
         Ok(Ok(value)) => Ok(value),
+        // The API layer reports a deadline-triggered abort as the same
+        // 409 "job cancelled" it uses for client cancels (both ride
+        // the observer's `cancelled()` poll). Disambiguate here: an
+        // expired deadline with no client cancel is a deadline miss.
+        Ok(Err(e))
+            if e.status == 409
+                && deadline.is_some_and(|d| Instant::now() >= d)
+                && !cancel.load(std::sync::atomic::Ordering::Relaxed) =>
+        {
+            Err(DEADLINE_EXCEEDED.to_string())
+        }
         Ok(Err(e)) => Err(e.message),
-        Err(_) => Err("job panicked".to_string()),
+        // A panicking shard fails exactly this job; the worker thread
+        // survives (see the pool loop's outer containment). Keep the
+        // payload so operators see *what* tripped, not just that
+        // something did.
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            Err(match msg {
+                Some(m) => format!("{JOB_PANICKED}: {m}"),
+                None => JOB_PANICKED.to_string(),
+            })
+        }
     };
     match &result {
         Ok(_) => {

@@ -1048,3 +1048,53 @@ fn request_ids_are_generated_and_client_ids_echoed() {
     let replaced = header(&headers, "x-request-id").expect("replacement id");
     assert!(replaced.starts_with("req-"), "{replaced}");
 }
+
+/// Hostile `timeout_ms` values are structured 400s, never accepted
+/// into the queue.
+#[test]
+fn timeout_ms_validation_rejects_zero_huge_and_non_integer() {
+    let server = TestServer::start(1, 8);
+    for bad in ["0", "3600001", "\"soon\"", "-5", "1.5"] {
+        let body = format!(
+            r#"{{"type": "sweep", "target": "s838", "vectors": 8, "coarse": true, "timeout_ms": {bad}}}"#
+        );
+        let (status, resp) = request(&server, "POST", "/v1/jobs", &body);
+        assert_eq!(status, 400, "timeout_ms {bad} accepted: {resp}");
+        assert!(assert_error(&resp, 400).contains("timeout_ms"), "{resp}");
+    }
+    // A sane value is still admitted.
+    let body =
+        r#"{"type": "sweep", "target": "s838", "vectors": 8, "coarse": true, "timeout_ms": 60000}"#;
+    let (status, resp) = request(&server, "POST", "/v1/jobs", body);
+    assert_eq!(status, 202, "{resp}");
+}
+
+/// A client that pipelines past the per-connection request bound gets
+/// each buffered excess request answered with a structured 429 before
+/// the close — not silently dropped.
+#[test]
+fn pipelined_requests_past_the_bound_are_shed_with_429() {
+    let server = TestServer::start_cfg(ServeConfig {
+        threads: 1,
+        queue_capacity: 8,
+        keep_alive_requests: 1,
+        ..TestServer::base_config()
+    });
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let read_stream = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(&read_stream);
+    // Three requests land before the server answers the first.
+    for _ in 0..3 {
+        write_request(&mut stream, "GET", "/healthz", "");
+    }
+    let (status, connection, _) = read_one_response(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close", "the bound closes the connection");
+    for i in 1..3 {
+        let (status, _, body) =
+            read_one_response(&mut reader).expect("excess request answered, not dropped");
+        assert_eq!(status, 429, "excess request {i}: {body}");
+        assert!(assert_error(&body, 429).contains("request limit"), "{body}");
+    }
+    assert!(read_one_response(&mut reader).is_none(), "closed after shedding the excess");
+}

@@ -23,10 +23,16 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use nanoleak_serve::{ServeConfig, Server};
+use rand::{RngCore, SeedableRng};
 use serde::{json, Deserialize as _, Value};
 
-/// One HTTP/1.1 exchange; returns the response body.
-fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+/// One HTTP/1.1 exchange; returns `(status, retry_after, body)`.
+fn http_full(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Option<u64>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to server");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: client\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -36,7 +42,52 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Str
     stream.write_all(body.as_bytes()).expect("send body");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
-    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status: u16 = head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let retry_after = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+        .and_then(|(_, v)| v.trim().parse().ok());
+    (status, retry_after, body.to_string())
+}
+
+/// One HTTP/1.1 exchange; returns the response body.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    http_full(addr, method, path, body).2
+}
+
+/// Submits a job, honoring the server's admission control: a 503/429
+/// shed is retried after the `Retry-After` hint (floored by a capped
+/// exponential backoff, jittered so a shed fleet doesn't reconverge
+/// on the same instant). This is the client half of the overload
+/// contract — the server promises a useful hint, the client promises
+/// to actually back off.
+fn submit_job(addr: std::net::SocketAddr, job: &str) -> Value {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(std::process::id() as u64);
+    let mut backoff = Duration::from_millis(250);
+    const BACKOFF_CAP: Duration = Duration::from_secs(30);
+    const ATTEMPTS: u32 = 8;
+    for attempt in 1..=ATTEMPTS {
+        let (status, retry_after, body) = http_full(addr, "POST", "/v1/jobs", job);
+        match status {
+            202 => return json::value_from_str(&body).expect("submit JSON"),
+            503 | 429 => {
+                let hinted = retry_after.map(Duration::from_secs).unwrap_or(backoff);
+                // Jitter: 50%..150% of the wait, so callers shed
+                // together don't retry together.
+                let wait = hinted.max(backoff).mul_f64(0.5 + (rng.next_u64() % 1000) as f64 / 1e3);
+                println!(
+                    "  server shed the job ({status}, retry in {:.1} s, attempt {attempt}/{ATTEMPTS})",
+                    wait.as_secs_f64()
+                );
+                std::thread::sleep(wait);
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+            other => panic!("submit failed with {other}: {body}"),
+        }
+    }
+    panic!("server still shedding after {ATTEMPTS} attempts");
 }
 
 fn get<'v>(v: &'v Value, name: &str) -> &'v Value {
@@ -63,7 +114,7 @@ fn main() {
         "type": "grid", "target": "s1196", "vectors": 64, "seed": 2005, "coarse": true,
         "temps": [300, 325, 350, 375], "vdd_scales": [0.8, 0.9, 1.0]
     }"#;
-    let resp = json::value_from_str(&http(addr, "POST", "/v1/jobs", job)).expect("submit JSON");
+    let resp = submit_job(addr, job);
     let Value::Int(id) = get(&resp, "id") else { panic!("no job id: {resp:?}") };
     println!("submitted grid job #{id} (s1196, 4 temps x 3 Vdd scales, 64 vectors/cell)");
 
@@ -126,7 +177,7 @@ fn main() {
         "type": "sweep", "target": "s1196", "vectors": 512, "seed": 2005,
         "shard_vectors": 128, "coarse": true
     }"#;
-    let resp = json::value_from_str(&http(addr, "POST", "/v1/jobs", job)).expect("submit JSON");
+    let resp = submit_job(addr, job);
     let Value::Int(id) = get(&resp, "id") else { panic!("no job id: {resp:?}") };
     println!("\nsubmitted sharded sweep job #{id} (s1196, 512 vectors, 4 shards of 128)");
 
@@ -170,7 +221,7 @@ fn main() {
         "type": "mc", "target": "s838", "samples": 8, "seed": 2005, "sigma_vt": 0.05,
         "shard_samples": 4, "coarse": true
     }"#;
-    let resp = json::value_from_str(&http(addr, "POST", "/v1/jobs", job)).expect("submit JSON");
+    let resp = submit_job(addr, job);
     let Value::Int(id) = get(&resp, "id") else { panic!("no job id: {resp:?}") };
     println!("\nsubmitted MC job #{id} (s838, 8 perturbed dies, sigma_vt 50 mV, 2 shards)");
 

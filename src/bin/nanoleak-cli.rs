@@ -145,6 +145,13 @@ serve options:
                   per connection; default 1000)
   --job-cap N     finished jobs retained before oldest-first eviction
                   (default 512)
+  --default-job-timeout-ms N  deadline applied to jobs whose request
+                  carries no timeout_ms field (default: none); expired
+                  jobs fail with error deadline_exceeded at the next
+                  shard boundary, keeping completed shards
+  --faults SPEC   arm fault-injection failpoints for chaos drills,
+                  e.g. cache-io=error:disk gone*2;slow-shard=sleep:500
+                  ($NANOLEAK_FAULTS applies when the flag is absent)
   --log-level L   off|error|warn|info|debug|trace — JSON-lines log
                   verbosity on stderr (default info; NANOLEAK_LOG
                   applies when the flag is absent)";
@@ -1044,6 +1051,14 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
     let keep_alive_requests: usize =
         args.take_parsed("--keep-alive", defaults.keep_alive_requests)?;
     let finished_jobs_cap: usize = args.take_parsed("--job-cap", defaults.finished_jobs_cap)?;
+    let default_job_timeout_ms: u64 = args.take_parsed("--default-job-timeout-ms", 0)?;
+    // `--faults` wins over $NANOLEAK_FAULTS; either arms the global
+    // failpoint registry before any worker starts.
+    let armed_faults = match args.take_value("--faults")? {
+        Some(spec) => nanoleak_fault::arm_from_spec(&spec).map_err(|e| format!("--faults: {e}"))?,
+        None => nanoleak_fault::arm_from_env()
+            .map_err(|e| format!("{}: {e}", nanoleak_fault::ENV_VAR))?,
+    };
     // `--log-level` wins; otherwise NANOLEAK_LOG applies (read lazily
     // by nanoleak-obs); otherwise a long-lived service defaults to
     // info so operators see startup and job lines.
@@ -1076,8 +1091,17 @@ fn cmd_serve(mut args: Args) -> Result<(), String> {
         disk_cache: cache.enabled,
         keep_alive_requests,
         finished_jobs_cap,
+        default_job_timeout: (default_job_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(default_job_timeout_ms)),
         ..defaults
     };
+    if armed_faults > 0 {
+        nanoleak_obs::warn!(
+            "serve",
+            "fault injection armed: {} failpoint(s) — chaos drill, not a production posture",
+            armed_faults
+        );
+    }
     nanoleak_serve::install_signal_handlers();
     let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| format!("cannot resolve bound address: {e}"))?;
