@@ -32,6 +32,10 @@ impl CellMetrics {
     }
 }
 
+pub(crate) fn record_characterized(elapsed: std::time::Duration) {
+    cell_metrics().record(elapsed);
+}
+
 fn cell_metrics() -> &'static CellMetrics {
     static METRICS: OnceLock<CellMetrics> = OnceLock::new();
     METRICS.get_or_init(|| CellMetrics {
@@ -219,6 +223,14 @@ impl CellChar {
         }
         cell_metrics().record(started.elapsed());
         Ok(Self { cell, vectors })
+    }
+
+    /// Assembles a characterization from per-vector entries already in
+    /// [`InputVector::index`] order (the sensitivity path builds these
+    /// itself, mixing delta-derived and fully re-solved vectors).
+    pub(crate) fn from_vectors(cell: CellType, vectors: Vec<VectorChar>) -> Self {
+        assert_eq!(vectors.len(), cell.num_vectors(), "{cell}: vector count");
+        Self { cell, vectors }
     }
 
     /// The characterization for an input vector.

@@ -9,10 +9,13 @@
 //! from the converged operating point.
 
 use nanoleak_device::{LeakageBreakdown, Technology};
-use nanoleak_solver::{solve_dc, MosNetlist, NewtonOptions, NodeId, SolverError};
+use nanoleak_solver::{
+    dc_evaluate_at, solve_dc, solve_dc_traced, DcTrace, MosNetlist, NewtonOptions, NodeId,
+    SolverError,
+};
 
 use crate::cell_type::CellType;
-use crate::topology::add_cell;
+use crate::topology::{add_cell, CellPins};
 use crate::vector::InputVector;
 
 /// Result of one cell evaluation.
@@ -104,6 +107,31 @@ pub fn eval_loaded(
     il_in: &[f64],
     il_out: f64,
 ) -> Result<CellSolution, SolverError> {
+    let fx = loaded_fixture(tech, cell, vector, il_in, il_out)?;
+    let sol = solve_dc(&fx.nl, temp, Some(&fx.guess), &NewtonOptions::default())?;
+    Ok(extract(&fx.nl, &sol, &fx.pins, &fx.ins, fx.output_level))
+}
+
+/// The measurement fixture of [`eval_loaded`] before solving: netlist,
+/// node bookkeeping, and the Newton initial guess. Built separately so
+/// the sensitivity characterization can rebuild the *same* fixture
+/// under a perturbed technology and re-evaluate it at a prescribed
+/// operating point without another Newton solve.
+pub(crate) struct LoadedFixture {
+    pub nl: MosNetlist,
+    pub ins: Vec<NodeId>,
+    pub pins: CellPins,
+    pub guess: Vec<f64>,
+    pub output_level: bool,
+}
+
+pub(crate) fn loaded_fixture(
+    tech: &Technology,
+    cell: CellType,
+    vector: InputVector,
+    il_in: &[f64],
+    il_out: f64,
+) -> Result<LoadedFixture, SolverError> {
     assert_eq!(vector.len(), cell.num_inputs(), "{cell}: vector arity mismatch");
     if il_in.len() != cell.num_inputs() {
         return Err(SolverError::BadProblem(format!(
@@ -145,8 +173,56 @@ pub fn eval_loaded(
     for &(node, v) in &pins.internals {
         guess[node.0] = v;
     }
-    let sol = solve_dc(&nl, temp, Some(&guess), &NewtonOptions::default())?;
-    Ok(extract(&nl, &sol, &pins, &ins, output_level))
+    Ok(LoadedFixture { nl, ins, pins, guess, output_level })
+}
+
+/// A loaded evaluation that also keeps the solver trace (unknown
+/// ordering plus the factored Jacobian at the solution). The `solution`
+/// is bit-identical to [`eval_loaded`] on the same inputs; only extra
+/// bookkeeping is returned.
+pub(crate) struct TracedEval {
+    pub solution: CellSolution,
+    pub trace: DcTrace,
+    /// Unknown-node voltages at the solution, in `trace.unknowns` order.
+    pub x_star: Vec<f64>,
+}
+
+pub(crate) fn eval_loaded_traced(
+    tech: &Technology,
+    temp: f64,
+    cell: CellType,
+    vector: InputVector,
+    il_in: &[f64],
+    il_out: f64,
+) -> Result<TracedEval, SolverError> {
+    let fx = loaded_fixture(tech, cell, vector, il_in, il_out)?;
+    let (sol, trace) = solve_dc_traced(&fx.nl, temp, Some(&fx.guess), &NewtonOptions::default())?;
+    let x_star = trace.unknown_voltages(&sol);
+    let solution = extract(&fx.nl, &sol, &fx.pins, &fx.ins, fx.output_level);
+    Ok(TracedEval { solution, trace, x_star })
+}
+
+/// Evaluates a fixture at prescribed unknown voltages — no Newton
+/// solve, just the device equations at that operating point.
+#[allow(dead_code)]
+pub(crate) fn eval_fixture_at(
+    fx: &LoadedFixture,
+    temp: f64,
+    x: &[f64],
+) -> Result<CellSolution, SolverError> {
+    let sol = dc_evaluate_at(&fx.nl, temp, x)?;
+    Ok(extract(&fx.nl, &sol, &fx.pins, &fx.ins, fx.output_level))
+}
+
+/// Solves a fixture from an explicit full-node guess (the sensitivity
+/// probes warm-start from a Jacobian-predicted operating point).
+pub(crate) fn solve_fixture(
+    fx: &LoadedFixture,
+    temp: f64,
+    guess: &[f64],
+) -> Result<CellSolution, SolverError> {
+    let sol = solve_dc(&fx.nl, temp, Some(guess), &NewtonOptions::default())?;
+    Ok(extract(&fx.nl, &sol, &fx.pins, &fx.ins, fx.output_level))
 }
 
 /// Collects the DUT-only quantities from a converged solution.

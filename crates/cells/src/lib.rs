@@ -14,6 +14,11 @@
 //!   leakage, signed gate-pin currents, and loading-response lookup
 //!   tables: exactly the `f(I_L-IN, I_L-OUT)` data the paper's Fig. 13
 //!   algorithm consumes;
+//! * [`sensitivity`] — delta-from-nominal characterization: traced
+//!   Newton solves record per-axis log-sensitivities during the nominal
+//!   characterization, so a Monte-Carlo die's library can be *derived*
+//!   ([`delta_library`]) instead of re-solved, guarded by a per-entry
+//!   linearization-error check;
 //! * [`operating`] / [`OperatingPoint`] — first-class operating
 //!   conditions (temperature, supply scale) that derive the scaled
 //!   [`Technology`](nanoleak_device::Technology) and its characterized
@@ -42,6 +47,7 @@ pub mod eval;
 pub mod library;
 pub mod lut;
 pub mod operating;
+pub mod sensitivity;
 pub mod topology;
 pub mod vector;
 
@@ -51,6 +57,10 @@ pub use eval::{eval_isolated, eval_loaded, loading_injection, CellSolution};
 pub use library::CellLibrary;
 pub use lut::{BreakdownLut, Lut1};
 pub use operating::OperatingPoint;
+pub use sensitivity::{
+    apply_deltas, characterize_with_sensitivity, delta_library, infer_deltas, DeltaReport,
+    LibrarySens, DEFAULT_DELTA_TOL, PROBE_STEPS, SENS_AXES,
+};
 pub use topology::{add_cell, CellPins};
 pub use vector::InputVector;
 

@@ -45,6 +45,17 @@ impl CellLibrary {
         Ok(Self { tech: tech.clone(), temp, options: opts.clone(), cells })
     }
 
+    /// Assembles a library from already-characterized cells (the
+    /// sensitivity and delta-derivation paths build the map themselves).
+    pub(crate) fn from_parts(
+        tech: Technology,
+        temp: f64,
+        options: CharacterizeOptions,
+        cells: BTreeMap<CellType, CellChar>,
+    ) -> Self {
+        Self { tech, temp, options, cells }
+    }
+
     /// The characterization of one cell type, if present.
     pub fn cell(&self, cell: CellType) -> Option<&CellChar> {
         self.cells.get(&cell)

@@ -29,9 +29,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use nanoleak_cells::{CellLibrary, CharacterizeOptions, OperatingPoint};
+use nanoleak_cells::{
+    characterize_with_sensitivity, CellLibrary, CharacterizeOptions, LibrarySens, OperatingPoint,
+};
 use nanoleak_device::Technology;
 use nanoleak_obs::{global, Counter, Histogram};
+use nanoleak_variation::{DeltaProvider, DieDiag, LibraryProvider, McError, SensDeltaProvider};
 use parking_lot::Mutex;
 
 use crate::EngineError;
@@ -64,6 +67,56 @@ fn cache_metrics() -> &'static CacheMetrics {
         characterize_seconds: global().histogram(
             "nanoleak_cache_characterize_seconds",
             "Wall time of full library characterizations (cache misses)",
+        ),
+    })
+}
+
+/// Process-wide telemetry of the delta-from-nominal fast path
+/// ([`DeltaLibraryProvider`]): how per-die library requests degraded
+/// out of the first-order derivation, and how long derivations take.
+pub(crate) struct DeltaMetrics {
+    /// `nanoleak_mc_fallback_total{reason="tolerance"}` — individual
+    /// `(cell, vector)` entries clamped back to a full solve because
+    /// the linearization-error estimate exceeded the tolerance.
+    pub(crate) fallback_tolerance: Counter,
+    /// `nanoleak_mc_fallback_total{reason="unrecognized"}` — whole
+    /// dies fully characterized because their perturbation was not a
+    /// recognizable delta of the nominal technology.
+    pub(crate) fallback_unrecognized: Counter,
+    /// `nanoleak_mc_fallback_total{reason="sens-build"}` — fast runs
+    /// degraded to the exact path because the traced nominal
+    /// characterization itself failed.
+    pub(crate) fallback_sens_build: Counter,
+    /// Wall time to derive one per-die library from the sensitivities.
+    pub(crate) delta_seconds: Histogram,
+}
+
+pub(crate) fn delta_metrics() -> &'static DeltaMetrics {
+    static METRICS: std::sync::OnceLock<DeltaMetrics> = std::sync::OnceLock::new();
+    const FALLBACKS: &str = "nanoleak_mc_fallback_total";
+    const FALLBACKS_HELP: &str =
+        "Monte-Carlo fast-path fallbacks to full solves, by reason (tolerance = per-entry \
+         linearization clamp, unrecognized = whole-die full characterization, sens-build = run \
+         degraded to exact)";
+    METRICS.get_or_init(|| DeltaMetrics {
+        fallback_tolerance: global().counter_with(
+            FALLBACKS,
+            FALLBACKS_HELP,
+            &[("reason", "tolerance")],
+        ),
+        fallback_unrecognized: global().counter_with(
+            FALLBACKS,
+            FALLBACKS_HELP,
+            &[("reason", "unrecognized")],
+        ),
+        fallback_sens_build: global().counter_with(
+            FALLBACKS,
+            FALLBACKS_HELP,
+            &[("reason", "sens-build")],
+        ),
+        delta_seconds: global().histogram(
+            "nanoleak_delta_library_seconds",
+            "Wall time to derive one per-die library from nominal sensitivities",
         ),
     })
 }
@@ -314,6 +367,12 @@ impl MemoCacheStats {
 pub struct MemoLibraryCache {
     disk: Option<LibraryCache>,
     entries: Mutex<HashMap<u64, Arc<CellLibrary>>>,
+    /// Sensitivity slabs recorded alongside a library by
+    /// [`MemoLibraryCache::get_or_characterize_with_sens`], keyed by
+    /// the same request key. RAM-only (sensitivities are cheap to
+    /// re-record relative to their serialized size) and bounded by the
+    /// same residency cap as the library memo.
+    sens: Mutex<HashMap<u64, Arc<LibrarySens>>>,
     max_resident: usize,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -329,6 +388,7 @@ impl Default for MemoLibraryCache {
         Self {
             disk: None,
             entries: Mutex::new(HashMap::new()),
+            sens: Mutex::new(HashMap::new()),
             max_resident: MAX_RESIDENT_LIBRARIES,
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -417,6 +477,7 @@ impl MemoLibraryCache {
             // evicted request without re-solving.
             if let Some(&evict) = entries.keys().next() {
                 entries.remove(&evict);
+                self.sens.lock().remove(&evict);
             }
         }
         entries.insert(key, Arc::clone(&lib));
@@ -441,6 +502,78 @@ impl MemoLibraryCache {
         self.get_or_characterize(&op.tech(base), op.temp, opts)
     }
 
+    /// Returns the characterized library for a request *with* its
+    /// per-`(cell, vector)` sensitivity slabs, recalled from RAM when
+    /// this process has traced the request before.
+    ///
+    /// Sensitivities only exist on entries that went through this
+    /// method: a library memoized by the plain
+    /// [`MemoLibraryCache::get_or_characterize`] path (or recalled
+    /// from disk) has no recorded slabs, so the request re-runs the
+    /// traced characterization — bit-identical library, now with
+    /// sensitivities — and replaces the entry. The traced solve counts
+    /// as one characterization in [`MemoLibraryCache::stats`] and is
+    /// stored to the disk layer (as a plain library) when one is
+    /// attached.
+    ///
+    /// Chaos: the `char-sensitivity` failpoint injects a solver
+    /// failure on the trace path (RAM recalls stay unaffected), so
+    /// drills can verify that fast Monte-Carlo runs degrade to the
+    /// exact path.
+    ///
+    /// # Errors
+    /// * [`EngineError::Solver`] if the traced characterization fails;
+    /// * [`EngineError::Cache`] if a fresh disk entry cannot be
+    ///   written.
+    pub fn get_or_characterize_with_sens(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, Arc<LibrarySens>, CacheOutcome), EngineError> {
+        let key = LibraryCache::request_key(tech, temp, opts);
+        {
+            let entries = self.entries.lock();
+            if let (Some(lib), Some(sens)) = (entries.get(&key), self.sens.lock().get(&key)) {
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().memory_hits.inc();
+                return Ok((Arc::clone(lib), Arc::clone(sens), CacheOutcome::MemoryHit));
+            }
+        }
+        let started = std::time::Instant::now();
+        let _span = nanoleak_obs::span!("library-sens", temp = temp);
+        if nanoleak_fault::inject("char-sensitivity").is_some() {
+            return Err(EngineError::Solver(nanoleak_solver::SolverError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            }));
+        }
+        let (lib, sens) = characterize_with_sensitivity(tech, temp, opts)?;
+        let (lib, sens) = (Arc::new(lib), Arc::new(sens));
+        self.characterizations.fetch_add(1, Ordering::Relaxed);
+        cache_metrics().characterizations.inc();
+        cache_metrics().characterize_seconds.record_duration(started.elapsed());
+        if let Some(disk) = &self.disk {
+            disk.store(&lib)?;
+        }
+        let mut entries = self.entries.lock();
+        let mut sens_entries = self.sens.lock();
+        if entries.len() >= self.max_resident {
+            if let Some(&evict) = entries.keys().next() {
+                entries.remove(&evict);
+                sens_entries.remove(&evict);
+            }
+        }
+        if sens_entries.len() >= self.max_resident {
+            if let Some(&evict) = sens_entries.keys().next() {
+                sens_entries.remove(&evict);
+            }
+        }
+        entries.insert(key, Arc::clone(&lib));
+        sens_entries.insert(key, Arc::clone(&sens));
+        Ok((lib, sens, CacheOutcome::Miss))
+    }
+
     /// Number of libraries currently held in RAM.
     pub fn resident(&self) -> usize {
         self.entries.lock().len()
@@ -453,6 +586,96 @@ impl MemoLibraryCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             characterizations: self.characterizations.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// The delta-from-nominal library source for fast Monte-Carlo runs,
+/// mounted on the RAM memo.
+///
+/// [`DeltaLibraryProvider::prepare`] characterizes the nominal
+/// technology **once** with traced Newton solves (recording
+/// per-`(cell, vector)` `∂I/∂Vt`- and `∂I/∂Vdd`-style sensitivity
+/// slabs through [`MemoLibraryCache::get_or_characterize_with_sens`]);
+/// every perturbed die's library is then *derived* as
+/// `nominal + J·Δ` instead of re-solved. A per-entry
+/// linearization-error check clamps individual entries back to a full
+/// solve when the tolerance is exceeded, and dies whose perturbation
+/// is not a recognizable delta of the nominal fall back to the memo's
+/// full characterization path.
+///
+/// Degradations surface in the process-wide metrics registry as
+/// `nanoleak_mc_fallback_total{reason="tolerance"|"unrecognized"}`
+/// (plus `reason="sens-build"` recorded by
+/// [`mc_streaming_mode`](crate::mc_streaming_mode) when `prepare`
+/// itself fails), and derivation wall time feeds the
+/// `nanoleak_delta_library_seconds` histogram — both visible at the
+/// server's `/metrics` endpoint.
+pub struct DeltaLibraryProvider<'a> {
+    inner: SensDeltaProvider<&'a MemoLibraryCache>,
+}
+
+impl<'a> DeltaLibraryProvider<'a> {
+    /// Characterizes (or recalls from `memo`) the nominal library with
+    /// its sensitivity slabs and mounts the per-die deriver over the
+    /// memo; `tol` is the per-entry linearization-error tolerance in
+    /// log units ([`nanoleak_cells::DEFAULT_DELTA_TOL`] is the
+    /// default-tuned bound).
+    ///
+    /// # Errors
+    /// As [`MemoLibraryCache::get_or_characterize_with_sens`]; callers
+    /// running a fast MC degrade to the exact path on failure.
+    pub fn prepare(
+        memo: &'a MemoLibraryCache,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+        tol: f64,
+    ) -> Result<Self, EngineError> {
+        let (nominal, sens, _) = memo.get_or_characterize_with_sens(tech, temp, opts)?;
+        Ok(Self { inner: SensDeltaProvider { nominal, sens, tol, fallback: memo } })
+    }
+
+    /// The nominal library every die derives from.
+    pub fn nominal(&self) -> &Arc<CellLibrary> {
+        &self.inner.nominal
+    }
+
+    /// The per-entry linearization-error tolerance (log units).
+    pub fn tol(&self) -> f64 {
+        self.inner.tol
+    }
+}
+
+impl DeltaProvider for DeltaLibraryProvider<'_> {
+    fn die_library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, DieDiag), McError> {
+        let started = std::time::Instant::now();
+        let (lib, diag) = self.inner.die_library(tech, temp, opts)?;
+        let metrics = delta_metrics();
+        if diag.derived {
+            metrics.delta_seconds.record_duration(started.elapsed());
+            if diag.fallbacks > 0 {
+                metrics.fallback_tolerance.add(u64::from(diag.fallbacks));
+            }
+        } else {
+            metrics.fallback_unrecognized.inc();
+        }
+        Ok((lib, diag))
+    }
+}
+
+impl LibraryProvider for DeltaLibraryProvider<'_> {
+    fn library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<Arc<CellLibrary>, McError> {
+        self.die_library(tech, temp, opts).map(|(lib, _)| lib)
     }
 }
 

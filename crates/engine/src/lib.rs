@@ -30,6 +30,16 @@
 //!   libraries served through the memoized cache and merged summaries
 //!   bit-identical to a monolithic run for any shard size or thread
 //!   count.
+//! * [`DeltaLibraryProvider`](crate::cache::DeltaLibraryProvider) —
+//!   **delta-from-nominal characterization** for the fast Monte-Carlo
+//!   path ([`mc_streaming_mode`](crate::mc::mc_streaming_mode)): the
+//!   nominal library is characterized once with traced Newton solves
+//!   recording per-`(cell, vector)` sensitivity slabs, and every
+//!   perturbed die's library is derived as `nominal + J·Δ` with a
+//!   per-entry linearization-error fallback to a full solve. The
+//!   exact path stays available end to end (`mc --exact`, the
+//!   server's `"exact"` MC-job flag) and fast runs self-report their
+//!   measured deviation from it.
 //!
 //! ## Quickstart
 //!
@@ -76,10 +86,13 @@ use nanoleak_solver::SolverError;
 
 pub use block::{block_metrics, eval_block_timed, BlockMetrics};
 pub use cache::{
-    CacheOutcome, LibraryCache, MemoCacheStats, MemoLibraryCache, CACHE_FORMAT_VERSION,
-    MAX_RESIDENT_LIBRARIES,
+    CacheOutcome, DeltaLibraryProvider, LibraryCache, MemoCacheStats, MemoLibraryCache,
+    CACHE_FORMAT_VERSION, MAX_RESIDENT_LIBRARIES,
 };
-pub use mc::{mc_streaming, McReport, McShard, McTelemetry};
+pub use mc::{
+    mc_streaming, mc_streaming_mode, McMode, McReport, McShard, McTelemetry,
+    DEFAULT_DEVIATION_PROBE,
+};
 pub use mlv::{mlv_search, MlvConfig, MlvGoal, MlvResult, MlvStrategy, MlvTelemetry};
 pub use plan_cache::{shared_plan, MAX_RESIDENT_PLANS};
 pub use stats::ScalarStats;

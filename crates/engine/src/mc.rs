@@ -19,16 +19,17 @@
 
 use std::time::Instant;
 
+use nanoleak_cells::DEFAULT_DELTA_TOL;
 use nanoleak_core::{resolve_lanes, LANES};
 use nanoleak_device::Technology;
 use nanoleak_netlist::Circuit;
 use nanoleak_variation::{
-    run_circuit_mc_range, summarize, CircuitMcConfig, LibraryProvider, McError, McSummary,
-    DEFAULT_HIST_BINS,
+    run_circuit_mc_range, run_circuit_mc_range_fast, summarize, CircuitMcConfig, FastMcDiag,
+    FastMcReport, LibraryProvider, McError, McSample, McSummary, DEFAULT_HIST_BINS,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::cache::MemoLibraryCache;
+use crate::cache::{delta_metrics, DeltaLibraryProvider, MemoLibraryCache};
 use crate::sweep::shard_count;
 use crate::EngineError;
 
@@ -100,13 +101,89 @@ pub struct McTelemetry {
     pub samples_per_sec: f64,
 }
 
-/// Result of [`mc_streaming`].
+/// Result of [`mc_streaming`] / [`mc_streaming_mode`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct McReport {
-    /// Deterministic distribution summary over all samples.
+    /// Deterministic distribution summary over all samples. Fast runs
+    /// additionally carry their derivation diagnostics and measured
+    /// deviation in `summary.fast`.
     pub summary: McSummary,
     /// Wall-clock telemetry.
     pub telemetry: McTelemetry,
+}
+
+/// How many leading samples a fast MC re-runs through the bit-exact
+/// path after the timed phase to measure the fast path's deviation
+/// (reported in [`FastMcReport`]; excluded from `samples_per_sec`).
+pub const DEFAULT_DEVIATION_PROBE: usize = 4;
+
+/// Which per-die library path a Monte-Carlo run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum McMode {
+    /// Every die runs a full characterization (through the memo) —
+    /// the pre-existing bit-exact path.
+    Exact,
+    /// Dies derive their library from the nominal's traced
+    /// sensitivities ([`DeltaLibraryProvider`]); both arms evaluate
+    /// through the 64-lane block kernel. Degrades to [`McMode::Exact`]
+    /// if the traced nominal characterization fails.
+    Fast {
+        /// Per-entry linearization-error tolerance (log units).
+        tol: f64,
+        /// Leading samples re-run exactly for the deviation report.
+        deviation_probe: usize,
+    },
+}
+
+impl McMode {
+    /// The default fast mode: [`DEFAULT_DELTA_TOL`] tolerance,
+    /// [`DEFAULT_DEVIATION_PROBE`] probe samples.
+    pub fn fast() -> Self {
+        McMode::Fast { tol: DEFAULT_DELTA_TOL, deviation_probe: DEFAULT_DEVIATION_PROBE }
+    }
+
+    /// Maps the CLI/server `exact` switch: `true` → [`McMode::Exact`],
+    /// `false` → the default [`McMode::fast`].
+    pub fn from_exact(exact: bool) -> Self {
+        if exact {
+            McMode::Exact
+        } else {
+            Self::fast()
+        }
+    }
+}
+
+impl Default for McMode {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// Relative deviation of the fast samples from their exact re-runs:
+/// `(max, mean)` over both arms' total leakage of each probed sample.
+fn deviation(fast: &[McSample], exact: &[McSample]) -> (f64, f64) {
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut n = 0u32;
+    for (f, e) in fast.iter().zip(exact) {
+        for (ft, et) in
+            [(f.loaded.total(), e.loaded.total()), (f.unloaded.total(), e.unloaded.total())]
+        {
+            let d = if et == 0.0 {
+                if ft == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                ((ft - et) / et).abs()
+            };
+            max = max.max(d);
+            sum += d;
+            n += 1;
+        }
+    }
+    (max, if n == 0 { 0.0 } else { sum / f64::from(n) })
 }
 
 /// Runs `config.samples` Monte-Carlo samples in contiguous shards of
@@ -128,6 +205,39 @@ pub fn mc_streaming(
     cache: &MemoLibraryCache,
     config: &CircuitMcConfig,
     shard_samples: usize,
+    on_shard: impl FnMut(&McShard) -> bool,
+) -> Result<Option<McReport>, EngineError> {
+    mc_streaming_mode(circuit, tech, cache, config, McMode::Exact, shard_samples, on_shard)
+}
+
+/// [`mc_streaming`] with an explicit [`McMode`].
+///
+/// [`McMode::Fast`] characterizes the nominal technology once with
+/// traced sensitivities and derives every die's library from it
+/// (`nominal + J·Δ` with per-entry fallback), running both fixture
+/// arms through the 64-lane block kernel. After the timed phase, the
+/// first `deviation_probe` samples re-run through the exact path and
+/// the measured max/mean relative deviation lands in `summary.fast`
+/// (the probe counts toward `elapsed` but not `samples_per_sec`).
+/// If the traced nominal characterization fails, the run degrades to
+/// exact and `nanoleak_mc_fallback_total{reason="sens-build"}` is
+/// incremented. Fast results within one mode are bit-identical across
+/// thread counts, shard sizes, and lane settings, but differ from
+/// exact results by the (reported) linearization error.
+///
+/// # Errors
+/// The first per-sample failure ([`EngineError::Solver`] /
+/// [`EngineError::Estimate`] / [`EngineError::Cache`]) in index order.
+///
+/// # Panics
+/// Panics if `config.samples` or `config.vectors` is zero.
+pub fn mc_streaming_mode(
+    circuit: &Circuit,
+    tech: &Technology,
+    cache: &MemoLibraryCache,
+    config: &CircuitMcConfig,
+    mode: McMode,
+    shard_samples: usize,
     mut on_shard: impl FnMut(&McShard) -> bool,
 ) -> Result<Option<McReport>, EngineError> {
     assert!(config.samples > 0, "MC needs at least one sample");
@@ -135,10 +245,34 @@ pub fn mc_streaming(
     let shard_size = if shard_samples == 0 { config.samples } else { shard_samples };
     let start_time = Instant::now();
 
+    // Fast mode front-loads the one traced nominal characterization;
+    // if that fails the run degrades to the exact path (counted, so
+    // operators can see silent degradations at /metrics).
+    let prepared: Option<(DeltaLibraryProvider, usize)> = match mode {
+        McMode::Exact => None,
+        McMode::Fast { tol, deviation_probe } => {
+            let nominal_tech = config.op.tech(tech);
+            match DeltaLibraryProvider::prepare(
+                cache,
+                &nominal_tech,
+                config.op.temp,
+                &config.char_opts,
+                tol,
+            ) {
+                Ok(provider) => Some((provider, deviation_probe)),
+                Err(_) => {
+                    delta_metrics().fallback_sens_build.inc();
+                    None
+                }
+            }
+        }
+    };
+
     // Raw samples concatenate in index order; the final summary is the
     // one sequential reduction the monolithic path runs (32 B/sample
     // resident — the same exactness-for-memory trade as SweepMerger).
     let mut merged = Vec::with_capacity(config.samples);
+    let mut diag = FastMcDiag::default();
     for shard in 0..shards_total {
         let start = shard * shard_size;
         let len = shard_size.min(config.samples - start);
@@ -154,17 +288,30 @@ pub fn mc_streaming(
         let shard_start = Instant::now();
         let samples = {
             let _span = nanoleak_obs::span!("estimate", shard = shard, samples = len);
-            run_circuit_mc_range(circuit, tech, cache, config, start, len)?
+            match &prepared {
+                Some((provider, _)) => {
+                    let (samples, shard_diag) =
+                        run_circuit_mc_range_fast(circuit, tech, provider, config, start, len)?;
+                    diag.merge(&shard_diag);
+                    samples
+                }
+                None => run_circuit_mc_range(circuit, tech, cache, config, start, len)?,
+            }
         };
         mc_shard_seconds().record_duration(shard_start.elapsed());
         if resolve_lanes(config.lanes) != 1 {
             // `nanoleak-variation` stays free of observability
-            // dependencies, so its per-die block-kernel work (one
-            // unloaded-arm block per LANES patterns per sample) is
-            // accounted for here arithmetically.
+            // dependencies, so its per-die block-kernel work is
+            // accounted for here arithmetically: one unloaded-arm
+            // block per LANES patterns per sample, and on the fast
+            // path the loaded arm runs as blocks too.
+            let arms = if prepared.is_some() { 2 } else { 1 };
             let per_sample = config.vectors.div_ceil(LANES) as u64;
             let tail = ((LANES - config.vectors % LANES) % LANES) as u64;
-            crate::block::record_external_blocks(len as u64 * per_sample, len as u64 * tail);
+            crate::block::record_external_blocks(
+                arms * len as u64 * per_sample,
+                arms * len as u64 * tail,
+            );
         }
         let partial = {
             let _span = nanoleak_obs::span!("merge", shard = shard);
@@ -183,16 +330,32 @@ pub fn mc_streaming(
         }
     }
 
-    let elapsed = start_time.elapsed();
-    let summary = {
+    let mc_elapsed = start_time.elapsed();
+    let mut summary = {
         let _span = nanoleak_obs::span!("merge");
         summarize(&merged, DEFAULT_HIST_BINS)
     };
+    if let Some((provider, deviation_probe)) = &prepared {
+        // Deviation probe, after the timed phase: re-run the leading
+        // samples bit-exactly and compare total leakage per arm. The
+        // probe's full characterizations land in the memo, so a later
+        // exact run of the same seed starts warm.
+        let probed = (*deviation_probe).min(config.samples);
+        let (max_deviation, mean_deviation) = if probed > 0 {
+            let _span = nanoleak_obs::span!("deviation-probe", samples = probed);
+            let exact = run_circuit_mc_range(circuit, tech, cache, config, 0, probed)?;
+            deviation(&merged[..probed], &exact)
+        } else {
+            (0.0, 0.0)
+        };
+        summary.fast =
+            Some(FastMcReport { diag, tol: provider.tol(), probed, max_deviation, mean_deviation });
+    }
     Ok(Some(McReport {
         summary,
         telemetry: McTelemetry {
-            elapsed,
-            samples_per_sec: config.samples as f64 / elapsed.as_secs_f64().max(1e-9),
+            elapsed: start_time.elapsed(),
+            samples_per_sec: config.samples as f64 / mc_elapsed.as_secs_f64().max(1e-9),
         },
     }))
 }
@@ -292,6 +455,64 @@ mod tests {
         let second = mc_streaming(&circuit, &tech, &cache, &cfg, 0, |_| true).unwrap().unwrap();
         assert_eq!(cache.stats().characterizations, solves, "re-run served from RAM");
         assert_eq!(first.summary, second.summary);
+    }
+
+    /// The tentpole acceptance at the engine layer, fast arm: the
+    /// delta-derived path stays within the linearization tolerance of
+    /// the bit-exact path, self-reports its deviation, and is itself
+    /// bit-identical across shard sizes and thread counts.
+    #[test]
+    fn fast_mode_tracks_exact_and_stays_deterministic() {
+        let circuit = small_circuit();
+        let tech = Technology::d25();
+        let cache = MemoLibraryCache::memory_only();
+        let cfg = config(4);
+        let exact = mc_streaming_mode(&circuit, &tech, &cache, &cfg, McMode::Exact, 0, |_| true)
+            .unwrap()
+            .unwrap();
+        assert!(exact.summary.fast.is_none(), "exact runs carry no fast report");
+        assert_eq!(
+            exact.summary,
+            mc_streaming(&circuit, &tech, &cache, &cfg, 0, |_| true).unwrap().unwrap().summary,
+            "mc_streaming is the exact mode"
+        );
+        let fast = mc_streaming_mode(&circuit, &tech, &cache, &cfg, McMode::fast(), 0, |_| true)
+            .unwrap()
+            .unwrap();
+        let report = fast.summary.fast.expect("fast runs self-report");
+        assert_eq!(report.probed, 4);
+        assert!(report.diag.dies_derived > 0, "no die derived: {:?}", report.diag);
+        assert!(
+            report.max_deviation.is_finite() && report.max_deviation < 0.25,
+            "fast path drifted: {report:?}"
+        );
+        assert!(report.mean_deviation <= report.max_deviation);
+        assert!(
+            (fast.summary.mean_shift - exact.summary.mean_shift).abs() < 0.05,
+            "loading statistics diverged: fast {} vs exact {}",
+            fast.summary.mean_shift,
+            exact.summary.mean_shift
+        );
+        // Shard/thread invariance of the *whole* fast summary,
+        // deviation report included (the probe is deterministic too).
+        for (shard_samples, threads) in [(1usize, 1usize), (3, 3), (0, 2)] {
+            let cfg = CircuitMcConfig { threads, ..cfg.clone() };
+            let again = mc_streaming_mode(
+                &circuit,
+                &tech,
+                &cache,
+                &cfg,
+                McMode::fast(),
+                shard_samples,
+                |_| true,
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(
+                again.summary, fast.summary,
+                "shard_samples = {shard_samples}, threads = {threads}"
+            );
+        }
     }
 
     #[test]

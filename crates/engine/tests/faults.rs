@@ -11,8 +11,8 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use nanoleak_cells::{CellType, CharacterizeOptions};
 use nanoleak_device::Technology;
 use nanoleak_engine::{
-    mc_streaming, sweep_streaming, CacheOutcome, EngineError, LibraryCache, MemoLibraryCache,
-    SweepConfig,
+    mc_streaming, mc_streaming_mode, sweep_streaming, CacheOutcome, EngineError, LibraryCache,
+    McMode, MemoLibraryCache, SweepConfig,
 };
 use nanoleak_fault::{arm, arm_limited, disarm_all, FaultAction};
 use nanoleak_netlist::{Circuit, CircuitBuilder};
@@ -100,6 +100,56 @@ fn small_circuit() -> Circuit {
     let y = b.add_gate(CellType::Inv, &[n], "y");
     b.mark_output(y);
     b.build().unwrap()
+}
+
+/// Reads one labeled counter value out of the rendered global
+/// metrics registry (the same text `/metrics` serves).
+fn scrape_counter(rendered: &str, line_prefix: &str) -> u64 {
+    rendered
+        .lines()
+        .find_map(|l| l.strip_prefix(line_prefix))
+        .map_or(0, |rest| rest.trim().parse().unwrap_or(0))
+}
+
+#[test]
+fn char_sensitivity_fault_degrades_fast_mc_to_exact() {
+    let _g = serial();
+    let tech = Technology::d25();
+    let circuit = small_circuit();
+    let memo = MemoLibraryCache::memory_only();
+    let mc = nanoleak_variation::CircuitMcConfig {
+        samples: 2,
+        vectors: 2,
+        threads: 1,
+        char_opts: opts(),
+        ..nanoleak_variation::CircuitMcConfig::default()
+    };
+    let exact = mc_streaming_mode(&circuit, &tech, &memo, &mc, McMode::Exact, 0, |_| true)
+        .unwrap()
+        .unwrap();
+
+    // The traced nominal characterization fails; the fast run must
+    // degrade to the exact path (same summary, no fast report) and
+    // count the degradation where operators can see it.
+    const PREFIX: &str = "nanoleak_mc_fallback_total{reason=\"sens-build\"} ";
+    let before = scrape_counter(&nanoleak_obs::global().render(), PREFIX);
+    arm_limited("char-sensitivity", FaultAction::Error("trace lost".into()), Some(1));
+    let degraded = mc_streaming_mode(&circuit, &tech, &memo, &mc, McMode::fast(), 0, |_| true)
+        .unwrap()
+        .unwrap();
+    disarm_all();
+    assert!(degraded.summary.fast.is_none(), "degraded run took the exact path");
+    assert_eq!(degraded.summary, exact.summary, "degradation is bit-exact");
+    let after = scrape_counter(&nanoleak_obs::global().render(), PREFIX);
+    assert_eq!(after, before + 1, "sens-build fallback counted");
+
+    // Failpoint self-disarmed after one fire: the next fast run
+    // derives its dies again.
+    let fast = mc_streaming_mode(&circuit, &tech, &memo, &mc, McMode::fast(), 0, |_| true)
+        .unwrap()
+        .unwrap();
+    let report = fast.summary.fast.expect("recovered fast run self-reports");
+    assert!(report.diag.dies_derived > 0, "{:?}", report.diag);
 }
 
 #[test]

@@ -17,8 +17,9 @@ use nanoleak_core::{estimate_batch, CircuitLeakage, EstimatorMode, LoadingImpact
 use nanoleak_device::Technology;
 use nanoleak_engine::exec::{par_map, resolve_threads};
 use nanoleak_engine::{
-    mc_streaming, mlv_search, shard_count, sweep, sweep_streaming, EngineError, McShard,
-    MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepShard, SweepStats,
+    mc_streaming_mode, mlv_search, shard_count, sweep, sweep_streaming, EngineError, McMode,
+    McShard, MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, SweepConfig, SweepShard,
+    SweepStats,
 };
 use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
@@ -922,8 +923,14 @@ pub struct McResponse {
     /// Shards the run executed in (1 = monolithic). Sharding never
     /// changes `summary` — the merge is bit-identical by construction.
     pub shards: usize,
-    /// Bit-exact distribution summary (loaded/unloaded statistics,
-    /// shared-range histograms, Fig. 11 mean/std shifts).
+    /// `true` when the request pinned the bit-exact per-die
+    /// characterization path (`"exact": true`); `false` is the default
+    /// delta-from-nominal fast path, whose measured deviation from the
+    /// exact path rides in `summary.fast`.
+    pub exact: bool,
+    /// Distribution summary (loaded/unloaded statistics, shared-range
+    /// histograms, Fig. 11 mean/std shifts). Bit-exact in exact mode;
+    /// within the reported linearization error of it in fast mode.
     pub summary: McSummary,
     /// Server-side wall clock \[ms\].
     pub elapsed_ms: f64,
@@ -993,13 +1000,21 @@ pub fn run_mc(
     let config = resolve_mc_config(body, &circuit)?;
     let shard_samples = resolve_shard_samples(body, config.samples)?;
     let shards = shard_count(config.samples, shard_samples);
+    let exact = body.get("exact", false)?;
     observer.declare(shards);
-    let report =
-        mc_streaming(&circuit, &tech, cache, &config, shard_samples, |partial: &McShard| {
+    let report = mc_streaming_mode(
+        &circuit,
+        &tech,
+        cache,
+        &config,
+        McMode::from_exact(exact),
+        shard_samples,
+        |partial: &McShard| {
             observer.unit(partial.shard, partial.to_value());
             !observer.cancelled()
-        })
-        .map_err(|e| ApiError::unprocessable(format!("monte carlo failed: {e}")))?;
+        },
+    )
+    .map_err(|e| ApiError::unprocessable(format!("monte carlo failed: {e}")))?;
     let Some(report) = report else {
         return Err(cancelled_error());
     };
@@ -1014,6 +1029,7 @@ pub fn run_mc(
         vdd_scale: config.op.vdd_scale,
         sigmas: config.sigmas,
         shards,
+        exact,
         summary: report.summary,
         elapsed_ms: report.telemetry.elapsed.as_secs_f64() * 1e3,
         samples_per_sec: report.telemetry.samples_per_sec,

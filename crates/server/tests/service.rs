@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions, OperatingPoint};
 use nanoleak_core::EstimatorMode;
 use nanoleak_device::Technology;
-use nanoleak_engine::{mc_streaming, sweep, MemoLibraryCache, SweepConfig, SweepStats};
+use nanoleak_engine::{
+    mc_streaming, mc_streaming_mode, sweep, McMode, MemoLibraryCache, SweepConfig, SweepStats,
+};
 use nanoleak_netlist::bench_format::parse_bench;
 use nanoleak_netlist::generate::iscas_like;
 use nanoleak_netlist::normalize::normalize;
@@ -624,7 +626,7 @@ fn mc_job_pages_partials_and_matches_in_process_bit_exactly() {
     let bench_text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn1 = NAND(a, b)\ny = NOT(n1)\n";
     let submit = format!(
         r#"{{"type": "mc", "bench": "{}", "samples": 5, "seed": 33, "vectors": 2,
-            "sigma_vt": 0.05, "shard_samples": 2, "coarse": true}}"#,
+            "sigma_vt": 0.05, "shard_samples": 2, "coarse": true, "exact": true}}"#,
         bench_text.replace('\n', "\\n")
     );
     let (status, body) = request(&server, "POST", "/v1/jobs", &submit);
@@ -681,6 +683,29 @@ fn mc_job_pages_partials_and_matches_in_process_bit_exactly() {
     assert_eq!(http_summary, local.summary, "HTTP MC must equal in-process MC exactly");
     // Sanity on the physics that rides along: loading shifts the mean.
     assert!(http_summary.mean_shift != 0.0, "loading must move the distribution");
+
+    // The default (fast, delta-from-nominal) path holds the same
+    // HTTP-vs-in-process contract against its own in-process run.
+    let submit_fast = submit.replace(r#""exact": true"#, r#""exact": false"#);
+    let (status, body) = request(&server, "POST", "/v1/jobs", &submit_fast);
+    assert_eq!(status, 202, "{body}");
+    let Value::Int(fast_id) = field(&body, "id") else { panic!("id: {body}") };
+    let (state, body) = wait_for_job(&server, fast_id, Duration::from_secs(120));
+    assert_eq!(state, "done", "{body}");
+    let result = field(&body, "result");
+    let Value::Record(result_fields) = &result else { panic!("result: {body}") };
+    let summary_value =
+        &result_fields.iter().find(|(n, _)| n == "summary").expect("summary present").1;
+    let http_fast = McSummary::from_value(summary_value).expect("decode summary");
+    let local_fast =
+        mc_streaming_mode(&circuit, &Technology::d25(), &cache, &config, McMode::fast(), 2, |_| {
+            true
+        })
+        .expect("local fast mc")
+        .expect("not cancelled");
+    assert_eq!(http_fast, local_fast.summary, "HTTP fast MC must equal in-process fast MC");
+    let report = http_fast.fast.expect("fast runs self-report");
+    assert!(report.max_deviation < report.tol, "deviation within tolerance: {report:?}");
 }
 
 /// The job-result-leak fix observed over HTTP: under job churn the

@@ -202,6 +202,224 @@ pub fn solve_dc(
     })
 }
 
+/// The solver-side context of a traced DC solve: which nodes floated,
+/// and the Newton Jacobian factored at the converged point.
+///
+/// Sensitivity extraction uses it to predict how the operating point
+/// moves under a small parameter change `p → p + Δp` without
+/// re-solving: with `f(v*, p₀) = 0`, the perturbed residual
+/// `f(v*, p₀+Δp)` equals `∂f/∂p·Δp` to first order, so
+/// `Δv = -J⁻¹ f(v*, p₀+Δp)` — one [`dc_residual_at`] on the perturbed
+/// netlist plus one backsolve per axis.
+#[derive(Debug, Clone)]
+pub struct DcTrace {
+    /// Floating nodes in solver slot order (the ordering
+    /// [`dc_residual_at`] and [`DcTrace::jacobian`] agree on).
+    pub unknowns: Vec<NodeId>,
+    /// Factored Jacobian at the solution; `None` when every node is
+    /// pinned (nothing to perturb).
+    pub jacobian: Option<newton::FactoredJacobian>,
+}
+
+impl DcTrace {
+    /// The solution's voltages at the floating nodes, in slot order.
+    pub fn unknown_voltages(&self, sol: &DcSolution) -> Vec<f64> {
+        self.unknowns.iter().map(|n| sol.voltages[n.0]).collect()
+    }
+}
+
+/// Assembles the full node-voltage vector for prescribed unknown
+/// voltages `x` (slot order = [`MosNetlist::unknown_nodes`]).
+fn assemble_voltages(netlist: &MosNetlist, x: &[f64]) -> Result<Vec<f64>, SolverError> {
+    let unknowns = netlist.unknown_nodes();
+    if x.len() != unknowns.len() {
+        return Err(SolverError::BadProblem(format!(
+            "{} unknown voltages for {} floating nodes",
+            x.len(),
+            unknowns.len()
+        )));
+    }
+    let n_nodes = netlist.node_count();
+    let mut v = vec![0.0; n_nodes];
+    for (i, vi) in v.iter_mut().enumerate() {
+        if let Some(fv) = netlist.fixed_voltage(NodeId(i)) {
+            *vi = fv;
+        }
+    }
+    for (k, node) in unknowns.iter().enumerate() {
+        v[node.0] = x[k];
+    }
+    Ok(v)
+}
+
+/// KCL residual of `netlist` evaluated at prescribed unknown voltages
+/// (no solve). Slot order matches [`MosNetlist::unknown_nodes`], which
+/// for a topology-identical rebuild (same construction order, new
+/// device parameters) is the same ordering the traced Jacobian used.
+///
+/// # Errors
+/// [`SolverError::BadProblem`] if `x` does not match the floating-node
+/// count.
+pub fn dc_residual_at(netlist: &MosNetlist, temp: f64, x: &[f64]) -> Result<Vec<f64>, SolverError> {
+    let unknowns = netlist.unknown_nodes();
+    let v = assemble_voltages(netlist, x)?;
+    let n_nodes = netlist.node_count();
+    let mut unknown_slot: Vec<Option<usize>> = vec![None; n_nodes];
+    for (k, node) in unknowns.iter().enumerate() {
+        unknown_slot[node.0] = Some(k);
+    }
+    let mut f = vec![0.0; unknowns.len()];
+    for dev in netlist.devices() {
+        let bias = Bias::new(v[dev.g.0], v[dev.d.0], v[dev.s.0], v[dev.b.0]);
+        let tc = dev.transistor.terminal_currents(bias, temp);
+        for (node, i) in [(dev.d, tc.d), (dev.g, tc.g), (dev.s, tc.s), (dev.b, tc.b)] {
+            if let Some(k) = unknown_slot[node.0] {
+                f[k] += i;
+            }
+        }
+    }
+    for (k, node) in unknowns.iter().enumerate() {
+        f[k] -= netlist.injection(*node);
+    }
+    Ok(f)
+}
+
+/// Evaluates every device of `netlist` at prescribed unknown voltages
+/// (no solve), returning a full [`DcSolution`] whose `stats.residual`
+/// is the KCL imbalance at that point — the linearization-error signal
+/// the delta-library check consumes.
+///
+/// # Errors
+/// As [`dc_residual_at`].
+pub fn dc_evaluate_at(
+    netlist: &MosNetlist,
+    temp: f64,
+    x: &[f64],
+) -> Result<DcSolution, SolverError> {
+    let f = dc_residual_at(netlist, temp, x)?;
+    let voltages = assemble_voltages(netlist, x)?;
+    let (device_currents, device_breakdowns) = evaluate_devices(netlist, &voltages, temp);
+    Ok(DcSolution {
+        voltages,
+        device_currents,
+        device_breakdowns,
+        stats: NewtonStats { iterations: 0, residual: crate::linear::inf_norm(&f) },
+    })
+}
+
+/// [`solve_dc`], additionally returning the [`DcTrace`] (unknown
+/// ordering + Jacobian factored at the solution).
+///
+/// The returned [`DcSolution`] is bit-identical to [`solve_dc`] on the
+/// same inputs: the iteration is shared and the Jacobian is built in a
+/// separate sweep after convergence.
+///
+/// # Errors
+/// As [`solve_dc`], plus [`SolverError::SingularMatrix`] if the
+/// Jacobian at the solution cannot be factored.
+pub fn solve_dc_traced(
+    netlist: &MosNetlist,
+    temp: f64,
+    guess: Option<&[f64]>,
+    opts: &NewtonOptions,
+) -> Result<(DcSolution, DcTrace), SolverError> {
+    let n_nodes = netlist.node_count();
+    if let Some(g) = guess {
+        if g.len() != n_nodes {
+            return Err(SolverError::BadProblem(format!(
+                "guess has {} entries for {} nodes",
+                g.len(),
+                n_nodes
+            )));
+        }
+    }
+    let unknowns = netlist.unknown_nodes();
+    let vdd_est =
+        (0..n_nodes).filter_map(|i| netlist.fixed_voltage(NodeId(i))).fold(0.0_f64, f64::max);
+    let mut voltages: Vec<f64> = (0..n_nodes)
+        .map(|i| {
+            let node = NodeId(i);
+            netlist
+                .fixed_voltage(node)
+                .unwrap_or_else(|| guess.map(|g| g[i]).unwrap_or(0.5 * vdd_est))
+        })
+        .collect();
+
+    if unknowns.is_empty() {
+        let (device_currents, device_breakdowns) = evaluate_devices(netlist, &voltages, temp);
+        let sol = DcSolution {
+            voltages,
+            device_currents,
+            device_breakdowns,
+            stats: NewtonStats { iterations: 0, residual: 0.0 },
+        };
+        return Ok((sol, DcTrace { unknowns, jacobian: None }));
+    }
+
+    let mut unknown_slot: Vec<Option<usize>> = vec![None; n_nodes];
+    for (k, node) in unknowns.iter().enumerate() {
+        unknown_slot[node.0] = Some(k);
+    }
+
+    let mut x: Vec<f64> = unknowns.iter().map(|n| voltages[n.0]).collect();
+    let jacobian = {
+        let template = voltages.clone();
+        let residual = |x: &[f64], f: &mut [f64]| {
+            let mut v = template.clone();
+            for (k, node) in unknowns.iter().enumerate() {
+                v[node.0] = x[k];
+            }
+            f.iter_mut().for_each(|fi| *fi = 0.0);
+            for dev in netlist.devices() {
+                let bias = Bias::new(v[dev.g.0], v[dev.d.0], v[dev.s.0], v[dev.b.0]);
+                let tc = dev.transistor.terminal_currents(bias, temp);
+                for (node, i) in [(dev.d, tc.d), (dev.g, tc.g), (dev.s, tc.s), (dev.b, tc.b)] {
+                    if let Some(k) = unknown_slot[node.0] {
+                        f[k] += i;
+                    }
+                }
+            }
+            for (k, node) in unknowns.iter().enumerate() {
+                f[k] -= netlist.injection(*node);
+            }
+        };
+        let (_, jac) = newton::solve_traced(residual, &mut x, opts)?;
+        jac
+    };
+    for (k, node) in unknowns.iter().enumerate() {
+        voltages[node.0] = x[k];
+    }
+    let (device_currents, device_breakdowns) = evaluate_devices(netlist, &voltages, temp);
+
+    let mut worst = 0.0_f64;
+    for node in &unknowns {
+        let mut sum = -netlist.injection(*node);
+        for (dev, tc) in netlist.devices().iter().zip(&device_currents) {
+            if dev.d == *node {
+                sum += tc.d;
+            }
+            if dev.g == *node {
+                sum += tc.g;
+            }
+            if dev.s == *node {
+                sum += tc.s;
+            }
+            if dev.b == *node {
+                sum += tc.b;
+            }
+        }
+        worst = worst.max(sum.abs());
+    }
+
+    let sol = DcSolution {
+        voltages,
+        device_currents,
+        device_breakdowns,
+        stats: NewtonStats { iterations: 0, residual: worst },
+    };
+    Ok((sol, DcTrace { unknowns, jacobian: Some(jacobian) }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +509,73 @@ mod tests {
         let (nl, _) = inverter(0.0);
         let err = solve_dc(&nl, 300.0, Some(&[0.0]), &NewtonOptions::default());
         assert!(matches!(err, Err(SolverError::BadProblem(_))));
+    }
+
+    #[test]
+    fn traced_dc_solve_is_bit_identical() {
+        let (nl, _) = inverter(0.0);
+        let plain = solve_dc(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        let (traced, trace) = solve_dc_traced(&nl, 300.0, None, &NewtonOptions::default()).unwrap();
+        for (a, b) in plain.voltages.iter().zip(&traced.voltages) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in plain.device_breakdowns.iter().zip(&traced.device_breakdowns) {
+            assert_eq!(a.total().to_bits(), b.total().to_bits());
+        }
+        assert_eq!(trace.unknowns, nl.unknown_nodes());
+        assert!(trace.jacobian.is_some());
+        // The residual at the converged unknowns is (numerically) zero.
+        let x = trace.unknown_voltages(&traced);
+        let f = dc_residual_at(&nl, 300.0, &x).unwrap();
+        assert!(inf_norm_of(&f) < 1e-13, "residual at solution: {f:?}");
+    }
+
+    fn inf_norm_of(v: &[f64]) -> f64 {
+        v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    #[test]
+    fn jacobian_predicts_perturbed_operating_point() {
+        // Perturb the technology (Vt shift) and predict the new output
+        // voltage from the nominal trace: Δv = -J⁻¹ f(v*, p').
+        let tech = Technology::d25();
+        let build = |dvth: f64| {
+            let p = nanoleak_device::Perturbation { dvth, ..Default::default() };
+            let design_n = p.apply(&tech.nmos);
+            let design_p = p.apply(&tech.pmos);
+            let mut nl = MosNetlist::new();
+            let vdd = nl.add_fixed_node("vdd", tech.vdd);
+            let gnd = nl.add_fixed_node("gnd", 0.0);
+            let input = nl.add_fixed_node("in", 0.0);
+            let out = nl.add_node("out");
+            nl.add_mos(Transistor::from_design(&design_n), out, input, gnd, gnd);
+            nl.add_mos(Transistor::from_design(&design_p), out, input, vdd, vdd);
+            (nl, out)
+        };
+        let (nominal, out) = build(0.0);
+        let (sol, trace) =
+            solve_dc_traced(&nominal, 300.0, None, &NewtonOptions::default()).unwrap();
+        let x_star = trace.unknown_voltages(&sol);
+        let dvth = 5e-3;
+        let (perturbed, _) = build(dvth);
+        // f(v*, p') ≈ ∂f/∂p · Δp since f(v*, p0) = 0.
+        let mut f = dc_residual_at(&perturbed, 300.0, &x_star).unwrap();
+        for fi in f.iter_mut() {
+            *fi = -*fi;
+        }
+        trace.jacobian.as_ref().unwrap().solve(&mut f).unwrap();
+        let predicted_out = {
+            let slot = trace.unknowns.iter().position(|n| *n == out).unwrap();
+            x_star[slot] + f[slot]
+        };
+        let exact =
+            solve_dc(&perturbed, 300.0, None, &NewtonOptions::default()).unwrap().node_voltage(out);
+        assert!((predicted_out - exact).abs() < 2e-4, "predicted {predicted_out}, exact {exact}");
+        // And dc_evaluate_at reports consistent breakdowns plus the
+        // KCL imbalance the linearization check reads.
+        let eval = dc_evaluate_at(&perturbed, 300.0, &x_star).unwrap();
+        assert!(eval.total_breakdown().total() > 0.0);
+        assert!(eval.stats.residual > 0.0, "perturbed netlist at nominal point has imbalance");
     }
 
     #[test]

@@ -45,10 +45,10 @@ pub mod netlist;
 pub mod newton;
 pub mod scalar;
 
-pub use dc::{solve_dc, DcSolution};
+pub use dc::{dc_evaluate_at, dc_residual_at, solve_dc, solve_dc_traced, DcSolution, DcTrace};
 pub use error::SolverError;
 pub use netlist::{Device, MosNetlist, NodeId};
-pub use newton::{NewtonOptions, NewtonStats};
+pub use newton::{FactoredJacobian, NewtonOptions, NewtonStats};
 pub use scalar::{brent, solve_bracketed, ScalarOptions};
 
 #[cfg(test)]

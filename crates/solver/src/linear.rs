@@ -76,6 +76,110 @@ pub fn lu_solve(a: &mut [f64], b: &mut [f64]) -> Result<(), SolverError> {
     Ok(())
 }
 
+/// Factors `a` in place into `P·A = L·U` with partial pivoting,
+/// recording the row swaps in `piv` (one entry per column: the row
+/// swapped into that column's pivot position).
+///
+/// Pair with [`lu_backsolve`] to reuse one factorization across many
+/// right-hand sides — the sensitivity extraction solves the same
+/// Jacobian once per perturbation axis.
+///
+/// Elimination order, pivot choice, and arithmetic are identical to
+/// [`lu_solve`], so `lu_factor` + `lu_backsolve` reproduces its
+/// solutions bit-for-bit.
+///
+/// # Errors
+/// As [`lu_solve`].
+pub fn lu_factor(a: &mut [f64], piv: &mut Vec<usize>) -> Result<(), SolverError> {
+    let n2 = a.len();
+    let n = (n2 as f64).sqrt() as usize;
+    if n * n != n2 {
+        return Err(SolverError::BadProblem(format!("matrix is {n2} elements, not square")));
+    }
+    piv.clear();
+    piv.reserve(n);
+    for col in 0..n {
+        let mut p = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                p = row;
+            }
+        }
+        if best == 0.0 || !best.is_finite() {
+            return Err(SolverError::SingularMatrix { pivot: col });
+        }
+        piv.push(p);
+        if p != col {
+            for k in 0..n {
+                a.swap(col * n + k, p * n + k);
+            }
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            // Store the multiplier where lu_solve writes a zero; the
+            // backsolve replays the same `b` updates from it.
+            a[row * n + col] = factor;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in (col + 1)..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` in place from factors produced by [`lu_factor`],
+/// overwriting `b` with the solution. Bit-identical to [`lu_solve`]
+/// on the same system.
+///
+/// # Errors
+/// [`SolverError::BadProblem`] on dimension mismatch with the factors.
+pub fn lu_backsolve(a: &[f64], piv: &[usize], b: &mut [f64]) -> Result<(), SolverError> {
+    let n = b.len();
+    if a.len() != n * n || piv.len() != n {
+        return Err(SolverError::BadProblem(format!(
+            "factors are {} elements / {} pivots, expected {} / {n}",
+            a.len(),
+            piv.len(),
+            n * n
+        )));
+    }
+    // Apply every row swap to b first, then forward-substitute with
+    // the final multipliers. lu_solve interleaves swaps and updates,
+    // but a swap at column c' only permutes rows > c' — rows whose
+    // column-c multipliers were swapped along with them — so the two
+    // orderings pair exactly the same operand values and the results
+    // are bit-identical.
+    for (col, &p) in piv.iter().enumerate() {
+        if p != col {
+            b.swap(col, p);
+        }
+    }
+    for col in 0..n {
+        for row in (col + 1)..n {
+            let factor = a[row * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * b[k];
+        }
+        b[row] = acc / a[row * n + row];
+    }
+    Ok(())
+}
+
 /// Infinity norm of a vector.
 #[inline]
 pub fn inf_norm(v: &[f64]) -> f64 {
@@ -158,6 +262,51 @@ mod tests {
                 assert!((b[i] - x_true[i]).abs() < 1e-8, "component {i} off");
             }
         }
+    }
+
+    #[test]
+    fn factor_backsolve_matches_lu_solve_bitwise() {
+        let n = 6;
+        let mut seed = 0xfeedbeef_u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..16 {
+            let a: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
+            let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let (mut a1, mut b1) = (a.clone(), b.clone());
+            lu_solve(&mut a1, &mut b1).unwrap();
+            let mut a2 = a.clone();
+            let mut piv = Vec::new();
+            lu_factor(&mut a2, &mut piv).unwrap();
+            let mut b2 = b.clone();
+            lu_backsolve(&a2, &piv, &mut b2).unwrap();
+            for i in 0..n {
+                assert_eq!(b1[i].to_bits(), b2[i].to_bits(), "component {i}");
+            }
+            // The factorization is reusable: a second RHS solves too.
+            let c: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let (mut a3, mut c1) = (a.clone(), c.clone());
+            lu_solve(&mut a3, &mut c1).unwrap();
+            let mut c2 = c.clone();
+            lu_backsolve(&a2, &piv, &mut c2).unwrap();
+            for i in 0..n {
+                assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "reused factors, component {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_rejects_singular_and_nonsquare() {
+        let mut piv = Vec::new();
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(matches!(lu_factor(&mut a, &mut piv), Err(SolverError::SingularMatrix { .. })));
+        let mut a = vec![1.0; 5];
+        assert!(matches!(lu_factor(&mut a, &mut piv), Err(SolverError::BadProblem(_))));
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![1.0];
+        assert!(matches!(lu_backsolve(&a, &[0, 1], &mut b), Err(SolverError::BadProblem(_))));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 use nanoleak_obs::{global, Counter};
 
 use crate::error::SolverError;
-use crate::linear::{inf_norm, lu_solve};
+use crate::linear::{inf_norm, lu_backsolve, lu_factor, lu_solve};
 
 /// Process-wide Newton telemetry (registered once, incremented per
 /// solve; plain atomic adds, so safe from parallel sections).
@@ -127,6 +127,76 @@ where
         Err(_) => count_solve(0, false),
     }
     result
+}
+
+/// The Newton Jacobian at a converged solution, LU-factored for reuse
+/// across many right-hand sides.
+///
+/// Sensitivity extraction solves `J dv = -∂f/∂p · h` once per
+/// perturbation axis; factoring `J` a single time makes each axis one
+/// O(n²) backsolve instead of an O(n³) refactorization.
+#[derive(Debug, Clone)]
+pub struct FactoredJacobian {
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+    n: usize,
+}
+
+impl FactoredJacobian {
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `J x = b` in place against the factored Jacobian.
+    ///
+    /// # Errors
+    /// [`SolverError::BadProblem`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &mut [f64]) -> Result<(), SolverError> {
+        lu_backsolve(&self.lu, &self.piv, b)
+    }
+}
+
+/// [`solve`], additionally returning the forward-difference Jacobian
+/// at the solution point, LU-factored.
+///
+/// The returned `x` is **bit-identical** to a plain [`solve`] of the
+/// same problem: the iteration runs unchanged and the Jacobian is
+/// built afterwards from a fresh forward-difference sweep around the
+/// converged state (the in-loop Jacobian is consumed by `lu_solve` and
+/// is one iteration stale anyway).
+///
+/// # Errors
+/// As [`solve`], plus [`SolverError::SingularMatrix`] if the Jacobian
+/// at the solution cannot be factored.
+pub fn solve_traced<F>(
+    residual: F,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+) -> Result<(NewtonStats, FactoredJacobian), SolverError>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let stats = solve(&residual, x, opts)?;
+    let n = x.len();
+    let mut f = vec![0.0; n];
+    let mut f_trial = vec![0.0; n];
+    let mut jac = vec![0.0; n * n];
+    let mut x_pert = vec![0.0; n];
+    residual(x, &mut f);
+    x_pert.copy_from_slice(x);
+    for j in 0..n {
+        let h = opts.jacobian_step * (1.0 + x[j].abs());
+        x_pert[j] = x[j] + h;
+        residual(&x_pert, &mut f_trial);
+        for i in 0..n {
+            jac[i * n + j] = (f_trial[i] - f[i]) / h;
+        }
+        x_pert[j] = x[j];
+    }
+    let mut piv = Vec::new();
+    lu_factor(&mut jac, &mut piv)?;
+    Ok((stats, FactoredJacobian { lu: jac, piv, n }))
 }
 
 fn solve_inner<F>(
@@ -303,6 +373,34 @@ mod tests {
             solve(|_, _| {}, &mut x, &NewtonOptions::default()),
             Err(SolverError::BadProblem(_))
         ));
+    }
+
+    #[test]
+    fn traced_solve_is_bit_identical_and_jacobian_inverts() {
+        // Same stiff diode divider as above: the traced variant must
+        // land on the exact same bits, and its factored Jacobian must
+        // predict the response to a small source perturbation.
+        let vt = 0.02585;
+        let residual = |x: &[f64], f: &mut [f64]| {
+            f[0] = (x[0] - 1.0) / 1000.0 + 1e-14 * ((x[0] / vt).min(40.0).exp() - 1.0);
+        };
+        let mut plain = vec![0.5];
+        solve(residual, &mut plain, &NewtonOptions::default()).unwrap();
+        let mut traced = vec![0.5];
+        let (_, jac) = solve_traced(residual, &mut traced, &NewtonOptions::default()).unwrap();
+        assert_eq!(plain[0].to_bits(), traced[0].to_bits());
+        assert_eq!(jac.dim(), 1);
+        // Raising the source to 1.001 V shifts the node by dv where
+        // J dv = -∂f/∂p · dp = 1e-3/1000.
+        let mut dv = vec![1e-3 / 1000.0];
+        jac.solve(&mut dv).unwrap();
+        let mut exact = vec![0.5];
+        let shifted = |x: &[f64], f: &mut [f64]| {
+            f[0] = (x[0] - 1.001) / 1000.0 + 1e-14 * ((x[0] / vt).min(40.0).exp() - 1.0);
+        };
+        solve(shifted, &mut exact, &NewtonOptions::default()).unwrap();
+        let predicted = traced[0] + dv[0];
+        assert!((predicted - exact[0]).abs() < 1e-6, "predicted {predicted}, exact {}", exact[0]);
     }
 
     #[test]

@@ -38,7 +38,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use nanoleak_cells::{CellLibrary, CellType, CharacterizeOptions, OperatingPoint};
+use nanoleak_cells::{
+    delta_library, infer_deltas, CellLibrary, CellType, CharacterizeOptions, LibrarySens,
+    OperatingPoint,
+};
 use nanoleak_core::exec::{mix, par_map_with};
 use nanoleak_core::{
     resolve_lanes, BlockScratch, CompiledEstimator, EstimateError, EstimateScratch, EstimatorMode,
@@ -134,6 +137,104 @@ impl LibraryProvider for SolverProvider {
         opts: &CharacterizeOptions,
     ) -> Result<Arc<CellLibrary>, McError> {
         Ok(Arc::new(CellLibrary::characterize(tech, temp, opts)?))
+    }
+}
+
+impl<P: LibraryProvider + ?Sized> LibraryProvider for &P {
+    fn library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<Arc<CellLibrary>, McError> {
+        (**self).library(tech, temp, opts)
+    }
+}
+
+impl<P: LibraryProvider + Send + ?Sized> LibraryProvider for Arc<P> {
+    fn library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<Arc<CellLibrary>, McError> {
+        (**self).library(tech, temp, opts)
+    }
+}
+
+/// How one die's library was produced by a [`DeltaProvider`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DieDiag {
+    /// `true` when the library was derived from nominal sensitivities,
+    /// `false` when the die fell back to a full characterization (its
+    /// perturbation was not recognized as a delta of the nominal).
+    pub derived: bool,
+    /// `(cell, vector)` entries in the derived library (0 on fallback).
+    pub entries: u32,
+    /// Entries whose linearization-error estimate exceeded the
+    /// tolerance and re-solved exactly.
+    pub fallbacks: u32,
+    /// Largest per-entry linearization-error estimate seen (log units).
+    pub max_est: f64,
+}
+
+/// Supplies per-die libraries for the fast Monte-Carlo path, reporting
+/// per die how the library was produced (delta-derived vs. fully
+/// solved). Implementations must be deterministic, like
+/// [`LibraryProvider`].
+pub trait DeltaProvider: Sync {
+    /// The library for one perturbed die, plus derivation diagnostics.
+    ///
+    /// # Errors
+    /// [`McError`] describing the derivation or fallback failure.
+    fn die_library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, DieDiag), McError>;
+}
+
+/// The reference [`DeltaProvider`]: derives each die from a nominal
+/// library's recorded sensitivities ([`delta_library`]) when the die's
+/// perturbation round-trips through [`infer_deltas`], and falls back
+/// to `fallback` (a plain [`LibraryProvider`]) otherwise. The engine
+/// wraps this over its RAM memo and adds metrics.
+#[derive(Debug, Clone)]
+pub struct SensDeltaProvider<F> {
+    /// The nominal library the sensitivities were recorded against.
+    pub nominal: Arc<CellLibrary>,
+    /// Per-`(cell, vector)` sensitivity models from the traced nominal
+    /// characterization.
+    pub sens: Arc<LibrarySens>,
+    /// Per-entry linearization-error tolerance (log units); entries
+    /// estimating above it re-solve exactly.
+    pub tol: f64,
+    /// Full-characterization fallback for unrecognized requests.
+    pub fallback: F,
+}
+
+impl<F: LibraryProvider + Sync> DeltaProvider for SensDeltaProvider<F> {
+    fn die_library(
+        &self,
+        tech: &Technology,
+        temp: f64,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Arc<CellLibrary>, DieDiag), McError> {
+        if temp == self.nominal.temp && *opts == self.nominal.options {
+            if let Some(deltas) = infer_deltas(&self.nominal.tech, tech) {
+                let (lib, report) = delta_library(&self.nominal, &self.sens, &deltas, self.tol)?;
+                let diag = DieDiag {
+                    derived: true,
+                    entries: report.entries as u32,
+                    fallbacks: report.fallbacks as u32,
+                    max_est: report.max_est,
+                };
+                return Ok((Arc::new(lib), diag));
+            }
+        }
+        let lib = self.fallback.library(tech, temp, opts)?;
+        Ok((lib, DieDiag::default()))
     }
 }
 
@@ -256,6 +357,70 @@ pub struct McSummary {
     /// Loading-induced shift of the total-leakage standard deviation,
     /// as a fraction of the unloaded std (paper Fig. 11 right).
     pub std_shift: f64,
+    /// Fast-path (delta-derived) diagnostics; `None` on the exact path
+    /// (and on per-shard partials — only the engine's final merge
+    /// fills it in).
+    pub fast: Option<FastMcReport>,
+}
+
+/// Diagnostics of one fast (delta-derived) Monte-Carlo run, summed
+/// over dies in sample-index order — deterministic for any thread
+/// count or shard split.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FastMcDiag {
+    /// Dies whose library was derived from nominal sensitivities.
+    pub dies_derived: u64,
+    /// Dies that fell back to a full characterization (perturbation
+    /// not recognized as a delta of the nominal).
+    pub dies_full: u64,
+    /// `(cell, vector)` entries served by the delta model.
+    pub entries_derived: u64,
+    /// Entries whose linearization-error estimate exceeded the
+    /// tolerance and re-solved exactly.
+    pub entries_fallback: u64,
+    /// Largest per-entry linearization-error estimate seen (log units).
+    pub max_error_estimate: f64,
+}
+
+impl FastMcDiag {
+    /// Folds one die's diagnostics in.
+    pub fn absorb(&mut self, d: &DieDiag) {
+        if d.derived {
+            self.dies_derived += 1;
+            self.entries_derived += u64::from(d.entries - d.fallbacks);
+            self.entries_fallback += u64::from(d.fallbacks);
+        } else {
+            self.dies_full += 1;
+        }
+        self.max_error_estimate = self.max_error_estimate.max(d.max_est);
+    }
+
+    /// Merges another run segment's diagnostics (shard concatenation).
+    pub fn merge(&mut self, o: &FastMcDiag) {
+        self.dies_derived += o.dies_derived;
+        self.dies_full += o.dies_full;
+        self.entries_derived += o.entries_derived;
+        self.entries_fallback += o.entries_fallback;
+        self.max_error_estimate = self.max_error_estimate.max(o.max_error_estimate);
+    }
+}
+
+/// The fast path's self-report inside [`McSummary`]: derivation
+/// diagnostics plus the measured deviation of the first `probed`
+/// samples from the bit-exact path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FastMcReport {
+    /// Derivation diagnostics summed over all dies.
+    pub diag: FastMcDiag,
+    /// The linearization-error tolerance the run used (log units).
+    pub tol: f64,
+    /// Samples re-run through the exact path for the deviation check.
+    pub probed: usize,
+    /// Largest relative deviation of a probed sample's total leakage
+    /// (max over both arms) from the exact path.
+    pub max_deviation: f64,
+    /// Mean relative deviation over the probed samples and arms.
+    pub mean_deviation: f64,
 }
 
 /// Default histogram resolution of MC summaries.
@@ -295,7 +460,7 @@ pub fn summarize(samples: &[McSample], bins: usize) -> McSummary {
     let unloaded = arm(false, &unloaded_total);
     let mean_shift = (loaded.total.mean - unloaded.total.mean) / unloaded.total.mean;
     let std_shift = (loaded.total.std - unloaded.total.std) / unloaded.total.std;
-    McSummary { samples: samples.len(), loaded, unloaded, mean_shift, std_shift }
+    McSummary { samples: samples.len(), loaded, unloaded, mean_shift, std_shift, fast: None }
 }
 
 /// The perturbed technology of sample `index`: the operating-point
@@ -312,6 +477,16 @@ fn sample_tech(nominal: &Technology, config: &CircuitMcConfig, index: usize) -> 
     tech
 }
 
+/// Pattern count past which a per-die plan's loaded arm builds the
+/// block response tables instead of running the per-lane scalar
+/// service. A table build enumerates up to `2^MAX_SUPPORT_BITS`
+/// scalar evaluations per gate while one scalar block pass costs
+/// `LANES` per gate, so a plan evaluated fewer than a few blocks'
+/// worth of patterns never amortizes the build — measured on s838,
+/// tables cost ~40 ms/die against ~10 ms of scalar work at 64
+/// vectors. Four full blocks is roughly break-even.
+pub const TABLE_AMORTIZE_VECTORS: usize = 4 * LANES;
+
 /// Per-worker reusable buffers for circuit MC samples. Plans share
 /// the circuit's dimensions, so every buffer warms once and then
 /// serves each per-die plan allocation-free.
@@ -323,18 +498,25 @@ struct SampleScratch {
     pattern: Pattern,
 }
 
-fn run_circuit_sample(
+/// Evaluates one die's plan over the shared pattern set, returning the
+/// (loaded, unloaded) sums in pattern-index order.
+///
+/// `block_loaded` selects the loaded (Lut) arm's kernel on the block
+/// path: `false` runs the per-lane scalar service, `true` runs the
+/// 64-lane block kernel with response tables. A per-die plan is
+/// evaluated exactly `vectors` times and then dropped, so tables only
+/// pay for themselves past [`TABLE_AMORTIZE_VECTORS`] — callers pick
+/// the flag from the pattern volume. Core guarantees both kernels
+/// agree bit-for-bit, so the flag never changes a result, only its
+/// cost.
+fn evaluate_plan(
+    plan: &CompiledEstimator,
     circuit: &Circuit,
-    nominal: &Technology,
-    provider: &dyn LibraryProvider,
     config: &CircuitMcConfig,
-    index: usize,
     scratch: &mut SampleScratch,
-) -> Result<McSample, McError> {
-    let tech = sample_tech(nominal, config, index);
-    let lib = provider.library(&tech, config.op.temp, &config.char_opts)?;
-    let plan = CompiledEstimator::compile(circuit, &lib)?;
-    let (loaded, unloaded) = if resolve_lanes(config.lanes) == 1 {
+    block_loaded: bool,
+) -> Result<(LeakageBreakdown, LeakageBreakdown), McError> {
+    if resolve_lanes(config.lanes) == 1 {
         // Sequential index-order mean over the shared pattern set;
         // both arms run on the same plan (the unloaded arm simply
         // skips the loading pass), so one characterization serves
@@ -347,15 +529,13 @@ fn run_circuit_sample(
             }
             Ok(sum)
         };
-        (arm(EstimatorMode::Lut)?, arm(EstimatorMode::NoLoading)?)
+        Ok((arm(EstimatorMode::Lut)?, arm(EstimatorMode::NoLoading)?))
     } else {
         // Block path: each 64-pattern chunk of the shared set is
         // packed once and reused by both arms. The unloaded arm runs
-        // the word-parallel kernel (no tables needed); the loaded
-        // arm runs the per-lane scalar service — a per-die plan is
-        // far too short-lived to amortize a response-table build
-        // over a handful of vectors. Each arm's sum still adds its
-        // per-pattern values in index order, so both means are
+        // the word-parallel kernel (no tables needed); the loaded arm
+        // runs the kernel `block_loaded` selects. Each arm's sum adds
+        // its per-pattern values in index order, so both means are
         // bit-identical to the scalar path's.
         let mut loaded = LeakageBreakdown::ZERO;
         let mut unloaded = LeakageBreakdown::ZERO;
@@ -374,7 +554,15 @@ fn run_circuit_sample(
                 scratch.pattern.fill_random(circuit, &mut rng);
                 scratch.pack.push(&scratch.pattern);
             }
-            plan.estimate_block_scalar_into(&mut scratch.block, &scratch.pack, EstimatorMode::Lut)?;
+            if block_loaded {
+                plan.estimate_block_into(&mut scratch.block, &scratch.pack, EstimatorMode::Lut)?;
+            } else {
+                plan.estimate_block_scalar_into(
+                    &mut scratch.block,
+                    &scratch.pack,
+                    EstimatorMode::Lut,
+                )?;
+            }
             for t in scratch.block.totals() {
                 loaded += *t;
             }
@@ -384,12 +572,46 @@ fn run_circuit_sample(
             }
             k += n;
         }
-        (loaded, unloaded)
-    };
+        Ok((loaded, unloaded))
+    }
+}
+
+fn run_circuit_sample(
+    circuit: &Circuit,
+    nominal: &Technology,
+    provider: &dyn LibraryProvider,
+    config: &CircuitMcConfig,
+    index: usize,
+    scratch: &mut SampleScratch,
+) -> Result<McSample, McError> {
+    let tech = sample_tech(nominal, config, index);
+    let lib = provider.library(&tech, config.op.temp, &config.char_opts)?;
+    let plan = CompiledEstimator::compile(circuit, &lib)?;
+    let (loaded, unloaded) = evaluate_plan(&plan, circuit, config, scratch, false)?;
     Ok(McSample {
         loaded: loaded.scaled(1.0 / config.vectors as f64),
         unloaded: unloaded.scaled(1.0 / config.vectors as f64),
     })
+}
+
+fn run_circuit_sample_fast(
+    circuit: &Circuit,
+    nominal: &Technology,
+    provider: &dyn DeltaProvider,
+    config: &CircuitMcConfig,
+    index: usize,
+    scratch: &mut SampleScratch,
+) -> Result<(McSample, DieDiag), McError> {
+    let tech = sample_tech(nominal, config, index);
+    let (lib, diag) = provider.die_library(&tech, config.op.temp, &config.char_opts)?;
+    let plan = CompiledEstimator::compile(circuit, &lib)?;
+    let tables = config.vectors >= TABLE_AMORTIZE_VECTORS;
+    let (loaded, unloaded) = evaluate_plan(&plan, circuit, config, scratch, tables)?;
+    let sample = McSample {
+        loaded: loaded.scaled(1.0 / config.vectors as f64),
+        unloaded: unloaded.scaled(1.0 / config.vectors as f64),
+    };
+    Ok((sample, diag))
 }
 
 /// Runs the contiguous sample range `start .. start + len` of the
@@ -423,6 +645,47 @@ pub fn run_circuit_mc_range(
         samples.push(r?);
     }
     Ok(samples)
+}
+
+/// The fast (delta-derived) counterpart of [`run_circuit_mc_range`]:
+/// per-die libraries come from a [`DeltaProvider`] (nominal
+/// sensitivities plus a full-solve fallback) instead of a per-die
+/// characterization, and the loaded (Lut) arm runs the 64-lane block
+/// kernel with response tables — the per-die library cost no longer
+/// dwarfs the table build.
+///
+/// Determinism matches the exact path's contract: samples and
+/// diagnostics are bit-identical for any thread count, shard split, or
+/// `lanes` setting. The *values* differ from the exact path by the
+/// linearization error the provider's tolerance admits.
+///
+/// # Errors
+/// The first per-sample [`McError`] in index order.
+///
+/// # Panics
+/// Panics if `config.vectors` is zero.
+pub fn run_circuit_mc_range_fast(
+    circuit: &Circuit,
+    tech: &Technology,
+    provider: &dyn DeltaProvider,
+    config: &CircuitMcConfig,
+    start: usize,
+    len: usize,
+) -> Result<(Vec<McSample>, FastMcDiag), McError> {
+    assert!(config.vectors > 0, "circuit MC needs at least one pattern per sample");
+    let nominal = config.op.tech(tech);
+    let per_sample: Vec<Result<(McSample, DieDiag), McError>> =
+        par_map_with(len, config.threads, SampleScratch::default, |scratch, k| {
+            run_circuit_sample_fast(circuit, &nominal, provider, config, start + k, scratch)
+        });
+    let mut samples = Vec::with_capacity(len);
+    let mut diag = FastMcDiag::default();
+    for r in per_sample {
+        let (sample, die) = r?;
+        diag.absorb(&die);
+        samples.push(sample);
+    }
+    Ok((samples, diag))
 }
 
 /// Runs the full circuit-level Monte Carlo (all `config.samples`

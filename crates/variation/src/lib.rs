@@ -46,9 +46,10 @@ pub mod sigmas;
 pub mod stats;
 
 pub use circuit::{
-    char_opts_for, run_circuit_mc, run_circuit_mc_range, summarize, CircuitMcConfig,
-    CircuitMcResult, LibraryProvider, McError, McSummary, SeriesSummary, SolverProvider,
-    DEFAULT_HIST_BINS,
+    char_opts_for, run_circuit_mc, run_circuit_mc_range, run_circuit_mc_range_fast, summarize,
+    CircuitMcConfig, CircuitMcResult, DeltaProvider, DieDiag, FastMcDiag, FastMcReport,
+    LibraryProvider, McError, McSummary, SensDeltaProvider, SeriesSummary, SolverProvider,
+    DEFAULT_HIST_BINS, TABLE_AMORTIZE_VECTORS,
 };
 pub use mc::{run_inverter_mc, series_of, stats_of, McConfig, McResult, McSample, Series};
 pub use sigmas::{gaussian, VariationSigmas};
@@ -165,6 +166,111 @@ mod proptests {
                 let again =
                     run_circuit_mc(&circuit, &tech, &SolverProvider, &config(seed)).unwrap();
                 prop_assert_eq!(again.samples, reference.samples);
+            }
+        }
+    }
+
+    /// The delta-from-nominal fast path holds the same determinism
+    /// contract as the exact path: for any seed, fast samples are
+    /// bit-identical across thread counts, shard splits, and lane
+    /// settings (scalar vs 64-lane block kernel) — and they track the
+    /// exact path within the linearization tolerance.
+    mod fast_determinism {
+        use super::*;
+        use crate::circuit::{
+            char_opts_for, run_circuit_mc_range, run_circuit_mc_range_fast, CircuitMcConfig,
+            SensDeltaProvider, SolverProvider,
+        };
+        use nanoleak_cells::{characterize_with_sensitivity, CellType, DEFAULT_DELTA_TOL};
+        use nanoleak_core::LANES;
+        use nanoleak_device::Technology;
+        use nanoleak_netlist::{Circuit, CircuitBuilder};
+        use std::sync::{Arc, OnceLock};
+
+        fn chain() -> Circuit {
+            let mut b = CircuitBuilder::new("fast-prop-chain");
+            let a = b.add_input("a");
+            let m = b.add_gate(CellType::Inv, &[a], "m");
+            let y = b.add_gate(CellType::Inv, &[m], "y");
+            b.mark_output(y);
+            b.build().unwrap()
+        }
+
+        fn config(seed: u64) -> CircuitMcConfig {
+            CircuitMcConfig {
+                samples: 3,
+                seed,
+                vectors: 2,
+                char_opts: char_opts_for(&chain(), true),
+                ..Default::default()
+            }
+        }
+
+        /// One traced nominal characterization shared by every case
+        /// (the sensitivities depend only on the nominal request, not
+        /// on the per-case seed).
+        fn provider() -> &'static SensDeltaProvider<SolverProvider> {
+            static PROVIDER: OnceLock<SensDeltaProvider<SolverProvider>> = OnceLock::new();
+            PROVIDER.get_or_init(|| {
+                let cfg = config(0);
+                let nominal_tech = cfg.op.tech(&Technology::d25());
+                let (lib, sens) =
+                    characterize_with_sensitivity(&nominal_tech, cfg.op.temp, &cfg.char_opts)
+                        .unwrap();
+                SensDeltaProvider {
+                    nominal: Arc::new(lib),
+                    sens: Arc::new(sens),
+                    tol: DEFAULT_DELTA_TOL,
+                    fallback: SolverProvider,
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+
+            #[test]
+            fn fast_samples_never_move_a_bit(
+                seed in any::<u64>(),
+                threads in 1usize..4,
+                split in 1usize..3,
+            ) {
+                let circuit = chain();
+                let tech = Technology::d25();
+                let cfg = config(seed);
+                let p = provider();
+                let scalar = CircuitMcConfig { threads: 1, lanes: 1, ..cfg.clone() };
+                let (reference, ref_diag) =
+                    run_circuit_mc_range_fast(&circuit, &tech, p, &scalar, 0, 3).unwrap();
+                // Thread-count and lane invariance (1 = per-pattern
+                // scalar path, LANES = 64-lane block kernel).
+                for lanes in [1usize, LANES] {
+                    let cfg = CircuitMcConfig { threads, lanes, ..cfg.clone() };
+                    let (again, diag) =
+                        run_circuit_mc_range_fast(&circuit, &tech, p, &cfg, 0, 3).unwrap();
+                    prop_assert_eq!(&again, &reference, "lanes = {}", lanes);
+                    prop_assert_eq!(diag, ref_diag);
+                }
+                // Shard invariance: split, concatenate, merge diags.
+                let (mut sharded, mut diag) =
+                    run_circuit_mc_range_fast(&circuit, &tech, p, &cfg, 0, split).unwrap();
+                let (rest, rest_diag) =
+                    run_circuit_mc_range_fast(&circuit, &tech, p, &cfg, split, 3 - split).unwrap();
+                sharded.extend(rest);
+                diag.merge(&rest_diag);
+                prop_assert_eq!(&sharded, &reference);
+                prop_assert_eq!(diag, ref_diag);
+                // Every die derived (paper-nominal draws sit well
+                // inside the linearization tolerance)...
+                prop_assert_eq!(ref_diag.dies_derived, 3, "{:?}", ref_diag);
+                // ...and the exact path — untouched by the fast-path
+                // refactor — stays within tolerance of it.
+                let exact =
+                    run_circuit_mc_range(&circuit, &tech, &SolverProvider, &cfg, 0, 3).unwrap();
+                for (f, e) in reference.iter().zip(&exact) {
+                    let (ft, et) = (f.loaded.total(), e.loaded.total());
+                    prop_assert!(((ft - et) / et).abs() < 0.25, "fast {ft} vs exact {et}");
+                }
             }
         }
     }

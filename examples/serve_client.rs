@@ -247,6 +247,19 @@ fn main() {
         }
     }
 
+    // Shard partials stream before the job finishes — the fast MC
+    // path still runs its deviation probe after the last shard — so
+    // wait for "done" before asking for the merged result.
+    loop {
+        let body = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        let status = json::value_from_str(&body).expect("status JSON");
+        let Value::Str(state) = get(&status, "status") else { panic!("bad status: {body}") };
+        match state.as_str() {
+            "done" => break,
+            "failed" => panic!("mc job failed: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
     let body = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
     let merged = json::value_from_str(&body).expect("result JSON");
     let summary = get(get(&merged, "result"), "summary");

@@ -56,8 +56,8 @@ use std::time::Instant;
 use nanoleak::prelude::*;
 use nanoleak_cells::OperatingPoint;
 use nanoleak_engine::{
-    mc_streaming, mlv_search, shard_count, sweep_streaming, CacheOutcome, LibraryCache,
-    MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, ScalarStats, SweepConfig,
+    mc_streaming_mode, mlv_search, shard_count, sweep_streaming, CacheOutcome, LibraryCache,
+    McMode, MemoLibraryCache, MlvConfig, MlvGoal, MlvStrategy, ScalarStats, SweepConfig,
 };
 use nanoleak_netlist::generate::{alu, iscas_like, multiplier};
 use nanoleak_netlist::{parse_yosys_json, RawCircuit};
@@ -136,6 +136,11 @@ mc options:
   --shard-samples N   stream the run in shards of N samples (progress per
                       shard on stderr; merged summary is bit-identical to
                       a monolithic run; default 0 = one shard)
+  --exact             characterize every die from scratch (bit-exact
+                      reference path). Default off: dies derive from the
+                      nominal library's recorded sensitivities — 10-100x
+                      faster, with the measured max/mean deviation from
+                      the exact path reported alongside the summary
   (mc ignores the disk cache: per-sample libraries are RAM-memoized only)
 
 serve options:
@@ -936,6 +941,7 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
     let op = take_operating_point(&mut args)?;
     let format = OutputFormat::take(&mut args)?;
     let coarse = args.take_flag("--coarse");
+    let exact = args.take_flag("--exact");
     // Accepted for flag-set compatibility with the other subcommands,
     // but deliberately unused: per-sample libraries belong to unique
     // perturbed dies, so `mc` never reads or writes the disk cache.
@@ -969,19 +975,21 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
     // RAM (re-runs of one seed hit), never on disk (one-shot litter).
     let cache = MemoLibraryCache::memory_only();
     let shards = shard_count(samples, shard_samples);
-    let report = mc_streaming(&circuit, &tech, &cache, &config, shard_samples, |shard| {
-        if shards > 1 {
-            eprintln!(
-                "[mc] shard {}/{shards}: {} samples done (loaded mean {:.4} uA)",
-                shard.shard + 1,
-                shard.start + shard.samples,
-                shard.summary.loaded.total.mean * 1e6
-            );
-        }
-        true
-    })
-    .map_err(|e| format!("monte carlo failed: {e}"))?
-    .expect("CLI MC runs are never cancelled");
+    let mode = McMode::from_exact(exact);
+    let report =
+        mc_streaming_mode(&circuit, &tech, &cache, &config, mode, shard_samples, |shard| {
+            if shards > 1 {
+                eprintln!(
+                    "[mc] shard {}/{shards}: {} samples done (loaded mean {:.4} uA)",
+                    shard.shard + 1,
+                    shard.start + shard.samples,
+                    shard.summary.loaded.total.mean * 1e6
+                );
+            }
+            true
+        })
+        .map_err(|e| format!("monte carlo failed: {e}"))?
+        .expect("CLI MC runs are never cancelled");
     let summary = report.summary;
     let tel = &report.telemetry;
 
@@ -998,6 +1006,7 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
             vdd_scale: op.vdd_scale,
             sigmas: config.sigmas,
             shards,
+            exact,
             summary,
             elapsed_ms: tel.elapsed.as_secs_f64() * 1e3,
             samples_per_sec: tel.samples_per_sec,
@@ -1036,10 +1045,29 @@ fn cmd_mc(target: &str, mut args: Args) -> Result<(), String> {
         summary.std_shift * 100.0
     );
     println!(
-        "\n  {samples} samples in {:.3} s — {:.1} samples/sec",
+        "\n  {samples} samples in {:.3} s — {:.1} samples/sec{}",
         tel.elapsed.as_secs_f64(),
-        tel.samples_per_sec
+        tel.samples_per_sec,
+        if exact { " (exact per-die characterization)" } else { "" }
     );
+    if let Some(fast) = &summary.fast {
+        println!(
+            "  fast path: {}/{} dies derived from nominal sensitivities \
+             ({} entry fallback(s), max error estimate {:.4})",
+            fast.diag.dies_derived,
+            fast.diag.dies_derived + fast.diag.dies_full,
+            fast.diag.entries_fallback,
+            fast.diag.max_error_estimate
+        );
+        println!(
+            "  deviation vs exact over {} probed sample(s): max {:.4}% mean {:.4}% \
+             (tolerance {:.2}; use --exact for the bit-exact path)",
+            fast.probed,
+            fast.max_deviation * 100.0,
+            fast.mean_deviation * 100.0,
+            fast.tol
+        );
+    }
     Ok(())
 }
 
